@@ -1,0 +1,1 @@
+//! Criterion benches for the FReaC Cache paper reproduction; see the `benches/` directory.

@@ -1,0 +1,269 @@
+//! The host CPU baseline: an analytic A15-class out-of-order model fed by
+//! per-kernel instruction mixes and a trace-driven cache-hierarchy
+//! simulation.
+//!
+//! Per item, the core is limited by the slowest of: retire width, integer
+//! issue, load/store ports — plus branch-misprediction penalties and the
+//! exposed fraction of memory latency measured by replaying the kernel's
+//! address trace through [`freac_cache::MemoryHierarchy`]. Multi-threaded
+//! runs divide items across cores and are additionally rooflined by
+//! aggregate DRAM bandwidth; single threads by the bandwidth one core's
+//! outstanding misses can sustain.
+
+use freac_cache::{HierarchyConfig, MemoryHierarchy, StridePrefetcher};
+use freac_kernels::{CpuProfile, Kernel, TraceSample, Workload};
+use freac_power::cpu::host_cpu_power_w;
+use freac_sim::{ClockDomain, Time, PS_PER_S};
+
+/// Retire width (instructions per cycle) the pipeline sustains.
+pub const RETIRE_IPC: f64 = 3.0;
+
+/// Effective integer-issue throughput (simple ops per cycle; multiplies
+/// count double).
+pub const INT_ISSUE: f64 = 2.5;
+
+/// Load/store operations per cycle (two AGU/LSU ports).
+pub const LSU_OPS_PER_CYCLE: f64 = 2.0;
+
+/// Branch misprediction penalty in cycles.
+pub const MISPREDICT_PENALTY: f64 = 14.0;
+
+/// Fraction of beyond-L1 memory latency the out-of-order window cannot
+/// hide.
+pub const MEM_EXPOSED_FRACTION: f64 = 0.35;
+
+/// DRAM bandwidth one core's miss-level parallelism sustains, bytes/s.
+pub const SINGLE_THREAD_DRAM_BW: f64 = 12.0e9;
+
+/// Fraction of peak DRAM bandwidth achievable under full multi-core load.
+pub const MULTI_THREAD_DRAM_EFFICIENCY: f64 = 0.8;
+
+/// Cycles the benchmark's initialization loop spends generating and
+/// storing each data word.
+pub const INIT_CYCLES_PER_WORD: f64 = 8.0;
+
+/// Shared-memory-system contention coefficient for multi-threaded runs:
+/// effective speedup of `T` threads is `T / (1 + ALPHA * (T - 1))`.
+/// Calibrated so 8 threads deliver ~2.7x, the scaling the paper's own
+/// numbers imply (8.2x single-thread vs 3x multi-thread for FReaC).
+pub const CONTENTION_ALPHA: f64 = 0.28;
+
+/// The host CPU model.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuModel {
+    /// Core count (Table I: 8).
+    pub cores: usize,
+    /// Core clock.
+    pub clock: ClockDomain,
+    /// LLC ways available as cache (shrinks when FReaC locks ways).
+    pub llc_ways: usize,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel {
+            cores: 8,
+            clock: ClockDomain::cache_4ghz(),
+            llc_ways: 20,
+        }
+    }
+}
+
+/// Result of a CPU kernel run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuRun {
+    /// Threads used.
+    pub threads: usize,
+    /// Average cycles per work item on one core.
+    pub cycles_per_item: f64,
+    /// Kernel time in picoseconds.
+    pub kernel_time_ps: Time,
+    /// Average power in watts.
+    pub power_w: f64,
+    /// Estimated DRAM traffic in bytes.
+    pub dram_bytes: u64,
+}
+
+impl CpuModel {
+    /// Runs `kernel`'s workload on `threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or exceeds the core count.
+    pub fn run(&self, kernel: &dyn Kernel, workload: &Workload, threads: usize) -> CpuRun {
+        assert!(
+            threads >= 1 && threads <= self.cores,
+            "threads must be 1..=cores"
+        );
+        let profile = kernel.cpu_profile();
+        let trace = kernel.sample_trace();
+
+        let (exposed_mem_cycles, dram_bytes_per_item) = self.memory_cost(&trace);
+        let compute = Self::compute_cycles(&profile);
+        let cycles_per_item = compute + exposed_mem_cycles;
+
+        let items = workload.items;
+        let scaling = threads as f64 / (1.0 + CONTENTION_ALPHA * (threads as f64 - 1.0));
+        let core_time_s = items as f64 * cycles_per_item
+            / (PS_PER_S as f64 / self.clock.period_ps() as f64)
+            / scaling;
+
+        // Bandwidth roofline.
+        let dram_bytes = (dram_bytes_per_item * items as f64) as u64;
+        let bw = if threads == 1 {
+            SINGLE_THREAD_DRAM_BW
+        } else {
+            let peak = 4.0 * 19.2e9; // DDR4-2400 x4
+            (SINGLE_THREAD_DRAM_BW * threads as f64).min(peak * MULTI_THREAD_DRAM_EFFICIENCY)
+        };
+        let bw_time_s = dram_bytes as f64 / bw;
+
+        let time_s = core_time_s.max(bw_time_s);
+        CpuRun {
+            threads,
+            cycles_per_item,
+            kernel_time_ps: (time_s * PS_PER_S as f64) as Time,
+            power_w: host_cpu_power_w(threads, self.cores),
+            dram_bytes,
+        }
+    }
+
+    /// Time for the cores to initialize `bytes` of working set — the
+    /// benchmark's data-generation loop, at [`INIT_CYCLES_PER_WORD`] per
+    /// word — bounded by DRAM bandwidth when it spills.
+    pub fn init_time_ps(&self, bytes: u64, threads: usize, spills_to_dram: bool) -> Time {
+        let store_cycles =
+            bytes.div_ceil(4) as f64 * INIT_CYCLES_PER_WORD / threads as f64;
+        let core_s = store_cycles / (PS_PER_S as f64 / self.clock.period_ps() as f64);
+        let s = if spills_to_dram {
+            core_s.max(bytes as f64 / (MULTI_THREAD_DRAM_EFFICIENCY * 76.8e9))
+        } else {
+            core_s
+        };
+        (s * PS_PER_S as f64) as Time
+    }
+
+    fn compute_cycles(p: &CpuProfile) -> f64 {
+        let retire = p.total_ops() as f64 / RETIRE_IPC;
+        let int = (p.int_ops as f64 + 2.0 * p.mul_ops as f64) / INT_ISSUE;
+        let lsu = (p.loads + p.stores) as f64 / LSU_OPS_PER_CYCLE;
+        retire.max(int).max(lsu) + p.mispredictions() * MISPREDICT_PENALTY
+    }
+
+    /// Replays the trace through the hierarchy; returns (exposed memory
+    /// cycles per item, DRAM bytes per item).
+    fn memory_cost(&self, trace: &TraceSample) -> (f64, f64) {
+        let config = HierarchyConfig::paper_edge().with_l3_ways(self.llc_ways.clamp(1, 20));
+        let mut h = MemoryHierarchy::new(config);
+        // A single cold replay: streaming kernels' first-touch misses are
+        // compulsory and persist at full scale (the sampled arrays stand in
+        // for datasets far larger than the LLC), while sampled reuse (AES
+        // tables, GEMM operand blocks) still hits. The A15's stride
+        // prefetchers hide the latency (not the bandwidth) of constant-
+        // stride misses, so only irregular misses expose latency.
+        let l1_lat = h.config().l1_latency as f64;
+        let mut exposed = 0.0f64;
+        let mut prefetcher = StridePrefetcher::new();
+        for &(addr, write) in &trace.accesses {
+            let (_, lat) = h.access(0, addr, write);
+            let prefetchable = prefetcher.observe(addr);
+            if lat as f64 > l1_lat {
+                if prefetchable {
+                    // Prefetch hides the miss; a couple of cycles of queue
+                    // occupancy remain.
+                    exposed += 2.0;
+                } else {
+                    exposed += (lat as f64 - l1_lat) * MEM_EXPOSED_FRACTION;
+                }
+            }
+        }
+        let stats = h.stats();
+        let dram_bytes = stats.dram_bytes(64) as f64 / trace.items_covered as f64;
+        (exposed / trace.items_covered as f64, dram_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freac_kernels::{kernel, KernelId, BATCH};
+
+    fn run_pair(id: KernelId) -> (CpuRun, CpuRun) {
+        let k = kernel(id);
+        let w = k.workload(BATCH);
+        let m = CpuModel::default();
+        (m.run(k.as_ref(), &w, 1), m.run(k.as_ref(), &w, 8))
+    }
+
+    #[test]
+    fn compute_kernels_scale_with_threads() {
+        // With the calibrated contention coefficient, 8 threads deliver the
+        // ~2.7x scaling the paper's own results imply.
+        let (one, eight) = run_pair(KernelId::Gemm);
+        let speedup = one.kernel_time_ps as f64 / eight.kernel_time_ps as f64;
+        assert!(
+            speedup > 2.2 && speedup <= 3.3,
+            "gemm multi-thread speedup {speedup}"
+        );
+    }
+
+    #[test]
+    fn memory_kernels_hit_the_bandwidth_wall() {
+        let (one, eight) = run_pair(KernelId::Vadd);
+        let speedup = one.kernel_time_ps as f64 / eight.kernel_time_ps as f64;
+        assert!(
+            speedup < 6.0,
+            "vadd should be bandwidth capped, got {speedup}"
+        );
+        assert!(eight.dram_bytes > 0);
+    }
+
+    #[test]
+    fn power_grows_with_threads() {
+        let (one, eight) = run_pair(KernelId::Fc);
+        assert!(eight.power_w > 2.0 * one.power_w);
+    }
+
+    #[test]
+    fn aes_is_fast_on_cpu_tables() {
+        // Table-based AES: hundreds of cycles per block, not thousands.
+        let (one, _) = run_pair(KernelId::Aes);
+        assert!(
+            one.cycles_per_item > 50.0 && one.cycles_per_item < 500.0,
+            "aes cpi {}",
+            one.cycles_per_item
+        );
+    }
+
+    #[test]
+    fn shrunken_llc_does_not_hurt_l2_resident_kernels() {
+        // Fig. 15's key observation: per-thread working sets fit in L1/L2,
+        // so cutting the LLC barely changes CPU performance.
+        let k = kernel(KernelId::Kmp);
+        let w = k.workload(BATCH);
+        let full = CpuModel::default().run(k.as_ref(), &w, 2);
+        let cut = CpuModel {
+            llc_ways: 2,
+            ..CpuModel::default()
+        }
+        .run(k.as_ref(), &w, 2);
+        let ratio = cut.kernel_time_ps as f64 / full.kernel_time_ps as f64;
+        assert!(ratio < 1.3, "llc sensitivity ratio {ratio}");
+    }
+
+    #[test]
+    fn init_time_scales() {
+        let m = CpuModel::default();
+        let t1 = m.init_time_ps(1 << 20, 1, false);
+        let t8 = m.init_time_ps(1 << 20, 8, false);
+        assert!(t1 > 7 * t8);
+    }
+
+    #[test]
+    #[should_panic(expected = "threads")]
+    fn zero_threads_rejected() {
+        let k = kernel(KernelId::Dot);
+        let w = k.workload(1);
+        let _ = CpuModel::default().run(k.as_ref(), &w, 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Embedded cores in the LLC (Fig. 14): instead of FReaC's reconfigurable
+//! fabric, drop one or two A7-class cores per slice next to the cache and
+//! give them 16 ways of scratchpad — the iso-area near-cache alternative
+//! the paper's discussion evaluates.
+
+use freac_kernels::{CpuProfile, Kernel, Workload};
+use freac_power::cpu::embedded_cores_power_w;
+use freac_sim::{ClockDomain, Time, PS_PER_S};
+
+/// A7-class core clock (in-order, modest frequency).
+pub const EC_CLOCK_MHZ: u64 = 1600;
+
+/// Dual-issue in-order pipeline: effective IPC on simple integer code.
+pub const EC_IPC: f64 = 1.3;
+
+/// Cycles per scratchpad word access from the embedded core (it sits at
+/// the LLC, so latency is short but not L1-like).
+pub const EC_MEM_CYCLES_PER_WORD: f64 = 4.0;
+
+/// Branch misprediction penalty (short in-order pipeline).
+pub const EC_MISPREDICT_PENALTY: f64 = 8.0;
+
+/// The embedded-core baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct EcModel {
+    /// Total embedded cores in the LLC (8 = one per slice, iso-area with
+    /// FReaC; 16 = two per slice).
+    pub cores: usize,
+}
+
+/// Result of an embedded-core run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EcRun {
+    /// Cores used.
+    pub cores: usize,
+    /// Cycles per item on one core.
+    pub cycles_per_item: f64,
+    /// Kernel time, picoseconds.
+    pub kernel_time_ps: Time,
+    /// Power in watts.
+    pub power_w: f64,
+}
+
+impl EcModel {
+    /// One EC per slice (iso-area with FReaC Cache's overhead).
+    pub fn iso_area() -> Self {
+        EcModel { cores: 8 }
+    }
+
+    /// Two ECs per slice.
+    pub fn double() -> Self {
+        EcModel { cores: 16 }
+    }
+
+    /// Runs the kernel's workload across the embedded cores.
+    pub fn run(&self, kernel: &dyn Kernel, workload: &Workload) -> EcRun {
+        let p = kernel.cpu_profile();
+        let cycles_per_item = Self::cycles_per_item(&p);
+        let per_core_items = workload.items.div_ceil(self.cores as u64);
+        let clock = ClockDomain::from_mhz(EC_CLOCK_MHZ);
+        let cycles = per_core_items as f64 * cycles_per_item;
+        let time_s = cycles / (PS_PER_S as f64 / clock.period_ps() as f64);
+        EcRun {
+            cores: self.cores,
+            cycles_per_item,
+            kernel_time_ps: (time_s * PS_PER_S as f64) as Time,
+            power_w: embedded_cores_power_w(self.cores),
+        }
+    }
+
+    fn cycles_per_item(p: &CpuProfile) -> f64 {
+        // In-order: instruction stream issues at EC_IPC with memory words
+        // fully serialized against the scratchpad.
+        let issue = (p.int_ops + 2 * p.mul_ops + p.branches) as f64 / EC_IPC;
+        let mem = (p.loads + p.stores) as f64 * EC_MEM_CYCLES_PER_WORD;
+        issue + mem + p.mispredictions() * EC_MISPREDICT_PENALTY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freac_kernels::{kernel, KernelId, BATCH};
+
+    #[test]
+    fn sixteen_cores_roughly_halve_time() {
+        let k = kernel(KernelId::Conv);
+        let w = k.workload(BATCH);
+        let r8 = EcModel::iso_area().run(k.as_ref(), &w);
+        let r16 = EcModel::double().run(k.as_ref(), &w);
+        let ratio = r8.kernel_time_ps as f64 / r16.kernel_time_ps as f64;
+        assert!((1.9..=2.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn ec_power_is_small() {
+        let k = kernel(KernelId::Gemm);
+        let w = k.workload(BATCH);
+        let r = EcModel::double().run(k.as_ref(), &w);
+        assert!(r.power_w < 6.0);
+    }
+
+    #[test]
+    fn ec_is_slower_per_item_than_a15() {
+        // In-order cores at 1.6 GHz do far fewer items/s than the host.
+        let k = kernel(KernelId::Fc);
+        let p = k.cpu_profile();
+        let ec_cpi = EcModel::cycles_per_item(&p);
+        assert!(ec_cpi > 200.0, "fc ec cpi {ec_cpi}");
+    }
+}

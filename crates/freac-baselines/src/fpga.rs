@@ -1,0 +1,185 @@
+//! FPGA baselines: the PCIe-attached ZCU102 and the standalone Ultra96.
+//!
+//! Following the paper's methodology (Sec. V-C): synthesize the benchmark
+//! IP, instantiate up to 256 copies (batching if they do not fit), include
+//! the 160 us DMA/configuration overhead and the host-to-board transfer
+//! over PCIe 3.0 x16 (ZCU102) or AXI (Ultra96), and estimate power XPE
+//! style. Kernels on the fabric are fully pipelined (II = 1) but bounded
+//! by the board's own DRAM bandwidth.
+
+use freac_kernels::{Kernel, Workload};
+use freac_netlist::NetlistStats;
+use freac_power::fpga::FpgaBoard;
+use freac_sim::{Time, PS_PER_S, PS_PER_US};
+
+/// Extra control/infrastructure LUTs per IP copy (AXI adapters, FSM).
+pub const CONTROL_LUTS_PER_COPY: u64 = 400;
+
+/// DSP48 slices per 32-bit multiply-accumulate.
+pub const DSPS_PER_MAC: u64 = 3;
+
+/// On-board DRAM bandwidth of the ZCU102 (one DDR4-2400 channel), bytes/s.
+pub const ZCU102_BOARD_BW: f64 = 19.2e9;
+
+/// On-board DRAM bandwidth of the Ultra96 (LPDDR4), bytes/s.
+pub const ULTRA96_BOARD_BW: f64 = 8.5e9;
+
+/// An FPGA baseline evaluator.
+#[derive(Debug, Clone, Copy)]
+pub struct FpgaModel {
+    /// Board parameters.
+    pub board: FpgaBoard,
+    /// On-board memory bandwidth in bytes/s.
+    pub board_bw: f64,
+}
+
+impl FpgaModel {
+    /// The ZCU102 over PCIe.
+    pub fn zcu102() -> Self {
+        FpgaModel {
+            board: FpgaBoard::zcu102(),
+            board_bw: ZCU102_BOARD_BW,
+        }
+    }
+
+    /// The Ultra96 standalone SoC.
+    pub fn ultra96() -> Self {
+        FpgaModel {
+            board: FpgaBoard::ultra96(),
+            board_bw: ULTRA96_BOARD_BW,
+        }
+    }
+
+    /// Resource estimate for one IP copy from the mapped netlist.
+    pub fn resources_per_copy(stats: &NetlistStats) -> (u64, u64) {
+        let luts = stats.luts as u64 + CONTROL_LUTS_PER_COPY;
+        let dsps = stats.macs as u64 * DSPS_PER_MAC;
+        (luts, dsps)
+    }
+
+    /// Runs the kernel: returns timing and power.
+    pub fn run(&self, kernel: &dyn Kernel, workload: &Workload) -> FpgaRun {
+        let circuit = kernel.circuit();
+        let mapped = freac_netlist::techmap::tech_map(
+            &circuit,
+            freac_netlist::techmap::TechMapOptions { k: 6 },
+        )
+        .expect("kernel circuits are mappable to 6-LUTs");
+        let stats = NetlistStats::of(&mapped);
+        let (luts, dsps) = Self::resources_per_copy(&stats);
+        let copies = self.board.copies_that_fit(luts, dsps).max(1);
+
+        // Each copy runs its HLS schedule (cycles_per_item states) from
+        // BRAM-partitioned buffers filled by the host transfer.
+        let fclk = self.board.clock_mhz as f64 * 1e6;
+        let compute_s =
+            workload.items as f64 * workload.cycles_per_item as f64 / (copies as f64 * fclk);
+        // Datasets too large for BRAM stream from the board's own DRAM.
+        let dataset = (workload.input_bytes + workload.output_bytes) as f64;
+        let bram_bytes = self.board.brams as f64 * 36.0 * 1024.0 / 8.0;
+        let board_mem_s = if dataset > bram_bytes {
+            dataset / self.board_bw
+        } else {
+            0.0
+        };
+        let kernel_s = compute_s.max(board_mem_s);
+
+        // Host-to-board transfer plus fixed DMA/configuration cost.
+        let moved = workload.input_bytes + workload.output_bytes;
+        let link_s = moved as f64 / (self.board.link_gbps * 1e9);
+        let dma_ps = self.board.dma_overhead_us * PS_PER_US;
+
+        let kernel_time_ps = (kernel_s * PS_PER_S as f64) as Time;
+        let transfer_ps = (link_s * PS_PER_S as f64) as Time + dma_ps;
+        FpgaRun {
+            copies,
+            luts_used: luts * copies,
+            dsps_used: dsps * copies,
+            kernel_time_ps,
+            transfer_ps,
+            power_w: self.board.power_w(luts * copies, dsps * copies),
+        }
+    }
+}
+
+/// Result of an FPGA kernel run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaRun {
+    /// IP copies instantiated.
+    pub copies: u64,
+    /// LUTs consumed.
+    pub luts_used: u64,
+    /// DSPs consumed.
+    pub dsps_used: u64,
+    /// On-board kernel time, picoseconds.
+    pub kernel_time_ps: Time,
+    /// Host-to-board data movement plus DMA overhead, picoseconds.
+    pub transfer_ps: Time,
+    /// Board power under load, watts.
+    pub power_w: f64,
+}
+
+impl FpgaRun {
+    /// End-to-end offload time.
+    pub fn end_to_end_ps(&self) -> Time {
+        self.kernel_time_ps + self.transfer_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freac_kernels::{kernel, KernelId, BATCH};
+
+    #[test]
+    fn zcu102_outruns_ultra96() {
+        let k = kernel(KernelId::Gemm);
+        let w = k.workload(BATCH);
+        let z = FpgaModel::zcu102().run(k.as_ref(), &w);
+        let u = FpgaModel::ultra96().run(k.as_ref(), &w);
+        assert!(z.kernel_time_ps < u.kernel_time_ps);
+        assert!(z.power_w > u.power_w);
+    }
+
+    #[test]
+    fn transfer_overhead_includes_dma_floor() {
+        let k = kernel(KernelId::Dot);
+        let w = k.workload(1);
+        let z = FpgaModel::zcu102().run(k.as_ref(), &w);
+        assert!(z.transfer_ps >= 160 * PS_PER_US);
+    }
+
+    #[test]
+    fn copies_bounded_by_resources() {
+        let k = kernel(KernelId::Aes); // ~2k LUTs per copy
+        let w = k.workload(BATCH);
+        let u = FpgaModel::ultra96().run(k.as_ref(), &w);
+        assert!(u.copies < 256, "AES should not fit 256x on the U96");
+        assert!(u.luts_used <= FpgaBoard::ultra96().luts);
+    }
+
+    #[test]
+    fn memory_kernels_hit_board_bandwidth() {
+        // VADD's 48 MB dataset cannot live in BRAM; the run is bounded by
+        // streaming it through the board's DRAM.
+        let k = kernel(KernelId::Vadd);
+        let w = k.workload(BATCH);
+        let z = FpgaModel::zcu102().run(k.as_ref(), &w);
+        let dataset = w.input_bytes + w.output_bytes;
+        let floor = (dataset as f64 / ZCU102_BOARD_BW * PS_PER_S as f64) as u64;
+        assert!(z.kernel_time_ps >= floor);
+    }
+
+    #[test]
+    fn bram_resident_kernels_skip_the_dram_roofline() {
+        // AES's 2 MB dataset fits the ZCU102's ~4 MB of BRAM: pure compute
+        // time, no board-DRAM term.
+        let k = kernel(KernelId::Aes);
+        let w = k.workload(BATCH);
+        let z = FpgaModel::zcu102().run(k.as_ref(), &w);
+        let compute_floor = (w.items as f64 * w.cycles_per_item as f64
+            / (z.copies as f64 * 300.0e6)
+            * PS_PER_S as f64) as u64;
+        assert!(z.kernel_time_ps <= compute_floor * 11 / 10);
+    }
+}

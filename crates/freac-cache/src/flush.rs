@@ -1,0 +1,91 @@
+//! Way-flush timing (paper Sec. III-C).
+//!
+//! Before a way can be locked into compute mode its dirty lines must be
+//! written back. In the worst case this is bound by off-chip bandwidth:
+//! flushing an entire 10 MB LLC takes on the order of hundreds of
+//! microseconds over four DDR4 channels.
+
+use freac_sim::{DramModel, Time};
+
+use crate::geometry::LlcGeometry;
+
+/// Time to flush `ways` ways of one slice, of which `dirty_fraction` of the
+/// lines are dirty (0.0..=1.0), over `dram`.
+///
+/// Clean lines are dropped instantly (invalidate only); dirty lines stream
+/// to memory at bulk bandwidth.
+///
+/// # Panics
+///
+/// Panics if `dirty_fraction` is outside `[0, 1]`.
+pub fn flush_ways_time(
+    geometry: &LlcGeometry,
+    ways: usize,
+    dirty_fraction: f64,
+    dram: &DramModel,
+) -> Time {
+    assert!(
+        (0.0..=1.0).contains(&dirty_fraction),
+        "dirty fraction must be within [0, 1]"
+    );
+    let bytes = (geometry.scratchpad_bytes(ways) as f64 * dirty_fraction) as u64;
+    if bytes == 0 {
+        return 0;
+    }
+    dram.bulk_transfer_time(bytes)
+}
+
+/// Worst-case time to flush the *entire* LLC (all slices in parallel, but
+/// all sharing the same memory channels).
+pub fn flush_llc_time(geometry: &LlcGeometry, dirty_fraction: f64, dram: &DramModel) -> Time {
+    assert!(
+        (0.0..=1.0).contains(&dirty_fraction),
+        "dirty fraction must be within [0, 1]"
+    );
+    let bytes = (geometry.total_bytes() as f64 * dirty_fraction) as u64;
+    if bytes == 0 {
+        return 0;
+    }
+    dram.bulk_transfer_time(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freac_sim::PS_PER_US;
+
+    #[test]
+    fn full_llc_flush_is_hundreds_of_microseconds() {
+        let g = LlcGeometry::paper_edge();
+        let d = DramModel::ddr4_2400_x4();
+        let t = flush_llc_time(&g, 1.0, &d);
+        assert!(
+            t > 100 * PS_PER_US && t < 500 * PS_PER_US,
+            "expected O(100 us), got {t} ps"
+        );
+    }
+
+    #[test]
+    fn clean_ways_flush_free() {
+        let g = LlcGeometry::paper_edge();
+        let d = DramModel::ddr4_2400_x4();
+        assert_eq!(flush_ways_time(&g, 16, 0.0, &d), 0);
+    }
+
+    #[test]
+    fn flush_scales_with_ways_and_dirtiness() {
+        let g = LlcGeometry::paper_edge();
+        let d = DramModel::ddr4_2400_x4();
+        let t_half = flush_ways_time(&g, 8, 0.5, &d);
+        let t_full = flush_ways_time(&g, 16, 1.0, &d);
+        assert!(t_full > 3 * t_half);
+    }
+
+    #[test]
+    #[should_panic(expected = "dirty fraction")]
+    fn bad_fraction_rejected() {
+        let g = LlcGeometry::paper_edge();
+        let d = DramModel::ddr4_2400_x4();
+        let _ = flush_ways_time(&g, 2, 1.5, &d);
+    }
+}

@@ -1,0 +1,204 @@
+//! LLC geometry and address mapping.
+//!
+//! The evaluated system (paper Table I/II and Sec. II): a 10 MB, 20-way LLC
+//! split into 8 slices of 1.25 MB. Each way of a slice is 64 KB, built from
+//! four data arrays (one per layout quadrant); each data array is two 8 KB
+//! sub-arrays with 32-bit ports — 160 sub-arrays per slice. Micro compute
+//! clusters group two adjacent data arrays *across two ways*, so ways
+//! convert to compute in pairs: 2 ways → 4 MCC tiles, 16 ways → 32.
+
+/// Physical organization of the sliced LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcGeometry {
+    /// Number of slices (one per core in the evaluated system).
+    pub slices: usize,
+    /// Associativity (ways per slice).
+    pub ways: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Capacity of one way of one slice, in bytes.
+    pub way_bytes: usize,
+    /// Data arrays per way (one per quadrant).
+    pub data_arrays_per_way: usize,
+    /// Sub-arrays per data array.
+    pub subarrays_per_data_array: usize,
+}
+
+impl LlcGeometry {
+    /// The paper's evaluated edge-class configuration: 8 slices x 1.25 MB,
+    /// 20 ways, 64 B lines, 8 KB sub-arrays.
+    pub fn paper_edge() -> Self {
+        LlcGeometry {
+            slices: 8,
+            ways: 20,
+            line_bytes: 64,
+            way_bytes: 64 * 1024,
+            data_arrays_per_way: 4,
+            subarrays_per_data_array: 2,
+        }
+    }
+
+    /// Sets per slice.
+    pub fn sets_per_slice(&self) -> usize {
+        self.way_bytes / self.line_bytes
+    }
+
+    /// Bytes per slice.
+    pub fn slice_bytes(&self) -> usize {
+        self.way_bytes * self.ways
+    }
+
+    /// Total LLC bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.slice_bytes() * self.slices
+    }
+
+    /// Sub-array capacity in bytes.
+    pub fn subarray_bytes(&self) -> usize {
+        self.way_bytes / (self.data_arrays_per_way * self.subarrays_per_data_array)
+    }
+
+    /// Sub-arrays per slice (160 in the evaluated system, Table II).
+    pub fn subarrays_per_slice(&self) -> usize {
+        self.ways * self.data_arrays_per_way * self.subarrays_per_data_array
+    }
+
+    /// Micro compute clusters formed when `compute_ways` ways are converted.
+    ///
+    /// Ways convert in pairs; each pair of ways yields one MCC per data
+    /// array position (4 MCCs per way pair).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compute_ways` is odd or exceeds the slice's ways.
+    pub fn mccs_for_ways(&self, compute_ways: usize) -> usize {
+        assert!(compute_ways <= self.ways, "more ways than the slice has");
+        assert!(compute_ways % 2 == 0, "ways convert to compute in pairs");
+        (compute_ways / 2) * self.data_arrays_per_way
+    }
+
+    /// Ways needed to form `mccs` micro compute clusters (inverse of
+    /// [`Self::mccs_for_ways`], rounded up to a way pair).
+    pub fn ways_for_mccs(&self, mccs: usize) -> usize {
+        2 * mccs.div_ceil(self.data_arrays_per_way)
+    }
+
+    /// Scratchpad bytes provided by `ways` locked ways of one slice.
+    pub fn scratchpad_bytes(&self, ways: usize) -> usize {
+        ways * self.way_bytes
+    }
+
+    /// The slice an address maps to. Consecutive cache lines interleave
+    /// round-robin across slices (paper Sec. II: "memory addresses are
+    /// interleaved across slices").
+    pub fn slice_of(&self, addr: u64) -> usize {
+        let line = addr / self.line_bytes as u64;
+        (line % self.slices as u64) as usize
+    }
+
+    /// The slice-local address used to index within a slice: the line
+    /// number with the slice-interleaving bits divided out. Injective per
+    /// slice, so tags derived from it never alias.
+    pub fn slice_local_addr(&self, addr: u64) -> u64 {
+        let line = addr / self.line_bytes as u64;
+        (line / self.slices as u64) * self.line_bytes as u64 + addr % self.line_bytes as u64
+    }
+
+    /// Inverse of [`Self::slice_local_addr`]: reconstructs the global
+    /// address from a slice id and a slice-local address.
+    pub fn global_addr(&self, slice: usize, local_addr: u64) -> u64 {
+        let local_line = local_addr / self.line_bytes as u64;
+        (local_line * self.slices as u64 + slice as u64) * self.line_bytes as u64
+            + local_addr % self.line_bytes as u64
+    }
+
+    /// The set index within a slice for an address.
+    pub fn set_of(&self, addr: u64) -> usize {
+        let local_line = self.slice_local_addr(addr) / self.line_bytes as u64;
+        (local_line % self.sets_per_slice() as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers() {
+        let g = LlcGeometry::paper_edge();
+        assert_eq!(g.slice_bytes(), 1_310_720); // 1.25 MB
+        assert_eq!(g.total_bytes(), 10 * 1024 * 1024);
+        assert_eq!(g.subarray_bytes(), 8 * 1024);
+        assert_eq!(g.subarrays_per_slice(), 160);
+        assert_eq!(g.sets_per_slice(), 1024);
+    }
+
+    #[test]
+    fn mcc_way_conversion() {
+        let g = LlcGeometry::paper_edge();
+        assert_eq!(g.mccs_for_ways(2), 4);
+        assert_eq!(g.mccs_for_ways(16), 32);
+        assert_eq!(g.ways_for_mccs(32), 16);
+        assert_eq!(g.ways_for_mccs(4), 2);
+        assert_eq!(g.ways_for_mccs(3), 2); // rounds up to a way pair
+        assert_eq!(g.scratchpad_bytes(4), 256 * 1024);
+        assert_eq!(g.scratchpad_bytes(12), 768 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "pairs")]
+    fn odd_ways_panic() {
+        let _ = LlcGeometry::paper_edge().mccs_for_ways(3);
+    }
+
+    #[test]
+    fn slice_hash_spreads_addresses() {
+        let g = LlcGeometry::paper_edge();
+        let mut counts = vec![0usize; g.slices];
+        for i in 0..8192u64 {
+            counts[g.slice_of(i * 64)] += 1;
+        }
+        // Roughly uniform: every slice within 2x of the mean.
+        let mean = 8192 / g.slices;
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(c > mean / 2 && c < mean * 2, "slice {s} got {c}");
+        }
+    }
+
+    #[test]
+    fn set_mapping_is_line_granular() {
+        let g = LlcGeometry::paper_edge();
+        assert_eq!(g.set_of(0), g.set_of(63)); // same line, same set
+        // Consecutive lines rotate through slices; the set advances once a
+        // full slice round-robin completes.
+        assert_ne!(g.slice_of(0), g.slice_of(64));
+        assert_eq!(g.set_of(0), g.set_of(64));
+        let stride = (g.slices * g.line_bytes) as u64;
+        assert_eq!(g.slice_of(0), g.slice_of(stride));
+        assert_ne!(g.set_of(0), g.set_of(stride));
+    }
+
+    #[test]
+    fn global_addr_inverts_slice_local_addr() {
+        let g = LlcGeometry::paper_edge();
+        for i in 0..10_000u64 {
+            let addr = i * 64 + (i % 64);
+            let s = g.slice_of(addr);
+            let local = g.slice_local_addr(addr);
+            assert_eq!(g.global_addr(s, local), addr);
+        }
+    }
+
+    #[test]
+    fn slice_local_addr_is_injective_within_a_slice() {
+        let g = LlcGeometry::paper_edge();
+        let mut seen = std::collections::HashMap::new();
+        for i in 0..100_000u64 {
+            let addr = i * 64;
+            if g.slice_of(addr) == 3 {
+                let local = g.slice_local_addr(addr);
+                assert!(seen.insert(local, addr).is_none(), "local address collision");
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! A reference-pattern classifier modeling per-region stride prefetchers.
+//!
+//! A15-class cores carry L1/L2 stride prefetchers: misses on constant-
+//! stride streams are issued ahead of the demand access and hide their
+//! latency (not their bandwidth). [`StridePrefetcher`] tracks one stream
+//! per 1 MB region and classifies each access as covered (constant stride,
+//! including unit and repeated strides) or uncovered (irregular). The CPU
+//! baseline charges exposed latency only for uncovered misses.
+
+use std::collections::HashMap;
+
+/// Region granularity: one tracked stream per this many address bits.
+pub const REGION_SHIFT: u32 = 20;
+
+/// Per-region stride tracker.
+///
+/// ```
+/// use freac_cache::StridePrefetcher;
+///
+/// let mut p = StridePrefetcher::new();
+/// for i in 0..64u64 {
+///     p.observe(0x10_0000 + i * 64); // unit-stride stream
+/// }
+/// assert!(p.coverage() > 0.95);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StridePrefetcher {
+    streams: HashMap<u64, (u64, i64)>,
+    covered: u64,
+    uncovered: u64,
+}
+
+impl StridePrefetcher {
+    /// A prefetcher with no history.
+    pub fn new() -> Self {
+        StridePrefetcher::default()
+    }
+
+    /// Observes an access (line granularity) and reports whether a stride
+    /// prefetcher would have covered it.
+    pub fn observe(&mut self, addr: u64) -> bool {
+        let line = addr / 64;
+        let region = addr >> REGION_SHIFT;
+        let entry = self.streams.entry(region).or_insert((line, 0));
+        let delta = line as i64 - entry.0 as i64;
+        let covered = delta == entry.1 || delta.unsigned_abs() <= 1;
+        *entry = (line, delta);
+        if covered {
+            self.covered += 1;
+        } else {
+            self.uncovered += 1;
+        }
+        covered
+    }
+
+    /// Accesses classified as covered so far.
+    pub fn covered(&self) -> u64 {
+        self.covered
+    }
+
+    /// Accesses classified as uncovered so far.
+    pub fn uncovered(&self) -> u64 {
+        self.uncovered
+    }
+
+    /// Coverage ratio in the unit interval (1.0 with no accesses).
+    pub fn coverage(&self) -> f64 {
+        let total = self.covered + self.uncovered;
+        if total == 0 {
+            1.0
+        } else {
+            self.covered as f64 / total as f64
+        }
+    }
+
+    /// Forgets all stream history and counters.
+    pub fn reset(&mut self) {
+        self.streams.clear();
+        self.covered = 0;
+        self.uncovered = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_streams_are_covered() {
+        let mut p = StridePrefetcher::new();
+        // First access trains; the rest are unit-stride.
+        for i in 0..100u64 {
+            p.observe(0x10_0000 + i * 64);
+        }
+        assert!(p.coverage() > 0.95, "coverage {}", p.coverage());
+    }
+
+    #[test]
+    fn constant_stride_is_covered_after_training() {
+        let mut p = StridePrefetcher::new();
+        let stride = 256u64; // 4 lines
+        let mut covered = 0;
+        for i in 0..50u64 {
+            if p.observe(0x20_0000 + i * stride) {
+                covered += 1;
+            }
+        }
+        // First two accesses train (delta unknown, then first repeat).
+        assert!(covered >= 47, "covered {covered}");
+    }
+
+    #[test]
+    fn random_accesses_are_uncovered() {
+        let mut p = StridePrefetcher::new();
+        let mut x = 0x9E37_79B9u64;
+        let mut uncovered = 0;
+        for _ in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            // Random lines within a single 1 MB region (one tracked stream).
+            if !p.observe(0x30_0000 + ((x >> 40) % 16_384) * 64) {
+                uncovered += 1;
+            }
+        }
+        assert!(uncovered > 120, "uncovered {uncovered}");
+    }
+
+    #[test]
+    fn streams_are_tracked_per_region() {
+        let mut p = StridePrefetcher::new();
+        // Two interleaved sequential streams in different regions must not
+        // confuse each other.
+        for i in 0..50u64 {
+            p.observe(0x10_0000 + i * 64);
+            p.observe(0x90_0000 + i * 64);
+        }
+        assert!(p.coverage() > 0.95, "coverage {}", p.coverage());
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut p = StridePrefetcher::new();
+        p.observe(0x10_0000);
+        p.reset();
+        assert_eq!(p.covered() + p.uncovered(), 0);
+        assert!((p.coverage() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,353 @@
+//! A set-associative cache with true-LRU replacement and dirty tracking.
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent; it has been filled.
+    Miss {
+        /// Address of the victim if it was dirty (the caller models the
+        /// writeback).
+        writeback: Option<u64>,
+        /// Address of any valid victim (dirty or clean) — inclusive
+        /// hierarchies back-invalidate it from inner caches.
+        evicted: Option<u64>,
+    },
+}
+
+impl AccessOutcome {
+    /// Whether the access hit.
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// Per-cache hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty evictions.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in the unit interval (1.0 when there were no accesses).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative, write-back, write-allocate cache model.
+///
+/// Only metadata is modeled (tags, validity, dirtiness, recency) — the
+/// simulators in this workspace never need cached *data*, only timing and
+/// traffic.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: usize,
+    ways: usize,
+    line_bytes: usize,
+    lines: Vec<Line>,
+    epoch: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// A cache with `sets` sets of `ways` ways and `line_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `line_bytes` is not a power of
+    /// two.
+    pub fn new(sets: usize, ways: usize, line_bytes: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "cache dimensions must be positive");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        SetAssocCache {
+            sets,
+            ways,
+            line_bytes,
+            lines: vec![Line::default(); sets * ways],
+            epoch: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// A cache sized by capacity: `capacity_bytes / (ways * line_bytes)`
+    /// sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity does not divide evenly.
+    pub fn with_capacity(capacity_bytes: usize, ways: usize, line_bytes: usize) -> Self {
+        assert_eq!(
+            capacity_bytes % (ways * line_bytes),
+            0,
+            "capacity must divide into sets evenly"
+        );
+        SetAssocCache::new(capacity_bytes / (ways * line_bytes), ways, line_bytes)
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.ways * self.line_bytes
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Accesses `addr`; allocates on miss, marks dirty on writes.
+    pub fn access(&mut self, addr: u64, write: bool) -> AccessOutcome {
+        self.epoch += 1;
+        let line_addr = addr / self.line_bytes as u64;
+        let set = (line_addr % self.sets as u64) as usize;
+        let tag = line_addr / self.sets as u64;
+        let base = set * self.ways;
+
+        // Hit?
+        for i in base..base + self.ways {
+            let l = &mut self.lines[i];
+            if l.valid && l.tag == tag {
+                l.lru = self.epoch;
+                l.dirty |= write;
+                self.stats.hits += 1;
+                return AccessOutcome::Hit;
+            }
+        }
+        self.stats.misses += 1;
+
+        // Victim: invalid first, else LRU.
+        let victim = (base..base + self.ways)
+            .min_by_key(|&i| {
+                let l = &self.lines[i];
+                if l.valid {
+                    (1, l.lru)
+                } else {
+                    (0, 0)
+                }
+            })
+            .expect("every set has at least one way");
+        let v = &mut self.lines[victim];
+        let evicted = if v.valid {
+            // Reconstruct the victim's address.
+            let victim_line = v.tag * self.sets as u64 + set as u64;
+            Some(victim_line * self.line_bytes as u64)
+        } else {
+            None
+        };
+        let writeback = if v.valid && v.dirty {
+            self.stats.writebacks += 1;
+            evicted
+        } else {
+            None
+        };
+        *v = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            lru: self.epoch,
+        };
+        AccessOutcome::Miss { writeback, evicted }
+    }
+
+    /// Invalidates `addr` if present; returns `Some(was_dirty)` when a line
+    /// was dropped (inclusive hierarchies use this for back-invalidation).
+    pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
+        let line_addr = addr / self.line_bytes as u64;
+        let set = (line_addr % self.sets as u64) as usize;
+        let tag = line_addr / self.sets as u64;
+        let base = set * self.ways;
+        for i in base..base + self.ways {
+            let l = &mut self.lines[i];
+            if l.valid && l.tag == tag {
+                let dirty = l.dirty;
+                *l = Line::default();
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Whether `addr` is currently cached (no state change).
+    pub fn probe(&self, addr: u64) -> bool {
+        let line_addr = addr / self.line_bytes as u64;
+        let set = (line_addr % self.sets as u64) as usize;
+        let tag = line_addr / self.sets as u64;
+        self.lines[set * self.ways..(set + 1) * self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates everything, returning the number of dirty lines dropped
+    /// (callers model their writeback traffic).
+    pub fn flush_all(&mut self) -> u64 {
+        let mut dirty = 0;
+        for l in &mut self.lines {
+            if l.valid && l.dirty {
+                dirty += 1;
+            }
+            *l = Line::default();
+        }
+        dirty
+    }
+
+    /// Number of currently dirty lines.
+    pub fn dirty_lines(&self) -> u64 {
+        self.lines.iter().filter(|l| l.valid && l.dirty).count() as u64
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears counters (contents are kept — useful for warm-up phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = SetAssocCache::new(4, 2, 64);
+        assert!(matches!(
+            c.access(0x100, false),
+            AccessOutcome::Miss { writeback: None, evicted: None }
+        ));
+        assert!(c.access(0x100, false).is_hit());
+        assert!(c.access(0x13F, false).is_hit()); // same line
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 1 set, 2 ways: A, B fill; touching A then inserting C evicts B.
+        let mut c = SetAssocCache::new(1, 2, 64);
+        c.access(0x000, false); // A
+        c.access(0x040, false); // B
+        c.access(0x000, false); // touch A
+        c.access(0x080, false); // C evicts B
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x040));
+        assert!(c.probe(0x080));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback_address() {
+        let mut c = SetAssocCache::new(1, 1, 64);
+        c.access(0x0C0, true); // dirty A
+        match c.access(0x400, false) {
+            AccessOutcome::Miss {
+                writeback: Some(a),
+                evicted: Some(e),
+            } => {
+                assert_eq!(a, 0x0C0);
+                assert_eq!(e, 0x0C0);
+            }
+            other => panic!("expected dirty writeback, got {other:?}"),
+        }
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn flush_counts_dirty_lines() {
+        let mut c = SetAssocCache::new(8, 2, 64);
+        c.access(0x000, true);
+        c.access(0x040, true);
+        c.access(0x080, false);
+        assert_eq!(c.dirty_lines(), 2);
+        assert_eq!(c.flush_all(), 2);
+        assert_eq!(c.dirty_lines(), 0);
+        assert!(!c.probe(0x000));
+    }
+
+    #[test]
+    fn clean_evictions_still_report_the_victim() {
+        let mut c = SetAssocCache::new(1, 1, 64);
+        c.access(0x0C0, false); // clean A
+        match c.access(0x400, false) {
+            AccessOutcome::Miss {
+                writeback: None,
+                evicted: Some(e),
+            } => assert_eq!(e, 0x0C0),
+            other => panic!("expected clean eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalidate_drops_lines_and_reports_dirtiness() {
+        let mut c = SetAssocCache::new(4, 2, 64);
+        c.access(0x100, true);
+        c.access(0x200, false);
+        assert_eq!(c.invalidate(0x100), Some(true));
+        assert_eq!(c.invalidate(0x200), Some(false));
+        assert_eq!(c.invalidate(0x300), None);
+        assert!(!c.probe(0x100));
+    }
+
+    #[test]
+    fn capacity_constructor() {
+        let c = SetAssocCache::with_capacity(32 * 1024, 2, 64); // L1D from Table I
+        assert_eq!(c.sets(), 256);
+        assert_eq!(c.capacity_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn working_set_bigger_than_cache_thrashes() {
+        let mut c = SetAssocCache::with_capacity(4 * 1024, 4, 64);
+        // Stream 64 KB twice: second pass still misses (capacity).
+        for pass in 0..2 {
+            for i in 0..1024u64 {
+                c.access(i * 64, false);
+            }
+            if pass == 0 {
+                c.reset_stats();
+            }
+        }
+        assert_eq!(c.stats().hits, 0);
+    }
+
+    #[test]
+    fn small_working_set_hits_on_reuse() {
+        let mut c = SetAssocCache::with_capacity(64 * 1024, 8, 64);
+        for _ in 0..2 {
+            for i in 0..256u64 {
+                c.access(i * 64, false);
+            }
+        }
+        let s = c.stats();
+        assert_eq!(s.misses, 256);
+        assert_eq!(s.hits, 256);
+    }
+}

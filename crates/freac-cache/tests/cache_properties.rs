@@ -1,0 +1,109 @@
+//! Property tests for the cache substrate.
+
+use freac_cache::{AccessOutcome, HierarchyConfig, LlcGeometry, MemoryHierarchy, SetAssocCache};
+use proptest::prelude::*;
+
+fn addr_stream() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    prop::collection::vec((0u64..(1 << 22), any::<bool>()), 1..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn accessed_lines_are_always_resident_afterwards(stream in addr_stream()) {
+        let mut c = SetAssocCache::new(16, 4, 64);
+        for &(addr, write) in &stream {
+            c.access(addr, write);
+            prop_assert!(c.probe(addr), "line just accessed must be resident");
+        }
+    }
+
+    #[test]
+    fn hit_plus_miss_equals_accesses(stream in addr_stream()) {
+        let mut c = SetAssocCache::new(32, 2, 64);
+        for &(addr, write) in &stream {
+            c.access(addr, write);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, stream.len() as u64);
+        prop_assert!(s.writebacks <= s.misses);
+    }
+
+    #[test]
+    fn dirty_lines_only_from_writes(stream in addr_stream()) {
+        let mut c = SetAssocCache::new(16, 4, 64);
+        let writes = stream.iter().filter(|&&(_, w)| w).count() as u64;
+        for &(addr, write) in &stream {
+            c.access(addr, write);
+        }
+        // There can never be more dirty lines than distinct written lines.
+        prop_assert!(c.dirty_lines() <= writes);
+        if writes == 0 {
+            prop_assert_eq!(c.dirty_lines(), 0);
+            prop_assert_eq!(c.flush_all(), 0);
+        }
+    }
+
+    #[test]
+    fn eviction_reports_are_consistent(stream in addr_stream()) {
+        let mut c = SetAssocCache::new(4, 2, 64);
+        for &(addr, write) in &stream {
+            if let AccessOutcome::Miss { writeback, evicted } = c.access(addr, write) {
+                // A writeback implies an eviction of the same line.
+                if let Some(wb) = writeback {
+                    prop_assert_eq!(evicted, Some(wb));
+                }
+                // The evicted line is gone.
+                if let Some(e) = evicted {
+                    prop_assert!(!c.probe(e));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchy_levels_are_exhaustive(stream in addr_stream()) {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::paper_edge());
+        for &(addr, write) in &stream {
+            h.access(0, addr, write);
+        }
+        let s = h.stats();
+        prop_assert_eq!(
+            s.l1_hits + s.l2_hits + s.l3_hits + s.dram_accesses,
+            stream.len() as u64
+        );
+        // Latency is at least the L1 latency per access.
+        prop_assert!(s.total_latency >= 2 * stream.len() as u64);
+    }
+
+    #[test]
+    fn slice_mapping_round_trips(addrs in prop::collection::vec(0u64..(1 << 30), 1..200)) {
+        let g = LlcGeometry::paper_edge();
+        for addr in addrs {
+            let slice = g.slice_of(addr);
+            prop_assert!(slice < g.slices);
+            let local = g.slice_local_addr(addr);
+            prop_assert_eq!(g.global_addr(slice, local), addr);
+        }
+    }
+
+    #[test]
+    fn repeating_a_stream_never_lowers_hits(stream in addr_stream()) {
+        // Replaying the identical stream a second time cannot produce fewer
+        // hits than the first (warm caches are at least as good as cold).
+        let run = |passes: usize| {
+            let mut c = SetAssocCache::new(64, 4, 64);
+            let mut last_pass_hits = 0;
+            for _ in 0..passes {
+                let before = c.stats().hits;
+                for &(addr, write) in &stream {
+                    c.access(addr, write);
+                }
+                last_pass_hits = c.stats().hits - before;
+            }
+            last_pass_hits
+        };
+        prop_assert!(run(2) >= run(1));
+    }
+}

@@ -1,0 +1,165 @@
+//! An accelerator: a circuit mapped and folded onto a tile.
+
+use freac_fold::{schedule_fold, FoldSchedule, FoldedExecutor};
+use freac_netlist::techmap::{tech_map, TechMapOptions};
+use freac_netlist::{Netlist, NetlistStats, Value};
+
+use crate::bitstream::Bitstream;
+use crate::error::CoreError;
+use crate::tile::AcceleratorTile;
+
+/// A circuit technology-mapped and fold-scheduled for a specific tile,
+/// together with its packed configuration bitstream.
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    name: String,
+    netlist: Netlist,
+    schedule: FoldSchedule,
+    bitstream: Bitstream,
+    tile: AcceleratorTile,
+}
+
+impl Accelerator {
+    /// Maps `circuit` onto `tile`: technology-maps to the tile's LUT size,
+    /// folds under the tile's resource envelope, and packs the bitstream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping and folding failures (for example a circuit whose
+    /// schedule exceeds the 2048 configuration rows).
+    pub fn map(circuit: &Netlist, tile: &AcceleratorTile) -> Result<Self, CoreError> {
+        let k = tile.lut_mode().k();
+        let mapped = tech_map(circuit, TechMapOptions { k })?;
+        let schedule = schedule_fold(&mapped, &tile.fold_constraints())?;
+        let bitstream = Bitstream::pack(&mapped, &schedule, tile.mccs(), tile.lut_mode());
+        Ok(Accelerator {
+            name: circuit.name().to_owned(),
+            netlist: mapped,
+            schedule,
+            bitstream,
+            tile: *tile,
+        })
+    }
+
+    /// The circuit's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The technology-mapped netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The fold schedule.
+    pub fn schedule(&self) -> &FoldSchedule {
+        &self.schedule
+    }
+
+    /// The packed configuration bitstream.
+    pub fn bitstream(&self) -> &Bitstream {
+        &self.bitstream
+    }
+
+    /// The tile this accelerator was mapped for.
+    pub fn tile(&self) -> AcceleratorTile {
+        self.tile
+    }
+
+    /// Resource statistics of the mapped netlist.
+    pub fn stats(&self) -> NetlistStats {
+        NetlistStats::of(&self.netlist)
+    }
+
+    /// Fold count: cache cycles per original circuit cycle.
+    pub fn fold_cycles(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Effective clock in MHz: tile clock divided by the fold count
+    /// (paper Sec. IV).
+    pub fn effective_clock_mhz(&self) -> f64 {
+        let tile_mhz = self.tile.clock().freq_ghz() * 1000.0;
+        tile_mhz / self.fold_cycles().max(1) as f64
+    }
+
+    /// Functionally executes the accelerator for one original cycle via the
+    /// folded executor — the bit-exact model of what the MCCs compute.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor errors (input shape mismatches).
+    pub fn execute(&self, inputs: &[Value], cycles: usize) -> Result<Vec<Value>, CoreError> {
+        let mut ex = FoldedExecutor::new(&self.netlist, &self.schedule);
+        let mut last = Vec::new();
+        for _ in 0..cycles {
+            last = ex.run_cycle(inputs)?;
+        }
+        Ok(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freac_netlist::builder::CircuitBuilder;
+
+    fn mac_circuit() -> Netlist {
+        let mut b = CircuitBuilder::new("fma");
+        let a = b.word_input("a", 32);
+        let x = b.word_input("x", 32);
+        let c = b.word_input("c", 32);
+        let m = b.mac(&a, &x, &c);
+        b.word_output("m", &m);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn map_and_execute() {
+        let circuit = mac_circuit();
+        let tile = AcceleratorTile::new(1).unwrap();
+        let acc = Accelerator::map(&circuit, &tile).unwrap();
+        let out = acc
+            .execute(&[Value::Word(6), Value::Word(7), Value::Word(8)], 1)
+            .unwrap();
+        assert_eq!(out, vec![Value::Word(50)]);
+        assert!(acc.fold_cycles() >= 1);
+    }
+
+    #[test]
+    fn effective_clock_divides_by_folds() {
+        let mut b = CircuitBuilder::new("wide");
+        let a = b.word_input("a", 32);
+        let c = b.word_input("b", 32);
+        let s = b.add(&a, &c);
+        let s2 = b.add(&s, &c);
+        b.word_output("s", &s2);
+        let circuit = b.finish().unwrap();
+        let tile = AcceleratorTile::new(1).unwrap();
+        let acc = Accelerator::map(&circuit, &tile).unwrap();
+        let folds = acc.fold_cycles() as f64;
+        assert!((acc.effective_clock_mhz() - 4000.0 / folds).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bigger_tile_fewer_folds_higher_effective_clock() {
+        let mut b = CircuitBuilder::new("wide");
+        let a = b.word_input("a", 32);
+        let c = b.word_input("b", 32);
+        let s = b.add(&a, &c);
+        b.word_output("s", &s);
+        let circuit = b.finish().unwrap();
+        let a1 = Accelerator::map(&circuit, &AcceleratorTile::new(1).unwrap()).unwrap();
+        let a8 = Accelerator::map(&circuit, &AcceleratorTile::new(8).unwrap()).unwrap();
+        assert!(a8.fold_cycles() <= a1.fold_cycles());
+        assert!(a8.effective_clock_mhz() >= a1.effective_clock_mhz());
+    }
+
+    #[test]
+    fn name_and_stats_surface() {
+        let acc = Accelerator::map(&mac_circuit(), &AcceleratorTile::new(2).unwrap()).unwrap();
+        assert_eq!(acc.name(), "fma");
+        assert_eq!(acc.stats().macs, 1);
+        assert!(acc.bitstream().total_bytes() > 0);
+    }
+}

@@ -1,0 +1,454 @@
+//! Configuration bitstream packing.
+//!
+//! Each fold step's LUT truth tables are packed into the compute
+//! sub-arrays' 32-bit rows: one 5-LUT (32 config bits) or two 4-LUTs
+//! (2 x 16 bits) per sub-array per step. LUTs narrower than the physical
+//! LUT replicate their table over the unused inputs, exactly as an FPGA
+//! bitstream would tie unused mux-tree levels. Crossbar routing bits for
+//! each step are accounted against the way's idle tag/state arrays
+//! (paper Sec. III-B).
+
+use freac_fold::{FoldSchedule, LutMode};
+use freac_netlist::{Netlist, NodeKind, TruthTable};
+
+use crate::subarray::ComputeSubArray;
+
+/// Crossbar configuration bytes needed per cluster per fold step (stored in
+/// the tag arrays).
+pub const XBAR_CONFIG_BYTES_PER_STEP: usize = 16;
+
+/// Compute sub-arrays per micro compute cluster.
+pub const SUBARRAYS_PER_CLUSTER: usize = 4;
+
+/// The configuration image of one cluster: four sub-arrays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterImage {
+    /// The cluster's sub-arrays, in slot order.
+    pub subarrays: Vec<ComputeSubArray>,
+}
+
+/// A packed accelerator configuration for one tile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitstream {
+    clusters: Vec<ClusterImage>,
+    lut_mode: LutMode,
+    steps: usize,
+}
+
+impl Bitstream {
+    /// Packs `schedule` (over `netlist`) for a tile of `mccs` clusters in
+    /// `lut_mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule was produced for a different resource envelope
+    /// (more LUTs in a step than the tile provides) — pack the schedule you
+    /// folded for this tile.
+    pub fn pack(netlist: &Netlist, schedule: &FoldSchedule, mccs: usize, lut_mode: LutMode) -> Self {
+        let per_cluster = lut_mode.luts_per_cluster();
+        let slots = mccs * per_cluster;
+        let mut clusters = vec![
+            ClusterImage {
+                subarrays: vec![ComputeSubArray::new(); SUBARRAYS_PER_CLUSTER],
+            };
+            mccs
+        ];
+
+        for (row, step) in schedule.steps().iter().enumerate() {
+            assert!(
+                step.luts.len() <= slots,
+                "step {row} has {} LUTs but the tile provides {slots} slots",
+                step.luts.len()
+            );
+            for (slot, &lut_id) in step.luts.iter().enumerate() {
+                let NodeKind::Lut(table) = &netlist.nodes()[lut_id.index()].kind else {
+                    unreachable!("fold steps only schedule LUT nodes in their lut list");
+                };
+                let bits = expand_table(table, lut_mode.k());
+                let cluster = slot / per_cluster;
+                let within = slot % per_cluster;
+                match lut_mode {
+                    LutMode::Lut5 => {
+                        // One 32-bit table per sub-array row.
+                        let sa = within; // 4 slots -> 4 sub-arrays
+                        clusters[cluster].subarrays[sa].write_row(row, bits);
+                    }
+                    LutMode::Lut4 => {
+                        // Two 16-bit tables per sub-array row.
+                        let sa = within / 2;
+                        let half = within % 2;
+                        let old = clusters[cluster].subarrays[sa].read_row(row);
+                        let val = if half == 0 {
+                            (old & 0xFFFF_0000) | bits
+                        } else {
+                            (old & 0x0000_FFFF) | (bits << 16)
+                        };
+                        clusters[cluster].subarrays[sa].write_row(row, val);
+                    }
+                }
+            }
+            // Even an all-MAC/bus step consumes a configuration row (the
+            // address bus still steps); mark the row as used.
+            for c in &mut clusters {
+                for sa in &mut c.subarrays {
+                    let old = sa.read_row(row);
+                    sa.write_row(row, old);
+                }
+            }
+        }
+
+        Bitstream {
+            clusters,
+            lut_mode,
+            steps: schedule.len(),
+        }
+    }
+
+    /// The per-cluster images.
+    pub fn clusters(&self) -> &[ClusterImage] {
+        &self.clusters
+    }
+
+    /// Schedule steps covered.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Reads back the expanded truth-table bits of LUT `slot` at `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` or `step` is out of range.
+    pub fn lut_bits(&self, step: usize, slot: usize) -> u32 {
+        let per_cluster = self.lut_mode.luts_per_cluster();
+        let cluster = slot / per_cluster;
+        let within = slot % per_cluster;
+        match self.lut_mode {
+            LutMode::Lut5 => self.clusters[cluster].subarrays[within].read_row(step),
+            LutMode::Lut4 => {
+                let sa = within / 2;
+                let half = within % 2;
+                let row = self.clusters[cluster].subarrays[sa].read_row(step);
+                if half == 0 {
+                    row & 0xFFFF
+                } else {
+                    row >> 16
+                }
+            }
+        }
+    }
+
+    /// Total LUT configuration bytes that must be written into the compute
+    /// sub-arrays.
+    pub fn lut_config_bytes(&self) -> usize {
+        self.clusters
+            .iter()
+            .flat_map(|c| &c.subarrays)
+            .map(ComputeSubArray::bytes_used)
+            .sum()
+    }
+
+    /// Crossbar configuration bytes (stored in the tag arrays).
+    pub fn xbar_config_bytes(&self) -> usize {
+        self.steps * self.clusters.len() * XBAR_CONFIG_BYTES_PER_STEP
+    }
+
+    /// All configuration bytes the host must push through the CC Ctrl.
+    pub fn total_bytes(&self) -> usize {
+        self.lut_config_bytes() + self.xbar_config_bytes()
+    }
+
+    /// Serializes the bitstream to the on-disk/driver wire format: a small
+    /// header followed by each sub-array's used rows. This is what a host
+    /// driver would mmap and stream through the `CONFIG_DATA` register.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(1); // version
+        out.push(match self.lut_mode {
+            LutMode::Lut4 => 4,
+            LutMode::Lut5 => 5,
+        });
+        out.extend_from_slice(&(self.clusters.len() as u16).to_le_bytes());
+        out.extend_from_slice(&(self.steps as u32).to_le_bytes());
+        for cluster in &self.clusters {
+            for sa in &cluster.subarrays {
+                let used = sa.rows_used() as u32;
+                out.extend_from_slice(&used.to_le_bytes());
+                for row in 0..sa.rows_used() {
+                    out.extend_from_slice(&sa.read_row(row).to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a bitstream produced by [`Self::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive [`BitstreamParseError`] on truncated or
+    /// malformed input.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, BitstreamParseError> {
+        let mut r = Reader { data, pos: 0 };
+        let magic = r.take(MAGIC.len())?;
+        if magic != MAGIC {
+            return Err(BitstreamParseError::BadMagic);
+        }
+        let version = r.u8()?;
+        if version != 1 {
+            return Err(BitstreamParseError::UnsupportedVersion(version));
+        }
+        let lut_mode = match r.u8()? {
+            4 => LutMode::Lut4,
+            5 => LutMode::Lut5,
+            k => return Err(BitstreamParseError::BadLutMode(k)),
+        };
+        let clusters_n = r.u16()? as usize;
+        if clusters_n == 0 || clusters_n > 32 {
+            return Err(BitstreamParseError::BadClusterCount(clusters_n));
+        }
+        let steps = r.u32()? as usize;
+        let mut clusters = Vec::with_capacity(clusters_n);
+        for _ in 0..clusters_n {
+            let mut subarrays = Vec::with_capacity(SUBARRAYS_PER_CLUSTER);
+            for _ in 0..SUBARRAYS_PER_CLUSTER {
+                let used = r.u32()? as usize;
+                if used > crate::subarray::ROWS {
+                    return Err(BitstreamParseError::RowOverflow(used));
+                }
+                let mut sa = ComputeSubArray::new();
+                for row in 0..used {
+                    sa.write_row(row, r.u32()?);
+                }
+                subarrays.push(sa);
+            }
+            clusters.push(ClusterImage { subarrays });
+        }
+        if r.pos != data.len() {
+            return Err(BitstreamParseError::TrailingBytes(data.len() - r.pos));
+        }
+        Ok(Bitstream {
+            clusters,
+            lut_mode,
+            steps,
+        })
+    }
+}
+
+/// File-format magic for serialized bitstreams.
+const MAGIC: &[u8] = b"FRCB";
+
+/// Errors from [`Bitstream::from_bytes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BitstreamParseError {
+    /// Missing or wrong magic bytes.
+    BadMagic,
+    /// Unknown format version.
+    UnsupportedVersion(u8),
+    /// LUT mode byte was neither 4 nor 5.
+    BadLutMode(u8),
+    /// Cluster count outside 1..=32.
+    BadClusterCount(usize),
+    /// A sub-array claimed more rows than physically exist.
+    RowOverflow(usize),
+    /// Input ended before the declared contents.
+    Truncated,
+    /// Extra bytes after the declared contents.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for BitstreamParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BitstreamParseError::BadMagic => write!(f, "missing FRCB magic"),
+            BitstreamParseError::UnsupportedVersion(v) => {
+                write!(f, "unsupported bitstream version {v}")
+            }
+            BitstreamParseError::BadLutMode(k) => write!(f, "invalid lut mode byte {k}"),
+            BitstreamParseError::BadClusterCount(n) => write!(f, "invalid cluster count {n}"),
+            BitstreamParseError::RowOverflow(n) => {
+                write!(f, "sub-array claims {n} rows, more than physically exist")
+            }
+            BitstreamParseError::Truncated => write!(f, "bitstream truncated"),
+            BitstreamParseError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after bitstream contents")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BitstreamParseError {}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BitstreamParseError> {
+        if self.pos + n > self.data.len() {
+            return Err(BitstreamParseError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, BitstreamParseError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, BitstreamParseError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, BitstreamParseError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+/// Expands a ≤K-input table to the physical K-input LUT's 2^K bits,
+/// replicating over unused (tied) inputs.
+fn expand_table(table: &TruthTable, k: usize) -> u32 {
+    debug_assert!(table.inputs() <= k && k <= 5);
+    let mask = (1usize << table.inputs()) - 1;
+    let mut bits = 0u32;
+    for row in 0..(1usize << k) {
+        if table.eval(row & mask) {
+            bits |= 1 << row;
+        }
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freac_fold::{schedule_fold, FoldConstraints};
+    use freac_netlist::builder::CircuitBuilder;
+    use freac_netlist::techmap::{tech_map, TechMapOptions};
+
+    fn small_netlist() -> Netlist {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.word_input("a", 8);
+        let c = b.word_input("b", 8);
+        let s = b.add(&a, &c);
+        b.word_output("s", &s);
+        tech_map(&b.finish().unwrap(), TechMapOptions::lut4()).unwrap()
+    }
+
+    #[test]
+    fn pack_and_read_back() {
+        let n = small_netlist();
+        let cons = FoldConstraints::for_tile(1, LutMode::Lut4);
+        let s = schedule_fold(&n, &cons).unwrap();
+        let bs = Bitstream::pack(&n, &s, 1, LutMode::Lut4);
+        assert_eq!(bs.steps(), s.len());
+        // Every scheduled LUT's bits are recoverable from its slot.
+        for (row, step) in s.steps().iter().enumerate() {
+            for (slot, &id) in step.luts.iter().enumerate() {
+                let NodeKind::Lut(t) = &n.nodes()[id.index()].kind else {
+                    panic!("expected LUT")
+                };
+                assert_eq!(bs.lut_bits(row, slot), expand_table(t, 4));
+            }
+        }
+    }
+
+    #[test]
+    fn expand_replicates_narrow_tables() {
+        let not = TruthTable::not1();
+        let bits = expand_table(&not, 4);
+        // NOT over input 0, replicated over 3 unused inputs: rows with even
+        // index true.
+        for row in 0..16 {
+            assert_eq!((bits >> row) & 1 == 1, row % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn lut5_mode_uses_full_rows() {
+        let mut b = CircuitBuilder::new("t5");
+        let a = b.word_input("a", 4);
+        let c = b.word_input("b", 4);
+        let s = b.add(&a, &c);
+        b.word_output("s", &s);
+        let n = tech_map(&b.finish().unwrap(), TechMapOptions::lut5()).unwrap();
+        let cons = FoldConstraints::for_tile(1, LutMode::Lut5);
+        let sch = schedule_fold(&n, &cons).unwrap();
+        let bs = Bitstream::pack(&n, &sch, 1, LutMode::Lut5);
+        assert!(bs.lut_config_bytes() > 0);
+        assert_eq!(bs.clusters().len(), 1);
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let n = small_netlist();
+        let cons = FoldConstraints::for_tile(2, LutMode::Lut4);
+        let s = schedule_fold(&n, &cons).unwrap();
+        let bs = Bitstream::pack(&n, &s, 2, LutMode::Lut4);
+        let bytes = bs.to_bytes();
+        let back = Bitstream::from_bytes(&bytes).unwrap();
+        assert_eq!(back, bs);
+        assert_eq!(back.steps(), bs.steps());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        let n = small_netlist();
+        let cons = FoldConstraints::for_tile(1, LutMode::Lut4);
+        let s = schedule_fold(&n, &cons).unwrap();
+        let bs = Bitstream::pack(&n, &s, 1, LutMode::Lut4);
+        let good = bs.to_bytes();
+
+        assert_eq!(
+            Bitstream::from_bytes(b"nope"),
+            Err(BitstreamParseError::BadMagic)
+        );
+        let mut truncated = good.clone();
+        truncated.truncate(good.len() - 3);
+        assert_eq!(
+            Bitstream::from_bytes(&truncated),
+            Err(BitstreamParseError::Truncated)
+        );
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(
+            Bitstream::from_bytes(&trailing),
+            Err(BitstreamParseError::TrailingBytes(1))
+        );
+        let mut bad_version = good.clone();
+        bad_version[4] = 9;
+        assert_eq!(
+            Bitstream::from_bytes(&bad_version),
+            Err(BitstreamParseError::UnsupportedVersion(9))
+        );
+        let mut bad_mode = good;
+        bad_mode[5] = 7;
+        assert_eq!(
+            Bitstream::from_bytes(&bad_mode),
+            Err(BitstreamParseError::BadLutMode(7))
+        );
+    }
+
+    #[test]
+    fn config_bytes_scale_with_steps_and_clusters() {
+        let n = small_netlist();
+        let c1 = FoldConstraints::for_tile(1, LutMode::Lut4);
+        let s1 = schedule_fold(&n, &c1).unwrap();
+        let b1 = Bitstream::pack(&n, &s1, 1, LutMode::Lut4);
+        let c4 = FoldConstraints::for_tile(4, LutMode::Lut4);
+        let s4 = schedule_fold(&n, &c4).unwrap();
+        let b4 = Bitstream::pack(&n, &s4, 4, LutMode::Lut4);
+        // The 4-cluster tile folds less (fewer steps) but spreads over more
+        // sub-arrays.
+        assert!(s4.len() <= s1.len());
+        assert_eq!(b1.xbar_config_bytes(), s1.len() * XBAR_CONFIG_BYTES_PER_STEP);
+        assert_eq!(b4.xbar_config_bytes(), s4.len() * 4 * XBAR_CONFIG_BYTES_PER_STEP);
+        assert!(b1.total_bytes() > 0 && b4.total_bytes() > 0);
+    }
+}

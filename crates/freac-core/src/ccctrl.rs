@@ -1,0 +1,396 @@
+//! The compute cluster controller (CC Ctrl) and its memory-mapped host
+//! interface.
+//!
+//! FReaC Cache deliberately avoids ISA changes: the host drives the
+//! accelerator with plain loads and stores to a reserved per-slice address
+//! range (paper Sec. III-C, Fig. 5). This module implements that register
+//! file and the six-step offload protocol as an explicit state machine —
+//! select ways, flush, lock, write configuration, fill scratchpad, run —
+//! accumulating the setup time of each phase.
+
+use freac_cache::{flush::flush_ways_time, LlcGeometry};
+use freac_sim::{ClockDomain, DramModel, Time};
+
+use crate::error::CoreError;
+use crate::partition::SlicePartition;
+
+/// Register offsets within the reserved range (byte addresses).
+pub mod regs {
+    /// Write: encoded way selection (see [`super::encode_ways`]).
+    pub const SELECT: u64 = 0x00;
+    /// Write 1: flush the selected ways.
+    pub const FLUSH: u64 = 0x08;
+    /// Write 1: lock the selected ways into compute/scratchpad mode.
+    pub const LOCK: u64 = 0x10;
+    /// Write (streaming): configuration words for the compute sub-arrays
+    /// and tag-array crossbar store.
+    pub const CONFIG_DATA: u64 = 0x18;
+    /// Write (streaming): scratchpad fill words.
+    pub const SPAD_FILL: u64 = 0x20;
+    /// Write: accelerator base-address offset.
+    pub const OFFSET: u64 = 0x28;
+    /// Write 1: start the accelerators; read: 1 while running.
+    pub const RUN: u64 = 0x30;
+    /// Read: current state code.
+    pub const STATUS: u64 = 0x38;
+}
+
+/// Encodes a partition into the SELECT register format.
+pub fn encode_ways(p: &SlicePartition) -> u64 {
+    (p.compute_ways() as u64) | ((p.scratchpad_ways() as u64) << 8) | ((p.cache_ways() as u64) << 16)
+}
+
+/// Decodes the SELECT register format.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadPartition`] if the encoded split is invalid.
+pub fn decode_ways(v: u64) -> Result<SlicePartition, CoreError> {
+    SlicePartition::new(
+        (v & 0xFF) as usize,
+        ((v >> 8) & 0xFF) as usize,
+        ((v >> 16) & 0xFF) as usize,
+    )
+}
+
+/// Protocol state of the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlState {
+    /// Power-on: the slice is all cache.
+    Idle,
+    /// Ways selected, not yet flushed.
+    Selected,
+    /// Selected ways flushed of dirty lines.
+    Flushed,
+    /// Ways locked into compute/scratchpad mode.
+    Locked,
+    /// Configuration loaded; scratchpad may be filled.
+    Configured,
+    /// Accelerators running.
+    Running,
+    /// Run complete; results may be read back, or new data/config loaded.
+    Done,
+}
+
+impl CtrlState {
+    fn name(self) -> &'static str {
+        match self {
+            CtrlState::Idle => "idle",
+            CtrlState::Selected => "selected",
+            CtrlState::Flushed => "flushed",
+            CtrlState::Locked => "locked",
+            CtrlState::Configured => "configured",
+            CtrlState::Running => "running",
+            CtrlState::Done => "done",
+        }
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            CtrlState::Idle => 0,
+            CtrlState::Selected => 1,
+            CtrlState::Flushed => 2,
+            CtrlState::Locked => 3,
+            CtrlState::Configured => 4,
+            CtrlState::Running => 5,
+            CtrlState::Done => 6,
+        }
+    }
+}
+
+/// Setup-time accounting of the offload flow, in picoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SetupTiming {
+    /// Flushing dirty lines from the selected ways (bounded by DRAM
+    /// bandwidth).
+    pub flush_ps: Time,
+    /// Streaming the configuration bitstream into sub-arrays/tag arrays.
+    pub config_ps: Time,
+    /// Filling the scratchpad with the working set.
+    pub fill_ps: Time,
+}
+
+impl SetupTiming {
+    /// Total setup time.
+    pub fn total_ps(&self) -> Time {
+        self.flush_ps + self.config_ps + self.fill_ps
+    }
+}
+
+/// The per-slice compute cluster controller.
+#[derive(Debug, Clone)]
+pub struct CcCtrl {
+    state: CtrlState,
+    partition: Option<SlicePartition>,
+    geometry: LlcGeometry,
+    clock: ClockDomain,
+    config_bytes: u64,
+    fill_bytes: u64,
+    timing: SetupTiming,
+    /// Fraction of lines assumed dirty when flushing (worst case 1.0).
+    dirty_fraction: f64,
+}
+
+impl CcCtrl {
+    /// A controller for one slice of the paper's LLC, assuming
+    /// `dirty_fraction` of flushed lines are dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dirty_fraction` is outside `[0, 1]`.
+    pub fn new(dirty_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&dirty_fraction));
+        CcCtrl {
+            state: CtrlState::Idle,
+            partition: None,
+            geometry: LlcGeometry::paper_edge(),
+            clock: ClockDomain::cache_4ghz(),
+            config_bytes: 0,
+            fill_bytes: 0,
+            timing: SetupTiming::default(),
+            dirty_fraction,
+        }
+    }
+
+    /// Current protocol state.
+    pub fn state(&self) -> CtrlState {
+        self.state
+    }
+
+    /// The active partition, once selected.
+    pub fn partition(&self) -> Option<SlicePartition> {
+        self.partition
+    }
+
+    /// Accumulated setup timing.
+    pub fn timing(&self) -> SetupTiming {
+        self.timing
+    }
+
+    /// Handles a host store to a controller register.
+    ///
+    /// Streaming registers (`CONFIG_DATA`, `SPAD_FILL`) interpret `value`
+    /// as a byte count for bulk writes, letting the driver model a burst of
+    /// stores with one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns protocol violations and unmapped-address errors.
+    pub fn store(&mut self, addr: u64, value: u64, dram: &DramModel) -> Result<(), CoreError> {
+        match addr {
+            regs::SELECT => {
+                self.require(&[CtrlState::Idle, CtrlState::Done], "select")?;
+                self.partition = Some(decode_ways(value)?);
+                self.state = CtrlState::Selected;
+                Ok(())
+            }
+            regs::FLUSH => {
+                self.require(&[CtrlState::Selected], "flush")?;
+                let p = self.partition.expect("selected state implies partition");
+                let ways = p.compute_ways() + p.scratchpad_ways();
+                self.timing.flush_ps +=
+                    flush_ways_time(&self.geometry, ways, self.dirty_fraction, dram);
+                self.state = CtrlState::Flushed;
+                Ok(())
+            }
+            regs::LOCK => {
+                self.require(&[CtrlState::Flushed], "lock")?;
+                self.state = CtrlState::Locked;
+                Ok(())
+            }
+            regs::CONFIG_DATA => {
+                self.require(&[CtrlState::Locked, CtrlState::Configured, CtrlState::Done], "configure")?;
+                self.config_bytes += value;
+                self.timing.config_ps += self.config_write_time(value);
+                self.state = CtrlState::Configured;
+                Ok(())
+            }
+            regs::SPAD_FILL => {
+                self.require(&[CtrlState::Configured, CtrlState::Done], "fill scratchpad")?;
+                let p = self.partition.expect("configured state implies partition");
+                if p.scratchpad_ways() == 0 {
+                    return Err(CoreError::BadPartition {
+                        reason: "cannot fill a scratchpad with zero ways".into(),
+                    });
+                }
+                self.fill_bytes += value;
+                let spad = crate::scratchpad::ScratchpadModel::new(p.scratchpad_ways(), self.clock);
+                self.timing.fill_ps += spad.fill_time_ps(value);
+                Ok(())
+            }
+            regs::OFFSET => {
+                self.require(&[CtrlState::Configured, CtrlState::Done], "set offset")?;
+                Ok(())
+            }
+            regs::RUN => {
+                self.require(&[CtrlState::Configured, CtrlState::Done], "run")?;
+                self.state = CtrlState::Running;
+                Ok(())
+            }
+            other => Err(CoreError::UnmappedAddress(other)),
+        }
+    }
+
+    /// Handles a host load from a controller register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnmappedAddress`] for non-register addresses.
+    pub fn load(&self, addr: u64) -> Result<u64, CoreError> {
+        match addr {
+            regs::STATUS => Ok(self.state.code()),
+            regs::RUN => Ok(u64::from(self.state == CtrlState::Running)),
+            regs::SELECT => Ok(self.partition.map_or(0, |p| encode_ways(&p))),
+            other => Err(CoreError::UnmappedAddress(other)),
+        }
+    }
+
+    /// Marks the running accelerators complete (driven by the execution
+    /// model once the kernel time elapses).
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol violation unless running.
+    pub fn complete_run(&mut self) -> Result<(), CoreError> {
+        self.require(&[CtrlState::Running], "complete")?;
+        self.state = CtrlState::Done;
+        Ok(())
+    }
+
+    /// Configuration bytes streamed so far.
+    pub fn config_bytes(&self) -> u64 {
+        self.config_bytes
+    }
+
+    /// Scratchpad bytes filled so far.
+    pub fn fill_bytes(&self) -> u64 {
+        self.fill_bytes
+    }
+
+    /// Time to stream `bytes` of configuration: the CC Ctrl writes via the
+    /// existing data buses, 4 bytes per cycle per converted way pair.
+    fn config_write_time(&self, bytes: u64) -> Time {
+        let pairs = self
+            .partition
+            .map_or(1, |p| (p.compute_ways() / 2).max(1)) as u64;
+        let cycles = bytes.div_ceil(4 * pairs);
+        self.clock.cycles_to_time(cycles)
+    }
+
+    fn require(&self, allowed: &[CtrlState], operation: &'static str) -> Result<(), CoreError> {
+        if allowed.contains(&self.state) {
+            Ok(())
+        } else {
+            Err(CoreError::ProtocolViolation {
+                operation,
+                state: self.state.name(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> DramModel {
+        DramModel::ddr4_2400_x4()
+    }
+
+    fn drive_to_configured(ctrl: &mut CcCtrl) {
+        let d = dram();
+        let p = SlicePartition::end_to_end();
+        ctrl.store(regs::SELECT, encode_ways(&p), &d).unwrap();
+        ctrl.store(regs::FLUSH, 1, &d).unwrap();
+        ctrl.store(regs::LOCK, 1, &d).unwrap();
+        ctrl.store(regs::CONFIG_DATA, 64 * 1024, &d).unwrap();
+    }
+
+    #[test]
+    fn happy_path_flow() {
+        let mut c = CcCtrl::new(0.5);
+        drive_to_configured(&mut c);
+        assert_eq!(c.state(), CtrlState::Configured);
+        let d = dram();
+        c.store(regs::SPAD_FILL, 128 * 1024, &d).unwrap();
+        c.store(regs::RUN, 1, &d).unwrap();
+        assert_eq!(c.load(regs::RUN).unwrap(), 1);
+        c.complete_run().unwrap();
+        assert_eq!(c.state(), CtrlState::Done);
+        let t = c.timing();
+        assert!(t.flush_ps > 0);
+        assert!(t.config_ps > 0);
+        assert!(t.fill_ps > 0);
+        assert_eq!(t.total_ps(), t.flush_ps + t.config_ps + t.fill_ps);
+    }
+
+    #[test]
+    fn run_before_configure_rejected() {
+        let mut c = CcCtrl::new(0.0);
+        let d = dram();
+        assert!(matches!(
+            c.store(regs::RUN, 1, &d),
+            Err(CoreError::ProtocolViolation { operation: "run", .. })
+        ));
+    }
+
+    #[test]
+    fn flush_requires_selection() {
+        let mut c = CcCtrl::new(0.0);
+        let d = dram();
+        assert!(c.store(regs::FLUSH, 1, &d).is_err());
+    }
+
+    #[test]
+    fn unmapped_address() {
+        let mut c = CcCtrl::new(0.0);
+        let d = dram();
+        assert!(matches!(
+            c.store(0x1000, 0, &d),
+            Err(CoreError::UnmappedAddress(0x1000))
+        ));
+        assert!(c.load(0x999).is_err());
+    }
+
+    #[test]
+    fn clean_flush_is_free() {
+        let mut c = CcCtrl::new(0.0);
+        let d = dram();
+        let p = SlicePartition::max_compute();
+        c.store(regs::SELECT, encode_ways(&p), &d).unwrap();
+        c.store(regs::FLUSH, 1, &d).unwrap();
+        assert_eq!(c.timing().flush_ps, 0);
+    }
+
+    #[test]
+    fn reconfiguration_after_done() {
+        let mut c = CcCtrl::new(0.0);
+        drive_to_configured(&mut c);
+        let d = dram();
+        c.store(regs::RUN, 1, &d).unwrap();
+        c.complete_run().unwrap();
+        // Steps 4-6 can repeat without re-flushing (paper Fig. 5).
+        c.store(regs::CONFIG_DATA, 1024, &d).unwrap();
+        c.store(regs::SPAD_FILL, 2048, &d).unwrap();
+        c.store(regs::RUN, 1, &d).unwrap();
+        assert_eq!(c.state(), CtrlState::Running);
+    }
+
+    #[test]
+    fn ways_encoding_round_trips() {
+        let p = SlicePartition::new(8, 10, 2).unwrap();
+        let dec = decode_ways(encode_ways(&p)).unwrap();
+        assert_eq!(dec, p);
+        assert!(decode_ways(0xFF).is_err());
+    }
+
+    #[test]
+    fn status_codes_progress() {
+        let mut c = CcCtrl::new(0.0);
+        let d = dram();
+        assert_eq!(c.load(regs::STATUS).unwrap(), 0);
+        let p = SlicePartition::balanced();
+        c.store(regs::SELECT, encode_ways(&p), &d).unwrap();
+        assert_eq!(c.load(regs::STATUS).unwrap(), 1);
+    }
+}

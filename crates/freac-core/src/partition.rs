@@ -1,0 +1,216 @@
+//! Slice partitioning: ways split between compute, scratchpad, and cache.
+//!
+//! FReaC Cache converts ways on demand (paper Sec. III-C, Fig. 7a): a
+//! partition assigns each of a slice's 20 ways to one of three roles.
+//! Compute ways convert in pairs (each pair of ways forms four MCCs).
+
+use freac_cache::LlcGeometry;
+
+use crate::error::CoreError;
+
+/// How one slice's ways are divided.
+///
+/// ```
+/// use freac_core::SlicePartition;
+///
+/// // The paper's end-to-end split: 16 MCCs, 640 KB scratchpad, 128 KB cache.
+/// let p = SlicePartition::new(8, 10, 2)?;
+/// assert_eq!(p.mccs(), 16);
+/// assert_eq!(p.scratchpad_bytes(), 640 * 1024);
+/// # Ok::<(), freac_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlicePartition {
+    compute_ways: usize,
+    scratchpad_ways: usize,
+    cache_ways: usize,
+}
+
+impl SlicePartition {
+    /// Creates a partition of a 20-way slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadPartition`] if the ways do not sum to the
+    /// slice associativity or compute ways are not paired.
+    pub fn new(
+        compute_ways: usize,
+        scratchpad_ways: usize,
+        cache_ways: usize,
+    ) -> Result<Self, CoreError> {
+        Self::for_geometry(
+            &LlcGeometry::paper_edge(),
+            compute_ways,
+            scratchpad_ways,
+            cache_ways,
+        )
+    }
+
+    /// Creates a partition validated against an explicit geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadPartition`] on any constraint violation.
+    pub fn for_geometry(
+        geometry: &LlcGeometry,
+        compute_ways: usize,
+        scratchpad_ways: usize,
+        cache_ways: usize,
+    ) -> Result<Self, CoreError> {
+        let total = compute_ways + scratchpad_ways + cache_ways;
+        if total != geometry.ways {
+            return Err(CoreError::BadPartition {
+                reason: format!(
+                    "ways sum to {total} but the slice has {} ways",
+                    geometry.ways
+                ),
+            });
+        }
+        if compute_ways % 2 != 0 {
+            return Err(CoreError::BadPartition {
+                reason: format!("compute ways must be even (got {compute_ways})"),
+            });
+        }
+        if compute_ways > 16 {
+            return Err(CoreError::BadPartition {
+                reason: format!(
+                    "at most 16 ways (32 MCCs) may be converted to compute, got {compute_ways}"
+                ),
+            });
+        }
+        Ok(SlicePartition {
+            compute_ways,
+            scratchpad_ways,
+            cache_ways,
+        })
+    }
+
+    /// The paper's maximum-compute split: 32 MCCs + 256 KB scratchpad
+    /// (16 compute ways, 4 scratchpad ways, no cache).
+    pub fn max_compute() -> Self {
+        SlicePartition::new(16, 4, 0).expect("paper configuration is valid")
+    }
+
+    /// The paper's balanced split: 16 MCCs + 768 KB scratchpad.
+    pub fn balanced() -> Self {
+        SlicePartition::new(8, 12, 0).expect("paper configuration is valid")
+    }
+
+    /// The end-to-end evaluation split (Sec. V-C): two ways (128 KB) left as
+    /// cache, 16 MCCs, 640 KB scratchpad.
+    pub fn end_to_end() -> Self {
+        SlicePartition::new(8, 10, 2).expect("paper configuration is valid")
+    }
+
+    /// Ways converted to compute.
+    pub fn compute_ways(&self) -> usize {
+        self.compute_ways
+    }
+
+    /// Ways locked as scratchpad.
+    pub fn scratchpad_ways(&self) -> usize {
+        self.scratchpad_ways
+    }
+
+    /// Ways left operating as cache.
+    pub fn cache_ways(&self) -> usize {
+        self.cache_ways
+    }
+
+    /// Micro compute clusters this partition provides.
+    pub fn mccs(&self) -> usize {
+        LlcGeometry::paper_edge().mccs_for_ways(self.compute_ways)
+    }
+
+    /// Scratchpad capacity in bytes.
+    pub fn scratchpad_bytes(&self) -> u64 {
+        LlcGeometry::paper_edge().scratchpad_bytes(self.scratchpad_ways) as u64
+    }
+
+    /// Remaining cache capacity in bytes.
+    pub fn cache_bytes(&self) -> u64 {
+        LlcGeometry::paper_edge().scratchpad_bytes(self.cache_ways) as u64
+    }
+
+    /// Sweep of all valid compute/scratchpad splits with `cache_ways` held
+    /// fixed, from compute-heavy to memory-heavy (the Fig. 9 x-axis).
+    pub fn sweep(cache_ways: usize) -> Vec<SlicePartition> {
+        let g = LlcGeometry::paper_edge();
+        let mut out = Vec::new();
+        let free = g.ways - cache_ways;
+        let mut c = 16.min(free - free % 2);
+        loop {
+            if c == 0 {
+                break;
+            }
+            if let Ok(p) = SlicePartition::new(c, free - c, cache_ways) {
+                out.push(p);
+            }
+            if c < 2 {
+                break;
+            }
+            c -= 2;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_presets() {
+        let p = SlicePartition::max_compute();
+        assert_eq!(p.mccs(), 32);
+        assert_eq!(p.scratchpad_bytes(), 256 * 1024);
+        let b = SlicePartition::balanced();
+        assert_eq!(b.mccs(), 16);
+        assert_eq!(b.scratchpad_bytes(), 768 * 1024);
+        let e = SlicePartition::end_to_end();
+        assert_eq!(e.mccs(), 16);
+        assert_eq!(e.scratchpad_bytes(), 640 * 1024);
+        assert_eq!(e.cache_bytes(), 128 * 1024);
+    }
+
+    #[test]
+    fn fig9_extremes() {
+        // 16c/4m and 2c/18m from Sec. V-B.
+        let hi = SlicePartition::new(16, 4, 0).unwrap();
+        assert_eq!(hi.mccs(), 32);
+        let lo = SlicePartition::new(2, 18, 0).unwrap();
+        assert_eq!(lo.mccs(), 4);
+        assert_eq!(lo.scratchpad_bytes(), 1152 * 1024); // ~1.1 MB
+    }
+
+    #[test]
+    fn invalid_partitions_rejected() {
+        assert!(SlicePartition::new(16, 4, 4).is_err()); // sums to 24
+        assert!(SlicePartition::new(3, 17, 0).is_err()); // odd compute
+        assert!(SlicePartition::new(18, 2, 0).is_err()); // > 16 compute ways
+    }
+
+    #[test]
+    fn sweep_covers_fig9_range() {
+        let s = SlicePartition::sweep(0);
+        assert_eq!(s.first().unwrap().compute_ways(), 16);
+        assert_eq!(s.last().unwrap().compute_ways(), 2);
+        assert_eq!(s.len(), 8); // 16,14,12,10,8,6,4,2
+        for p in &s {
+            assert_eq!(p.cache_ways(), 0);
+        }
+    }
+
+    #[test]
+    fn sweep_with_reserved_cache() {
+        let s = SlicePartition::sweep(2);
+        for p in &s {
+            assert_eq!(p.cache_ways(), 2);
+            assert_eq!(
+                p.compute_ways() + p.scratchpad_ways(),
+                18,
+                "free ways fully used"
+            );
+        }
+    }
+}

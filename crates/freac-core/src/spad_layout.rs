@@ -1,0 +1,170 @@
+//! Scratchpad address layout.
+//!
+//! Scratchpad data "uses the existing cache line mapping" (paper
+//! Sec. III-D): a byte offset into the scratchpad lands in a specific
+//! locked way, data array (quadrant), sub-array, and row. The layout
+//! matters for banking: consecutive cache lines rotate across the locked
+//! ways, so streaming fills engage every way's port, while the words
+//! within one line live in one row of one sub-array pair.
+
+use freac_cache::LlcGeometry;
+
+use crate::error::CoreError;
+use crate::partition::SlicePartition;
+
+/// Where a scratchpad byte lives physically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpadLocation {
+    /// Index among the partition's locked scratchpad ways (0-based).
+    pub way_slot: usize,
+    /// Data array within the way (quadrant, 0..4).
+    pub data_array: usize,
+    /// Sub-array within the data array (0..2).
+    pub subarray: usize,
+    /// 32-bit row within the sub-array.
+    pub row: usize,
+    /// Byte within the 4-byte row.
+    pub byte_in_row: usize,
+}
+
+/// The scratchpad layout of one slice's locked ways.
+#[derive(Debug, Clone, Copy)]
+pub struct ScratchpadLayout {
+    geometry: LlcGeometry,
+    ways: usize,
+}
+
+impl ScratchpadLayout {
+    /// The layout for a partition's scratchpad ways.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadPartition`] if the partition has no
+    /// scratchpad ways.
+    pub fn new(partition: &SlicePartition) -> Result<Self, CoreError> {
+        if partition.scratchpad_ways() == 0 {
+            return Err(CoreError::BadPartition {
+                reason: "partition has no scratchpad ways to lay out".into(),
+            });
+        }
+        Ok(ScratchpadLayout {
+            geometry: LlcGeometry::paper_edge(),
+            ways: partition.scratchpad_ways(),
+        })
+    }
+
+    /// Scratchpad capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.geometry.scratchpad_bytes(self.ways)
+    }
+
+    /// Maps a scratchpad byte offset to its physical location.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnmappedAddress`] past the capacity.
+    pub fn locate(&self, offset: u64) -> Result<SpadLocation, CoreError> {
+        if offset >= self.capacity_bytes() as u64 {
+            return Err(CoreError::UnmappedAddress(offset));
+        }
+        let line_bytes = self.geometry.line_bytes as u64;
+        let line = offset / line_bytes;
+        let within_line = (offset % line_bytes) as usize;
+
+        // Cache-line mapping: consecutive lines rotate across the locked
+        // ways; within a way, lines fill sets (rows) in order.
+        let way_slot = (line % self.ways as u64) as usize;
+        let set = (line / self.ways as u64) as usize;
+
+        // A 64-byte line spans the way's 4 data arrays (16 bytes each);
+        // each data array contributes its two sub-arrays' 32-bit ports.
+        let data_array = within_line / 16;
+        let within_da = within_line % 16;
+        let subarray = (within_da / 4) % 2;
+        let beat = within_da / 8; // two 8-byte beats per data array
+        let rows_per_set = 2; // 16 bytes via 2 ports x 2 beats
+        let row = set * rows_per_set + beat;
+        Ok(SpadLocation {
+            way_slot,
+            data_array,
+            subarray,
+            row,
+            byte_in_row: within_da % 4,
+        })
+    }
+
+    /// The ways engaged by a sequential transfer of `bytes` starting at
+    /// offset 0 — streaming bandwidth scales with this count.
+    pub fn ways_engaged(&self, bytes: u64) -> usize {
+        let lines = bytes.div_ceil(self.geometry.line_bytes as u64);
+        (lines as usize).min(self.ways)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> ScratchpadLayout {
+        ScratchpadLayout::new(&SlicePartition::end_to_end()).unwrap()
+    }
+
+    #[test]
+    fn capacity_matches_partition() {
+        let l = layout();
+        assert_eq!(l.capacity_bytes(), 640 * 1024);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let l = layout();
+        assert!(l.locate(640 * 1024).is_err());
+        assert!(l.locate(0).is_ok());
+    }
+
+    #[test]
+    fn consecutive_lines_rotate_across_ways() {
+        let l = layout();
+        for line in 0..20u64 {
+            let loc = l.locate(line * 64).unwrap();
+            assert_eq!(loc.way_slot, (line % 10) as usize);
+        }
+        assert_eq!(l.ways_engaged(64), 1);
+        assert_eq!(l.ways_engaged(10 * 64), 10);
+        assert_eq!(l.ways_engaged(1 << 20), 10);
+    }
+
+    #[test]
+    fn mapping_is_injective() {
+        let l = layout();
+        let mut seen = std::collections::HashSet::new();
+        for offset in 0..(4096u64) {
+            let loc = l.locate(offset).unwrap();
+            assert!(
+                seen.insert((loc.way_slot, loc.data_array, loc.subarray, loc.row, loc.byte_in_row)),
+                "collision at offset {offset}: {loc:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fields_stay_in_physical_bounds() {
+        let l = layout();
+        let g = LlcGeometry::paper_edge();
+        let rows = g.subarray_bytes() / 4;
+        for offset in (0..l.capacity_bytes() as u64).step_by(4093) {
+            let loc = l.locate(offset).unwrap();
+            assert!(loc.way_slot < 10);
+            assert!(loc.data_array < g.data_arrays_per_way);
+            assert!(loc.subarray < g.subarrays_per_data_array);
+            assert!(loc.row < rows, "row {} at {offset}", loc.row);
+            assert!(loc.byte_in_row < 4);
+        }
+    }
+
+    #[test]
+    fn no_scratchpad_is_an_error() {
+        let p = SlicePartition::new(16, 0, 4).unwrap();
+        assert!(ScratchpadLayout::new(&p).is_err());
+    }
+}

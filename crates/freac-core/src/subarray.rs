@@ -1,0 +1,108 @@
+//! Compute sub-arrays: 8 KB data sub-arrays repurposed as LUT configuration
+//! memory.
+//!
+//! Each fold step reads one 32-bit row, which carries either one 5-LUT
+//! truth table or two 4-LUT tables (paper Sec. III-A, Fig. 4b). Rows are
+//! stored at sequential addresses so the CC Ctrl can step through the
+//! schedule by incrementing the shared address bus.
+
+/// Rows in an 8 KB sub-array with a 32-bit port.
+pub const ROWS: usize = 8 * 1024 * 8 / 32;
+
+/// One compute sub-array's configuration image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComputeSubArray {
+    rows: Vec<u32>,
+    used: usize,
+}
+
+impl Default for ComputeSubArray {
+    fn default() -> Self {
+        ComputeSubArray::new()
+    }
+}
+
+impl ComputeSubArray {
+    /// An empty (all-zero) sub-array.
+    pub fn new() -> Self {
+        ComputeSubArray {
+            rows: vec![0; ROWS],
+            used: 0,
+        }
+    }
+
+    /// Writes `value` at `row`, extending the used region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= ROWS`.
+    pub fn write_row(&mut self, row: usize, value: u32) {
+        assert!(row < ROWS, "row {row} out of range");
+        self.rows[row] = value;
+        self.used = self.used.max(row + 1);
+    }
+
+    /// Reads the row addressed by a fold step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= ROWS`.
+    pub fn read_row(&self, row: usize) -> u32 {
+        assert!(row < ROWS, "row {row} out of range");
+        self.rows[row]
+    }
+
+    /// Rows holding configuration data.
+    pub fn rows_used(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes of configuration held.
+    pub fn bytes_used(&self) -> usize {
+        self.used * 4
+    }
+
+    /// Clears all rows.
+    pub fn clear(&mut self) {
+        self.rows.fill(0);
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_capacity_matches_fold_limit() {
+        assert_eq!(ROWS, 2048);
+        assert_eq!(ROWS, freac_fold::constraints::CONFIG_ROWS_PER_SUBARRAY);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut s = ComputeSubArray::new();
+        s.write_row(0, 0xDEAD_BEEF);
+        s.write_row(100, 42);
+        assert_eq!(s.read_row(0), 0xDEAD_BEEF);
+        assert_eq!(s.read_row(100), 42);
+        assert_eq!(s.read_row(50), 0);
+        assert_eq!(s.rows_used(), 101);
+        assert_eq!(s.bytes_used(), 404);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = ComputeSubArray::new();
+        s.write_row(5, 1);
+        s.clear();
+        assert_eq!(s.rows_used(), 0);
+        assert_eq!(s.read_row(5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_write_panics() {
+        ComputeSubArray::new().write_row(ROWS, 0);
+    }
+}

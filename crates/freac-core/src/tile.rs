@@ -1,0 +1,121 @@
+//! Accelerator tiles: groups of micro compute clusters.
+//!
+//! A tile of one MCC uses only cluster-local routing and runs at the 4 GHz
+//! cache clock; tiles of 16 or more MCCs need the switch-box fabric's
+//! longest paths and drop to 3 GHz (paper Sec. V-A/B).
+
+use freac_fold::{FoldConstraints, LutMode};
+use freac_sim::ClockDomain;
+
+use crate::error::CoreError;
+
+/// Tile sizes at or above this many MCCs run on the slower 3 GHz clock.
+pub const LARGE_TILE_THRESHOLD: usize = 16;
+
+/// A group of 1..=32 micro compute clusters acting as one accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcceleratorTile {
+    mccs: usize,
+    lut_mode: LutMode,
+}
+
+impl AcceleratorTile {
+    /// A tile of `mccs` clusters in the default 4-LUT mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadTileSize`] outside 1..=32.
+    pub fn new(mccs: usize) -> Result<Self, CoreError> {
+        AcceleratorTile::with_mode(mccs, LutMode::Lut4)
+    }
+
+    /// A tile of `mccs` clusters in an explicit LUT mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadTileSize`] outside 1..=32.
+    pub fn with_mode(mccs: usize, lut_mode: LutMode) -> Result<Self, CoreError> {
+        if !(1..=32).contains(&mccs) {
+            return Err(CoreError::BadTileSize(mccs));
+        }
+        Ok(AcceleratorTile { mccs, lut_mode })
+    }
+
+    /// Clusters in the tile.
+    pub fn mccs(&self) -> usize {
+        self.mccs
+    }
+
+    /// LUT mode.
+    pub fn lut_mode(&self) -> LutMode {
+        self.lut_mode
+    }
+
+    /// The clock this tile runs at (4 GHz for small tiles, 3 GHz at or
+    /// above [`LARGE_TILE_THRESHOLD`] MCCs).
+    pub fn clock(&self) -> ClockDomain {
+        if self.mccs >= LARGE_TILE_THRESHOLD {
+            ClockDomain::tile_3ghz()
+        } else {
+            ClockDomain::cache_4ghz()
+        }
+    }
+
+    /// The per-step resource envelope for folding onto this tile.
+    pub fn fold_constraints(&self) -> FoldConstraints {
+        FoldConstraints::for_tile(self.mccs, self.lut_mode)
+    }
+
+    /// How many of these tiles fit in a partition providing `mccs`
+    /// clusters.
+    pub fn tiles_in(&self, mccs: usize) -> usize {
+        mccs / self.mccs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_selection() {
+        assert_eq!(
+            AcceleratorTile::new(1).unwrap().clock(),
+            ClockDomain::cache_4ghz()
+        );
+        assert_eq!(
+            AcceleratorTile::new(8).unwrap().clock(),
+            ClockDomain::cache_4ghz()
+        );
+        assert_eq!(
+            AcceleratorTile::new(16).unwrap().clock(),
+            ClockDomain::tile_3ghz()
+        );
+        assert_eq!(
+            AcceleratorTile::new(32).unwrap().clock(),
+            ClockDomain::tile_3ghz()
+        );
+    }
+
+    #[test]
+    fn constraints_scale_with_size() {
+        let t = AcceleratorTile::new(4).unwrap();
+        let c = t.fold_constraints();
+        assert_eq!(c.luts_per_step, 32);
+        assert_eq!(c.macs_per_step, 4);
+    }
+
+    #[test]
+    fn tiles_in_partition() {
+        let t = AcceleratorTile::new(8).unwrap();
+        assert_eq!(t.tiles_in(32), 4);
+        assert_eq!(t.tiles_in(16), 2);
+        assert_eq!(t.tiles_in(4), 0);
+    }
+
+    #[test]
+    fn bad_sizes() {
+        assert!(AcceleratorTile::new(0).is_err());
+        assert!(AcceleratorTile::new(33).is_err());
+    }
+}

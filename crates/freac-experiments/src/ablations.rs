@@ -1,0 +1,359 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! The paper fixes several architectural parameters (4-LUT mode, the 3 GHz
+//! large-tile clock, VTR-style netlists, criticality-driven folding,
+//! mostly-inclusive caching). Each ablation here isolates one of them and
+//! quantifies what it is worth.
+
+use freac_cache::{HierarchyConfig, MemoryHierarchy};
+use freac_core::{Accelerator, AcceleratorTile};
+use freac_fold::{schedule_fold_with, LutMode, SchedulePolicy};
+use freac_kernels::{all_kernels, kernel, KernelId};
+use freac_netlist::opt::pack_luts;
+use freac_netlist::techmap::{tech_map, TechMapOptions};
+
+use crate::render::TextTable;
+
+/// Fold cycles per kernel for 4-LUT vs 5-LUT cluster modes (tile size 1).
+///
+/// A 5-LUT absorbs more logic per table but a cluster only fits four of
+/// them per step versus eight 4-LUTs; which wins is circuit-dependent.
+#[derive(Debug, Clone)]
+pub struct LutModeAblation {
+    /// `(kernel, folds in 4-LUT mode, folds in 5-LUT mode)`.
+    pub rows: Vec<(KernelId, usize, usize)>,
+}
+
+/// Runs the LUT-mode ablation.
+pub fn lut_mode() -> LutModeAblation {
+    let rows = all_kernels()
+        .into_iter()
+        .map(|id| {
+            let circuit = kernel(id).circuit();
+            let folds = |mode: LutMode| {
+                let tile = AcceleratorTile::with_mode(1, mode).expect("tile 1 is valid");
+                Accelerator::map(&circuit, &tile)
+                    .expect("kernel circuits map in both modes")
+                    .fold_cycles()
+            };
+            (id, folds(LutMode::Lut4), folds(LutMode::Lut5))
+        })
+        .collect();
+    LutModeAblation { rows }
+}
+
+impl LutModeAblation {
+    /// Renders the ablation.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Ablation: 4-LUT vs 5-LUT cluster mode (fold cycles, tile size 1)",
+            &["kernel", "LUT4", "LUT5", "LUT5/LUT4"],
+        );
+        for &(id, f4, f5) in &self.rows {
+            t.row(vec![
+                id.name().to_owned(),
+                f4.to_string(),
+                f5.to_string(),
+                format!("{:.2}", f5 as f64 / f4 as f64),
+            ]);
+        }
+        t
+    }
+}
+
+/// What the 3 GHz large-tile clock costs: kernel cycles at tile 16 run at
+/// 3 GHz (real) vs a counterfactual 4 GHz fabric.
+#[derive(Debug, Clone)]
+pub struct ClockPenaltyAblation {
+    /// `(kernel, folds at tile 16, real time ps-per-item, counterfactual
+    /// ps-per-item)`.
+    pub rows: Vec<(KernelId, usize, f64, f64)>,
+}
+
+/// Runs the clock-penalty ablation.
+pub fn clock_penalty() -> ClockPenaltyAblation {
+    let rows = all_kernels()
+        .into_iter()
+        .map(|id| {
+            let k = kernel(id);
+            let w = k.workload(freac_kernels::BATCH);
+            let tile = AcceleratorTile::new(16).expect("tile 16 is valid");
+            let accel = Accelerator::map(&k.circuit(), &tile).expect("maps");
+            let folds = accel.fold_cycles();
+            let cycles_per_item = w.cycles_per_item as f64 * folds as f64;
+            let real = cycles_per_item * tile.clock().period_ps() as f64;
+            let counterfactual = cycles_per_item * 250.0;
+            (id, folds, real, counterfactual)
+        })
+        .collect();
+    ClockPenaltyAblation { rows }
+}
+
+impl ClockPenaltyAblation {
+    /// Renders the ablation.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Ablation: 3 GHz large-tile clock (tile 16, per-item compute time)",
+            &["kernel", "folds", "3 GHz ps", "4 GHz ps", "penalty %"],
+        );
+        for &(id, folds, real, cf) in &self.rows {
+            t.row(vec![
+                id.name().to_owned(),
+                folds.to_string(),
+                format!("{real:.0}"),
+                format!("{cf:.0}"),
+                format!("{:.0}", (real / cf - 1.0) * 100.0),
+            ]);
+        }
+        t
+    }
+}
+
+/// What the LUT-packing optimization pass would buy: LUT counts and fold
+/// cycles with and without packing (the baseline evaluation runs without
+/// it, matching the paper's VTR netlists).
+#[derive(Debug, Clone)]
+pub struct PackingAblation {
+    /// `(kernel, luts, packed luts, folds, packed folds)`.
+    pub rows: Vec<(KernelId, usize, usize, usize, usize)>,
+}
+
+/// Runs the packing ablation.
+pub fn packing() -> PackingAblation {
+    let cons = freac_fold::FoldConstraints::for_tile(1, LutMode::Lut4);
+    let rows = all_kernels()
+        .into_iter()
+        .map(|id| {
+            let mapped = tech_map(&kernel(id).circuit(), TechMapOptions::lut4())
+                .expect("kernel circuits map");
+            let (packed, report) = pack_luts(&mapped, 4).expect("packable");
+            let folds = schedule_fold_with(&mapped, &cons, SchedulePolicy::Critical)
+                .expect("schedulable")
+                .len();
+            let packed_folds = schedule_fold_with(&packed, &cons, SchedulePolicy::Critical)
+                .expect("schedulable")
+                .len();
+            (id, report.luts_before, report.luts_after, folds, packed_folds)
+        })
+        .collect();
+    PackingAblation { rows }
+}
+
+impl PackingAblation {
+    /// Renders the ablation.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Ablation: LUT packing (tile size 1, 4-LUT mode)",
+            &["kernel", "LUTs", "packed", "folds", "packed folds"],
+        );
+        for &(id, lb, la, f, pf) in &self.rows {
+            t.row(vec![
+                id.name().to_owned(),
+                lb.to_string(),
+                la.to_string(),
+                f.to_string(),
+                pf.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+/// Criticality-driven vs in-order list scheduling.
+#[derive(Debug, Clone)]
+pub struct SchedulerAblation {
+    /// `(kernel, critical folds, in-order folds)`.
+    pub rows: Vec<(KernelId, usize, usize)>,
+}
+
+/// Runs the scheduler-policy ablation.
+pub fn scheduler_policy() -> SchedulerAblation {
+    let cons = freac_fold::FoldConstraints::for_tile(1, LutMode::Lut4);
+    let rows = all_kernels()
+        .into_iter()
+        .map(|id| {
+            let mapped = tech_map(&kernel(id).circuit(), TechMapOptions::lut4())
+                .expect("kernel circuits map");
+            let crit = schedule_fold_with(&mapped, &cons, SchedulePolicy::Critical)
+                .expect("schedulable")
+                .len();
+            let fifo = schedule_fold_with(&mapped, &cons, SchedulePolicy::InOrder)
+                .expect("schedulable")
+                .len();
+            (id, crit, fifo)
+        })
+        .collect();
+    SchedulerAblation { rows }
+}
+
+impl SchedulerAblation {
+    /// Renders the ablation.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Ablation: fold scheduling policy (tile size 1)",
+            &["kernel", "critical", "in-order", "in-order/critical"],
+        );
+        for &(id, c, f) in &self.rows {
+            t.row(vec![
+                id.name().to_owned(),
+                c.to_string(),
+                f.to_string(),
+                format!("{:.2}", f as f64 / c as f64),
+            ]);
+        }
+        t
+    }
+}
+
+/// Strict LLC inclusion vs mostly-inclusive, under the Fig. 15 scenario
+/// where only 2 ways of LLC remain (1 MB across the 8 slices — *smaller*
+/// than the 2 MB of private L2s). A hot set that fits the private caches
+/// shares the machine with a 1.5 MB stream: with back-invalidation the
+/// churning LLC keeps ejecting the hot lines from L2, which is exactly
+/// why the paper's "CPU apps are insensitive to retained LLC" result
+/// depends on the mostly-inclusive policy its simulator used.
+#[derive(Debug, Clone)]
+pub struct InclusionAblation {
+    /// `(retained ways, AMAT mostly-inclusive, AMAT strict,
+    /// back-invalidations under strict inclusion)`.
+    pub rows: Vec<(usize, f64, f64, u64)>,
+}
+
+/// Builds the hot-set-plus-stream access pattern.
+fn interference_trace() -> Vec<(u64, bool)> {
+    let hot_base = 0x100_0000u64;
+    let hot_lines = 4 * 1024 / 64; // 4 KB hot set: re-touched densely, it
+                                   // lives in L1 unless inclusion ejects it
+    let stream_base = 0x800_0000u64;
+    let stream_lines = 1_536 * 1024 / 64; // 1.5 MB stream
+    let mut trace = Vec::new();
+    // Warm the hot set.
+    for l in 0..hot_lines {
+        trace.push((hot_base + l * 64, false));
+    }
+    // Interleave one hot touch with every streaming line, two passes.
+    for pass in 0..2u64 {
+        for l in 0..stream_lines {
+            trace.push((stream_base + l * 64, false));
+            let hot = (l + pass * 13) % hot_lines;
+            trace.push((hot_base + hot * 64, false));
+        }
+    }
+    trace
+}
+
+/// Runs the inclusion ablation at 2 and 8 retained LLC ways, measuring the
+/// average latency of the *hot-set* accesses (the victim of inclusion).
+pub fn inclusion() -> InclusionAblation {
+    let trace = interference_trace();
+    let hot_base = 0x100_0000u64;
+    let hot_end = hot_base + 0x10_0000;
+    let rows = [2usize, 8]
+        .into_iter()
+        .map(|ways| {
+            let run = |inclusive: bool| {
+                let mut cfg = HierarchyConfig::paper_edge().with_l3_ways(ways);
+                if inclusive {
+                    cfg = cfg.with_inclusion();
+                }
+                let mut h = MemoryHierarchy::new(cfg);
+                let mut hot_lat = 0u64;
+                let mut hot_n = 0u64;
+                for &(addr, write) in &trace {
+                    let (_, lat) = h.access(0, addr, write);
+                    if (hot_base..hot_end).contains(&addr) {
+                        hot_lat += lat;
+                        hot_n += 1;
+                    }
+                }
+                (
+                    hot_lat as f64 / hot_n as f64,
+                    h.stats().back_invalidations,
+                )
+            };
+            let (plain, _) = run(false);
+            let (strict, backinv) = run(true);
+            (ways, plain, strict, backinv)
+        })
+        .collect();
+    InclusionAblation { rows }
+}
+
+impl InclusionAblation {
+    /// Renders the ablation.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Ablation: strict LLC inclusion under a hot-set + 1.5 MB stream",
+            &["LLC ways", "hot AMAT (mostly-incl)", "hot AMAT (strict)", "back-invalidations"],
+        );
+        for &(ways, p, s, b) in &self.rows {
+            t.row(vec![
+                ways.to_string(),
+                format!("{p:.1}"),
+                format!("{s:.1}"),
+                b.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lut5_wins_on_wide_logic_or_at_least_differs() {
+        let a = lut_mode();
+        assert_eq!(a.rows.len(), 11);
+        // The two modes must not be identical everywhere — the trade-off is
+        // real.
+        assert!(a.rows.iter().any(|&(_, f4, f5)| f4 != f5));
+    }
+
+    #[test]
+    fn clock_penalty_is_a_third() {
+        let a = clock_penalty();
+        for &(id, _, real, cf) in &a.rows {
+            let ratio = real / cf;
+            assert!(
+                (1.30..=1.37).contains(&ratio),
+                "{id}: 333/250 ps clock ratio expected, got {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn packing_never_hurts_fold_count() {
+        let a = packing();
+        for &(id, lb, la, f, pf) in &a.rows {
+            assert!(la <= lb, "{id}: packing only removes LUTs");
+            assert!(pf <= f + 1, "{id}: packed schedules must not regress");
+        }
+        // At least one kernel benefits measurably.
+        assert!(a.rows.iter().any(|&(_, lb, la, _, _)| la < lb));
+    }
+
+    #[test]
+    fn critical_scheduling_never_loses() {
+        let a = scheduler_policy();
+        for &(id, c, f) in &a.rows {
+            assert!(f >= c, "{id}: in-order beat criticality ({f} < {c})");
+        }
+    }
+
+    #[test]
+    fn strict_inclusion_hurts_when_the_llc_is_tiny() {
+        let a = inclusion();
+        let (small_ways, plain2, strict2, backinv2) = a.rows[0];
+        assert_eq!(small_ways, 2);
+        assert!(backinv2 > 0, "a churning 1 MB LLC must back-invalidate");
+        assert!(
+            strict2 > plain2 * 1.05,
+            "strict inclusion should visibly hurt the hot set ({strict2} vs {plain2})"
+        );
+        // With 8 ways (4 MB) the LLC churns less, so the penalty shrinks.
+        let (_, plain8, strict8, _) = a.rows[1];
+        assert!(strict8 / plain8 < strict2 / plain2);
+    }
+}

@@ -1,0 +1,142 @@
+//! Where the energy goes: per-kernel breakdown of FReaC Cache's dynamic
+//! energy (configuration reads, scratchpad traffic, MACs, crossbar,
+//! registers, DRAM streaming) plus the leakage share — the analysis behind
+//! the paper's "we estimate the power of FReaC Cache by accounting for the
+//! number of reads from the compute clusters and scratchpads" (Sec. V-C).
+
+use freac_core::SlicePartition;
+use freac_kernels::{all_kernels, KernelId};
+use freac_power::energy::EnergyBreakdown;
+use freac_power::sram::slice_leakage_w;
+
+use crate::render::TextTable;
+use crate::runner::best_freac_run;
+
+/// One kernel's energy accounting over the 8-slice end-to-end run.
+#[derive(Debug, Clone)]
+pub struct EnergyRow {
+    /// The kernel.
+    pub kernel: KernelId,
+    /// Dynamic component split.
+    pub breakdown: EnergyBreakdown,
+    /// Leakage energy over the kernel's runtime, picojoules.
+    pub leakage_pj: f64,
+    /// Average power, watts.
+    pub power_w: f64,
+}
+
+impl EnergyRow {
+    /// Total (dynamic + leakage) energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.breakdown.total_pj() + self.leakage_pj
+    }
+}
+
+/// The full analysis.
+#[derive(Debug, Clone)]
+pub struct EnergyAnalysis {
+    /// One row per kernel.
+    pub rows: Vec<EnergyRow>,
+}
+
+/// Runs the analysis (8 slices, end-to-end partition).
+pub fn run() -> EnergyAnalysis {
+    let slices = 8;
+    let leakage_w = slice_leakage_w(8) * slices as f64;
+    let rows = all_kernels()
+        .into_iter()
+        .filter_map(|id| {
+            let b = best_freac_run(id, SlicePartition::end_to_end(), slices).ok()?;
+            let breakdown = b.run.energy.breakdown();
+            let leakage_pj = leakage_w * b.run.kernel_time_ps as f64; // W x ps = pJ
+            Some(EnergyRow {
+                kernel: id,
+                breakdown,
+                leakage_pj,
+                power_w: b.run.power_w,
+            })
+        })
+        .collect();
+    EnergyAnalysis { rows }
+}
+
+impl EnergyAnalysis {
+    /// Renders the analysis as percentage shares.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Energy breakdown per kernel (8 slices, % of total energy)",
+            &[
+                "kernel", "config", "spad", "MAC", "xbar", "regs", "DRAM", "leakage", "total uJ",
+                "power W",
+            ],
+        );
+        for r in &self.rows {
+            let total = r.total_pj();
+            let pct = |x: f64| format!("{:.0}", x / total * 100.0);
+            let b = &r.breakdown;
+            t.row(vec![
+                r.kernel.name().to_owned(),
+                pct(b.config_pj),
+                pct(b.scratchpad_pj),
+                pct(b.mac_pj),
+                pct(b.xbar_pj),
+                pct(b.reg_pj),
+                pct(b.dram_pj),
+                pct(r.leakage_pj),
+                format!("{:.1}", total / 1e6),
+                format!("{:.2}", r.power_w),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_kernels_with_positive_energy() {
+        let a = run();
+        assert_eq!(a.rows.len(), 11);
+        for r in &a.rows {
+            assert!(r.total_pj() > 0.0, "{}", r.kernel);
+            assert!(r.leakage_pj > 0.0, "{}", r.kernel);
+        }
+    }
+
+    #[test]
+    fn config_reads_dominate_the_logic_heavy_kernel() {
+        // AES re-reads hundreds of configuration rows per round — its
+        // energy must be configuration-dominated, the defining cost of
+        // logic folding.
+        let a = run();
+        let aes = a.rows.iter().find(|r| r.kernel == KernelId::Aes).unwrap();
+        let shares = aes.breakdown.shares();
+        assert!(
+            shares[0] > 0.5,
+            "AES config share should dominate, got {:.2}",
+            shares[0]
+        );
+    }
+
+    #[test]
+    fn mac_kernels_spend_on_macs() {
+        let a = run();
+        let gemm = a.rows.iter().find(|r| r.kernel == KernelId::Gemm).unwrap();
+        assert!(gemm.breakdown.mac_pj > 0.0);
+        let vadd = a.rows.iter().find(|r| r.kernel == KernelId::Vadd).unwrap();
+        assert_eq!(vadd.breakdown.mac_pj, 0.0, "VADD has no MACs");
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let a = run();
+        for r in &a.rows {
+            let s: f64 = r.breakdown.shares().iter().sum();
+            if r.breakdown.total_pj() > 0.0 {
+                assert!((s - 1.0).abs() < 1e-9, "{}: shares sum {s}", r.kernel);
+            }
+        }
+    }
+}

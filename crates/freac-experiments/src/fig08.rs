@@ -1,0 +1,100 @@
+//! Fig. 8: folding cycles needed by each accelerator vs tile size.
+
+use freac_kernels::{all_kernels, KernelId};
+
+use crate::render::TextTable;
+use crate::runner::{map_kernel, TILE_SIZES};
+
+/// Folding cycles for one kernel across tile sizes (`None` where the
+/// circuit cannot map, e.g. exceeding configuration rows).
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// The kernel.
+    pub kernel: KernelId,
+    /// `(tile_mccs, fold_cycles)` for each swept tile size.
+    pub folds: Vec<(usize, Option<usize>)>,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Fig8 {
+    /// One row per kernel.
+    pub rows: Vec<Fig8Row>,
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig8 {
+    let rows = all_kernels()
+        .into_iter()
+        .map(|kernel| {
+            let folds = TILE_SIZES
+                .iter()
+                .map(|&t| (t, map_kernel(kernel, t).ok().map(|a| a.fold_cycles())))
+                .collect();
+            Fig8Row { kernel, folds }
+        })
+        .collect();
+    Fig8 { rows }
+}
+
+impl Fig8 {
+    /// Renders the figure as a table (fold counts per tile size).
+    pub fn table(&self) -> TextTable {
+        let headers: Vec<String> = std::iter::once("kernel".to_owned())
+            .chain(TILE_SIZES.iter().map(|t| format!("tile={t}")))
+            .collect();
+        let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = TextTable::new("Fig. 8: folding cycles vs accelerator tile size", &hdr);
+        for r in &self.rows {
+            let mut cells = vec![r.kernel.name().to_owned()];
+            for (_, f) in &r.folds {
+                cells.push(f.map_or("-".to_owned(), |v| v.to_string()));
+            }
+            t.row(cells);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_decrease_with_tile_size() {
+        let fig = run();
+        for r in &fig.rows {
+            let vals: Vec<usize> = r.folds.iter().filter_map(|&(_, f)| f).collect();
+            assert!(!vals.is_empty(), "{} mapped nowhere", r.kernel);
+            for w in vals.windows(2) {
+                assert!(w[1] <= w[0], "{}: folds must be non-increasing", r.kernel);
+            }
+        }
+    }
+
+    #[test]
+    fn aes_has_the_most_folds() {
+        // The paper's log-scale standout: AES needs far more folding cycles
+        // than every other kernel.
+        let fig = run();
+        let at_tile1 = |id: KernelId| {
+            fig.rows
+                .iter()
+                .find(|r| r.kernel == id)
+                .and_then(|r| r.folds[0].1)
+                .unwrap()
+        };
+        let aes = at_tile1(KernelId::Aes);
+        for k in all_kernels() {
+            if k != KernelId::Aes {
+                assert!(aes > 4 * at_tile1(k), "AES must dominate {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_renders_all_kernels() {
+        let t = run().table();
+        assert_eq!(t.len(), 11);
+    }
+}

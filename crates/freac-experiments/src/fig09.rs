@@ -1,0 +1,114 @@
+//! Fig. 9: impact of the compute-to-memory allocation ratio on the number
+//! of size-1 accelerator tiles a slice can host.
+
+use freac_core::exec::max_tiles_per_slice;
+use freac_core::SlicePartition;
+use freac_kernels::{all_kernels, kernel, KernelId, BATCH};
+
+use crate::render::TextTable;
+use crate::runner::spec_of;
+
+/// Tiles per partition for one kernel.
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// The kernel.
+    pub kernel: KernelId,
+    /// `(partition, max size-1 tiles)`; `None` when the working set does
+    /// not fit the scratchpad at all.
+    pub tiles: Vec<(SlicePartition, Option<usize>)>,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Fig9 {
+    /// The swept partitions (16c/4m down to 2c/18m).
+    pub partitions: Vec<SlicePartition>,
+    /// One row per kernel.
+    pub rows: Vec<Fig9Row>,
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig9 {
+    let partitions = SlicePartition::sweep(0);
+    let rows = all_kernels()
+        .into_iter()
+        .map(|id| {
+            let k = kernel(id);
+            let spec = spec_of(id, &k.workload(BATCH));
+            let tiles = partitions
+                .iter()
+                .map(|&p| (p, max_tiles_per_slice(&p, 1, &spec).ok()))
+                .collect();
+            Fig9Row { kernel: id, tiles }
+        })
+        .collect();
+    Fig9 { partitions, rows }
+}
+
+impl Fig9 {
+    /// Renders the figure.
+    pub fn table(&self) -> TextTable {
+        let headers: Vec<String> = std::iter::once("kernel".to_owned())
+            .chain(self.partitions.iter().map(|p| {
+                format!(
+                    "{}MCC/{}KB",
+                    p.mccs(),
+                    p.scratchpad_bytes() / 1024
+                )
+            }))
+            .collect();
+        let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = TextTable::new(
+            "Fig. 9: max accelerator tiles (size 1) vs compute:memory split",
+            &hdr,
+        );
+        for r in &self.rows {
+            let mut cells = vec![r.kernel.name().to_owned()];
+            for (_, n) in &r.tiles {
+                cells.push(n.map_or("-".to_owned(), |v| v.to_string()));
+            }
+            t.row(cells);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_working_sets_fill_all_tiles() {
+        // AES and DOT have small working sets and fill all 32 MCCs at the
+        // compute-heavy end (paper Sec. V-B).
+        let fig = run();
+        for id in [KernelId::Aes, KernelId::Dot] {
+            let row = fig.rows.iter().find(|r| r.kernel == id).unwrap();
+            assert_eq!(row.tiles[0].1, Some(32), "{id} at 16c/4m");
+        }
+    }
+
+    #[test]
+    fn big_working_sets_need_memory_heavy_splits() {
+        // GEMM's 48 KB/tile working set caps tiles at the compute-heavy end
+        // but more scratchpad admits more tiles (up to the MCC count).
+        let fig = run();
+        let row = fig.rows.iter().find(|r| r.kernel == KernelId::Gemm).unwrap();
+        let compute_heavy = row.tiles.first().unwrap().1.unwrap();
+        assert!(compute_heavy < 32);
+        let best = row.tiles.iter().filter_map(|&(_, n)| n).max().unwrap();
+        assert!(best >= compute_heavy);
+    }
+
+    #[test]
+    fn tile_count_never_exceeds_mccs() {
+        let fig = run();
+        for r in &fig.rows {
+            for &(p, n) in &r.tiles {
+                if let Some(n) = n {
+                    assert!(n <= p.mccs());
+                }
+            }
+        }
+    }
+}

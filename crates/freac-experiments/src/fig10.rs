@@ -1,0 +1,112 @@
+//! Fig. 10: kernel speedup over one host thread as a function of
+//! accelerator tile size (single slice, 32MCC-256KB partition).
+
+use freac_baselines::cpu::CpuModel;
+use freac_core::SlicePartition;
+use freac_kernels::{all_kernels, kernel, KernelId, BATCH};
+
+use crate::render::{fmt_ratio, TextTable};
+use crate::runner::{freac_run_at, FIG10_TILES};
+
+/// Speedups for one kernel across tile sizes.
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    /// The kernel.
+    pub kernel: KernelId,
+    /// `(tile_mccs, speedup over one A15 thread)`.
+    pub speedups: Vec<(usize, Option<f64>)>,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Fig10 {
+    /// One row per kernel.
+    pub rows: Vec<Fig10Row>,
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig10 {
+    let cpu = CpuModel::default();
+    let partition = SlicePartition::max_compute();
+    let rows = all_kernels()
+        .into_iter()
+        .map(|id| {
+            let k = kernel(id);
+            let w = k.workload(BATCH);
+            let base = cpu.run(k.as_ref(), &w, 1).kernel_time_ps as f64;
+            let speedups = FIG10_TILES
+                .iter()
+                .map(|&t| {
+                    let s = freac_run_at(id, t, partition, 1)
+                        .ok()
+                        .map(|r| base / r.kernel_time_ps as f64);
+                    (t, s)
+                })
+                .collect();
+            Fig10Row { kernel: id, speedups }
+        })
+        .collect();
+    Fig10 { rows }
+}
+
+impl Fig10 {
+    /// Renders the figure.
+    pub fn table(&self) -> TextTable {
+        let headers: Vec<String> = std::iter::once("kernel".to_owned())
+            .chain(FIG10_TILES.iter().map(|t| format!("tile={t}")))
+            .collect();
+        let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = TextTable::new(
+            "Fig. 10: speedup vs tile size (1 slice, 32MCC-256KB, over 1 CPU thread)",
+            &hdr,
+        );
+        for r in &self.rows {
+            let mut cells = vec![r.kernel.name().to_owned()];
+            for (_, s) in &r.speedups {
+                cells.push(s.map_or("-".to_owned(), fmt_ratio));
+            }
+            t.row(cells);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aes_prefers_small_tiles() {
+        // Paper: "AES ... is better suited for multiple tiles per slice,
+        // with few MCCs per tile".
+        let fig = run();
+        let row = fig.rows.iter().find(|r| r.kernel == KernelId::Aes).unwrap();
+        let s1 = row.speedups[0].1.unwrap();
+        let s16 = row.speedups[2].1.unwrap();
+        assert!(s1 >= s16, "AES: tile 1 ({s1}) should beat tile 16 ({s16})");
+    }
+
+    #[test]
+    fn sixteen_mcc_tiles_pay_the_slow_clock() {
+        // Paper: "a reduction in performance with tile size 16, since tiles
+        // of 16 or more MCCs require a reduction in clock speed" — holds
+        // for the depth-limited kernels whose folds stop shrinking.
+        let fig = run();
+        let row = fig.rows.iter().find(|r| r.kernel == KernelId::Vadd).unwrap();
+        let s8 = row.speedups[1].1.unwrap();
+        let s16 = row.speedups[2].1.unwrap();
+        assert!(s8 >= s16, "VADD: tile 8 ({s8}) should beat tile 16 ({s16})");
+    }
+
+    #[test]
+    fn all_kernels_have_at_least_one_config() {
+        let fig = run();
+        for r in &fig.rows {
+            assert!(
+                r.speedups.iter().any(|(_, s)| s.is_some()),
+                "{} has no feasible tile",
+                r.kernel
+            );
+        }
+    }
+}

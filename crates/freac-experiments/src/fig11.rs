@@ -1,0 +1,99 @@
+//! Fig. 11: best kernel speedup for two compute:memory partitions of a
+//! single slice — 32MCC-256KB vs 16MCC-768KB.
+
+use freac_baselines::cpu::CpuModel;
+use freac_core::SlicePartition;
+use freac_kernels::{all_kernels, kernel, KernelId, BATCH};
+
+use crate::render::{fmt_ratio, TextTable};
+use crate::runner::best_freac_run;
+
+/// Speedups for one kernel under the two partitions.
+#[derive(Debug, Clone)]
+pub struct Fig11Row {
+    /// The kernel.
+    pub kernel: KernelId,
+    /// Best speedup with 32 MCCs + 256 KB.
+    pub compute_heavy: Option<f64>,
+    /// Best speedup with 16 MCCs + 768 KB.
+    pub memory_heavy: Option<f64>,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Fig11 {
+    /// One row per kernel.
+    pub rows: Vec<Fig11Row>,
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig11 {
+    let cpu = CpuModel::default();
+    let rows = all_kernels()
+        .into_iter()
+        .map(|id| {
+            let k = kernel(id);
+            let w = k.workload(BATCH);
+            let base = cpu.run(k.as_ref(), &w, 1).kernel_time_ps as f64;
+            let best = |p: SlicePartition| {
+                best_freac_run(id, p, 1)
+                    .ok()
+                    .map(|b| base / b.run.kernel_time_ps as f64)
+            };
+            Fig11Row {
+                kernel: id,
+                compute_heavy: best(SlicePartition::max_compute()),
+                memory_heavy: best(SlicePartition::balanced()),
+            }
+        })
+        .collect();
+    Fig11 { rows }
+}
+
+impl Fig11 {
+    /// Renders the figure.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig. 11: best speedup vs MCC:memory ratio (1 slice, over 1 CPU thread)",
+            &["kernel", "32MCC-256KB", "16MCC-768KB"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.kernel.name().to_owned(),
+                r.compute_heavy.map_or("-".to_owned(), fmt_ratio),
+                r.memory_heavy.map_or("-".to_owned(), fmt_ratio),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_kernels_prefer_more_clusters() {
+        // Paper: "AES strongly prefers more compute clusters over buffer
+        // memory, along with ... dot product engines, fully connected
+        // layers, and GEMM."
+        let fig = run();
+        for id in [KernelId::Aes, KernelId::Dot] {
+            let r = fig.rows.iter().find(|r| r.kernel == id).unwrap();
+            let (ch, mh) = (r.compute_heavy.unwrap(), r.memory_heavy.unwrap());
+            assert!(
+                ch >= mh * 0.95,
+                "{id}: compute-heavy {ch} should be at least on par with {mh}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_kernel_runs_under_both_partitions() {
+        let fig = run();
+        for r in &fig.rows {
+            assert!(r.compute_heavy.is_some(), "{} compute-heavy", r.kernel);
+            assert!(r.memory_heavy.is_some(), "{} memory-heavy", r.kernel);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Fig. 12: end-to-end relative speedup, power, and performance-per-watt
+//! versus the number of LLC slices, compared against the 8-thread host,
+//! the ZCU102, and the Ultra96.
+//!
+//! End-to-end latency includes initializing the arrays, moving them into
+//! the scratchpads (or over PCIe/AXI for the FPGAs), the kernel itself,
+//! and draining results — the paper's Sec. V-C methodology. All values are
+//! relative to a single host thread.
+
+use freac_baselines::cpu::CpuModel;
+use freac_baselines::fpga::FpgaModel;
+use freac_cache::LlcGeometry;
+use freac_core::SlicePartition;
+use freac_kernels::{all_kernels, kernel, KernelId, BATCH};
+use freac_power::cpu::host_cpu_power_w;
+
+use crate::render::{fmt_ratio, fmt_w, TextTable};
+use crate::runner::best_freac_run;
+
+/// A (speedup, power-in-watts) pair relative to the single-thread baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// End-to-end speedup over one host thread.
+    pub speedup: f64,
+    /// Average power in watts.
+    pub power_w: f64,
+}
+
+impl Point {
+    /// Performance-per-watt relative to the single-thread baseline.
+    pub fn perf_per_watt_vs(&self, base_power_w: f64) -> f64 {
+        self.speedup * base_power_w / self.power_w
+    }
+}
+
+/// All configurations for one kernel.
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    /// The kernel.
+    pub kernel: KernelId,
+    /// Single-thread baseline power (the reference point).
+    pub cpu1_power_w: f64,
+    /// 8-thread host.
+    pub cpu8: Point,
+    /// ZCU102 FPGA.
+    pub zcu102: Point,
+    /// Ultra96 FPGA.
+    pub ultra96: Point,
+    /// FReaC Cache at 1..=8 slices (16MCC-640KB split, 2 ways left as
+    /// cache), best tile size per slice count.
+    pub freac: Vec<Option<Point>>,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Fig12 {
+    /// One row per kernel.
+    pub rows: Vec<Fig12Row>,
+}
+
+fn end_to_end_row(id: KernelId) -> Fig12Row {
+    let cpu = CpuModel::default();
+    let k = kernel(id);
+    let w = k.workload(BATCH);
+    let dataset = w.input_bytes + w.output_bytes;
+    let spills = dataset > LlcGeometry::paper_edge().total_bytes() as u64;
+
+    let cpu1_kernel = cpu.run(k.as_ref(), &w, 1);
+    let cpu1_e2e = cpu.init_time_ps(w.input_bytes, 1, spills) + cpu1_kernel.kernel_time_ps;
+    let cpu1_power = host_cpu_power_w(1, 8);
+
+    let cpu8_kernel = cpu.run(k.as_ref(), &w, 8);
+    let cpu8_e2e = cpu.init_time_ps(w.input_bytes, 8, spills) + cpu8_kernel.kernel_time_ps;
+    let cpu8 = Point {
+        speedup: cpu1_e2e as f64 / cpu8_e2e as f64,
+        power_w: cpu8_kernel.power_w,
+    };
+
+    let host_init = cpu.init_time_ps(w.input_bytes, 8, spills);
+    let fpga_point = |m: FpgaModel| {
+        let r = m.run(k.as_ref(), &w);
+        Point {
+            speedup: cpu1_e2e as f64 / (host_init + r.end_to_end_ps()) as f64,
+            power_w: r.power_w,
+        }
+    };
+    let zcu102 = fpga_point(FpgaModel::zcu102());
+    let ultra96 = fpga_point(FpgaModel::ultra96());
+
+    let freac = (1..=8usize)
+        .map(|slices| {
+            best_freac_run(id, SlicePartition::end_to_end(), slices)
+                .ok()
+                .map(|b| {
+                    // Cores generate the working set directly into the
+                    // scratchpads: the fill is bounded by the slower of the
+                    // cores' store rate and the scratchpad write path.
+                    let init = cpu.init_time_ps(w.input_bytes, 8, false).max(b.run.setup.fill_ps);
+                    let e2e = b.run.setup.flush_ps
+                        + b.run.setup.config_ps
+                        + init
+                        + b.run.kernel_time_ps
+                        + b.run.drain_ps;
+                    Point {
+                        speedup: cpu1_e2e as f64 / e2e as f64,
+                        power_w: b.run.power_w,
+                    }
+                })
+        })
+        .collect();
+
+    Fig12Row {
+        kernel: id,
+        cpu1_power_w: cpu1_power,
+        cpu8,
+        zcu102,
+        ultra96,
+        freac,
+    }
+}
+
+/// Runs the experiment (kernels evaluated in parallel).
+pub fn run() -> Fig12 {
+    let kernels = all_kernels();
+    let mut rows: Vec<Option<Fig12Row>> = (0..kernels.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        for (slot, &id) in rows.iter_mut().zip(kernels.iter()) {
+            s.spawn(move |_| {
+                *slot = Some(end_to_end_row(id));
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    Fig12 {
+        rows: rows.into_iter().map(|r| r.expect("row computed")).collect(),
+    }
+}
+
+impl Fig12 {
+    /// Renders the speedup panel.
+    pub fn speedup_table(&self) -> TextTable {
+        let mut headers = vec!["kernel".to_owned(), "CPU8".into(), "ZCU102".into(), "U96".into()];
+        headers.extend((1..=8).map(|s| format!("F{s}")));
+        let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = TextTable::new(
+            "Fig. 12a: end-to-end speedup over 1 CPU thread (F<n> = FReaC, n slices)",
+            &hdr,
+        );
+        for r in &self.rows {
+            let mut cells = vec![
+                r.kernel.name().to_owned(),
+                fmt_ratio(r.cpu8.speedup),
+                fmt_ratio(r.zcu102.speedup),
+                fmt_ratio(r.ultra96.speedup),
+            ];
+            for p in &r.freac {
+                cells.push(p.map_or("-".to_owned(), |p| fmt_ratio(p.speedup)));
+            }
+            t.row(cells);
+        }
+        t
+    }
+
+    /// Renders the power panel.
+    pub fn power_table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig. 12b: power (W)",
+            &["kernel", "CPU1", "CPU8", "ZCU102", "U96", "FReaC-8"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.kernel.name().to_owned(),
+                fmt_w(r.cpu1_power_w),
+                fmt_w(r.cpu8.power_w),
+                fmt_w(r.zcu102.power_w),
+                fmt_w(r.ultra96.power_w),
+                r.freac[7].map_or("-".to_owned(), |p| fmt_w(p.power_w)),
+            ]);
+        }
+        t
+    }
+
+    /// Renders the perf-per-watt panel (relative to one thread).
+    pub fn perf_per_watt_table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig. 12c: perf/W relative to 1 CPU thread",
+            &["kernel", "CPU8", "ZCU102", "U96", "FReaC-8"],
+        );
+        for r in &self.rows {
+            let base = r.cpu1_power_w;
+            t.row(vec![
+                r.kernel.name().to_owned(),
+                fmt_ratio(r.cpu8.perf_per_watt_vs(base)),
+                fmt_ratio(r.zcu102.perf_per_watt_vs(base)),
+                fmt_ratio(r.ultra96.perf_per_watt_vs(base)),
+                r.freac[7].map_or("-".to_owned(), |p| fmt_ratio(p.perf_per_watt_vs(base))),
+            ]);
+        }
+        t
+    }
+
+    /// Geometric means across kernels at 8 slices: (speedup vs 1 thread,
+    /// speedup vs 8 threads, perf/W vs 8 threads) — the paper's headline
+    /// 8.2x / 3x / 6.1x.
+    pub fn geomeans(&self) -> (f64, f64, f64) {
+        let mut ln1 = 0.0;
+        let mut ln8 = 0.0;
+        let mut lnp = 0.0;
+        let mut n = 0.0;
+        for r in &self.rows {
+            let Some(f8) = r.freac[7] else { continue };
+            ln1 += f8.speedup.ln();
+            ln8 += (f8.speedup / r.cpu8.speedup).ln();
+            lnp += (f8.perf_per_watt_vs(r.cpu1_power_w)
+                / r.cpu8.perf_per_watt_vs(r.cpu1_power_w))
+            .ln();
+            n += 1.0;
+        }
+        ((ln1 / n).exp(), (ln8 / n).exp(), (lnp / n).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_shape_holds() {
+        let fig = run();
+        let (vs1, vs8, ppw) = fig.geomeans();
+        // Paper: 8.2x vs one thread, 3x vs eight, 6.1x perf/W. The shape
+        // must hold within a factor-of-two band.
+        assert!((4.0..=17.0).contains(&vs1), "vs 1 thread: {vs1}");
+        assert!((1.5..=6.0).contains(&vs8), "vs 8 threads: {vs8}");
+        assert!((3.0..=13.0).contains(&ppw), "perf/W vs 8 threads: {ppw}");
+    }
+
+    #[test]
+    fn logic_heavy_kernels_lose_to_multithreaded_cpu() {
+        // Paper Sec. V-C: "Logic-heavy apps like AES and sorting (SRT)
+        // suffer a higher penalty due to folding ... the multi-threaded
+        // implementation outpaces them."
+        let fig = run();
+        for id in [KernelId::Aes, KernelId::Srt] {
+            let r = fig.rows.iter().find(|r| r.kernel == id).unwrap();
+            let f8 = r.freac[7].unwrap();
+            assert!(
+                f8.speedup < r.cpu8.speedup * 1.1,
+                "{id}: FReaC {} should not clearly beat CPU8 {}",
+                f8.speedup,
+                r.cpu8.speedup
+            );
+            assert!(f8.speedup > 1.0, "{id} still beats one thread");
+        }
+    }
+
+    #[test]
+    fn more_slices_never_slower() {
+        let fig = run();
+        for r in &fig.rows {
+            let pts: Vec<f64> = r.freac.iter().filter_map(|p| p.map(|p| p.speedup)).collect();
+            for w in pts.windows(2) {
+                assert!(
+                    w[1] >= w[0] * 0.99,
+                    "{}: speedup should not regress with slices",
+                    r.kernel
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zcu102_fast_but_power_hungry() {
+        // Paper: the ZCU102 outperforms FReaC on most benchmarks "at the
+        // cost of a massive increase in power".
+        let fig = run();
+        let mut zcu_wins = 0;
+        for r in &fig.rows {
+            let f8 = r.freac[7].unwrap();
+            if r.zcu102.speedup > f8.speedup {
+                zcu_wins += 1;
+            }
+            assert!(r.zcu102.power_w > 2.0 * f8.power_w.min(12.0) || r.zcu102.power_w > 12.0);
+        }
+        assert!(zcu_wins >= 4, "ZCU102 should win on several kernels ({zcu_wins}/11)");
+    }
+
+    #[test]
+    fn freac_beats_ultra96_on_efficiency() {
+        // Paper: "FReaC Cache also proves to be more energy efficient than
+        // both FPGA solutions".
+        let fig = run();
+        let mut better = 0;
+        for r in &fig.rows {
+            let f8 = r.freac[7].unwrap();
+            if f8.perf_per_watt_vs(r.cpu1_power_w) > r.ultra96.perf_per_watt_vs(r.cpu1_power_w) {
+                better += 1;
+            }
+        }
+        assert!(better >= 7, "FReaC should be more efficient than the U96 on most kernels ({better}/11)");
+    }
+}

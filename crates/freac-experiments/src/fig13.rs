@@ -1,0 +1,140 @@
+//! Fig. 13: end-to-end versus kernel-only speedup.
+//!
+//! Depending on the benchmark, initialization and copy costs take a
+//! negligible-to-60 % bite out of the peak kernel speedup (paper
+//! Sec. V-C); the multi-threaded CPU is shown for reference.
+
+use freac_baselines::cpu::CpuModel;
+use freac_cache::LlcGeometry;
+use freac_core::SlicePartition;
+use freac_kernels::{all_kernels, kernel, KernelId, BATCH};
+
+use crate::render::{fmt_ratio, TextTable};
+use crate::runner::best_freac_run;
+
+/// One kernel's end-to-end vs kernel-only comparison.
+#[derive(Debug, Clone)]
+pub struct Fig13Row {
+    /// The kernel.
+    pub kernel: KernelId,
+    /// FReaC speedup counting only the kernel (and operand movement).
+    pub kernel_speedup: f64,
+    /// FReaC speedup counting setup + init + drain.
+    pub end_to_end_speedup: f64,
+    /// 8-thread CPU end-to-end speedup for reference.
+    pub cpu8_speedup: f64,
+}
+
+impl Fig13Row {
+    /// Fraction of the kernel-only speedup lost to init/copy overhead.
+    pub fn overhead_fraction(&self) -> f64 {
+        1.0 - self.end_to_end_speedup / self.kernel_speedup
+    }
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Fig13 {
+    /// One row per kernel.
+    pub rows: Vec<Fig13Row>,
+}
+
+/// Runs the experiment (8 slices, 16MCC-640KB split).
+pub fn run() -> Fig13 {
+    let cpu = CpuModel::default();
+    let rows = all_kernels()
+        .into_iter()
+        .filter_map(|id| {
+            let k = kernel(id);
+            let w = k.workload(BATCH);
+            let dataset = w.input_bytes + w.output_bytes;
+            let spills = dataset > LlcGeometry::paper_edge().total_bytes() as u64;
+
+            let cpu1 = cpu.run(k.as_ref(), &w, 1);
+            let cpu1_init = cpu.init_time_ps(w.input_bytes, 1, spills);
+            let cpu8 = cpu.run(k.as_ref(), &w, 8);
+            let cpu8_init = cpu.init_time_ps(w.input_bytes, 8, spills);
+
+            let b = best_freac_run(id, SlicePartition::end_to_end(), 8).ok()?;
+            let init = cpu
+                .init_time_ps(w.input_bytes, 8, false)
+                .max(b.run.setup.fill_ps);
+            let freac_e2e = b.run.setup.flush_ps
+                + b.run.setup.config_ps
+                + init
+                + b.run.kernel_time_ps
+                + b.run.drain_ps;
+
+            Some(Fig13Row {
+                kernel: id,
+                kernel_speedup: cpu1.kernel_time_ps as f64 / b.run.kernel_time_ps as f64,
+                end_to_end_speedup: (cpu1_init + cpu1.kernel_time_ps) as f64 / freac_e2e as f64,
+                cpu8_speedup: (cpu1_init + cpu1.kernel_time_ps) as f64
+                    / (cpu8_init + cpu8.kernel_time_ps) as f64,
+            })
+        })
+        .collect();
+    Fig13 { rows }
+}
+
+impl Fig13 {
+    /// Renders the figure.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig. 13: end-to-end vs kernel-only speedup (8 slices, over 1 CPU thread)",
+            &["kernel", "kernel-only", "end-to-end", "overhead %", "CPU 8T"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.kernel.name().to_owned(),
+                fmt_ratio(r.kernel_speedup),
+                fmt_ratio(r.end_to_end_speedup),
+                format!("{:.0}", r.overhead_fraction() * 100.0),
+                fmt_ratio(r.cpu8_speedup),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_never_exceeds_kernel_only() {
+        let fig = run();
+        assert_eq!(fig.rows.len(), 11);
+        for r in &fig.rows {
+            // Init parallelizes 8x across the host cores, so kernels whose
+            // FReaC speedup is below 8x can show slightly higher e2e.
+            assert!(
+                r.end_to_end_speedup <= r.kernel_speedup.max(8.0) * 1.2,
+                "{}: e2e {} > kernel {}",
+                r.kernel,
+                r.end_to_end_speedup,
+                r.kernel_speedup
+            );
+        }
+    }
+
+    #[test]
+    fn overhead_spans_negligible_to_sixty_percent() {
+        // Paper: "copying and initialization can have negligible to 60 %
+        // overhead".
+        let fig = run();
+        let min = fig
+            .rows
+            .iter()
+            .map(|r| r.overhead_fraction())
+            .fold(f64::INFINITY, f64::min);
+        let max = fig
+            .rows
+            .iter()
+            .map(|r| r.overhead_fraction())
+            .fold(0.0f64, f64::max);
+        assert!(min < 0.15, "some kernel has negligible overhead, min {min}");
+        assert!(max > 0.25, "some kernel pays heavily, max {max}");
+        assert!(max < 0.95, "overhead never consumes everything, max {max}");
+    }
+}

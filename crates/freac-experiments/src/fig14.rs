@@ -1,0 +1,115 @@
+//! Fig. 14: kernel speedup of 8 and 16 embedded A7-class cores in the LLC
+//! versus 8 slices of FReaC Cache and the 8 host cores, all relative to a
+//! single host thread.
+
+use freac_baselines::cpu::CpuModel;
+use freac_baselines::ec::EcModel;
+use freac_core::SlicePartition;
+use freac_kernels::{all_kernels, kernel, KernelId, BATCH};
+
+use crate::render::{fmt_ratio, TextTable};
+use crate::runner::best_freac_run;
+
+/// One kernel's comparison.
+#[derive(Debug, Clone)]
+pub struct Fig14Row {
+    /// The kernel.
+    pub kernel: KernelId,
+    /// 8 embedded cores (iso-area with FReaC).
+    pub ec8: f64,
+    /// 16 embedded cores.
+    pub ec16: f64,
+    /// FReaC Cache, 8 slices.
+    pub freac: Option<f64>,
+    /// The 8 host cores.
+    pub cpu8: f64,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Fig14 {
+    /// One row per kernel.
+    pub rows: Vec<Fig14Row>,
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig14 {
+    let cpu = CpuModel::default();
+    let rows = all_kernels()
+        .into_iter()
+        .map(|id| {
+            let k = kernel(id);
+            let w = k.workload(BATCH);
+            let base = cpu.run(k.as_ref(), &w, 1).kernel_time_ps as f64;
+            Fig14Row {
+                kernel: id,
+                ec8: base / EcModel::iso_area().run(k.as_ref(), &w).kernel_time_ps as f64,
+                ec16: base / EcModel::double().run(k.as_ref(), &w).kernel_time_ps as f64,
+                freac: best_freac_run(id, SlicePartition::end_to_end(), 8)
+                    .ok()
+                    .map(|b| base / b.run.kernel_time_ps as f64),
+                cpu8: base / cpu.run(k.as_ref(), &w, 8).kernel_time_ps as f64,
+            }
+        })
+        .collect();
+    Fig14 { rows }
+}
+
+impl Fig14 {
+    /// Renders the figure.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig. 14: embedded cores in the LLC vs FReaC (kernel speedup over 1 CPU thread)",
+            &["kernel", "8 EC", "16 EC", "FReaC-8", "CPU 8T"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.kernel.name().to_owned(),
+                fmt_ratio(r.ec8),
+                fmt_ratio(r.ec16),
+                r.freac.map_or("-".to_owned(), fmt_ratio),
+                fmt_ratio(r.cpu8),
+            ]);
+        }
+        t
+    }
+
+    /// Geometric-mean advantage of FReaC over the two EC configurations.
+    pub fn geomean_advantage(&self) -> (f64, f64) {
+        let mut l8 = 0.0;
+        let mut l16 = 0.0;
+        let mut n = 0.0;
+        for r in &self.rows {
+            let Some(f) = r.freac else { continue };
+            l8 += (f / r.ec8).ln();
+            l16 += (f / r.ec16).ln();
+            n += 1.0;
+        }
+        ((l8 / n).exp(), (l16 / n).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freac_outperforms_embedded_cores_on_average() {
+        // Paper: FReaC outperforms the iso-area 8-EC setup by ~4x and the
+        // 16-EC setup by ~2x on average.
+        let fig = run();
+        let (vs8, vs16) = fig.geomean_advantage();
+        assert!((2.0..=14.0).contains(&vs8), "vs 8 EC: {vs8}");
+        assert!((1.0..=7.0).contains(&vs16), "vs 16 EC: {vs16}");
+        assert!(vs8 > vs16, "doubling ECs must narrow the gap");
+    }
+
+    #[test]
+    fn ec16_doubles_ec8() {
+        let fig = run();
+        for r in &fig.rows {
+            let ratio = r.ec16 / r.ec8;
+            assert!((1.8..=2.2).contains(&ratio), "{}: {ratio}", r.kernel);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Fig. 15: cache-interference study.
+//!
+//! Two application groups run concurrently; one application is offloaded
+//! to FReaC Cache while the remaining three run on two CPU threads each,
+//! with either 1 MB or 4 MB of the LLC retained as cache. The paper's
+//! findings: the CPU applications are insensitive to the retained LLC
+//! capacity (their per-thread working sets live in L1/L2), and the
+//! accelerated application gains 1.8x-9x over its CPU run.
+
+use freac_baselines::cpu::CpuModel;
+use freac_core::SlicePartition;
+use freac_kernels::{kernel, KernelId, BATCH};
+
+use crate::render::{fmt_ratio, TextTable};
+use crate::runner::best_freac_run;
+
+/// The two application groups of Sec. VI.
+pub fn groups() -> [[KernelId; 4]; 2] {
+    [
+        [KernelId::Aes, KernelId::Nw, KernelId::Stn2, KernelId::Stn3],
+        [KernelId::Conv, KernelId::Fc, KernelId::Kmp, KernelId::Srt],
+    ]
+}
+
+/// The two retained-LLC scenarios: (label, cache ways per slice,
+/// accelerator partition for the remaining ways).
+pub fn scenarios() -> [(&'static str, usize, SlicePartition); 2] {
+    [
+        (
+            "1MB",
+            2,
+            SlicePartition::new(8, 10, 2).expect("18 free ways split"),
+        ),
+        (
+            "4MB",
+            8,
+            SlicePartition::new(6, 6, 8).expect("12 free ways split"),
+        ),
+    ]
+}
+
+/// One application's results across scenarios.
+#[derive(Debug, Clone)]
+pub struct Fig15Row {
+    /// The application.
+    pub kernel: KernelId,
+    /// Speedup when accelerated, with 1 MB LLC retained.
+    pub accel_1mb: Option<f64>,
+    /// Speedup when accelerated, with 4 MB LLC retained.
+    pub accel_4mb: Option<f64>,
+    /// Speedup on 2 CPU threads with 1 MB LLC.
+    pub cpu2t_1mb: f64,
+    /// Speedup on 2 CPU threads with 4 MB LLC.
+    pub cpu2t_4mb: f64,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Fig15 {
+    /// One row per application (both groups).
+    pub rows: Vec<Fig15Row>,
+}
+
+/// Runs the experiment. All speedups are relative to a single thread with
+/// the full LLC.
+pub fn run() -> Fig15 {
+    let full = CpuModel::default();
+    let rows = groups()
+        .iter()
+        .flatten()
+        .map(|&id| {
+            let k = kernel(id);
+            let w = k.workload(BATCH);
+            let base = full.run(k.as_ref(), &w, 1).kernel_time_ps as f64;
+            let cpu_at = |ways: usize| {
+                let m = CpuModel {
+                    llc_ways: ways,
+                    ..CpuModel::default()
+                };
+                base / m.run(k.as_ref(), &w, 2).kernel_time_ps as f64
+            };
+            let accel_at = |p: SlicePartition| {
+                best_freac_run(id, p, 8)
+                    .ok()
+                    .map(|b| base / b.run.kernel_time_ps as f64)
+            };
+            let sc = scenarios();
+            Fig15Row {
+                kernel: id,
+                accel_1mb: accel_at(sc[0].2),
+                accel_4mb: accel_at(sc[1].2),
+                cpu2t_1mb: cpu_at(sc[0].1),
+                cpu2t_4mb: cpu_at(sc[1].1),
+            }
+        })
+        .collect();
+    Fig15 { rows }
+}
+
+impl Fig15 {
+    /// Renders the figure.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig. 15: interference study (speedup over 1 thread, full LLC)",
+            &["app", "accel 1MB", "accel 4MB", "2T CPU 1MB", "2T CPU 4MB"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.kernel.name().to_owned(),
+                r.accel_1mb.map_or("-".to_owned(), fmt_ratio),
+                r.accel_4mb.map_or("-".to_owned(), fmt_ratio),
+                fmt_ratio(r.cpu2t_1mb),
+                fmt_ratio(r.cpu2t_4mb),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_apps_are_insensitive_to_llc_capacity() {
+        // Per-thread working sets fit in L1/L2, so 1 MB vs 4 MB of LLC
+        // barely moves the CPU runs (paper's first key point).
+        let fig = run();
+        for r in &fig.rows {
+            let ratio = r.cpu2t_4mb / r.cpu2t_1mb;
+            assert!(
+                (0.8..=1.4).contains(&ratio),
+                "{}: llc sensitivity {ratio}",
+                r.kernel
+            );
+        }
+    }
+
+    #[test]
+    fn acceleration_beats_the_two_thread_run() {
+        // Paper's second key point: the accelerated app gains 1.8x-9x over
+        // its CPU run (here: all but the fold-heavy SRT/AES gain clearly).
+        let fig = run();
+        let mut winners = 0;
+        for r in &fig.rows {
+            if let Some(a) = r.accel_1mb {
+                if a > 1.5 * r.cpu2t_1mb {
+                    winners += 1;
+                }
+            }
+        }
+        assert!(winners >= 5, "most apps should benefit from offload ({winners}/8)");
+    }
+
+    #[test]
+    fn more_llc_for_compute_helps_the_accelerator() {
+        // Allocating more of the LLC to compute/scratchpad (1 MB retained)
+        // should not be slower than the 4 MB-retained split.
+        let fig = run();
+        for r in &fig.rows {
+            if let (Some(a1), Some(a4)) = (r.accel_1mb, r.accel_4mb) {
+                assert!(
+                    a1 >= a4 * 0.9,
+                    "{}: 1MB-retained {a1} vs 4MB-retained {a4}",
+                    r.kernel
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn both_groups_present() {
+        let fig = run();
+        assert_eq!(fig.rows.len(), 8);
+    }
+}

@@ -1,0 +1,209 @@
+//! Multi-tenant spatial sharing: different accelerators on different
+//! slices.
+//!
+//! Paper Sec. III-E: "accelerators implemented in each slice operate
+//! independently of each other … in the case of large compute
+//! requirements, the problem can be broken down into smaller independent
+//! problems, which are worked on by each slice's accelerator(s)". This
+//! experiment evaluates the scheduling question that falls out: given
+//! several kernels to run, is it better to time-share all eight slices
+//! (run kernels one after another at full width) or space-share them
+//! (give each kernel its own slice subset and run them concurrently)?
+//!
+//! Finding: because FReaC jobs are data-parallel and scale near-linearly
+//! with slices, time-sharing wins on makespan (a divisible-load classic);
+//! space-sharing's value is isolation — every job starts immediately and
+//! no job waits behind a long-running tenant, which the per-job numbers
+//! in the table make visible.
+
+use freac_core::SlicePartition;
+use freac_kernels::KernelId;
+use freac_sim::Time;
+
+use crate::render::{fmt_us, TextTable};
+use crate::runner::best_freac_run;
+
+/// A workload mix to schedule.
+#[derive(Debug, Clone)]
+pub struct JobMix {
+    /// The kernels to run (each at full paper batch scale).
+    pub jobs: Vec<KernelId>,
+}
+
+impl JobMix {
+    /// The mix used by the study: one memory-bound, one compute-bound, one
+    /// logic-bound, one MAC-heavy kernel.
+    pub fn representative() -> Self {
+        JobMix {
+            jobs: vec![KernelId::Vadd, KernelId::Conv, KernelId::Kmp, KernelId::Gemm],
+        }
+    }
+}
+
+/// Outcome of scheduling a mix both ways.
+#[derive(Debug, Clone)]
+pub struct MultiTenantResult {
+    /// The mix.
+    pub jobs: Vec<KernelId>,
+    /// Per-job kernel time when run serially at 8 slices.
+    pub serial_times: Vec<Time>,
+    /// Per-job kernel time when run concurrently on its slice share.
+    pub spatial_times: Vec<Time>,
+    /// Slices given to each job in the spatial schedule.
+    pub spatial_slices: Vec<usize>,
+}
+
+impl MultiTenantResult {
+    /// Makespan of the time-shared schedule (sum of serial runs).
+    pub fn serial_makespan(&self) -> Time {
+        self.serial_times.iter().sum()
+    }
+
+    /// Makespan of the space-shared schedule (slowest concurrent job).
+    pub fn spatial_makespan(&self) -> Time {
+        self.spatial_times.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Renders the comparison.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Multi-tenant scheduling: time-shared (8 slices, serial) vs space-shared",
+            &["kernel", "slices", "serial us", "spatial us"],
+        );
+        for (i, &job) in self.jobs.iter().enumerate() {
+            t.row(vec![
+                job.name().to_owned(),
+                self.spatial_slices[i].to_string(),
+                fmt_us(self.serial_times[i]),
+                fmt_us(self.spatial_times[i]),
+            ]);
+        }
+        t.row(vec![
+            "MAKESPAN".into(),
+            "-".into(),
+            fmt_us(self.serial_makespan()),
+            fmt_us(self.spatial_makespan()),
+        ]);
+        t
+    }
+}
+
+/// Schedules `mix` both ways.
+///
+/// The spatial schedule assigns slices greedily: jobs are ranked by their
+/// single-slice runtime and slices are handed out one at a time to the job
+/// whose projected finish time is currently worst (longest-processing-time
+/// style).
+pub fn run(mix: &JobMix) -> MultiTenantResult {
+    let partition = SlicePartition::end_to_end();
+    let time_at = |id: KernelId, slices: usize| -> Time {
+        best_freac_run(id, partition, slices)
+            .map(|b| b.run.kernel_time_ps)
+            .unwrap_or(Time::MAX / 2)
+    };
+
+    let serial_times: Vec<Time> = mix.jobs.iter().map(|&j| time_at(j, 8)).collect();
+
+    // Greedy slice assignment: everyone starts with one slice; remaining
+    // slices go to whoever is projected slowest.
+    let n = mix.jobs.len().min(8);
+    let mut slices = vec![1usize; n];
+    let mut projected: Vec<Time> = mix.jobs[..n].iter().map(|&j| time_at(j, 1)).collect();
+    for _ in n..8 {
+        let worst = (0..n)
+            .max_by_key(|&i| projected[i])
+            .expect("mix is non-empty");
+        slices[worst] += 1;
+        projected[worst] = time_at(mix.jobs[worst], slices[worst]);
+    }
+
+    MultiTenantResult {
+        jobs: mix.jobs[..n].to_vec(),
+        serial_times: serial_times[..n].to_vec(),
+        spatial_times: projected,
+        spatial_slices: slices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_sharing_wins_makespan_for_divisible_jobs() {
+        // FReaC jobs scale near-linearly with slices, so running them one
+        // after another at full width minimizes the makespan — the
+        // divisible-load scheduling classic.
+        let r = run(&JobMix::representative());
+        assert!(
+            r.serial_makespan() <= r.spatial_makespan(),
+            "serial {} vs spatial {}",
+            r.serial_makespan(),
+            r.spatial_makespan()
+        );
+        // …but space-sharing is not catastrophic: within ~2x.
+        assert!(r.spatial_makespan() < r.serial_makespan() * 2);
+    }
+
+    #[test]
+    fn space_sharing_gives_short_jobs_immediate_service() {
+        // Under time-sharing the short jobs queue behind the schedule;
+        // under space-sharing every job starts at once. The *latest*
+        // short-job completion must therefore be earlier spatially than the
+        // worst-case serial ordering (long job first).
+        let r = run(&JobMix::representative());
+        let longest = r
+            .serial_times
+            .iter()
+            .copied()
+            .max()
+            .expect("mix is non-empty");
+        for (i, &job) in r.jobs.iter().enumerate() {
+            if r.serial_times[i] == longest {
+                continue;
+            }
+            // Worst-case serial wait: behind the longest job.
+            let worst_serial_finish = longest + r.serial_times[i];
+            assert!(
+                r.spatial_times[i] < worst_serial_finish,
+                "{job}: spatial {} vs worst serial finish {worst_serial_finish}",
+                r.spatial_times[i]
+            );
+        }
+    }
+
+    #[test]
+    fn all_slices_are_assigned() {
+        let r = run(&JobMix::representative());
+        assert_eq!(r.spatial_slices.iter().sum::<usize>(), 8);
+        assert!(r.spatial_slices.iter().all(|&s| s >= 1));
+    }
+
+    #[test]
+    fn greedy_gives_the_slow_job_more_slices() {
+        let r = run(&JobMix::representative());
+        // GEMM is by far the longest job in the mix; it must receive the
+        // largest slice share.
+        let gemm = r.jobs.iter().position(|&j| j == KernelId::Gemm).unwrap();
+        let max_share = *r.spatial_slices.iter().max().unwrap();
+        assert_eq!(r.spatial_slices[gemm], max_share);
+    }
+
+    #[test]
+    fn per_job_serial_is_faster_than_spatial() {
+        // Any single job runs faster with all 8 slices than with its share;
+        // the win comes from concurrency, not per-job speed.
+        let r = run(&JobMix::representative());
+        for i in 0..r.jobs.len() {
+            assert!(r.serial_times[i] <= r.spatial_times[i]);
+        }
+    }
+
+    #[test]
+    fn table_includes_makespan_row() {
+        let r = run(&JobMix::representative());
+        let t = r.table();
+        assert_eq!(t.len(), r.jobs.len() + 1);
+        assert!(t.to_string().contains("MAKESPAN"));
+    }
+}

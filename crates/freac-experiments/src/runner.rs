@@ -1,0 +1,156 @@
+//! Shared plumbing for the experiment runners.
+
+use freac_core::exec::{run_kernel, ExecConfig, KernelRun, KernelSpec};
+use freac_core::{Accelerator, AcceleratorTile, CoreError, SlicePartition};
+use freac_kernels::{kernel, KernelId, Workload, BATCH};
+
+/// Tile sizes swept by the design-space figures.
+pub const TILE_SIZES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Tile sizes highlighted by Fig. 10.
+pub const FIG10_TILES: [usize; 3] = [1, 8, 16];
+
+/// Converts a kernel's workload into the execution model's spec.
+pub fn spec_of(id: KernelId, w: &Workload) -> KernelSpec {
+    KernelSpec {
+        name: id.name().to_owned(),
+        items: w.items,
+        cycles_per_item: w.cycles_per_item,
+        read_words_per_item: w.read_words_per_item,
+        write_words_per_item: w.write_words_per_item,
+        working_set_per_tile: w.working_set_per_tile,
+        input_bytes: w.input_bytes,
+        output_bytes: w.output_bytes,
+    }
+}
+
+/// Maps a kernel's circuit onto a tile.
+///
+/// # Errors
+///
+/// Propagates mapping/folding failures.
+pub fn map_kernel(id: KernelId, tile_mccs: usize) -> Result<Accelerator, CoreError> {
+    let k = kernel(id);
+    let tile = AcceleratorTile::new(tile_mccs)?;
+    Accelerator::map(&k.circuit(), &tile)
+}
+
+/// A FReaC run together with the tile size that produced it.
+#[derive(Debug, Clone)]
+pub struct BestRun {
+    /// Winning tile size (MCCs).
+    pub tile_mccs: usize,
+    /// The run result.
+    pub run: KernelRun,
+}
+
+/// Runs the kernel across all feasible tile sizes under `partition` and
+/// returns the fastest (by kernel time), mirroring the paper's "best
+/// performance possible across all accelerator tile sizes".
+///
+/// # Errors
+///
+/// Returns the last error if no tile size is feasible.
+pub fn best_freac_run(
+    id: KernelId,
+    partition: SlicePartition,
+    slices: usize,
+) -> Result<BestRun, CoreError> {
+    let k = kernel(id);
+    let w = k.workload(BATCH);
+    let spec = spec_of(id, &w);
+    let cfg = ExecConfig {
+        partition,
+        slices,
+        dirty_fraction: 0.5,
+    };
+    let mut best: Option<BestRun> = None;
+    let mut last_err = None;
+    for &t in &TILE_SIZES {
+        if t > partition.mccs() {
+            continue;
+        }
+        let accel = match map_kernel(id, t) {
+            Ok(a) => a,
+            Err(e) => {
+                last_err = Some(e);
+                continue;
+            }
+        };
+        match run_kernel(&accel, &spec, &cfg) {
+            Ok(run) => {
+                let better = best
+                    .as_ref()
+                    .map_or(true, |b| run.kernel_time_ps < b.run.kernel_time_ps);
+                if better {
+                    best = Some(BestRun { tile_mccs: t, run });
+                }
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    best.ok_or_else(|| {
+        last_err.unwrap_or(CoreError::BadPartition {
+            reason: "no feasible tile size".into(),
+        })
+    })
+}
+
+/// Runs a specific tile size (used by the tile-sweep figures).
+///
+/// # Errors
+///
+/// Propagates mapping and execution failures.
+pub fn freac_run_at(
+    id: KernelId,
+    tile_mccs: usize,
+    partition: SlicePartition,
+    slices: usize,
+) -> Result<KernelRun, CoreError> {
+    let k = kernel(id);
+    let w = k.workload(BATCH);
+    let spec = spec_of(id, &w);
+    let accel = map_kernel(id, tile_mccs)?;
+    run_kernel(
+        &accel,
+        &spec,
+        &ExecConfig {
+            partition,
+            slices,
+            dirty_fraction: 0.5,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_run_picks_a_feasible_tile() {
+        let b = best_freac_run(KernelId::Dot, SlicePartition::max_compute(), 1).unwrap();
+        assert!(TILE_SIZES.contains(&b.tile_mccs));
+        assert!(b.run.kernel_time_ps > 0);
+    }
+
+    #[test]
+    fn best_run_is_no_worse_than_any_single_tile() {
+        let p = SlicePartition::end_to_end();
+        let best = best_freac_run(KernelId::Stn2, p, 2).unwrap();
+        for &t in &[1usize, 8] {
+            if let Ok(r) = freac_run_at(KernelId::Stn2, t, p, 2) {
+                assert!(best.run.kernel_time_ps <= r.kernel_time_ps);
+            }
+        }
+    }
+
+    #[test]
+    fn spec_preserves_workload_fields() {
+        let k = kernel(KernelId::Vadd);
+        let w = k.workload(BATCH);
+        let s = spec_of(KernelId::Vadd, &w);
+        assert_eq!(s.items, w.items);
+        assert_eq!(s.read_words_per_item, w.read_words_per_item);
+        assert_eq!(s.input_bytes, w.input_bytes);
+    }
+}

@@ -1,0 +1,154 @@
+//! Dataset-scale sensitivity: how the FReaC-vs-multicore speedup moves as
+//! the batch factor grows and working sets outgrow the scratchpads.
+//!
+//! The paper evaluates a single 256x batch scale; this study sweeps it.
+//! Expectation (and finding): compute-bound kernels are scale-invariant —
+//! their speedup is set by fold counts, not data volume — while
+//! memory-bound kernels lose ground once the dataset exceeds the
+//! scratchpads' aggregate capacity and both contenders converge on the
+//! same DRAM-bandwidth wall.
+
+use freac_baselines::cpu::CpuModel;
+use freac_core::exec::{run_kernel, ExecConfig};
+use freac_core::{Accelerator, AcceleratorTile, SlicePartition};
+use freac_kernels::{kernel, KernelId};
+use freac_sim::Time;
+
+use crate::render::{fmt_ratio, TextTable};
+use crate::runner::spec_of;
+
+/// Batch factors swept (the paper's point is 256).
+pub const BATCHES: [u64; 4] = [16, 64, 256, 1024];
+
+/// Kernels representative of each regime.
+pub fn subjects() -> [KernelId; 4] {
+    [KernelId::Vadd, KernelId::Stn2, KernelId::Gemm, KernelId::Aes]
+}
+
+/// One kernel's speedup-vs-8-threads across batch scales.
+#[derive(Debug, Clone)]
+pub struct SensitivityRow {
+    /// The kernel.
+    pub kernel: KernelId,
+    /// `(batch, speedup over CPU-8T)` per swept scale.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// The full study.
+#[derive(Debug, Clone)]
+pub struct Sensitivity {
+    /// One row per subject kernel.
+    pub rows: Vec<SensitivityRow>,
+}
+
+/// Runs the study (8 slices, end-to-end partition, best tile per point).
+pub fn run() -> Sensitivity {
+    let cpu = CpuModel::default();
+    let cfg = ExecConfig {
+        partition: SlicePartition::end_to_end(),
+        slices: 8,
+        dirty_fraction: 0.5,
+    };
+    let rows = subjects()
+        .into_iter()
+        .map(|id| {
+            let k = kernel(id);
+            let circuit = k.circuit();
+            let points = BATCHES
+                .iter()
+                .map(|&batch| {
+                    let w = k.workload(batch);
+                    let cpu8 = cpu.run(k.as_ref(), &w, 8).kernel_time_ps as f64;
+                    let spec = spec_of(id, &w);
+                    let mut best: Option<Time> = None;
+                    for t in [1usize, 2, 4, 8, 16] {
+                        let Ok(tile) = AcceleratorTile::new(t) else { continue };
+                        let Ok(accel) = Accelerator::map(&circuit, &tile) else { continue };
+                        if let Ok(r) = run_kernel(&accel, &spec, &cfg) {
+                            best = Some(best.map_or(r.kernel_time_ps, |b| b.min(r.kernel_time_ps)));
+                        }
+                    }
+                    let t = best.expect("at least one tile size runs");
+                    (batch, cpu8 / t as f64)
+                })
+                .collect();
+            SensitivityRow { kernel: id, points }
+        })
+        .collect();
+    Sensitivity { rows }
+}
+
+impl Sensitivity {
+    /// Renders the study.
+    pub fn table(&self) -> TextTable {
+        let headers: Vec<String> = std::iter::once("kernel".to_owned())
+            .chain(BATCHES.iter().map(|b| format!("batch {b}x")))
+            .collect();
+        let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = TextTable::new(
+            "Sensitivity: speedup over CPU-8T vs dataset batch scale",
+            &hdr,
+        );
+        for r in &self.rows {
+            let mut cells = vec![r.kernel.name().to_owned()];
+            for &(_, s) in &r.points {
+                cells.push(fmt_ratio(s));
+            }
+            t.row(cells);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(s: &Sensitivity, id: KernelId) -> Vec<f64> {
+        s.rows
+            .iter()
+            .find(|r| r.kernel == id)
+            .expect("subject present")
+            .points
+            .iter()
+            .map(|&(_, v)| v)
+            .collect()
+    }
+
+    #[test]
+    fn memory_kernels_lose_ground_at_scale() {
+        let s = run();
+        let vadd = row(&s, KernelId::Vadd);
+        let (small, large) = (vadd[0], *vadd.last().expect("points"));
+        assert!(
+            large < small * 0.8,
+            "VADD should erode once datasets outgrow the scratchpads ({small} -> {large})"
+        );
+    }
+
+    #[test]
+    fn compute_kernels_are_scale_invariant() {
+        let s = run();
+        for id in [KernelId::Gemm, KernelId::Aes] {
+            let pts = row(&s, id);
+            let (min, max) = pts
+                .iter()
+                .fold((f64::INFINITY, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+            assert!(
+                max / min < 1.05,
+                "{id} should be flat across scales ({min}..{max})"
+            );
+        }
+    }
+
+    #[test]
+    fn every_point_is_positive_and_finite() {
+        let s = run();
+        for r in &s.rows {
+            assert_eq!(r.points.len(), BATCHES.len());
+            for &(_, v) in &r.points {
+                assert!(v.is_finite() && v > 0.0, "{}", r.kernel);
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Tables I and II: the simulated system and the memory parameters.
+
+use freac_cache::{HierarchyConfig, LlcGeometry};
+use freac_power::sram::{SliceParams, SramParams};
+
+use crate::render::TextTable;
+
+/// Renders Table I (system simulation parameters).
+pub fn table1() -> TextTable {
+    let h = HierarchyConfig::paper_edge();
+    let g = h.llc;
+    let mut t = TextTable::new("Table I: system simulation parameters", &["parameter", "value"]);
+    let mut add = |k: &str, v: String| t.row(vec![k.to_owned(), v]);
+    add("ISA / cores", format!("ARM-class / {} cores", h.cores));
+    add("clock", "4 GHz".into());
+    add(
+        "L1D size/ways/latency",
+        format!("{} KB / {}-way / {} cycles", h.l1_bytes / 1024, h.l1_ways, h.l1_latency),
+    );
+    add(
+        "L2 size/ways/latency",
+        format!("{} KB / {}-way / {} cycles", h.l2_bytes / 1024, h.l2_ways, h.l2_latency),
+    );
+    add(
+        "L3 size/ways/latency",
+        format!(
+            "{} MB / {}-way / {} cycles",
+            g.total_bytes() / (1024 * 1024),
+            g.ways,
+            h.l3_latency
+        ),
+    );
+    add(
+        "L3 slices",
+        format!("{} x {} KB", g.slices, g.slice_bytes() / 1024),
+    );
+    add("memory", "4 channels DDR4-2400".into());
+    t
+}
+
+/// Renders Table II (memory parameters at 32 nm).
+pub fn table2() -> TextTable {
+    let sa = SramParams::subarray_8kb_32nm();
+    let slice = SliceParams::paper_slice_32nm();
+    let g = LlcGeometry::paper_edge();
+    let mut t = TextTable::new("Table II: memory parameters (32 nm)", &["parameter", "value"]);
+    let mut add = |k: &str, v: String| t.row(vec![k.to_owned(), v]);
+    add("sub-array size", format!("{} KB", sa.bytes / 1024));
+    add(
+        "sub-array dimensions",
+        format!("{:.3} x {:.3} mm", sa.height_mm, sa.width_mm),
+    );
+    add("sub-array access time", format!("{:.2} ns", sa.access_ps as f64 / 1000.0));
+    add(
+        "sub-array access energy",
+        format!("{:.5} nJ", sa.access_energy_pj / 1000.0),
+    );
+    add("slice size", format!("{:.2} MB", slice.bytes as f64 / (1024.0 * 1024.0)));
+    add(
+        "slice dimensions",
+        format!("{:.2} x {:.2} mm", slice.height_mm, slice.width_mm),
+    );
+    add("data sub-arrays per slice", format!("{}", g.subarrays_per_slice()));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_values() {
+        let s = table1().to_string();
+        assert!(s.contains("8 cores"));
+        assert!(s.contains("32 KB / 2-way / 2 cycles"));
+        assert!(s.contains("256 KB / 8-way / 10 cycles"));
+        assert!(s.contains("10 MB / 20-way / 27 cycles"));
+        assert!(s.contains("8 x 1280 KB"));
+        assert!(s.contains("DDR4-2400"));
+    }
+
+    #[test]
+    fn table2_matches_paper_values() {
+        let s = table2().to_string();
+        assert!(s.contains("0.136 x 0.096 mm"));
+        assert!(s.contains("0.12 ns"));
+        assert!(s.contains("0.00369 nJ"));
+        assert!(s.contains("1.63 x 1.92 mm"));
+        assert!(s.contains("160"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-step resource envelopes for accelerator tiles.
+
+/// Which LUT mode the micro compute clusters operate in.
+///
+/// Each compute sub-array delivers 32 configuration bits per access: enough
+/// for one 5-LUT (2^5 bits) or two 4-LUTs (2 x 2^4 bits). An MCC groups four
+/// sub-arrays, so it realizes four 5-LUTs or eight 4-LUTs per fold step
+/// (paper Sec. III-A/D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LutMode {
+    /// 4-input LUTs: eight per cluster per step.
+    Lut4,
+    /// 5-input LUTs: four per cluster per step.
+    Lut5,
+}
+
+impl LutMode {
+    /// LUT input count for this mode.
+    pub fn k(self) -> usize {
+        match self {
+            LutMode::Lut4 => 4,
+            LutMode::Lut5 => 5,
+        }
+    }
+
+    /// LUT evaluations a single MCC provides per fold step.
+    pub fn luts_per_cluster(self) -> usize {
+        match self {
+            LutMode::Lut4 => 8,
+            LutMode::Lut5 => 4,
+        }
+    }
+}
+
+/// The resources an accelerator tile offers in one fold step.
+///
+/// ```
+/// use freac_fold::{FoldConstraints, LutMode};
+///
+/// // Four clusters in 4-LUT mode: 32 LUTs, 4 MACs, 4 bus ops per step.
+/// let c = FoldConstraints::for_tile(4, LutMode::Lut4);
+/// assert_eq!(c.luts_per_step, 32);
+/// assert_eq!(c.macs_per_step, 4);
+/// assert_eq!(c.max_steps, 2048);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FoldConstraints {
+    /// Maximum LUT evaluations per step.
+    pub luts_per_step: usize,
+    /// Maximum LUT input width (K).
+    pub lut_inputs: usize,
+    /// Maximum MAC issues per step (one per MCC).
+    pub macs_per_step: usize,
+    /// Maximum bus operations (operand fetch / result store) per step
+    /// (one per MCC).
+    pub bus_ops_per_step: usize,
+    /// Maximum schedule length: the number of 32-bit configuration rows an
+    /// 8 KB compute sub-array can hold.
+    pub max_steps: usize,
+    /// Intermediate-state capacity in bits (256 flip-flops per MCC).
+    pub state_bits: usize,
+}
+
+/// Configuration rows available per compute sub-array: 8 KB / 32-bit rows.
+pub const CONFIG_ROWS_PER_SUBARRAY: usize = 8 * 1024 * 8 / 32;
+
+/// Intermediate value flip-flops per micro compute cluster (paper Sec. V-A).
+pub const STATE_BITS_PER_CLUSTER: usize = 256;
+
+impl FoldConstraints {
+    /// The envelope of a tile built from `clusters` micro compute clusters
+    /// operating in `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero or exceeds 32 (the per-slice maximum).
+    pub fn for_tile(clusters: usize, mode: LutMode) -> Self {
+        assert!(
+            (1..=32).contains(&clusters),
+            "a tile groups 1..=32 clusters, got {clusters}"
+        );
+        FoldConstraints {
+            luts_per_step: clusters * mode.luts_per_cluster(),
+            lut_inputs: mode.k(),
+            macs_per_step: clusters,
+            bus_ops_per_step: clusters,
+            max_steps: CONFIG_ROWS_PER_SUBARRAY,
+            state_bits: clusters * STATE_BITS_PER_CLUSTER,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes() {
+        assert_eq!(LutMode::Lut4.k(), 4);
+        assert_eq!(LutMode::Lut5.k(), 5);
+        assert_eq!(LutMode::Lut4.luts_per_cluster(), 8);
+        assert_eq!(LutMode::Lut5.luts_per_cluster(), 4);
+    }
+
+    #[test]
+    fn tile_scaling() {
+        let c1 = FoldConstraints::for_tile(1, LutMode::Lut4);
+        assert_eq!(c1.luts_per_step, 8);
+        assert_eq!(c1.macs_per_step, 1);
+        assert_eq!(c1.bus_ops_per_step, 1);
+        assert_eq!(c1.state_bits, 256);
+        let c16 = FoldConstraints::for_tile(16, LutMode::Lut5);
+        assert_eq!(c16.luts_per_step, 64);
+        assert_eq!(c16.macs_per_step, 16);
+        assert_eq!(c16.state_bits, 4096);
+    }
+
+    #[test]
+    fn config_rows_match_subarray_capacity() {
+        // 8 KB at 32 bits per row = 2048 rows.
+        assert_eq!(CONFIG_ROWS_PER_SUBARRAY, 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=32")]
+    fn zero_clusters_panics() {
+        let _ = FoldConstraints::for_tile(0, LutMode::Lut4);
+    }
+}

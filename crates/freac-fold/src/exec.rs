@@ -1,0 +1,384 @@
+//! Step-by-step execution of a fold schedule.
+//!
+//! [`FoldedExecutor`] runs a circuit the way the micro compute clusters do:
+//! one fold step per cache cycle, with intermediate values held in the
+//! cluster's state registers between steps and sequential elements latched
+//! at the end of the full pass. It doubles as a schedule validator: reading
+//! a value that no earlier step produced is reported as a
+//! [`FoldError::DependencyViolation`].
+//!
+//! The central correctness property of this reproduction — folded execution
+//! is bit-identical to the un-folded reference evaluator — is exercised by
+//! this module's tests and by property tests in the workspace test-suite.
+
+use freac_netlist::{Netlist, NetlistError, NodeId, NodeKind, Value};
+
+use crate::error::FoldError;
+use crate::schedule::FoldSchedule;
+
+/// Executes a [`FoldSchedule`] against its netlist.
+#[derive(Debug)]
+pub struct FoldedExecutor<'a> {
+    netlist: &'a Netlist,
+    schedule: &'a FoldSchedule,
+    /// Computed value of each node in the current pass (`None` = not yet
+    /// produced).
+    values: Vec<Option<Value>>,
+    /// Latched sequential state.
+    state: Vec<Value>,
+    /// Total fold steps executed across all cycles.
+    steps_executed: u64,
+    cycles: u64,
+}
+
+impl<'a> FoldedExecutor<'a> {
+    /// Prepares an executor with sequential state at power-on values.
+    pub fn new(netlist: &'a Netlist, schedule: &'a FoldSchedule) -> Self {
+        let mut state = vec![Value::Bit(false); netlist.len()];
+        for (i, node) in netlist.nodes().iter().enumerate() {
+            match node.kind {
+                NodeKind::Ff { init } => state[i] = Value::Bit(init),
+                NodeKind::WordReg { init } => state[i] = Value::Word(init),
+                _ => {}
+            }
+        }
+        FoldedExecutor {
+            netlist,
+            schedule,
+            values: vec![None; netlist.len()],
+            state,
+            steps_executed: 0,
+            cycles: 0,
+        }
+    }
+
+    /// Original clock cycles executed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total fold steps executed (cache clock cycles of pure compute).
+    pub fn steps_executed(&self) -> u64 {
+        self.steps_executed
+    }
+
+    /// Runs one original clock cycle (a full pass over the schedule) and
+    /// returns the primary outputs in declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns input-shape errors, or [`FoldError::DependencyViolation`] if
+    /// the schedule reads values before they are produced.
+    pub fn run_cycle(&mut self, inputs: &[Value]) -> Result<Vec<Value>, FoldError> {
+        let pis = self.netlist.primary_inputs();
+        let expected_words = pis
+            .iter()
+            .filter(|&&p| matches!(self.netlist.nodes()[p.index()].kind, NodeKind::WordInput { .. } | NodeKind::BitInput { .. }))
+            .count();
+        if inputs.len() != expected_words {
+            return Err(FoldError::Netlist(NetlistError::InputCountMismatch {
+                expected: expected_words,
+                found: inputs.len(),
+            }));
+        }
+        self.values.fill(None);
+
+        // Bit inputs are pre-latched parameters: available from step 0.
+        // Word inputs become available at their scheduled bus-read step.
+        let mut input_values: Vec<Value> = Vec::with_capacity(pis.len());
+        for (i, (&pi, &v)) in pis.iter().zip(inputs).enumerate() {
+            let expect = self.netlist.nodes()[pi.index()].kind.output_type();
+            if v.signal_type() != expect {
+                return Err(FoldError::Netlist(NetlistError::InputTypeMismatch {
+                    index: i,
+                }));
+            }
+            input_values.push(v);
+            if matches!(self.netlist.nodes()[pi.index()].kind, NodeKind::BitInput { .. }) {
+                self.values[pi.index()] = Some(v);
+            }
+        }
+
+        for step in self.schedule.steps() {
+            for &id in &step.bus_reads {
+                let pos = pis
+                    .iter()
+                    .position(|&p| p == id)
+                    .expect("bus read targets a primary input");
+                self.values[id.index()] = Some(input_values[pos]);
+            }
+            for &id in &step.luts {
+                let v = self.eval_lut(id)?;
+                self.values[id.index()] = Some(v);
+            }
+            for &id in &step.macs {
+                let v = self.eval_mac(id)?;
+                self.values[id.index()] = Some(v);
+            }
+            for &id in &step.bus_writes {
+                let node = &self.netlist.nodes()[id.index()];
+                let v = self.resolve(node.inputs[0], id)?;
+                self.values[id.index()] = Some(v);
+            }
+            self.steps_executed += 1;
+        }
+
+        // Latch sequential elements at the end of the pass.
+        let mut latched: Vec<(usize, Value)> = Vec::new();
+        for (i, node) in self.netlist.nodes().iter().enumerate() {
+            if node.kind.is_sequential() {
+                let v = self.resolve(node.inputs[0], NodeId(i as u32))?;
+                latched.push((i, v));
+            }
+        }
+        for (i, v) in latched {
+            self.state[i] = v;
+        }
+        self.cycles += 1;
+
+        // Collect primary outputs: scheduled word outputs hold their written
+        // value; bit outputs are free sinks resolved now.
+        let mut outs = Vec::with_capacity(self.netlist.primary_outputs().len());
+        for &o in self.netlist.primary_outputs() {
+            let node = &self.netlist.nodes()[o.index()];
+            let v = match node.kind {
+                NodeKind::WordOutput { .. } => self.values[o.index()]
+                    .ok_or(FoldError::DependencyViolation { node: o, operand: o })?,
+                _ => self.resolve(node.inputs[0], o)?,
+            };
+            outs.push(v);
+        }
+        Ok(outs)
+    }
+
+    /// Resolves the value of `id` as seen by `consumer`: scheduled nodes
+    /// must already have produced their value; free plumbing is evaluated
+    /// transparently; sequential nodes yield their latched state.
+    fn resolve(&self, id: NodeId, consumer: NodeId) -> Result<Value, FoldError> {
+        let node = &self.netlist.nodes()[id.index()];
+        match &node.kind {
+            NodeKind::Lut(_)
+            | NodeKind::Mac
+            | NodeKind::WordInput { .. }
+            | NodeKind::WordOutput { .. } => self.values[id.index()].ok_or(
+                FoldError::DependencyViolation {
+                    node: consumer,
+                    operand: id,
+                },
+            ),
+            NodeKind::BitInput { .. } => self.values[id.index()].ok_or(
+                FoldError::DependencyViolation {
+                    node: consumer,
+                    operand: id,
+                },
+            ),
+            NodeKind::ConstBit(b) => Ok(Value::Bit(*b)),
+            NodeKind::ConstWord(w) => Ok(Value::Word(*w)),
+            NodeKind::Ff { .. } | NodeKind::WordReg { .. } => Ok(self.state[id.index()]),
+            NodeKind::Pack => {
+                let mut w = 0u32;
+                for (i, &inp) in node.inputs.iter().enumerate() {
+                    let bit = self
+                        .resolve(inp, id)?
+                        .as_bit()
+                        .expect("validated bit operand");
+                    if bit {
+                        w |= 1 << i;
+                    }
+                }
+                Ok(Value::Word(w))
+            }
+            NodeKind::Unpack { bit } => {
+                let w = self
+                    .resolve(node.inputs[0], id)?
+                    .as_word()
+                    .expect("validated word operand");
+                Ok(Value::Bit((w >> bit) & 1 == 1))
+            }
+            NodeKind::BitOutput { .. } => self.resolve(node.inputs[0], id),
+        }
+    }
+
+    fn eval_lut(&self, id: NodeId) -> Result<Value, FoldError> {
+        let node = &self.netlist.nodes()[id.index()];
+        let NodeKind::Lut(table) = &node.kind else {
+            unreachable!("scheduled LUT step contains only LUT nodes");
+        };
+        let mut row = 0usize;
+        for (i, &inp) in node.inputs.iter().enumerate() {
+            if self
+                .resolve(inp, id)?
+                .as_bit()
+                .expect("validated bit operand")
+            {
+                row |= 1 << i;
+            }
+        }
+        Ok(Value::Bit(table.eval(row)))
+    }
+
+    fn eval_mac(&self, id: NodeId) -> Result<Value, FoldError> {
+        let node = &self.netlist.nodes()[id.index()];
+        let a = self
+            .resolve(node.inputs[0], id)?
+            .as_word()
+            .expect("validated word operand");
+        let b = self
+            .resolve(node.inputs[1], id)?
+            .as_word()
+            .expect("validated word operand");
+        let acc = self
+            .resolve(node.inputs[2], id)?
+            .as_word()
+            .expect("validated word operand");
+        Ok(Value::Word(a.wrapping_mul(b).wrapping_add(acc)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::{FoldConstraints, LutMode};
+    use crate::scheduler::schedule_fold;
+    use freac_netlist::builder::CircuitBuilder;
+    use freac_netlist::eval::Evaluator;
+    use freac_netlist::techmap::{tech_map, TechMapOptions};
+
+    fn folded_equals_reference(netlist: &Netlist, inputs: &[Value], cycles: usize, clusters: usize) {
+        let cons = FoldConstraints::for_tile(clusters, LutMode::Lut4);
+        let schedule = schedule_fold(netlist, &cons).unwrap();
+        let mut fx = FoldedExecutor::new(netlist, &schedule);
+        let mut ev = Evaluator::new(netlist);
+        for c in 0..cycles {
+            let a = fx.run_cycle(inputs).unwrap();
+            let b = ev.run_cycle(inputs).unwrap();
+            assert_eq!(a, b, "cycle {c} diverged");
+        }
+    }
+
+    #[test]
+    fn adder_folds_correctly() {
+        let mut b = CircuitBuilder::new("add");
+        let a = b.word_input("a", 16);
+        let c = b.word_input("b", 16);
+        let s = b.add(&a, &c);
+        b.word_output("s", &s);
+        let n = tech_map(&b.finish().unwrap(), TechMapOptions::lut4()).unwrap();
+        folded_equals_reference(&n, &[Value::Word(65535), Value::Word(2)], 1, 1);
+        folded_equals_reference(&n, &[Value::Word(12345), Value::Word(54321 & 0xFFFF)], 1, 4);
+    }
+
+    #[test]
+    fn sbox_rom_folds_correctly() {
+        let table: Vec<u32> = (0..256u32)
+            .map(|i| i.wrapping_mul(197).wrapping_add(41) & 0xFF)
+            .collect();
+        let mut b = CircuitBuilder::new("rom");
+        let a = b.word_input("a", 8);
+        let v = b.rom(&table, a.bits(), 8);
+        b.word_output("v", &v);
+        let n = tech_map(&b.finish().unwrap(), TechMapOptions::lut4()).unwrap();
+        for x in [0u32, 1, 127, 200, 255] {
+            folded_equals_reference(&n, &[Value::Word(x)], 1, 1);
+        }
+    }
+
+    #[test]
+    fn sequential_accumulator_folds_correctly() {
+        // acc <- acc + in, streamed over several cycles.
+        let mut b = CircuitBuilder::new("acc");
+        let x = b.word_input("x", 16);
+        let (acc, h) = b.word_reg(0, 16);
+        let sum = b.add(&acc, &x);
+        b.connect_word_reg(h, &sum);
+        b.word_output("acc", &acc);
+        let n = tech_map(&b.finish().unwrap(), TechMapOptions::lut4()).unwrap();
+        folded_equals_reference(&n, &[Value::Word(37)], 8, 1);
+    }
+
+    #[test]
+    fn mac_pipeline_folds_correctly() {
+        let mut b = CircuitBuilder::new("macpipe");
+        let a = b.word_input("a", 32);
+        let c = b.word_input("b", 32);
+        let (acc, h) = b.word_reg(0, 32);
+        let m = b.mac(&a, &c, &acc);
+        b.connect_word_reg(h, &m);
+        b.word_output("acc", &acc);
+        let n = tech_map(&b.finish().unwrap(), TechMapOptions::lut4()).unwrap();
+        folded_equals_reference(&n, &[Value::Word(3), Value::Word(5)], 5, 1);
+    }
+
+    #[test]
+    fn steps_executed_accumulates() {
+        let mut b = CircuitBuilder::new("add");
+        let a = b.word_input("a", 8);
+        let c = b.word_input("b", 8);
+        let s = b.add(&a, &c);
+        b.word_output("s", &s);
+        let n = tech_map(&b.finish().unwrap(), TechMapOptions::lut4()).unwrap();
+        let cons = FoldConstraints::for_tile(1, LutMode::Lut4);
+        let schedule = schedule_fold(&n, &cons).unwrap();
+        let mut fx = FoldedExecutor::new(&n, &schedule);
+        fx.run_cycle(&[Value::Word(1), Value::Word(2)]).unwrap();
+        fx.run_cycle(&[Value::Word(3), Value::Word(4)]).unwrap();
+        assert_eq!(fx.steps_executed(), 2 * schedule.len() as u64);
+        assert_eq!(fx.cycles(), 2);
+    }
+
+    #[test]
+    fn input_shape_errors() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.word_input("a", 8);
+        b.word_output("o", &a);
+        let n = tech_map(&b.finish().unwrap(), TechMapOptions::lut4()).unwrap();
+        let cons = FoldConstraints::for_tile(1, LutMode::Lut4);
+        let schedule = schedule_fold(&n, &cons).unwrap();
+        let mut fx = FoldedExecutor::new(&n, &schedule);
+        assert!(fx.run_cycle(&[]).is_err());
+        assert!(fx.run_cycle(&[Value::Bit(false)]).is_err());
+    }
+
+    #[test]
+    fn bad_schedule_detected() {
+        // Hand-build a schedule that evaluates the consumer before its
+        // producer and check the executor flags it.
+        use crate::schedule::{FoldSchedule, FoldStep};
+        let mut b = CircuitBuilder::new("t");
+        let a = b.word_input("a", 2);
+        let x = b.xor(a.bit(0), a.bit(1));
+        let nx = b.not(x);
+        b.bit_output("nx", nx);
+        let n = b.finish().unwrap();
+        // Find the LUT node ids: xor then not, plus the word input.
+        let mut luts: Vec<NodeId> = n
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, nd)| matches!(nd.kind, NodeKind::Lut(_)))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        let word_in = n.primary_inputs()[0];
+        luts.reverse(); // consumer first: invalid order
+        let steps = vec![
+            FoldStep {
+                luts: vec![luts[0]],
+                macs: vec![],
+                bus_reads: vec![word_in],
+                bus_writes: vec![],
+            },
+            FoldStep {
+                luts: vec![luts[1]],
+                macs: vec![],
+                bus_reads: vec![],
+                bus_writes: vec![],
+            },
+        ];
+        let bad = FoldSchedule::new(steps, 0, 8);
+        let mut fx = FoldedExecutor::new(&n, &bad);
+        assert!(matches!(
+            fx.run_cycle(&[Value::Word(1)]),
+            Err(FoldError::DependencyViolation { .. })
+        ));
+    }
+}

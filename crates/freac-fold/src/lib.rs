@@ -1,0 +1,56 @@
+//! Logic folding for FReaC Cache.
+//!
+//! Logic folding (paper Sec. II & IV) implements a large circuit with few
+//! physical LUTs by *temporal pipelining*: the leveled netlist is partitioned
+//! into fold steps, and on every cache clock cycle the compute sub-arrays
+//! read a fresh configuration row, re-programming the physical LUTs to
+//! realize the next step. A circuit folded `N` times takes `N` cache cycles
+//! per original clock cycle, making its effective clock `CacheClock / N`.
+//!
+//! This crate provides:
+//!
+//! * [`FoldConstraints`] — the per-step resource envelope of an accelerator
+//!   tile (LUT evaluations, MAC issues, bus operations per step), derived
+//!   from the number of micro compute clusters grouped into the tile;
+//! * [`schedule_fold`] — a criticality-driven list scheduler producing a
+//!   [`FoldSchedule`];
+//! * [`FoldedExecutor`] — executes a schedule step by step, doubling as a
+//!   schedule validator (a dependency violation is an execution error), and
+//!   used by the test-suite to prove folded execution is bit-identical to
+//!   the reference evaluator.
+//!
+//! # Example
+//!
+//! ```
+//! use freac_netlist::builder::CircuitBuilder;
+//! use freac_netlist::techmap::{tech_map, TechMapOptions};
+//! use freac_netlist::Value;
+//! use freac_fold::{schedule_fold, FoldConstraints, FoldedExecutor, LutMode};
+//!
+//! let mut b = CircuitBuilder::new("add");
+//! let a = b.word_input("a", 16);
+//! let c = b.word_input("b", 16);
+//! let s = b.add(&a, &c);
+//! b.word_output("s", &s);
+//! let mapped = tech_map(&b.finish()?, TechMapOptions::lut4())?;
+//!
+//! // One micro compute cluster in 4-LUT mode: 8 LUTs, 1 MAC, 1 bus op/step.
+//! let cons = FoldConstraints::for_tile(1, LutMode::Lut4);
+//! let schedule = schedule_fold(&mapped, &cons)?;
+//! let mut ex = FoldedExecutor::new(&mapped, &schedule);
+//! let out = ex.run_cycle(&[Value::Word(30_000), Value::Word(12_345)])?;
+//! assert_eq!(out[0], Value::Word((30_000 + 12_345) & 0xFFFF));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod constraints;
+pub mod error;
+pub mod exec;
+pub mod schedule;
+pub mod scheduler;
+
+pub use constraints::{FoldConstraints, LutMode};
+pub use error::FoldError;
+pub use exec::FoldedExecutor;
+pub use schedule::{FoldSchedule, FoldStep, ScheduleStats};
+pub use scheduler::{schedule_fold, schedule_fold_with, SchedulePolicy};

@@ -1,0 +1,157 @@
+//! Fold schedules: the output of the folding scheduler.
+
+use freac_netlist::NodeId;
+
+/// The work performed in a single fold step (one cache clock cycle).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FoldStep {
+    /// LUT nodes evaluated this step.
+    pub luts: Vec<NodeId>,
+    /// MAC nodes issued this step.
+    pub macs: Vec<NodeId>,
+    /// Operand fetches (primary word inputs) issued this step.
+    pub bus_reads: Vec<NodeId>,
+    /// Result stores (primary word outputs) issued this step.
+    pub bus_writes: Vec<NodeId>,
+}
+
+impl FoldStep {
+    /// Whether the step performs no work.
+    pub fn is_empty(&self) -> bool {
+        self.luts.is_empty()
+            && self.macs.is_empty()
+            && self.bus_reads.is_empty()
+            && self.bus_writes.is_empty()
+    }
+
+    /// Total bus operations in this step.
+    pub fn bus_ops(&self) -> usize {
+        self.bus_reads.len() + self.bus_writes.len()
+    }
+}
+
+/// Aggregate statistics of a schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Number of fold steps (the fold count N; effective clock is
+    /// cache-clock / N).
+    pub steps: usize,
+    /// Total LUT evaluations across all steps.
+    pub lut_evals: usize,
+    /// Total MAC issues.
+    pub mac_issues: usize,
+    /// Total bus operations.
+    pub bus_ops: usize,
+    /// Peak number of live intermediate bits that must be held in the
+    /// cluster state registers between steps.
+    pub peak_live_bits: usize,
+    /// Average LUT-slot occupancy in percent (0-100).
+    pub lut_utilization_pct: u32,
+}
+
+/// A complete folding schedule for one original clock cycle of a circuit.
+#[derive(Debug, Clone, Default)]
+pub struct FoldSchedule {
+    steps: Vec<FoldStep>,
+    stats: ScheduleStats,
+}
+
+impl FoldSchedule {
+    /// Assembles a schedule from raw steps, computing summary statistics.
+    ///
+    /// `peak_live_bits` is supplied by the scheduler, which tracks liveness
+    /// while placing nodes; `luts_per_step` is the tile's LUT budget used to
+    /// compute utilization.
+    pub fn new(steps: Vec<FoldStep>, peak_live_bits: usize, luts_per_step: usize) -> Self {
+        let lut_evals: usize = steps.iter().map(|s| s.luts.len()).sum();
+        let mac_issues: usize = steps.iter().map(|s| s.macs.len()).sum();
+        let bus_ops: usize = steps.iter().map(FoldStep::bus_ops).sum();
+        let cap = steps.len() * luts_per_step;
+        let stats = ScheduleStats {
+            steps: steps.len(),
+            lut_evals,
+            mac_issues,
+            bus_ops,
+            peak_live_bits,
+            lut_utilization_pct: if cap == 0 {
+                0
+            } else {
+                (lut_evals * 100 / cap) as u32
+            },
+        };
+        FoldSchedule { steps, stats }
+    }
+
+    /// The fold steps in execution order.
+    pub fn steps(&self) -> &[FoldStep] {
+        &self.steps
+    }
+
+    /// Number of fold steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the schedule has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> ScheduleStats {
+        self.stats
+    }
+
+    /// Whether the schedule's peak live state exceeds the tile's
+    /// intermediate-register capacity. Such schedules still execute in the
+    /// functional model but would need extra scratch state in hardware;
+    /// the evaluation harness reports this per kernel.
+    pub fn exceeds_state_capacity(&self, state_bits: usize) -> bool {
+        self.stats.peak_live_bits > state_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_aggregate() {
+        let steps = vec![
+            FoldStep {
+                luts: vec![NodeId(0), NodeId(1)],
+                macs: vec![NodeId(2)],
+                bus_reads: vec![NodeId(3)],
+                bus_writes: vec![],
+            },
+            FoldStep {
+                luts: vec![NodeId(4)],
+                macs: vec![],
+                bus_reads: vec![],
+                bus_writes: vec![NodeId(5)],
+            },
+        ];
+        let s = FoldSchedule::new(steps, 17, 8);
+        assert_eq!(s.len(), 2);
+        let st = s.stats();
+        assert_eq!(st.lut_evals, 3);
+        assert_eq!(st.mac_issues, 1);
+        assert_eq!(st.bus_ops, 2);
+        assert_eq!(st.peak_live_bits, 17);
+        assert_eq!(st.lut_utilization_pct, 3 * 100 / 16);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = FoldSchedule::new(vec![], 0, 8);
+        assert!(s.is_empty());
+        assert_eq!(s.stats().lut_utilization_pct, 0);
+    }
+
+    #[test]
+    fn step_emptiness() {
+        let st = FoldStep::default();
+        assert!(st.is_empty());
+        assert_eq!(st.bus_ops(), 0);
+    }
+}

@@ -1,0 +1,459 @@
+//! Criticality-driven list scheduling of a netlist into fold steps.
+//!
+//! The scheduler follows the paper's flow (Sec. IV, Fig. 7b): the mapped
+//! netlist is topologically leveled, then nodes are packed into successive
+//! fold steps subject to the tile's per-step resource envelope. Each fold
+//! step realizes one combinational stage, so a consumer always executes in a
+//! strictly later step than its producers; free plumbing (pack/unpack,
+//! constants, pre-latched bit inputs) and sequential elements do not occupy
+//! step resources.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use freac_netlist::{Netlist, NodeId, NodeKind};
+
+use crate::constraints::FoldConstraints;
+use crate::error::FoldError;
+use crate::schedule::{FoldSchedule, FoldStep};
+
+/// What kind of step resource a schedulable node consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resource {
+    Lut,
+    Mac,
+    BusRead,
+    BusWrite,
+}
+
+fn resource_of(kind: &NodeKind) -> Option<Resource> {
+    match kind {
+        NodeKind::Lut(_) => Some(Resource::Lut),
+        NodeKind::Mac => Some(Resource::Mac),
+        NodeKind::WordInput { .. } => Some(Resource::BusRead),
+        NodeKind::WordOutput { .. } => Some(Resource::BusWrite),
+        _ => None,
+    }
+}
+
+/// Bits of live state a scheduled node's result occupies between steps.
+fn live_bits_of(kind: &NodeKind) -> usize {
+    match kind {
+        NodeKind::Lut(_) => 1,
+        NodeKind::Mac | NodeKind::WordInput { .. } => 32,
+        _ => 0,
+    }
+}
+
+/// How the list scheduler prioritizes ready nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Longest-path-to-sink first (criticality-driven) — the default, and
+    /// what the paper's folding flow approximates.
+    #[default]
+    Critical,
+    /// Creation order (FIFO by node id) — a naive baseline used by the
+    /// scheduler ablation to quantify what criticality buys.
+    InOrder,
+}
+
+/// Schedules `netlist` into fold steps under `constraints` with the
+/// default criticality-driven policy.
+///
+/// # Errors
+///
+/// * [`FoldError::LutTooWide`] if the netlist has not been technology-mapped
+///   down to the tile's LUT size.
+/// * [`FoldError::ExceedsConfigRows`] if the schedule does not fit in the
+///   compute sub-arrays' configuration memory.
+/// * [`FoldError::Netlist`] for structural errors.
+pub fn schedule_fold(
+    netlist: &Netlist,
+    constraints: &FoldConstraints,
+) -> Result<FoldSchedule, FoldError> {
+    schedule_fold_with(netlist, constraints, SchedulePolicy::Critical)
+}
+
+/// Schedules with an explicit [`SchedulePolicy`].
+///
+/// # Errors
+///
+/// Same conditions as [`schedule_fold`].
+pub fn schedule_fold_with(
+    netlist: &Netlist,
+    constraints: &FoldConstraints,
+    policy: SchedulePolicy,
+) -> Result<FoldSchedule, FoldError> {
+    netlist.validate()?;
+    freac_netlist::level::level_graph(netlist)?;
+
+    let n = netlist.len();
+
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        if let NodeKind::Lut(t) = &node.kind {
+            if t.inputs() > constraints.lut_inputs {
+                return Err(FoldError::LutTooWide {
+                    node: NodeId(i as u32),
+                    width: t.inputs(),
+                    max: constraints.lut_inputs,
+                });
+            }
+        }
+    }
+
+    // --- Collapse free nodes: compute, for every node, its set of
+    // schedulable producers (transitively through plumbing). ---
+    let sched_preds = schedulable_predecessors(netlist);
+
+    // Dependency edges between schedulable nodes.
+    let mut succs: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut indeg: Vec<u32> = vec![0; n];
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        if resource_of(&node.kind).is_none() {
+            continue;
+        }
+        for &p in &sched_preds[i] {
+            succs[p.index()].push(NodeId(i as u32));
+            indeg[i] += 1;
+        }
+    }
+
+    // Heights for priority: longest path to any schedulable sink (the
+    // in-order policy flattens priorities so the id tiebreak decides).
+    let height = match policy {
+        SchedulePolicy::Critical => heights(netlist, &succs),
+        SchedulePolicy::InOrder => vec![0; n],
+    };
+
+    // --- List scheduling. ---
+    let mut ready: BinaryHeap<(u32, Reverse<u32>)> = BinaryHeap::new();
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        if resource_of(&node.kind).is_some() && indeg[i] == 0 {
+            ready.push((height[i], Reverse(i as u32)));
+        }
+    }
+
+    let mut steps: Vec<FoldStep> = Vec::new();
+    let mut step_of: Vec<usize> = vec![usize::MAX; n];
+    let mut deferred: Vec<(u32, Reverse<u32>)> = Vec::new();
+    let mut scheduled = 0usize;
+    let total: usize = netlist
+        .nodes()
+        .iter()
+        .filter(|nd| resource_of(&nd.kind).is_some())
+        .count();
+
+    while scheduled < total {
+        let mut step = FoldStep::default();
+        let mut newly_ready: Vec<(u32, Reverse<u32>)> = Vec::new();
+        while let Some((h, Reverse(id))) = ready.pop() {
+            let idx = id as usize;
+            let res = resource_of(&netlist.nodes()[idx].kind).expect("only schedulable in heap");
+            let fits = match res {
+                Resource::Lut => step.luts.len() < constraints.luts_per_step,
+                Resource::Mac => step.macs.len() < constraints.macs_per_step,
+                Resource::BusRead | Resource::BusWrite => {
+                    step.bus_ops() < constraints.bus_ops_per_step
+                }
+            };
+            if !fits {
+                deferred.push((h, Reverse(id)));
+                continue;
+            }
+            match res {
+                Resource::Lut => step.luts.push(NodeId(id)),
+                Resource::Mac => step.macs.push(NodeId(id)),
+                Resource::BusRead => step.bus_reads.push(NodeId(id)),
+                Resource::BusWrite => step.bus_writes.push(NodeId(id)),
+            }
+            step_of[idx] = steps.len();
+            scheduled += 1;
+            for &s in &succs[idx] {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    // Successors become ready only in a later step.
+                    newly_ready.push((height[s.index()], Reverse(s.0)));
+                }
+            }
+        }
+        debug_assert!(
+            !step.is_empty(),
+            "scheduler made no progress; dependency graph must be acyclic"
+        );
+        steps.push(step);
+        for e in deferred.drain(..) {
+            ready.push(e);
+        }
+        for e in newly_ready {
+            ready.push(e);
+        }
+        if steps.len() > constraints.max_steps {
+            return Err(FoldError::ExceedsConfigRows {
+                steps: steps.len(),
+                max: constraints.max_steps,
+            });
+        }
+    }
+
+    let peak = peak_liveness(netlist, &steps, &step_of, &sched_preds);
+    Ok(FoldSchedule::new(steps, peak, constraints.luts_per_step))
+}
+
+/// For every node, the schedulable nodes it (transitively) reads through
+/// free plumbing. Sequential elements and primary inputs terminate the
+/// search.
+fn schedulable_predecessors(netlist: &Netlist) -> Vec<Vec<NodeId>> {
+    let n = netlist.len();
+    let mut memo: Vec<Option<Vec<NodeId>>> = vec![None; n];
+
+    // The builder guarantees non-sequential nodes only reference
+    // already-created nodes, so id order is a valid evaluation order for
+    // the combinational graph (sequential feedback is cut below).
+    fn compute(netlist: &Netlist, memo: &mut Vec<Option<Vec<NodeId>>>, id: usize) -> Vec<NodeId> {
+        if let Some(v) = &memo[id] {
+            return v.clone();
+        }
+        let node = &netlist.nodes()[id];
+        let mut out: Vec<NodeId> = Vec::new();
+        if !node.kind.is_sequential() {
+            for &inp in &node.inputs {
+                let src = &netlist.nodes()[inp.index()];
+                if resource_of(&src.kind).is_some() {
+                    out.push(inp);
+                } else if !src.kind.is_sequential() {
+                    out.extend(compute(netlist, memo, inp.index()));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        memo[id] = Some(out.clone());
+        out
+    }
+
+    (0..n).map(|i| compute(netlist, &mut memo, i)).collect()
+}
+
+/// Longest path (in schedulable hops) from each node to a sink.
+fn heights(netlist: &Netlist, succs: &[Vec<NodeId>]) -> Vec<u32> {
+    let n = netlist.len();
+    let mut h = vec![0u32; n];
+    // Process in reverse topological order. Because the schedulable graph
+    // derives from an acyclic combinational graph built in creation order,
+    // descending id order is a valid reverse-topological order.
+    for i in (0..n).rev() {
+        for &s in &succs[i] {
+            h[i] = h[i].max(h[s.index()] + 1);
+        }
+    }
+    h
+}
+
+/// Peak live bits across step boundaries.
+fn peak_liveness(
+    netlist: &Netlist,
+    steps: &[FoldStep],
+    step_of: &[usize],
+    sched_preds: &[Vec<NodeId>],
+) -> usize {
+    let n = netlist.len();
+    let end = steps.len();
+    // death[p] = latest step at which p's value is consumed.
+    let mut death = vec![0usize; n];
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        let consumer_step = if resource_of(&node.kind).is_some() {
+            step_of[i]
+        } else if node.kind.is_sequential()
+            || matches!(node.kind, NodeKind::BitOutput { .. })
+        {
+            // Latched / read at the end of the pass.
+            end
+        } else {
+            continue;
+        };
+        // A sequential node's D input is read at end-of-pass; sched_preds
+        // deliberately skips it (it is not a within-cycle dependency), so
+        // walk the D input directly here.
+        if node.kind.is_sequential() {
+            for &inp in &node.inputs {
+                let src = &netlist.nodes()[inp.index()];
+                if resource_of(&src.kind).is_some() {
+                    death[inp.index()] = death[inp.index()].max(consumer_step);
+                } else {
+                    for &p in &sched_preds[inp.index()] {
+                        death[p.index()] = death[p.index()].max(consumer_step);
+                    }
+                }
+            }
+        } else {
+            for &p in &sched_preds[i] {
+                death[p.index()] = death[p.index()].max(consumer_step);
+            }
+        }
+    }
+    let mut delta = vec![0isize; end + 2];
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        if resource_of(&node.kind).is_none() {
+            continue;
+        }
+        let bits = live_bits_of(&node.kind) as isize;
+        if bits == 0 {
+            continue;
+        }
+        let birth = step_of[i];
+        let d = death[i].max(birth);
+        if d > birth {
+            delta[birth + 1] += bits;
+            delta[d + 1] -= bits;
+        }
+    }
+    let mut live = 0isize;
+    let mut peak = 0isize;
+    for d in delta {
+        live += d;
+        peak = peak.max(live);
+    }
+    peak as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::{FoldConstraints, LutMode};
+    use freac_netlist::builder::CircuitBuilder;
+    use freac_netlist::techmap::{tech_map, TechMapOptions};
+    use freac_netlist::NetlistStats;
+
+    fn adder_netlist(width: usize) -> Netlist {
+        let mut b = CircuitBuilder::new("add");
+        let a = b.word_input("a", width);
+        let c = b.word_input("b", width);
+        let s = b.add(&a, &c);
+        b.word_output("s", &s);
+        tech_map(&b.finish().unwrap(), TechMapOptions::lut4()).unwrap()
+    }
+
+    #[test]
+    fn schedule_covers_all_schedulable_nodes() {
+        let n = adder_netlist(16);
+        let cons = FoldConstraints::for_tile(1, LutMode::Lut4);
+        let s = schedule_fold(&n, &cons).unwrap();
+        let st = NetlistStats::of(&n);
+        assert_eq!(s.stats().lut_evals, st.luts);
+        assert_eq!(s.stats().bus_ops, st.bus_ops());
+    }
+
+    #[test]
+    fn steps_respect_resource_limits() {
+        let n = adder_netlist(32);
+        let cons = FoldConstraints::for_tile(1, LutMode::Lut4);
+        let s = schedule_fold(&n, &cons).unwrap();
+        for step in s.steps() {
+            assert!(step.luts.len() <= cons.luts_per_step);
+            assert!(step.macs.len() <= cons.macs_per_step);
+            assert!(step.bus_ops() <= cons.bus_ops_per_step);
+        }
+    }
+
+    #[test]
+    fn bigger_tiles_need_fewer_steps() {
+        let n = adder_netlist(32);
+        let s1 = schedule_fold(&n, &FoldConstraints::for_tile(1, LutMode::Lut4)).unwrap();
+        let s4 = schedule_fold(&n, &FoldConstraints::for_tile(4, LutMode::Lut4)).unwrap();
+        assert!(
+            s4.len() <= s1.len(),
+            "tile of 4 clusters should not fold more ({} vs {})",
+            s4.len(),
+            s1.len()
+        );
+    }
+
+    #[test]
+    fn dependencies_are_respected() {
+        let n = adder_netlist(24);
+        let cons = FoldConstraints::for_tile(2, LutMode::Lut4);
+        let s = schedule_fold(&n, &cons).unwrap();
+        // Rebuild step_of and check every schedulable edge goes forward.
+        let mut step_of = vec![usize::MAX; n.len()];
+        for (si, step) in s.steps().iter().enumerate() {
+            for &id in step
+                .luts
+                .iter()
+                .chain(&step.macs)
+                .chain(&step.bus_reads)
+                .chain(&step.bus_writes)
+            {
+                step_of[id.index()] = si;
+            }
+        }
+        let preds = schedulable_predecessors(&n);
+        for (i, node) in n.nodes().iter().enumerate() {
+            if resource_of(&node.kind).is_none() {
+                continue;
+            }
+            for p in &preds[i] {
+                assert!(
+                    step_of[p.index()] < step_of[i],
+                    "producer {p} must precede consumer n{i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unmapped_wide_lut_rejected() {
+        let mut b = CircuitBuilder::new("wide");
+        let a = b.word_input("a", 8);
+        let table: Vec<u32> = (0..256).map(|i| i & 1).collect();
+        let v = b.rom(&table, a.bits(), 1);
+        b.word_output("v", &v);
+        let n = b.finish().unwrap(); // NOT tech-mapped
+        let cons = FoldConstraints::for_tile(1, LutMode::Lut4);
+        assert!(matches!(
+            schedule_fold(&n, &cons),
+            Err(FoldError::LutTooWide { width: 8, max: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn config_capacity_enforced() {
+        let n = adder_netlist(32);
+        let mut cons = FoldConstraints::for_tile(1, LutMode::Lut4);
+        cons.max_steps = 2; // artificially tiny config memory
+        assert!(matches!(
+            schedule_fold(&n, &cons),
+            Err(FoldError::ExceedsConfigRows { max: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn in_order_policy_is_never_shorter_than_critical() {
+        let n = adder_netlist(32);
+        let cons = FoldConstraints::for_tile(1, LutMode::Lut4);
+        let crit = schedule_fold_with(&n, &cons, SchedulePolicy::Critical).unwrap();
+        let fifo = schedule_fold_with(&n, &cons, SchedulePolicy::InOrder).unwrap();
+        assert!(
+            fifo.len() >= crit.len(),
+            "criticality must not lose to FIFO ({} vs {})",
+            fifo.len(),
+            crit.len()
+        );
+    }
+
+    #[test]
+    fn state_capacity_check() {
+        let n = adder_netlist(32);
+        let cons = FoldConstraints::for_tile(1, LutMode::Lut4);
+        let s = schedule_fold(&n, &cons).unwrap();
+        assert!(!s.exceeds_state_capacity(usize::MAX));
+        assert!(s.exceeds_state_capacity(0));
+    }
+
+    #[test]
+    fn liveness_is_positive_for_multi_step_schedules() {
+        let n = adder_netlist(32);
+        let s = schedule_fold(&n, &FoldConstraints::for_tile(1, LutMode::Lut4)).unwrap();
+        assert!(s.len() > 1);
+        assert!(s.stats().peak_live_bits > 0);
+    }
+}

@@ -1,0 +1,334 @@
+//! The expression language of loop bodies.
+//!
+//! All values are 32-bit words with wrapping arithmetic, matching both the
+//! benchmark kernels' semantics and the MCC datapath (32-bit MAC, LUT
+//! logic). Multiplication is the only operator that consumes the cluster's
+//! MAC; everything else lowers to LUT logic.
+
+use std::fmt;
+
+/// A pure expression over the loop's streamed ports, named constants, the
+/// loop counter, and the loop-carried accumulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A streamed operand port, read once per iteration.
+    Port(String),
+    /// A named compile-time constant (bound on the kernel).
+    Name(String),
+    /// A literal.
+    Lit(u32),
+    /// The loop counter value (0-based iteration index).
+    Counter,
+    /// The loop-carried accumulator's current value (only meaningful inside
+    /// a reduction expression).
+    Acc,
+    /// Wrapping addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Wrapping subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Wrapping multiplication (uses the MAC).
+    Mul(Box<Expr>, Box<Expr>),
+    /// Bitwise XOR.
+    Xor(Box<Expr>, Box<Expr>),
+    /// Bitwise AND.
+    And(Box<Expr>, Box<Expr>),
+    /// Bitwise OR.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical shift left by a constant.
+    Shl(Box<Expr>, u32),
+    /// Logical shift right by a constant.
+    Shr(Box<Expr>, u32),
+    /// 1 if equal else 0.
+    Eq(Box<Expr>, Box<Expr>),
+    /// 1 if unsigned less-than else 0.
+    Lt(Box<Expr>, Box<Expr>),
+    /// Unsigned maximum.
+    Max(Box<Expr>, Box<Expr>),
+    /// Unsigned minimum.
+    Min(Box<Expr>, Box<Expr>),
+    /// `cond != 0 ? then : else`.
+    Select(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// A streamed port reference.
+    pub fn port(name: &str) -> Expr {
+        Expr::Port(name.to_owned())
+    }
+
+    /// A named constant reference.
+    pub fn name(name: &str) -> Expr {
+        Expr::Name(name.to_owned())
+    }
+
+    /// A literal.
+    pub fn lit(v: u32) -> Expr {
+        Expr::Lit(v)
+    }
+
+    /// The loop counter.
+    pub fn counter() -> Expr {
+        Expr::Counter
+    }
+
+    /// The accumulator (inside reductions).
+    pub fn acc() -> Expr {
+        Expr::Acc
+    }
+
+    /// `self + rhs` (wrapping).
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs` (wrapping).
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs` (wrapping, via the MAC).
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(self, rhs: Expr) -> Expr {
+        Expr::Xor(Box::new(self), Box::new(rhs))
+    }
+
+    /// Bitwise AND.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// Bitwise OR.
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Shift left by a constant.
+    pub fn shl(self, k: u32) -> Expr {
+        Expr::Shl(Box::new(self), k)
+    }
+
+    /// Shift right by a constant.
+    pub fn shr(self, k: u32) -> Expr {
+        Expr::Shr(Box::new(self), k)
+    }
+
+    /// Equality flag.
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::Eq(Box::new(self), Box::new(rhs))
+    }
+
+    /// Unsigned less-than flag.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Lt(Box::new(self), Box::new(rhs))
+    }
+
+    /// Unsigned maximum.
+    pub fn max(self, rhs: Expr) -> Expr {
+        Expr::Max(Box::new(self), Box::new(rhs))
+    }
+
+    /// Unsigned minimum.
+    pub fn min(self, rhs: Expr) -> Expr {
+        Expr::Min(Box::new(self), Box::new(rhs))
+    }
+
+    /// Conditional select on `self != 0`.
+    pub fn select(self, then: Expr, otherwise: Expr) -> Expr {
+        Expr::Select(Box::new(self), Box::new(then), Box::new(otherwise))
+    }
+
+    /// Ports referenced by this expression, in first-appearance order.
+    pub fn ports(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Port(p) = e {
+                if !out.contains(p) {
+                    out.push(p.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// Named constants referenced by this expression.
+    pub fn names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Name(n) = e {
+                if !out.contains(n) {
+                    out.push(n.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// Number of multiplications (MAC issues) in the expression.
+    pub fn mul_count(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Mul(..)) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Whether the expression reads the accumulator.
+    pub fn uses_acc(&self) -> bool {
+        let mut yes = false;
+        self.walk(&mut |e| yes |= matches!(e, Expr::Acc));
+        yes
+    }
+
+    /// Software evaluation, given resolvers for ports, names, the counter,
+    /// and the accumulator — the golden model the compiled circuit is
+    /// verified against.
+    pub fn eval(
+        &self,
+        port: &dyn Fn(&str) -> u32,
+        name: &dyn Fn(&str) -> u32,
+        counter: u32,
+        acc: u32,
+    ) -> u32 {
+        let f = |e: &Expr| e.eval(port, name, counter, acc);
+        match self {
+            Expr::Port(p) => port(p),
+            Expr::Name(n) => name(n),
+            Expr::Lit(v) => *v,
+            Expr::Counter => counter,
+            Expr::Acc => acc,
+            Expr::Add(a, b) => f(a).wrapping_add(f(b)),
+            Expr::Sub(a, b) => f(a).wrapping_sub(f(b)),
+            Expr::Mul(a, b) => f(a).wrapping_mul(f(b)),
+            Expr::Xor(a, b) => f(a) ^ f(b),
+            Expr::And(a, b) => f(a) & f(b),
+            Expr::Or(a, b) => f(a) | f(b),
+            Expr::Shl(a, k) => f(a).checked_shl(*k).unwrap_or(0),
+            Expr::Shr(a, k) => f(a).checked_shr(*k).unwrap_or(0),
+            Expr::Eq(a, b) => u32::from(f(a) == f(b)),
+            Expr::Lt(a, b) => u32::from(f(a) < f(b)),
+            Expr::Max(a, b) => f(a).max(f(b)),
+            Expr::Min(a, b) => f(a).min(f(b)),
+            Expr::Select(c, t, e) => {
+                if f(c) != 0 {
+                    f(t)
+                } else {
+                    f(e)
+                }
+            }
+        }
+    }
+
+    fn walk(&self, visit: &mut dyn FnMut(&Expr)) {
+        visit(self);
+        match self {
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Xor(a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b)
+            | Expr::Eq(a, b)
+            | Expr::Lt(a, b)
+            | Expr::Max(a, b)
+            | Expr::Min(a, b) => {
+                a.walk(visit);
+                b.walk(visit);
+            }
+            Expr::Shl(a, _) | Expr::Shr(a, _) => a.walk(visit),
+            Expr::Select(c, t, e) => {
+                c.walk(visit);
+                t.walk(visit);
+                e.walk(visit);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Port(p) => write!(f, "{p}"),
+            Expr::Name(n) => write!(f, "${n}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Counter => write!(f, "i"),
+            Expr::Acc => write!(f, "acc"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Xor(a, b) => write!(f, "({a} ^ {b})"),
+            Expr::And(a, b) => write!(f, "({a} & {b})"),
+            Expr::Or(a, b) => write!(f, "({a} | {b})"),
+            Expr::Shl(a, k) => write!(f, "({a} << {k})"),
+            Expr::Shr(a, k) => write!(f, "({a} >> {k})"),
+            Expr::Eq(a, b) => write!(f, "({a} == {b})"),
+            Expr::Lt(a, b) => write!(f, "({a} < {b})"),
+            Expr::Max(a, b) => write!(f, "max({a}, {b})"),
+            Expr::Min(a, b) => write!(f, "min({a}, {b})"),
+            Expr::Select(c, t, e) => write!(f, "({c} ? {t} : {e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_port(_: &str) -> u32 {
+        panic!("no ports in this test")
+    }
+    fn no_name(_: &str) -> u32 {
+        panic!("no names in this test")
+    }
+
+    #[test]
+    fn arithmetic_semantics() {
+        let e = Expr::lit(7).mul(Expr::lit(6)).add(Expr::lit(1));
+        assert_eq!(e.eval(&no_port, &no_name, 0, 0), 43);
+        let w = Expr::lit(u32::MAX).add(Expr::lit(2));
+        assert_eq!(w.eval(&no_port, &no_name, 0, 0), 1);
+    }
+
+    #[test]
+    fn comparisons_and_select() {
+        let e = Expr::lit(3).lt(Expr::lit(5)).select(Expr::lit(10), Expr::lit(20));
+        assert_eq!(e.eval(&no_port, &no_name, 0, 0), 10);
+        let e = Expr::lit(5).eq(Expr::lit(5));
+        assert_eq!(e.eval(&no_port, &no_name, 0, 0), 1);
+        let e = Expr::lit(9).max(Expr::lit(4)).min(Expr::lit(7));
+        assert_eq!(e.eval(&no_port, &no_name, 0, 0), 7);
+    }
+
+    #[test]
+    fn port_and_name_collection() {
+        let e = Expr::port("x")
+            .mul(Expr::name("a"))
+            .add(Expr::port("y"))
+            .add(Expr::port("x"));
+        assert_eq!(e.ports(), vec!["x".to_owned(), "y".to_owned()]);
+        assert_eq!(e.names(), vec!["a".to_owned()]);
+        assert_eq!(e.mul_count(), 1);
+        assert!(!e.uses_acc());
+        assert!(Expr::acc().add(Expr::lit(1)).uses_acc());
+    }
+
+    #[test]
+    fn counter_and_shifts() {
+        let e = Expr::counter().shl(2).shr(1);
+        assert_eq!(e.eval(&no_port, &no_name, 5, 0), 10);
+        let big = Expr::lit(1).shl(40);
+        assert_eq!(big.eval(&no_port, &no_name, 0, 0), 0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::port("x").mul(Expr::name("a")).add(Expr::acc());
+        assert_eq!(e.to_string(), "((x * $a) + acc)");
+    }
+}

@@ -1,0 +1,237 @@
+//! Loop-kernel descriptions.
+
+use crate::compile::{compile, HlsError};
+use crate::expr::Expr;
+use freac_netlist::Netlist;
+
+/// How iteration results combine into a loop-carried accumulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reduce {
+    /// Accumulator power-on / per-item reset value.
+    pub init: u32,
+    /// Combiner over ([`Expr::Acc`], the iteration value bound to the port
+    /// name `"_body"`).
+    pub combine: Expr,
+}
+
+impl Reduce {
+    /// Sum reduction: `acc + body`.
+    pub fn sum() -> Self {
+        Reduce {
+            init: 0,
+            combine: Expr::acc().add(Expr::port("_body")),
+        }
+    }
+
+    /// Maximum reduction.
+    pub fn max() -> Self {
+        Reduce {
+            init: 0,
+            combine: Expr::acc().max(Expr::port("_body")),
+        }
+    }
+
+    /// XOR reduction.
+    pub fn xor() -> Self {
+        Reduce {
+            init: 0,
+            combine: Expr::acc().xor(Expr::port("_body")),
+        }
+    }
+
+    /// A custom combiner (use [`Expr::acc`] and the `"_body"` port).
+    pub fn custom(init: u32, combine: Expr) -> Self {
+        Reduce { init, combine }
+    }
+}
+
+/// A fixed-trip loop kernel: per iteration, read each streamed port once,
+/// evaluate `body`, and either emit the value (no reduction) or fold it
+/// into the accumulator (emitted when the trip completes).
+#[derive(Debug, Clone)]
+pub struct LoopKernel {
+    pub(crate) name: String,
+    pub(crate) trip: u32,
+    pub(crate) ports: Vec<String>,
+    pub(crate) constants: Vec<(String, u32)>,
+    pub(crate) body: Option<Expr>,
+    pub(crate) reduce: Option<Reduce>,
+}
+
+impl LoopKernel {
+    /// A kernel named `name` iterating `trip` times per work item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trip` is zero or exceeds 65536 (the counter width).
+    pub fn new(name: &str, trip: u32) -> Self {
+        assert!(
+            (1..=65536).contains(&trip),
+            "trip count must be 1..=65536, got {trip}"
+        );
+        LoopKernel {
+            name: name.to_owned(),
+            trip,
+            ports: Vec::new(),
+            constants: Vec::new(),
+            body: None,
+            reduce: None,
+        }
+    }
+
+    /// Declares a streamed operand port (read once per iteration).
+    pub fn input(mut self, name: &str) -> Self {
+        self.ports.push(name.to_owned());
+        self
+    }
+
+    /// Binds a named compile-time constant.
+    pub fn constant(mut self, name: &str, value: u32) -> Self {
+        self.constants.push((name.to_owned(), value));
+        self
+    }
+
+    /// Sets the loop body.
+    pub fn body(mut self, body: Expr) -> Self {
+        self.body = Some(body);
+        self
+    }
+
+    /// Adds a reduction over the body values.
+    pub fn reduce(mut self, r: Reduce) -> Self {
+        self.reduce = Some(r);
+        self
+    }
+
+    /// The kernel's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Trip count per work item.
+    pub fn trip(&self) -> u32 {
+        self.trip
+    }
+
+    /// Compiles the kernel to a netlist.
+    ///
+    /// # Errors
+    ///
+    /// See [`HlsError`].
+    pub fn compile(&self) -> Result<Netlist, HlsError> {
+        compile(self)
+    }
+
+    /// The unpipelined single-port HLS schedule's FSM states per work item:
+    /// one state per operand read per iteration plus one compute/commit
+    /// state per iteration — the `cycles_per_item` the timing model uses.
+    pub fn states_per_item(&self) -> u64 {
+        (self.ports.len() as u64 + 1) * self.trip as u64
+    }
+
+    /// Operand words read per work item.
+    pub fn read_words_per_item(&self) -> u64 {
+        self.ports.len() as u64 * self.trip as u64
+    }
+
+    /// Result words written per work item (1: the final value).
+    pub fn write_words_per_item(&self) -> u64 {
+        1
+    }
+
+    /// Software reference for one work item: `streams[p][i]` is port `p`'s
+    /// value at iteration `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel has no body, a stream is missing or short, or
+    /// an undeclared name is referenced — the same conditions `compile`
+    /// reports as errors.
+    pub fn reference(&self, streams: &[(&str, &[u32])]) -> u32 {
+        let body = self.body.as_ref().expect("kernel must have a body");
+        let lookup_name = |n: &str| -> u32 {
+            self.constants
+                .iter()
+                .find(|(name, _)| name == n)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("undeclared constant {n}"))
+        };
+        let mut acc = self.reduce.as_ref().map_or(0, |r| r.init);
+        let mut last = 0;
+        for i in 0..self.trip {
+            let port_at = |p: &str| -> u32 {
+                streams
+                    .iter()
+                    .find(|(name, _)| *name == p)
+                    .map(|&(_, s)| s[i as usize])
+                    .unwrap_or_else(|| panic!("missing stream for port {p}"))
+            };
+            let v = body.eval(&port_at, &lookup_name, i, acc);
+            if let Some(r) = &self.reduce {
+                let combined = r.combine.eval(
+                    &|p| if p == "_body" { v } else { port_at(p) },
+                    &lookup_name,
+                    i,
+                    acc,
+                );
+                acc = combined;
+                last = acc;
+            } else {
+                last = v;
+            }
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_ports_and_constants() {
+        let k = LoopKernel::new("t", 4)
+            .input("x")
+            .input("y")
+            .constant("c", 9)
+            .body(Expr::port("x").add(Expr::port("y")));
+        assert_eq!(k.name(), "t");
+        assert_eq!(k.trip(), 4);
+        assert_eq!(k.states_per_item(), 12); // (2 reads + 1) * 4
+        assert_eq!(k.read_words_per_item(), 8);
+    }
+
+    #[test]
+    fn reference_reduction_semantics() {
+        let k = LoopKernel::new("dot", 3)
+            .input("a")
+            .input("b")
+            .body(Expr::port("a").mul(Expr::port("b")))
+            .reduce(Reduce::sum());
+        let r = k.reference(&[("a", &[1, 2, 3]), ("b", &[4, 5, 6])]);
+        assert_eq!(r, 4 + 10 + 18);
+    }
+
+    #[test]
+    fn reference_without_reduction_returns_last() {
+        let k = LoopKernel::new("last", 3)
+            .input("x")
+            .body(Expr::port("x").add(Expr::lit(1)));
+        assert_eq!(k.reference(&[("x", &[7, 8, 9])]), 10);
+    }
+
+    #[test]
+    fn max_reduction() {
+        let k = LoopKernel::new("m", 4)
+            .input("x")
+            .body(Expr::port("x"))
+            .reduce(Reduce::max());
+        assert_eq!(k.reference(&[("x", &[3, 9, 1, 7])]), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "trip count")]
+    fn zero_trip_rejected() {
+        let _ = LoopKernel::new("bad", 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! A small library of prebuilt loop kernels, demonstrating the front end's
+//! reach and giving the examples ready-made workloads.
+
+use crate::expr::Expr;
+use crate::kernel::{LoopKernel, Reduce};
+
+/// Dot product: `sum(a[i] * b[i])` over `trip` elements.
+pub fn dot(trip: u32) -> LoopKernel {
+    LoopKernel::new("hls_dot", trip)
+        .input("a")
+        .input("b")
+        .body(Expr::port("a").mul(Expr::port("b")))
+        .reduce(Reduce::sum())
+}
+
+/// SAXPY reduction with a constant scale: `sum(a * x[i] + y[i])`.
+pub fn saxpy(trip: u32, a: u32) -> LoopKernel {
+    LoopKernel::new("hls_saxpy", trip)
+        .input("x")
+        .input("y")
+        .constant("a", a)
+        .body(Expr::port("x").mul(Expr::name("a")).add(Expr::port("y")))
+        .reduce(Reduce::sum())
+}
+
+/// Squared L2 norm: `sum(x[i]^2)`.
+pub fn l2_norm_sq(trip: u32) -> LoopKernel {
+    LoopKernel::new("hls_l2", trip)
+        .input("x")
+        .body(Expr::port("x").mul(Expr::port("x")))
+        .reduce(Reduce::sum())
+}
+
+/// Rectified sum: `sum(max(x[i] - threshold, 0))` in saturating style
+/// (values below the threshold contribute zero).
+pub fn relu_sum(trip: u32, threshold: u32) -> LoopKernel {
+    let above = Expr::name("t").lt(Expr::port("x"));
+    LoopKernel::new("hls_relu_sum", trip)
+        .input("x")
+        .constant("t", threshold)
+        .body(above.select(Expr::port("x").sub(Expr::name("t")), Expr::lit(0)))
+        .reduce(Reduce::sum())
+}
+
+/// Horner polynomial evaluation: `acc = acc * x + c[i]` with the
+/// coefficients streamed and the point `x` a constant.
+pub fn horner(trip: u32, x: u32) -> LoopKernel {
+    LoopKernel::new("hls_horner", trip)
+        .input("c")
+        .constant("x", x)
+        .body(Expr::port("c"))
+        .reduce(Reduce::custom(
+            0,
+            Expr::acc().mul(Expr::name("x")).add(Expr::port("_body")),
+        ))
+}
+
+/// Peak detector: running maximum of the stream.
+pub fn peak(trip: u32) -> LoopKernel {
+    LoopKernel::new("hls_peak", trip)
+        .input("x")
+        .body(Expr::port("x"))
+        .reduce(Reduce::max())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freac_netlist::eval::Evaluator;
+    use freac_netlist::Value;
+
+    fn run(k: &LoopKernel, streams: &[(&str, &[u32])]) -> u32 {
+        let n = k.compile().expect("library kernels compile");
+        let mut ev = Evaluator::new(&n);
+        let mut out = Vec::new();
+        for i in 0..k.trip() as usize {
+            let inputs: Vec<Value> = streams.iter().map(|&(_, s)| Value::Word(s[i])).collect();
+            out = ev.run_cycle(&inputs).expect("runs");
+        }
+        out[0].as_word().expect("word out")
+    }
+
+    #[test]
+    fn dot_matches_reference() {
+        let k = dot(4);
+        let a = [1u32, 2, 3, 4];
+        let b = [5u32, 6, 7, 8];
+        assert_eq!(run(&k, &[("a", &a), ("b", &b)]), 70);
+        assert_eq!(k.reference(&[("a", &a), ("b", &b)]), 70);
+    }
+
+    #[test]
+    fn saxpy_matches_reference() {
+        let k = saxpy(3, 2);
+        let x = [1u32, 2, 3];
+        let y = [10u32, 10, 10];
+        assert_eq!(run(&k, &[("x", &x), ("y", &y)]), 2 * 6 + 30);
+    }
+
+    #[test]
+    fn l2_norm_squares() {
+        let k = l2_norm_sq(3);
+        let x = [3u32, 4, 12];
+        assert_eq!(run(&k, &[("x", &x)]), 9 + 16 + 144);
+    }
+
+    #[test]
+    fn relu_sum_clamps_below_threshold() {
+        let k = relu_sum(4, 10);
+        let x = [5u32, 15, 10, 30];
+        // max(x - 10, 0): 0 + 5 + 0 + 20.
+        assert_eq!(run(&k, &[("x", &x)]), 25);
+    }
+
+    #[test]
+    fn horner_evaluates_polynomials() {
+        // c = [2, 3, 5] at x = 10: ((0*10+2)*10+3)*10+5 = 2*100 + 3*10 + 5.
+        let k = horner(3, 10);
+        let c = [2u32, 3, 5];
+        assert_eq!(run(&k, &[("c", &c)]), 235);
+    }
+
+    #[test]
+    fn peak_tracks_maximum() {
+        let k = peak(5);
+        let x = [3u32, 99, 7, 99, 12];
+        assert_eq!(run(&k, &[("x", &x)]), 99);
+    }
+
+    #[test]
+    fn library_kernels_fold_on_one_cluster() {
+        use freac_fold::{schedule_fold, FoldConstraints, LutMode};
+        use freac_netlist::techmap::{tech_map, TechMapOptions};
+        for k in [dot(8), saxpy(8, 3), l2_norm_sq(8), relu_sum(8, 5), horner(8, 7), peak(8)] {
+            let mapped = tech_map(&k.compile().expect("compiles"), TechMapOptions::lut4())
+                .expect("maps");
+            let s = schedule_fold(&mapped, &FoldConstraints::for_tile(1, LutMode::Lut4))
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+            assert!(s.len() >= 1, "{}", k.name());
+        }
+    }
+}

@@ -1,0 +1,513 @@
+//! AES-128 block encryption.
+//!
+//! The logic-heavy kernel of the suite (paper Fig. 8 shows AES with by far
+//! the highest folding cycle count). The accelerator iterates one AES round
+//! per original clock cycle: 16 S-boxes on the state, ShiftRows wiring,
+//! MixColumns (skipped in the final round), AddRoundKey, plus on-the-fly
+//! key expansion — about eight thousand 4-LUTs after technology mapping.
+//!
+//! The cipher key is baked into the configuration bitstream (reconfiguring
+//! FReaC Cache is cheap, so a per-key accelerator is the natural design);
+//! plaintext blocks stream in as four 32-bit words and ciphertext streams
+//! out the same way after 11 cycles (load + 10 rounds).
+
+use freac_netlist::builder::{CircuitBuilder, Word};
+use freac_netlist::Netlist;
+
+use crate::id::KernelId;
+use crate::profile::CpuProfile;
+use crate::trace::TraceSample;
+use crate::workload::Workload;
+use crate::Kernel;
+
+/// The AES S-box.
+pub const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// The fixed cipher key baked into the accelerator (the FIPS-197 example
+/// key).
+pub const KEY: [u8; 16] = [
+    0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f,
+];
+
+// ---------------------------------------------------------------------
+// Software reference
+// ---------------------------------------------------------------------
+
+fn xtime(b: u8) -> u8 {
+    let x = b << 1;
+    if b & 0x80 != 0 {
+        x ^ 0x1b
+    } else {
+        x
+    }
+}
+
+/// Expands a 16-byte key into 11 round keys.
+pub fn expand_key(key: &[u8; 16]) -> [[u8; 16]; 11] {
+    let mut rk = [[0u8; 16]; 11];
+    rk[0] = *key;
+    for r in 1..11 {
+        let prev = rk[r - 1];
+        // Last column of the previous round key: rotate, substitute, rcon.
+        let mut t = [prev[13], prev[14], prev[15], prev[12]];
+        for b in &mut t {
+            *b = SBOX[*b as usize];
+        }
+        t[0] ^= RCON[r];
+        for c in 0..4 {
+            for row in 0..4 {
+                let idx = c * 4 + row;
+                let left = if c == 0 {
+                    t[row]
+                } else {
+                    rk[r][(c - 1) * 4 + row]
+                };
+                rk[r][idx] = prev[idx] ^ left;
+            }
+        }
+    }
+    rk
+}
+
+/// Encrypts one 16-byte block with AES-128 (column-major state layout, as
+/// in FIPS-197).
+pub fn encrypt_block(block: &[u8; 16], key: &[u8; 16]) -> [u8; 16] {
+    let rk = expand_key(key);
+    let mut s = *block;
+    for (i, b) in s.iter_mut().enumerate() {
+        *b ^= rk[0][i];
+    }
+    for round in 1..11 {
+        // SubBytes.
+        for b in s.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+        // ShiftRows: state is column-major (s[c*4 + r]); row r rotates left
+        // by r columns.
+        let mut t = [0u8; 16];
+        for c in 0..4 {
+            for r in 0..4 {
+                t[c * 4 + r] = s[((c + r) % 4) * 4 + r];
+            }
+        }
+        s = t;
+        // MixColumns (all but the last round).
+        if round != 10 {
+            let mut m = [0u8; 16];
+            for c in 0..4 {
+                let col = &s[c * 4..c * 4 + 4];
+                m[c * 4] = xtime(col[0]) ^ xtime(col[1]) ^ col[1] ^ col[2] ^ col[3];
+                m[c * 4 + 1] = col[0] ^ xtime(col[1]) ^ xtime(col[2]) ^ col[2] ^ col[3];
+                m[c * 4 + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ xtime(col[3]) ^ col[3];
+                m[c * 4 + 3] = xtime(col[0]) ^ col[0] ^ col[1] ^ col[2] ^ xtime(col[3]);
+            }
+            s = m;
+        }
+        // AddRoundKey.
+        for (i, b) in s.iter_mut().enumerate() {
+            *b ^= rk[round][i];
+        }
+    }
+    s
+}
+
+// ---------------------------------------------------------------------
+// Accelerator circuit
+// ---------------------------------------------------------------------
+
+fn sbox_byte(b: &mut CircuitBuilder, byte: &Word) -> Word {
+    let table: Vec<u32> = SBOX.iter().map(|&v| v as u32).collect();
+    b.rom(&table, byte.bits(), 8)
+}
+
+fn xtime_byte(b: &mut CircuitBuilder, byte: &Word) -> Word {
+    let shifted = b.shl_const(byte, 1);
+    let poly = b.const_word(0x1b, 8);
+    let reduced = b.xor_words(&shifted, &poly);
+    b.mux_word(byte.bit(7), &shifted, &reduced)
+}
+
+/// Builds the AES-128 accelerator circuit for [`KEY`].
+pub fn build_circuit() -> Netlist {
+    let mut b = CircuitBuilder::new("aes");
+    let rk = expand_key(&KEY);
+
+    // Plaintext columns as word inputs.
+    let pt: Vec<Word> = (0..4)
+        .map(|c| b.word_input(&format!("pt{c}"), 32))
+        .collect();
+
+    // State: 4 column registers; key: 4 column registers; round counter.
+    let mut state = Vec::new();
+    let mut state_h = Vec::new();
+    for _ in 0..4 {
+        let (q, h) = b.word_reg(0, 32);
+        state.push(q);
+        state_h.push(h);
+    }
+    let mut keyr = Vec::new();
+    let mut keyr_h = Vec::new();
+    for c in 0..4 {
+        let init = u32::from_le_bytes([
+            rk[1][c * 4],
+            rk[1][c * 4 + 1],
+            rk[1][c * 4 + 2],
+            rk[1][c * 4 + 3],
+        ]);
+        let (q, h) = b.word_reg(init, 32);
+        keyr.push(q);
+        keyr_h.push(h);
+    }
+    let (rc, rc_h) = b.word_reg(0, 4);
+
+    // Phase predicates.
+    let zero4 = b.const_word(0, 4);
+    let ten4 = b.const_word(10, 4);
+    let is_load = b.eq_words(&rc, &zero4);
+    let is_last = b.eq_words(&rc, &ten4);
+
+    // Bytes of the state, column-major: byte (c, r) = state[c].slice(8r, 8).
+    let byte_of = |w: &Word, r: usize| w.slice(8 * r, 8);
+
+    // SubBytes + ShiftRows: new column c, row r comes from column (c+r)%4.
+    let mut sub: Vec<Vec<Word>> = Vec::new(); // sub[c][r]
+    for c in 0..4 {
+        let mut col = Vec::new();
+        for r in 0..4 {
+            let src = byte_of(&state[(c + r) % 4], r);
+            col.push(sbox_byte(&mut b, &src));
+        }
+        sub.push(col);
+    }
+
+    // MixColumns on each shifted column.
+    let mut round_cols: Vec<Word> = Vec::new();
+    for col in sub.iter() {
+        let xt: Vec<Word> = col.iter().map(|v| xtime_byte(&mut b, v)).collect();
+        let m0 = {
+            let a = b.xor_words(&xt[0], &xt[1]);
+            let a = b.xor_words(&a, &col[1]);
+            let a = b.xor_words(&a, &col[2]);
+            b.xor_words(&a, &col[3])
+        };
+        let m1 = {
+            let a = b.xor_words(&col[0], &xt[1]);
+            let a = b.xor_words(&a, &xt[2]);
+            let a = b.xor_words(&a, &col[2]);
+            b.xor_words(&a, &col[3])
+        };
+        let m2 = {
+            let a = b.xor_words(&col[0], &col[1]);
+            let a = b.xor_words(&a, &xt[2]);
+            let a = b.xor_words(&a, &xt[3]);
+            b.xor_words(&a, &col[3])
+        };
+        let m3 = {
+            let a = b.xor_words(&xt[0], &col[0]);
+            let a = b.xor_words(&a, &col[1]);
+            let a = b.xor_words(&a, &col[2]);
+            b.xor_words(&a, &xt[3])
+        };
+        // Final round skips MixColumns.
+        let mixed0 = b.mux_word(is_last, &m0, &col[0]);
+        let mixed1 = b.mux_word(is_last, &m1, &col[1]);
+        let mixed2 = b.mux_word(is_last, &m2, &col[2]);
+        let mixed3 = b.mux_word(is_last, &m3, &col[3]);
+        let lo = b.concat(&mixed0, &mixed1);
+        let hi = b.concat(&mixed2, &mixed3);
+        round_cols.push(b.concat(&lo, &hi));
+    }
+
+    // AddRoundKey with the current round key register.
+    let arked: Vec<Word> = round_cols
+        .iter()
+        .zip(&keyr)
+        .map(|(col, k)| b.xor_words(col, k))
+        .collect();
+
+    // Load phase: state <- pt ^ K0.
+    let k0: Vec<Word> = (0..4)
+        .map(|c| {
+            let v = u32::from_le_bytes([
+                rk[0][c * 4],
+                rk[0][c * 4 + 1],
+                rk[0][c * 4 + 2],
+                rk[0][c * 4 + 3],
+            ]);
+            b.const_word(v, 32)
+        })
+        .collect();
+    let loaded: Vec<Word> = pt.iter().zip(&k0).map(|(p, k)| b.xor_words(p, k)).collect();
+
+    // Next state and outputs.
+    for c in 0..4 {
+        let next = b.mux_word(is_load, &arked[c], &loaded[c]);
+        b.word_output(&format!("ct{c}"), &next);
+        b.connect_word_reg(state_h.remove(0), &next);
+    }
+
+    // Key schedule: keyr holds the round key for the *current* round; the
+    // next value is expand(keyr) with rcon indexed by the upcoming round.
+    // During the load cycle the register must become K1 (its init value),
+    // so the next value is either K1 (reload) or expand(keyr).
+    let rcon_table: Vec<u32> = (0..16u32)
+        .map(|i| {
+            // At round rc the register holds K_rc and must become K_{rc+1},
+            // which uses RCON[rc + 1].
+            let next_round = (i as usize + 1).min(10);
+            RCON[next_round] as u32
+        })
+        .collect();
+    let rcon_val = b.rom(&rcon_table, rc.bits(), 8);
+    // rot+sub of the last column of keyr.
+    let last = &keyr[3];
+    let rot: Vec<Word> = (0..4).map(|r| byte_of(last, (r + 1) % 4)).collect();
+    let subbed: Vec<Word> = rot.iter().map(|v| sbox_byte(&mut b, v)).collect();
+    let t0 = b.xor_words(&subbed[0], &rcon_val);
+    let tcol = {
+        let lo = b.concat(&t0, &subbed[1]);
+        let hi = b.concat(&subbed[2], &subbed[3]);
+        b.concat(&lo, &hi)
+    };
+    let nk0 = b.xor_words(&keyr[0], &tcol);
+    let nk1 = b.xor_words(&keyr[1], &nk0);
+    let nk2 = b.xor_words(&keyr[2], &nk1);
+    let nk3 = b.xor_words(&keyr[3], &nk2);
+    let expanded = [nk0, nk1, nk2, nk3];
+    let k1: Vec<Word> = (0..4)
+        .map(|c| {
+            let v = u32::from_le_bytes([
+                rk[1][c * 4],
+                rk[1][c * 4 + 1],
+                rk[1][c * 4 + 2],
+                rk[1][c * 4 + 3],
+            ]);
+            b.const_word(v, 32)
+        })
+        .collect();
+    for (c, h) in keyr_h.into_iter().enumerate() {
+        // During the load cycle the register already holds K1 and must keep
+        // it for round 1; at the end of the last round it reloads K1 for the
+        // next block; otherwise it advances to the next round key.
+        let advance = b.mux_word(is_last, &expanded[c], &k1[c]);
+        let next = b.mux_word(is_load, &advance, &keyr[c]);
+        b.connect_word_reg(h, &next);
+    }
+
+    // Round counter: 0 -> 1 -> ... -> 10 -> 0.
+    let inc = b.inc(&rc);
+    let next_rc = b.mux_word(is_last, &inc, &zero4);
+    b.connect_word_reg(rc_h, &next_rc);
+    b.bit_output("done", is_last);
+
+    b.finish().expect("aes circuit is structurally valid")
+}
+
+// ---------------------------------------------------------------------
+// Kernel plumbing
+// ---------------------------------------------------------------------
+
+/// Blocks per batch element (4 KB of plaintext).
+pub const BLOCKS_PER_ELEMENT: u64 = 256;
+
+/// The AES kernel.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Aes;
+
+impl Kernel for Aes {
+    fn id(&self) -> KernelId {
+        KernelId::Aes
+    }
+
+    fn circuit(&self) -> Netlist {
+        build_circuit()
+    }
+
+    fn workload(&self, batch: u64) -> Workload {
+        let items = BLOCKS_PER_ELEMENT * batch;
+        Workload {
+            items,
+            cycles_per_item: 13, // load + 10 rounds + result drain states
+            read_words_per_item: 4,
+            write_words_per_item: 4,
+            working_set_per_tile: 8 * 1024, // a tile's share of blocks (in + out)
+            input_bytes: items * 16,
+            output_bytes: items * 16,
+        }
+    }
+
+    fn cpu_profile(&self) -> CpuProfile {
+        // Table-based software AES: ~40 T-table lookups + xors per round.
+        CpuProfile {
+            int_ops: 320,
+            mul_ops: 0,
+            loads: 184,
+            stores: 4,
+            branches: 12,
+            mispredict_per_mille: 20,
+        }
+    }
+
+    fn sample_trace(&self) -> TraceSample {
+        let mut acc = Vec::new();
+        let table_base = 0x1_0000u64;
+        let pt_base = 0x8_0040u64;
+        let ct_base = 0x10_0080u64;
+        let blocks = 64u64;
+        let mut lcg = 0x1234_5678u64;
+        for blk in 0..blocks {
+            for w in 0..4 {
+                acc.push((pt_base + blk * 16 + w * 4, false));
+            }
+            for _ in 0..40 {
+                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+                acc.push((table_base + (lcg >> 33) % 1024, false));
+            }
+            for w in 0..4 {
+                acc.push((ct_base + blk * 16 + w * 4, true));
+            }
+        }
+        TraceSample::new(acc, blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BATCH;
+    use freac_netlist::eval::Evaluator;
+    use freac_netlist::Value;
+
+    #[test]
+    fn fips197_vector() {
+        let key = KEY;
+        let pt: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let expect: [u8; 16] = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        assert_eq!(encrypt_block(&pt, &key), expect);
+    }
+
+    #[test]
+    fn key_expansion_first_round() {
+        // FIPS-197 Appendix A: w4..w7 of the example key.
+        let rk = expand_key(&KEY);
+        assert_eq!(&rk[1][0..4], &[0xd6, 0xaa, 0x74, 0xfd]);
+        assert_eq!(&rk[1][4..8], &[0xd2, 0xaf, 0x72, 0xfa]);
+    }
+
+    fn run_circuit_block(pt: &[u8; 16]) -> [u8; 16] {
+        let n = build_circuit();
+        let mut ev = Evaluator::new(&n);
+        let inputs: Vec<Value> = (0..4)
+            .map(|c| {
+                Value::Word(u32::from_le_bytes([
+                    pt[c * 4],
+                    pt[c * 4 + 1],
+                    pt[c * 4 + 2],
+                    pt[c * 4 + 3],
+                ]))
+            })
+            .collect();
+        let mut out = Vec::new();
+        for _ in 0..11 {
+            out = ev.run_cycle(&inputs).unwrap();
+        }
+        let mut ct = [0u8; 16];
+        for c in 0..4 {
+            let w = out[c].as_word().unwrap();
+            ct[c * 4..c * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        // The done flag is the last output.
+        assert_eq!(out[4], Value::Bit(true));
+        ct
+    }
+
+    #[test]
+    fn circuit_matches_reference() {
+        let pts: [[u8; 16]; 3] = [
+            [0u8; 16],
+            [0xff; 16],
+            [
+                0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc,
+                0xdd, 0xee, 0xff,
+            ],
+        ];
+        for pt in &pts {
+            assert_eq!(run_circuit_block(pt), encrypt_block(pt, &KEY), "pt {pt:x?}");
+        }
+    }
+
+    #[test]
+    fn circuit_processes_back_to_back_blocks() {
+        // Two consecutive blocks through the same evaluator: the counter
+        // wrap and key reload must restore the machine for block 2.
+        let n = build_circuit();
+        let mut ev = Evaluator::new(&n);
+        let blocks: [[u8; 16]; 2] = [[0x5a; 16], [0xa5; 16]];
+        for pt in &blocks {
+            let inputs: Vec<Value> = (0..4)
+                .map(|c| {
+                    Value::Word(u32::from_le_bytes([
+                        pt[c * 4],
+                        pt[c * 4 + 1],
+                        pt[c * 4 + 2],
+                        pt[c * 4 + 3],
+                    ]))
+                })
+                .collect();
+            let mut out = Vec::new();
+            for _ in 0..11 {
+                out = ev.run_cycle(&inputs).unwrap();
+            }
+            let mut ct = [0u8; 16];
+            for c in 0..4 {
+                ct[c * 4..c * 4 + 4]
+                    .copy_from_slice(&out[c].as_word().unwrap().to_le_bytes());
+            }
+            assert_eq!(ct, encrypt_block(pt, &KEY));
+        }
+    }
+
+    #[test]
+    fn workload_scales_with_batch() {
+        let a = Aes;
+        let w1 = a.workload(1);
+        let w256 = a.workload(BATCH);
+        assert_eq!(w256.items, 256 * w1.items);
+        assert_eq!(w256.input_bytes, w256.items * 16);
+        assert_eq!(w1.cycles_per_item, 13);
+    }
+
+    #[test]
+    fn trace_has_table_locality() {
+        let t = Aes.sample_trace();
+        // The T-table region (1 KB) dominates the footprint's hot part; the
+        // total footprint stays modest.
+        assert!(t.footprint_bytes() < 64 * 1024);
+        assert!(t.accesses_per_item() > 40.0);
+    }
+}

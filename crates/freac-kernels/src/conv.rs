@@ -1,0 +1,163 @@
+//! 2-D convolution (CONV): 3x3 taps over a 64x64 image, one output pixel
+//! per item. The tap weights live in a small ROM inside the accelerator
+//! (they are part of the configuration, like the AES key).
+
+use freac_netlist::builder::CircuitBuilder;
+use freac_netlist::Netlist;
+
+use crate::id::KernelId;
+use crate::profile::CpuProfile;
+use crate::trace::TraceSample;
+use crate::workload::Workload;
+use crate::Kernel;
+
+/// Image edge length per batch element.
+pub const DIM: u64 = 64;
+
+/// The 3x3 tap weights (a Laplacian-of-Gaussian-ish integer kernel).
+pub const WEIGHTS: [u32; 9] = [1, 2, 1, 2, 4, 2, 1, 2, 1];
+
+/// Software reference for one output pixel given its 9 neighbourhood
+/// pixels in row-major tap order.
+pub fn pixel(p: &[u32; 9]) -> u32 {
+    p.iter()
+        .zip(&WEIGHTS)
+        .fold(0u32, |acc, (&v, &w)| acc.wrapping_add(v.wrapping_mul(w)))
+}
+
+/// Builds the PE: a 9-cycle MAC with a weight ROM indexed by the tap
+/// counter.
+pub fn build_circuit() -> Netlist {
+    let mut b = CircuitBuilder::new("conv");
+    let p = b.word_input("pixel", 32);
+    let (acc, acc_h) = b.word_reg(0, 32);
+    let (k, k_h) = b.word_reg(0, 4);
+
+    let zero4 = b.const_word(0, 4);
+    let last = b.const_word(8, 4);
+    let is_first = b.eq_words(&k, &zero4);
+    let is_last = b.eq_words(&k, &last);
+
+    // Weight ROM: 16 entries (padded), indexed by the tap counter.
+    let mut table = [0u32; 16];
+    table[..9].copy_from_slice(&WEIGHTS);
+    let w = b.rom(&table, k.bits(), 8);
+    let w32 = b.resize(&w, 32);
+
+    let zero32 = b.const_word(0, 32);
+    let acc_in = b.mux_word(is_first, &acc, &zero32);
+    let m = b.mac(&p, &w32, &acc_in);
+    b.connect_word_reg(acc_h, &m);
+
+    let k1 = b.inc(&k);
+    let k_next = b.mux_word(is_last, &k1, &zero4);
+    b.connect_word_reg(k_h, &k_next);
+
+    b.word_output("out", &m);
+    b.bit_output("done", is_last);
+    b.finish().expect("conv circuit is structurally valid")
+}
+
+/// The CONV kernel.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Conv;
+
+impl Kernel for Conv {
+    fn id(&self) -> KernelId {
+        KernelId::Conv
+    }
+
+    fn circuit(&self) -> Netlist {
+        build_circuit()
+    }
+
+    fn workload(&self, batch: u64) -> Workload {
+        let items = DIM * DIM * batch;
+        Workload {
+            items,
+            cycles_per_item: 10, // 9 tap reads + result write state
+            read_words_per_item: 9,
+            write_words_per_item: 1,
+            working_set_per_tile: DIM * DIM * 4 * 2,
+            input_bytes: items * 4,
+            output_bytes: items * 4,
+        }
+    }
+
+    fn cpu_profile(&self) -> CpuProfile {
+        CpuProfile {
+            int_ops: 30,
+            mul_ops: 9,
+            loads: 9,
+            stores: 1,
+            branches: 4,
+            mispredict_per_mille: 5,
+        }
+    }
+
+    fn sample_trace(&self) -> TraceSample {
+        let dim = DIM;
+        let base = 0x10_0000u64;
+        let out = 0x40_0000u64;
+        let mut acc = Vec::new();
+        let mut items = 0;
+        for y in 1..dim - 1 {
+            for x in 1..dim - 1 {
+                for dy in 0..3u64 {
+                    for dx in 0..3u64 {
+                        let i = (y + dy - 1) * dim + (x + dx - 1);
+                        acc.push((base + i * 4, false));
+                    }
+                }
+                acc.push((out + (y * dim + x) * 4, true));
+                items += 1;
+            }
+        }
+        TraceSample::new(acc, items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freac_netlist::eval::Evaluator;
+    use freac_netlist::Value;
+
+    #[test]
+    fn circuit_convolves_one_pixel() {
+        let net = build_circuit();
+        let mut ev = Evaluator::new(&net);
+        let p = [3u32, 1, 4, 1, 5, 9, 2, 6, 5];
+        let mut result = 0;
+        for (i, &v) in p.iter().enumerate() {
+            let out = ev.run_cycle(&[Value::Word(v)]).unwrap();
+            if i == 8 {
+                assert_eq!(out[1], Value::Bit(true));
+                result = out[0].as_word().unwrap();
+            }
+        }
+        assert_eq!(result, pixel(&p));
+    }
+
+    #[test]
+    fn back_to_back_pixels_reset_accumulator() {
+        let net = build_circuit();
+        let mut ev = Evaluator::new(&net);
+        let a = [1u32; 9];
+        let b = [2u32; 9];
+        let mut outs = Vec::new();
+        for &v in a.iter().chain(&b) {
+            let out = ev.run_cycle(&[Value::Word(v)]).unwrap();
+            if out[1] == Value::Bit(true) {
+                outs.push(out[0].as_word().unwrap());
+            }
+        }
+        assert_eq!(outs, vec![pixel(&a), pixel(&b)]);
+    }
+
+    #[test]
+    fn weights_sum_matches_constant_input() {
+        let sum: u32 = WEIGHTS.iter().sum();
+        assert_eq!(pixel(&[1; 9]), sum);
+    }
+}

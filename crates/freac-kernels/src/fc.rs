@@ -1,0 +1,185 @@
+//! Fully-connected layer (FC): `out[j] = relu(sum_i w[j][i] * x[i])`.
+//!
+//! Structurally a K-deep MAC like GEMM, plus a ReLU on the completed
+//! accumulator (interpreting the 32-bit value as two's-complement).
+
+use freac_netlist::builder::CircuitBuilder;
+use freac_netlist::Netlist;
+
+use crate::id::KernelId;
+use crate::profile::CpuProfile;
+use crate::trace::TraceSample;
+use crate::workload::Workload;
+use crate::Kernel;
+
+/// Input features per batch element.
+pub const IN: u64 = 128;
+
+/// Output neurons per batch element.
+pub const OUT: u64 = 64;
+
+/// Software ReLU over the wrapped accumulator.
+pub fn relu(v: u32) -> u32 {
+    if (v as i32) < 0 {
+        0
+    } else {
+        v
+    }
+}
+
+/// Software reference for one neuron.
+pub fn neuron(w: &[u32], x: &[u32]) -> u32 {
+    relu(
+        w.iter()
+            .zip(x)
+            .fold(0u32, |acc, (&a, &b)| acc.wrapping_add(a.wrapping_mul(b))),
+    )
+}
+
+/// Builds the PE: the shared MAC PE wrapped with an output ReLU.
+pub fn build_circuit() -> Netlist {
+    // Build a fresh PE inline so the ReLU sees the MAC result; reusing
+    // build_pe's netlist is not possible post-hoc, so replicate its
+    // structure with the extra activation.
+    let mut b = CircuitBuilder::new("fc");
+    let a = b.word_input("w", 32);
+    let x = b.word_input("x", 32);
+    let (acc, acc_h) = b.word_reg(0, 32);
+    let (k, k_h) = b.word_reg(0, 8);
+
+    let zero8 = b.const_word(0, 8);
+    let last = b.const_word(IN as u32 - 1, 8);
+    let is_first = b.eq_words(&k, &zero8);
+    let is_last = b.eq_words(&k, &last);
+
+    let zero32 = b.const_word(0, 32);
+    let acc_in = b.mux_word(is_first, &acc, &zero32);
+    let m = b.mac(&a, &x, &acc_in);
+    b.connect_word_reg(acc_h, &m);
+
+    let k1 = b.inc(&k);
+    let k_next = b.mux_word(is_last, &k1, &zero8);
+    b.connect_word_reg(k_h, &k_next);
+
+    // ReLU: zero when the sign bit is set.
+    let relu_out = b.mux_word(m.bit(31), &m, &zero32);
+    b.word_output("out", &relu_out);
+    b.bit_output("done", is_last);
+    b.finish().expect("fc circuit is structurally valid")
+}
+
+/// The FC kernel.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Fc;
+
+impl Kernel for Fc {
+    fn id(&self) -> KernelId {
+        KernelId::Fc
+    }
+
+    fn circuit(&self) -> Netlist {
+        build_circuit()
+    }
+
+    fn workload(&self, batch: u64) -> Workload {
+        let items = OUT * batch;
+        Workload {
+            items,
+            // Two serialized reads per MAC iteration plus the write.
+            cycles_per_item: 2 * IN + 1,
+            read_words_per_item: 2 * IN,
+            write_words_per_item: 1,
+            // Weights stream through the tile; only the input vector and
+            // a weight-row buffer stay resident.
+            working_set_per_tile: 2 * IN * 4,
+            input_bytes: (IN * OUT + IN) * 4 * batch,
+            output_bytes: OUT * 4 * batch,
+        }
+    }
+
+    fn cpu_profile(&self) -> CpuProfile {
+        CpuProfile {
+            int_ops: 3 * IN + 2,
+            mul_ops: IN,
+            loads: 2 * IN,
+            stores: 1,
+            branches: IN + 1,
+            mispredict_per_mille: 2,
+        }
+    }
+
+    fn sample_trace(&self) -> TraceSample {
+        let w_base = 0x10_0000u64;
+        let x_base = 0x40_0040u64;
+        let o_base = 0x50_0080u64;
+        let mut acc = Vec::new();
+        for j in 0..OUT {
+            for i in 0..IN {
+                acc.push((w_base + (j * IN + i) * 4, false));
+                acc.push((x_base + i * 4, false));
+            }
+            acc.push((o_base + j * 4, true));
+        }
+        TraceSample::new(acc, OUT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::build_pe;
+    use freac_netlist::eval::Evaluator;
+    use freac_netlist::Value;
+
+    #[test]
+    fn relu_clamps_negative() {
+        assert_eq!(relu(5), 5);
+        assert_eq!(relu((-3i32) as u32), 0);
+        assert_eq!(relu(0), 0);
+    }
+
+    #[test]
+    fn circuit_applies_relu_to_dot() {
+        // Use a 128-deep stream where the first two terms dominate; make
+        // the sum negative via a large product that wraps negative.
+        let net = build_circuit();
+        let mut ev = Evaluator::new(&net);
+        let mut last = (0u32, false);
+        let w0 = 0x8000_0000u32 / 3; // big positive, product wraps negative
+        for i in 0..IN {
+            let (wv, xv) = if i == 0 { (w0, 7u32) } else { (0, 0) };
+            let out = ev
+                .run_cycle(&[Value::Word(wv), Value::Word(xv)])
+                .unwrap();
+            last = (out[0].as_word().unwrap(), out[1] == Value::Bit(true));
+        }
+        assert!(last.1, "final cycle must assert done");
+        let expect = {
+            let mut ws = vec![0u32; IN as usize];
+            let mut xs = vec![0u32; IN as usize];
+            ws[0] = w0;
+            xs[0] = 7;
+            neuron(&ws, &xs)
+        };
+        assert_eq!(last.0, expect);
+    }
+
+    #[test]
+    fn shared_pe_shape() {
+        // The GEMM PE builder is reused conceptually; both have 1 MAC.
+        let fc = build_circuit();
+        let pe = build_pe("x", 8);
+        let s1 = freac_netlist::NetlistStats::of(&fc);
+        let s2 = freac_netlist::NetlistStats::of(&pe);
+        assert_eq!(s1.macs, 1);
+        assert_eq!(s2.macs, 1);
+        assert_eq!(s1.word_inputs, 2);
+    }
+
+    #[test]
+    fn workload_shape() {
+        let w = Fc.workload(256);
+        assert_eq!(w.items, OUT * 256);
+        assert_eq!(w.cycles_per_item, 2 * IN + 1);
+    }
+}

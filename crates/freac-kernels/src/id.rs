@@ -1,0 +1,88 @@
+//! Kernel identifiers.
+
+use std::fmt;
+
+/// The benchmark kernels of the evaluation (paper Sec. V figures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelId {
+    /// AES-128 block encryption.
+    Aes,
+    /// 2-D convolution with 3x3 taps.
+    Conv,
+    /// Dot-product engine.
+    Dot,
+    /// Fully-connected layer with ReLU.
+    Fc,
+    /// Dense matrix-multiply processing element.
+    Gemm,
+    /// Knuth-Morris-Pratt string matching.
+    Kmp,
+    /// Needleman-Wunsch alignment.
+    Nw,
+    /// Merge-sort compare-exchange network.
+    Srt,
+    /// 2-D 5-point stencil.
+    Stn2,
+    /// 3-D 7-point stencil.
+    Stn3,
+    /// Vector add.
+    Vadd,
+}
+
+impl KernelId {
+    /// The short uppercase name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelId::Aes => "AES",
+            KernelId::Conv => "CONV",
+            KernelId::Dot => "DOT",
+            KernelId::Fc => "FC",
+            KernelId::Gemm => "GEMM",
+            KernelId::Kmp => "KMP",
+            KernelId::Nw => "NW",
+            KernelId::Srt => "SRT",
+            KernelId::Stn2 => "STN2",
+            KernelId::Stn3 => "STN3",
+            KernelId::Vadd => "VADD",
+        }
+    }
+}
+
+impl fmt::Display for KernelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// All kernels in figure order.
+pub fn all_kernels() -> [KernelId; 11] {
+    [
+        KernelId::Aes,
+        KernelId::Conv,
+        KernelId::Dot,
+        KernelId::Fc,
+        KernelId::Gemm,
+        KernelId::Kmp,
+        KernelId::Nw,
+        KernelId::Srt,
+        KernelId::Stn2,
+        KernelId::Stn3,
+        KernelId::Vadd,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_unique_and_nonempty() {
+        let mut seen = std::collections::HashSet::new();
+        for k in all_kernels() {
+            assert!(!k.name().is_empty());
+            assert!(seen.insert(k.name()), "duplicate name {}", k.name());
+            assert_eq!(format!("{k}"), k.name());
+        }
+        assert_eq!(seen.len(), 11);
+    }
+}

@@ -1,0 +1,245 @@
+//! Knuth-Morris-Pratt string matching (KMP): a hardware DFA that consumes
+//! one 32-bit word (four text characters) per cycle, chaining four
+//! transition stages combinationally — the logic-bound profile the paper
+//! attributes to KMP.
+
+use freac_netlist::builder::{CircuitBuilder, Word};
+use freac_netlist::Netlist;
+
+use crate::id::KernelId;
+use crate::profile::CpuProfile;
+use crate::trace::TraceSample;
+use crate::workload::Workload;
+use crate::Kernel;
+
+/// The search pattern.
+pub const PATTERN: [u8; 4] = *b"ABAB";
+
+/// Text bytes per batch element (MachSuite searches a 32 KB string).
+pub const TEXT_BYTES: u64 = 32 * 1024;
+
+/// The KMP failure function of [`PATTERN`].
+pub fn failure() -> [usize; 4] {
+    let mut fail = [0usize; 4];
+    let mut k = 0;
+    for i in 1..PATTERN.len() {
+        while k > 0 && PATTERN[i] != PATTERN[k] {
+            k = fail[k - 1];
+        }
+        if PATTERN[i] == PATTERN[k] {
+            k += 1;
+        }
+        fail[i] = k;
+    }
+    fail
+}
+
+/// DFA transition: from `state` on character `c`, returning the new state
+/// and whether a match completed.
+pub fn step(state: usize, c: u8) -> (usize, bool) {
+    let fail = failure();
+    let mut s = state;
+    loop {
+        if c == PATTERN[s] {
+            s += 1;
+            break;
+        }
+        if s == 0 {
+            return (0, false);
+        }
+        s = fail[s - 1];
+    }
+    if s == PATTERN.len() {
+        // Overlapping matches continue from the longest border.
+        (fail[PATTERN.len() - 1], true)
+    } else {
+        (s, false)
+    }
+}
+
+/// Software reference: number of (overlapping) pattern occurrences.
+pub fn count_matches(text: &[u8]) -> u32 {
+    let mut state = 0;
+    let mut count = 0;
+    for &c in text {
+        let (next, matched) = step(state, c);
+        state = next;
+        count += u32::from(matched);
+    }
+    count
+}
+
+/// One DFA transition stage in logic. `state` is 2 bits (states 0..=3);
+/// returns `(next_state, matched)`.
+fn stage(b: &mut CircuitBuilder, state: &Word, ch: &Word) -> (Word, freac_netlist::builder::Wire) {
+    // Classify the character: only "is it pattern char 0/1" matters for
+    // pattern ABAB (A and B are the distinct alphabet of the automaton).
+    let pa = b.const_word(PATTERN[0] as u32, 8);
+    let pb = b.const_word(PATTERN[1] as u32, 8);
+    let is_a = b.eq_words(ch, &pa);
+    let is_b = b.eq_words(ch, &pb);
+
+    // Truth tables over (state[0], state[1], is_a, is_b): 4 inputs.
+    let idx_bits = [state.bit(0), state.bit(1), is_a, is_b];
+    let mut next_table = [0u32; 16];
+    let mut match_table = [0u32; 16];
+    for row in 0..16usize {
+        let s = row & 0b11;
+        let a = (row >> 2) & 1 == 1;
+        let bb = (row >> 3) & 1 == 1;
+        if a && bb {
+            continue; // impossible: a character cannot equal both
+        }
+        let c = if a {
+            PATTERN[0]
+        } else if bb {
+            PATTERN[1]
+        } else {
+            0 // any non-pattern character behaves identically
+        };
+        let (next, matched) = step(s, c);
+        next_table[row] = next as u32;
+        match_table[row] = u32::from(matched);
+    }
+    let next = b.rom(&next_table, &idx_bits, 2);
+    let matched = b.rom(&match_table, &idx_bits, 1);
+    (next, matched.bit(0))
+}
+
+/// Builds the word-at-a-time DFA datapath.
+pub fn build_circuit() -> Netlist {
+    let mut b = CircuitBuilder::new("kmp");
+    let text = b.word_input("text", 32);
+    let (state, state_h) = b.word_reg(0, 2);
+    let (count, count_h) = b.word_reg(0, 16);
+
+    let mut s = state.clone();
+    let mut matches = Vec::new();
+    for byte in 0..4 {
+        let ch = text.slice(byte * 8, 8);
+        let (next, m) = stage(&mut b, &s, &ch);
+        s = next;
+        matches.push(m);
+    }
+    b.connect_word_reg(state_h, &s);
+
+    // count += popcount(matches): sum the four match bits.
+    let m01 = {
+        let w0 = b.resize(&Word::from_wire(matches[0]), 3);
+        let w1 = b.resize(&Word::from_wire(matches[1]), 3);
+        b.add(&w0, &w1)
+    };
+    let m23 = {
+        let w2 = b.resize(&Word::from_wire(matches[2]), 3);
+        let w3 = b.resize(&Word::from_wire(matches[3]), 3);
+        b.add(&w2, &w3)
+    };
+    let msum = b.add(&m01, &m23);
+    let msum16 = b.resize(&msum, 16);
+    let new_count = b.add(&count, &msum16);
+    b.connect_word_reg(count_h, &new_count);
+    b.word_output("count", &new_count);
+    b.finish().expect("kmp circuit is structurally valid")
+}
+
+/// The KMP kernel.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Kmp;
+
+impl Kernel for Kmp {
+    fn id(&self) -> KernelId {
+        KernelId::Kmp
+    }
+
+    fn circuit(&self) -> Netlist {
+        build_circuit()
+    }
+
+    fn workload(&self, batch: u64) -> Workload {
+        let items = TEXT_BYTES / 4 * batch; // one word of text per item
+        Workload {
+            items,
+            // Read the text word, then run the four chained DFA stages.
+            cycles_per_item: 2,
+            read_words_per_item: 1,
+            write_words_per_item: 0,
+            working_set_per_tile: 8 * 1024,
+            input_bytes: TEXT_BYTES * batch,
+            output_bytes: 4 * batch,
+        }
+    }
+
+    fn cpu_profile(&self) -> CpuProfile {
+        // Per text word: four automaton steps with data-dependent branches.
+        CpuProfile {
+            int_ops: 16,
+            mul_ops: 0,
+            loads: 5,
+            stores: 0,
+            branches: 8,
+            mispredict_per_mille: 80,
+        }
+    }
+
+    fn sample_trace(&self) -> TraceSample {
+        let items = 4096u64;
+        let mut acc = Vec::with_capacity(items as usize);
+        for i in 0..items {
+            acc.push((0x10_0000 + i * 4, false));
+        }
+        TraceSample::new(acc, items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freac_netlist::eval::Evaluator;
+    use freac_netlist::Value;
+
+    #[test]
+    fn failure_function_of_abab() {
+        assert_eq!(failure(), [0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn reference_counts_overlapping() {
+        assert_eq!(count_matches(b"ABABAB"), 2);
+        assert_eq!(count_matches(b"ABAB"), 1);
+        assert_eq!(count_matches(b"XXXX"), 0);
+        assert_eq!(count_matches(b"ABABABAB"), 3);
+    }
+
+    #[test]
+    fn circuit_counts_like_reference() {
+        let texts: [&[u8]; 3] = [b"ABABABABXXAB", b"XXXXXXXXXXXX", b"ABABXABABXAB"];
+        for text in texts {
+            assert_eq!(text.len() % 4, 0);
+            let net = build_circuit();
+            let mut ev = Evaluator::new(&net);
+            let mut last = 0;
+            for chunk in text.chunks(4) {
+                let w = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                let out = ev.run_cycle(&[Value::Word(w)]).unwrap();
+                last = out[0].as_word().unwrap();
+            }
+            assert_eq!(last, count_matches(text), "text {:?}", text);
+        }
+    }
+
+    #[test]
+    fn match_spanning_word_boundary() {
+        // "XXAB|ABXX": the match crosses the word boundary.
+        let text = b"XXABABXX";
+        let net = build_circuit();
+        let mut ev = Evaluator::new(&net);
+        let mut last = 0;
+        for chunk in text.chunks(4) {
+            let w = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            last = ev.run_cycle(&[Value::Word(w)]).unwrap()[0]
+                .as_word()
+                .unwrap();
+        }
+        assert_eq!(last, 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Needleman-Wunsch sequence alignment (NW): the DP cell
+//! `H[i][j] = max(H[i-1][j-1] + s(a,b), H[i-1][j] - 1, H[i][j-1] - 1)`
+//! with match score +1 / mismatch -1 and gap penalty -1.
+//!
+//! Scores use a biased unsigned 16-bit encoding (bias 1024) so the circuit
+//! needs only unsigned comparators; the software reference uses the same
+//! encoding, making the two bit-exact.
+
+use freac_netlist::builder::CircuitBuilder;
+use freac_netlist::Netlist;
+
+use crate::id::KernelId;
+use crate::profile::CpuProfile;
+use crate::trace::TraceSample;
+use crate::workload::Workload;
+use crate::Kernel;
+
+/// Sequence length per batch element (MachSuite aligns 128-mers).
+pub const LEN: u64 = 128;
+
+/// The score bias that keeps DP values positive in unsigned arithmetic.
+pub const BIAS: u16 = 1024;
+
+/// Software reference for one DP cell in the biased encoding.
+pub fn cell(nw: u16, n: u16, w: u16, a: u8, b: u8) -> u16 {
+    let diag = if a == b {
+        nw.wrapping_add(1)
+    } else {
+        nw.wrapping_sub(1)
+    };
+    let up = n.wrapping_sub(1);
+    let left = w.wrapping_sub(1);
+    diag.max(up).max(left)
+}
+
+/// Software reference: the full DP matrix's final score.
+pub fn align_score(a: &[u8], b: &[u8]) -> u16 {
+    let n = a.len();
+    let m = b.len();
+    let mut prev: Vec<u16> = (0..=m as u16).map(|j| BIAS.wrapping_sub(j)).collect();
+    let mut cur = vec![0u16; m + 1];
+    for i in 1..=n {
+        cur[0] = BIAS.wrapping_sub(i as u16);
+        for j in 1..=m {
+            cur[j] = cell(prev[j - 1], prev[j], cur[j - 1], a[i - 1], b[j - 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Builds the DP-cell datapath: three 16-bit scores plus two characters in,
+/// the new score out.
+pub fn build_circuit() -> Netlist {
+    let mut b = CircuitBuilder::new("nw");
+    let nw = b.word_input("nw", 16);
+    let n = b.word_input("n", 16);
+    let w = b.word_input("w", 16);
+    let ca = b.word_input("a", 8);
+    let cb = b.word_input("b", 8);
+
+    let is_match = b.eq_words(&ca, &cb);
+    let one = b.const_word(1, 16);
+    let plus = b.add(&nw, &one);
+    let minus = b.sub(&nw, &one);
+    let diag = b.mux_word(is_match, &minus, &plus);
+    let up = b.sub(&n, &one);
+    let left = b.sub(&w, &one);
+    let (_, m1) = b.min_max_unsigned(&diag, &up);
+    let (_, m2) = b.min_max_unsigned(&m1, &left);
+    b.word_output("score", &m2);
+    b.finish().expect("nw circuit is structurally valid")
+}
+
+/// The NW kernel.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Nw;
+
+impl Kernel for Nw {
+    fn id(&self) -> KernelId {
+        KernelId::Nw
+    }
+
+    fn circuit(&self) -> Netlist {
+        build_circuit()
+    }
+
+    fn workload(&self, batch: u64) -> Workload {
+        let items = LEN * LEN * batch; // one item per DP cell
+        Workload {
+            items,
+            // Single-port serialization: read n, read w, write the new
+            // score (the diagonal value is register-held).
+            cycles_per_item: 3,
+            // n and w come from the streamed previous row/cell; nw is held
+            // in a register; characters load once per row/column.
+            read_words_per_item: 3,
+            write_words_per_item: 1,
+            working_set_per_tile: (2 * (LEN + 1) * 2 + 2 * LEN) * 2,
+            input_bytes: 2 * LEN * batch,
+            output_bytes: (LEN + 1) * 2 * batch,
+        }
+    }
+
+    fn cpu_profile(&self) -> CpuProfile {
+        CpuProfile {
+            int_ops: 9, // adds, compares, selects
+            mul_ops: 0,
+            loads: 4,
+            stores: 1,
+            branches: 3,
+            mispredict_per_mille: 300, // data-dependent max selection
+        }
+    }
+
+    fn sample_trace(&self) -> TraceSample {
+        // One full row of the DP matrix.
+        let prev = 0x10_0000u64;
+        let cur = 0x20_0040u64;
+        let seq = 0x30_0080u64;
+        let mut acc = Vec::new();
+        for j in 1..=LEN {
+            acc.push((prev + (j - 1) * 2, false)); // nw
+            acc.push((prev + j * 2, false)); // n
+            acc.push((seq + j, false)); // character
+            acc.push((cur + j * 2, true)); // new score
+        }
+        TraceSample::new(acc, LEN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freac_netlist::eval::Evaluator;
+    use freac_netlist::Value;
+
+    #[test]
+    fn circuit_matches_cell_reference() {
+        let net = build_circuit();
+        let mut ev = Evaluator::new(&net);
+        let cases = [
+            (BIAS, BIAS, BIAS, b'A', b'A'),
+            (BIAS, BIAS, BIAS, b'A', b'C'),
+            (BIAS + 5, BIAS + 9, BIAS + 2, b'G', b'G'),
+            (BIAS - 10, BIAS + 1, BIAS - 1, b'T', b'A'),
+        ];
+        for (nw, n, w, a, b) in cases {
+            let out = ev
+                .run_cycle(&[
+                    Value::Word(nw as u32),
+                    Value::Word(n as u32),
+                    Value::Word(w as u32),
+                    Value::Word(a as u32),
+                    Value::Word(b as u32),
+                ])
+                .unwrap();
+            assert_eq!(out[0].as_word(), Some(cell(nw, n, w, a, b) as u32));
+        }
+    }
+
+    #[test]
+    fn identical_sequences_score_their_length() {
+        let s = b"ACGTACGT";
+        assert_eq!(align_score(s, s), BIAS + 8);
+    }
+
+    #[test]
+    fn alignment_penalizes_mismatch() {
+        let a = b"ACGT";
+        let b = b"ACGA";
+        assert_eq!(align_score(a, b), BIAS + 3 - 1);
+    }
+
+    #[test]
+    fn items_cover_the_matrix() {
+        let w = Nw.workload(1);
+        assert_eq!(w.items, 128 * 128);
+    }
+}

@@ -1,0 +1,54 @@
+//! Per-item instruction mixes for the CPU timing model.
+
+/// Dynamic instruction counts of the software reference, per work item.
+///
+/// These drive the analytic A15 model in `freac-baselines`: integer ALU
+/// throughput, multiplier throughput, load/store ports, and branch
+/// misprediction penalties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuProfile {
+    /// Simple integer/logic operations (includes address arithmetic).
+    pub int_ops: u64,
+    /// Integer multiplies.
+    pub mul_ops: u64,
+    /// Memory loads.
+    pub loads: u64,
+    /// Memory stores.
+    pub stores: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Fraction of branches that are hard to predict (0.0..=1.0 in
+    /// thousandths to stay integer): e.g. 500 = 50 %.
+    pub mispredict_per_mille: u64,
+}
+
+impl CpuProfile {
+    /// Total dynamic instructions per item.
+    pub fn total_ops(&self) -> u64 {
+        self.int_ops + self.mul_ops + self.loads + self.stores + self.branches
+    }
+
+    /// Expected mispredictions per item (in 1/1000 units folded back).
+    pub fn mispredictions(&self) -> f64 {
+        self.branches as f64 * self.mispredict_per_mille as f64 / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let p = CpuProfile {
+            int_ops: 10,
+            mul_ops: 2,
+            loads: 4,
+            stores: 1,
+            branches: 3,
+            mispredict_per_mille: 100,
+        };
+        assert_eq!(p.total_ops(), 20);
+        assert!((p.mispredictions() - 0.3).abs() < 1e-12);
+    }
+}

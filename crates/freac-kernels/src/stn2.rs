@@ -1,0 +1,154 @@
+//! 2-D 5-point stencil (STN2): `out = c + n + s + e + w` over a 64x64 grid.
+
+use freac_netlist::builder::CircuitBuilder;
+use freac_netlist::Netlist;
+
+use crate::id::KernelId;
+use crate::profile::CpuProfile;
+use crate::trace::TraceSample;
+use crate::workload::Workload;
+use crate::Kernel;
+
+/// Grid edge length per batch element.
+pub const DIM: u64 = 64;
+
+/// Software reference for one interior point.
+pub fn point(c: u32, n: u32, s: u32, e: u32, w: u32) -> u32 {
+    c.wrapping_add(n)
+        .wrapping_add(s)
+        .wrapping_add(e)
+        .wrapping_add(w)
+}
+
+/// Software reference over a full grid (edges copied through).
+pub fn reference(grid: &[u32], dim: usize) -> Vec<u32> {
+    let mut out = grid.to_vec();
+    for y in 1..dim - 1 {
+        for x in 1..dim - 1 {
+            let i = y * dim + x;
+            out[i] = point(
+                grid[i],
+                grid[i - dim],
+                grid[i + dim],
+                grid[i + 1],
+                grid[i - 1],
+            );
+        }
+    }
+    out
+}
+
+/// Builds the 5-input adder-tree datapath.
+pub fn build_circuit() -> Netlist {
+    let mut b = CircuitBuilder::new("stn2");
+    let c = b.word_input("c", 32);
+    let n = b.word_input("n", 32);
+    let s = b.word_input("s", 32);
+    let e = b.word_input("e", 32);
+    let w = b.word_input("w", 32);
+    let t1 = b.add(&n, &s);
+    let t2 = b.add(&e, &w);
+    let t3 = b.add(&t1, &t2);
+    let out = b.add(&c, &t3);
+    b.word_output("out", &out);
+    b.finish().expect("stn2 circuit is structurally valid")
+}
+
+/// The STN2 kernel.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Stn2;
+
+impl Kernel for Stn2 {
+    fn id(&self) -> KernelId {
+        KernelId::Stn2
+    }
+
+    fn circuit(&self) -> Netlist {
+        build_circuit()
+    }
+
+    fn workload(&self, batch: u64) -> Workload {
+        let items = DIM * DIM * batch;
+        Workload {
+            items,
+            cycles_per_item: 1,
+            read_words_per_item: 5,
+            write_words_per_item: 1,
+            working_set_per_tile: DIM * DIM * 4 * 2, // grid + output
+            input_bytes: items * 4,
+            output_bytes: items * 4,
+        }
+    }
+
+    fn cpu_profile(&self) -> CpuProfile {
+        CpuProfile {
+            int_ops: 8, // 4 adds + index arithmetic
+            mul_ops: 0,
+            loads: 5,
+            stores: 1,
+            branches: 2,
+            mispredict_per_mille: 5,
+        }
+    }
+
+    fn sample_trace(&self) -> TraceSample {
+        let dim = DIM;
+        let base = 0x10_0000u64;
+        let out = 0x40_0040u64;
+        let mut acc = Vec::new();
+        let mut items = 0;
+        for y in 1..dim - 1 {
+            for x in 1..dim - 1 {
+                let i = y * dim + x;
+                for off in [0i64, -(dim as i64), dim as i64, 1, -1] {
+                    acc.push((base + ((i as i64 + off) as u64) * 4, false));
+                }
+                acc.push((out + i * 4, true));
+                items += 1;
+            }
+        }
+        TraceSample::new(acc, items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freac_netlist::eval::Evaluator;
+    use freac_netlist::Value;
+
+    #[test]
+    fn circuit_matches_point_reference() {
+        let net = build_circuit();
+        let mut ev = Evaluator::new(&net);
+        let cases = [(1u32, 2u32, 3u32, 4u32, 5u32), (u32::MAX, 1, 0, 0, 0)];
+        for (c, n, s, e, w) in cases {
+            let out = ev
+                .run_cycle(&[
+                    Value::Word(c),
+                    Value::Word(n),
+                    Value::Word(s),
+                    Value::Word(e),
+                    Value::Word(w),
+                ])
+                .unwrap();
+            assert_eq!(out[0].as_word(), Some(point(c, n, s, e, w)));
+        }
+    }
+
+    #[test]
+    fn grid_reference_leaves_border() {
+        let dim = 4;
+        let grid: Vec<u32> = (0..16).collect();
+        let out = reference(&grid, dim);
+        assert_eq!(out[0], 0); // border copied
+        assert_eq!(out[5], point(5, 1, 9, 6, 4));
+    }
+
+    #[test]
+    fn high_memory_intensity() {
+        let w = Stn2.workload(256);
+        assert_eq!(w.words_per_item(), 6);
+        assert!(w.cycles_per_word() < 0.5);
+    }
+}

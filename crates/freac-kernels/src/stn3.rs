@@ -1,0 +1,125 @@
+//! 3-D 7-point stencil (STN3) over a 32^3 volume.
+
+use freac_netlist::builder::CircuitBuilder;
+use freac_netlist::Netlist;
+
+use crate::id::KernelId;
+use crate::profile::CpuProfile;
+use crate::trace::TraceSample;
+use crate::workload::Workload;
+use crate::Kernel;
+
+/// Volume edge length per batch element.
+pub const DIM: u64 = 32;
+
+/// Software reference for one interior point: the 7-point sum.
+pub fn point(vals: [u32; 7]) -> u32 {
+    vals.iter().fold(0u32, |a, &v| a.wrapping_add(v))
+}
+
+/// Builds the 7-input adder-tree datapath.
+pub fn build_circuit() -> Netlist {
+    let mut b = CircuitBuilder::new("stn3");
+    let names = ["c", "xm", "xp", "ym", "yp", "zm", "zp"];
+    let ins: Vec<_> = names.iter().map(|n| b.word_input(n, 32)).collect();
+    let t1 = b.add(&ins[1], &ins[2]);
+    let t2 = b.add(&ins[3], &ins[4]);
+    let t3 = b.add(&ins[5], &ins[6]);
+    let t4 = b.add(&t1, &t2);
+    let t5 = b.add(&t3, &ins[0]);
+    let out = b.add(&t4, &t5);
+    b.word_output("out", &out);
+    b.finish().expect("stn3 circuit is structurally valid")
+}
+
+/// The STN3 kernel.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Stn3;
+
+impl Kernel for Stn3 {
+    fn id(&self) -> KernelId {
+        KernelId::Stn3
+    }
+
+    fn circuit(&self) -> Netlist {
+        build_circuit()
+    }
+
+    fn workload(&self, batch: u64) -> Workload {
+        let items = DIM * DIM * DIM * batch;
+        Workload {
+            items,
+            cycles_per_item: 1,
+            read_words_per_item: 7,
+            write_words_per_item: 1,
+            // Three planes of the volume plus an output plane.
+            working_set_per_tile: DIM * DIM * 4 * 4,
+            input_bytes: items * 4,
+            output_bytes: items * 4,
+        }
+    }
+
+    fn cpu_profile(&self) -> CpuProfile {
+        CpuProfile {
+            int_ops: 12,
+            mul_ops: 0,
+            loads: 7,
+            stores: 1,
+            branches: 3,
+            mispredict_per_mille: 5,
+        }
+    }
+
+    fn sample_trace(&self) -> TraceSample {
+        let dim = DIM;
+        let base = 0x10_0000u64;
+        let out = 0x80_0040u64;
+        let mut acc = Vec::new();
+        let mut items = 0;
+        // One z-plane's worth of interior points.
+        let z = dim / 2;
+        for y in 1..dim - 1 {
+            for x in 1..dim - 1 {
+                let i = (z * dim + y) * dim + x;
+                for off in [
+                    0i64,
+                    -1,
+                    1,
+                    -(dim as i64),
+                    dim as i64,
+                    -((dim * dim) as i64),
+                    (dim * dim) as i64,
+                ] {
+                    acc.push((base + ((i as i64 + off) as u64) * 4, false));
+                }
+                acc.push((out + i * 4, true));
+                items += 1;
+            }
+        }
+        TraceSample::new(acc, items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freac_netlist::eval::Evaluator;
+    use freac_netlist::Value;
+
+    #[test]
+    fn circuit_matches_reference() {
+        let net = build_circuit();
+        let mut ev = Evaluator::new(&net);
+        let vals = [10u32, 1, 2, 3, 4, 5, u32::MAX];
+        let inputs: Vec<Value> = vals.iter().map(|&v| Value::Word(v)).collect();
+        let out = ev.run_cycle(&inputs).unwrap();
+        assert_eq!(out[0].as_word(), Some(point(vals)));
+    }
+
+    #[test]
+    fn volume_items() {
+        let w = Stn3.workload(256);
+        assert_eq!(w.items, 32 * 32 * 32 * 256);
+        assert_eq!(w.words_per_item(), 8);
+    }
+}

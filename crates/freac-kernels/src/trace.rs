@@ -1,0 +1,62 @@
+//! Address traces for the cache-hierarchy simulation.
+
+/// A bounded, representative memory trace.
+///
+/// The trace covers `items_covered` work items; the CPU model replays it
+/// through the hierarchy and scales the measured latency to the full
+/// workload (the same trace-plus-timing-model methodology the paper uses
+/// with RTL traces and gem5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSample {
+    /// `(address, is_write)` pairs in program order.
+    pub accesses: Vec<(u64, bool)>,
+    /// Work items this trace covers.
+    pub items_covered: u64,
+}
+
+impl TraceSample {
+    /// Builds a trace, asserting it is non-trivial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty or covers zero items.
+    pub fn new(accesses: Vec<(u64, bool)>, items_covered: u64) -> Self {
+        assert!(!accesses.is_empty(), "trace must contain accesses");
+        assert!(items_covered > 0, "trace must cover at least one item");
+        TraceSample {
+            accesses,
+            items_covered,
+        }
+    }
+
+    /// Accesses per item.
+    pub fn accesses_per_item(&self) -> f64 {
+        self.accesses.len() as f64 / self.items_covered as f64
+    }
+
+    /// Bytes touched (distinct lines x 64), a working-set estimate.
+    pub fn footprint_bytes(&self) -> u64 {
+        let mut lines: Vec<u64> = self.accesses.iter().map(|&(a, _)| a / 64).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines.len() as u64 * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_counts_distinct_lines() {
+        let t = TraceSample::new(vec![(0, false), (8, false), (64, true), (0, true)], 2);
+        assert_eq!(t.footprint_bytes(), 128);
+        assert!((t.accesses_per_item() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "accesses")]
+    fn empty_trace_rejected() {
+        let _ = TraceSample::new(vec![], 1);
+    }
+}

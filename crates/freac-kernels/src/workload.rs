@@ -1,0 +1,82 @@
+//! Workload descriptors consumed by the timing models.
+
+/// A data-parallel workload characterization.
+///
+/// `items` are independent units of work distributed across accelerator
+/// tiles (or CPU threads); each item activates the kernel circuit for
+/// `cycles_per_item` original clock cycles and moves the given number of
+/// operand/result words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workload {
+    /// Total work items at the requested batch scale.
+    pub items: u64,
+    /// Original circuit cycles per item.
+    pub cycles_per_item: u64,
+    /// Operand words read per item.
+    pub read_words_per_item: u64,
+    /// Result words written per item.
+    pub write_words_per_item: u64,
+    /// Scratchpad bytes one concurrent tile needs resident.
+    pub working_set_per_tile: u64,
+    /// Total input footprint in bytes.
+    pub input_bytes: u64,
+    /// Total output footprint in bytes.
+    pub output_bytes: u64,
+}
+
+impl Workload {
+    /// Total words moved per item.
+    pub fn words_per_item(&self) -> u64 {
+        self.read_words_per_item + self.write_words_per_item
+    }
+
+    /// Total bytes moved by the kernel (operands and results).
+    pub fn traffic_bytes(&self) -> u64 {
+        self.items * self.words_per_item() * 4
+    }
+
+    /// Arithmetic intensity proxy: circuit cycles per word moved.
+    pub fn cycles_per_word(&self) -> f64 {
+        let w = self.words_per_item();
+        if w == 0 {
+            f64::INFINITY
+        } else {
+            self.cycles_per_item as f64 / w as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let w = Workload {
+            items: 100,
+            cycles_per_item: 8,
+            read_words_per_item: 3,
+            write_words_per_item: 1,
+            working_set_per_tile: 4096,
+            input_bytes: 1200,
+            output_bytes: 400,
+        };
+        assert_eq!(w.words_per_item(), 4);
+        assert_eq!(w.traffic_bytes(), 1600);
+        assert!((w.cycles_per_word() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_word_intensity_is_infinite() {
+        let w = Workload {
+            items: 1,
+            cycles_per_item: 5,
+            read_words_per_item: 0,
+            write_words_per_item: 0,
+            working_set_per_tile: 0,
+            input_bytes: 0,
+            output_bytes: 0,
+        };
+        assert!(w.cycles_per_word().is_infinite());
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based verification of the kernel circuits against their
+//! software references, through the netlist evaluator.
+
+use freac_kernels::{aes, dot, fc, gemm, kmp, nw, srt, stn2, stn3, vadd};
+use freac_netlist::eval::Evaluator;
+use freac_netlist::Value;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn aes_circuit_encrypts_any_block(pt in prop::array::uniform16(any::<u8>())) {
+        let n = aes::build_circuit();
+        let mut ev = Evaluator::new(&n);
+        let inputs: Vec<Value> = (0..4)
+            .map(|c| Value::Word(u32::from_le_bytes([
+                pt[c * 4], pt[c * 4 + 1], pt[c * 4 + 2], pt[c * 4 + 3],
+            ])))
+            .collect();
+        let mut out = Vec::new();
+        for _ in 0..11 {
+            out = ev.run_cycle(&inputs).expect("aes runs");
+        }
+        let mut ct = [0u8; 16];
+        for c in 0..4 {
+            ct[c * 4..c * 4 + 4].copy_from_slice(
+                &out[c].as_word().expect("word").to_le_bytes(),
+            );
+        }
+        prop_assert_eq!(ct, aes::encrypt_block(&pt, &aes::KEY));
+    }
+
+    #[test]
+    fn vadd_circuit_adds_any_pair(a in any::<u32>(), b in any::<u32>()) {
+        let n = vadd::build_circuit();
+        let mut ev = Evaluator::new(&n);
+        let out = ev.run_cycle(&[Value::Word(a), Value::Word(b)]).expect("runs");
+        prop_assert_eq!(out[0].as_word(), Some(a.wrapping_add(b)));
+    }
+
+    #[test]
+    fn dot_circuit_accumulates_any_stream(
+        pairs in prop::collection::vec((any::<u32>(), any::<u32>()), 1..12)
+    ) {
+        let n = dot::build_circuit();
+        let mut ev = Evaluator::new(&n);
+        let mut last = 0;
+        for &(a, b) in &pairs {
+            last = ev
+                .run_cycle(&[Value::Word(a), Value::Word(b)])
+                .expect("runs")[0]
+                .as_word()
+                .expect("word");
+        }
+        let (xs, ys): (Vec<u32>, Vec<u32>) = pairs.into_iter().unzip();
+        prop_assert_eq!(last, dot::reference(&xs, &ys));
+    }
+
+    #[test]
+    fn srt_compare_exchange_sorts_any_pair(a in any::<u32>(), b in any::<u32>()) {
+        let n = srt::build_circuit();
+        let mut ev = Evaluator::new(&n);
+        let out = ev.run_cycle(&[Value::Word(a), Value::Word(b)]).expect("runs");
+        let (mn, mx) = srt::compare_exchange(a, b);
+        prop_assert_eq!(out[0].as_word(), Some(mn));
+        prop_assert_eq!(out[1].as_word(), Some(mx));
+        prop_assert!(mn <= mx);
+    }
+
+    #[test]
+    fn stencils_sum_any_inputs(vals in prop::array::uniform7(any::<u32>())) {
+        let n2 = stn2::build_circuit();
+        let mut e2 = Evaluator::new(&n2);
+        let o = e2
+            .run_cycle(&vals[..5].iter().map(|&v| Value::Word(v)).collect::<Vec<_>>())
+            .expect("runs");
+        prop_assert_eq!(
+            o[0].as_word(),
+            Some(stn2::point(vals[0], vals[1], vals[2], vals[3], vals[4]))
+        );
+
+        let n3 = stn3::build_circuit();
+        let mut e3 = Evaluator::new(&n3);
+        let o = e3
+            .run_cycle(&vals.iter().map(|&v| Value::Word(v)).collect::<Vec<_>>())
+            .expect("runs");
+        prop_assert_eq!(o[0].as_word(), Some(stn3::point(vals)));
+    }
+
+    #[test]
+    fn nw_cell_matches_for_any_scores(
+        nwv in 0u16..4096,
+        n in 0u16..4096,
+        w in 0u16..4096,
+        a in any::<u8>(),
+        b in any::<u8>(),
+    ) {
+        let net = nw::build_circuit();
+        let mut ev = Evaluator::new(&net);
+        let out = ev
+            .run_cycle(&[
+                Value::Word(nwv as u32),
+                Value::Word(n as u32),
+                Value::Word(w as u32),
+                Value::Word(a as u32),
+                Value::Word(b as u32),
+            ])
+            .expect("runs");
+        prop_assert_eq!(out[0].as_word(), Some(nw::cell(nwv, n, w, a, b) as u32));
+    }
+
+    #[test]
+    fn kmp_counts_any_text(text in prop::collection::vec(
+        prop::sample::select(b"ABX".to_vec()), 4..64)
+    ) {
+        let text: Vec<u8> = text;
+        let full = &text[..text.len() - text.len() % 4];
+        if full.is_empty() {
+            return Ok(());
+        }
+        let n = kmp::build_circuit();
+        let mut ev = Evaluator::new(&n);
+        let mut last = 0;
+        for c in full.chunks(4) {
+            last = ev
+                .run_cycle(&[Value::Word(u32::from_le_bytes([c[0], c[1], c[2], c[3]]))])
+                .expect("runs")[0]
+                .as_word()
+                .expect("word");
+        }
+        prop_assert_eq!(last, kmp::count_matches(full));
+    }
+
+    #[test]
+    fn gemm_pe_any_depth64_stream(
+        a in prop::collection::vec(0u32..10_000, 64),
+        b in prop::collection::vec(0u32..10_000, 64),
+    ) {
+        let n = gemm::build_circuit();
+        let mut ev = Evaluator::new(&n);
+        let mut out = Vec::new();
+        for (&x, &y) in a.iter().zip(&b) {
+            out = ev.run_cycle(&[Value::Word(x), Value::Word(y)]).expect("runs");
+        }
+        let expect = a
+            .iter()
+            .zip(&b)
+            .fold(0u32, |s, (&x, &y)| s.wrapping_add(x.wrapping_mul(y)));
+        prop_assert_eq!(out[0].as_word(), Some(expect));
+        prop_assert_eq!(out[1].clone(), Value::Bit(true));
+    }
+
+    #[test]
+    fn fc_neuron_relu_any_weights(
+        w in prop::collection::vec(any::<u32>(), fc::IN as usize),
+        x in prop::collection::vec(0u32..256, fc::IN as usize),
+    ) {
+        let n = fc::build_circuit();
+        let mut ev = Evaluator::new(&n);
+        let mut out = Vec::new();
+        for (&wv, &xv) in w.iter().zip(&x) {
+            out = ev.run_cycle(&[Value::Word(wv), Value::Word(xv)]).expect("runs");
+        }
+        prop_assert_eq!(out[0].as_word(), Some(fc::neuron(&w, &x)));
+    }
+
+    #[test]
+    fn nw_alignment_score_bounds(
+        seq in prop::collection::vec(prop::sample::select(b"ACGT".to_vec()), 1..24)
+    ) {
+        // Aligning a sequence with itself scores +len; against anything it
+        // can never exceed that.
+        let seq: Vec<u8> = seq;
+        let self_score = nw::align_score(&seq, &seq);
+        prop_assert_eq!(self_score, nw::BIAS + seq.len() as u16);
+        let reversed: Vec<u8> = seq.iter().rev().copied().collect();
+        let cross = nw::align_score(&seq, &reversed);
+        prop_assert!(cross <= self_score);
+    }
+}

@@ -1,0 +1,844 @@
+//! A small structural-HDL builder for accelerator datapaths.
+//!
+//! [`CircuitBuilder`] is the front end the benchmark kernels use instead of
+//! Vivado HLS + VTR: circuits are described as bit vectors ([`Word`]) wired
+//! through gates, ripple-carry arithmetic, table lookups, registers, and the
+//! dedicated 32-bit MAC. The output is a validated [`Netlist`] ready for
+//! technology mapping and folding.
+//!
+//! Widths are dynamic (1..=32 bits). Width mismatches are programming errors
+//! in the circuit generator and therefore panic rather than returning
+//! `Result`; misuse cannot arise from end-user data.
+
+use crate::error::NetlistError;
+use crate::graph::{Netlist, NodeId, NodeKind};
+use crate::level::level_graph;
+use crate::truth::TruthTable;
+
+/// A single-bit signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Wire(pub(crate) NodeId);
+
+impl Wire {
+    /// The netlist node driving this wire.
+    pub fn node(self) -> NodeId {
+        self.0
+    }
+}
+
+/// A little-endian bit vector of up to 32 bits.
+///
+/// `bits[0]` is the least-significant bit. If the value originated directly
+/// from a word-typed node (a word input, register, or MAC) `origin` records
+/// it so word-level consumers can avoid a redundant pack.
+#[derive(Debug, Clone)]
+pub struct Word {
+    bits: Vec<Wire>,
+    origin: Option<NodeId>,
+}
+
+impl Word {
+    /// The bits, least significant first.
+    pub fn bits(&self) -> &[Wire] {
+        &self.bits
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Bit `i` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width()`.
+    pub fn bit(&self, i: usize) -> Wire {
+        self.bits[i]
+    }
+
+    /// A sub-range of bits `[lo, lo + len)` as a new word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, lo: usize, len: usize) -> Word {
+        Word {
+            bits: self.bits[lo..lo + len].to_vec(),
+            origin: None,
+        }
+    }
+
+    /// A one-bit word from a single wire (useful for flags feeding
+    /// arithmetic, e.g. counting match bits).
+    pub fn from_wire(wire: Wire) -> Word {
+        Word {
+            bits: vec![wire],
+            origin: None,
+        }
+    }
+
+    fn from_bits(bits: Vec<Wire>) -> Word {
+        assert!(
+            !bits.is_empty() && bits.len() <= 32,
+            "word width must be 1..=32, got {}",
+            bits.len()
+        );
+        Word { bits, origin: None }
+    }
+}
+
+/// A pending flip-flop whose D input has not been connected yet.
+///
+/// Created by [`CircuitBuilder::ff`]; must be closed with
+/// [`CircuitBuilder::connect_ff`] before [`CircuitBuilder::finish`].
+#[derive(Debug)]
+#[must_use = "flip-flops must be connected with connect_ff before finish()"]
+pub struct FfHandle {
+    node: NodeId,
+}
+
+/// A pending word register whose D input has not been connected yet.
+#[derive(Debug)]
+#[must_use = "registers must be connected with connect_word_reg before finish()"]
+pub struct WordRegHandle {
+    node: NodeId,
+}
+
+/// Builds a [`Netlist`] incrementally.
+#[derive(Debug)]
+pub struct CircuitBuilder {
+    netlist: Netlist,
+    n_bit_inputs: u32,
+    n_word_inputs: u32,
+    n_bit_outputs: u32,
+    n_word_outputs: u32,
+    pending_seq: Vec<NodeId>,
+    const_false: Option<Wire>,
+    const_true: Option<Wire>,
+}
+
+impl CircuitBuilder {
+    /// Creates a builder for a circuit named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        CircuitBuilder {
+            netlist: Netlist::new(name),
+            n_bit_inputs: 0,
+            n_word_inputs: 0,
+            n_bit_outputs: 0,
+            n_word_outputs: 0,
+            pending_seq: Vec::new(),
+            const_false: None,
+            const_true: None,
+        }
+    }
+
+    /// Finalizes the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any flip-flop or register was left unconnected,
+    /// if structural validation fails, or if the combinational graph has a
+    /// cycle.
+    pub fn finish(self) -> Result<Netlist, NetlistError> {
+        for &n in &self.pending_seq {
+            // An unconnected sequential node still points at itself; that is
+            // a (sequential) self-loop which is technically legal but almost
+            // certainly a builder bug, so report it as a cycle.
+            if self.netlist.nodes()[n.index()].inputs[0] == n {
+                return Err(NetlistError::CombinationalCycle(n));
+            }
+        }
+        self.netlist.validate()?;
+        level_graph(&self.netlist)?;
+        Ok(self.netlist)
+    }
+
+    // ------------------------------------------------------------------
+    // Primary I/O
+    // ------------------------------------------------------------------
+
+    /// Declares a primary bit input (a pre-latched parameter pin).
+    pub fn bit_input(&mut self, name: &str) -> Wire {
+        let idx = self.n_bit_inputs;
+        self.n_bit_inputs += 1;
+        Wire(self.netlist.push(
+            NodeKind::BitInput { index: idx },
+            vec![],
+            Some(name),
+        ))
+    }
+
+    /// Declares a primary word input of `width` bits; fetching it costs one
+    /// bus operation per activation in the fold schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 32.
+    pub fn word_input(&mut self, name: &str, width: usize) -> Word {
+        assert!((1..=32).contains(&width), "word width must be 1..=32");
+        let idx = self.n_word_inputs;
+        self.n_word_inputs += 1;
+        let w = self
+            .netlist
+            .push(NodeKind::WordInput { index: idx }, vec![], Some(name));
+        let bits = (0..width)
+            .map(|b| Wire(self.netlist.push(NodeKind::Unpack { bit: b as u32 }, vec![w], None)))
+            .collect();
+        Word {
+            bits,
+            origin: Some(w),
+        }
+    }
+
+    /// Declares a primary bit output driven by `w`.
+    pub fn bit_output(&mut self, name: &str, w: Wire) {
+        let idx = self.n_bit_outputs;
+        self.n_bit_outputs += 1;
+        self.netlist
+            .push(NodeKind::BitOutput { index: idx }, vec![w.0], Some(name));
+    }
+
+    /// Declares a primary word output driven by `word` (zero-extended to 32
+    /// bits); writing it costs one bus operation per activation.
+    pub fn word_output(&mut self, name: &str, word: &Word) {
+        let idx = self.n_word_outputs;
+        self.n_word_outputs += 1;
+        let src = self.as_word_node(word);
+        self.netlist
+            .push(NodeKind::WordOutput { index: idx }, vec![src], Some(name));
+    }
+
+    // ------------------------------------------------------------------
+    // Constants
+    // ------------------------------------------------------------------
+
+    /// A constant bit (deduplicated).
+    pub fn const_bit(&mut self, v: bool) -> Wire {
+        let slot = if v {
+            &mut self.const_true
+        } else {
+            &mut self.const_false
+        };
+        if let Some(w) = *slot {
+            return w;
+        }
+        let w = Wire(self.netlist.push(NodeKind::ConstBit(v), vec![], None));
+        *slot = Some(w);
+        w
+    }
+
+    /// A constant word of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 32, or `value` does not fit.
+    pub fn const_word(&mut self, value: u32, width: usize) -> Word {
+        assert!((1..=32).contains(&width), "word width must be 1..=32");
+        if width < 32 {
+            assert!(value < (1u32 << width), "constant {value} does not fit in {width} bits");
+        }
+        let bits = (0..width)
+            .map(|i| self.const_bit((value >> i) & 1 == 1))
+            .collect();
+        Word::from_bits(bits)
+    }
+
+    // ------------------------------------------------------------------
+    // Bit logic
+    // ------------------------------------------------------------------
+
+    /// Logical NOT.
+    pub fn not(&mut self, a: Wire) -> Wire {
+        self.lut(TruthTable::not1(), &[a])
+    }
+
+    /// Logical AND.
+    pub fn and(&mut self, a: Wire, b: Wire) -> Wire {
+        self.lut(TruthTable::and2(), &[a, b])
+    }
+
+    /// Logical OR.
+    pub fn or(&mut self, a: Wire, b: Wire) -> Wire {
+        self.lut(TruthTable::or2(), &[a, b])
+    }
+
+    /// Logical XOR.
+    pub fn xor(&mut self, a: Wire, b: Wire) -> Wire {
+        self.lut(TruthTable::xor2(), &[a, b])
+    }
+
+    /// Two-to-one multiplexer: returns `t` when `sel` is true, else `f`.
+    pub fn mux(&mut self, sel: Wire, f: Wire, t: Wire) -> Wire {
+        self.lut(TruthTable::mux3(), &[sel, f, t])
+    }
+
+    /// An arbitrary combinational function of `inputs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table.inputs() != inputs.len()`.
+    pub fn lut(&mut self, table: TruthTable, inputs: &[Wire]) -> Wire {
+        assert_eq!(
+            table.inputs(),
+            inputs.len(),
+            "truth table arity does not match wire count"
+        );
+        let ins = inputs.iter().map(|w| w.0).collect();
+        Wire(self.netlist.push(NodeKind::Lut(table), ins, None))
+    }
+
+    /// XOR-reduces a non-empty slice of wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wires` is empty.
+    pub fn reduce_xor(&mut self, wires: &[Wire]) -> Wire {
+        self.reduce(wires, |b, x, y| b.xor(x, y))
+    }
+
+    /// AND-reduces a non-empty slice of wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wires` is empty.
+    pub fn reduce_and(&mut self, wires: &[Wire]) -> Wire {
+        self.reduce(wires, |b, x, y| b.and(x, y))
+    }
+
+    /// OR-reduces a non-empty slice of wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wires` is empty.
+    pub fn reduce_or(&mut self, wires: &[Wire]) -> Wire {
+        self.reduce(wires, |b, x, y| b.or(x, y))
+    }
+
+    fn reduce(&mut self, wires: &[Wire], mut op: impl FnMut(&mut Self, Wire, Wire) -> Wire) -> Wire {
+        assert!(!wires.is_empty(), "cannot reduce zero wires");
+        // Balanced tree to minimize depth.
+        let mut layer: Vec<Wire> = wires.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    op(self, pair[0], pair[1])
+                } else {
+                    pair[0]
+                });
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    // ------------------------------------------------------------------
+    // Word logic
+    // ------------------------------------------------------------------
+
+    /// Bitwise XOR of equal-width words.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn xor_words(&mut self, a: &Word, b: &Word) -> Word {
+        self.zip_words(a, b, |s, x, y| s.xor(x, y))
+    }
+
+    /// Bitwise AND of equal-width words.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn and_words(&mut self, a: &Word, b: &Word) -> Word {
+        self.zip_words(a, b, |s, x, y| s.and(x, y))
+    }
+
+    /// Bitwise OR of equal-width words.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn or_words(&mut self, a: &Word, b: &Word) -> Word {
+        self.zip_words(a, b, |s, x, y| s.or(x, y))
+    }
+
+    /// Bitwise NOT of a word.
+    pub fn not_word(&mut self, a: &Word) -> Word {
+        let bits = a.bits.iter().map(|&w| self.not(w)).collect();
+        Word::from_bits(bits)
+    }
+
+    /// Per-bit multiplexer over equal-width words: `t` when `sel`, else `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn mux_word(&mut self, sel: Wire, f: &Word, t: &Word) -> Word {
+        assert_eq!(f.width(), t.width(), "mux operand width mismatch");
+        let bits = f
+            .bits
+            .iter()
+            .zip(&t.bits)
+            .map(|(&x, &y)| self.mux(sel, x, y))
+            .collect();
+        Word::from_bits(bits)
+    }
+
+    fn zip_words(
+        &mut self,
+        a: &Word,
+        b: &Word,
+        mut op: impl FnMut(&mut Self, Wire, Wire) -> Wire,
+    ) -> Word {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        let bits = a
+            .bits
+            .iter()
+            .zip(&b.bits)
+            .map(|(&x, &y)| op(self, x, y))
+            .collect();
+        Word::from_bits(bits)
+    }
+
+    // ------------------------------------------------------------------
+    // Arithmetic (ripple carry, as an FPGA LUT fabric would realize it)
+    // ------------------------------------------------------------------
+
+    /// `a + b` modulo `2^width`, with the carry-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn add_carry(&mut self, a: &Word, b: &Word) -> (Word, Wire) {
+        assert_eq!(a.width(), b.width(), "adder width mismatch");
+        let mut carry = self.const_bit(false);
+        let mut bits = Vec::with_capacity(a.width());
+        for (&x, &y) in a.bits.iter().zip(&b.bits) {
+            // sum = x ^ y ^ c; carry = majority(x, y, c): both 3-input LUTs.
+            let sum = self.lut(
+                TruthTable::from_fn(3, |r| (r.count_ones() & 1) == 1).expect("3-input table"),
+                &[x, y, carry],
+            );
+            carry = self.lut(
+                TruthTable::from_fn(3, |r| r.count_ones() >= 2).expect("3-input table"),
+                &[x, y, carry],
+            );
+            bits.push(sum);
+        }
+        (Word::from_bits(bits), carry)
+    }
+
+    /// `a + b` modulo `2^width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn add(&mut self, a: &Word, b: &Word) -> Word {
+        self.add_carry(a, b).0
+    }
+
+    /// `a - b` modulo `2^width`, plus a borrow-free flag (`a >= b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn sub_borrow(&mut self, a: &Word, b: &Word) -> (Word, Wire) {
+        let nb = self.not_word(b);
+        let one = self.const_word(1, a.width());
+        let (nb1, c0) = self.add_carry(&nb, &one);
+        let (diff, c1) = self.add_carry(a, &nb1);
+        let no_borrow = self.or(c0, c1);
+        (diff, no_borrow)
+    }
+
+    /// `a - b` modulo `2^width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn sub(&mut self, a: &Word, b: &Word) -> Word {
+        self.sub_borrow(a, b).0
+    }
+
+    /// `a + 1` modulo `2^width`.
+    pub fn inc(&mut self, a: &Word) -> Word {
+        let one = self.const_word(1, a.width());
+        self.add(a, &one)
+    }
+
+    /// Equality comparison of equal-width words.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn eq_words(&mut self, a: &Word, b: &Word) -> Wire {
+        assert_eq!(a.width(), b.width(), "comparator width mismatch");
+        let diffs: Vec<Wire> = a
+            .bits
+            .iter()
+            .zip(&b.bits)
+            .map(|(&x, &y)| {
+                self.lut(
+                    TruthTable::from_fn(2, |r| (r.count_ones() & 1) == 0).expect("2-input table"),
+                    &[x, y],
+                )
+            })
+            .collect();
+        self.reduce_and(&diffs)
+    }
+
+    /// Unsigned `a < b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn lt_unsigned(&mut self, a: &Word, b: &Word) -> Wire {
+        let (_, no_borrow) = self.sub_borrow(a, b);
+        self.not(no_borrow) // borrow happened => a < b
+    }
+
+    /// Unsigned `a >= b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn ge_unsigned(&mut self, a: &Word, b: &Word) -> Wire {
+        let (_, no_borrow) = self.sub_borrow(a, b);
+        no_borrow
+    }
+
+    /// Unsigned minimum and maximum of two equal-width words.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn min_max_unsigned(&mut self, a: &Word, b: &Word) -> (Word, Word) {
+        let a_lt_b = self.lt_unsigned(a, b);
+        let min = self.mux_word(a_lt_b, b, a);
+        let max = self.mux_word(a_lt_b, a, b);
+        (min, max)
+    }
+
+    /// Logical left shift by a constant; width is preserved.
+    pub fn shl_const(&mut self, a: &Word, k: usize) -> Word {
+        let zero = self.const_bit(false);
+        let w = a.width();
+        let bits = (0..w)
+            .map(|i| if i < k { zero } else { a.bits[i - k] })
+            .collect();
+        Word::from_bits(bits)
+    }
+
+    /// Logical right shift by a constant; width is preserved.
+    pub fn shr_const(&mut self, a: &Word, k: usize) -> Word {
+        let zero = self.const_bit(false);
+        let w = a.width();
+        let bits = (0..w)
+            .map(|i| if i + k < w { a.bits[i + k] } else { zero })
+            .collect();
+        Word::from_bits(bits)
+    }
+
+    /// Rotate left by a constant.
+    pub fn rotl_const(&mut self, a: &Word, k: usize) -> Word {
+        let w = a.width();
+        let bits = (0..w).map(|i| a.bits[(i + w - k % w) % w]).collect();
+        Word::from_bits(bits)
+    }
+
+    /// Zero-extends (or truncates) a word to `width` bits.
+    pub fn resize(&mut self, a: &Word, width: usize) -> Word {
+        let zero = self.const_bit(false);
+        let bits = (0..width)
+            .map(|i| if i < a.width() { a.bits[i] } else { zero })
+            .collect();
+        Word::from_bits(bits)
+    }
+
+    /// Concatenates `lo` and `hi` (result = `hi:lo`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds 32 bits.
+    pub fn concat(&mut self, lo: &Word, hi: &Word) -> Word {
+        let mut bits = lo.bits.clone();
+        bits.extend_from_slice(&hi.bits);
+        Word::from_bits(bits)
+    }
+
+    // ------------------------------------------------------------------
+    // Table lookups (ROMs realized as wide LUT nodes)
+    // ------------------------------------------------------------------
+
+    /// A ROM lookup: `table[index]` where `index` is formed from `in_bits`
+    /// (LSB first) and each entry is `out_width` bits wide. Generates
+    /// `out_width` wide truth-table nodes that technology mapping will
+    /// decompose into K-LUT trees (this is how the AES S-box is realized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_bits` is empty or longer than 16, or if
+    /// `table.len() != 2^in_bits.len()`, or `out_width` is 0 or exceeds 32.
+    pub fn rom(&mut self, table: &[u32], in_bits: &[Wire], out_width: usize) -> Word {
+        assert!(
+            !in_bits.is_empty() && in_bits.len() <= 16,
+            "rom index width must be 1..=16"
+        );
+        assert!((1..=32).contains(&out_width), "rom entry width must be 1..=32");
+        assert_eq!(table.len(), 1usize << in_bits.len(), "rom size mismatch");
+        let bits = (0..out_width)
+            .map(|b| {
+                let tt = TruthTable::from_fn(in_bits.len(), |row| (table[row] >> b) & 1 == 1)
+                    .expect("rom index width was checked above");
+                self.lut(tt, in_bits)
+            })
+            .collect();
+        Word::from_bits(bits)
+    }
+
+    // ------------------------------------------------------------------
+    // Sequential elements
+    // ------------------------------------------------------------------
+
+    /// Creates a flip-flop and returns its Q output plus a handle to connect
+    /// the D input later (for feedback paths).
+    pub fn ff(&mut self, init: bool) -> (Wire, FfHandle) {
+        let node = NodeId(self.netlist.len() as u32);
+        self.netlist
+            .push(NodeKind::Ff { init }, vec![node], None); // self-loop placeholder
+        self.pending_seq.push(node);
+        (Wire(node), FfHandle { node })
+    }
+
+    /// Connects the D input of a flip-flop created by [`Self::ff`].
+    pub fn connect_ff(&mut self, handle: FfHandle, d: Wire) {
+        self.netlist
+            .set_input(handle.node, 0, d.0)
+            .expect("handle always refers to a valid flip-flop");
+    }
+
+    /// Creates a `width`-bit register (a bank of flip-flops at the bit level
+    /// conceptually, realized as a word register node). Returns the Q value
+    /// and a handle to connect the D value later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 32.
+    pub fn word_reg(&mut self, init: u32, width: usize) -> (Word, WordRegHandle) {
+        assert!((1..=32).contains(&width), "register width must be 1..=32");
+        let node = NodeId(self.netlist.len() as u32);
+        self.netlist
+            .push(NodeKind::WordReg { init }, vec![node], None);
+        self.pending_seq.push(node);
+        let bits = (0..width)
+            .map(|b| Wire(self.netlist.push(NodeKind::Unpack { bit: b as u32 }, vec![node], None)))
+            .collect();
+        (
+            Word {
+                bits,
+                origin: Some(node),
+            },
+            WordRegHandle { node },
+        )
+    }
+
+    /// Connects the D value of a register created by [`Self::word_reg`].
+    pub fn connect_word_reg(&mut self, handle: WordRegHandle, d: &Word) {
+        let src = self.as_word_node(d);
+        self.netlist
+            .set_input(handle.node, 0, src)
+            .expect("handle always refers to a valid register");
+    }
+
+    // ------------------------------------------------------------------
+    // MAC
+    // ------------------------------------------------------------------
+
+    /// 32-bit multiply-accumulate on the cluster's dedicated unit:
+    /// `a * b + acc` (wrapping). Operands narrower than 32 bits are
+    /// zero-extended.
+    pub fn mac(&mut self, a: &Word, b: &Word, acc: &Word) -> Word {
+        let an = self.as_word_node(a);
+        let bn = self.as_word_node(b);
+        let cn = self.as_word_node(acc);
+        let m = self.netlist.push(NodeKind::Mac, vec![an, bn, cn], None);
+        let bits = (0..32)
+            .map(|b| Wire(self.netlist.push(NodeKind::Unpack { bit: b as u32 }, vec![m], None)))
+            .collect();
+        Word {
+            bits,
+            origin: Some(m),
+        }
+    }
+
+    /// `a * b` (wrapping) via the MAC with a zero accumulator.
+    pub fn mul(&mut self, a: &Word, b: &Word) -> Word {
+        let zero = self.const_word(0, 32);
+        self.mac(a, b, &zero)
+    }
+
+    fn as_word_node(&mut self, w: &Word) -> NodeId {
+        if let Some(origin) = w.origin {
+            // Reuse the originating word node only when the bit view is the
+            // untouched unpack of that node.
+            let untouched = w.bits.iter().enumerate().all(|(i, wire)| {
+                let n = &self.netlist.nodes()[wire.0.index()];
+                matches!(n.kind, NodeKind::Unpack { bit } if bit as usize == i)
+                    && n.inputs == [origin]
+            });
+            if untouched && w.width() == 32 {
+                return origin;
+            }
+        }
+        let ins = w.bits.iter().map(|w| w.0).collect();
+        self.netlist.push(NodeKind::Pack, ins, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+    use crate::graph::Value;
+
+    fn eval_words(b: CircuitBuilder, inputs: &[u32]) -> Vec<u32> {
+        let n = b.finish().expect("circuit should be valid");
+        let mut ev = Evaluator::new(&n);
+        let vals: Vec<Value> = inputs.iter().map(|&w| Value::Word(w)).collect();
+        ev.run_cycle(&vals)
+            .expect("evaluation should succeed")
+            .into_iter()
+            .map(|v| v.as_word().expect("word output"))
+            .collect()
+    }
+
+    #[test]
+    fn adder_is_correct() {
+        for (x, y) in [(0u32, 0u32), (1, 1), (200, 57), (255, 255), (170, 85)] {
+            let mut b = CircuitBuilder::new("add8");
+            let a = b.word_input("a", 8);
+            let c = b.word_input("b", 8);
+            let s = b.add(&a, &c);
+            b.word_output("s", &s);
+            assert_eq!(eval_words(b, &[x, y])[0], (x + y) & 0xFF);
+        }
+    }
+
+    #[test]
+    fn subtractor_and_comparisons() {
+        for (x, y) in [(5u32, 3u32), (3, 5), (0, 0), (255, 1), (1, 255)] {
+            let mut b = CircuitBuilder::new("cmp8");
+            let a = b.word_input("a", 8);
+            let c = b.word_input("b", 8);
+            let d = b.sub(&a, &c);
+            let lt = b.lt_unsigned(&a, &c);
+            let eq = b.eq_words(&a, &c);
+            b.word_output("d", &d);
+            let ltw = Word::from_bits(vec![lt]);
+            let eqw = Word::from_bits(vec![eq]);
+            b.word_output("lt", &ltw);
+            b.word_output("eq", &eqw);
+            let out = eval_words(b, &[x, y]);
+            assert_eq!(out[0], x.wrapping_sub(y) & 0xFF, "diff {x}-{y}");
+            assert_eq!(out[1], u32::from(x < y), "lt {x}<{y}");
+            assert_eq!(out[2], u32::from(x == y), "eq {x}=={y}");
+        }
+    }
+
+    #[test]
+    fn min_max() {
+        let mut b = CircuitBuilder::new("mm");
+        let a = b.word_input("a", 16);
+        let c = b.word_input("b", 16);
+        let (mn, mx) = b.min_max_unsigned(&a, &c);
+        b.word_output("min", &mn);
+        b.word_output("max", &mx);
+        let out = eval_words(b, &[700, 40]);
+        assert_eq!(out, vec![40, 700]);
+    }
+
+    #[test]
+    fn shifts_and_rotates() {
+        let mut b = CircuitBuilder::new("sh");
+        let a = b.word_input("a", 8);
+        let l = b.shl_const(&a, 3);
+        let r = b.shr_const(&a, 2);
+        let ro = b.rotl_const(&a, 1);
+        b.word_output("l", &l);
+        b.word_output("r", &r);
+        b.word_output("ro", &ro);
+        let out = eval_words(b, &[0b1011_0110]);
+        assert_eq!(out[0], 0b1011_0000);
+        assert_eq!(out[1], 0b0010_1101);
+        assert_eq!(out[2], 0b0110_1101);
+    }
+
+    #[test]
+    fn rom_lookup() {
+        let table: Vec<u32> = (0..16).map(|i| (i * 7 + 3) & 0xF).collect();
+        let mut b = CircuitBuilder::new("rom");
+        let a = b.word_input("a", 4);
+        let v = b.rom(&table, a.bits(), 4);
+        b.word_output("v", &v);
+        for i in 0..16u32 {
+            let mut b2 = CircuitBuilder::new("rom");
+            let a2 = b2.word_input("a", 4);
+            let v2 = b2.rom(&table, a2.bits(), 4);
+            b2.word_output("v", &v2);
+            assert_eq!(eval_words(b2, &[i])[0], table[i as usize]);
+        }
+        let _ = b; // first builder exercised construction once
+    }
+
+    #[test]
+    fn mac_multiplies() {
+        let mut b = CircuitBuilder::new("mac");
+        let a = b.word_input("a", 32);
+        let c = b.word_input("b", 32);
+        let d = b.word_input("acc", 32);
+        let m = b.mac(&a, &c, &d);
+        b.word_output("m", &m);
+        assert_eq!(eval_words(b, &[7, 9, 100])[0], 163);
+    }
+
+    #[test]
+    fn unconnected_ff_is_an_error() {
+        let mut b = CircuitBuilder::new("bad");
+        let (q, _handle) = b.ff(false);
+        b.bit_output("q", q);
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn counter_counts() {
+        // 4-bit counter: reg <- reg + 1 every cycle.
+        let mut b = CircuitBuilder::new("ctr");
+        let (q, h) = b.word_reg(0, 4);
+        let next = b.inc(&q);
+        b.connect_word_reg(h, &next);
+        b.word_output("q", &q);
+        let n = b.finish().unwrap();
+        let mut ev = Evaluator::new(&n);
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            let out = ev.run_cycle(&[]).unwrap();
+            seen.push(out[0].as_word().unwrap());
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn word_io_reuses_origin_node() {
+        let mut b = CircuitBuilder::new("thru");
+        let a = b.word_input("a", 32);
+        b.word_output("o", &a);
+        let n = b.finish().unwrap();
+        // No Pack node should exist: the output reads the input node directly.
+        assert!(!n.nodes().iter().any(|nd| matches!(nd.kind, NodeKind::Pack)));
+    }
+}

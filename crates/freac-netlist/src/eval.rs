@@ -1,0 +1,271 @@
+//! Reference (un-folded) evaluation of a netlist.
+//!
+//! [`Evaluator`] executes the circuit one *original* clock cycle at a time:
+//! all combinational logic settles within the cycle and sequential elements
+//! latch at the cycle boundary. The folded executor in `freac-fold` must
+//! produce bit-identical results; that equivalence is the central functional
+//! correctness property of the reproduction and is property-tested.
+
+use crate::error::NetlistError;
+use crate::graph::{Netlist, NodeKind, Value};
+use crate::level::{level_graph, LeveledGraph};
+
+/// Evaluates a netlist cycle by cycle.
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    netlist: &'a Netlist,
+    leveled: LeveledGraph,
+    /// Current combinational value of every node.
+    values: Vec<Value>,
+    /// Latched state of sequential nodes (indexed like nodes; unused slots
+    /// stay at their init).
+    state: Vec<Value>,
+    cycles: u64,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Prepares an evaluator, resetting all sequential state to its init
+    /// values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist fails validation or contains a combinational
+    /// cycle — construct netlists through
+    /// [`CircuitBuilder`](crate::builder::CircuitBuilder) to rule both out.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        netlist.validate().expect("netlist must be structurally valid");
+        let leveled = level_graph(netlist).expect("netlist must be acyclic");
+        let mut state = vec![Value::Bit(false); netlist.len()];
+        for (i, node) in netlist.nodes().iter().enumerate() {
+            match node.kind {
+                NodeKind::Ff { init } => state[i] = Value::Bit(init),
+                NodeKind::WordReg { init } => state[i] = Value::Word(init),
+                _ => {}
+            }
+        }
+        Evaluator {
+            netlist,
+            leveled,
+            values: vec![Value::Bit(false); netlist.len()],
+            state,
+            cycles: 0,
+        }
+    }
+
+    /// Number of original clock cycles executed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Resets sequential state to power-on values.
+    pub fn reset(&mut self) {
+        for (i, node) in self.netlist.nodes().iter().enumerate() {
+            match node.kind {
+                NodeKind::Ff { init } => self.state[i] = Value::Bit(init),
+                NodeKind::WordReg { init } => self.state[i] = Value::Word(init),
+                _ => {}
+            }
+        }
+        self.cycles = 0;
+    }
+
+    /// Runs one original clock cycle with the given primary input values (in
+    /// primary-input declaration order) and returns the primary outputs (in
+    /// declaration order).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number or types of `inputs` do not match the
+    /// netlist's primary inputs.
+    pub fn run_cycle(&mut self, inputs: &[Value]) -> Result<Vec<Value>, NetlistError> {
+        let pis = self.netlist.primary_inputs();
+        if inputs.len() != pis.len() {
+            return Err(NetlistError::InputCountMismatch {
+                expected: pis.len(),
+                found: inputs.len(),
+            });
+        }
+        for (i, (&pi, &v)) in pis.iter().zip(inputs).enumerate() {
+            let expect = self.netlist.nodes()[pi.index()].kind.output_type();
+            if v.signal_type() != expect {
+                return Err(NetlistError::InputTypeMismatch { index: i });
+            }
+            self.values[pi.index()] = v;
+        }
+
+        // Combinational settle in topological order.
+        for &id in self.leveled.order().iter() {
+            let node = &self.netlist.nodes()[id.index()];
+            let val = match &node.kind {
+                NodeKind::BitInput { .. } | NodeKind::WordInput { .. } => {
+                    continue; // set above
+                }
+                NodeKind::ConstBit(b) => Value::Bit(*b),
+                NodeKind::ConstWord(w) => Value::Word(*w),
+                NodeKind::Ff { .. } | NodeKind::WordReg { .. } => self.state[id.index()],
+                NodeKind::Lut(t) => {
+                    let mut row = 0usize;
+                    for (i, &inp) in node.inputs.iter().enumerate() {
+                        if self.values[inp.index()].as_bit().expect("validated bit operand") {
+                            row |= 1 << i;
+                        }
+                    }
+                    Value::Bit(t.eval(row))
+                }
+                NodeKind::Mac => {
+                    let a = self.word_at(node.inputs[0]);
+                    let b = self.word_at(node.inputs[1]);
+                    let acc = self.word_at(node.inputs[2]);
+                    Value::Word(a.wrapping_mul(b).wrapping_add(acc))
+                }
+                NodeKind::Pack => {
+                    let mut w = 0u32;
+                    for (i, &inp) in node.inputs.iter().enumerate() {
+                        if self.values[inp.index()].as_bit().expect("validated bit operand") {
+                            w |= 1 << i;
+                        }
+                    }
+                    Value::Word(w)
+                }
+                NodeKind::Unpack { bit } => {
+                    let w = self.word_at(node.inputs[0]);
+                    Value::Bit((w >> bit) & 1 == 1)
+                }
+                NodeKind::BitOutput { .. } => self.values[node.inputs[0].index()],
+                NodeKind::WordOutput { .. } => self.values[node.inputs[0].index()],
+            };
+            self.values[id.index()] = val;
+        }
+
+        // Latch sequential elements.
+        for (i, node) in self.netlist.nodes().iter().enumerate() {
+            if node.kind.is_sequential() {
+                self.state[i] = self.values[node.inputs[0].index()];
+            }
+        }
+        self.cycles += 1;
+
+        Ok(self
+            .netlist
+            .primary_outputs()
+            .iter()
+            .map(|&o| self.values[o.index()])
+            .collect())
+    }
+
+    /// Runs `cycles` cycles feeding the same inputs each cycle; returns the
+    /// outputs of the final cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates input mismatch errors from [`Self::run_cycle`].
+    pub fn run_cycles(&mut self, inputs: &[Value], cycles: usize) -> Result<Vec<Value>, NetlistError> {
+        let mut last = Vec::new();
+        for _ in 0..cycles {
+            last = self.run_cycle(inputs)?;
+        }
+        Ok(last)
+    }
+
+    /// Current value of a node (after the most recent cycle).
+    pub fn value_of(&self, id: crate::graph::NodeId) -> Value {
+        self.values[id.index()]
+    }
+
+    fn word_at(&self, id: crate::graph::NodeId) -> u32 {
+        self.values[id.index()]
+            .as_word()
+            .expect("validated word operand")
+    }
+}
+
+/// Convenience check that two netlists compute the same function on a batch
+/// of input vectors (used to verify technology mapping preserves semantics).
+///
+/// # Errors
+///
+/// Propagates evaluation errors from either netlist.
+pub fn equivalent_on(
+    a: &Netlist,
+    b: &Netlist,
+    input_vectors: &[Vec<Value>],
+    cycles_per_vector: usize,
+) -> Result<bool, NetlistError> {
+    let mut ea = Evaluator::new(a);
+    let mut eb = Evaluator::new(b);
+    for v in input_vectors {
+        for _ in 0..cycles_per_vector {
+            let oa = ea.run_cycle(v)?;
+            let ob = eb.run_cycle(v)?;
+            if oa != ob {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    #[test]
+    fn input_count_checked() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.word_input("a", 8);
+        b.word_output("o", &a);
+        let n = b.finish().unwrap();
+        let mut ev = Evaluator::new(&n);
+        assert!(matches!(
+            ev.run_cycle(&[]),
+            Err(NetlistError::InputCountMismatch { expected: 1, found: 0 })
+        ));
+    }
+
+    #[test]
+    fn input_type_checked() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.word_input("a", 8);
+        b.word_output("o", &a);
+        let n = b.finish().unwrap();
+        let mut ev = Evaluator::new(&n);
+        assert!(matches!(
+            ev.run_cycle(&[Value::Bit(true)]),
+            Err(NetlistError::InputTypeMismatch { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut b = CircuitBuilder::new("ctr");
+        let (q, h) = b.word_reg(5, 8);
+        let next = b.inc(&q);
+        b.connect_word_reg(h, &next);
+        b.word_output("q", &q);
+        let n = b.finish().unwrap();
+        let mut ev = Evaluator::new(&n);
+        assert_eq!(ev.run_cycle(&[]).unwrap()[0].as_word(), Some(5));
+        assert_eq!(ev.run_cycle(&[]).unwrap()[0].as_word(), Some(6));
+        ev.reset();
+        assert_eq!(ev.cycles(), 0);
+        assert_eq!(ev.run_cycle(&[]).unwrap()[0].as_word(), Some(5));
+    }
+
+    #[test]
+    fn equivalence_helper_detects_difference() {
+        let build = |xor: bool| {
+            let mut b = CircuitBuilder::new("g");
+            let a = b.word_input("a", 4);
+            let c = b.word_input("b", 4);
+            let r = if xor { b.xor_words(&a, &c) } else { b.and_words(&a, &c) };
+            b.word_output("r", &r);
+            b.finish().unwrap()
+        };
+        let x = build(true);
+        let y = build(false);
+        let vecs = vec![vec![Value::Word(3), Value::Word(5)]];
+        assert!(equivalent_on(&x, &x, &vecs, 1).unwrap());
+        assert!(!equivalent_on(&x, &y, &vecs, 1).unwrap());
+    }
+}

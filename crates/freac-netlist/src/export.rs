@@ -1,0 +1,204 @@
+//! Netlist export: BLIF (for interoperability with academic CAD flows like
+//! VTR/ABC) and Graphviz DOT (for inspection).
+
+use std::fmt::Write as _;
+
+use crate::graph::{Netlist, NodeId, NodeKind};
+
+/// Renders the netlist in Berkeley Logic Interchange Format.
+///
+/// Word-level nodes (MAC, pack/unpack, word I/O) have no direct BLIF
+/// equivalent; they are emitted as `.subckt` instances so downstream tools
+/// can treat them as black boxes — the same convention VTR uses for DSP
+/// blocks.
+pub fn to_blif(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", sanitize(netlist.name()));
+
+    let sig = |id: NodeId| format!("n{}", id.0);
+
+    let mut ins: Vec<String> = Vec::new();
+    let mut outs: Vec<String> = Vec::new();
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        match node.kind {
+            NodeKind::BitInput { .. } | NodeKind::WordInput { .. } => {
+                ins.push(sig(NodeId(i as u32)));
+            }
+            NodeKind::BitOutput { .. } | NodeKind::WordOutput { .. } => {
+                outs.push(sig(NodeId(i as u32)));
+            }
+            _ => {}
+        }
+    }
+    let _ = writeln!(out, ".inputs {}", ins.join(" "));
+    let _ = writeln!(out, ".outputs {}", outs.join(" "));
+
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        let me = sig(NodeId(i as u32));
+        match &node.kind {
+            NodeKind::BitInput { .. } | NodeKind::WordInput { .. } => {}
+            NodeKind::ConstBit(v) => {
+                let _ = writeln!(out, ".names {me}");
+                if *v {
+                    let _ = writeln!(out, "1");
+                }
+            }
+            NodeKind::ConstWord(v) => {
+                let _ = writeln!(out, ".subckt const_word value={v:#x} out={me}");
+            }
+            NodeKind::Lut(t) => {
+                let operands: Vec<String> = node.inputs.iter().map(|&x| sig(x)).collect();
+                let _ = writeln!(out, ".names {} {me}", operands.join(" "));
+                for row in 0..t.rows() {
+                    if t.get(row) {
+                        let mut cube = String::new();
+                        for bit in 0..t.inputs() {
+                            cube.push(if (row >> bit) & 1 == 1 { '1' } else { '0' });
+                        }
+                        let _ = writeln!(out, "{cube} 1");
+                    }
+                }
+            }
+            NodeKind::Ff { init } => {
+                let _ = writeln!(
+                    out,
+                    ".latch {} {me} re clk {}",
+                    sig(node.inputs[0]),
+                    u8::from(*init)
+                );
+            }
+            NodeKind::WordReg { init } => {
+                let _ = writeln!(
+                    out,
+                    ".subckt word_reg d={} q={me} init={init:#x}",
+                    sig(node.inputs[0])
+                );
+            }
+            NodeKind::Mac => {
+                let _ = writeln!(
+                    out,
+                    ".subckt mac32 a={} b={} acc={} out={me}",
+                    sig(node.inputs[0]),
+                    sig(node.inputs[1]),
+                    sig(node.inputs[2])
+                );
+            }
+            NodeKind::Pack => {
+                let operands: Vec<String> = node
+                    .inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(b, &x)| format!("b{b}={}", sig(x)))
+                    .collect();
+                let _ = writeln!(out, ".subckt pack {} out={me}", operands.join(" "));
+            }
+            NodeKind::Unpack { bit } => {
+                let _ = writeln!(
+                    out,
+                    ".subckt unpack word={} bit={bit} out={me}",
+                    sig(node.inputs[0])
+                );
+            }
+            NodeKind::BitOutput { .. } | NodeKind::WordOutput { .. } => {
+                // BLIF outputs are nets; alias via a buffer table.
+                let _ = writeln!(out, ".names {} {me}", sig(node.inputs[0]));
+                let _ = writeln!(out, "1 1");
+            }
+        }
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+/// Renders the netlist as a Graphviz digraph.
+pub fn to_dot(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(netlist.name()));
+    let _ = writeln!(out, "  rankdir=LR;");
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        let shape = match node.kind {
+            NodeKind::BitInput { .. } | NodeKind::WordInput { .. } => "invtriangle",
+            NodeKind::BitOutput { .. } | NodeKind::WordOutput { .. } => "triangle",
+            NodeKind::Ff { .. } | NodeKind::WordReg { .. } => "box3d",
+            NodeKind::Mac => "doubleoctagon",
+            _ => "box",
+        };
+        let _ = writeln!(
+            out,
+            "  n{i} [label=\"n{i}\\n{}\" shape={shape}];",
+            node.kind.mnemonic()
+        );
+        for &inp in &node.inputs {
+            let _ = writeln!(out, "  n{} -> n{i};", inp.0);
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    fn sample() -> Netlist {
+        let mut b = CircuitBuilder::new("blif sample");
+        let a = b.word_input("a", 4);
+        let c = b.word_input("b", 4);
+        let s = b.add(&a, &c);
+        let z = b.const_word(0, 32);
+        let a32 = b.resize(&a, 32);
+        let c32 = b.resize(&c, 32);
+        let m = b.mac(&a32, &c32, &z);
+        let (q, h) = b.ff(false);
+        let d = b.xor(q, s.bit(0));
+        b.connect_ff(h, d);
+        b.word_output("s", &s);
+        b.word_output("m", &m);
+        b.bit_output("q", q);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn blif_has_model_io_and_tables() {
+        let s = to_blif(&sample());
+        assert!(s.starts_with(".model blif_sample\n"));
+        assert!(s.contains(".inputs "));
+        assert!(s.contains(".outputs "));
+        assert!(s.contains(".names "));
+        assert!(s.contains(".latch "));
+        assert!(s.contains(".subckt mac32 "));
+        assert!(s.trim_end().ends_with(".end"));
+    }
+
+    #[test]
+    fn blif_lut_cubes_match_truth_table() {
+        // xor2: exactly two ON-set cubes: 10 and 01.
+        let mut b = CircuitBuilder::new("x");
+        let a = b.word_input("a", 2);
+        let x = b.xor(a.bit(0), a.bit(1));
+        b.bit_output("x", x);
+        let s = to_blif(&b.finish().unwrap());
+        assert!(s.contains("10 1"));
+        assert!(s.contains("01 1"));
+        assert!(!s.contains("11 1"));
+    }
+
+    #[test]
+    fn dot_renders_every_node_and_edge() {
+        let n = sample();
+        let s = to_dot(&n);
+        assert!(s.starts_with("digraph"));
+        for i in 0..n.len() {
+            assert!(s.contains(&format!("n{i} [label=")), "node {i} missing");
+        }
+        let edges: usize = n.nodes().iter().map(|nd| nd.inputs.len()).sum();
+        assert_eq!(s.matches(" -> ").count(), edges);
+    }
+}

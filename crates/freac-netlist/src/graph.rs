@@ -1,0 +1,485 @@
+//! The netlist graph IR.
+//!
+//! A [`Netlist`] is a directed graph of [`Node`]s. Bit-level combinational
+//! logic is represented by truth-table nodes ([`NodeKind::Lut`]); word-level
+//! arithmetic is carried by 32-bit multiply-accumulate nodes
+//! ([`NodeKind::Mac`]); state is held in flip-flops ([`NodeKind::Ff`]) and
+//! word registers ([`NodeKind::WordReg`]). Primary inputs and outputs are
+//! explicit nodes so the folding scheduler can treat operand fetches
+//! (word inputs) and result writebacks (word outputs) as bus operations.
+
+use std::fmt;
+
+use crate::error::NetlistError;
+use crate::truth::TruthTable;
+
+/// Index of a node within its [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's position in [`Netlist::nodes`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Whether a signal carries a single bit or a 32-bit word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalType {
+    /// One bit.
+    Bit,
+    /// A 32-bit word.
+    Word,
+}
+
+/// A runtime signal value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A single bit.
+    Bit(bool),
+    /// A 32-bit word.
+    Word(u32),
+}
+
+impl Value {
+    /// The signal type of this value.
+    pub fn signal_type(self) -> SignalType {
+        match self {
+            Value::Bit(_) => SignalType::Bit,
+            Value::Word(_) => SignalType::Word,
+        }
+    }
+
+    /// Extracts the bit, if this is a bit value.
+    pub fn as_bit(self) -> Option<bool> {
+        match self {
+            Value::Bit(b) => Some(b),
+            Value::Word(_) => None,
+        }
+    }
+
+    /// Extracts the word, if this is a word value.
+    pub fn as_word(self) -> Option<u32> {
+        match self {
+            Value::Word(w) => Some(w),
+            Value::Bit(_) => None,
+        }
+    }
+}
+
+/// The operation a node performs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Primary bit input with index `index` into the netlist input list.
+    ///
+    /// Bit inputs model configuration/parameter pins that are latched before
+    /// an accelerator run; they are free at fold-schedule time.
+    BitInput {
+        /// Position in the primary input list.
+        index: u32,
+    },
+    /// Primary 32-bit word input. Fetching it consumes a bus operation in
+    /// the fold schedule (an operand load from scratchpad or LLC).
+    WordInput {
+        /// Position in the primary input list.
+        index: u32,
+    },
+    /// Constant bit.
+    ConstBit(bool),
+    /// Constant word.
+    ConstWord(u32),
+    /// A combinational Boolean function of the node's inputs.
+    ///
+    /// Before technology mapping a LUT may have up to 16 inputs; after
+    /// mapping every LUT has at most K inputs (4 or 5).
+    Lut(TruthTable),
+    /// D flip-flop: output is the value latched at the end of the previous
+    /// original clock cycle; one bit input (D).
+    Ff {
+        /// Power-on value.
+        init: bool,
+    },
+    /// 32-bit register: word analogue of [`NodeKind::Ff`]; one word input.
+    WordReg {
+        /// Power-on value.
+        init: u32,
+    },
+    /// 32-bit multiply-accumulate: inputs `(a, b, acc)`, output
+    /// `a.wrapping_mul(b).wrapping_add(acc)`. Maps to the dedicated MAC unit
+    /// in a micro compute cluster.
+    Mac,
+    /// Packs up to 32 bit inputs (LSB first) into a word.
+    Pack,
+    /// Extracts bit `bit` of a single word input.
+    Unpack {
+        /// Which bit to extract (0 = LSB).
+        bit: u32,
+    },
+    /// Primary bit output; one bit input.
+    BitOutput {
+        /// Position in the primary output list.
+        index: u32,
+    },
+    /// Primary word output; one word input. Writing it consumes a bus
+    /// operation in the fold schedule (a result store).
+    WordOutput {
+        /// Position in the primary output list.
+        index: u32,
+    },
+}
+
+impl NodeKind {
+    /// Signal type this node produces.
+    pub fn output_type(&self) -> SignalType {
+        match self {
+            NodeKind::BitInput { .. }
+            | NodeKind::ConstBit(_)
+            | NodeKind::Lut(_)
+            | NodeKind::Ff { .. }
+            | NodeKind::Unpack { .. }
+            | NodeKind::BitOutput { .. } => SignalType::Bit,
+            NodeKind::WordInput { .. }
+            | NodeKind::ConstWord(_)
+            | NodeKind::WordReg { .. }
+            | NodeKind::Mac
+            | NodeKind::Pack
+            | NodeKind::WordOutput { .. } => SignalType::Word,
+        }
+    }
+
+    /// Whether this node breaks combinational paths (its output at cycle
+    /// `t` depends only on values from cycle `t - 1`).
+    pub fn is_sequential(&self) -> bool {
+        matches!(self, NodeKind::Ff { .. } | NodeKind::WordReg { .. })
+    }
+
+    /// Whether evaluating this node consumes a bus operation in the fold
+    /// schedule (operand fetch or result writeback).
+    pub fn is_bus_op(&self) -> bool {
+        matches!(self, NodeKind::WordInput { .. } | NodeKind::WordOutput { .. })
+    }
+
+    /// Short mnemonic for debug output.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            NodeKind::BitInput { .. } => "ibit",
+            NodeKind::WordInput { .. } => "iword",
+            NodeKind::ConstBit(_) => "cbit",
+            NodeKind::ConstWord(_) => "cword",
+            NodeKind::Lut(_) => "lut",
+            NodeKind::Ff { .. } => "ff",
+            NodeKind::WordReg { .. } => "wreg",
+            NodeKind::Mac => "mac",
+            NodeKind::Pack => "pack",
+            NodeKind::Unpack { .. } => "unpack",
+            NodeKind::BitOutput { .. } => "obit",
+            NodeKind::WordOutput { .. } => "oword",
+        }
+    }
+}
+
+/// A node plus its input connections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// The operation.
+    pub kind: NodeKind,
+    /// Operand nodes, in positional order.
+    pub inputs: Vec<NodeId>,
+}
+
+/// A complete circuit.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    name: String,
+    nodes: Vec<Node>,
+    /// Primary inputs in declaration order.
+    primary_inputs: Vec<NodeId>,
+    /// Primary outputs in declaration order.
+    primary_outputs: Vec<NodeId>,
+    input_names: Vec<String>,
+    output_names: Vec<String>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            ..Netlist::default()
+        }
+    }
+
+    /// The circuit's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All nodes, indexable by [`NodeId::index`].
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the netlist has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNode`] for an out-of-range id.
+    pub fn node(&self, id: NodeId) -> Result<&Node, NetlistError> {
+        self.nodes.get(id.index()).ok_or(NetlistError::UnknownNode(id))
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn primary_inputs(&self) -> &[NodeId] {
+        &self.primary_inputs
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn primary_outputs(&self) -> &[NodeId] {
+        &self.primary_outputs
+    }
+
+    /// Name of primary input `index`.
+    pub fn input_name(&self, index: usize) -> Option<&str> {
+        self.input_names.get(index).map(String::as_str)
+    }
+
+    /// Name of primary output `index`.
+    pub fn output_name(&self, index: usize) -> Option<&str> {
+        self.output_names.get(index).map(String::as_str)
+    }
+
+    /// Adds a node and returns its id.
+    ///
+    /// This is a low-level operation; prefer
+    /// [`CircuitBuilder`](crate::builder::CircuitBuilder). Input/output nodes
+    /// added here are *also* registered in the primary input/output lists.
+    pub fn push(&mut self, kind: NodeKind, inputs: Vec<NodeId>, name: Option<&str>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        match &kind {
+            NodeKind::BitInput { .. } | NodeKind::WordInput { .. } => {
+                self.primary_inputs.push(id);
+                self.input_names
+                    .push(name.unwrap_or("anonymous input").to_owned());
+            }
+            NodeKind::BitOutput { .. } | NodeKind::WordOutput { .. } => {
+                self.primary_outputs.push(id);
+                self.output_names
+                    .push(name.unwrap_or("anonymous output").to_owned());
+            }
+            _ => {}
+        }
+        self.nodes.push(Node { kind, inputs });
+        id
+    }
+
+    /// Replaces input `pos` of `node` with `src`.
+    ///
+    /// Used by the builder to close sequential feedback loops after the
+    /// flip-flop node has been created.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNode`] if `node` or `src` is out of
+    /// range, or [`NetlistError::ArityMismatch`] if `pos` is not an existing
+    /// input position of `node`.
+    pub fn set_input(&mut self, node: NodeId, pos: usize, src: NodeId) -> Result<(), NetlistError> {
+        if src.index() >= self.nodes.len() {
+            return Err(NetlistError::UnknownNode(src));
+        }
+        let n = self
+            .nodes
+            .get_mut(node.index())
+            .ok_or(NetlistError::UnknownNode(node))?;
+        if pos >= n.inputs.len() {
+            return Err(NetlistError::ArityMismatch {
+                node,
+                expected: pos + 1,
+                found: n.inputs.len(),
+            });
+        }
+        n.inputs[pos] = src;
+        Ok(())
+    }
+
+    /// Checks structural invariants: arities, operand types, and absence of
+    /// forward references that are not broken by sequential elements is *not*
+    /// checked here (see [`crate::level::level_graph`] for cycle detection).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first arity or type violation found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            for &inp in &node.inputs {
+                if inp.index() >= self.nodes.len() {
+                    return Err(NetlistError::UnknownNode(inp));
+                }
+            }
+            let in_types: Vec<SignalType> = node
+                .inputs
+                .iter()
+                .map(|&n| self.nodes[n.index()].kind.output_type())
+                .collect();
+            let require_arity = |n: usize| -> Result<(), NetlistError> {
+                if node.inputs.len() != n {
+                    Err(NetlistError::ArityMismatch {
+                        node: id,
+                        expected: n,
+                        found: node.inputs.len(),
+                    })
+                } else {
+                    Ok(())
+                }
+            };
+            let all_bits = |expected: &'static str| -> Result<(), NetlistError> {
+                if in_types.iter().any(|&t| t != SignalType::Bit) {
+                    Err(NetlistError::TypeMismatch { node: id, expected })
+                } else {
+                    Ok(())
+                }
+            };
+            let all_words = |expected: &'static str| -> Result<(), NetlistError> {
+                if in_types.iter().any(|&t| t != SignalType::Word) {
+                    Err(NetlistError::TypeMismatch { node: id, expected })
+                } else {
+                    Ok(())
+                }
+            };
+            match &node.kind {
+                NodeKind::BitInput { .. }
+                | NodeKind::WordInput { .. }
+                | NodeKind::ConstBit(_)
+                | NodeKind::ConstWord(_) => require_arity(0)?,
+                NodeKind::Lut(t) => {
+                    require_arity(t.inputs())?;
+                    all_bits("bit operands for LUT")?;
+                }
+                NodeKind::Ff { .. } => {
+                    require_arity(1)?;
+                    all_bits("bit operand for flip-flop")?;
+                }
+                NodeKind::WordReg { .. } => {
+                    require_arity(1)?;
+                    all_words("word operand for register")?;
+                }
+                NodeKind::Mac => {
+                    require_arity(3)?;
+                    all_words("word operands for MAC")?;
+                }
+                NodeKind::Pack => {
+                    if node.inputs.is_empty() || node.inputs.len() > 32 {
+                        return Err(NetlistError::ArityMismatch {
+                            node: id,
+                            expected: 32,
+                            found: node.inputs.len(),
+                        });
+                    }
+                    all_bits("bit operands for pack")?;
+                }
+                NodeKind::Unpack { .. } => {
+                    require_arity(1)?;
+                    all_words("word operand for unpack")?;
+                }
+                NodeKind::BitOutput { .. } => {
+                    require_arity(1)?;
+                    all_bits("bit operand for output")?;
+                }
+                NodeKind::WordOutput { .. } => {
+                    require_arity(1)?;
+                    all_words("word operand for output")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Netlist {
+        let mut n = Netlist::new("tiny");
+        let a = n.push(NodeKind::BitInput { index: 0 }, vec![], Some("a"));
+        let b = n.push(NodeKind::BitInput { index: 1 }, vec![], Some("b"));
+        let x = n.push(NodeKind::Lut(TruthTable::xor2()), vec![a, b], None);
+        n.push(NodeKind::BitOutput { index: 0 }, vec![x], Some("y"));
+        n
+    }
+
+    #[test]
+    fn push_registers_io() {
+        let n = tiny();
+        assert_eq!(n.primary_inputs().len(), 2);
+        assert_eq!(n.primary_outputs().len(), 1);
+        assert_eq!(n.input_name(0), Some("a"));
+        assert_eq!(n.output_name(0), Some("y"));
+        assert_eq!(n.len(), 4);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_arity() {
+        let mut n = Netlist::new("bad");
+        let a = n.push(NodeKind::BitInput { index: 0 }, vec![], None);
+        n.push(NodeKind::Lut(TruthTable::xor2()), vec![a], None);
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::ArityMismatch { expected: 2, found: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_type_mismatch() {
+        let mut n = Netlist::new("bad");
+        let w = n.push(NodeKind::WordInput { index: 0 }, vec![], None);
+        let i = n.push(NodeKind::BitInput { index: 1 }, vec![], None);
+        n.push(NodeKind::Mac, vec![w, w, i], None);
+        assert!(matches!(n.validate(), Err(NetlistError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_node() {
+        let mut n = Netlist::new("bad");
+        n.push(NodeKind::BitOutput { index: 0 }, vec![NodeId(99)], None);
+        assert!(matches!(n.validate(), Err(NetlistError::UnknownNode(NodeId(99)))));
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(NodeKind::Ff { init: false }.is_sequential());
+        assert!(NodeKind::WordReg { init: 0 }.is_sequential());
+        assert!(!NodeKind::Mac.is_sequential());
+        assert!(NodeKind::WordInput { index: 0 }.is_bus_op());
+        assert!(NodeKind::WordOutput { index: 0 }.is_bus_op());
+        assert!(!NodeKind::BitInput { index: 0 }.is_bus_op());
+        assert_eq!(NodeKind::Mac.output_type(), SignalType::Word);
+        assert_eq!(NodeKind::Lut(TruthTable::and2()).output_type(), SignalType::Bit);
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Bit(true).as_bit(), Some(true));
+        assert_eq!(Value::Bit(true).as_word(), None);
+        assert_eq!(Value::Word(7).as_word(), Some(7));
+        assert_eq!(Value::Word(7).signal_type(), SignalType::Word);
+    }
+}

@@ -1,0 +1,188 @@
+//! Topological ordering and leveling of the combinational DAG.
+//!
+//! Logic folding implements one *original* clock cycle of the circuit as a
+//! sequence of fold steps. Within one original cycle, sequential nodes
+//! (flip-flops, word registers) act as sources: they present the value
+//! latched at the end of the previous cycle, so their inputs do not
+//! constrain the combinational order. The leveled graph produced here is the
+//! structure partitioned by the folding scheduler (paper Sec. IV, Fig. 4a).
+
+use crate::error::NetlistError;
+use crate::graph::{Netlist, NodeId};
+
+/// A topological order of the combinational dependencies plus the ASAP level
+/// of every node.
+#[derive(Debug, Clone)]
+pub struct LeveledGraph {
+    order: Vec<NodeId>,
+    level: Vec<u32>,
+    depth: u32,
+}
+
+impl LeveledGraph {
+    /// Nodes in a valid combinational evaluation order. Sequential nodes
+    /// appear first (level 0) since they supply last-cycle values.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// ASAP level of `id` (0 for sources).
+    pub fn level_of(&self, id: NodeId) -> u32 {
+        self.level[id.index()]
+    }
+
+    /// Number of levels (combinational depth + 1); 0 for an empty netlist.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Nodes grouped by level, each inner vector in id order.
+    pub fn by_level(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.depth as usize];
+        for &n in &self.order {
+            out[self.level[n.index()] as usize].push(n);
+        }
+        out
+    }
+}
+
+/// Computes a topological order of the netlist's combinational dependency
+/// graph, with ASAP levels.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if the circuit contains a
+/// cycle that is not broken by a sequential element.
+pub fn level_graph(netlist: &Netlist) -> Result<LeveledGraph, NetlistError> {
+    let n = netlist.len();
+    // Combinational in-degree: sequential nodes contribute no combinational
+    // dependency to their consumers, and their own inputs are ignored within
+    // a cycle.
+    let mut indeg = vec![0u32; n];
+    let mut succs: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        if node.kind.is_sequential() {
+            continue; // its D input is consumed at the *end* of the cycle
+        }
+        for &inp in &node.inputs {
+            let src = &netlist.nodes()[inp.index()];
+            if src.kind.is_sequential() {
+                continue; // acts as a source within the cycle
+            }
+            indeg[i] += 1;
+            succs[inp.index()].push(NodeId(i as u32));
+        }
+    }
+
+    let mut level = vec![0u32; n];
+    let mut order = Vec::with_capacity(n);
+    // Process in id order for determinism.
+    let mut ready: std::collections::VecDeque<NodeId> = (0..n)
+        .filter(|&i| indeg[i] == 0)
+        .map(|i| NodeId(i as u32))
+        .collect();
+    while let Some(id) = ready.pop_front() {
+        order.push(id);
+        for &s in &succs[id.index()] {
+            let li = level[id.index()] + 1;
+            if li > level[s.index()] {
+                level[s.index()] = li;
+            }
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                ready.push_back(s);
+            }
+        }
+    }
+    if order.len() != n {
+        // Find a node still blocked: it participates in (or depends on) a cycle.
+        let blocked = (0..n)
+            .find(|&i| indeg[i] > 0)
+            .map(|i| NodeId(i as u32))
+            .expect("some node must be blocked if order is incomplete");
+        return Err(NetlistError::CombinationalCycle(blocked));
+    }
+    let depth = if n == 0 {
+        0
+    } else {
+        level.iter().copied().max().unwrap_or(0) + 1
+    };
+    Ok(LeveledGraph { order, level, depth })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{NodeKind, Netlist};
+    use crate::truth::TruthTable;
+
+    #[test]
+    fn chain_levels() {
+        let mut n = Netlist::new("chain");
+        let a = n.push(NodeKind::BitInput { index: 0 }, vec![], None);
+        let x1 = n.push(NodeKind::Lut(TruthTable::not1()), vec![a], None);
+        let x2 = n.push(NodeKind::Lut(TruthTable::not1()), vec![x1], None);
+        let o = n.push(NodeKind::BitOutput { index: 0 }, vec![x2], None);
+        let lg = level_graph(&n).unwrap();
+        assert_eq!(lg.level_of(a), 0);
+        assert_eq!(lg.level_of(x1), 1);
+        assert_eq!(lg.level_of(x2), 2);
+        assert_eq!(lg.level_of(o), 3);
+        assert_eq!(lg.depth(), 4);
+    }
+
+    #[test]
+    fn ff_breaks_cycle() {
+        // counter bit: ff -> not -> ff (feedback through the flip-flop)
+        let mut n = Netlist::new("t");
+        // Push the FF first with a placeholder input, then patch: easier to
+        // construct via two pushes since push API takes inputs eagerly. Use
+        // index trick: NOT reads FF, FF reads NOT.
+        let ff = n.push(NodeKind::Ff { init: false }, vec![NodeId(1)], None);
+        let inv = n.push(NodeKind::Lut(TruthTable::not1()), vec![ff], None);
+        n.push(NodeKind::BitOutput { index: 0 }, vec![inv], None);
+        n.validate().unwrap();
+        let lg = level_graph(&n).unwrap();
+        // The FF's Q value is available at the start of the cycle, so both
+        // it and its consumer sit at level 0 of the combinational graph.
+        assert_eq!(lg.level_of(ff), 0);
+        assert_eq!(lg.level_of(inv), 0);
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut n = Netlist::new("loop");
+        // lut0 reads lut1, lut1 reads lut0.
+        n.push(NodeKind::Lut(TruthTable::not1()), vec![NodeId(1)], None);
+        n.push(NodeKind::Lut(TruthTable::not1()), vec![NodeId(0)], None);
+        assert!(matches!(
+            level_graph(&n),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn by_level_partitions_all_nodes() {
+        let mut n = Netlist::new("p");
+        let a = n.push(NodeKind::BitInput { index: 0 }, vec![], None);
+        let b = n.push(NodeKind::BitInput { index: 1 }, vec![], None);
+        let x = n.push(NodeKind::Lut(TruthTable::and2()), vec![a, b], None);
+        let y = n.push(NodeKind::Lut(TruthTable::or2()), vec![a, b], None);
+        let z = n.push(NodeKind::Lut(TruthTable::xor2()), vec![x, y], None);
+        n.push(NodeKind::BitOutput { index: 0 }, vec![z], None);
+        let lg = level_graph(&n).unwrap();
+        let levels = lg.by_level();
+        let total: usize = levels.iter().map(Vec::len).sum();
+        assert_eq!(total, n.len());
+        assert_eq!(levels[0].len(), 2); // the two inputs
+        assert_eq!(levels[1].len(), 2); // and, or
+    }
+
+    #[test]
+    fn empty_netlist() {
+        let n = Netlist::new("empty");
+        let lg = level_graph(&n).unwrap();
+        assert_eq!(lg.depth(), 0);
+        assert!(lg.order().is_empty());
+    }
+}

@@ -1,0 +1,310 @@
+//! Netlist optimization: LUT packing.
+//!
+//! Shannon decomposition and gate-level construction leave many small LUTs
+//! whose only consumer is another LUT. When the merged function still fits
+//! the physical LUT width, collapsing producer into consumer removes a
+//! node *and* a fold step's worth of work. The pass is semantics-preserving
+//! (property-tested against the reference evaluator) and is evaluated as an
+//! ablation: the baseline evaluation runs without it, matching the paper's
+//! VTR-produced netlists.
+
+use std::collections::HashMap;
+
+use crate::error::NetlistError;
+use crate::graph::{Netlist, NodeId, NodeKind};
+use crate::truth::TruthTable;
+
+/// Result summary of a packing run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PackReport {
+    /// LUT nodes before packing.
+    pub luts_before: usize,
+    /// LUT nodes after packing.
+    pub luts_after: usize,
+    /// Merges performed.
+    pub merges: usize,
+}
+
+impl PackReport {
+    /// Fraction of LUTs eliminated (0 when there were none).
+    pub fn reduction(&self) -> f64 {
+        if self.luts_before == 0 {
+            0.0
+        } else {
+            1.0 - self.luts_after as f64 / self.luts_before as f64
+        }
+    }
+}
+
+/// Packs single-fanout LUTs into their consumers when the merged support
+/// fits `k` inputs. Returns the optimized netlist and a report.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::BadLutSize`] for `k` outside `2..=6`, or
+/// structural errors from a malformed input.
+pub fn pack_luts(netlist: &Netlist, k: usize) -> Result<(Netlist, PackReport), NetlistError> {
+    if !(2..=6).contains(&k) {
+        return Err(NetlistError::BadLutSize(k));
+    }
+    netlist.validate()?;
+
+    // Fanout counts (all uses, including sequential and output consumers —
+    // a producer feeding anything else must survive).
+    let mut fanout = vec![0usize; netlist.len()];
+    for node in netlist.nodes() {
+        for &inp in &node.inputs {
+            fanout[inp.index()] += 1;
+        }
+    }
+
+    // Working copy of every node's (kind, inputs); merged nodes are
+    // tombstoned and dropped during rebuild.
+    let mut kinds: Vec<NodeKind> = netlist.nodes().iter().map(|n| n.kind.clone()).collect();
+    let mut inputs: Vec<Vec<NodeId>> = netlist.nodes().iter().map(|n| n.inputs.clone()).collect();
+    let mut dead = vec![false; netlist.len()];
+    let mut merges = 0usize;
+
+    // Process consumers in id order; producers have smaller ids (builder
+    // invariant for combinational nodes), so each merge sees producers that
+    // are themselves already packed.
+    for c in 0..netlist.len() {
+        loop {
+            let NodeKind::Lut(c_table) = kinds[c].clone() else {
+                break;
+            };
+            // Find a mergeable operand: a LUT with exactly one fanout.
+            let candidate = inputs[c].iter().enumerate().find_map(|(pos, &p)| {
+                let pi = p.index();
+                if dead[pi] || fanout[pi] != 1 {
+                    return None;
+                }
+                let NodeKind::Lut(p_table) = &kinds[pi] else {
+                    return None;
+                };
+                // Combined support: consumer inputs minus p, plus p's inputs.
+                let mut support: Vec<NodeId> = inputs[c]
+                    .iter()
+                    .copied()
+                    .filter(|&x| x != p)
+                    .collect();
+                for &pin in &inputs[pi] {
+                    if !support.contains(&pin) {
+                        support.push(pin);
+                    }
+                }
+                if support.len() <= k {
+                    Some((pos, p, p_table.clone(), support))
+                } else {
+                    None
+                }
+            });
+            let Some((pos, p, p_table, support)) = candidate else {
+                break;
+            };
+
+            // Build the merged table over `support`.
+            let c_inputs = inputs[c].clone();
+            let p_inputs = inputs[p.index()].clone();
+            let position_of: HashMap<NodeId, usize> = support
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (n, i))
+                .collect();
+            let merged = TruthTable::from_fn(support.len(), |row| {
+                let bit_of = |n: NodeId| (row >> position_of[&n]) & 1 == 1;
+                // Evaluate the producer on this assignment.
+                let mut p_row = 0usize;
+                for (i, &pin) in p_inputs.iter().enumerate() {
+                    if bit_of(pin) {
+                        p_row |= 1 << i;
+                    }
+                }
+                let p_val = p_table.eval(p_row);
+                // Evaluate the consumer, substituting the producer's value.
+                let mut c_row = 0usize;
+                for (i, &cin) in c_inputs.iter().enumerate() {
+                    let v = if i == pos { p_val } else { bit_of(cin) };
+                    if v {
+                        c_row |= 1 << i;
+                    }
+                }
+                c_table.eval(c_row)
+            })?;
+
+            kinds[c] = NodeKind::Lut(merged);
+            inputs[c] = support;
+            dead[p.index()] = true;
+            merges += 1;
+            // Fanout bookkeeping: p's consumer edges to its inputs are
+            // gone; c now reads each of them once. An input p shared with
+            // c therefore nets one fewer consumer; an input new to c nets
+            // zero change.
+            for &pin in &p_inputs {
+                fanout[pin.index()] -= 1;
+                let already_read_by_c = c_inputs.iter().any(|&x| x == pin);
+                if !already_read_by_c {
+                    fanout[pin.index()] += 1;
+                }
+            }
+        }
+    }
+
+    // Rebuild, dropping tombstones and remapping ids.
+    let mut out = Netlist::new(netlist.name().to_owned());
+    let mut map: Vec<Option<NodeId>> = vec![None; netlist.len()];
+    let mut seq_patches: Vec<(NodeId, NodeId)> = Vec::new();
+    for i in 0..netlist.len() {
+        if dead[i] {
+            continue;
+        }
+        let name = primary_name(netlist, NodeId(i as u32));
+        let new_id = if kinds[i].is_sequential() {
+            let placeholder = NodeId(out.len() as u32);
+            let id = out.push(kinds[i].clone(), vec![placeholder], name);
+            seq_patches.push((id, inputs[i][0]));
+            id
+        } else {
+            let ins: Result<Vec<NodeId>, NetlistError> = inputs[i]
+                .iter()
+                .map(|&x| map[x.index()].ok_or(NetlistError::UnknownNode(x)))
+                .collect();
+            out.push(kinds[i].clone(), ins?, name)
+        };
+        map[i] = Some(new_id);
+    }
+    for (node, old_src) in seq_patches {
+        let src = map[old_src.index()].ok_or(NetlistError::UnknownNode(old_src))?;
+        out.set_input(node, 0, src)?;
+    }
+    out.validate()?;
+
+    let before = netlist
+        .nodes()
+        .iter()
+        .filter(|n| matches!(n.kind, NodeKind::Lut(_)))
+        .count();
+    Ok((
+        out,
+        PackReport {
+            luts_before: before,
+            luts_after: before - merges,
+            merges,
+        },
+    ))
+}
+
+fn primary_name<'a>(netlist: &'a Netlist, id: NodeId) -> Option<&'a str> {
+    let node = &netlist.nodes()[id.index()];
+    match node.kind {
+        NodeKind::BitInput { .. } | NodeKind::WordInput { .. } => {
+            let pos = netlist.primary_inputs().iter().position(|&x| x == id)?;
+            netlist.input_name(pos)
+        }
+        NodeKind::BitOutput { .. } | NodeKind::WordOutput { .. } => {
+            let pos = netlist.primary_outputs().iter().position(|&x| x == id)?;
+            netlist.output_name(pos)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::eval::equivalent_on;
+    use crate::graph::Value;
+    use crate::techmap::{tech_map, TechMapOptions};
+
+    fn adder(width: usize) -> Netlist {
+        let mut b = CircuitBuilder::new("add");
+        let a = b.word_input("a", width);
+        let c = b.word_input("b", width);
+        let s = b.add(&a, &c);
+        b.word_output("s", &s);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn bad_k_rejected() {
+        let n = adder(4);
+        assert!(matches!(pack_luts(&n, 1), Err(NetlistError::BadLutSize(1))));
+    }
+
+    #[test]
+    fn packing_preserves_function_exhaustively() {
+        let n = tech_map(&adder(6), TechMapOptions::lut4()).unwrap();
+        let (packed, report) = pack_luts(&n, 4).unwrap();
+        assert_eq!(report.luts_after + report.merges, report.luts_before);
+        let vectors: Vec<Vec<Value>> = (0..64u32)
+            .flat_map(|a| (0..4u32).map(move |b| vec![Value::Word(a), Value::Word(b * 17 % 64)]))
+            .collect();
+        assert!(equivalent_on(&n, &packed, &vectors, 1).unwrap());
+    }
+
+    #[test]
+    fn packing_reduces_xor_reduction_trees() {
+        // A wide XOR reduction built from xor2 gates packs well at k=4.
+        let mut b = CircuitBuilder::new("xorred");
+        let a = b.word_input("a", 16);
+        let bits: Vec<_> = (0..16).map(|i| a.bit(i)).collect();
+        let r = b.reduce_xor(&bits);
+        b.bit_output("r", r);
+        let n = b.finish().unwrap();
+        let (packed, report) = pack_luts(&n, 4).unwrap();
+        assert!(report.merges > 0, "xor tree must pack");
+        assert!(report.reduction() > 0.3, "got {}", report.reduction());
+        let vecs: Vec<Vec<Value>> = (0..200u32).map(|i| vec![Value::Word(i * 327 % 65536)]).collect();
+        assert!(equivalent_on(&n, &packed, &vecs, 1).unwrap());
+    }
+
+    #[test]
+    fn multi_fanout_producers_survive() {
+        // x = a ^ b feeds two consumers: it must not be merged away.
+        let mut b = CircuitBuilder::new("shared");
+        let a = b.word_input("a", 2);
+        let x = b.xor(a.bit(0), a.bit(1));
+        let y = b.not(x);
+        let z = b.and(x, a.bit(0));
+        b.bit_output("y", y);
+        b.bit_output("z", z);
+        let n = b.finish().unwrap();
+        let (packed, _) = pack_luts(&n, 4).unwrap();
+        let vecs: Vec<Vec<Value>> = (0..4u32).map(|i| vec![Value::Word(i)]).collect();
+        assert!(equivalent_on(&n, &packed, &vecs, 1).unwrap());
+    }
+
+    #[test]
+    fn sequential_circuits_pack_safely() {
+        let mut b = CircuitBuilder::new("ctr");
+        let (q, h) = b.word_reg(0, 8);
+        let one = b.const_word(1, 8);
+        let next = b.add(&q, &one);
+        b.connect_word_reg(h, &next);
+        b.word_output("q", &q);
+        let n = b.finish().unwrap();
+        let (packed, _) = pack_luts(&n, 4).unwrap();
+        assert!(equivalent_on(&n, &packed, &[vec![]], 10).unwrap());
+    }
+
+    #[test]
+    fn packed_netlists_still_tech_map_and_fold() {
+        use freac_fold_check::check;
+        // Internal helper avoided: simply assert a mapped+packed netlist
+        // schedules (cross-crate folding is covered by integration tests).
+        mod freac_fold_check {
+            use super::super::pack_luts;
+            use crate::techmap::{tech_map, TechMapOptions};
+            use crate::Netlist;
+
+            pub fn check(n: &Netlist) {
+                let mapped = tech_map(n, TechMapOptions::lut4()).unwrap();
+                let (packed, _) = pack_luts(&mapped, 4).unwrap();
+                packed.validate().unwrap();
+                crate::level::level_graph(&packed).unwrap();
+            }
+        }
+        check(&adder(16));
+    }
+}

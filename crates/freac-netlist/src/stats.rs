@@ -1,0 +1,128 @@
+//! Resource statistics for a netlist.
+
+use crate::graph::{Netlist, NodeKind};
+use crate::level::level_graph;
+
+/// Counts of schedulable resources in a netlist, as consumed by the folding
+/// scheduler and the area model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Total LUT nodes.
+    pub luts: usize,
+    /// LUT count histogram by input width; index `i` counts LUTs with `i`
+    /// inputs (index 0 is unused).
+    pub luts_by_width: Vec<usize>,
+    /// Bit flip-flops.
+    pub ffs: usize,
+    /// 32-bit word registers.
+    pub word_regs: usize,
+    /// Multiply-accumulate nodes.
+    pub macs: usize,
+    /// Primary word inputs (operand fetches = bus reads).
+    pub word_inputs: usize,
+    /// Primary word outputs (result stores = bus writes).
+    pub word_outputs: usize,
+    /// Primary bit inputs (pre-latched parameters).
+    pub bit_inputs: usize,
+    /// Primary bit outputs.
+    pub bit_outputs: usize,
+    /// Pack/unpack plumbing nodes (free wiring in hardware).
+    pub plumbing: usize,
+    /// Constant nodes.
+    pub constants: usize,
+    /// Combinational depth in levels (0 for an empty netlist).
+    pub depth: u32,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `netlist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains a combinational cycle (construct via
+    /// the builder to rule this out).
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut s = NetlistStats {
+            luts_by_width: vec![0; 17],
+            ..NetlistStats::default()
+        };
+        for node in netlist.nodes() {
+            match &node.kind {
+                NodeKind::Lut(t) => {
+                    s.luts += 1;
+                    s.luts_by_width[t.inputs()] += 1;
+                }
+                NodeKind::Ff { .. } => s.ffs += 1,
+                NodeKind::WordReg { .. } => s.word_regs += 1,
+                NodeKind::Mac => s.macs += 1,
+                NodeKind::WordInput { .. } => s.word_inputs += 1,
+                NodeKind::WordOutput { .. } => s.word_outputs += 1,
+                NodeKind::BitInput { .. } => s.bit_inputs += 1,
+                NodeKind::BitOutput { .. } => s.bit_outputs += 1,
+                NodeKind::Pack | NodeKind::Unpack { .. } => s.plumbing += 1,
+                NodeKind::ConstBit(_) | NodeKind::ConstWord(_) => s.constants += 1,
+            }
+        }
+        s.depth = level_graph(netlist)
+            .expect("netlist must be acyclic")
+            .depth();
+        s
+    }
+
+    /// Total flip-flop *bits* (bit FFs plus 32 bits per word register).
+    pub fn ff_bits(&self) -> usize {
+        self.ffs + 32 * self.word_regs
+    }
+
+    /// Bus operations per activation (word inputs plus word outputs).
+    pub fn bus_ops(&self) -> usize {
+        self.word_inputs + self.word_outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    #[test]
+    fn counts_are_accurate() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.word_input("a", 8);
+        let c = b.word_input("b", 8);
+        let s = b.add(&a, &c);
+        let z = b.const_word(0, 32);
+        let a32 = b.resize(&a, 32);
+        let c32 = b.resize(&c, 32);
+        let m = b.mac(&a32, &c32, &z);
+        b.word_output("s", &s);
+        b.word_output("m", &m);
+        let n = b.finish().unwrap();
+        let st = NetlistStats::of(&n);
+        assert_eq!(st.word_inputs, 2);
+        assert_eq!(st.word_outputs, 2);
+        assert_eq!(st.macs, 1);
+        // Ripple adder: 8 sum + 8 carry LUTs.
+        assert_eq!(st.luts, 16);
+        assert_eq!(st.bus_ops(), 4);
+        assert!(st.depth > 2);
+    }
+
+    #[test]
+    fn ff_bits_combines_bit_and_word_state() {
+        let mut b = CircuitBuilder::new("t");
+        let (q, h) = b.ff(false);
+        let nq = b.not(q);
+        b.connect_ff(h, nq);
+        let (r, rh) = b.word_reg(0, 16);
+        let ri = b.inc(&r);
+        b.connect_word_reg(rh, &ri);
+        b.bit_output("q", q);
+        b.word_output("r", &r);
+        let n = b.finish().unwrap();
+        let st = NetlistStats::of(&n);
+        assert_eq!(st.ffs, 1);
+        assert_eq!(st.word_regs, 1);
+        assert_eq!(st.ff_bits(), 33);
+    }
+}

@@ -1,0 +1,316 @@
+//! Technology mapping: decompose wide logic into K-input LUTs.
+//!
+//! The micro compute clusters of FReaC Cache realize either four 5-LUTs or
+//! eight 4-LUTs per fold step (paper Sec. III-A). Kernels describe logic
+//! with truth-table nodes of up to 16 inputs (e.g. the AES S-box columns);
+//! this pass Shannon-decomposes every node wider than K into a multiplexer
+//! tree of K-input LUTs, after first removing inputs the function does not
+//! depend on. The result is functionally identical to the input netlist —
+//! an invariant the test-suite checks by exhaustive and randomized
+//! co-simulation.
+
+use crate::error::NetlistError;
+use crate::graph::{Netlist, NodeId, NodeKind};
+use crate::truth::TruthTable;
+
+/// Options controlling technology mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TechMapOptions {
+    /// Maximum LUT input count (2..=6). FReaC Cache uses 4 or 5.
+    pub k: usize,
+}
+
+impl TechMapOptions {
+    /// 4-input LUT mode (eight LUTs per cluster per fold step).
+    pub fn lut4() -> Self {
+        TechMapOptions { k: 4 }
+    }
+
+    /// 5-input LUT mode (four LUTs per cluster per fold step).
+    pub fn lut5() -> Self {
+        TechMapOptions { k: 5 }
+    }
+}
+
+impl Default for TechMapOptions {
+    fn default() -> Self {
+        TechMapOptions::lut4()
+    }
+}
+
+/// Maps `netlist` so that every LUT node has at most `options.k` inputs.
+///
+/// Nodes other than LUTs (MACs, registers, pack/unpack plumbing, primary
+/// I/O) pass through unchanged. LUTs that already fit are copied verbatim;
+/// wider ones are decomposed.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::BadLutSize`] for `k` outside `2..=6`, or a
+/// structural error if the input netlist is malformed.
+pub fn tech_map(netlist: &Netlist, options: TechMapOptions) -> Result<Netlist, NetlistError> {
+    if !(2..=6).contains(&options.k) {
+        return Err(NetlistError::BadLutSize(options.k));
+    }
+    netlist.validate()?;
+
+    let mut out = Netlist::new(netlist.name().to_owned());
+    let mut map: Vec<Option<NodeId>> = vec![None; netlist.len()];
+    // Sequential nodes may have forward references (feedback); create them
+    // with self-loop placeholders and patch at the end.
+    let mut seq_patches: Vec<(NodeId, NodeId)> = Vec::new(); // (new node, old D source)
+
+    let mut in_idx = 0u32;
+    let mut word_in_idx = 0u32;
+    let mut out_idx = 0u32;
+    let mut word_out_idx = 0u32;
+
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        let old_id = NodeId(i as u32);
+        let resolve = |map: &[Option<NodeId>], id: NodeId| -> Result<NodeId, NetlistError> {
+            map[id.index()].ok_or(NetlistError::UnknownNode(id))
+        };
+        let new_id = match &node.kind {
+            NodeKind::BitInput { .. } => {
+                let idx = in_idx;
+                in_idx += 1;
+                out.push(
+                    NodeKind::BitInput { index: idx },
+                    vec![],
+                    netlist.input_name(primary_pos(netlist, old_id, true)),
+                )
+            }
+            NodeKind::WordInput { .. } => {
+                let idx = word_in_idx;
+                word_in_idx += 1;
+                out.push(
+                    NodeKind::WordInput { index: idx },
+                    vec![],
+                    netlist.input_name(primary_pos(netlist, old_id, true)),
+                )
+            }
+            NodeKind::ConstBit(b) => out.push(NodeKind::ConstBit(*b), vec![], None),
+            NodeKind::ConstWord(w) => out.push(NodeKind::ConstWord(*w), vec![], None),
+            NodeKind::Lut(table) => {
+                let ins: Result<Vec<NodeId>, _> =
+                    node.inputs.iter().map(|&x| resolve(&map, x)).collect();
+                decompose_lut(&mut out, table, &ins?, options.k)
+            }
+            NodeKind::Ff { init } => {
+                let placeholder = NodeId(out.len() as u32);
+                let id = out.push(NodeKind::Ff { init: *init }, vec![placeholder], None);
+                seq_patches.push((id, node.inputs[0]));
+                id
+            }
+            NodeKind::WordReg { init } => {
+                let placeholder = NodeId(out.len() as u32);
+                let id = out.push(NodeKind::WordReg { init: *init }, vec![placeholder], None);
+                seq_patches.push((id, node.inputs[0]));
+                id
+            }
+            NodeKind::Mac | NodeKind::Pack => {
+                let ins: Result<Vec<NodeId>, _> =
+                    node.inputs.iter().map(|&x| resolve(&map, x)).collect();
+                out.push(node.kind.clone(), ins?, None)
+            }
+            NodeKind::Unpack { bit } => {
+                let src = resolve(&map, node.inputs[0])?;
+                out.push(NodeKind::Unpack { bit: *bit }, vec![src], None)
+            }
+            NodeKind::BitOutput { .. } => {
+                let src = resolve(&map, node.inputs[0])?;
+                let idx = out_idx;
+                out_idx += 1;
+                out.push(
+                    NodeKind::BitOutput { index: idx },
+                    vec![src],
+                    netlist.output_name(primary_pos(netlist, old_id, false)),
+                )
+            }
+            NodeKind::WordOutput { .. } => {
+                let src = resolve(&map, node.inputs[0])?;
+                let idx = word_out_idx;
+                word_out_idx += 1;
+                out.push(
+                    NodeKind::WordOutput { index: idx },
+                    vec![src],
+                    netlist.output_name(primary_pos(netlist, old_id, false)),
+                )
+            }
+        };
+        map[i] = Some(new_id);
+    }
+
+    for (new_node, old_src) in seq_patches {
+        let src = map[old_src.index()].ok_or(NetlistError::UnknownNode(old_src))?;
+        out.set_input(new_node, 0, src)?;
+    }
+
+    out.validate()?;
+    Ok(out)
+}
+
+/// Position of `id` within the primary input (or output) list of `netlist`.
+fn primary_pos(netlist: &Netlist, id: NodeId, input: bool) -> usize {
+    let list = if input {
+        netlist.primary_inputs()
+    } else {
+        netlist.primary_outputs()
+    };
+    list.iter()
+        .position(|&x| x == id)
+        .expect("node must be registered in the primary i/o list")
+}
+
+/// Recursively decomposes `table` over the given (already-mapped) input
+/// nodes into a tree of ≤K-input LUTs, returning the root node.
+fn decompose_lut(out: &mut Netlist, table: &TruthTable, inputs: &[NodeId], k: usize) -> NodeId {
+    // Strip dead inputs first: ROM columns frequently do not depend on every
+    // address bit and this shrinks the mux tree substantially.
+    let (reduced, support) = table.support_reduce();
+    let live_inputs: Vec<NodeId> = support.iter().map(|&i| inputs[i]).collect();
+
+    if let Some(c) = reduced.is_constant() {
+        return out.push(NodeKind::ConstBit(c), vec![], None);
+    }
+    if reduced.inputs() <= k {
+        return out.push(NodeKind::Lut(reduced), live_inputs, None);
+    }
+
+    // Shannon: pick the most binate variable so cofactors simplify fastest.
+    let split = (0..reduced.inputs())
+        .max_by_key(|&v| reduced.cofactor_distance(v))
+        .expect("non-constant table has at least one input");
+    let (lo, hi) = reduced.cofactors(split);
+    let mut rest_inputs = live_inputs.clone();
+    let sel = rest_inputs.remove(split);
+    let lo_id = decompose_lut(out, &lo, &rest_inputs, k);
+    let hi_id = decompose_lut(out, &hi, &rest_inputs, k);
+    out.push(
+        NodeKind::Lut(TruthTable::mux3()),
+        vec![sel, lo_id, hi_id],
+        None,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::eval::equivalent_on;
+    use crate::graph::Value;
+    use crate::stats::NetlistStats;
+
+    /// The max LUT width present in a netlist.
+    fn max_lut_width(n: &Netlist) -> usize {
+        n.nodes()
+            .iter()
+            .filter_map(|nd| match &nd.kind {
+                NodeKind::Lut(t) => Some(t.inputs()),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn rom_circuit(entries: &[u32], in_bits: usize, out_bits: usize) -> Netlist {
+        let mut b = CircuitBuilder::new("rom");
+        let a = b.word_input("a", in_bits);
+        let v = b.rom(entries, a.bits(), out_bits);
+        b.word_output("v", &v);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn bad_k_rejected() {
+        let n = Netlist::new("x");
+        assert!(matches!(
+            tech_map(&n, TechMapOptions { k: 1 }),
+            Err(NetlistError::BadLutSize(1))
+        ));
+        assert!(matches!(
+            tech_map(&n, TechMapOptions { k: 7 }),
+            Err(NetlistError::BadLutSize(7))
+        ));
+    }
+
+    #[test]
+    fn eight_input_rom_maps_to_lut4_exactly() {
+        // A pseudo-random 256-entry byte table, like an S-box.
+        let entries: Vec<u32> = (0..256u32).map(|i| (i.wrapping_mul(167).wrapping_add(13)) & 0xFF).collect();
+        let n = rom_circuit(&entries, 8, 8);
+        let mapped = tech_map(&n, TechMapOptions::lut4()).unwrap();
+        assert!(max_lut_width(&mapped) <= 4);
+        // Exhaustive equivalence over all 256 inputs.
+        let vecs: Vec<Vec<Value>> = (0..256).map(|i| vec![Value::Word(i)]).collect();
+        assert!(equivalent_on(&n, &mapped, &vecs, 1).unwrap());
+    }
+
+    #[test]
+    fn lut5_uses_fewer_luts_than_lut4() {
+        let entries: Vec<u32> = (0..256u32).map(|i| i.rotate_left(3) & 0xFF).collect();
+        let n = rom_circuit(&entries, 8, 8);
+        let m4 = tech_map(&n, TechMapOptions::lut4()).unwrap();
+        let m5 = tech_map(&n, TechMapOptions::lut5()).unwrap();
+        let c4 = NetlistStats::of(&m4).luts;
+        let c5 = NetlistStats::of(&m5).luts;
+        assert!(c5 <= c4, "5-LUT mapping should not need more LUTs ({c5} vs {c4})");
+    }
+
+    #[test]
+    fn small_luts_pass_through() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.word_input("a", 2);
+        let x = b.xor(a.bit(0), a.bit(1));
+        b.bit_output("x", x);
+        let n = b.finish().unwrap();
+        let before = NetlistStats::of(&n).luts;
+        let m = tech_map(&n, TechMapOptions::lut4()).unwrap();
+        assert_eq!(NetlistStats::of(&m).luts, before);
+    }
+
+    #[test]
+    fn sequential_feedback_survives_mapping() {
+        let mut b = CircuitBuilder::new("ctr");
+        let (q, h) = b.word_reg(0, 8);
+        let next = b.inc(&q);
+        b.connect_word_reg(h, &next);
+        b.word_output("q", &q);
+        let n = b.finish().unwrap();
+        let m = tech_map(&n, TechMapOptions::lut4()).unwrap();
+        // Run both for several cycles and compare counting behaviour.
+        assert!(equivalent_on(&n, &m, &[vec![]], 10).unwrap());
+    }
+
+    #[test]
+    fn constant_columns_become_constants() {
+        // ROM whose bit 3 is always 1 and bit 2 always 0.
+        let entries: Vec<u32> = (0..16u32).map(|i| 0b1000 | (i & 0b11)).collect();
+        let n = rom_circuit(&entries, 4, 4);
+        let m = tech_map(&n, TechMapOptions::lut4()).unwrap();
+        let vecs: Vec<Vec<Value>> = (0..16).map(|i| vec![Value::Word(i)]).collect();
+        assert!(equivalent_on(&n, &m, &vecs, 1).unwrap());
+        // Mapped netlist should contain at least one constant bit node for
+        // the constant columns.
+        assert!(m
+            .nodes()
+            .iter()
+            .any(|nd| matches!(nd.kind, NodeKind::ConstBit(_))));
+    }
+
+    #[test]
+    fn macs_and_packs_pass_through() {
+        let mut b = CircuitBuilder::new("m");
+        let a = b.word_input("a", 32);
+        let c = b.word_input("b", 32);
+        let z = b.const_word(0, 32);
+        let m = b.mac(&a, &c, &z);
+        b.word_output("m", &m);
+        let n = b.finish().unwrap();
+        let mapped = tech_map(&n, TechMapOptions::lut4()).unwrap();
+        let s = NetlistStats::of(&mapped);
+        assert_eq!(s.macs, 1);
+        let vecs = vec![vec![Value::Word(1234), Value::Word(77)]];
+        assert!(equivalent_on(&n, &mapped, &vecs, 1).unwrap());
+    }
+}

@@ -1,0 +1,346 @@
+//! Truth tables of up to 16 inputs.
+//!
+//! A [`TruthTable`] stores the output column of a Boolean function of `n`
+//! inputs as a packed bit vector of length `2^n`. Input index 0 is the least
+//! significant bit of the row index, so row `r` corresponds to the assignment
+//! where input `i` takes value `(r >> i) & 1`.
+
+use crate::error::NetlistError;
+
+/// Maximum number of inputs a single truth-table node may have.
+///
+/// Wide nodes are only an intermediate representation; technology mapping
+/// decomposes them into K-input LUTs before folding.
+pub const MAX_TABLE_INPUTS: usize = 16;
+
+/// The output column of a Boolean function with up to [`MAX_TABLE_INPUTS`]
+/// inputs.
+///
+/// ```
+/// use freac_netlist::TruthTable;
+///
+/// let xor = TruthTable::xor2();
+/// assert!(xor.eval(0b01) && xor.eval(0b10));
+/// assert!(!xor.eval(0b00) && !xor.eval(0b11));
+/// let (lo, hi) = xor.cofactors(0); // Shannon expansion around input 0
+/// assert_eq!(lo, TruthTable::identity());
+/// assert_eq!(hi, TruthTable::not1());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    inputs: usize,
+    /// Packed output bits; bit `r` of the vector is the function value on
+    /// row `r`. `words.len() == max(1, 2^inputs / 64)`.
+    words: Vec<u64>,
+}
+
+impl TruthTable {
+    /// Creates the constant-false function of `inputs` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::TruthTableTooWide`] if `inputs` exceeds
+    /// [`MAX_TABLE_INPUTS`].
+    pub fn constant(inputs: usize, value: bool) -> Result<Self, NetlistError> {
+        if inputs > MAX_TABLE_INPUTS {
+            return Err(NetlistError::TruthTableTooWide {
+                inputs,
+                max: MAX_TABLE_INPUTS,
+            });
+        }
+        let rows = 1usize << inputs;
+        let nwords = rows.div_ceil(64);
+        let fill = if value { u64::MAX } else { 0 };
+        let mut words = vec![fill; nwords.max(1)];
+        if value && rows < 64 {
+            words[0] = (1u64 << rows) - 1;
+        }
+        Ok(TruthTable { inputs, words })
+    }
+
+    /// Builds a table by evaluating `f` on every row.
+    ///
+    /// `f` receives the row index; input `i`'s value on that row is
+    /// `(row >> i) & 1 == 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::TruthTableTooWide`] if `inputs` exceeds
+    /// [`MAX_TABLE_INPUTS`].
+    pub fn from_fn(inputs: usize, mut f: impl FnMut(usize) -> bool) -> Result<Self, NetlistError> {
+        let mut t = TruthTable::constant(inputs, false)?;
+        for row in 0..(1usize << inputs) {
+            if f(row) {
+                t.set(row, true);
+            }
+        }
+        Ok(t)
+    }
+
+    /// The identity function of one input.
+    pub fn identity() -> Self {
+        TruthTable::from_fn(1, |r| r & 1 == 1).expect("1 input is always valid")
+    }
+
+    /// Two-input AND.
+    pub fn and2() -> Self {
+        TruthTable::from_fn(2, |r| r == 3).expect("2 inputs is always valid")
+    }
+
+    /// Two-input OR.
+    pub fn or2() -> Self {
+        TruthTable::from_fn(2, |r| r != 0).expect("2 inputs is always valid")
+    }
+
+    /// Two-input XOR.
+    pub fn xor2() -> Self {
+        TruthTable::from_fn(2, |r| (r.count_ones() & 1) == 1).expect("2 inputs is always valid")
+    }
+
+    /// One-input NOT.
+    pub fn not1() -> Self {
+        TruthTable::from_fn(1, |r| r & 1 == 0).expect("1 input is always valid")
+    }
+
+    /// Three-input multiplexer: inputs are `(sel, a, b)`; returns `b` when
+    /// `sel` is true, otherwise `a`.
+    pub fn mux3() -> Self {
+        // input 0 = sel, input 1 = a (sel=0), input 2 = b (sel=1)
+        TruthTable::from_fn(3, |r| {
+            let sel = r & 1 == 1;
+            let a = (r >> 1) & 1 == 1;
+            let b = (r >> 2) & 1 == 1;
+            if sel {
+                b
+            } else {
+                a
+            }
+        })
+        .expect("3 inputs is always valid")
+    }
+
+    /// Number of inputs of the function.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of rows (`2^inputs`).
+    pub fn rows(&self) -> usize {
+        1usize << self.inputs
+    }
+
+    /// Value of the function on `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= 2^inputs`.
+    pub fn get(&self, row: usize) -> bool {
+        assert!(row < self.rows(), "row {row} out of range");
+        (self.words[row / 64] >> (row % 64)) & 1 == 1
+    }
+
+    /// Sets the function value on `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= 2^inputs`.
+    pub fn set(&mut self, row: usize, value: bool) {
+        assert!(row < self.rows(), "row {row} out of range");
+        let mask = 1u64 << (row % 64);
+        if value {
+            self.words[row / 64] |= mask;
+        } else {
+            self.words[row / 64] &= !mask;
+        }
+    }
+
+    /// Evaluates the function on the assignment packed in `assignment`
+    /// (input `i` = bit `i`).
+    pub fn eval(&self, assignment: usize) -> bool {
+        self.get(assignment & (self.rows() - 1))
+    }
+
+    /// The positive and negative cofactors with respect to input `var`:
+    /// `(f | var=0, f | var=1)`. Both cofactors have one fewer input; inputs
+    /// above `var` shift down by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= inputs` or the table has no inputs.
+    pub fn cofactors(&self, var: usize) -> (TruthTable, TruthTable) {
+        assert!(self.inputs > 0, "cannot cofactor a 0-input table");
+        assert!(var < self.inputs, "variable {var} out of range");
+        let n = self.inputs - 1;
+        let mut lo = TruthTable::constant(n, false).expect("narrower table is valid");
+        let mut hi = TruthTable::constant(n, false).expect("narrower table is valid");
+        let low_mask = (1usize << var) - 1;
+        for row in 0..(1usize << n) {
+            let lower = row & low_mask;
+            let upper = (row & !low_mask) << 1;
+            let base = upper | lower;
+            lo.set(row, self.get(base));
+            hi.set(row, self.get(base | (1 << var)));
+        }
+        (lo, hi)
+    }
+
+    /// Returns `true` if the function does not depend on input `var`.
+    pub fn is_independent_of(&self, var: usize) -> bool {
+        let (lo, hi) = self.cofactors(var);
+        lo == hi
+    }
+
+    /// Removes inputs the function does not depend on, returning the reduced
+    /// table and, for each remaining input, the index of the original input
+    /// it corresponds to.
+    pub fn support_reduce(&self) -> (TruthTable, Vec<usize>) {
+        let mut table = self.clone();
+        let mut map: Vec<usize> = (0..self.inputs).collect();
+        let mut var = 0;
+        while var < table.inputs {
+            if table.inputs > 0 && table.is_independent_of(var) {
+                let (lo, _) = table.cofactors(var);
+                table = lo;
+                map.remove(var);
+            } else {
+                var += 1;
+            }
+        }
+        (table, map)
+    }
+
+    /// Returns `true` if the function is constant (after support reduction it
+    /// would have zero inputs).
+    pub fn is_constant(&self) -> Option<bool> {
+        let first = self.get(0);
+        for row in 1..self.rows() {
+            if self.get(row) != first {
+                return None;
+            }
+        }
+        Some(first)
+    }
+
+    /// Counts how many rows differ between the two cofactors of `var`; a
+    /// rough binateness measure used by the mapper to pick split variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= inputs`.
+    pub fn cofactor_distance(&self, var: usize) -> usize {
+        let (lo, hi) = self.cofactors(var);
+        let mut d = 0;
+        for row in 0..lo.rows() {
+            if lo.get(row) != hi.get(row) {
+                d += 1;
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_tables() {
+        let f = TruthTable::constant(3, false).unwrap();
+        let t = TruthTable::constant(3, true).unwrap();
+        for r in 0..8 {
+            assert!(!f.get(r));
+            assert!(t.get(r));
+        }
+        assert_eq!(f.is_constant(), Some(false));
+        assert_eq!(t.is_constant(), Some(true));
+    }
+
+    #[test]
+    fn too_wide_rejected() {
+        assert!(matches!(
+            TruthTable::constant(17, false),
+            Err(NetlistError::TruthTableTooWide { inputs: 17, max: 16 })
+        ));
+    }
+
+    #[test]
+    fn basic_gates() {
+        let and = TruthTable::and2();
+        assert!(!and.eval(0b00) && !and.eval(0b01) && !and.eval(0b10) && and.eval(0b11));
+        let or = TruthTable::or2();
+        assert!(!or.eval(0b00) && or.eval(0b01) && or.eval(0b10) && or.eval(0b11));
+        let xor = TruthTable::xor2();
+        assert!(!xor.eval(0b00) && xor.eval(0b01) && xor.eval(0b10) && !xor.eval(0b11));
+        let not = TruthTable::not1();
+        assert!(not.eval(0) && !not.eval(1));
+    }
+
+    #[test]
+    fn mux_semantics() {
+        let mux = TruthTable::mux3();
+        for a in 0..2usize {
+            for b in 0..2usize {
+                // sel = 0 -> a
+                assert_eq!(mux.eval((b << 2) | (a << 1)), a == 1);
+                // sel = 1 -> b
+                assert_eq!(mux.eval((b << 2) | (a << 1) | 1), b == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn cofactors_of_xor() {
+        let xor = TruthTable::xor2();
+        let (lo, hi) = xor.cofactors(0);
+        // xor | x0=0 = x1 ; xor | x0=1 = !x1
+        assert_eq!(lo, TruthTable::identity());
+        assert_eq!(hi, TruthTable::not1());
+    }
+
+    #[test]
+    fn cofactors_wide_table() {
+        // f(x0..x4) = x3, cofactor on x1 should still be x2 in the reduced
+        // numbering (x3 shifts down past removed x1).
+        let f = TruthTable::from_fn(5, |r| (r >> 3) & 1 == 1).unwrap();
+        let (lo, hi) = f.cofactors(1);
+        assert_eq!(lo, hi);
+        for r in 0..16 {
+            assert_eq!(lo.get(r), (r >> 2) & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn support_reduction_drops_dead_inputs() {
+        // f(x0, x1, x2) = x2 only.
+        let f = TruthTable::from_fn(3, |r| (r >> 2) & 1 == 1).unwrap();
+        let (g, map) = f.support_reduce();
+        assert_eq!(g.inputs(), 1);
+        assert_eq!(map, vec![2]);
+        assert_eq!(g, TruthTable::identity());
+    }
+
+    #[test]
+    fn support_reduction_keeps_live_inputs() {
+        let f = TruthTable::from_fn(4, |r| (r & 1 == 1) ^ ((r >> 3) & 1 == 1)).unwrap();
+        let (g, map) = f.support_reduce();
+        assert_eq!(g.inputs(), 2);
+        assert_eq!(map, vec![0, 3]);
+        assert_eq!(g, TruthTable::xor2());
+    }
+
+    #[test]
+    fn sixteen_input_table_round_trip() {
+        let f = TruthTable::from_fn(16, |r| r.count_ones() % 3 == 0).unwrap();
+        for r in [0usize, 1, 2, 65535, 32768, 12345] {
+            assert_eq!(f.get(r), r.count_ones() % 3 == 0);
+        }
+    }
+
+    #[test]
+    fn cofactor_distance_measures_dependence() {
+        let xor = TruthTable::xor2();
+        assert_eq!(xor.cofactor_distance(0), 2);
+        let f = TruthTable::from_fn(2, |r| r & 1 == 1).unwrap(); // depends only on x0
+        assert_eq!(f.cofactor_distance(1), 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Edge-CPU power constants (McPAT, 32 nm low-power library).
+//!
+//! The host is an 8-core A15-class out-of-order CPU at 4 GHz (Table I); the
+//! Fig. 14 comparison drops A7-class embedded cores into the LLC. McPAT is
+//! a closed parameter source, so we embed representative per-core numbers
+//! consistent with the paper's relative results (the multi-threaded CPU
+//! runs at roughly twice the power of the FReaC accelerator, and an A7 is
+//! roughly an order of magnitude smaller/cheaper than an A15).
+
+/// Active power of one A15-class core at 4 GHz, watts.
+pub const A15_CORE_ACTIVE_W: f64 = 1.6;
+
+/// Idle/static power of one A15-class core, watts.
+pub const A15_CORE_IDLE_W: f64 = 0.12;
+
+/// Active power of one A7-class embedded core, watts.
+pub const A7_CORE_ACTIVE_W: f64 = 0.35;
+
+/// Idle/static power of one A7-class embedded core, watts.
+pub const A7_CORE_IDLE_W: f64 = 0.03;
+
+/// Uncore power (interconnect, memory controller) when the chip is under
+/// load, watts.
+pub const UNCORE_ACTIVE_W: f64 = 0.9;
+
+/// Area of one A7-class core, mm² (paper Sec. VI cites ~0.49 mm²).
+pub const A7_CORE_AREA_MM2: f64 = 0.49;
+
+/// Power of the host CPU complex with `active` of `total` A15 cores busy.
+///
+/// # Panics
+///
+/// Panics if `active > total`.
+pub fn host_cpu_power_w(active: usize, total: usize) -> f64 {
+    assert!(active <= total, "cannot have more active cores than cores");
+    active as f64 * A15_CORE_ACTIVE_W
+        + (total - active) as f64 * A15_CORE_IDLE_W
+        + UNCORE_ACTIVE_W
+}
+
+/// Power of `n` active A7-class embedded cores in the LLC.
+pub fn embedded_cores_power_w(n: usize) -> f64 {
+    n as f64 * A7_CORE_ACTIVE_W
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_vs_all_cores() {
+        let one = host_cpu_power_w(1, 8);
+        let all = host_cpu_power_w(8, 8);
+        assert!(all > 4.0 * one / 2.0);
+        // 8 active A15s plus uncore land in the low-teens of watts.
+        assert!(all > 10.0 && all < 18.0, "got {all}");
+    }
+
+    #[test]
+    fn a7_is_much_cheaper_than_a15() {
+        assert!(A15_CORE_ACTIVE_W / A7_CORE_ACTIVE_W > 4.0);
+        assert!((embedded_cores_power_w(16) - 5.6).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "active")]
+    fn active_bound_checked() {
+        let _ = host_cpu_power_w(9, 8);
+    }
+}

@@ -1,0 +1,202 @@
+//! Energy accounting for FReaC Cache accelerator runs.
+//!
+//! The paper estimates FReaC power "by accounting for the number of reads
+//! from the compute clusters and scratchpads", plus 9 mW per switch-box
+//! link at full load, plus leakage (Sec. V-C). [`EnergyCounter`] implements
+//! exactly that accounting; dividing by the run's duration yields power.
+
+use crate::sram::SramParams;
+
+/// Energy of a 32-bit MAC operation at 32 nm, in picojoules.
+pub const MAC_OP_PJ: f64 = 2.0;
+
+/// Energy of one operand-crossbar traversal, in picojoules.
+pub const XBAR_HOP_PJ: f64 = 0.35;
+
+/// Energy of latching one bit in the intermediate registers, in picojoules.
+pub const REG_BIT_PJ: f64 = 0.01;
+
+/// Power of one switch-box link at 100 % load, in watts (paper Sec. V-C).
+pub const LINK_POWER_W: f64 = 0.009;
+
+/// Dynamic energy split by component, in picojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Configuration-row reads from compute sub-arrays and tag arrays.
+    pub config_pj: f64,
+    /// Scratchpad word reads and writes.
+    pub scratchpad_pj: f64,
+    /// Multiply-accumulate operations.
+    pub mac_pj: f64,
+    /// Operand-crossbar traversals.
+    pub xbar_pj: f64,
+    /// Intermediate-register bit latches.
+    pub reg_pj: f64,
+    /// Off-chip DRAM line transfers.
+    pub dram_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total across components.
+    pub fn total_pj(&self) -> f64 {
+        self.config_pj + self.scratchpad_pj + self.mac_pj + self.xbar_pj + self.reg_pj
+            + self.dram_pj
+    }
+
+    /// The component shares as fractions of the total (zeros if empty).
+    pub fn shares(&self) -> [f64; 6] {
+        let t = self.total_pj();
+        if t == 0.0 {
+            return [0.0; 6];
+        }
+        [
+            self.config_pj / t,
+            self.scratchpad_pj / t,
+            self.mac_pj / t,
+            self.xbar_pj / t,
+            self.reg_pj / t,
+            self.dram_pj / t,
+        ]
+    }
+}
+
+/// Accumulates energy in picojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyCounter {
+    subarray_reads: u64,
+    scratchpad_reads: u64,
+    scratchpad_writes: u64,
+    mac_ops: u64,
+    xbar_hops: u64,
+    reg_bits: u64,
+    dram_lines: u64,
+}
+
+impl EnergyCounter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        EnergyCounter::default()
+    }
+
+    /// Records `n` compute sub-array configuration reads.
+    pub fn add_subarray_reads(&mut self, n: u64) {
+        self.subarray_reads += n;
+    }
+
+    /// Records `n` scratchpad word reads.
+    pub fn add_scratchpad_reads(&mut self, n: u64) {
+        self.scratchpad_reads += n;
+    }
+
+    /// Records `n` scratchpad word writes.
+    pub fn add_scratchpad_writes(&mut self, n: u64) {
+        self.scratchpad_writes += n;
+    }
+
+    /// Records `n` MAC operations.
+    pub fn add_mac_ops(&mut self, n: u64) {
+        self.mac_ops += n;
+    }
+
+    /// Records `n` crossbar traversals.
+    pub fn add_xbar_hops(&mut self, n: u64) {
+        self.xbar_hops += n;
+    }
+
+    /// Records `n` register bit latches.
+    pub fn add_reg_bits(&mut self, n: u64) {
+        self.reg_bits += n;
+    }
+
+    /// Records `n` DRAM line transfers.
+    pub fn add_dram_lines(&mut self, n: u64) {
+        self.dram_lines += n;
+    }
+
+    /// Total dynamic energy in picojoules.
+    pub fn dynamic_pj(&self) -> f64 {
+        let b = self.breakdown();
+        b.config_pj + b.scratchpad_pj + b.mac_pj + b.xbar_pj + b.reg_pj + b.dram_pj
+    }
+
+    /// Per-component dynamic energy, for the energy-breakdown analysis.
+    pub fn breakdown(&self) -> EnergyBreakdown {
+        let sub = SramParams::subarray_8kb_32nm().access_energy_pj;
+        EnergyBreakdown {
+            config_pj: self.subarray_reads as f64 * sub,
+            scratchpad_pj: (self.scratchpad_reads + self.scratchpad_writes) as f64 * sub,
+            mac_pj: self.mac_ops as f64 * MAC_OP_PJ,
+            xbar_pj: self.xbar_hops as f64 * XBAR_HOP_PJ,
+            reg_pj: self.reg_bits as f64 * REG_BIT_PJ,
+            dram_pj: self.dram_lines as f64 * crate::sram::dram_line_energy_pj(64),
+        }
+    }
+
+    /// Average power in watts over a run of `duration_ps`, including
+    /// `leakage_w` of static power and `active_links` switch-box links at
+    /// full load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_ps` is zero.
+    pub fn average_power_w(&self, duration_ps: u64, leakage_w: f64, active_links: usize) -> f64 {
+        assert!(duration_ps > 0, "duration must be positive");
+        let seconds = duration_ps as f64 * 1e-12;
+        self.dynamic_pj() * 1e-12 / seconds + leakage_w + active_links as f64 * LINK_POWER_W
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &EnergyCounter) {
+        self.subarray_reads += other.subarray_reads;
+        self.scratchpad_reads += other.scratchpad_reads;
+        self.scratchpad_writes += other.scratchpad_writes;
+        self.mac_ops += other.mac_ops;
+        self.xbar_hops += other.xbar_hops;
+        self.reg_bits += other.reg_bits;
+        self.dram_lines += other.dram_lines;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_energy_accumulates() {
+        let mut e = EnergyCounter::new();
+        e.add_subarray_reads(1000);
+        e.add_mac_ops(100);
+        let expected = 1000.0 * 3.69 + 100.0 * MAC_OP_PJ;
+        assert!((e.dynamic_pj() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_includes_leakage_and_links() {
+        let e = EnergyCounter::new();
+        // No dynamic activity: power is exactly leakage + links.
+        let p = e.average_power_w(1_000_000, 1.125, 10);
+        assert!((p - (1.125 + 0.09)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = EnergyCounter::new();
+        a.add_scratchpad_reads(5);
+        let mut b = EnergyCounter::new();
+        b.add_scratchpad_reads(7);
+        b.add_dram_lines(1);
+        a.merge(&b);
+        assert!(a.dynamic_pj() > 12.0 * 3.69);
+    }
+
+    #[test]
+    fn sustained_compute_power_is_watts_scale() {
+        // 32 clusters x 4 sub-array reads per cycle at 4 GHz for 1 ms.
+        let mut e = EnergyCounter::new();
+        let cycles = 4_000_000_000u64 / 1000; // 1 ms at 4 GHz
+        e.add_subarray_reads(cycles * 32 * 4);
+        let p = e.average_power_w(1_000_000_000, 0.14, 0);
+        // 128 reads/cycle x 3.69 pJ x 4 GHz ~ 1.9 W dynamic.
+        assert!(p > 1.0 && p < 3.0, "got {p} W");
+    }
+}

@@ -1,0 +1,123 @@
+//! XPE-like FPGA power and capacity models for the two comparison boards
+//! (paper Sec. V-C): the large PCIe-class Xilinx ZCU102 and the edge-class
+//! Ultra96.
+
+/// Resource capacity and power characteristics of an FPGA board.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaBoard {
+    /// Board name for reports.
+    pub name: &'static str,
+    /// Usable 6-input LUTs.
+    pub luts: u64,
+    /// DSP48 slices.
+    pub dsps: u64,
+    /// Block RAMs (36 Kb).
+    pub brams: u64,
+    /// Achievable kernel clock in MHz.
+    pub clock_mhz: u64,
+    /// Board idle + static power in watts (the ZCU102 draws 12 W idle,
+    /// Sec. I).
+    pub idle_w: f64,
+    /// Dynamic power per LUT per MHz, in microwatts.
+    pub uw_per_lut_mhz: f64,
+    /// Dynamic power per DSP per MHz, in microwatts.
+    pub uw_per_dsp_mhz: f64,
+    /// Host-to-board transfer bandwidth in GB/s (PCIe 3.0 x16 for the
+    /// ZCU102, AXI for the Ultra96).
+    pub link_gbps: f64,
+    /// Fixed DMA + configuration overhead per offload, in microseconds
+    /// (the paper includes 160 us per Choi et al.).
+    pub dma_overhead_us: u64,
+}
+
+impl FpgaBoard {
+    /// Xilinx ZCU102 (XCZU9EG) on PCIe 3.0 x16.
+    pub fn zcu102() -> Self {
+        FpgaBoard {
+            name: "ZCU102",
+            luts: 274_080,
+            dsps: 2_520,
+            brams: 912,
+            clock_mhz: 300,
+            idle_w: 12.0,
+            uw_per_lut_mhz: 0.055,
+            uw_per_dsp_mhz: 1.2,
+            link_gbps: 16.0,
+            dma_overhead_us: 160,
+        }
+    }
+
+    /// Avnet Ultra96 (XCZU3EG) standalone SoC board over AXI.
+    pub fn ultra96() -> Self {
+        FpgaBoard {
+            name: "Ultra96",
+            luts: 70_560,
+            dsps: 360,
+            brams: 216,
+            clock_mhz: 250,
+            idle_w: 2.5,
+            uw_per_lut_mhz: 0.055,
+            uw_per_dsp_mhz: 1.2,
+            link_gbps: 2.0,
+            dma_overhead_us: 30,
+        }
+    }
+
+    /// How many copies of an IP using `luts`/`dsps` fit, capped at the
+    /// paper's 256-copy data-parallel instantiation limit.
+    pub fn copies_that_fit(&self, luts: u64, dsps: u64) -> u64 {
+        if luts == 0 && dsps == 0 {
+            return 256;
+        }
+        let by_lut = if luts == 0 { u64::MAX } else { self.luts / luts };
+        let by_dsp = if dsps == 0 { u64::MAX } else { self.dsps / dsps };
+        by_lut.min(by_dsp).min(256)
+    }
+
+    /// Power with `luts`/`dsps` active at the board clock, in watts.
+    pub fn power_w(&self, luts: u64, dsps: u64) -> f64 {
+        self.idle_w
+            + (luts as f64 * self.uw_per_lut_mhz + dsps as f64 * self.uw_per_dsp_mhz)
+                * self.clock_mhz as f64
+                * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zcu102_is_much_bigger_than_ultra96() {
+        let z = FpgaBoard::zcu102();
+        let u = FpgaBoard::ultra96();
+        assert!(z.luts > 3 * u.luts);
+        assert!(z.idle_w > 4.0 * u.idle_w);
+    }
+
+    #[test]
+    fn copies_cap_at_256() {
+        let z = FpgaBoard::zcu102();
+        assert_eq!(z.copies_that_fit(100, 1), 256);
+        assert_eq!(z.copies_that_fit(0, 0), 256);
+        // A big IP fits only a few times.
+        assert_eq!(z.copies_that_fit(100_000, 0), 2);
+        // DSP-bound IP.
+        assert_eq!(z.copies_that_fit(10, 1260), 2);
+    }
+
+    #[test]
+    fn loaded_power_exceeds_idle() {
+        let z = FpgaBoard::zcu102();
+        let p = z.power_w(200_000, 2000);
+        assert!(p > z.idle_w + 3.0, "got {p}");
+        assert!(p < 30.0, "got {p}");
+    }
+
+    #[test]
+    fn ultra96_power_stays_edge_class() {
+        let u = FpgaBoard::ultra96();
+        let p = u.power_w(u.luts, u.dsps);
+        assert!(p < 6.0, "got {p}");
+    }
+}

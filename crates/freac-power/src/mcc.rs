@@ -1,0 +1,117 @@
+//! Micro-compute-cluster component areas and slice overhead (paper
+//! Sec. V-A).
+//!
+//! RTL synthesis at 45 nm scaled to 32 nm gives the component areas below.
+//! Adding cluster logic to all 32 possible MCC positions costs ~0.11 mm²
+//! (3.5 % of the slice); enabling large tiles additionally needs the
+//! switch-box fabric with its configuration memories, bringing the total to
+//! ~0.48 mm² (15.3 %).
+
+use crate::sram::SliceParams;
+
+/// Area of the 32-bit MAC unit, in square micrometres.
+pub const MAC_AREA_UM2: f64 = 1011.0;
+
+/// Area of the 256 intermediate-value flip-flops, in square micrometres.
+pub const REGS_AREA_UM2: f64 = 1086.0;
+
+/// Area of one 32x1 mux tree, in square micrometres.
+pub const MUX_TREE_AREA_UM2: f64 = 45.0;
+
+/// Mux trees per cluster (one per compute sub-array).
+pub const MUX_TREES_PER_CLUSTER: usize = 4;
+
+/// Area of the operand crossbar, in square micrometres.
+pub const XBAR_AREA_UM2: f64 = 1239.0;
+
+/// Global routing and link area for the large-tile switch fabric, in square
+/// micrometres (28 switch boxes, 32-bit links).
+pub const ROUTING_LINKS_AREA_UM2: f64 = 3469.0;
+
+/// Switch-box fabric overhead per slice (switch boxes, links, and one
+/// wide-output 8 KB configuration memory per four MCCs), in square
+/// millimetres. The paper reports this as a conservative 0.35 mm².
+pub const SWITCH_FABRIC_MM2: f64 = 0.35;
+
+/// Maximum micro compute clusters per slice (16 ways converted).
+pub const MAX_MCCS_PER_SLICE: usize = 32;
+
+/// Area added per micro compute cluster, in square micrometres.
+pub fn mcc_area_um2() -> f64 {
+    MAC_AREA_UM2 + REGS_AREA_UM2 + XBAR_AREA_UM2 + MUX_TREES_PER_CLUSTER as f64 * MUX_TREE_AREA_UM2
+}
+
+/// The Sec. V-A overhead accounting for one slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SliceOverheadReport {
+    /// Slice area (Table II), mm².
+    pub slice_area_mm2: f64,
+    /// Area of one cluster's added logic, mm².
+    pub per_cluster_mm2: f64,
+    /// Added area for the basic mode (cluster logic at all 32 positions),
+    /// mm².
+    pub basic_mm2: f64,
+    /// Basic-mode overhead as a percentage of the slice.
+    pub basic_pct: f64,
+    /// Added area including the large-tile switch fabric, mm².
+    pub with_fabric_mm2: f64,
+    /// Large-tile overhead as a percentage of the slice.
+    pub with_fabric_pct: f64,
+}
+
+/// Computes the overhead report for the paper's slice.
+pub fn slice_overhead_report() -> SliceOverheadReport {
+    let slice = SliceParams::paper_slice_32nm().area_mm2();
+    let per_cluster = mcc_area_um2() / 1e6;
+    let basic = per_cluster * MAX_MCCS_PER_SLICE as f64;
+    let with_fabric = basic + SWITCH_FABRIC_MM2 + ROUTING_LINKS_AREA_UM2 / 1e6;
+    SliceOverheadReport {
+        slice_area_mm2: slice,
+        per_cluster_mm2: per_cluster,
+        basic_mm2: basic,
+        basic_pct: basic / slice * 100.0,
+        with_fabric_mm2: with_fabric,
+        with_fabric_pct: with_fabric / slice * 100.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_cluster_area_matches_paper() {
+        // Paper: "the total area added per cluster is 0.0034 mm^2".
+        let a = mcc_area_um2();
+        assert!((3300.0..3600.0).contains(&a), "got {a} um^2");
+    }
+
+    #[test]
+    fn basic_overhead_is_about_3_5_pct() {
+        let r = slice_overhead_report();
+        assert!(
+            (3.3..3.8).contains(&r.basic_pct),
+            "basic overhead {}",
+            r.basic_pct
+        );
+        // Paper: 0.109 mm^2 for 32 clusters.
+        assert!((0.10..0.12).contains(&r.basic_mm2));
+    }
+
+    #[test]
+    fn fabric_overhead_is_about_15_pct() {
+        let r = slice_overhead_report();
+        assert!(
+            (14.0..16.0).contains(&r.with_fabric_pct),
+            "fabric overhead {}",
+            r.with_fabric_pct
+        );
+    }
+
+    #[test]
+    fn overheads_nest() {
+        let r = slice_overhead_report();
+        assert!(r.with_fabric_mm2 > r.basic_mm2);
+        assert!(r.per_cluster_mm2 * 32.0 <= r.basic_mm2 + 1e-12);
+    }
+}

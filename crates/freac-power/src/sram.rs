@@ -1,0 +1,157 @@
+//! SRAM sub-array parameters (paper Table II) and a Cacti-lite scaling
+//! model.
+//!
+//! The anchor point is the 8 KB compute sub-array at 32 nm:
+//! 0.136 mm x 0.096 mm, 0.12 ns access, 3.69 pJ per 32-bit access. Other
+//! sizes scale area linearly with capacity and access time/energy with the
+//! square root of capacity (wordline/bitline lengths grow with the array's
+//! linear dimension), which is the first-order behaviour Cacti exhibits for
+//! small arrays.
+
+/// Parameters of one SRAM array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramParams {
+    /// Capacity in bytes.
+    pub bytes: usize,
+    /// Height in millimetres.
+    pub height_mm: f64,
+    /// Width in millimetres.
+    pub width_mm: f64,
+    /// Access time in picoseconds.
+    pub access_ps: u64,
+    /// Energy per access in picojoules.
+    pub access_energy_pj: f64,
+}
+
+impl SramParams {
+    /// The paper's 8 KB compute sub-array at 32 nm (Table II).
+    pub fn subarray_8kb_32nm() -> Self {
+        SramParams {
+            bytes: 8 * 1024,
+            height_mm: 0.136,
+            width_mm: 0.096,
+            access_ps: 120,
+            access_energy_pj: 3.69,
+        }
+    }
+
+    /// Area in square millimetres.
+    pub fn area_mm2(&self) -> f64 {
+        self.height_mm * self.width_mm
+    }
+
+    /// Cacti-lite: scales the 8 KB anchor to an arbitrary capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn scaled_to(bytes: usize) -> Self {
+        assert!(bytes > 0, "capacity must be positive");
+        let anchor = SramParams::subarray_8kb_32nm();
+        let ratio = bytes as f64 / anchor.bytes as f64;
+        let linear = ratio.sqrt();
+        SramParams {
+            bytes,
+            height_mm: anchor.height_mm * linear,
+            width_mm: anchor.width_mm * linear,
+            access_ps: ((anchor.access_ps as f64) * linear).round() as u64,
+            access_energy_pj: anchor.access_energy_pj * linear,
+        }
+    }
+}
+
+/// L3 cache slice dimensions at 32 nm (Table II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SliceParams {
+    /// Capacity in bytes.
+    pub bytes: usize,
+    /// Height in millimetres.
+    pub height_mm: f64,
+    /// Width in millimetres.
+    pub width_mm: f64,
+    /// Data sub-arrays in the slice.
+    pub data_subarrays: usize,
+}
+
+impl SliceParams {
+    /// The paper's 1.25 MB slice (Table II).
+    pub fn paper_slice_32nm() -> Self {
+        SliceParams {
+            bytes: 1_310_720,
+            height_mm: 1.63,
+            width_mm: 1.92,
+            data_subarrays: 160,
+        }
+    }
+
+    /// Area in square millimetres.
+    pub fn area_mm2(&self) -> f64 {
+        self.height_mm * self.width_mm
+    }
+}
+
+/// Total LLC leakage power in watts (paper Sec. V, via McPAT).
+pub const LLC_LEAKAGE_W: f64 = 1.125;
+
+/// Leakage of one slice in watts.
+pub fn slice_leakage_w(slices: usize) -> f64 {
+    LLC_LEAKAGE_W / slices as f64
+}
+
+/// DRAM access energy per bit in picojoules (paper Sec. I cites
+/// 28–45 pJ/bit at 40 nm; we use the midpoint).
+pub const DRAM_PJ_PER_BIT: f64 = 36.5;
+
+/// Energy to move one 64-byte line to/from DRAM, in picojoules.
+pub fn dram_line_energy_pj(line_bytes: usize) -> f64 {
+    DRAM_PJ_PER_BIT * (line_bytes * 8) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_anchor_values() {
+        let s = SramParams::subarray_8kb_32nm();
+        assert_eq!(s.bytes, 8192);
+        assert_eq!(s.access_ps, 120);
+        assert!((s.area_mm2() - 0.013056).abs() < 1e-6);
+        // One access fits in a 4 GHz cycle (250 ps) — the property that lets
+        // FReaC reconfigure its LUTs every cycle (paper Sec. V).
+        assert!(s.access_ps < 250);
+    }
+
+    #[test]
+    fn slice_dimensions() {
+        let s = SliceParams::paper_slice_32nm();
+        assert!((s.area_mm2() - 3.1296).abs() < 1e-4);
+        assert_eq!(s.data_subarrays, 160);
+    }
+
+    #[test]
+    fn scaling_is_monotone() {
+        let small = SramParams::scaled_to(4 * 1024);
+        let anchor = SramParams::scaled_to(8 * 1024);
+        let big = SramParams::scaled_to(32 * 1024);
+        assert!(small.access_ps < anchor.access_ps);
+        assert!(big.access_ps > anchor.access_ps);
+        assert!(big.access_energy_pj > anchor.access_energy_pj);
+        // The anchor reproduces itself.
+        assert_eq!(anchor, SramParams::subarray_8kb_32nm());
+    }
+
+    #[test]
+    fn dram_energy_dwarfs_sram_energy() {
+        // The motivating gap: a DRAM line transfer costs orders of magnitude
+        // more than an on-chip sub-array access.
+        let line = dram_line_energy_pj(64);
+        let sram = SramParams::subarray_8kb_32nm().access_energy_pj;
+        assert!(line > 1000.0 * sram);
+    }
+
+    #[test]
+    fn leakage_split() {
+        assert!((slice_leakage_w(8) - 0.140625).abs() < 1e-9);
+    }
+}

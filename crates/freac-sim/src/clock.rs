@@ -1,0 +1,103 @@
+//! Clock domains.
+
+use crate::Time;
+
+/// A fixed-frequency clock domain.
+///
+/// FReaC Cache runs small accelerator tiles at the 4 GHz cache clock and
+/// large (≥16-MCC) tiles at 3 GHz because the switch-box fabric's longest
+/// path limits timing (paper Sec. V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClockDomain {
+    /// Cycle period in picoseconds.
+    period_ps: u64,
+}
+
+impl ClockDomain {
+    /// A domain with the given period in picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_ps` is zero.
+    pub fn from_period_ps(period_ps: u64) -> Self {
+        assert!(period_ps > 0, "clock period must be positive");
+        ClockDomain { period_ps }
+    }
+
+    /// A domain running at `mhz` megahertz (period rounded to whole
+    /// picoseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is zero.
+    pub fn from_mhz(mhz: u64) -> Self {
+        assert!(mhz > 0, "clock frequency must be positive");
+        ClockDomain {
+            period_ps: 1_000_000 / mhz,
+        }
+    }
+
+    /// The 4 GHz cache/core clock (Table I).
+    pub fn cache_4ghz() -> Self {
+        ClockDomain { period_ps: 250 }
+    }
+
+    /// The 3 GHz large-tile clock (Sec. V-A).
+    pub fn tile_3ghz() -> Self {
+        ClockDomain { period_ps: 333 }
+    }
+
+    /// Cycle period in picoseconds.
+    pub fn period_ps(self) -> u64 {
+        self.period_ps
+    }
+
+    /// Frequency in GHz (floating point, for reports).
+    pub fn freq_ghz(self) -> f64 {
+        1000.0 / self.period_ps as f64
+    }
+
+    /// Duration of `cycles` cycles.
+    pub fn cycles_to_time(self, cycles: u64) -> Time {
+        cycles * self.period_ps
+    }
+
+    /// Whole cycles that fit in `time` (rounded up — the usual "how long
+    /// until this completes" question).
+    pub fn time_to_cycles_ceil(self, time: Time) -> u64 {
+        time.div_ceil(self.period_ps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_domains() {
+        assert_eq!(ClockDomain::cache_4ghz().period_ps(), 250);
+        assert_eq!(ClockDomain::tile_3ghz().period_ps(), 333);
+        assert!((ClockDomain::cache_4ghz().freq_ghz() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let c = ClockDomain::cache_4ghz();
+        assert_eq!(c.cycles_to_time(4), 1000);
+        assert_eq!(c.time_to_cycles_ceil(1000), 4);
+        assert_eq!(c.time_to_cycles_ceil(1001), 5);
+        assert_eq!(c.time_to_cycles_ceil(0), 0);
+    }
+
+    #[test]
+    fn from_mhz() {
+        let c = ClockDomain::from_mhz(250); // typical FPGA clock
+        assert_eq!(c.period_ps(), 4000);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        let _ = ClockDomain::from_period_ps(0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Main-memory model: DDR4-2400 across four channels (Table I).
+
+use crate::resource::BandwidthResource;
+use crate::{Time, PS_PER_NS};
+
+/// Peak bandwidth of one DDR4-2400 channel in bytes per second
+/// (2400 MT/s x 8 bytes).
+pub const DDR4_2400_CHANNEL_BYTES_PER_SEC: u64 = 19_200_000_000;
+
+/// Row-buffer-miss access latency used for the fixed per-request component
+/// (the paper's motivating number: "fetching data from off-chip DRAM takes
+/// 56 ns").
+pub const DRAM_ACCESS_LATENCY_PS: u64 = 56 * PS_PER_NS;
+
+/// A multi-channel DRAM model. Requests are interleaved across channels at
+/// cache-line granularity; each channel serializes its own transfers.
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    channels: Vec<BandwidthResource>,
+    line_bytes: u64,
+    next_channel: usize,
+    reads: u64,
+    writes: u64,
+}
+
+impl DramModel {
+    /// A DRAM with `channels` channels of `bytes_per_sec` each, issuing
+    /// `line_bytes` per access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` or `line_bytes` is zero.
+    pub fn new(channels: usize, bytes_per_sec: u64, latency_ps: Time, line_bytes: u64) -> Self {
+        assert!(channels > 0, "need at least one channel");
+        assert!(line_bytes > 0, "line size must be positive");
+        DramModel {
+            channels: (0..channels)
+                .map(|_| BandwidthResource::new(bytes_per_sec, latency_ps))
+                .collect(),
+            line_bytes,
+            next_channel: 0,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// The evaluation system's memory: 4 channels of DDR4-2400, 64-byte
+    /// lines, 56 ns access latency.
+    pub fn ddr4_2400_x4() -> Self {
+        DramModel::new(
+            4,
+            DDR4_2400_CHANNEL_BYTES_PER_SEC,
+            DRAM_ACCESS_LATENCY_PS,
+            64,
+        )
+    }
+
+    /// Aggregate peak bandwidth in bytes per second.
+    pub fn peak_bytes_per_sec(&self) -> u64 {
+        self.channels.len() as u64 * DDR4_2400_CHANNEL_BYTES_PER_SEC
+    }
+
+    /// Issues one cache-line read arriving at `arrival`; returns completion.
+    pub fn read_line(&mut self, arrival: Time) -> Time {
+        self.reads += 1;
+        self.access(arrival)
+    }
+
+    /// Issues one cache-line write arriving at `arrival`; returns completion.
+    pub fn write_line(&mut self, arrival: Time) -> Time {
+        self.writes += 1;
+        self.access(arrival)
+    }
+
+    /// Time to stream `bytes` sequentially through all channels starting
+    /// idle — a closed-form bulk-transfer estimate used for way flushes.
+    pub fn bulk_transfer_time(&self, bytes: u64) -> Time {
+        let per_channel = bytes.div_ceil(self.channels.len() as u64);
+        self.channels[0].unloaded_time(per_channel)
+    }
+
+    /// Lines read so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Lines written so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Resets channels and counters.
+    pub fn reset(&mut self) {
+        for c in &mut self.channels {
+            c.reset();
+        }
+        self.next_channel = 0;
+        self.reads = 0;
+        self.writes = 0;
+    }
+
+    fn access(&mut self, arrival: Time) -> Time {
+        let ch = self.next_channel;
+        self.next_channel = (self.next_channel + 1) % self.channels.len();
+        self.channels[ch].transfer(arrival, self.line_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unloaded_read_is_about_56ns() {
+        let mut d = DramModel::ddr4_2400_x4();
+        let t = d.read_line(0);
+        // 56 ns latency + 64 bytes at ~19.2 GB/s (~3.3 ns).
+        assert!(t >= 56_000 && t < 62_000, "got {t} ps");
+    }
+
+    #[test]
+    fn channel_interleaving_spreads_load() {
+        let mut d = DramModel::ddr4_2400_x4();
+        let t1 = d.read_line(0);
+        let t2 = d.read_line(0);
+        let t3 = d.read_line(0);
+        let t4 = d.read_line(0);
+        // Four back-to-back lines land on four distinct channels: identical
+        // completion times, no queueing.
+        assert_eq!(t1, t2);
+        assert_eq!(t2, t3);
+        assert_eq!(t3, t4);
+        let t5 = d.read_line(0);
+        assert!(t5 > t4, "fifth line must queue behind the first channel");
+    }
+
+    #[test]
+    fn bulk_transfer_scales_with_bytes() {
+        let d = DramModel::ddr4_2400_x4();
+        let t_small = d.bulk_transfer_time(1 << 20);
+        let t_big = d.bulk_transfer_time(10 << 20);
+        assert!(t_big > 9 * t_small / 2, "bandwidth-bound scaling expected");
+        // Flushing a 10 MB LLC should take on the order of 100 us
+        // (paper Sec. III-C: "hundreds of microseconds").
+        let t_flush = d.bulk_transfer_time(10 << 20);
+        assert!(t_flush > 100 * crate::PS_PER_US / 2 && t_flush < 400 * crate::PS_PER_US,
+            "10 MB flush should be on the order of 1e2 us, got {t_flush} ps");
+    }
+
+    #[test]
+    fn counters() {
+        let mut d = DramModel::ddr4_2400_x4();
+        d.read_line(0);
+        d.write_line(0);
+        d.write_line(0);
+        assert_eq!(d.reads(), 1);
+        assert_eq!(d.writes(), 2);
+        d.reset();
+        assert_eq!(d.reads(), 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Time-reservation resource models.
+//!
+//! These model shared hardware (buses, datapaths, channels) without a full
+//! event queue: a request arriving at time `t` begins service at
+//! `max(t, next_free)`, holds the resource for its service time, and the
+//! caller learns its completion time. Requests must be issued in
+//! non-decreasing arrival order per resource, which matches how the
+//! simulators in this workspace iterate time.
+
+use crate::stats::SimStats;
+use crate::Time;
+
+/// A single-server FIFO resource (e.g. a shared data bus or the cache
+/// control box's narrow datapath).
+#[derive(Debug, Clone, Default)]
+pub struct SerialResource {
+    next_free: Time,
+    stats: SimStats,
+}
+
+impl SerialResource {
+    /// A resource idle from time zero.
+    pub fn new() -> Self {
+        SerialResource::default()
+    }
+
+    /// Issues a request arriving at `arrival` needing `service` time.
+    /// Returns the completion time.
+    pub fn request(&mut self, arrival: Time, service: Time) -> Time {
+        let start = arrival.max(self.next_free);
+        let complete = start + service;
+        self.stats.record(arrival, start, complete);
+        self.next_free = complete;
+        complete
+    }
+
+    /// Earliest time the resource is free.
+    pub fn next_free(&self) -> Time {
+        self.next_free
+    }
+
+    /// Accumulated occupancy/wait statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Resets the resource to idle at time zero (statistics cleared).
+    pub fn reset(&mut self) {
+        *self = SerialResource::default();
+    }
+}
+
+/// A byte-bandwidth-limited resource (e.g. a DRAM channel or a PCIe link):
+/// transfers serialize, each occupying `bytes / rate` time after an optional
+/// fixed latency.
+#[derive(Debug, Clone)]
+pub struct BandwidthResource {
+    /// Picoseconds per byte.
+    ps_per_byte: u64,
+    /// Fixed per-request latency (added after queueing, e.g. DRAM access
+    /// latency or link setup).
+    latency_ps: u64,
+    serial: SerialResource,
+}
+
+impl BandwidthResource {
+    /// A resource delivering `bytes_per_sec` with a fixed `latency_ps`
+    /// per-request latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is zero.
+    pub fn new(bytes_per_sec: u64, latency_ps: u64) -> Self {
+        assert!(bytes_per_sec > 0, "bandwidth must be positive");
+        BandwidthResource {
+            ps_per_byte: (crate::PS_PER_S / bytes_per_sec).max(1),
+            latency_ps,
+            serial: SerialResource::new(),
+        }
+    }
+
+    /// Convenience constructor from GB/s (decimal gigabytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gb_per_sec` is not finite-positive.
+    pub fn from_gbps(gb_per_sec: f64, latency_ps: u64) -> Self {
+        assert!(
+            gb_per_sec.is_finite() && gb_per_sec > 0.0,
+            "bandwidth must be positive"
+        );
+        BandwidthResource::new((gb_per_sec * 1e9) as u64, latency_ps)
+    }
+
+    /// Issues a transfer of `bytes` arriving at `arrival`; returns the
+    /// completion time (queueing + transfer + fixed latency).
+    pub fn transfer(&mut self, arrival: Time, bytes: u64) -> Time {
+        let service = bytes * self.ps_per_byte;
+        self.serial.request(arrival, service) + self.latency_ps
+    }
+
+    /// Time to move `bytes` with no queueing (for closed-form estimates).
+    pub fn unloaded_time(&self, bytes: u64) -> Time {
+        bytes * self.ps_per_byte + self.latency_ps
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SimStats {
+        self.serial.stats()
+    }
+
+    /// Resets to idle at time zero.
+    pub fn reset(&mut self) {
+        self.serial.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_fifo_serializes() {
+        let mut r = SerialResource::new();
+        assert_eq!(r.request(0, 10), 10);
+        assert_eq!(r.request(0, 10), 20); // queued behind the first
+        assert_eq!(r.request(50, 5), 55); // idle gap, starts immediately
+        assert_eq!(r.next_free(), 55);
+    }
+
+    #[test]
+    fn serial_stats_track_waits() {
+        let mut r = SerialResource::new();
+        r.request(0, 10);
+        r.request(0, 10);
+        let s = r.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.busy_time, 20);
+        assert_eq!(s.wait_time, 10);
+    }
+
+    #[test]
+    fn bandwidth_transfer_time() {
+        // 1 GB/s = 1 byte/ns = 1000 ps/byte.
+        let mut b = BandwidthResource::new(1_000_000_000, 500);
+        assert_eq!(b.transfer(0, 100), 100_000 + 500);
+        assert_eq!(b.unloaded_time(100), 100_500);
+        // Second transfer queues behind the first (latency is post-queue).
+        assert_eq!(b.transfer(0, 100), 200_000 + 500);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut r = SerialResource::new();
+        r.request(0, 100);
+        r.reset();
+        assert_eq!(r.next_free(), 0);
+        assert_eq!(r.stats().requests, 0);
+    }
+
+    #[test]
+    fn gbps_constructor() {
+        let b = BandwidthResource::from_gbps(16.0, 0); // PCIe 3.0 x16
+        // 16 GB/s -> 62.5 ps/byte, truncated to 62.
+        assert_eq!(b.unloaded_time(1000), 62_000);
+    }
+}

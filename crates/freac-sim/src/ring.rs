@@ -1,0 +1,123 @@
+//! The ring interconnect between cores and LLC slices.
+//!
+//! Modern sliced LLCs sit on a ring bus: "cores may experience non-uniform
+//! latency depending on the slice's distance, due to the use of
+//! interconnects, such as ring busses" (paper Sec. II). This model captures
+//! that non-uniformity: each stop hosts one core and one slice, hops cost a
+//! fixed latency, and a bidirectional ring routes the shorter way around.
+
+use crate::Time;
+
+/// A bidirectional ring with one core + one LLC slice per stop.
+///
+/// ```
+/// use freac_sim::RingInterconnect;
+///
+/// let ring = RingInterconnect::paper_edge();
+/// assert_eq!(ring.hops(0, 7), 1); // wraps the short way
+/// assert_eq!(ring.latency_ps(0, 4), 1000); // 4 hops at 250 ps
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingInterconnect {
+    stops: usize,
+    hop_ps: Time,
+}
+
+impl RingInterconnect {
+    /// A ring of `stops` stops with `hop_ps` per-hop latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stops` is zero.
+    pub fn new(stops: usize, hop_ps: Time) -> Self {
+        assert!(stops > 0, "a ring needs at least one stop");
+        RingInterconnect { stops, hop_ps }
+    }
+
+    /// The evaluated system's ring: 8 stops, one 4 GHz cycle per hop.
+    pub fn paper_edge() -> Self {
+        RingInterconnect::new(8, 250)
+    }
+
+    /// Number of stops.
+    pub fn stops(&self) -> usize {
+        self.stops
+    }
+
+    /// Hops between two stops, taking the shorter direction.
+    pub fn hops(&self, from: usize, to: usize) -> usize {
+        let d = from.abs_diff(to) % self.stops;
+        d.min(self.stops - d)
+    }
+
+    /// One-way latency between two stops.
+    pub fn latency_ps(&self, from: usize, to: usize) -> Time {
+        self.hops(from, to) as Time * self.hop_ps
+    }
+
+    /// Round-trip latency (request + response).
+    pub fn round_trip_ps(&self, from: usize, to: usize) -> Time {
+        2 * self.latency_ps(from, to)
+    }
+
+    /// Mean one-way latency from a stop to a uniformly random slice — the
+    /// average NUCA penalty baked into a flat L3 latency number.
+    pub fn mean_latency_ps(&self, from: usize) -> Time {
+        let total: Time = (0..self.stops).map(|to| self.latency_ps(from, to)).sum();
+        total / self.stops as Time
+    }
+
+    /// Worst-case one-way latency from any stop.
+    pub fn max_latency_ps(&self) -> Time {
+        (self.stops / 2) as Time * self.hop_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shorter_direction_wins() {
+        let r = RingInterconnect::new(8, 100);
+        assert_eq!(r.hops(0, 1), 1);
+        assert_eq!(r.hops(0, 7), 1); // wraps the other way
+        assert_eq!(r.hops(0, 4), 4); // diameter
+        assert_eq!(r.hops(3, 3), 0);
+        assert_eq!(r.hops(6, 2), 4);
+    }
+
+    #[test]
+    fn latency_is_symmetric() {
+        let r = RingInterconnect::paper_edge();
+        for a in 0..8 {
+            for b in 0..8 {
+                assert_eq!(r.latency_ps(a, b), r.latency_ps(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_ring_nuca_spread() {
+        // 8 stops at one 4 GHz cycle per hop: local slice free, farthest
+        // slice 4 cycles away — a 0..=4-cycle NUCA spread on top of the
+        // 27-cycle flat L3 latency.
+        let r = RingInterconnect::paper_edge();
+        assert_eq!(r.latency_ps(0, 0), 0);
+        assert_eq!(r.max_latency_ps(), 1000); // 4 hops x 250 ps
+        // Mean over all 8 slices: (0+1+2+3+4+3+2+1)/8 = 2 hops.
+        assert_eq!(r.mean_latency_ps(0), 500);
+    }
+
+    #[test]
+    fn round_trip_doubles() {
+        let r = RingInterconnect::paper_edge();
+        assert_eq!(r.round_trip_ps(0, 4), 2 * r.latency_ps(0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stop")]
+    fn zero_stops_rejected() {
+        let _ = RingInterconnect::new(0, 1);
+    }
+}

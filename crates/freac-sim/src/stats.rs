@@ -1,0 +1,76 @@
+//! Occupancy and wait accounting for timing resources.
+
+use crate::Time;
+
+/// Aggregate statistics of a resource.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Requests issued.
+    pub requests: u64,
+    /// Total time the resource spent servicing requests.
+    pub busy_time: Time,
+    /// Total time requests spent waiting for the resource.
+    pub wait_time: Time,
+    /// Completion time of the latest request.
+    pub last_completion: Time,
+}
+
+impl SimStats {
+    /// Records one serviced request.
+    pub fn record(&mut self, arrival: Time, start: Time, complete: Time) {
+        self.requests += 1;
+        self.busy_time += complete - start;
+        self.wait_time += start - arrival;
+        self.last_completion = self.last_completion.max(complete);
+    }
+
+    /// Mean wait per request in picoseconds (0 if no requests).
+    pub fn mean_wait(&self) -> Time {
+        if self.requests == 0 {
+            0
+        } else {
+            self.wait_time / self.requests
+        }
+    }
+
+    /// Utilization of the resource over `[0, horizon]` in percent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn utilization_pct(&self, horizon: Time) -> u32 {
+        assert!(horizon > 0, "horizon must be positive");
+        (self.busy_time * 100 / horizon).min(100) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = SimStats::default();
+        s.record(0, 5, 15);
+        s.record(10, 15, 18);
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.busy_time, 13);
+        assert_eq!(s.wait_time, 10);
+        assert_eq!(s.last_completion, 18);
+        assert_eq!(s.mean_wait(), 5);
+    }
+
+    #[test]
+    fn utilization() {
+        let mut s = SimStats::default();
+        s.record(0, 0, 50);
+        assert_eq!(s.utilization_pct(100), 50);
+        assert_eq!(s.utilization_pct(40), 100); // clamped
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = SimStats::default();
+        assert_eq!(s.mean_wait(), 0);
+    }
+}

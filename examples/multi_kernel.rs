@@ -1,0 +1,60 @@
+//! Multi-kernel offload sessions: an edge-inference-style pipeline
+//! (CONV -> FC) interleaved with an AES encryption job, showing how FReaC
+//! Cache amortizes its one-time flush and reuses resident configurations
+//! — the scheduling question an OS-level runtime would face.
+//!
+//! Run with: `cargo run --release --example multi_kernel`
+
+use freac::core::exec::ExecConfig;
+use freac::core::{Accelerator, AcceleratorTile, OffloadSession, SlicePartition};
+use freac::experiments::runner::spec_of;
+use freac::kernels::{kernel, KernelId, BATCH};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = ExecConfig {
+        partition: SlicePartition::end_to_end(),
+        slices: 8,
+        dirty_fraction: 0.5,
+    };
+    let tile = AcceleratorTile::new(1)?;
+    let accel = |id: KernelId| -> Result<_, Box<dyn std::error::Error>> {
+        Ok((id, Accelerator::map(&kernel(id).circuit(), &tile)?))
+    };
+    let conv = accel(KernelId::Conv)?;
+    let fc = accel(KernelId::Fc)?;
+    let aes = accel(KernelId::Aes)?;
+
+    // Strategy A: group work per kernel (two inference batches, then the
+    // encryption job).
+    let schedule_a = [&conv, &conv, &fc, &fc, &aes];
+    // Strategy B: strict round-robin between inference stages and crypto.
+    let schedule_b = [&conv, &fc, &aes, &conv, &fc];
+
+    for (label, plan) in [("grouped", &schedule_a[..]), ("interleaved", &schedule_b[..])] {
+        let mut session = OffloadSession::begin(cfg)?;
+        for (id, a) in plan.iter() {
+            let spec = spec_of(*id, &kernel(*id).workload(BATCH / 16)); // small batches
+            session.offload(a, &spec)?;
+        }
+        println!("strategy: {label}");
+        println!(
+            "  one-time flush+lock: {:.1} us",
+            session.flush_lock_ps() as f64 / 1e6
+        );
+        for r in session.runs() {
+            println!(
+                "  {:5}  reconfig={}  config {:.1} us  kernel {:.1} us",
+                r.name,
+                if r.reconfigured { "yes" } else { "no " },
+                r.config_ps as f64 / 1e6,
+                r.run.kernel_time_ps as f64 / 1e6,
+            );
+        }
+        println!(
+            "  total {:.1} us, {} config bytes moved\n",
+            session.total_ps() as f64 / 1e6,
+            session.config_bytes()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Regenerates every table and figure of the paper's evaluation and prints
+//! them as aligned text tables.
+//!
+//! Run with: `cargo run --release --example paper_figures`
+//! (takes a couple of minutes: every kernel is mapped, folded, and timed
+//! across tile sizes, slice counts, and baselines).
+
+use freac::experiments as exp;
+
+fn main() {
+    println!("{}", exp::tables::table1());
+    println!("{}", exp::tables::table2());
+    println!("{}", exp::area::area_report());
+    println!("{}", exp::fig08::run().table());
+    println!("{}", exp::fig09::run().table());
+    println!("{}", exp::fig10::run().table());
+    println!("{}", exp::fig11::run().table());
+
+    let f12 = exp::fig12::run();
+    println!("{}", f12.speedup_table());
+    println!("{}", f12.power_table());
+    println!("{}", f12.perf_per_watt_table());
+    let (vs1, vs8, ppw) = f12.geomeans();
+    println!(
+        "Fig. 12 geomeans: {vs1:.2}x vs 1 thread, {vs8:.2}x vs 8 threads, {ppw:.2}x perf/W vs 8 threads"
+    );
+    println!("                  (paper: 8.2x, 3x, 6.1x)\n");
+
+    println!("{}", exp::fig13::run().table());
+
+    let f14 = exp::fig14::run();
+    println!("{}", f14.table());
+    let (vs_ec8, vs_ec16) = f14.geomean_advantage();
+    println!("Fig. 14 geomeans: FReaC is {vs_ec8:.2}x vs 8 ECs, {vs_ec16:.2}x vs 16 ECs (paper: ~4x, ~2x)\n");
+
+    println!("{}", exp::fig15::run().table());
+}

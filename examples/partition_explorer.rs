@@ -1,0 +1,75 @@
+//! Explore the compute-to-memory trade-off of a slice: how the way split
+//! changes tile count, operand bandwidth, and kernel time for a chosen
+//! benchmark — the design-space question behind the paper's Figs. 9-11.
+//!
+//! Run with: `cargo run --release --example partition_explorer [KERNEL]`
+//! where KERNEL is one of AES CONV DOT FC GEMM KMP NW SRT STN2 STN3 VADD
+//! (default GEMM).
+
+use freac::core::exec::{max_tiles_per_slice, run_kernel, ExecConfig};
+use freac::core::{Accelerator, AcceleratorTile, SlicePartition};
+use freac::experiments::render::TextTable;
+use freac::experiments::runner::spec_of;
+use freac::kernels::{all_kernels, kernel, KernelId, BATCH};
+
+fn parse_kernel(arg: Option<String>) -> KernelId {
+    let Some(name) = arg else {
+        return KernelId::Gemm;
+    };
+    all_kernels()
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(&name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown kernel '{name}', using GEMM");
+            KernelId::Gemm
+        })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let id = parse_kernel(std::env::args().nth(1));
+    let k = kernel(id);
+    let w = k.workload(BATCH);
+    let spec = spec_of(id, &w);
+    println!(
+        "{}: {} items, {} cycles/item, working set {} KB per tile\n",
+        id,
+        w.items,
+        w.cycles_per_item,
+        w.working_set_per_tile / 1024
+    );
+
+    let tile = AcceleratorTile::new(1)?;
+    let accel = Accelerator::map(&k.circuit(), &tile)?;
+
+    let mut t = TextTable::new(
+        format!("{id}: slice partition sweep (tile size 1, single slice)"),
+        &["partition", "MCCs", "spad KB", "tiles", "kernel us", "bound"],
+    );
+    for p in SlicePartition::sweep(0) {
+        let tiles = max_tiles_per_slice(&p, 1, &spec);
+        let cfg = ExecConfig {
+            partition: p,
+            slices: 1,
+            dirty_fraction: 0.5,
+        };
+        let run = run_kernel(&accel, &spec, &cfg);
+        let (tiles_s, time_s, bound_s) = match (&tiles, &run) {
+            (Ok(n), Ok(r)) => (
+                n.to_string(),
+                format!("{:.1}", r.kernel_time_ps as f64 / 1e6),
+                if r.memory_bound { "memory" } else { "compute" }.to_owned(),
+            ),
+            (Err(_), _) | (_, Err(_)) => ("-".into(), "-".into(), "does not fit".into()),
+        };
+        t.row(vec![
+            format!("{}c/{}s", p.compute_ways(), p.scratchpad_ways()),
+            p.mccs().to_string(),
+            (p.scratchpad_bytes() / 1024).to_string(),
+            tiles_s,
+            time_s,
+            bound_s,
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}

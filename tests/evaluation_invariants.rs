@@ -1,0 +1,157 @@
+//! Cross-crate invariants of the evaluation pipeline — the relationships
+//! the paper's figures rely on, checked end to end.
+
+use freac::core::{Accelerator, AcceleratorTile, SlicePartition};
+use freac::experiments::runner::{best_freac_run, freac_run_at, map_kernel};
+use freac::kernels::{all_kernels, kernel, KernelId, BATCH};
+use freac::netlist::NetlistStats;
+
+#[test]
+fn every_kernel_maps_on_every_tile_size() {
+    for id in all_kernels() {
+        for t in [1usize, 2, 4, 8, 16, 32] {
+            let accel = map_kernel(id, t)
+                .unwrap_or_else(|e| panic!("{id} fails to map on tile {t}: {e}"));
+            assert!(accel.fold_cycles() >= 1);
+            assert!(
+                accel.fold_cycles() <= 2048,
+                "{id} at tile {t} exceeds configuration rows"
+            );
+        }
+    }
+}
+
+#[test]
+fn fold_cycles_shrink_or_hold_with_tile_size() {
+    for id in all_kernels() {
+        let mut prev = usize::MAX;
+        for t in [1usize, 2, 4, 8, 16, 32] {
+            let f = map_kernel(id, t).expect("maps").fold_cycles();
+            assert!(f <= prev, "{id}: folds rose from {prev} to {f} at tile {t}");
+            prev = f;
+        }
+    }
+}
+
+#[test]
+fn bitstream_grows_with_circuit_size() {
+    let small = map_kernel(KernelId::Vadd, 1).expect("vadd maps");
+    let large = map_kernel(KernelId::Aes, 1).expect("aes maps");
+    assert!(large.bitstream().lut_config_bytes() > small.bitstream().lut_config_bytes());
+    // Config memory never exceeds what the sub-arrays hold: 4 sub-arrays
+    // x 8 KB per cluster.
+    for id in all_kernels() {
+        let a = map_kernel(id, 1).expect("maps");
+        assert!(a.bitstream().lut_config_bytes() <= 4 * 8 * 1024);
+    }
+}
+
+#[test]
+fn effective_clock_equals_tile_clock_over_folds() {
+    for id in [KernelId::Aes, KernelId::Gemm, KernelId::Kmp] {
+        for t in [1usize, 16] {
+            let a = map_kernel(id, t).expect("maps");
+            let tile = AcceleratorTile::new(t).expect("tile");
+            let expect = tile.clock().freq_ghz() * 1000.0 / a.fold_cycles() as f64;
+            assert!((a.effective_clock_mhz() - expect).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn mapped_stats_preserve_macs_and_io() {
+    for id in all_kernels() {
+        let k = kernel(id);
+        let raw = NetlistStats::of(&k.circuit());
+        let mapped = map_kernel(id, 4).expect("maps");
+        let post = mapped.stats();
+        assert_eq!(raw.macs, post.macs, "{id}: MACs survive mapping");
+        assert_eq!(raw.word_inputs, post.word_inputs, "{id}: inputs survive");
+        assert_eq!(raw.word_outputs, post.word_outputs, "{id}: outputs survive");
+        // Decomposition usually adds LUTs, but support reduction and
+        // constant folding (e.g. dead ROM columns) can also remove some —
+        // only the width bound is an invariant.
+        assert!(
+            post.luts_by_width.iter().skip(5).all(|&c| c == 0),
+            "{id}: every mapped LUT fits 4 inputs"
+        );
+    }
+}
+
+#[test]
+fn slice_count_scales_throughput_until_a_roofline() {
+    for id in [KernelId::Gemm, KernelId::Kmp] {
+        let t1 = best_freac_run(id, SlicePartition::end_to_end(), 1)
+            .expect("runs")
+            .run
+            .kernel_time_ps;
+        let t8 = best_freac_run(id, SlicePartition::end_to_end(), 8)
+            .expect("runs")
+            .run
+            .kernel_time_ps;
+        let scaling = t1 as f64 / t8 as f64;
+        assert!(
+            (1.0..=8.5).contains(&scaling),
+            "{id}: 8-slice scaling {scaling}"
+        );
+    }
+}
+
+#[test]
+fn memory_bound_kernels_saturate_and_compute_bound_do_not() {
+    // VADD streams far more data than compute: adding slices eventually
+    // stops helping (DRAM roofline). AES is compute bound: 8 slices buy
+    // close to 8x.
+    let scale = |id: KernelId| {
+        let t1 = best_freac_run(id, SlicePartition::end_to_end(), 1)
+            .expect("runs")
+            .run
+            .kernel_time_ps;
+        let t8 = best_freac_run(id, SlicePartition::end_to_end(), 8)
+            .expect("runs")
+            .run
+            .kernel_time_ps;
+        t1 as f64 / t8 as f64
+    };
+    let vadd = scale(KernelId::Vadd);
+    let aes = scale(KernelId::Aes);
+    assert!(aes > 6.0, "AES should scale with slices, got {aes}");
+    assert!(vadd < aes, "VADD saturates earlier than AES ({vadd} vs {aes})");
+}
+
+#[test]
+fn working_sets_gate_tile_counts() {
+    // GEMM cannot fill all 32 MCCs with size-1 tiles under the 256 KB
+    // scratchpad, but AES can (Fig. 9's contrast).
+    let gemm = freac_run_at(KernelId::Gemm, 1, SlicePartition::max_compute(), 1)
+        .expect("gemm runs");
+    let aes = freac_run_at(KernelId::Aes, 1, SlicePartition::max_compute(), 1)
+        .expect("aes runs");
+    assert!(gemm.tiles_per_slice < 32);
+    assert_eq!(aes.tiles_per_slice, 32);
+}
+
+#[test]
+fn energy_and_power_are_physical() {
+    for id in all_kernels() {
+        let b = best_freac_run(id, SlicePartition::end_to_end(), 8).expect("runs");
+        assert!(b.run.power_w > 0.1, "{id}: leakage floor");
+        assert!(
+            b.run.power_w < 25.0,
+            "{id}: power {} W is beyond edge-class budgets",
+            b.run.power_w
+        );
+        assert!(b.run.energy.dynamic_pj() > 0.0);
+    }
+}
+
+#[test]
+fn accelerator_reuse_is_cheaper_than_first_setup() {
+    // Once configured, re-running with new data skips flush+config: the
+    // setup breakdown must expose that (fill is a small part of setup for
+    // a dirty cache).
+    let b = best_freac_run(KernelId::Conv, SlicePartition::end_to_end(), 8).expect("runs");
+    let s = b.run.setup;
+    assert!(s.flush_ps > s.fill_ps, "flush dominates first-time setup");
+    assert!(s.total_ps() > s.fill_ps);
+}
