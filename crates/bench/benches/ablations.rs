@@ -1,19 +1,15 @@
 //! Ablations of the design choices (LUT mode, large-tile clock, LUT
 //! packing, fold-scheduling policy, LLC inclusion).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use freac_experiments::ablations;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", ablations::lut_mode().table());
     println!("{}", ablations::clock_penalty().table());
     println!("{}", ablations::packing().table());
     println!("{}", ablations::scheduler_policy().table());
     println!("{}", ablations::inclusion().table());
-    c.bench_function("ablations/scheduler-policy", |b| {
-        b.iter(|| ablations::scheduler_policy().rows.len())
+    bench::bench_function("ablations/scheduler-policy", 10, || {
+        ablations::scheduler_policy().rows.len()
     });
 }
-
-criterion_group!(name = benches; config = Criterion::default().sample_size(10); targets = bench);
-criterion_main!(benches);

@@ -1,13 +1,10 @@
 //! Regenerates the Sec. V-A area-overhead accounting (3.5 % / 15.3 %).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", freac_experiments::area::area_report());
-    c.bench_function("area/overhead-report", |b| {
-        b.iter(freac_power::mcc::slice_overhead_report)
-    });
+    bench::bench_function(
+        "area/overhead-report",
+        100,
+        freac_power::mcc::slice_overhead_report,
+    );
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

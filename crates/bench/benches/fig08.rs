@@ -1,19 +1,13 @@
 //! Fig. 8: folding cycles vs accelerator tile size.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use freac_kernels::KernelId;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", freac_experiments::fig08::run().table());
     // Time the heaviest map-and-fold (AES onto one cluster).
-    c.bench_function("fig08/map-aes-tile1", |b| {
-        b.iter(|| {
-            freac_experiments::runner::map_kernel(KernelId::Aes, 1)
-                .expect("aes maps onto one cluster")
-                .fold_cycles()
-        })
+    bench::bench_function("fig08/map-aes-tile1", 10, || {
+        freac_experiments::runner::map_kernel(KernelId::Aes, 1)
+            .expect("aes maps onto one cluster")
+            .fold_cycles()
     });
 }
-
-criterion_group!(name = benches; config = Criterion::default().sample_size(10); targets = bench);
-criterion_main!(benches);

@@ -1,13 +1,8 @@
 //! Fig. 9: max accelerator tiles vs compute:memory split.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", freac_experiments::fig09::run().table());
-    c.bench_function("fig09/full-sweep", |b| {
-        b.iter(|| freac_experiments::fig09::run().rows.len())
+    bench::bench_function("fig09/full-sweep", 10, || {
+        freac_experiments::fig09::run().rows.len()
     });
 }
-
-criterion_group!(name = benches; config = Criterion::default().sample_size(10); targets = bench);
-criterion_main!(benches);

@@ -1,24 +1,13 @@
 //! Fig. 10: speedup vs accelerator tile size (single slice).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use freac_core::SlicePartition;
 use freac_kernels::KernelId;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", freac_experiments::fig10::run().table());
-    c.bench_function("fig10/gemm-tile8", |b| {
-        b.iter(|| {
-            freac_experiments::runner::freac_run_at(
-                KernelId::Gemm,
-                8,
-                SlicePartition::max_compute(),
-                1,
-            )
+    bench::bench_function("fig10/gemm-tile8", 10, || {
+        freac_experiments::runner::freac_run_at(KernelId::Gemm, 8, SlicePartition::max_compute(), 1)
             .expect("gemm runs at tile 8")
             .kernel_cycles
-        })
     });
 }
-
-criterion_group!(name = benches; config = Criterion::default().sample_size(10); targets = bench);
-criterion_main!(benches);

@@ -1,23 +1,13 @@
 //! Fig. 11: speedup vs MCC:memory ratio (single slice).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use freac_core::SlicePartition;
 use freac_kernels::KernelId;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", freac_experiments::fig11::run().table());
-    c.bench_function("fig11/best-run-stn2", |b| {
-        b.iter(|| {
-            freac_experiments::runner::best_freac_run(
-                KernelId::Stn2,
-                SlicePartition::balanced(),
-                1,
-            )
+    bench::bench_function("fig11/best-run-stn2", 10, || {
+        freac_experiments::runner::best_freac_run(KernelId::Stn2, SlicePartition::balanced(), 1)
             .expect("stn2 runs under the balanced split")
             .tile_mccs
-        })
     });
 }
-
-criterion_group!(name = benches; config = Criterion::default().sample_size(10); targets = bench);
-criterion_main!(benches);

@@ -1,30 +1,22 @@
 //! Fig. 12: end-to-end speedup, power, and perf/W vs slice count with CPU
 //! and FPGA baselines — the paper's headline comparison.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use freac_core::SlicePartition;
 use freac_kernels::KernelId;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let fig = freac_experiments::fig12::run();
     println!("{}", fig.speedup_table());
     println!("{}", fig.power_table());
     println!("{}", fig.perf_per_watt_table());
     let (vs1, vs8, ppw) = fig.geomeans();
-    println!("geomeans: {vs1:.2}x vs 1T, {vs8:.2}x vs 8T, {ppw:.2}x perf/W (paper: 8.2x / 3x / 6.1x)\n");
-    c.bench_function("fig12/freac-8slices-dot", |b| {
-        b.iter(|| {
-            freac_experiments::runner::best_freac_run(
-                KernelId::Dot,
-                SlicePartition::end_to_end(),
-                8,
-            )
+    println!(
+        "geomeans: {vs1:.2}x vs 1T, {vs8:.2}x vs 8T, {ppw:.2}x perf/W (paper: 8.2x / 3x / 6.1x)\n"
+    );
+    bench::bench_function("fig12/freac-8slices-dot", 10, || {
+        freac_experiments::runner::best_freac_run(KernelId::Dot, SlicePartition::end_to_end(), 8)
             .expect("dot runs on 8 slices")
             .run
             .kernel_time_ps
-        })
     });
 }
-
-criterion_group!(name = benches; config = Criterion::default().sample_size(10); targets = bench);
-criterion_main!(benches);

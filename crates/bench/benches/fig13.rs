@@ -1,13 +1,8 @@
 //! Fig. 13: end-to-end vs kernel-only speedup.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", freac_experiments::fig13::run().table());
-    c.bench_function("fig13/full", |b| {
-        b.iter(|| freac_experiments::fig13::run().rows.len())
+    bench::bench_function("fig13/full", 10, || {
+        freac_experiments::fig13::run().rows.len()
     });
 }
-
-criterion_group!(name = benches; config = Criterion::default().sample_size(10); targets = bench);
-criterion_main!(benches);

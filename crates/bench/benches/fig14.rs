@@ -1,16 +1,11 @@
 //! Fig. 14: embedded cores in the LLC vs FReaC Cache.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench(c: &mut Criterion) {
+fn main() {
     let fig = freac_experiments::fig14::run();
     println!("{}", fig.table());
     let (vs8, vs16) = fig.geomean_advantage();
     println!("geomeans: {vs8:.2}x vs 8 ECs, {vs16:.2}x vs 16 ECs (paper: ~4x / ~2x)\n");
-    c.bench_function("fig14/full", |b| {
-        b.iter(|| freac_experiments::fig14::run().rows.len())
+    bench::bench_function("fig14/full", 10, || {
+        freac_experiments::fig14::run().rows.len()
     });
 }
-
-criterion_group!(name = benches; config = Criterion::default().sample_size(10); targets = bench);
-criterion_main!(benches);

@@ -1,18 +1,11 @@
 //! Regenerates Tables I and II and times their model evaluation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", freac_experiments::tables::table1());
     println!("{}", freac_experiments::tables::table2());
-    c.bench_function("tables/render", |b| {
-        b.iter(|| {
-            let t1 = freac_experiments::tables::table1();
-            let t2 = freac_experiments::tables::table2();
-            (t1.len(), t2.len())
-        })
+    bench::bench_function("tables/render", 100, || {
+        let t1 = freac_experiments::tables::table1();
+        let t2 = freac_experiments::tables::table2();
+        (t1.len(), t2.len())
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

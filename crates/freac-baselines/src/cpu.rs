@@ -132,8 +132,7 @@ impl CpuModel {
     /// benchmark's data-generation loop, at [`INIT_CYCLES_PER_WORD`] per
     /// word — bounded by DRAM bandwidth when it spills.
     pub fn init_time_ps(&self, bytes: u64, threads: usize, spills_to_dram: bool) -> Time {
-        let store_cycles =
-            bytes.div_ceil(4) as f64 * INIT_CYCLES_PER_WORD / threads as f64;
+        let store_cycles = bytes.div_ceil(4) as f64 * INIT_CYCLES_PER_WORD / threads as f64;
         let core_s = store_cycles / (PS_PER_S as f64 / self.clock.period_ps() as f64);
         let s = if spills_to_dram {
             core_s.max(bytes as f64 / (MULTI_THREAD_DRAM_EFFICIENCY * 76.8e9))

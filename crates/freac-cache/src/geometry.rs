@@ -73,7 +73,10 @@ impl LlcGeometry {
     /// Panics if `compute_ways` is odd or exceeds the slice's ways.
     pub fn mccs_for_ways(&self, compute_ways: usize) -> usize {
         assert!(compute_ways <= self.ways, "more ways than the slice has");
-        assert!(compute_ways % 2 == 0, "ways convert to compute in pairs");
+        assert!(
+            compute_ways.is_multiple_of(2),
+            "ways convert to compute in pairs"
+        );
         (compute_ways / 2) * self.data_arrays_per_way
     }
 
@@ -169,8 +172,8 @@ mod tests {
     fn set_mapping_is_line_granular() {
         let g = LlcGeometry::paper_edge();
         assert_eq!(g.set_of(0), g.set_of(63)); // same line, same set
-        // Consecutive lines rotate through slices; the set advances once a
-        // full slice round-robin completes.
+                                               // Consecutive lines rotate through slices; the set advances once a
+                                               // full slice round-robin completes.
         assert_ne!(g.slice_of(0), g.slice_of(64));
         assert_eq!(g.set_of(0), g.set_of(64));
         let stride = (g.slices * g.line_bytes) as u64;
@@ -197,7 +200,10 @@ mod tests {
             let addr = i * 64;
             if g.slice_of(addr) == 3 {
                 let local = g.slice_local_addr(addr);
-                assert!(seen.insert(local, addr).is_none(), "local address collision");
+                assert!(
+                    seen.insert(local, addr).is_none(),
+                    "local address collision"
+                );
             }
         }
     }

@@ -181,11 +181,7 @@ impl MemoryHierarchy {
             .collect();
         let l3 = (0..config.llc.slices)
             .map(|_| {
-                SetAssocCache::new(
-                    config.llc.sets_per_slice(),
-                    config.l3_effective_ways,
-                    line,
-                )
+                SetAssocCache::new(config.llc.sets_per_slice(), config.l3_effective_ways, line)
             })
             .collect();
         MemoryHierarchy {
@@ -326,8 +322,7 @@ mod tests {
         // 4 MB working set streamed repeatedly: with 20 ways it mostly fits
         // (10 MB LLC); with 2 ways (1 MB) it thrashes to DRAM.
         let run = |ways: usize| {
-            let mut h =
-                MemoryHierarchy::new(HierarchyConfig::paper_edge().with_l3_ways(ways));
+            let mut h = MemoryHierarchy::new(HierarchyConfig::paper_edge().with_l3_ways(ways));
             let lines = 4 * 1024 * 1024 / 64;
             for _ in 0..3 {
                 for i in 0..lines as u64 {
@@ -386,7 +381,10 @@ mod tests {
         let near = lat_of(0);
         // Line ≡ 4 maps to slice 4: ring diameter from stop 0.
         let far = lat_of(4);
-        assert!(far > near, "far slice {far} must cost more than near {near}");
+        assert!(
+            far > near,
+            "far slice {far} must cost more than near {near}"
+        );
         assert_eq!(far - near, 8, "4 hops x 2 cycles round trip");
         // The mean over all 8 slices equals the flat latency.
         let total: u64 = (0..8u64).map(&mut lat_of).sum();
@@ -398,7 +396,9 @@ mod tests {
         // A tiny strictly-inclusive L3 (1 way) behind a normal L1: evicting
         // a line from L3 must also drop it from L1, so re-reading it misses
         // all the way to DRAM.
-        let mut cfg = HierarchyConfig::paper_edge().with_l3_ways(1).with_inclusion();
+        let mut cfg = HierarchyConfig::paper_edge()
+            .with_l3_ways(1)
+            .with_inclusion();
         cfg.llc.slices = 1;
         let mut h = MemoryHierarchy::new(cfg);
         // Two addresses mapping to the same L3 set but different L1 sets:

@@ -242,7 +242,10 @@ mod tests {
         let mut c = SetAssocCache::new(4, 2, 64);
         assert!(matches!(
             c.access(0x100, false),
-            AccessOutcome::Miss { writeback: None, evicted: None }
+            AccessOutcome::Miss {
+                writeback: None,
+                evicted: None
+            }
         ));
         assert!(c.access(0x100, false).is_hit());
         assert!(c.access(0x13F, false).is_hit()); // same line

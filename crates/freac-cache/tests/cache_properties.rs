@@ -1,97 +1,117 @@
-//! Property tests for the cache substrate.
+//! Property tests for the cache substrate, driven by deterministic seeded
+//! case loops (`freac_rand::cases`).
 
 use freac_cache::{AccessOutcome, HierarchyConfig, LlcGeometry, MemoryHierarchy, SetAssocCache};
-use proptest::prelude::*;
+use freac_rand::{cases, Rng64};
 
-fn addr_stream() -> impl Strategy<Value = Vec<(u64, bool)>> {
-    prop::collection::vec((0u64..(1 << 22), any::<bool>()), 1..300)
+fn addr_stream(rng: &mut Rng64) -> Vec<(u64, bool)> {
+    let len = 1 + rng.index(299);
+    (0..len).map(|_| (rng.below(1 << 22), rng.bool())).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn accessed_lines_are_always_resident_afterwards(stream in addr_stream()) {
+#[test]
+fn accessed_lines_are_always_resident_afterwards() {
+    cases(64, 0xCAC1, |rng| {
+        let stream = addr_stream(rng);
         let mut c = SetAssocCache::new(16, 4, 64);
         for &(addr, write) in &stream {
             c.access(addr, write);
-            prop_assert!(c.probe(addr), "line just accessed must be resident");
+            assert!(c.probe(addr), "line just accessed must be resident");
         }
-    }
+    });
+}
 
-    #[test]
-    fn hit_plus_miss_equals_accesses(stream in addr_stream()) {
+#[test]
+fn hit_plus_miss_equals_accesses() {
+    cases(64, 0xCAC2, |rng| {
+        let stream = addr_stream(rng);
         let mut c = SetAssocCache::new(32, 2, 64);
         for &(addr, write) in &stream {
             c.access(addr, write);
         }
         let s = c.stats();
-        prop_assert_eq!(s.hits + s.misses, stream.len() as u64);
-        prop_assert!(s.writebacks <= s.misses);
-    }
+        assert_eq!(s.hits + s.misses, stream.len() as u64);
+        assert!(s.writebacks <= s.misses);
+    });
+}
 
-    #[test]
-    fn dirty_lines_only_from_writes(stream in addr_stream()) {
+#[test]
+fn dirty_lines_only_from_writes() {
+    cases(64, 0xCAC3, |rng| {
+        let stream = addr_stream(rng);
         let mut c = SetAssocCache::new(16, 4, 64);
         let writes = stream.iter().filter(|&&(_, w)| w).count() as u64;
         for &(addr, write) in &stream {
             c.access(addr, write);
         }
         // There can never be more dirty lines than distinct written lines.
-        prop_assert!(c.dirty_lines() <= writes);
+        assert!(c.dirty_lines() <= writes);
         if writes == 0 {
-            prop_assert_eq!(c.dirty_lines(), 0);
-            prop_assert_eq!(c.flush_all(), 0);
+            assert_eq!(c.dirty_lines(), 0);
+            assert_eq!(c.flush_all(), 0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn eviction_reports_are_consistent(stream in addr_stream()) {
+#[test]
+fn eviction_reports_are_consistent() {
+    cases(64, 0xCAC4, |rng| {
+        let stream = addr_stream(rng);
         let mut c = SetAssocCache::new(4, 2, 64);
         for &(addr, write) in &stream {
             if let AccessOutcome::Miss { writeback, evicted } = c.access(addr, write) {
                 // A writeback implies an eviction of the same line.
                 if let Some(wb) = writeback {
-                    prop_assert_eq!(evicted, Some(wb));
+                    assert_eq!(evicted, Some(wb));
                 }
                 // The evicted line is gone.
                 if let Some(e) = evicted {
-                    prop_assert!(!c.probe(e));
+                    assert!(!c.probe(e));
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn hierarchy_levels_are_exhaustive(stream in addr_stream()) {
+#[test]
+fn hierarchy_levels_are_exhaustive() {
+    cases(64, 0xCAC5, |rng| {
+        let stream = addr_stream(rng);
         let mut h = MemoryHierarchy::new(HierarchyConfig::paper_edge());
         for &(addr, write) in &stream {
             h.access(0, addr, write);
         }
         let s = h.stats();
-        prop_assert_eq!(
+        assert_eq!(
             s.l1_hits + s.l2_hits + s.l3_hits + s.dram_accesses,
             stream.len() as u64
         );
         // Latency is at least the L1 latency per access.
-        prop_assert!(s.total_latency >= 2 * stream.len() as u64);
-    }
+        assert!(s.total_latency >= 2 * stream.len() as u64);
+    });
+}
 
-    #[test]
-    fn slice_mapping_round_trips(addrs in prop::collection::vec(0u64..(1 << 30), 1..200)) {
+#[test]
+fn slice_mapping_round_trips() {
+    cases(64, 0xCAC6, |rng| {
         let g = LlcGeometry::paper_edge();
-        for addr in addrs {
+        let len = 1 + rng.index(199);
+        for _ in 0..len {
+            let addr = rng.below(1 << 30);
             let slice = g.slice_of(addr);
-            prop_assert!(slice < g.slices);
+            assert!(slice < g.slices);
             let local = g.slice_local_addr(addr);
-            prop_assert_eq!(g.global_addr(slice, local), addr);
+            assert_eq!(g.global_addr(slice, local), addr);
         }
-    }
+    });
+}
 
-    #[test]
-    fn repeating_a_stream_never_lowers_hits(stream in addr_stream()) {
+#[test]
+fn repeating_a_stream_never_lowers_hits() {
+    cases(64, 0xCAC7, |rng| {
         // Replaying the identical stream a second time cannot produce fewer
         // hits than the first (warm caches are at least as good as cold).
+        let stream = addr_stream(rng);
         let run = |passes: usize| {
             let mut c = SetAssocCache::new(64, 4, 64);
             let mut last_pass_hits = 0;
@@ -104,6 +124,6 @@ proptest! {
             }
             last_pass_hits
         };
-        prop_assert!(run(2) >= run(1));
-    }
+        assert!(run(2) >= run(1));
+    });
 }

@@ -1,5 +1,7 @@
 //! An accelerator: a circuit mapped and folded onto a tile.
 
+use std::sync::Arc;
+
 use freac_fold::{schedule_fold, FoldSchedule, FoldedExecutor};
 use freac_netlist::techmap::{tech_map, TechMapOptions};
 use freac_netlist::{Netlist, NetlistStats, Value};
@@ -39,6 +41,18 @@ impl Accelerator {
             bitstream,
             tile: *tile,
         })
+    }
+
+    /// [`Accelerator::map`], returning the result behind an [`Arc`] so one
+    /// synthesized circuit can be shared across threads (the type is
+    /// immutable and `Send + Sync`; execution state lives in per-call
+    /// executors, never in the accelerator itself).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping and folding failures.
+    pub fn map_shared(circuit: &Netlist, tile: &AcceleratorTile) -> Result<Arc<Self>, CoreError> {
+        Self::map(circuit, tile).map(Arc::new)
     }
 
     /// The circuit's name.
@@ -153,6 +167,32 @@ mod tests {
         let a8 = Accelerator::map(&circuit, &AcceleratorTile::new(8).unwrap()).unwrap();
         assert!(a8.fold_cycles() <= a1.fold_cycles());
         assert!(a8.effective_clock_mhz() >= a1.effective_clock_mhz());
+    }
+
+    #[test]
+    fn accelerators_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Accelerator>();
+        let acc =
+            Accelerator::map_shared(&mac_circuit(), &AcceleratorTile::new(1).unwrap()).unwrap();
+        let clones: Vec<_> = (0..4).map(|_| Arc::clone(&acc)).collect();
+        let outs: Vec<_> = std::thread::scope(|s| {
+            clones
+                .iter()
+                .map(|a| {
+                    s.spawn(move || {
+                        a.execute(&[Value::Word(6), Value::Word(7), Value::Word(8)], 1)
+                            .unwrap()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for out in outs {
+            assert_eq!(out, vec![Value::Word(50)]);
+        }
     }
 
     #[test]

@@ -44,7 +44,12 @@ impl Bitstream {
     /// Panics if the schedule was produced for a different resource envelope
     /// (more LUTs in a step than the tile provides) — pack the schedule you
     /// folded for this tile.
-    pub fn pack(netlist: &Netlist, schedule: &FoldSchedule, mccs: usize, lut_mode: LutMode) -> Self {
+    pub fn pack(
+        netlist: &Netlist,
+        schedule: &FoldSchedule,
+        mccs: usize,
+        lut_mode: LutMode,
+    ) -> Self {
         let per_cluster = lut_mode.luts_per_cluster();
         let slots = mccs * per_cluster;
         let mut clusters = vec![
@@ -447,8 +452,14 @@ mod tests {
         // The 4-cluster tile folds less (fewer steps) but spreads over more
         // sub-arrays.
         assert!(s4.len() <= s1.len());
-        assert_eq!(b1.xbar_config_bytes(), s1.len() * XBAR_CONFIG_BYTES_PER_STEP);
-        assert_eq!(b4.xbar_config_bytes(), s4.len() * 4 * XBAR_CONFIG_BYTES_PER_STEP);
+        assert_eq!(
+            b1.xbar_config_bytes(),
+            s1.len() * XBAR_CONFIG_BYTES_PER_STEP
+        );
+        assert_eq!(
+            b4.xbar_config_bytes(),
+            s4.len() * 4 * XBAR_CONFIG_BYTES_PER_STEP
+        );
         assert!(b1.total_bytes() > 0 && b4.total_bytes() > 0);
     }
 }

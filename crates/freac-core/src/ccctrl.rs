@@ -37,7 +37,9 @@ pub mod regs {
 
 /// Encodes a partition into the SELECT register format.
 pub fn encode_ways(p: &SlicePartition) -> u64 {
-    (p.compute_ways() as u64) | ((p.scratchpad_ways() as u64) << 8) | ((p.cache_ways() as u64) << 16)
+    (p.compute_ways() as u64)
+        | ((p.scratchpad_ways() as u64) << 8)
+        | ((p.cache_ways() as u64) << 16)
 }
 
 /// Decodes the SELECT register format.
@@ -199,7 +201,10 @@ impl CcCtrl {
                 Ok(())
             }
             regs::CONFIG_DATA => {
-                self.require(&[CtrlState::Locked, CtrlState::Configured, CtrlState::Done], "configure")?;
+                self.require(
+                    &[CtrlState::Locked, CtrlState::Configured, CtrlState::Done],
+                    "configure",
+                )?;
                 self.config_bytes += value;
                 self.timing.config_ps += self.config_write_time(value);
                 self.state = CtrlState::Configured;
@@ -270,9 +275,7 @@ impl CcCtrl {
     /// Time to stream `bytes` of configuration: the CC Ctrl writes via the
     /// existing data buses, 4 bytes per cycle per converted way pair.
     fn config_write_time(&self, bytes: u64) -> Time {
-        let pairs = self
-            .partition
-            .map_or(1, |p| (p.compute_ways() / 2).max(1)) as u64;
+        let pairs = self.partition.map_or(1, |p| (p.compute_ways() / 2).max(1)) as u64;
         let cycles = bytes.div_ceil(4 * pairs);
         self.clock.cycles_to_time(cycles)
     }
@@ -330,7 +333,10 @@ mod tests {
         let d = dram();
         assert!(matches!(
             c.store(regs::RUN, 1, &d),
-            Err(CoreError::ProtocolViolation { operation: "run", .. })
+            Err(CoreError::ProtocolViolation {
+                operation: "run",
+                ..
+            })
         ));
     }
 

@@ -74,7 +74,9 @@ pub fn simulate_slice_pass(
 
     let clock = tile.clock();
     let spad = ScratchpadModel::new(
-        partition.scratchpad_ways().max(partition.cache_ways().max(1)),
+        partition
+            .scratchpad_ways()
+            .max(partition.cache_ways().max(1)),
         clock,
     );
     let words_per_cycle = spad.words_per_cycle();
@@ -122,7 +124,9 @@ pub fn roofline_item_cycles(
     let tile = accel.tile();
     let tiles = crate::exec::max_tiles_per_slice(partition, tile.mccs(), spec)?;
     let spad = ScratchpadModel::new(
-        partition.scratchpad_ways().max(partition.cache_ways().max(1)),
+        partition
+            .scratchpad_ways()
+            .max(partition.cache_ways().max(1)),
         tile.clock(),
     );
     let words = (spec.read_words_per_item + spec.write_words_per_item) * tiles as u64;

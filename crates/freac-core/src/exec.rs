@@ -180,7 +180,11 @@ pub fn run_kernel(
     ctrl.store(regs::SELECT, encode_ways(&cfg.partition), &dram)?;
     ctrl.store(regs::FLUSH, 1, &dram)?;
     ctrl.store(regs::LOCK, 1, &dram)?;
-    ctrl.store(regs::CONFIG_DATA, accel.bitstream().total_bytes() as u64, &dram)?;
+    ctrl.store(
+        regs::CONFIG_DATA,
+        accel.bitstream().total_bytes() as u64,
+        &dram,
+    )?;
     if cfg.partition.scratchpad_ways() > 0 && spec.input_bytes > 0 {
         // Slices fill in parallel; each takes its share, capped at its
         // scratchpad capacity (the remainder streams during the run).
@@ -212,8 +216,7 @@ pub fn run_kernel(
         freac_fold::LutMode::Lut4 => 2,
         freac_fold::LutMode::Lut5 => 1,
     };
-    let cluster_reads_per_pass =
-        (sched.lut_evals as u64).div_ceil(tables_per_row) + steps;
+    let cluster_reads_per_pass = (sched.lut_evals as u64).div_ceil(tables_per_row) + steps;
     energy.add_subarray_reads(total_passes * cluster_reads_per_pass);
     energy.add_scratchpad_reads(spec.items * spec.read_words_per_item);
     energy.add_scratchpad_writes(spec.items * spec.write_words_per_item);

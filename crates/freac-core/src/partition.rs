@@ -66,7 +66,7 @@ impl SlicePartition {
                 ),
             });
         }
-        if compute_ways % 2 != 0 {
+        if !compute_ways.is_multiple_of(2) {
             return Err(CoreError::BadPartition {
                 reason: format!("compute ways must be even (got {compute_ways})"),
             });

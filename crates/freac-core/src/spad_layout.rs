@@ -138,10 +138,16 @@ mod tests {
     fn mapping_is_injective() {
         let l = layout();
         let mut seen = std::collections::HashSet::new();
-        for offset in 0..(4096u64) {
+        for offset in 0..4096u64 {
             let loc = l.locate(offset).unwrap();
             assert!(
-                seen.insert((loc.way_slot, loc.data_array, loc.subarray, loc.row, loc.byte_in_row)),
+                seen.insert((
+                    loc.way_slot,
+                    loc.data_array,
+                    loc.subarray,
+                    loc.row,
+                    loc.byte_in_row
+                )),
                 "collision at offset {offset}: {loc:?}"
             );
         }

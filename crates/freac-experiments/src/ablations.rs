@@ -6,13 +6,14 @@
 //! quantifies what it is worth.
 
 use freac_cache::{HierarchyConfig, MemoryHierarchy};
-use freac_core::{Accelerator, AcceleratorTile};
 use freac_fold::{schedule_fold_with, LutMode, SchedulePolicy};
-use freac_kernels::{all_kernels, kernel, KernelId};
+use freac_kernels::{kernel, KernelId};
 use freac_netlist::opt::pack_luts;
 use freac_netlist::techmap::{tech_map, TechMapOptions};
 
+use crate::parallel;
 use crate::render::TextTable;
+use crate::runner::{map_kernel, map_kernel_with_mode};
 
 /// Fold cycles per kernel for 4-LUT vs 5-LUT cluster modes (tile size 1).
 ///
@@ -26,19 +27,14 @@ pub struct LutModeAblation {
 
 /// Runs the LUT-mode ablation.
 pub fn lut_mode() -> LutModeAblation {
-    let rows = all_kernels()
-        .into_iter()
-        .map(|id| {
-            let circuit = kernel(id).circuit();
-            let folds = |mode: LutMode| {
-                let tile = AcceleratorTile::with_mode(1, mode).expect("tile 1 is valid");
-                Accelerator::map(&circuit, &tile)
-                    .expect("kernel circuits map in both modes")
-                    .fold_cycles()
-            };
-            (id, folds(LutMode::Lut4), folds(LutMode::Lut5))
-        })
-        .collect();
+    let rows = parallel::map_kernels(|id| {
+        let folds = |mode: LutMode| {
+            map_kernel_with_mode(id, 1, mode)
+                .expect("kernel circuits map in both modes")
+                .fold_cycles()
+        };
+        (id, folds(LutMode::Lut4), folds(LutMode::Lut5))
+    });
     LutModeAblation { rows }
 }
 
@@ -72,20 +68,16 @@ pub struct ClockPenaltyAblation {
 
 /// Runs the clock-penalty ablation.
 pub fn clock_penalty() -> ClockPenaltyAblation {
-    let rows = all_kernels()
-        .into_iter()
-        .map(|id| {
-            let k = kernel(id);
-            let w = k.workload(freac_kernels::BATCH);
-            let tile = AcceleratorTile::new(16).expect("tile 16 is valid");
-            let accel = Accelerator::map(&k.circuit(), &tile).expect("maps");
-            let folds = accel.fold_cycles();
-            let cycles_per_item = w.cycles_per_item as f64 * folds as f64;
-            let real = cycles_per_item * tile.clock().period_ps() as f64;
-            let counterfactual = cycles_per_item * 250.0;
-            (id, folds, real, counterfactual)
-        })
-        .collect();
+    let rows = parallel::map_kernels(|id| {
+        let k = kernel(id);
+        let w = k.workload(freac_kernels::BATCH);
+        let accel = map_kernel(id, 16).expect("tile 16 maps");
+        let folds = accel.fold_cycles();
+        let cycles_per_item = w.cycles_per_item as f64 * folds as f64;
+        let real = cycles_per_item * accel.tile().clock().period_ps() as f64;
+        let counterfactual = cycles_per_item * 250.0;
+        (id, folds, real, counterfactual)
+    });
     ClockPenaltyAblation { rows }
 }
 
@@ -121,21 +113,24 @@ pub struct PackingAblation {
 /// Runs the packing ablation.
 pub fn packing() -> PackingAblation {
     let cons = freac_fold::FoldConstraints::for_tile(1, LutMode::Lut4);
-    let rows = all_kernels()
-        .into_iter()
-        .map(|id| {
-            let mapped = tech_map(&kernel(id).circuit(), TechMapOptions::lut4())
-                .expect("kernel circuits map");
-            let (packed, report) = pack_luts(&mapped, 4).expect("packable");
-            let folds = schedule_fold_with(&mapped, &cons, SchedulePolicy::Critical)
-                .expect("schedulable")
-                .len();
-            let packed_folds = schedule_fold_with(&packed, &cons, SchedulePolicy::Critical)
-                .expect("schedulable")
-                .len();
-            (id, report.luts_before, report.luts_after, folds, packed_folds)
-        })
-        .collect();
+    let rows = parallel::map_kernels(|id| {
+        let mapped =
+            tech_map(&kernel(id).circuit(), TechMapOptions::lut4()).expect("kernel circuits map");
+        let (packed, report) = pack_luts(&mapped, 4).expect("packable");
+        let folds = schedule_fold_with(&mapped, &cons, SchedulePolicy::Critical)
+            .expect("schedulable")
+            .len();
+        let packed_folds = schedule_fold_with(&packed, &cons, SchedulePolicy::Critical)
+            .expect("schedulable")
+            .len();
+        (
+            id,
+            report.luts_before,
+            report.luts_after,
+            folds,
+            packed_folds,
+        )
+    });
     PackingAblation { rows }
 }
 
@@ -169,20 +164,17 @@ pub struct SchedulerAblation {
 /// Runs the scheduler-policy ablation.
 pub fn scheduler_policy() -> SchedulerAblation {
     let cons = freac_fold::FoldConstraints::for_tile(1, LutMode::Lut4);
-    let rows = all_kernels()
-        .into_iter()
-        .map(|id| {
-            let mapped = tech_map(&kernel(id).circuit(), TechMapOptions::lut4())
-                .expect("kernel circuits map");
-            let crit = schedule_fold_with(&mapped, &cons, SchedulePolicy::Critical)
-                .expect("schedulable")
-                .len();
-            let fifo = schedule_fold_with(&mapped, &cons, SchedulePolicy::InOrder)
-                .expect("schedulable")
-                .len();
-            (id, crit, fifo)
-        })
-        .collect();
+    let rows = parallel::map_kernels(|id| {
+        let mapped =
+            tech_map(&kernel(id).circuit(), TechMapOptions::lut4()).expect("kernel circuits map");
+        let crit = schedule_fold_with(&mapped, &cons, SchedulePolicy::Critical)
+            .expect("schedulable")
+            .len();
+        let fifo = schedule_fold_with(&mapped, &cons, SchedulePolicy::InOrder)
+            .expect("schedulable")
+            .len();
+        (id, crit, fifo)
+    });
     SchedulerAblation { rows }
 }
 
@@ -248,34 +240,28 @@ pub fn inclusion() -> InclusionAblation {
     let trace = interference_trace();
     let hot_base = 0x100_0000u64;
     let hot_end = hot_base + 0x10_0000;
-    let rows = [2usize, 8]
-        .into_iter()
-        .map(|ways| {
-            let run = |inclusive: bool| {
-                let mut cfg = HierarchyConfig::paper_edge().with_l3_ways(ways);
-                if inclusive {
-                    cfg = cfg.with_inclusion();
+    let rows = parallel::map(vec![2usize, 8], |ways| {
+        let run = |inclusive: bool| {
+            let mut cfg = HierarchyConfig::paper_edge().with_l3_ways(ways);
+            if inclusive {
+                cfg = cfg.with_inclusion();
+            }
+            let mut h = MemoryHierarchy::new(cfg);
+            let mut hot_lat = 0u64;
+            let mut hot_n = 0u64;
+            for &(addr, write) in &trace {
+                let (_, lat) = h.access(0, addr, write);
+                if (hot_base..hot_end).contains(&addr) {
+                    hot_lat += lat;
+                    hot_n += 1;
                 }
-                let mut h = MemoryHierarchy::new(cfg);
-                let mut hot_lat = 0u64;
-                let mut hot_n = 0u64;
-                for &(addr, write) in &trace {
-                    let (_, lat) = h.access(0, addr, write);
-                    if (hot_base..hot_end).contains(&addr) {
-                        hot_lat += lat;
-                        hot_n += 1;
-                    }
-                }
-                (
-                    hot_lat as f64 / hot_n as f64,
-                    h.stats().back_invalidations,
-                )
-            };
-            let (plain, _) = run(false);
-            let (strict, backinv) = run(true);
-            (ways, plain, strict, backinv)
-        })
-        .collect();
+            }
+            (hot_lat as f64 / hot_n as f64, h.stats().back_invalidations)
+        };
+        let (plain, _) = run(false);
+        let (strict, backinv) = run(true);
+        (ways, plain, strict, backinv)
+    });
     InclusionAblation { rows }
 }
 
@@ -284,7 +270,12 @@ impl InclusionAblation {
     pub fn table(&self) -> TextTable {
         let mut t = TextTable::new(
             "Ablation: strict LLC inclusion under a hot-set + 1.5 MB stream",
-            &["LLC ways", "hot AMAT (mostly-incl)", "hot AMAT (strict)", "back-invalidations"],
+            &[
+                "LLC ways",
+                "hot AMAT (mostly-incl)",
+                "hot AMAT (strict)",
+                "back-invalidations",
+            ],
         );
         for &(ways, p, s, b) in &self.rows {
             t.row(vec![

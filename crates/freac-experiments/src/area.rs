@@ -16,14 +16,26 @@ pub fn area_report() -> TextTable {
     );
     let mut add = |k: &str, v: String| t.row(vec![k.to_owned(), v]);
     add("32-bit MAC unit", format!("{MAC_AREA_UM2:.0} um^2"));
-    add("256 intermediate flip-flops", format!("{REGS_AREA_UM2:.0} um^2"));
+    add(
+        "256 intermediate flip-flops",
+        format!("{REGS_AREA_UM2:.0} um^2"),
+    );
     add(
         "mux trees (x4)",
-        format!("{:.0} um^2", MUX_TREES_PER_CLUSTER as f64 * MUX_TREE_AREA_UM2),
+        format!(
+            "{:.0} um^2",
+            MUX_TREES_PER_CLUSTER as f64 * MUX_TREE_AREA_UM2
+        ),
     );
     add("operand crossbar", format!("{XBAR_AREA_UM2:.0} um^2"));
-    add("total per cluster", format!("{:.4} mm^2", mcc_area_um2() / 1e6));
-    add("32 clusters (basic mode)", format!("{:.3} mm^2", r.basic_mm2));
+    add(
+        "total per cluster",
+        format!("{:.4} mm^2", mcc_area_um2() / 1e6),
+    );
+    add(
+        "32 clusters (basic mode)",
+        format!("{:.3} mm^2", r.basic_mm2),
+    );
     add("basic-mode overhead", format!("{:.1} %", r.basic_pct));
     add(
         "with switch-box fabric",
@@ -43,7 +55,10 @@ mod tests {
         let s = area_report().to_string();
         // The paper's 3.5 % and ~15.3 % headline numbers.
         assert!(s.contains("3.6 %") || s.contains("3.5 %"), "{s}");
-        assert!(s.contains("14.9 %") || s.contains("15.") || s.contains("15 %"), "{s}");
+        assert!(
+            s.contains("14.9 %") || s.contains("15.") || s.contains("15 %"),
+            "{s}"
+        );
         assert!(s.contains("1011 um^2"));
         assert!(s.contains("1239 um^2"));
     }

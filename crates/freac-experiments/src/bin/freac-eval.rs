@@ -12,8 +12,21 @@ use std::process::ExitCode;
 use freac_experiments as exp;
 
 const ARTEFACTS: &[&str] = &[
-    "table1", "table2", "area", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-    "fig15", "ablations", "energy", "multi", "sensitivity",
+    "table1",
+    "table2",
+    "area",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "ablations",
+    "energy",
+    "multi",
+    "sensitivity",
 ];
 
 fn run_one(name: &str) -> bool {

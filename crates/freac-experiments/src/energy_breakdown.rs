@@ -5,10 +5,11 @@
 //! number of reads from the compute clusters and scratchpads" (Sec. V-C).
 
 use freac_core::SlicePartition;
-use freac_kernels::{all_kernels, KernelId};
+use freac_kernels::KernelId;
 use freac_power::energy::EnergyBreakdown;
 use freac_power::sram::slice_leakage_w;
 
+use crate::parallel;
 use crate::render::TextTable;
 use crate::runner::best_freac_run;
 
@@ -43,20 +44,20 @@ pub struct EnergyAnalysis {
 pub fn run() -> EnergyAnalysis {
     let slices = 8;
     let leakage_w = slice_leakage_w(8) * slices as f64;
-    let rows = all_kernels()
-        .into_iter()
-        .filter_map(|id| {
-            let b = best_freac_run(id, SlicePartition::end_to_end(), slices).ok()?;
-            let breakdown = b.run.energy.breakdown();
-            let leakage_pj = leakage_w * b.run.kernel_time_ps as f64; // W x ps = pJ
-            Some(EnergyRow {
-                kernel: id,
-                breakdown,
-                leakage_pj,
-                power_w: b.run.power_w,
-            })
+    let rows = parallel::map_kernels(|id| {
+        let b = best_freac_run(id, SlicePartition::end_to_end(), slices).ok()?;
+        let breakdown = b.run.energy.breakdown();
+        let leakage_pj = leakage_w * b.run.kernel_time_ps as f64; // W x ps = pJ
+        Some(EnergyRow {
+            kernel: id,
+            breakdown,
+            leakage_pj,
+            power_w: b.run.power_w,
         })
-        .collect();
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     EnergyAnalysis { rows }
 }
 

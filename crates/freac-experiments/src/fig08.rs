@@ -1,7 +1,8 @@
 //! Fig. 8: folding cycles needed by each accelerator vs tile size.
 
-use freac_kernels::{all_kernels, KernelId};
+use freac_kernels::KernelId;
 
+use crate::parallel;
 use crate::render::TextTable;
 use crate::runner::{map_kernel, TILE_SIZES};
 
@@ -24,16 +25,13 @@ pub struct Fig8 {
 
 /// Runs the experiment.
 pub fn run() -> Fig8 {
-    let rows = all_kernels()
-        .into_iter()
-        .map(|kernel| {
-            let folds = TILE_SIZES
-                .iter()
-                .map(|&t| (t, map_kernel(kernel, t).ok().map(|a| a.fold_cycles())))
-                .collect();
-            Fig8Row { kernel, folds }
-        })
-        .collect();
+    let rows = parallel::map_kernels(|kernel| {
+        let folds = TILE_SIZES
+            .iter()
+            .map(|&t| (t, map_kernel(kernel, t).ok().map(|a| a.fold_cycles())))
+            .collect();
+        Fig8Row { kernel, folds }
+    });
     Fig8 { rows }
 }
 
@@ -58,6 +56,8 @@ impl Fig8 {
 
 #[cfg(test)]
 mod tests {
+    use freac_kernels::all_kernels;
+
     use super::*;
 
     #[test]

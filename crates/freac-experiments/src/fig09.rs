@@ -3,8 +3,9 @@
 
 use freac_core::exec::max_tiles_per_slice;
 use freac_core::SlicePartition;
-use freac_kernels::{all_kernels, kernel, KernelId, BATCH};
+use freac_kernels::{kernel, KernelId, BATCH};
 
+use crate::parallel;
 use crate::render::TextTable;
 use crate::runner::spec_of;
 
@@ -30,18 +31,15 @@ pub struct Fig9 {
 /// Runs the experiment.
 pub fn run() -> Fig9 {
     let partitions = SlicePartition::sweep(0);
-    let rows = all_kernels()
-        .into_iter()
-        .map(|id| {
-            let k = kernel(id);
-            let spec = spec_of(id, &k.workload(BATCH));
-            let tiles = partitions
-                .iter()
-                .map(|&p| (p, max_tiles_per_slice(&p, 1, &spec).ok()))
-                .collect();
-            Fig9Row { kernel: id, tiles }
-        })
-        .collect();
+    let rows = parallel::map_kernels(|id| {
+        let k = kernel(id);
+        let spec = spec_of(id, &k.workload(BATCH));
+        let tiles = partitions
+            .iter()
+            .map(|&p| (p, max_tiles_per_slice(&p, 1, &spec).ok()))
+            .collect();
+        Fig9Row { kernel: id, tiles }
+    });
     Fig9 { partitions, rows }
 }
 
@@ -49,13 +47,11 @@ impl Fig9 {
     /// Renders the figure.
     pub fn table(&self) -> TextTable {
         let headers: Vec<String> = std::iter::once("kernel".to_owned())
-            .chain(self.partitions.iter().map(|p| {
-                format!(
-                    "{}MCC/{}KB",
-                    p.mccs(),
-                    p.scratchpad_bytes() / 1024
-                )
-            }))
+            .chain(
+                self.partitions
+                    .iter()
+                    .map(|p| format!("{}MCC/{}KB", p.mccs(), p.scratchpad_bytes() / 1024)),
+            )
             .collect();
         let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
         let mut t = TextTable::new(
@@ -93,7 +89,11 @@ mod tests {
         // GEMM's 48 KB/tile working set caps tiles at the compute-heavy end
         // but more scratchpad admits more tiles (up to the MCC count).
         let fig = run();
-        let row = fig.rows.iter().find(|r| r.kernel == KernelId::Gemm).unwrap();
+        let row = fig
+            .rows
+            .iter()
+            .find(|r| r.kernel == KernelId::Gemm)
+            .unwrap();
         let compute_heavy = row.tiles.first().unwrap().1.unwrap();
         assert!(compute_heavy < 32);
         let best = row.tiles.iter().filter_map(|&(_, n)| n).max().unwrap();

@@ -3,8 +3,9 @@
 
 use freac_baselines::cpu::CpuModel;
 use freac_core::SlicePartition;
-use freac_kernels::{all_kernels, kernel, KernelId, BATCH};
+use freac_kernels::{kernel, KernelId, BATCH};
 
+use crate::parallel;
 use crate::render::{fmt_ratio, TextTable};
 use crate::runner::{freac_run_at, FIG10_TILES};
 
@@ -28,24 +29,24 @@ pub struct Fig10 {
 pub fn run() -> Fig10 {
     let cpu = CpuModel::default();
     let partition = SlicePartition::max_compute();
-    let rows = all_kernels()
-        .into_iter()
-        .map(|id| {
-            let k = kernel(id);
-            let w = k.workload(BATCH);
-            let base = cpu.run(k.as_ref(), &w, 1).kernel_time_ps as f64;
-            let speedups = FIG10_TILES
-                .iter()
-                .map(|&t| {
-                    let s = freac_run_at(id, t, partition, 1)
-                        .ok()
-                        .map(|r| base / r.kernel_time_ps as f64);
-                    (t, s)
-                })
-                .collect();
-            Fig10Row { kernel: id, speedups }
-        })
-        .collect();
+    let rows = parallel::map_kernels(|id| {
+        let k = kernel(id);
+        let w = k.workload(BATCH);
+        let base = cpu.run(k.as_ref(), &w, 1).kernel_time_ps as f64;
+        let speedups = FIG10_TILES
+            .iter()
+            .map(|&t| {
+                let s = freac_run_at(id, t, partition, 1)
+                    .ok()
+                    .map(|r| base / r.kernel_time_ps as f64);
+                (t, s)
+            })
+            .collect();
+        Fig10Row {
+            kernel: id,
+            speedups,
+        }
+    });
     Fig10 { rows }
 }
 
@@ -92,7 +93,11 @@ mod tests {
         // of 16 or more MCCs require a reduction in clock speed" — holds
         // for the depth-limited kernels whose folds stop shrinking.
         let fig = run();
-        let row = fig.rows.iter().find(|r| r.kernel == KernelId::Vadd).unwrap();
+        let row = fig
+            .rows
+            .iter()
+            .find(|r| r.kernel == KernelId::Vadd)
+            .unwrap();
         let s8 = row.speedups[1].1.unwrap();
         let s16 = row.speedups[2].1.unwrap();
         assert!(s8 >= s16, "VADD: tile 8 ({s8}) should beat tile 16 ({s16})");

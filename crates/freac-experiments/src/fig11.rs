@@ -3,8 +3,9 @@
 
 use freac_baselines::cpu::CpuModel;
 use freac_core::SlicePartition;
-use freac_kernels::{all_kernels, kernel, KernelId, BATCH};
+use freac_kernels::{kernel, KernelId, BATCH};
 
+use crate::parallel;
 use crate::render::{fmt_ratio, TextTable};
 use crate::runner::best_freac_run;
 
@@ -29,24 +30,21 @@ pub struct Fig11 {
 /// Runs the experiment.
 pub fn run() -> Fig11 {
     let cpu = CpuModel::default();
-    let rows = all_kernels()
-        .into_iter()
-        .map(|id| {
-            let k = kernel(id);
-            let w = k.workload(BATCH);
-            let base = cpu.run(k.as_ref(), &w, 1).kernel_time_ps as f64;
-            let best = |p: SlicePartition| {
-                best_freac_run(id, p, 1)
-                    .ok()
-                    .map(|b| base / b.run.kernel_time_ps as f64)
-            };
-            Fig11Row {
-                kernel: id,
-                compute_heavy: best(SlicePartition::max_compute()),
-                memory_heavy: best(SlicePartition::balanced()),
-            }
-        })
-        .collect();
+    let rows = parallel::map_kernels(|id| {
+        let k = kernel(id);
+        let w = k.workload(BATCH);
+        let base = cpu.run(k.as_ref(), &w, 1).kernel_time_ps as f64;
+        let best = |p: SlicePartition| {
+            best_freac_run(id, p, 1)
+                .ok()
+                .map(|b| base / b.run.kernel_time_ps as f64)
+        };
+        Fig11Row {
+            kernel: id,
+            compute_heavy: best(SlicePartition::max_compute()),
+            memory_heavy: best(SlicePartition::balanced()),
+        }
+    });
     Fig11 { rows }
 }
 

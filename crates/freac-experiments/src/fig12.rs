@@ -11,9 +11,10 @@ use freac_baselines::cpu::CpuModel;
 use freac_baselines::fpga::FpgaModel;
 use freac_cache::LlcGeometry;
 use freac_core::SlicePartition;
-use freac_kernels::{all_kernels, kernel, KernelId, BATCH};
+use freac_kernels::{kernel, KernelId, BATCH};
 use freac_power::cpu::host_cpu_power_w;
 
+use crate::parallel;
 use crate::render::{fmt_ratio, fmt_w, TextTable};
 use crate::runner::best_freac_run;
 
@@ -95,7 +96,9 @@ fn end_to_end_row(id: KernelId) -> Fig12Row {
                     // Cores generate the working set directly into the
                     // scratchpads: the fill is bounded by the slower of the
                     // cores' store rate and the scratchpad write path.
-                    let init = cpu.init_time_ps(w.input_bytes, 8, false).max(b.run.setup.fill_ps);
+                    let init = cpu
+                        .init_time_ps(w.input_bytes, 8, false)
+                        .max(b.run.setup.fill_ps);
                     let e2e = b.run.setup.flush_ps
                         + b.run.setup.config_ps
                         + init
@@ -119,27 +122,22 @@ fn end_to_end_row(id: KernelId) -> Fig12Row {
     }
 }
 
-/// Runs the experiment (kernels evaluated in parallel).
+/// Runs the experiment (kernels evaluated on the shared worker pool).
 pub fn run() -> Fig12 {
-    let kernels = all_kernels();
-    let mut rows: Vec<Option<Fig12Row>> = (0..kernels.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
-        for (slot, &id) in rows.iter_mut().zip(kernels.iter()) {
-            s.spawn(move |_| {
-                *slot = Some(end_to_end_row(id));
-            });
-        }
-    })
-    .expect("worker threads do not panic");
     Fig12 {
-        rows: rows.into_iter().map(|r| r.expect("row computed")).collect(),
+        rows: parallel::map_kernels(end_to_end_row),
     }
 }
 
 impl Fig12 {
     /// Renders the speedup panel.
     pub fn speedup_table(&self) -> TextTable {
-        let mut headers = vec!["kernel".to_owned(), "CPU8".into(), "ZCU102".into(), "U96".into()];
+        let mut headers = vec![
+            "kernel".to_owned(),
+            "CPU8".into(),
+            "ZCU102".into(),
+            "U96".into(),
+        ];
         headers.extend((1..=8).map(|s| format!("F{s}")));
         let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
         let mut t = TextTable::new(
@@ -211,9 +209,8 @@ impl Fig12 {
             let Some(f8) = r.freac[7] else { continue };
             ln1 += f8.speedup.ln();
             ln8 += (f8.speedup / r.cpu8.speedup).ln();
-            lnp += (f8.perf_per_watt_vs(r.cpu1_power_w)
-                / r.cpu8.perf_per_watt_vs(r.cpu1_power_w))
-            .ln();
+            lnp += (f8.perf_per_watt_vs(r.cpu1_power_w) / r.cpu8.perf_per_watt_vs(r.cpu1_power_w))
+                .ln();
             n += 1.0;
         }
         ((ln1 / n).exp(), (ln8 / n).exp(), (lnp / n).exp())
@@ -258,7 +255,11 @@ mod tests {
     fn more_slices_never_slower() {
         let fig = run();
         for r in &fig.rows {
-            let pts: Vec<f64> = r.freac.iter().filter_map(|p| p.map(|p| p.speedup)).collect();
+            let pts: Vec<f64> = r
+                .freac
+                .iter()
+                .filter_map(|p| p.map(|p| p.speedup))
+                .collect();
             for w in pts.windows(2) {
                 assert!(
                     w[1] >= w[0] * 0.99,
@@ -282,7 +283,10 @@ mod tests {
             }
             assert!(r.zcu102.power_w > 2.0 * f8.power_w.min(12.0) || r.zcu102.power_w > 12.0);
         }
-        assert!(zcu_wins >= 4, "ZCU102 should win on several kernels ({zcu_wins}/11)");
+        assert!(
+            zcu_wins >= 4,
+            "ZCU102 should win on several kernels ({zcu_wins}/11)"
+        );
     }
 
     #[test]
@@ -297,6 +301,9 @@ mod tests {
                 better += 1;
             }
         }
-        assert!(better >= 7, "FReaC should be more efficient than the U96 on most kernels ({better}/11)");
+        assert!(
+            better >= 7,
+            "FReaC should be more efficient than the U96 on most kernels ({better}/11)"
+        );
     }
 }

@@ -7,8 +7,9 @@
 use freac_baselines::cpu::CpuModel;
 use freac_cache::LlcGeometry;
 use freac_core::SlicePartition;
-use freac_kernels::{all_kernels, kernel, KernelId, BATCH};
+use freac_kernels::{kernel, KernelId, BATCH};
 
+use crate::parallel;
 use crate::render::{fmt_ratio, TextTable};
 use crate::runner::best_freac_run;
 
@@ -42,38 +43,38 @@ pub struct Fig13 {
 /// Runs the experiment (8 slices, 16MCC-640KB split).
 pub fn run() -> Fig13 {
     let cpu = CpuModel::default();
-    let rows = all_kernels()
-        .into_iter()
-        .filter_map(|id| {
-            let k = kernel(id);
-            let w = k.workload(BATCH);
-            let dataset = w.input_bytes + w.output_bytes;
-            let spills = dataset > LlcGeometry::paper_edge().total_bytes() as u64;
+    let rows = parallel::map_kernels(|id| {
+        let k = kernel(id);
+        let w = k.workload(BATCH);
+        let dataset = w.input_bytes + w.output_bytes;
+        let spills = dataset > LlcGeometry::paper_edge().total_bytes() as u64;
 
-            let cpu1 = cpu.run(k.as_ref(), &w, 1);
-            let cpu1_init = cpu.init_time_ps(w.input_bytes, 1, spills);
-            let cpu8 = cpu.run(k.as_ref(), &w, 8);
-            let cpu8_init = cpu.init_time_ps(w.input_bytes, 8, spills);
+        let cpu1 = cpu.run(k.as_ref(), &w, 1);
+        let cpu1_init = cpu.init_time_ps(w.input_bytes, 1, spills);
+        let cpu8 = cpu.run(k.as_ref(), &w, 8);
+        let cpu8_init = cpu.init_time_ps(w.input_bytes, 8, spills);
 
-            let b = best_freac_run(id, SlicePartition::end_to_end(), 8).ok()?;
-            let init = cpu
-                .init_time_ps(w.input_bytes, 8, false)
-                .max(b.run.setup.fill_ps);
-            let freac_e2e = b.run.setup.flush_ps
-                + b.run.setup.config_ps
-                + init
-                + b.run.kernel_time_ps
-                + b.run.drain_ps;
+        let b = best_freac_run(id, SlicePartition::end_to_end(), 8).ok()?;
+        let init = cpu
+            .init_time_ps(w.input_bytes, 8, false)
+            .max(b.run.setup.fill_ps);
+        let freac_e2e = b.run.setup.flush_ps
+            + b.run.setup.config_ps
+            + init
+            + b.run.kernel_time_ps
+            + b.run.drain_ps;
 
-            Some(Fig13Row {
-                kernel: id,
-                kernel_speedup: cpu1.kernel_time_ps as f64 / b.run.kernel_time_ps as f64,
-                end_to_end_speedup: (cpu1_init + cpu1.kernel_time_ps) as f64 / freac_e2e as f64,
-                cpu8_speedup: (cpu1_init + cpu1.kernel_time_ps) as f64
-                    / (cpu8_init + cpu8.kernel_time_ps) as f64,
-            })
+        Some(Fig13Row {
+            kernel: id,
+            kernel_speedup: cpu1.kernel_time_ps as f64 / b.run.kernel_time_ps as f64,
+            end_to_end_speedup: (cpu1_init + cpu1.kernel_time_ps) as f64 / freac_e2e as f64,
+            cpu8_speedup: (cpu1_init + cpu1.kernel_time_ps) as f64
+                / (cpu8_init + cpu8.kernel_time_ps) as f64,
         })
-        .collect();
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     Fig13 { rows }
 }
 
@@ -82,7 +83,13 @@ impl Fig13 {
     pub fn table(&self) -> TextTable {
         let mut t = TextTable::new(
             "Fig. 13: end-to-end vs kernel-only speedup (8 slices, over 1 CPU thread)",
-            &["kernel", "kernel-only", "end-to-end", "overhead %", "CPU 8T"],
+            &[
+                "kernel",
+                "kernel-only",
+                "end-to-end",
+                "overhead %",
+                "CPU 8T",
+            ],
         );
         for r in &self.rows {
             t.row(vec![

@@ -5,8 +5,9 @@
 use freac_baselines::cpu::CpuModel;
 use freac_baselines::ec::EcModel;
 use freac_core::SlicePartition;
-use freac_kernels::{all_kernels, kernel, KernelId, BATCH};
+use freac_kernels::{kernel, KernelId, BATCH};
 
+use crate::parallel;
 use crate::render::{fmt_ratio, TextTable};
 use crate::runner::best_freac_run;
 
@@ -35,23 +36,20 @@ pub struct Fig14 {
 /// Runs the experiment.
 pub fn run() -> Fig14 {
     let cpu = CpuModel::default();
-    let rows = all_kernels()
-        .into_iter()
-        .map(|id| {
-            let k = kernel(id);
-            let w = k.workload(BATCH);
-            let base = cpu.run(k.as_ref(), &w, 1).kernel_time_ps as f64;
-            Fig14Row {
-                kernel: id,
-                ec8: base / EcModel::iso_area().run(k.as_ref(), &w).kernel_time_ps as f64,
-                ec16: base / EcModel::double().run(k.as_ref(), &w).kernel_time_ps as f64,
-                freac: best_freac_run(id, SlicePartition::end_to_end(), 8)
-                    .ok()
-                    .map(|b| base / b.run.kernel_time_ps as f64),
-                cpu8: base / cpu.run(k.as_ref(), &w, 8).kernel_time_ps as f64,
-            }
-        })
-        .collect();
+    let rows = parallel::map_kernels(|id| {
+        let k = kernel(id);
+        let w = k.workload(BATCH);
+        let base = cpu.run(k.as_ref(), &w, 1).kernel_time_ps as f64;
+        Fig14Row {
+            kernel: id,
+            ec8: base / EcModel::iso_area().run(k.as_ref(), &w).kernel_time_ps as f64,
+            ec16: base / EcModel::double().run(k.as_ref(), &w).kernel_time_ps as f64,
+            freac: best_freac_run(id, SlicePartition::end_to_end(), 8)
+                .ok()
+                .map(|b| base / b.run.kernel_time_ps as f64),
+            cpu8: base / cpu.run(k.as_ref(), &w, 8).kernel_time_ps as f64,
+        }
+    });
     Fig14 { rows }
 }
 

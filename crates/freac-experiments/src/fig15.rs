@@ -11,6 +11,7 @@ use freac_baselines::cpu::CpuModel;
 use freac_core::SlicePartition;
 use freac_kernels::{kernel, KernelId, BATCH};
 
+use crate::parallel;
 use crate::render::{fmt_ratio, TextTable};
 use crate::runner::best_freac_run;
 
@@ -65,35 +66,32 @@ pub struct Fig15 {
 /// the full LLC.
 pub fn run() -> Fig15 {
     let full = CpuModel::default();
-    let rows = groups()
-        .iter()
-        .flatten()
-        .map(|&id| {
-            let k = kernel(id);
-            let w = k.workload(BATCH);
-            let base = full.run(k.as_ref(), &w, 1).kernel_time_ps as f64;
-            let cpu_at = |ways: usize| {
-                let m = CpuModel {
-                    llc_ways: ways,
-                    ..CpuModel::default()
-                };
-                base / m.run(k.as_ref(), &w, 2).kernel_time_ps as f64
+    let apps: Vec<KernelId> = groups().iter().flatten().copied().collect();
+    let rows = parallel::map(apps, |id| {
+        let k = kernel(id);
+        let w = k.workload(BATCH);
+        let base = full.run(k.as_ref(), &w, 1).kernel_time_ps as f64;
+        let cpu_at = |ways: usize| {
+            let m = CpuModel {
+                llc_ways: ways,
+                ..CpuModel::default()
             };
-            let accel_at = |p: SlicePartition| {
-                best_freac_run(id, p, 8)
-                    .ok()
-                    .map(|b| base / b.run.kernel_time_ps as f64)
-            };
-            let sc = scenarios();
-            Fig15Row {
-                kernel: id,
-                accel_1mb: accel_at(sc[0].2),
-                accel_4mb: accel_at(sc[1].2),
-                cpu2t_1mb: cpu_at(sc[0].1),
-                cpu2t_4mb: cpu_at(sc[1].1),
-            }
-        })
-        .collect();
+            base / m.run(k.as_ref(), &w, 2).kernel_time_ps as f64
+        };
+        let accel_at = |p: SlicePartition| {
+            best_freac_run(id, p, 8)
+                .ok()
+                .map(|b| base / b.run.kernel_time_ps as f64)
+        };
+        let sc = scenarios();
+        Fig15Row {
+            kernel: id,
+            accel_1mb: accel_at(sc[0].2),
+            accel_4mb: accel_at(sc[1].2),
+            cpu2t_1mb: cpu_at(sc[0].1),
+            cpu2t_4mb: cpu_at(sc[1].1),
+        }
+    });
     Fig15 { rows }
 }
 
@@ -149,7 +147,10 @@ mod tests {
                 }
             }
         }
-        assert!(winners >= 5, "most apps should benefit from offload ({winners}/8)");
+        assert!(
+            winners >= 5,
+            "most apps should benefit from offload ({winners}/8)"
+        );
     }
 
     #[test]

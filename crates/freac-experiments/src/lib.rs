@@ -17,7 +17,12 @@
 //!
 //! Each runner returns a structured result that renders to an aligned text
 //! table (the same rows/series the paper plots) via [`render::TextTable`].
-//! The Criterion benches in the `bench` crate regenerate every artefact.
+//! The self-timed benches in the `bench` crate regenerate every artefact.
+//!
+//! Runners fan their independent jobs across the [`parallel`] worker pool
+//! (worker count via `FREAC_WORKERS`, default: available parallelism) and
+//! share synthesized circuits through the memoized mapping cache in
+//! [`runner`]; results are bit-identical for any worker count.
 
 pub mod ablations;
 pub mod area;
@@ -31,6 +36,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod multi;
+pub mod parallel;
 pub mod render;
 pub mod runner;
 pub mod sensitivity;

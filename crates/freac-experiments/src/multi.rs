@@ -20,6 +20,7 @@ use freac_core::SlicePartition;
 use freac_kernels::KernelId;
 use freac_sim::Time;
 
+use crate::parallel;
 use crate::render::{fmt_us, TextTable};
 use crate::runner::best_freac_run;
 
@@ -35,7 +36,12 @@ impl JobMix {
     /// logic-bound, one MAC-heavy kernel.
     pub fn representative() -> Self {
         JobMix {
-            jobs: vec![KernelId::Vadd, KernelId::Conv, KernelId::Kmp, KernelId::Gemm],
+            jobs: vec![
+                KernelId::Vadd,
+                KernelId::Conv,
+                KernelId::Kmp,
+                KernelId::Gemm,
+            ],
         }
     }
 }
@@ -102,13 +108,13 @@ pub fn run(mix: &JobMix) -> MultiTenantResult {
             .unwrap_or(Time::MAX / 2)
     };
 
-    let serial_times: Vec<Time> = mix.jobs.iter().map(|&j| time_at(j, 8)).collect();
+    let serial_times: Vec<Time> = parallel::map(mix.jobs.clone(), |j| time_at(j, 8));
 
     // Greedy slice assignment: everyone starts with one slice; remaining
     // slices go to whoever is projected slowest.
     let n = mix.jobs.len().min(8);
     let mut slices = vec![1usize; n];
-    let mut projected: Vec<Time> = mix.jobs[..n].iter().map(|&j| time_at(j, 1)).collect();
+    let mut projected: Vec<Time> = parallel::map(mix.jobs[..n].to_vec(), |j| time_at(j, 1));
     for _ in n..8 {
         let worst = (0..n)
             .max_by_key(|&i| projected[i])

@@ -1,0 +1,161 @@
+//! A scoped worker pool shared by every figure runner.
+//!
+//! The evaluation is a large sweep of independent jobs (kernel x tile x
+//! slice-count cells), so each runner hands its job list to [`map`] and
+//! gets results back **in job order** regardless of which worker finished
+//! first — parallelism never changes figure output. Workers are plain
+//! `std::thread::scope` threads pulling jobs off a shared atomic index
+//! (work-stealing by index, so long jobs don't convoy short ones).
+//!
+//! The worker count comes from the `FREAC_WORKERS` environment variable
+//! when set (a positive integer; `1` forces serial execution), otherwise
+//! from [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+use freac_kernels::{all_kernels, KernelId};
+
+/// Environment variable overriding the worker count.
+pub const WORKERS_ENV: &str = "FREAC_WORKERS";
+
+/// The worker count used by [`map`]: `FREAC_WORKERS` if set to a positive
+/// integer, otherwise the machine's available parallelism.
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var(WORKERS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Runs `f` over `items` on [`worker_count`] workers; results come back in
+/// item order. See [`map_with`] for the guarantees.
+pub fn map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    map_with(worker_count(), items, f)
+}
+
+/// Runs `f` over `items` on exactly `workers` threads (clamped to the item
+/// count), returning results **in item order**.
+///
+/// Determinism: `f` is applied to each item exactly once and the output
+/// vector is indexed by the item's position, so the result is identical
+/// for any worker count — only wall-clock changes. A panic in `f`
+/// propagates out of the scope, as it would in a serial loop.
+pub fn map_with<I, O, F>(workers: usize, items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = items.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Jobs are claimed by a shared atomic cursor; each slot is taken by
+    // value exactly once.
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, O)>();
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let slots = &slots;
+            let cursor = &cursor;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("job slot poisoned")
+                    .take()
+                    .expect("each job is claimed once");
+                if tx.send((i, f(item))).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+
+    let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    for (i, o) in rx {
+        out[i] = Some(o);
+    }
+    out.into_iter()
+        .map(|o| o.expect("every job completed"))
+        .collect()
+}
+
+/// Fans one job per benchmark kernel across the pool — the shape shared by
+/// almost every figure runner.
+pub fn map_kernels<O, F>(f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(KernelId) -> O + Sync,
+{
+    map(all_kernels().to_vec(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let out = map_with(4, (0..64).collect::<Vec<_>>(), |i| i * 2);
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..33).collect();
+        let serial = map_with(1, items.clone(), |i| i * i + 1);
+        let parallel = map_with(8, items, |i| i * i + 1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn uneven_job_lengths_still_order() {
+        // Long jobs early, short late: completion order differs from item
+        // order, results must not.
+        let out = map_with(3, (0..16u64).collect::<Vec<_>>(), |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_item_lists() {
+        assert_eq!(map_with(8, Vec::<u32>::new(), |i| i), Vec::<u32>::new());
+        assert_eq!(map_with(8, vec![7u32], |i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn kernel_fanout_covers_all_kernels() {
+        let ids = map_kernels(|id| id);
+        assert_eq!(ids, all_kernels().to_vec());
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+}

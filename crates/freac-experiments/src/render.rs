@@ -130,6 +130,6 @@ mod tests {
         assert_eq!(fmt_ratio(12.34), "12.3");
         assert_eq!(fmt_ratio(1.234), "1.23");
         assert_eq!(fmt_us(1_500_000), "1.5");
-        assert_eq!(fmt_w(3.14159), "3.14");
+        assert_eq!(fmt_w(3.456), "3.46");
     }
 }

@@ -1,7 +1,11 @@
 //! Shared plumbing for the experiment runners.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use freac_core::exec::{run_kernel, ExecConfig, KernelRun, KernelSpec};
 use freac_core::{Accelerator, AcceleratorTile, CoreError, SlicePartition};
+use freac_fold::LutMode;
 use freac_kernels::{kernel, KernelId, Workload, BATCH};
 
 /// Tile sizes swept by the design-space figures.
@@ -24,15 +28,65 @@ pub fn spec_of(id: KernelId, w: &Workload) -> KernelSpec {
     }
 }
 
-/// Maps a kernel's circuit onto a tile.
+/// Key of the process-wide mapping cache: which circuit, on which tile.
+type MapKey = (KernelId, usize, LutMode);
+type MapResult = Result<Arc<Accelerator>, CoreError>;
+
+/// The process-wide memoized mapping cache. Shannon decomposition +
+/// tech-mapping + fold scheduling are deterministic in `(kernel, tile,
+/// LUT mode)`, so each circuit is synthesized exactly once per process and
+/// shared (`Arc`) across every figure that sweeps the same cell.
+fn mapping_cache() -> &'static Mutex<HashMap<MapKey, MapResult>> {
+    static CACHE: OnceLock<Mutex<HashMap<MapKey, MapResult>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Maps a kernel's circuit onto a tile (4-LUT mode), memoized process-wide.
+///
+/// # Errors
+///
+/// Propagates mapping/folding failures (also memoized — an infeasible cell
+/// is not re-synthesized either).
+pub fn map_kernel(id: KernelId, tile_mccs: usize) -> Result<Arc<Accelerator>, CoreError> {
+    map_kernel_with_mode(id, tile_mccs, LutMode::Lut4)
+}
+
+/// [`map_kernel`] with an explicit cluster LUT mode.
 ///
 /// # Errors
 ///
 /// Propagates mapping/folding failures.
-pub fn map_kernel(id: KernelId, tile_mccs: usize) -> Result<Accelerator, CoreError> {
-    let k = kernel(id);
-    let tile = AcceleratorTile::new(tile_mccs)?;
-    Accelerator::map(&k.circuit(), &tile)
+pub fn map_kernel_with_mode(
+    id: KernelId,
+    tile_mccs: usize,
+    mode: LutMode,
+) -> Result<Arc<Accelerator>, CoreError> {
+    let key = (id, tile_mccs, mode);
+    if let Some(hit) = mapping_cache()
+        .lock()
+        .expect("mapping cache poisoned")
+        .get(&key)
+    {
+        return hit.clone();
+    }
+    // Synthesize outside the lock so independent cells map concurrently; a
+    // racing duplicate insert is benign (both runs are deterministic and
+    // produce identical accelerators — last write wins).
+    let res = AcceleratorTile::with_mode(tile_mccs, mode)
+        .and_then(|tile| Accelerator::map_shared(&kernel(id).circuit(), &tile));
+    mapping_cache()
+        .lock()
+        .expect("mapping cache poisoned")
+        .insert(key, res.clone());
+    res
+}
+
+/// Number of `(kernel, tile, mode)` cells currently memoized (test hook).
+pub fn mapping_cache_len() -> usize {
+    mapping_cache()
+        .lock()
+        .expect("mapping cache poisoned")
+        .len()
 }
 
 /// A FReaC run together with the tile size that produced it.
@@ -81,7 +135,7 @@ pub fn best_freac_run(
             Ok(run) => {
                 let better = best
                     .as_ref()
-                    .map_or(true, |b| run.kernel_time_ps < b.run.kernel_time_ps);
+                    .is_none_or(|b| run.kernel_time_ps < b.run.kernel_time_ps);
                 if better {
                     best = Some(BestRun { tile_mccs: t, run });
                 }

@@ -10,19 +10,25 @@
 
 use freac_baselines::cpu::CpuModel;
 use freac_core::exec::{run_kernel, ExecConfig};
-use freac_core::{Accelerator, AcceleratorTile, SlicePartition};
+use freac_core::SlicePartition;
 use freac_kernels::{kernel, KernelId};
 use freac_sim::Time;
 
+use crate::parallel;
 use crate::render::{fmt_ratio, TextTable};
-use crate::runner::spec_of;
+use crate::runner::{map_kernel, spec_of};
 
 /// Batch factors swept (the paper's point is 256).
 pub const BATCHES: [u64; 4] = [16, 64, 256, 1024];
 
 /// Kernels representative of each regime.
 pub fn subjects() -> [KernelId; 4] {
-    [KernelId::Vadd, KernelId::Stn2, KernelId::Gemm, KernelId::Aes]
+    [
+        KernelId::Vadd,
+        KernelId::Stn2,
+        KernelId::Gemm,
+        KernelId::Aes,
+    ]
 }
 
 /// One kernel's speedup-vs-8-threads across batch scales.
@@ -49,32 +55,31 @@ pub fn run() -> Sensitivity {
         slices: 8,
         dirty_fraction: 0.5,
     };
-    let rows = subjects()
-        .into_iter()
-        .map(|id| {
-            let k = kernel(id);
-            let circuit = k.circuit();
-            let points = BATCHES
-                .iter()
-                .map(|&batch| {
-                    let w = k.workload(batch);
-                    let cpu8 = cpu.run(k.as_ref(), &w, 8).kernel_time_ps as f64;
-                    let spec = spec_of(id, &w);
-                    let mut best: Option<Time> = None;
-                    for t in [1usize, 2, 4, 8, 16] {
-                        let Ok(tile) = AcceleratorTile::new(t) else { continue };
-                        let Ok(accel) = Accelerator::map(&circuit, &tile) else { continue };
-                        if let Ok(r) = run_kernel(&accel, &spec, &cfg) {
-                            best = Some(best.map_or(r.kernel_time_ps, |b| b.min(r.kernel_time_ps)));
-                        }
+    let rows = parallel::map(subjects().to_vec(), |id| {
+        let k = kernel(id);
+        let points = BATCHES
+            .iter()
+            .map(|&batch| {
+                let w = k.workload(batch);
+                let cpu8 = cpu.run(k.as_ref(), &w, 8).kernel_time_ps as f64;
+                let spec = spec_of(id, &w);
+                let mut best: Option<Time> = None;
+                for t in [1usize, 2, 4, 8, 16] {
+                    // Mapping is batch-independent, so the shared mapping
+                    // cache serves every batch point from one synthesis.
+                    let Ok(accel) = map_kernel(id, t) else {
+                        continue;
+                    };
+                    if let Ok(r) = run_kernel(&accel, &spec, &cfg) {
+                        best = Some(best.map_or(r.kernel_time_ps, |b| b.min(r.kernel_time_ps)));
                     }
-                    let t = best.expect("at least one tile size runs");
-                    (batch, cpu8 / t as f64)
-                })
-                .collect();
-            SensitivityRow { kernel: id, points }
-        })
-        .collect();
+                }
+                let t = best.expect("at least one tile size runs");
+                (batch, cpu8 / t as f64)
+            })
+            .collect();
+        SensitivityRow { kernel: id, points }
+    });
     Sensitivity { rows }
 }
 
@@ -131,9 +136,9 @@ mod tests {
         let s = run();
         for id in [KernelId::Gemm, KernelId::Aes] {
             let pts = row(&s, id);
-            let (min, max) = pts
-                .iter()
-                .fold((f64::INFINITY, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+            let (min, max) = pts.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
             assert!(
                 max / min < 1.05,
                 "{id} should be flat across scales ({min}..{max})"

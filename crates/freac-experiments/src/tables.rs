@@ -9,17 +9,30 @@ use crate::render::TextTable;
 pub fn table1() -> TextTable {
     let h = HierarchyConfig::paper_edge();
     let g = h.llc;
-    let mut t = TextTable::new("Table I: system simulation parameters", &["parameter", "value"]);
+    let mut t = TextTable::new(
+        "Table I: system simulation parameters",
+        &["parameter", "value"],
+    );
     let mut add = |k: &str, v: String| t.row(vec![k.to_owned(), v]);
     add("ISA / cores", format!("ARM-class / {} cores", h.cores));
     add("clock", "4 GHz".into());
     add(
         "L1D size/ways/latency",
-        format!("{} KB / {}-way / {} cycles", h.l1_bytes / 1024, h.l1_ways, h.l1_latency),
+        format!(
+            "{} KB / {}-way / {} cycles",
+            h.l1_bytes / 1024,
+            h.l1_ways,
+            h.l1_latency
+        ),
     );
     add(
         "L2 size/ways/latency",
-        format!("{} KB / {}-way / {} cycles", h.l2_bytes / 1024, h.l2_ways, h.l2_latency),
+        format!(
+            "{} KB / {}-way / {} cycles",
+            h.l2_bytes / 1024,
+            h.l2_ways,
+            h.l2_latency
+        ),
     );
     add(
         "L3 size/ways/latency",
@@ -43,24 +56,36 @@ pub fn table2() -> TextTable {
     let sa = SramParams::subarray_8kb_32nm();
     let slice = SliceParams::paper_slice_32nm();
     let g = LlcGeometry::paper_edge();
-    let mut t = TextTable::new("Table II: memory parameters (32 nm)", &["parameter", "value"]);
+    let mut t = TextTable::new(
+        "Table II: memory parameters (32 nm)",
+        &["parameter", "value"],
+    );
     let mut add = |k: &str, v: String| t.row(vec![k.to_owned(), v]);
     add("sub-array size", format!("{} KB", sa.bytes / 1024));
     add(
         "sub-array dimensions",
         format!("{:.3} x {:.3} mm", sa.height_mm, sa.width_mm),
     );
-    add("sub-array access time", format!("{:.2} ns", sa.access_ps as f64 / 1000.0));
+    add(
+        "sub-array access time",
+        format!("{:.2} ns", sa.access_ps as f64 / 1000.0),
+    );
     add(
         "sub-array access energy",
         format!("{:.5} nJ", sa.access_energy_pj / 1000.0),
     );
-    add("slice size", format!("{:.2} MB", slice.bytes as f64 / (1024.0 * 1024.0)));
+    add(
+        "slice size",
+        format!("{:.2} MB", slice.bytes as f64 / (1024.0 * 1024.0)),
+    );
     add(
         "slice dimensions",
         format!("{:.2} x {:.2} mm", slice.height_mm, slice.width_mm),
     );
-    add("data sub-arrays per slice", format!("{}", g.subarrays_per_slice()));
+    add(
+        "data sub-arrays per slice",
+        format!("{}", g.subarrays_per_slice()),
+    );
     t
 }
 

@@ -1,0 +1,92 @@
+//! The mapping cache must be invisible: a cached accelerator is the same
+//! object on repeat lookups and functionally identical to a fresh,
+//! cache-bypassing synthesis of the same `(kernel, tile, mode)` cell.
+
+use std::sync::Arc;
+
+use freac_core::{Accelerator, AcceleratorTile};
+use freac_experiments::runner::{map_kernel, mapping_cache_len};
+use freac_kernels::{all_kernels, kernel, KernelId};
+use freac_netlist::eval::equivalent_on;
+use freac_netlist::Value;
+
+#[test]
+fn repeat_lookups_share_one_synthesis() {
+    let first = map_kernel(KernelId::Kmp, 4).expect("KMP maps on tile 4");
+    let second = map_kernel(KernelId::Kmp, 4).expect("cache hit");
+    assert!(
+        Arc::ptr_eq(&first, &second),
+        "the cache must return the same Arc, not a re-synthesis"
+    );
+}
+
+#[test]
+fn cache_grows_with_distinct_cells_only() {
+    // Other tests in this binary insert concurrently, so only monotonic
+    // bounds are stable: a fresh cell grows the cache, a hit never does
+    // more than outside traffic would.
+    let _ = map_kernel(KernelId::Vadd, 1);
+    let after_first = mapping_cache_len();
+    assert!(after_first >= 1, "the cell just mapped must be memoized");
+    let _ = map_kernel(KernelId::Vadd, 1); // pure hit
+    let _ = map_kernel(KernelId::Vadd, 2); // distinct tile, new cell
+    assert!(mapping_cache_len() > after_first);
+}
+
+#[test]
+fn cached_accelerator_matches_a_fresh_mapping() {
+    // Fresh synthesis bypassing the cache entirely.
+    for id in [KernelId::Aes, KernelId::Dot, KernelId::Nw] {
+        let tile = AcceleratorTile::new(2).expect("tile 2 is valid");
+        let circuit = kernel(id).circuit();
+        let fresh = Accelerator::map(&circuit, &tile).expect("fresh mapping");
+        let cached = map_kernel(id, 2).expect("cached mapping");
+
+        // Structurally identical: same schedule length and same packed
+        // configuration bits.
+        assert_eq!(cached.fold_cycles(), fresh.fold_cycles(), "{id}");
+        assert_eq!(
+            cached.bitstream().to_bytes(),
+            fresh.bitstream().to_bytes(),
+            "{id}: bitstreams differ"
+        );
+
+        // Functionally identical: the mapped netlists agree on a stimulus
+        // batch, and both folded executions produce the same outputs.
+        let vectors: Vec<Vec<Value>> = (0..4u32)
+            .map(|v| {
+                circuit
+                    .primary_inputs()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| Value::Word((i as u32 + v + 3).wrapping_mul(2654435761) % 1024))
+                    .collect()
+            })
+            .collect();
+        assert!(
+            equivalent_on(cached.netlist(), fresh.netlist(), &vectors, 2)
+                .expect("evaluation succeeds"),
+            "{id}: cached and fresh netlists diverge"
+        );
+        for v in &vectors {
+            let a = cached.execute(v, 2).expect("cached executes");
+            let b = fresh.execute(v, 2).expect("fresh executes");
+            assert_eq!(a, b, "{id}: folded outputs diverge");
+        }
+    }
+}
+
+#[test]
+fn every_kernel_is_cache_stable() {
+    // Two rounds over all kernels: the second round must be pure hits
+    // (pointer-equal) with identical fold counts.
+    let first: Vec<_> = all_kernels()
+        .into_iter()
+        .map(|id| map_kernel(id, 8).expect("maps"))
+        .collect();
+    for (i, id) in all_kernels().into_iter().enumerate() {
+        let again = map_kernel(id, 8).expect("hit");
+        assert!(Arc::ptr_eq(&first[i], &again), "{id}");
+        assert_eq!(first[i].fold_cycles(), again.fold_cycles(), "{id}");
+    }
+}

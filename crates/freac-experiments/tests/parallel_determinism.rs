@@ -1,0 +1,53 @@
+//! The harness's central promise: parallelism changes wall-clock only.
+//! Every figure must render byte-identically whether the worker pool runs
+//! one thread or many.
+
+use freac_experiments as exp;
+
+/// Renders a representative cross-section of the figure suite (sweep
+/// figures, the end-to-end comparison, and an ablation) to one string.
+fn render_figures() -> String {
+    let f12 = exp::fig12::run();
+    format!(
+        "{}\n{}\n{}\n{}\n{}\n{}\n{}",
+        exp::fig08::run().table(),
+        exp::fig09::run().table(),
+        exp::fig11::run().table(),
+        f12.speedup_table(),
+        f12.power_table(),
+        exp::ablations::lut_mode().table(),
+        exp::energy_breakdown::run().table(),
+    )
+}
+
+#[test]
+fn figures_are_identical_for_one_and_many_workers() {
+    // Both renders happen inside this one test so the env var cannot race
+    // another test's mutation; the other tests in this binary never read it.
+    std::env::set_var(exp::parallel::WORKERS_ENV, "1");
+    assert_eq!(exp::parallel::worker_count(), 1);
+    let serial = render_figures();
+
+    std::env::set_var(exp::parallel::WORKERS_ENV, "4");
+    assert_eq!(exp::parallel::worker_count(), 4);
+    let parallel = render_figures();
+
+    std::env::remove_var(exp::parallel::WORKERS_ENV);
+    assert_eq!(serial, parallel, "figure output must not depend on workers");
+}
+
+#[test]
+fn map_with_is_worker_count_invariant_on_real_jobs() {
+    // The same property at the pool level, on the real mapping workload and
+    // with explicit worker counts (no env involved).
+    let kernels = freac_kernels::all_kernels().to_vec();
+    let folds = |workers| {
+        exp::parallel::map_with(workers, kernels.clone(), |id| {
+            exp::runner::map_kernel(id, 2).map(|a| a.fold_cycles()).ok()
+        })
+    };
+    let serial = folds(1);
+    for workers in [2, 3, 8] {
+        assert_eq!(serial, folds(workers), "{workers} workers diverged");
+    }
+}

@@ -79,7 +79,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = FoldError::ExceedsConfigRows { steps: 5000, max: 2048 };
+        let e = FoldError::ExceedsConfigRows {
+            steps: 5000,
+            max: 2048,
+        };
         assert!(e.to_string().contains("5000"));
         let e = FoldError::LutTooWide {
             node: NodeId(4),

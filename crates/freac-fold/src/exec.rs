@@ -73,7 +73,12 @@ impl<'a> FoldedExecutor<'a> {
         let pis = self.netlist.primary_inputs();
         let expected_words = pis
             .iter()
-            .filter(|&&p| matches!(self.netlist.nodes()[p.index()].kind, NodeKind::WordInput { .. } | NodeKind::BitInput { .. }))
+            .filter(|&&p| {
+                matches!(
+                    self.netlist.nodes()[p.index()].kind,
+                    NodeKind::WordInput { .. } | NodeKind::BitInput { .. }
+                )
+            })
             .count();
         if inputs.len() != expected_words {
             return Err(FoldError::Netlist(NetlistError::InputCountMismatch {
@@ -94,7 +99,10 @@ impl<'a> FoldedExecutor<'a> {
                 }));
             }
             input_values.push(v);
-            if matches!(self.netlist.nodes()[pi.index()].kind, NodeKind::BitInput { .. }) {
+            if matches!(
+                self.netlist.nodes()[pi.index()].kind,
+                NodeKind::BitInput { .. }
+            ) {
                 self.values[pi.index()] = Some(v);
             }
         }
@@ -142,8 +150,12 @@ impl<'a> FoldedExecutor<'a> {
         for &o in self.netlist.primary_outputs() {
             let node = &self.netlist.nodes()[o.index()];
             let v = match node.kind {
-                NodeKind::WordOutput { .. } => self.values[o.index()]
-                    .ok_or(FoldError::DependencyViolation { node: o, operand: o })?,
+                NodeKind::WordOutput { .. } => {
+                    self.values[o.index()].ok_or(FoldError::DependencyViolation {
+                        node: o,
+                        operand: o,
+                    })?
+                }
                 _ => self.resolve(node.inputs[0], o)?,
             };
             outs.push(v);
@@ -160,18 +172,18 @@ impl<'a> FoldedExecutor<'a> {
             NodeKind::Lut(_)
             | NodeKind::Mac
             | NodeKind::WordInput { .. }
-            | NodeKind::WordOutput { .. } => self.values[id.index()].ok_or(
-                FoldError::DependencyViolation {
+            | NodeKind::WordOutput { .. } => {
+                self.values[id.index()].ok_or(FoldError::DependencyViolation {
                     node: consumer,
                     operand: id,
-                },
-            ),
-            NodeKind::BitInput { .. } => self.values[id.index()].ok_or(
-                FoldError::DependencyViolation {
+                })
+            }
+            NodeKind::BitInput { .. } => {
+                self.values[id.index()].ok_or(FoldError::DependencyViolation {
                     node: consumer,
                     operand: id,
-                },
-            ),
+                })
+            }
             NodeKind::ConstBit(b) => Ok(Value::Bit(*b)),
             NodeKind::ConstWord(w) => Ok(Value::Word(*w)),
             NodeKind::Ff { .. } | NodeKind::WordReg { .. } => Ok(self.state[id.index()]),
@@ -244,7 +256,12 @@ mod tests {
     use freac_netlist::eval::Evaluator;
     use freac_netlist::techmap::{tech_map, TechMapOptions};
 
-    fn folded_equals_reference(netlist: &Netlist, inputs: &[Value], cycles: usize, clusters: usize) {
+    fn folded_equals_reference(
+        netlist: &Netlist,
+        inputs: &[Value],
+        cycles: usize,
+        clusters: usize,
+    ) {
         let cons = FoldConstraints::for_tile(clusters, LutMode::Lut4);
         let schedule = schedule_fold(netlist, &cons).unwrap();
         let mut fx = FoldedExecutor::new(netlist, &schedule);

@@ -73,11 +73,7 @@ impl FoldSchedule {
             mac_issues,
             bus_ops,
             peak_live_bits,
-            lut_utilization_pct: if cap == 0 {
-                0
-            } else {
-                (lut_evals * 100 / cap) as u32
-            },
+            lut_utilization_pct: (lut_evals * 100).checked_div(cap).unwrap_or(0) as u32,
         };
         FoldSchedule { steps, stats }
     }

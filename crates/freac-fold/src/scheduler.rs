@@ -263,9 +263,7 @@ fn peak_liveness(
     for (i, node) in netlist.nodes().iter().enumerate() {
         let consumer_step = if resource_of(&node.kind).is_some() {
             step_of[i]
-        } else if node.kind.is_sequential()
-            || matches!(node.kind, NodeKind::BitOutput { .. })
-        {
+        } else if node.kind.is_sequential() || matches!(node.kind, NodeKind::BitOutput { .. }) {
             // Latched / read at the end of the pass.
             end
         } else {
@@ -411,7 +409,11 @@ mod tests {
         let cons = FoldConstraints::for_tile(1, LutMode::Lut4);
         assert!(matches!(
             schedule_fold(&n, &cons),
-            Err(FoldError::LutTooWide { width: 8, max: 4, .. })
+            Err(FoldError::LutTooWide {
+                width: 8,
+                max: 4,
+                ..
+            })
         ));
     }
 

@@ -128,14 +128,7 @@ pub fn compile(kernel: &LoopKernel) -> Result<Netlist, HlsError> {
     });
 
     let acc_eff = acc_state.as_ref().map(|(eff, _)| eff.clone());
-    let body_val = lower(
-        &mut b,
-        body,
-        &ports,
-        &bound,
-        &counter32,
-        acc_eff.as_ref(),
-    )?;
+    let body_val = lower(&mut b, body, &ports, &bound, &counter32, acc_eff.as_ref())?;
 
     let result = if let Some(r) = &reduction {
         let mut ports_with_body = ports.clone();
@@ -319,12 +312,10 @@ mod tests {
     #[test]
     fn max_reduction_and_select() {
         // Track the max of |a - b| using select on a < b.
-        let body = Expr::port("a")
-            .lt(Expr::port("b"))
-            .select(
-                Expr::port("b").sub(Expr::port("a")),
-                Expr::port("a").sub(Expr::port("b")),
-            );
+        let body = Expr::port("a").lt(Expr::port("b")).select(
+            Expr::port("b").sub(Expr::port("a")),
+            Expr::port("a").sub(Expr::port("b")),
+        );
         let k = LoopKernel::new("maxdiff", 4)
             .input("a")
             .input("b")
@@ -346,7 +337,7 @@ mod tests {
             .reduce(Reduce::sum());
         let x = [5u32, 5, 5, 5];
         let (got, _) = run_item(&k, &[("x", &x)]);
-        assert_eq!(got, (0 + 1 + 2 + 3) * 5);
+        assert_eq!(got, (1 + 2 + 3) * 5);
     }
 
     #[test]
@@ -361,13 +352,11 @@ mod tests {
         for item in 0..2u32 {
             let mut out = Vec::new();
             for i in 0..3u32 {
-                out = ev
-                    .run_cycle(&[Value::Word(item * 100 + i)])
-                    .expect("runs");
+                out = ev.run_cycle(&[Value::Word(item * 100 + i)]).expect("runs");
             }
             results.push(out[0].as_word().unwrap());
         }
-        assert_eq!(results, vec![0 + 1 + 2, 100 + 101 + 102]);
+        assert_eq!(results, vec![1 + 2, 100 + 101 + 102]);
     }
 
     #[test]

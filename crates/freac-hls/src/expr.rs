@@ -50,6 +50,9 @@ pub enum Expr {
     Select(Box<Expr>, Box<Expr>, Box<Expr>),
 }
 
+// The builder methods construct AST nodes rather than compute values, so
+// they intentionally mirror operator names without implementing the traits.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// A streamed port reference.
     pub fn port(name: &str) -> Expr {
@@ -297,7 +300,9 @@ mod tests {
 
     #[test]
     fn comparisons_and_select() {
-        let e = Expr::lit(3).lt(Expr::lit(5)).select(Expr::lit(10), Expr::lit(20));
+        let e = Expr::lit(3)
+            .lt(Expr::lit(5))
+            .select(Expr::lit(10), Expr::lit(20));
         assert_eq!(e.eval(&no_port, &no_name, 0, 0), 10);
         let e = Expr::lit(5).eq(Expr::lit(5));
         assert_eq!(e.eval(&no_port, &no_name, 0, 0), 1);

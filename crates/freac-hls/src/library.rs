@@ -131,12 +131,19 @@ mod tests {
     fn library_kernels_fold_on_one_cluster() {
         use freac_fold::{schedule_fold, FoldConstraints, LutMode};
         use freac_netlist::techmap::{tech_map, TechMapOptions};
-        for k in [dot(8), saxpy(8, 3), l2_norm_sq(8), relu_sum(8, 5), horner(8, 7), peak(8)] {
-            let mapped = tech_map(&k.compile().expect("compiles"), TechMapOptions::lut4())
-                .expect("maps");
+        for k in [
+            dot(8),
+            saxpy(8, 3),
+            l2_norm_sq(8),
+            relu_sum(8, 5),
+            horner(8, 7),
+            peak(8),
+        ] {
+            let mapped =
+                tech_map(&k.compile().expect("compiles"), TechMapOptions::lut4()).expect("maps");
             let s = schedule_fold(&mapped, &FoldConstraints::for_tile(1, LutMode::Lut4))
                 .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
-            assert!(s.len() >= 1, "{}", k.name());
+            assert!(!s.is_empty(), "{}", k.name());
         }
     }
 }

@@ -40,7 +40,9 @@ pub const SBOX: [u8; 256] = [
     0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
 ];
 
-const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+const RCON: [u8; 11] = [
+    0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36,
+];
 
 /// The fixed cipher key baked into the accelerator (the FIPS-197 example
 /// key).
@@ -96,7 +98,7 @@ pub fn encrypt_block(block: &[u8; 16], key: &[u8; 16]) -> [u8; 16] {
     for (i, b) in s.iter_mut().enumerate() {
         *b ^= rk[0][i];
     }
-    for round in 1..11 {
+    for (round, round_key) in rk.iter().enumerate().skip(1) {
         // SubBytes.
         for b in s.iter_mut() {
             *b = SBOX[*b as usize];
@@ -124,7 +126,7 @@ pub fn encrypt_block(block: &[u8; 16], key: &[u8; 16]) -> [u8; 16] {
         }
         // AddRoundKey.
         for (i, b) in s.iter_mut().enumerate() {
-            *b ^= rk[round][i];
+            *b ^= round_key[i];
         }
     }
     s
@@ -452,8 +454,8 @@ mod tests {
             [0u8; 16],
             [0xff; 16],
             [
-                0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc,
-                0xdd, 0xee, 0xff,
+                0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+                0xee, 0xff,
             ],
         ];
         for pt in &pts {
@@ -485,8 +487,7 @@ mod tests {
             }
             let mut ct = [0u8; 16];
             for c in 0..4 {
-                ct[c * 4..c * 4 + 4]
-                    .copy_from_slice(&out[c].as_word().unwrap().to_le_bytes());
+                ct[c * 4..c * 4 + 4].copy_from_slice(&out[c].as_word().unwrap().to_le_bytes());
             }
             assert_eq!(ct, encrypt_block(pt, &KEY));
         }

@@ -5,36 +5,28 @@
 //! reproducible. They are used by the examples and the integration tests
 //! to drive functional verification with realistic data.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use freac_rand::{seed_from_name, Rng64};
 
 use crate::id::KernelId;
 
 /// A reproducible data source for a kernel.
 #[derive(Debug)]
 pub struct DataGen {
-    rng: StdRng,
+    rng: Rng64,
 }
 
 impl DataGen {
     /// A generator seeded per kernel (same kernel, same data).
     pub fn for_kernel(id: KernelId) -> Self {
-        // Stable per-kernel seed derived from the kernel's name.
-        let seed = id
-            .name()
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-            });
         DataGen {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng64::new(seed_from_name(id.name())),
         }
     }
 
     /// A generator with an explicit seed.
     pub fn with_seed(seed: u64) -> Self {
         DataGen {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng64::new(seed),
         }
     }
 
@@ -45,8 +37,7 @@ impl DataGen {
     ///
     /// Panics if `limit` is zero.
     pub fn words(&mut self, n: usize, limit: u32) -> Vec<u32> {
-        assert!(limit > 0, "limit must be positive");
-        (0..n).map(|_| self.rng.gen_range(0..limit)).collect()
+        self.rng.words(n, limit)
     }
 
     /// `n` bytes drawn from the given alphabet (e.g. DNA or text bases).
@@ -56,15 +47,13 @@ impl DataGen {
     /// Panics if `alphabet` is empty.
     pub fn text(&mut self, n: usize, alphabet: &[u8]) -> Vec<u8> {
         assert!(!alphabet.is_empty(), "alphabet must be non-empty");
-        (0..n)
-            .map(|_| alphabet[self.rng.gen_range(0..alphabet.len())])
-            .collect()
+        (0..n).map(|_| *self.rng.pick(alphabet)).collect()
     }
 
     /// An AES block.
     pub fn block(&mut self) -> [u8; 16] {
         let mut b = [0u8; 16];
-        self.rng.fill(&mut b);
+        self.rng.fill_bytes(&mut b);
         b
     }
 

@@ -148,9 +148,7 @@ mod tests {
         let w0 = 0x8000_0000u32 / 3; // big positive, product wraps negative
         for i in 0..IN {
             let (wv, xv) = if i == 0 { (w0, 7u32) } else { (0, 0) };
-            let out = ev
-                .run_cycle(&[Value::Word(wv), Value::Word(xv)])
-                .unwrap();
+            let out = ev.run_cycle(&[Value::Word(wv), Value::Word(xv)]).unwrap();
             last = (out[0].as_word().unwrap(), out[1] == Value::Bit(true));
         }
         assert!(last.1, "final cycle must assert done");

@@ -87,16 +87,16 @@ pub trait Kernel: Send + Sync {
 /// Constructs the kernel implementation for an id.
 pub fn kernel(id: KernelId) -> Box<dyn Kernel> {
     match id {
-        KernelId::Aes => Box::new(aes::Aes::default()),
-        KernelId::Conv => Box::new(conv::Conv::default()),
-        KernelId::Dot => Box::new(dot::Dot::default()),
-        KernelId::Fc => Box::new(fc::Fc::default()),
-        KernelId::Gemm => Box::new(gemm::Gemm::default()),
-        KernelId::Kmp => Box::new(kmp::Kmp::default()),
-        KernelId::Nw => Box::new(nw::Nw::default()),
-        KernelId::Srt => Box::new(srt::Srt::default()),
-        KernelId::Stn2 => Box::new(stn2::Stn2::default()),
-        KernelId::Stn3 => Box::new(stn3::Stn3::default()),
-        KernelId::Vadd => Box::new(vadd::Vadd::default()),
+        KernelId::Aes => Box::new(aes::Aes),
+        KernelId::Conv => Box::new(conv::Conv),
+        KernelId::Dot => Box::new(dot::Dot),
+        KernelId::Fc => Box::new(fc::Fc),
+        KernelId::Gemm => Box::new(gemm::Gemm),
+        KernelId::Kmp => Box::new(kmp::Kmp),
+        KernelId::Nw => Box::new(nw::Nw),
+        KernelId::Srt => Box::new(srt::Srt),
+        KernelId::Stn2 => Box::new(stn2::Stn2),
+        KernelId::Stn3 => Box::new(stn3::Stn3),
+        KernelId::Vadd => Box::new(vadd::Vadd),
     }
 }

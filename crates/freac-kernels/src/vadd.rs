@@ -15,10 +15,7 @@ pub const N: u64 = 16 * 1024;
 
 /// Software reference.
 pub fn reference(a: &[u32], b: &[u32]) -> Vec<u32> {
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| x.wrapping_add(y))
-        .collect()
+    a.iter().zip(b).map(|(&x, &y)| x.wrapping_add(y)).collect()
 }
 
 /// Builds the element datapath: one 32-bit ripple adder.
@@ -99,9 +96,7 @@ mod tests {
         let n = build_circuit();
         let mut ev = Evaluator::new(&n);
         for (x, y) in [(0u32, 0u32), (u32::MAX, 1), (123_456, 654_321)] {
-            let out = ev
-                .run_cycle(&[Value::Word(x), Value::Word(y)])
-                .unwrap();
+            let out = ev.run_cycle(&[Value::Word(x), Value::Word(y)]).unwrap();
             assert_eq!(out[0].as_word(), Some(x.wrapping_add(y)));
         }
     }

@@ -1,22 +1,30 @@
 //! Property-based verification of the kernel circuits against their
 //! software references, through the netlist evaluator.
+//!
+//! Each test runs a deterministic seeded case loop (`freac_rand::cases`),
+//! the offline stand-in for a property-test harness.
 
 use freac_kernels::{aes, dot, fc, gemm, kmp, nw, srt, stn2, stn3, vadd};
 use freac_netlist::eval::Evaluator;
 use freac_netlist::Value;
-use proptest::prelude::*;
+use freac_rand::cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn aes_circuit_encrypts_any_block(pt in prop::array::uniform16(any::<u8>())) {
+#[test]
+fn aes_circuit_encrypts_any_block() {
+    cases(32, 0xAE5, |rng| {
+        let mut pt = [0u8; 16];
+        rng.fill_bytes(&mut pt);
         let n = aes::build_circuit();
         let mut ev = Evaluator::new(&n);
         let inputs: Vec<Value> = (0..4)
-            .map(|c| Value::Word(u32::from_le_bytes([
-                pt[c * 4], pt[c * 4 + 1], pt[c * 4 + 2], pt[c * 4 + 3],
-            ])))
+            .map(|c| {
+                Value::Word(u32::from_le_bytes([
+                    pt[c * 4],
+                    pt[c * 4 + 1],
+                    pt[c * 4 + 2],
+                    pt[c * 4 + 3],
+                ]))
+            })
             .collect();
         let mut out = Vec::new();
         for _ in 0..11 {
@@ -24,25 +32,30 @@ proptest! {
         }
         let mut ct = [0u8; 16];
         for c in 0..4 {
-            ct[c * 4..c * 4 + 4].copy_from_slice(
-                &out[c].as_word().expect("word").to_le_bytes(),
-            );
+            ct[c * 4..c * 4 + 4].copy_from_slice(&out[c].as_word().expect("word").to_le_bytes());
         }
-        prop_assert_eq!(ct, aes::encrypt_block(&pt, &aes::KEY));
-    }
+        assert_eq!(ct, aes::encrypt_block(&pt, &aes::KEY));
+    });
+}
 
-    #[test]
-    fn vadd_circuit_adds_any_pair(a in any::<u32>(), b in any::<u32>()) {
+#[test]
+fn vadd_circuit_adds_any_pair() {
+    cases(32, 0xADD, |rng| {
+        let (a, b) = (rng.next_u32(), rng.next_u32());
         let n = vadd::build_circuit();
         let mut ev = Evaluator::new(&n);
-        let out = ev.run_cycle(&[Value::Word(a), Value::Word(b)]).expect("runs");
-        prop_assert_eq!(out[0].as_word(), Some(a.wrapping_add(b)));
-    }
+        let out = ev
+            .run_cycle(&[Value::Word(a), Value::Word(b)])
+            .expect("runs");
+        assert_eq!(out[0].as_word(), Some(a.wrapping_add(b)));
+    });
+}
 
-    #[test]
-    fn dot_circuit_accumulates_any_stream(
-        pairs in prop::collection::vec((any::<u32>(), any::<u32>()), 1..12)
-    ) {
+#[test]
+fn dot_circuit_accumulates_any_stream() {
+    cases(32, 0xD07, |rng| {
+        let len = 1 + rng.index(11);
+        let pairs: Vec<(u32, u32)> = (0..len).map(|_| (rng.next_u32(), rng.next_u32())).collect();
         let n = dot::build_circuit();
         let mut ev = Evaluator::new(&n);
         let mut last = 0;
@@ -54,28 +67,41 @@ proptest! {
                 .expect("word");
         }
         let (xs, ys): (Vec<u32>, Vec<u32>) = pairs.into_iter().unzip();
-        prop_assert_eq!(last, dot::reference(&xs, &ys));
-    }
+        assert_eq!(last, dot::reference(&xs, &ys));
+    });
+}
 
-    #[test]
-    fn srt_compare_exchange_sorts_any_pair(a in any::<u32>(), b in any::<u32>()) {
+#[test]
+fn srt_compare_exchange_sorts_any_pair() {
+    cases(32, 0x5127, |rng| {
+        let (a, b) = (rng.next_u32(), rng.next_u32());
         let n = srt::build_circuit();
         let mut ev = Evaluator::new(&n);
-        let out = ev.run_cycle(&[Value::Word(a), Value::Word(b)]).expect("runs");
+        let out = ev
+            .run_cycle(&[Value::Word(a), Value::Word(b)])
+            .expect("runs");
         let (mn, mx) = srt::compare_exchange(a, b);
-        prop_assert_eq!(out[0].as_word(), Some(mn));
-        prop_assert_eq!(out[1].as_word(), Some(mx));
-        prop_assert!(mn <= mx);
-    }
+        assert_eq!(out[0].as_word(), Some(mn));
+        assert_eq!(out[1].as_word(), Some(mx));
+        assert!(mn <= mx);
+    });
+}
 
-    #[test]
-    fn stencils_sum_any_inputs(vals in prop::array::uniform7(any::<u32>())) {
+#[test]
+fn stencils_sum_any_inputs() {
+    cases(32, 0x57E4, |rng| {
+        let vals: [u32; 7] = std::array::from_fn(|_| rng.next_u32());
         let n2 = stn2::build_circuit();
         let mut e2 = Evaluator::new(&n2);
         let o = e2
-            .run_cycle(&vals[..5].iter().map(|&v| Value::Word(v)).collect::<Vec<_>>())
+            .run_cycle(
+                &vals[..5]
+                    .iter()
+                    .map(|&v| Value::Word(v))
+                    .collect::<Vec<_>>(),
+            )
             .expect("runs");
-        prop_assert_eq!(
+        assert_eq!(
             o[0].as_word(),
             Some(stn2::point(vals[0], vals[1], vals[2], vals[3], vals[4]))
         );
@@ -85,39 +111,41 @@ proptest! {
         let o = e3
             .run_cycle(&vals.iter().map(|&v| Value::Word(v)).collect::<Vec<_>>())
             .expect("runs");
-        prop_assert_eq!(o[0].as_word(), Some(stn3::point(vals)));
-    }
+        assert_eq!(o[0].as_word(), Some(stn3::point(vals)));
+    });
+}
 
-    #[test]
-    fn nw_cell_matches_for_any_scores(
-        nwv in 0u16..4096,
-        n in 0u16..4096,
-        w in 0u16..4096,
-        a in any::<u8>(),
-        b in any::<u8>(),
-    ) {
+#[test]
+fn nw_cell_matches_for_any_scores() {
+    cases(32, 0x2121, |rng| {
+        let nwv = rng.range_u32(0, 4096) as u16;
+        let n = rng.range_u32(0, 4096) as u16;
+        let w = rng.range_u32(0, 4096) as u16;
+        let a = rng.range_u32(0, 256) as u8;
+        let b = rng.range_u32(0, 256) as u8;
         let net = nw::build_circuit();
         let mut ev = Evaluator::new(&net);
         let out = ev
             .run_cycle(&[
-                Value::Word(nwv as u32),
-                Value::Word(n as u32),
-                Value::Word(w as u32),
-                Value::Word(a as u32),
-                Value::Word(b as u32),
+                Value::Word(u32::from(nwv)),
+                Value::Word(u32::from(n)),
+                Value::Word(u32::from(w)),
+                Value::Word(u32::from(a)),
+                Value::Word(u32::from(b)),
             ])
             .expect("runs");
-        prop_assert_eq!(out[0].as_word(), Some(nw::cell(nwv, n, w, a, b) as u32));
-    }
+        assert_eq!(out[0].as_word(), Some(u32::from(nw::cell(nwv, n, w, a, b))));
+    });
+}
 
-    #[test]
-    fn kmp_counts_any_text(text in prop::collection::vec(
-        prop::sample::select(b"ABX".to_vec()), 4..64)
-    ) {
-        let text: Vec<u8> = text;
+#[test]
+fn kmp_counts_any_text() {
+    cases(32, 0x144, |rng| {
+        let len = 4 + rng.index(60);
+        let text: Vec<u8> = (0..len).map(|_| *rng.pick(b"ABX")).collect();
         let full = &text[..text.len() - text.len() % 4];
         if full.is_empty() {
-            return Ok(());
+            return;
         }
         let n = kmp::build_circuit();
         let mut ev = Evaluator::new(&n);
@@ -129,53 +157,60 @@ proptest! {
                 .as_word()
                 .expect("word");
         }
-        prop_assert_eq!(last, kmp::count_matches(full));
-    }
+        assert_eq!(last, kmp::count_matches(full));
+    });
+}
 
-    #[test]
-    fn gemm_pe_any_depth64_stream(
-        a in prop::collection::vec(0u32..10_000, 64),
-        b in prop::collection::vec(0u32..10_000, 64),
-    ) {
+#[test]
+fn gemm_pe_any_depth64_stream() {
+    cases(32, 0x6E88, |rng| {
+        let a = rng.words(64, 10_000);
+        let b = rng.words(64, 10_000);
         let n = gemm::build_circuit();
         let mut ev = Evaluator::new(&n);
         let mut out = Vec::new();
         for (&x, &y) in a.iter().zip(&b) {
-            out = ev.run_cycle(&[Value::Word(x), Value::Word(y)]).expect("runs");
+            out = ev
+                .run_cycle(&[Value::Word(x), Value::Word(y)])
+                .expect("runs");
         }
         let expect = a
             .iter()
             .zip(&b)
             .fold(0u32, |s, (&x, &y)| s.wrapping_add(x.wrapping_mul(y)));
-        prop_assert_eq!(out[0].as_word(), Some(expect));
-        prop_assert_eq!(out[1].clone(), Value::Bit(true));
-    }
+        assert_eq!(out[0].as_word(), Some(expect));
+        assert_eq!(out[1].clone(), Value::Bit(true));
+    });
+}
 
-    #[test]
-    fn fc_neuron_relu_any_weights(
-        w in prop::collection::vec(any::<u32>(), fc::IN as usize),
-        x in prop::collection::vec(0u32..256, fc::IN as usize),
-    ) {
+#[test]
+fn fc_neuron_relu_any_weights() {
+    cases(32, 0xFC, |rng| {
+        let w: Vec<u32> = (0..fc::IN as usize).map(|_| rng.next_u32()).collect();
+        let x = rng.words(fc::IN as usize, 256);
         let n = fc::build_circuit();
         let mut ev = Evaluator::new(&n);
         let mut out = Vec::new();
         for (&wv, &xv) in w.iter().zip(&x) {
-            out = ev.run_cycle(&[Value::Word(wv), Value::Word(xv)]).expect("runs");
+            out = ev
+                .run_cycle(&[Value::Word(wv), Value::Word(xv)])
+                .expect("runs");
         }
-        prop_assert_eq!(out[0].as_word(), Some(fc::neuron(&w, &x)));
-    }
+        assert_eq!(out[0].as_word(), Some(fc::neuron(&w, &x)));
+    });
+}
 
-    #[test]
-    fn nw_alignment_score_bounds(
-        seq in prop::collection::vec(prop::sample::select(b"ACGT".to_vec()), 1..24)
-    ) {
+#[test]
+fn nw_alignment_score_bounds() {
+    cases(32, 0xA119, |rng| {
         // Aligning a sequence with itself scores +len; against anything it
         // can never exceed that.
-        let seq: Vec<u8> = seq;
+        let len = 1 + rng.index(23);
+        let seq: Vec<u8> = (0..len).map(|_| *rng.pick(b"ACGT")).collect();
         let self_score = nw::align_score(&seq, &seq);
-        prop_assert_eq!(self_score, nw::BIAS + seq.len() as u16);
+        assert_eq!(self_score, nw::BIAS + seq.len() as u16);
         let reversed: Vec<u8> = seq.iter().rev().copied().collect();
         let cross = nw::align_score(&seq, &reversed);
-        prop_assert!(cross <= self_score);
-    }
+        assert!(cross <= self_score);
+    });
 }

@@ -162,11 +162,10 @@ impl CircuitBuilder {
     pub fn bit_input(&mut self, name: &str) -> Wire {
         let idx = self.n_bit_inputs;
         self.n_bit_inputs += 1;
-        Wire(self.netlist.push(
-            NodeKind::BitInput { index: idx },
-            vec![],
-            Some(name),
-        ))
+        Wire(
+            self.netlist
+                .push(NodeKind::BitInput { index: idx }, vec![], Some(name)),
+        )
     }
 
     /// Declares a primary word input of `width` bits; fetching it costs one
@@ -183,7 +182,12 @@ impl CircuitBuilder {
             .netlist
             .push(NodeKind::WordInput { index: idx }, vec![], Some(name));
         let bits = (0..width)
-            .map(|b| Wire(self.netlist.push(NodeKind::Unpack { bit: b as u32 }, vec![w], None)))
+            .map(|b| {
+                Wire(
+                    self.netlist
+                        .push(NodeKind::Unpack { bit: b as u32 }, vec![w], None),
+                )
+            })
             .collect();
         Word {
             bits,
@@ -236,7 +240,10 @@ impl CircuitBuilder {
     pub fn const_word(&mut self, value: u32, width: usize) -> Word {
         assert!((1..=32).contains(&width), "word width must be 1..=32");
         if width < 32 {
-            assert!(value < (1u32 << width), "constant {value} does not fit in {width} bits");
+            assert!(
+                value < (1u32 << width),
+                "constant {value} does not fit in {width} bits"
+            );
         }
         let bits = (0..width)
             .map(|i| self.const_bit((value >> i) & 1 == 1))
@@ -315,7 +322,11 @@ impl CircuitBuilder {
         self.reduce(wires, |b, x, y| b.or(x, y))
     }
 
-    fn reduce(&mut self, wires: &[Wire], mut op: impl FnMut(&mut Self, Wire, Wire) -> Wire) -> Wire {
+    fn reduce(
+        &mut self,
+        wires: &[Wire],
+        mut op: impl FnMut(&mut Self, Wire, Wire) -> Wire,
+    ) -> Wire {
         assert!(!wires.is_empty(), "cannot reduce zero wires");
         // Balanced tree to minimize depth.
         let mut layer: Vec<Wire> = wires.to_vec();
@@ -586,7 +597,10 @@ impl CircuitBuilder {
             !in_bits.is_empty() && in_bits.len() <= 16,
             "rom index width must be 1..=16"
         );
-        assert!((1..=32).contains(&out_width), "rom entry width must be 1..=32");
+        assert!(
+            (1..=32).contains(&out_width),
+            "rom entry width must be 1..=32"
+        );
         assert_eq!(table.len(), 1usize << in_bits.len(), "rom size mismatch");
         let bits = (0..out_width)
             .map(|b| {
@@ -606,8 +620,7 @@ impl CircuitBuilder {
     /// the D input later (for feedback paths).
     pub fn ff(&mut self, init: bool) -> (Wire, FfHandle) {
         let node = NodeId(self.netlist.len() as u32);
-        self.netlist
-            .push(NodeKind::Ff { init }, vec![node], None); // self-loop placeholder
+        self.netlist.push(NodeKind::Ff { init }, vec![node], None); // self-loop placeholder
         self.pending_seq.push(node);
         (Wire(node), FfHandle { node })
     }
@@ -633,7 +646,12 @@ impl CircuitBuilder {
             .push(NodeKind::WordReg { init }, vec![node], None);
         self.pending_seq.push(node);
         let bits = (0..width)
-            .map(|b| Wire(self.netlist.push(NodeKind::Unpack { bit: b as u32 }, vec![node], None)))
+            .map(|b| {
+                Wire(
+                    self.netlist
+                        .push(NodeKind::Unpack { bit: b as u32 }, vec![node], None),
+                )
+            })
             .collect();
         (
             Word {
@@ -665,7 +683,12 @@ impl CircuitBuilder {
         let cn = self.as_word_node(acc);
         let m = self.netlist.push(NodeKind::Mac, vec![an, bn, cn], None);
         let bits = (0..32)
-            .map(|b| Wire(self.netlist.push(NodeKind::Unpack { bit: b as u32 }, vec![m], None)))
+            .map(|b| {
+                Wire(
+                    self.netlist
+                        .push(NodeKind::Unpack { bit: b as u32 }, vec![m], None),
+                )
+            })
             .collect();
         Word {
             bits,

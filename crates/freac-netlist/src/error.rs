@@ -73,7 +73,10 @@ impl fmt::Display for NetlistError {
                 "arity mismatch at node {node}: expected {expected} inputs, found {found}"
             ),
             NetlistError::TruthTableTooWide { inputs, max } => {
-                write!(f, "truth table with {inputs} inputs exceeds maximum of {max}")
+                write!(
+                    f,
+                    "truth table with {inputs} inputs exceeds maximum of {max}"
+                )
             }
             NetlistError::InputCountMismatch { expected, found } => write!(
                 f,
@@ -109,7 +112,10 @@ mod tests {
                 expected: 3,
                 found: 2,
             },
-            NetlistError::TruthTableTooWide { inputs: 19, max: 16 },
+            NetlistError::TruthTableTooWide {
+                inputs: 19,
+                max: 16,
+            },
             NetlistError::InputCountMismatch {
                 expected: 2,
                 found: 1,

@@ -33,7 +33,9 @@ impl<'a> Evaluator<'a> {
     /// cycle — construct netlists through
     /// [`CircuitBuilder`](crate::builder::CircuitBuilder) to rule both out.
     pub fn new(netlist: &'a Netlist) -> Self {
-        netlist.validate().expect("netlist must be structurally valid");
+        netlist
+            .validate()
+            .expect("netlist must be structurally valid");
         let leveled = level_graph(netlist).expect("netlist must be acyclic");
         let mut state = vec![Value::Bit(false); netlist.len()];
         for (i, node) in netlist.nodes().iter().enumerate() {
@@ -106,7 +108,10 @@ impl<'a> Evaluator<'a> {
                 NodeKind::Lut(t) => {
                     let mut row = 0usize;
                     for (i, &inp) in node.inputs.iter().enumerate() {
-                        if self.values[inp.index()].as_bit().expect("validated bit operand") {
+                        if self.values[inp.index()]
+                            .as_bit()
+                            .expect("validated bit operand")
+                        {
                             row |= 1 << i;
                         }
                     }
@@ -121,7 +126,10 @@ impl<'a> Evaluator<'a> {
                 NodeKind::Pack => {
                     let mut w = 0u32;
                     for (i, &inp) in node.inputs.iter().enumerate() {
-                        if self.values[inp.index()].as_bit().expect("validated bit operand") {
+                        if self.values[inp.index()]
+                            .as_bit()
+                            .expect("validated bit operand")
+                        {
                             w |= 1 << i;
                         }
                     }
@@ -159,7 +167,11 @@ impl<'a> Evaluator<'a> {
     /// # Errors
     ///
     /// Propagates input mismatch errors from [`Self::run_cycle`].
-    pub fn run_cycles(&mut self, inputs: &[Value], cycles: usize) -> Result<Vec<Value>, NetlistError> {
+    pub fn run_cycles(
+        &mut self,
+        inputs: &[Value],
+        cycles: usize,
+    ) -> Result<Vec<Value>, NetlistError> {
         let mut last = Vec::new();
         for _ in 0..cycles {
             last = self.run_cycle(inputs)?;
@@ -219,7 +231,10 @@ mod tests {
         let mut ev = Evaluator::new(&n);
         assert!(matches!(
             ev.run_cycle(&[]),
-            Err(NetlistError::InputCountMismatch { expected: 1, found: 0 })
+            Err(NetlistError::InputCountMismatch {
+                expected: 1,
+                found: 0
+            })
         ));
     }
 
@@ -258,7 +273,11 @@ mod tests {
             let mut b = CircuitBuilder::new("g");
             let a = b.word_input("a", 4);
             let c = b.word_input("b", 4);
-            let r = if xor { b.xor_words(&a, &c) } else { b.and_words(&a, &c) };
+            let r = if xor {
+                b.xor_words(&a, &c)
+            } else {
+                b.and_words(&a, &c)
+            };
             b.word_output("r", &r);
             b.finish().unwrap()
         };

@@ -163,7 +163,10 @@ impl NodeKind {
     /// Whether evaluating this node consumes a bus operation in the fold
     /// schedule (operand fetch or result writeback).
     pub fn is_bus_op(&self) -> bool {
-        matches!(self, NodeKind::WordInput { .. } | NodeKind::WordOutput { .. })
+        matches!(
+            self,
+            NodeKind::WordInput { .. } | NodeKind::WordOutput { .. }
+        )
     }
 
     /// Short mnemonic for debug output.
@@ -242,7 +245,9 @@ impl Netlist {
     ///
     /// Returns [`NetlistError::UnknownNode`] for an out-of-range id.
     pub fn node(&self, id: NodeId) -> Result<&Node, NetlistError> {
-        self.nodes.get(id.index()).ok_or(NetlistError::UnknownNode(id))
+        self.nodes
+            .get(id.index())
+            .ok_or(NetlistError::UnknownNode(id))
     }
 
     /// Primary inputs in declaration order.
@@ -443,7 +448,11 @@ mod tests {
         n.push(NodeKind::Lut(TruthTable::xor2()), vec![a], None);
         assert!(matches!(
             n.validate(),
-            Err(NetlistError::ArityMismatch { expected: 2, found: 1, .. })
+            Err(NetlistError::ArityMismatch {
+                expected: 2,
+                found: 1,
+                ..
+            })
         ));
     }
 
@@ -453,14 +462,20 @@ mod tests {
         let w = n.push(NodeKind::WordInput { index: 0 }, vec![], None);
         let i = n.push(NodeKind::BitInput { index: 1 }, vec![], None);
         n.push(NodeKind::Mac, vec![w, w, i], None);
-        assert!(matches!(n.validate(), Err(NetlistError::TypeMismatch { .. })));
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::TypeMismatch { .. })
+        ));
     }
 
     #[test]
     fn validate_rejects_unknown_node() {
         let mut n = Netlist::new("bad");
         n.push(NodeKind::BitOutput { index: 0 }, vec![NodeId(99)], None);
-        assert!(matches!(n.validate(), Err(NetlistError::UnknownNode(NodeId(99)))));
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::UnknownNode(NodeId(99)))
+        ));
     }
 
     #[test]
@@ -472,7 +487,10 @@ mod tests {
         assert!(NodeKind::WordOutput { index: 0 }.is_bus_op());
         assert!(!NodeKind::BitInput { index: 0 }.is_bus_op());
         assert_eq!(NodeKind::Mac.output_type(), SignalType::Word);
-        assert_eq!(NodeKind::Lut(TruthTable::and2()).output_type(), SignalType::Bit);
+        assert_eq!(
+            NodeKind::Lut(TruthTable::and2()).output_type(),
+            SignalType::Bit
+        );
     }
 
     #[test]

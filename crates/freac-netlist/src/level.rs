@@ -107,13 +107,17 @@ pub fn level_graph(netlist: &Netlist) -> Result<LeveledGraph, NetlistError> {
     } else {
         level.iter().copied().max().unwrap_or(0) + 1
     };
-    Ok(LeveledGraph { order, level, depth })
+    Ok(LeveledGraph {
+        order,
+        level,
+        depth,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::{NodeKind, Netlist};
+    use crate::graph::{Netlist, NodeKind};
     use crate::truth::TruthTable;
 
     #[test]

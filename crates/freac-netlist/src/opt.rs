@@ -69,10 +69,7 @@ pub fn pack_luts(netlist: &Netlist, k: usize) -> Result<(Netlist, PackReport), N
     // invariant for combinational nodes), so each merge sees producers that
     // are themselves already packed.
     for c in 0..netlist.len() {
-        loop {
-            let NodeKind::Lut(c_table) = kinds[c].clone() else {
-                break;
-            };
+        while let NodeKind::Lut(c_table) = kinds[c].clone() {
             // Find a mergeable operand: a LUT with exactly one fanout.
             let candidate = inputs[c].iter().enumerate().find_map(|(pos, &p)| {
                 let pi = p.index();
@@ -83,11 +80,8 @@ pub fn pack_luts(netlist: &Netlist, k: usize) -> Result<(Netlist, PackReport), N
                     return None;
                 };
                 // Combined support: consumer inputs minus p, plus p's inputs.
-                let mut support: Vec<NodeId> = inputs[c]
-                    .iter()
-                    .copied()
-                    .filter(|&x| x != p)
-                    .collect();
+                let mut support: Vec<NodeId> =
+                    inputs[c].iter().copied().filter(|&x| x != p).collect();
                 for &pin in &inputs[pi] {
                     if !support.contains(&pin) {
                         support.push(pin);
@@ -106,11 +100,8 @@ pub fn pack_luts(netlist: &Netlist, k: usize) -> Result<(Netlist, PackReport), N
             // Build the merged table over `support`.
             let c_inputs = inputs[c].clone();
             let p_inputs = inputs[p.index()].clone();
-            let position_of: HashMap<NodeId, usize> = support
-                .iter()
-                .enumerate()
-                .map(|(i, &n)| (n, i))
-                .collect();
+            let position_of: HashMap<NodeId, usize> =
+                support.iter().enumerate().map(|(i, &n)| (n, i)).collect();
             let merged = TruthTable::from_fn(support.len(), |row| {
                 let bit_of = |n: NodeId| (row >> position_of[&n]) & 1 == 1;
                 // Evaluate the producer on this assignment.
@@ -142,7 +133,7 @@ pub fn pack_luts(netlist: &Netlist, k: usize) -> Result<(Netlist, PackReport), N
             // zero change.
             for &pin in &p_inputs {
                 fanout[pin.index()] -= 1;
-                let already_read_by_c = c_inputs.iter().any(|&x| x == pin);
+                let already_read_by_c = c_inputs.contains(&pin);
                 if !already_read_by_c {
                     fanout[pin.index()] += 1;
                 }
@@ -194,7 +185,7 @@ pub fn pack_luts(netlist: &Netlist, k: usize) -> Result<(Netlist, PackReport), N
     ))
 }
 
-fn primary_name<'a>(netlist: &'a Netlist, id: NodeId) -> Option<&'a str> {
+fn primary_name(netlist: &Netlist, id: NodeId) -> Option<&str> {
     let node = &netlist.nodes()[id.index()];
     match node.kind {
         NodeKind::BitInput { .. } | NodeKind::WordInput { .. } => {
@@ -255,7 +246,9 @@ mod tests {
         let (packed, report) = pack_luts(&n, 4).unwrap();
         assert!(report.merges > 0, "xor tree must pack");
         assert!(report.reduction() > 0.3, "got {}", report.reduction());
-        let vecs: Vec<Vec<Value>> = (0..200u32).map(|i| vec![Value::Word(i * 327 % 65536)]).collect();
+        let vecs: Vec<Vec<Value>> = (0..200u32)
+            .map(|i| vec![Value::Word(i * 327 % 65536)])
+            .collect();
         assert!(equivalent_on(&n, &packed, &vecs, 1).unwrap());
     }
 

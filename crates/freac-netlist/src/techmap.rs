@@ -237,7 +237,9 @@ mod tests {
     #[test]
     fn eight_input_rom_maps_to_lut4_exactly() {
         // A pseudo-random 256-entry byte table, like an S-box.
-        let entries: Vec<u32> = (0..256u32).map(|i| (i.wrapping_mul(167).wrapping_add(13)) & 0xFF).collect();
+        let entries: Vec<u32> = (0..256u32)
+            .map(|i| (i.wrapping_mul(167).wrapping_add(13)) & 0xFF)
+            .collect();
         let n = rom_circuit(&entries, 8, 8);
         let mapped = tech_map(&n, TechMapOptions::lut4()).unwrap();
         assert!(max_lut_width(&mapped) <= 4);
@@ -254,7 +256,10 @@ mod tests {
         let m5 = tech_map(&n, TechMapOptions::lut5()).unwrap();
         let c4 = NetlistStats::of(&m4).luts;
         let c5 = NetlistStats::of(&m5).luts;
-        assert!(c5 <= c4, "5-LUT mapping should not need more LUTs ({c5} vs {c4})");
+        assert!(
+            c5 <= c4,
+            "5-LUT mapping should not need more LUTs ({c5} vs {c4})"
+        );
     }
 
     #[test]

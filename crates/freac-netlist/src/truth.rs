@@ -259,7 +259,10 @@ mod tests {
     fn too_wide_rejected() {
         assert!(matches!(
             TruthTable::constant(17, false),
-            Err(NetlistError::TruthTableTooWide { inputs: 17, max: 16 })
+            Err(NetlistError::TruthTableTooWide {
+                inputs: 17,
+                max: 16
+            })
         ));
     }
 

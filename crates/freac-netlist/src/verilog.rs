@@ -183,7 +183,13 @@ fn width_decl(netlist: &Netlist, id: NodeId) -> &'static str {
 fn sanitize(name: &str) -> String {
     let mut s: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
         s.insert(0, '_');
@@ -244,10 +250,9 @@ mod tests {
         let n = sample();
         let v = to_verilog(&n);
         for i in 0..n.len() {
-            let drives = v
-                .matches(&format!("assign n{i} = "))
-                .count()
-                + v.matches(&format!("always @(posedge clk) n{i} <= ")).count();
+            let drives = v.matches(&format!("assign n{i} = ")).count()
+                + v.matches(&format!("always @(posedge clk) n{i} <= "))
+                    .count();
             assert_eq!(drives, 1, "node n{i} must have exactly one driver");
         }
     }

@@ -1,40 +1,48 @@
 //! Algebraic properties of truth tables — the foundations the Shannon
-//! technology mapper rests on.
+//! technology mapper rests on. Driven by deterministic seeded case loops
+//! (`freac_rand::cases`).
 
 use freac_netlist::TruthTable;
-use proptest::prelude::*;
+use freac_rand::{cases, Rng64};
 
-/// Strategy: a random truth table of 1..=8 inputs.
-fn table() -> impl Strategy<Value = TruthTable> {
-    (1usize..=8, any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
-        |(n, a, b, c, d)| {
-            let words = [a, b, c, d];
-            TruthTable::from_fn(n, |row| (words[row / 64] >> (row % 64)) & 1 == 1)
-                .expect("n <= 8 is valid")
-        },
-    )
+/// A random truth table of 1..=8 inputs.
+fn table(rng: &mut Rng64) -> TruthTable {
+    let n = 1 + rng.index(8);
+    let words = [
+        rng.next_u64(),
+        rng.next_u64(),
+        rng.next_u64(),
+        rng.next_u64(),
+    ];
+    TruthTable::from_fn(n, |row| (words[row / 64] >> (row % 64)) & 1 == 1).expect("n <= 8 is valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn shannon_expansion_is_an_identity(t in table(), var_seed in any::<usize>()) {
+#[test]
+fn shannon_expansion_is_an_identity() {
+    cases(128, 0x7841, |rng| {
         // f(x) == (x_v ? f|x_v=1 : f|x_v=0) for every variable v and row.
-        let var = var_seed % t.inputs();
+        let t = table(rng);
+        let var = rng.index(t.inputs());
         let (lo, hi) = t.cofactors(var);
         for row in 0..t.rows() {
             let bit = (row >> var) & 1 == 1;
             // Remove variable `var` from the row index for the cofactor.
             let low_mask = (1usize << var) - 1;
             let reduced = (row & low_mask) | ((row & !(low_mask | (1 << var))) >> 1);
-            let expect = if bit { hi.get(reduced) } else { lo.get(reduced) };
-            prop_assert_eq!(t.get(row), expect, "row {}, var {}", row, var);
+            let expect = if bit {
+                hi.get(reduced)
+            } else {
+                lo.get(reduced)
+            };
+            assert_eq!(t.get(row), expect, "row {row}, var {var}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn support_reduction_preserves_the_function(t in table()) {
+#[test]
+fn support_reduction_preserves_the_function() {
+    cases(128, 0x7842, |rng| {
+        let t = table(rng);
         let (reduced, map) = t.support_reduce();
         for row in 0..t.rows() {
             let mut rrow = 0usize;
@@ -43,50 +51,62 @@ proptest! {
                     rrow |= 1 << new_pos;
                 }
             }
-            prop_assert_eq!(t.get(row), reduced.get(rrow));
+            assert_eq!(t.get(row), reduced.get(rrow));
         }
-    }
+    });
+}
 
-    #[test]
-    fn support_reduction_is_idempotent(t in table()) {
+#[test]
+fn support_reduction_is_idempotent() {
+    cases(128, 0x7843, |rng| {
+        let t = table(rng);
         let (once, _) = t.support_reduce();
         let (twice, map) = once.support_reduce();
-        prop_assert_eq!(once.inputs(), twice.inputs());
-        prop_assert_eq!(map, (0..once.inputs()).collect::<Vec<_>>());
-    }
+        assert_eq!(once.inputs(), twice.inputs());
+        assert_eq!(map, (0..once.inputs()).collect::<Vec<_>>());
+    });
+}
 
-    #[test]
-    fn reduced_tables_depend_on_every_input(t in table()) {
+#[test]
+fn reduced_tables_depend_on_every_input() {
+    cases(128, 0x7844, |rng| {
+        let t = table(rng);
         let (reduced, _) = t.support_reduce();
         for v in 0..reduced.inputs() {
             if reduced.inputs() > 0 && reduced.is_constant().is_none() {
                 // Every surviving input must be live.
-                prop_assert!(
+                assert!(
                     !reduced.is_independent_of(v),
                     "input {v} survived support reduction but is dead"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn cofactor_distance_zero_iff_independent(t in table(), var_seed in any::<usize>()) {
-        let var = var_seed % t.inputs();
-        prop_assert_eq!(t.cofactor_distance(var) == 0, t.is_independent_of(var));
-    }
+#[test]
+fn cofactor_distance_zero_iff_independent() {
+    cases(128, 0x7845, |rng| {
+        let t = table(rng);
+        let var = rng.index(t.inputs());
+        assert_eq!(t.cofactor_distance(var) == 0, t.is_independent_of(var));
+    });
+}
 
-    #[test]
-    fn constant_detection_matches_rows(t in table()) {
+#[test]
+fn constant_detection_matches_rows() {
+    cases(128, 0x7846, |rng| {
+        let t = table(rng);
         match t.is_constant() {
             Some(v) => {
                 for row in 0..t.rows() {
-                    prop_assert_eq!(t.get(row), v);
+                    assert_eq!(t.get(row), v);
                 }
             }
             None => {
                 let first = t.get(0);
-                prop_assert!((0..t.rows()).any(|r| t.get(r) != first));
+                assert!((0..t.rows()).any(|r| t.get(r) != first));
             }
         }
-    }
+    });
 }

@@ -39,7 +39,11 @@ pub struct EnergyBreakdown {
 impl EnergyBreakdown {
     /// Total across components.
     pub fn total_pj(&self) -> f64 {
-        self.config_pj + self.scratchpad_pj + self.mac_pj + self.xbar_pj + self.reg_pj
+        self.config_pj
+            + self.scratchpad_pj
+            + self.mac_pj
+            + self.xbar_pj
+            + self.reg_pj
             + self.dram_pj
     }
 

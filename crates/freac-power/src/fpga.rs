@@ -69,8 +69,8 @@ impl FpgaBoard {
         if luts == 0 && dsps == 0 {
             return 256;
         }
-        let by_lut = if luts == 0 { u64::MAX } else { self.luts / luts };
-        let by_dsp = if dsps == 0 { u64::MAX } else { self.dsps / dsps };
+        let by_lut = self.luts.checked_div(luts).unwrap_or(u64::MAX);
+        let by_dsp = self.dsps.checked_div(dsps).unwrap_or(u64::MAX);
         by_lut.min(by_dsp).min(256)
     }
 

@@ -24,8 +24,12 @@ impl ClockDomain {
         ClockDomain { period_ps }
     }
 
-    /// A domain running at `mhz` megahertz (period rounded to whole
-    /// picoseconds).
+    /// A domain running at `mhz` megahertz, period rounded to the
+    /// *nearest* whole picosecond (truncation would overstate the
+    /// frequency; e.g. 600 MHz would get a 1666 ps period, a 600.24 MHz
+    /// clock). The quantization error is at most 0.5 ps of period, i.e. a
+    /// relative frequency error of at most `mhz / 2_000_000` — under
+    /// 0.25 % for any clock up to 5 GHz.
     ///
     /// # Panics
     ///
@@ -33,7 +37,7 @@ impl ClockDomain {
     pub fn from_mhz(mhz: u64) -> Self {
         assert!(mhz > 0, "clock frequency must be positive");
         ClockDomain {
-            period_ps: 1_000_000 / mhz,
+            period_ps: ((1_000_000 + mhz / 2) / mhz).max(1),
         }
     }
 
@@ -93,6 +97,19 @@ mod tests {
     fn from_mhz() {
         let c = ClockDomain::from_mhz(250); // typical FPGA clock
         assert_eq!(c.period_ps(), 4000);
+    }
+
+    #[test]
+    fn from_mhz_rounds_to_nearest() {
+        // 3 GHz is the paper's large-tile clock: 333.33 ps rounds down to
+        // the same 333 ps period as `tile_3ghz`.
+        assert_eq!(ClockDomain::from_mhz(3000), ClockDomain::tile_3ghz());
+        // 600 MHz = 1666.67 ps must round up, not truncate to 1666.
+        assert_eq!(ClockDomain::from_mhz(600).period_ps(), 1667);
+        // 1500 MHz = 666.67 ps rounds up to 667.
+        assert_eq!(ClockDomain::from_mhz(1500).period_ps(), 667);
+        // Frequencies above 2 THz still clamp to a 1 ps period.
+        assert_eq!(ClockDomain::from_mhz(5_000_000).period_ps(), 1);
     }
 
     #[test]

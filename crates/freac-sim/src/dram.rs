@@ -17,6 +17,7 @@ pub const DRAM_ACCESS_LATENCY_PS: u64 = 56 * PS_PER_NS;
 #[derive(Debug, Clone)]
 pub struct DramModel {
     channels: Vec<BandwidthResource>,
+    channel_bytes_per_sec: u64,
     line_bytes: u64,
     next_channel: usize,
     reads: u64,
@@ -37,6 +38,7 @@ impl DramModel {
             channels: (0..channels)
                 .map(|_| BandwidthResource::new(bytes_per_sec, latency_ps))
                 .collect(),
+            channel_bytes_per_sec: bytes_per_sec,
             line_bytes,
             next_channel: 0,
             reads: 0,
@@ -55,9 +57,10 @@ impl DramModel {
         )
     }
 
-    /// Aggregate peak bandwidth in bytes per second.
+    /// Aggregate peak bandwidth in bytes per second (the configured
+    /// per-channel rate times the channel count, not a DDR4-2400 constant).
     pub fn peak_bytes_per_sec(&self) -> u64 {
-        self.channels.len() as u64 * DDR4_2400_CHANNEL_BYTES_PER_SEC
+        self.channels.len() as u64 * self.channel_bytes_per_sec
     }
 
     /// Issues one cache-line read arriving at `arrival`; returns completion.
@@ -115,7 +118,7 @@ mod tests {
         let mut d = DramModel::ddr4_2400_x4();
         let t = d.read_line(0);
         // 56 ns latency + 64 bytes at ~19.2 GB/s (~3.3 ns).
-        assert!(t >= 56_000 && t < 62_000, "got {t} ps");
+        assert!((56_000..62_000).contains(&t), "got {t} ps");
     }
 
     #[test]
@@ -143,8 +146,23 @@ mod tests {
         // Flushing a 10 MB LLC should take on the order of 100 us
         // (paper Sec. III-C: "hundreds of microseconds").
         let t_flush = d.bulk_transfer_time(10 << 20);
-        assert!(t_flush > 100 * crate::PS_PER_US / 2 && t_flush < 400 * crate::PS_PER_US,
-            "10 MB flush should be on the order of 1e2 us, got {t_flush} ps");
+        assert!(
+            t_flush > 100 * crate::PS_PER_US / 2 && t_flush < 400 * crate::PS_PER_US,
+            "10 MB flush should be on the order of 1e2 us, got {t_flush} ps"
+        );
+    }
+
+    #[test]
+    fn peak_bandwidth_reflects_configured_rate() {
+        // Regression: peak_bytes_per_sec once used the DDR4-2400 constant
+        // regardless of the configured per-channel rate.
+        let slow = DramModel::new(2, 10_000_000_000, DRAM_ACCESS_LATENCY_PS, 64);
+        assert_eq!(slow.peak_bytes_per_sec(), 20_000_000_000);
+        let paper = DramModel::ddr4_2400_x4();
+        assert_eq!(
+            paper.peak_bytes_per_sec(),
+            4 * DDR4_2400_CHANNEL_BYTES_PER_SEC
+        );
     }
 
     #[test]

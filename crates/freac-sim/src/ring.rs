@@ -105,7 +105,7 @@ mod tests {
         let r = RingInterconnect::paper_edge();
         assert_eq!(r.latency_ps(0, 0), 0);
         assert_eq!(r.max_latency_ps(), 1000); // 4 hops x 250 ps
-        // Mean over all 8 slices: (0+1+2+3+4+3+2+1)/8 = 2 hops.
+                                              // Mean over all 8 slices: (0+1+2+3+4+3+2+1)/8 = 2 hops.
         assert_eq!(r.mean_latency_ps(0), 500);
     }
 

@@ -26,11 +26,7 @@ impl SimStats {
 
     /// Mean wait per request in picoseconds (0 if no requests).
     pub fn mean_wait(&self) -> Time {
-        if self.requests == 0 {
-            0
-        } else {
-            self.wait_time / self.requests
-        }
+        self.wait_time.checked_div(self.requests).unwrap_or(0)
     }
 
     /// Utilization of the resource over `[0, horizon]` in percent.

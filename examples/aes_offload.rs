@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ctrl.store(regs::SELECT, encode_ways(&partition), &dram)?; // 1 select
     ctrl.store(regs::FLUSH, 1, &dram)?; //                        2 flush
     ctrl.store(regs::LOCK, 1, &dram)?; //                         3 lock
-    ctrl.store(regs::CONFIG_DATA, accel.bitstream().total_bytes() as u64, &dram)?; // 4
+    ctrl.store(
+        regs::CONFIG_DATA,
+        accel.bitstream().total_bytes() as u64,
+        &dram,
+    )?; // 4
     let blocks: u64 = 1024;
     ctrl.store(regs::SPAD_FILL, blocks * 16, &dram)?; //          5 fill
     ctrl.store(regs::RUN, 1, &dram)?; //                          6 run

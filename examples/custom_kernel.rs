@@ -86,7 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         run.total_tiles,
         run.kernel_time_ps as f64 / 1e9,
         run.power_w,
-        if run.memory_bound { "memory bound" } else { "compute bound" },
+        if run.memory_bound {
+            "memory bound"
+        } else {
+            "compute bound"
+        },
     );
     Ok(())
 }

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Strategy B: strict round-robin between inference stages and crypto.
     let schedule_b = [&conv, &fc, &aes, &conv, &fc];
 
-    for (label, plan) in [("grouped", &schedule_a[..]), ("interleaved", &schedule_b[..])] {
+    for (label, plan) in [
+        ("grouped", &schedule_a[..]),
+        ("interleaved", &schedule_b[..]),
+    ] {
         let mut session = OffloadSession::begin(cfg)?;
         for (id, a) in plan.iter() {
             let spec = spec_of(*id, &kernel(*id).workload(BATCH / 16)); // small batches

@@ -2,12 +2,20 @@
 //! them as aligned text tables.
 //!
 //! Run with: `cargo run --release --example paper_figures`
-//! (takes a couple of minutes: every kernel is mapped, folded, and timed
-//! across tile sizes, slice counts, and baselines).
+//!
+//! Every kernel is mapped, folded, and timed across tile sizes, slice
+//! counts, and baselines; independent cells fan out across the shared
+//! worker pool (override with `FREAC_WORKERS=<n>`; `FREAC_WORKERS=1`
+//! forces a serial run) and each circuit is synthesized once thanks to
+//! the process-wide mapping cache. Output on stdout is byte-identical
+//! for any worker count.
 
 use freac::experiments as exp;
 
 fn main() {
+    // Stderr, so the figure output on stdout stays byte-identical across
+    // worker counts.
+    eprintln!("paper_figures: {} worker(s)", exp::parallel::worker_count());
     println!("{}", exp::tables::table1());
     println!("{}", exp::tables::table2());
     println!("{}", exp::area::area_report());

@@ -43,7 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut t = TextTable::new(
         format!("{id}: slice partition sweep (tile size 1, single slice)"),
-        &["partition", "MCCs", "spad KB", "tiles", "kernel us", "bound"],
+        &[
+            "partition",
+            "MCCs",
+            "spad KB",
+            "tiles",
+            "kernel us",
+            "bound",
+        ],
     );
     for p in SlicePartition::sweep(0) {
         let tiles = max_tiles_per_slice(&p, 1, &spec);

@@ -68,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         run.kernel_time_ps as f64 / 1e6,
         run.setup.total_ps() as f64 / 1e6,
         run.power_w,
-        if run.memory_bound { "memory bound" } else { "compute bound" },
+        if run.memory_bound {
+            "memory bound"
+        } else {
+            "compute bound"
+        },
     );
     Ok(())
 }

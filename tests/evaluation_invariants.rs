@@ -1,17 +1,17 @@
 //! Cross-crate invariants of the evaluation pipeline — the relationships
 //! the paper's figures rely on, checked end to end.
 
-use freac::core::{Accelerator, AcceleratorTile, SlicePartition};
+use freac::core::{AcceleratorTile, SlicePartition};
 use freac::experiments::runner::{best_freac_run, freac_run_at, map_kernel};
-use freac::kernels::{all_kernels, kernel, KernelId, BATCH};
+use freac::kernels::{all_kernels, kernel, KernelId};
 use freac::netlist::NetlistStats;
 
 #[test]
 fn every_kernel_maps_on_every_tile_size() {
     for id in all_kernels() {
         for t in [1usize, 2, 4, 8, 16, 32] {
-            let accel = map_kernel(id, t)
-                .unwrap_or_else(|e| panic!("{id} fails to map on tile {t}: {e}"));
+            let accel =
+                map_kernel(id, t).unwrap_or_else(|e| panic!("{id} fails to map on tile {t}: {e}"));
             assert!(accel.fold_cycles() >= 1);
             assert!(
                 accel.fold_cycles() <= 2048,
@@ -116,17 +116,19 @@ fn memory_bound_kernels_saturate_and_compute_bound_do_not() {
     let vadd = scale(KernelId::Vadd);
     let aes = scale(KernelId::Aes);
     assert!(aes > 6.0, "AES should scale with slices, got {aes}");
-    assert!(vadd < aes, "VADD saturates earlier than AES ({vadd} vs {aes})");
+    assert!(
+        vadd < aes,
+        "VADD saturates earlier than AES ({vadd} vs {aes})"
+    );
 }
 
 #[test]
 fn working_sets_gate_tile_counts() {
     // GEMM cannot fill all 32 MCCs with size-1 tiles under the 256 KB
     // scratchpad, but AES can (Fig. 9's contrast).
-    let gemm = freac_run_at(KernelId::Gemm, 1, SlicePartition::max_compute(), 1)
-        .expect("gemm runs");
-    let aes = freac_run_at(KernelId::Aes, 1, SlicePartition::max_compute(), 1)
-        .expect("aes runs");
+    let gemm =
+        freac_run_at(KernelId::Gemm, 1, SlicePartition::max_compute(), 1).expect("gemm runs");
+    let aes = freac_run_at(KernelId::Aes, 1, SlicePartition::max_compute(), 1).expect("aes runs");
     assert!(gemm.tiles_per_slice < 32);
     assert_eq!(aes.tiles_per_slice, 32);
 }

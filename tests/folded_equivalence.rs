@@ -12,7 +12,7 @@ use freac::netlist::builder::{CircuitBuilder, Word};
 use freac::netlist::eval::Evaluator;
 use freac::netlist::techmap::{tech_map, TechMapOptions};
 use freac::netlist::{Netlist, Value};
-use proptest::prelude::*;
+use freac_rand::{cases, Rng64};
 
 /// One step of the random circuit grammar.
 #[derive(Debug, Clone)]
@@ -28,19 +28,32 @@ enum Op {
     Mac(usize, usize, usize),
 }
 
-fn op_strategy(pool: usize) -> impl Strategy<Value = Op> {
-    let idx = 0..pool;
-    prop_oneof![
-        (idx.clone(), 0..pool).prop_map(|(a, b)| Op::Add(a, b)),
-        (idx.clone(), 0..pool).prop_map(|(a, b)| Op::Sub(a, b)),
-        (idx.clone(), 0..pool).prop_map(|(a, b)| Op::Xor(a, b)),
-        (idx.clone(), 0..pool).prop_map(|(a, b)| Op::And(a, b)),
-        (idx.clone(), 0..pool).prop_map(|(a, b)| Op::Or(a, b)),
-        (idx.clone(), 0..pool, 0..pool).prop_map(|(s, a, b)| Op::MuxBySign(s, a, b)),
-        (idx.clone(), 0..8u8).prop_map(|(a, k)| Op::RotL(a, k)),
-        (idx.clone(), 0..pool).prop_map(|(a, b)| Op::Min(a, b)),
-        (idx, 0..pool, 0..pool).prop_map(|(a, b, c)| Op::Mac(a, b, c)),
-    ]
+fn random_op(rng: &mut Rng64, pool: usize) -> Op {
+    let a = rng.index(pool);
+    let b = rng.index(pool);
+    match rng.index(9) {
+        0 => Op::Add(a, b),
+        1 => Op::Sub(a, b),
+        2 => Op::Xor(a, b),
+        3 => Op::And(a, b),
+        4 => Op::Or(a, b),
+        5 => Op::MuxBySign(a, b, rng.index(pool)),
+        6 => Op::RotL(a, rng.index(8) as u8),
+        7 => Op::Min(a, b),
+        _ => Op::Mac(a, b, rng.index(pool)),
+    }
+}
+
+fn random_ops(rng: &mut Rng64, pool: usize, lo: usize, hi: usize) -> Vec<Op> {
+    let len = lo + rng.index(hi - lo);
+    (0..len).map(|_| random_op(rng, pool)).collect()
+}
+
+fn random_inputs(rng: &mut Rng64, lo: usize, hi: usize) -> Vec<(u32, u32)> {
+    let len = lo + rng.index(hi - lo);
+    (0..len)
+        .map(|_| (rng.range_u32(0, 65536), rng.range_u32(0, 65536)))
+        .collect()
 }
 
 /// Builds the circuit and, in lockstep, a software model of it.
@@ -108,7 +121,13 @@ fn build(ops: &[Op], with_reg: bool) -> Netlist {
     b.finish().expect("generated circuit is structurally valid")
 }
 
-fn co_simulate(netlist: &Netlist, k: TechMapOptions, mode: LutMode, clusters: usize, inputs: &[(u32, u32)]) {
+fn co_simulate(
+    netlist: &Netlist,
+    k: TechMapOptions,
+    mode: LutMode,
+    clusters: usize,
+    inputs: &[(u32, u32)],
+) {
     let mapped = tech_map(netlist, k).expect("mappable");
     let cons = FoldConstraints::for_tile(clusters, mode);
     let schedule = schedule_fold(&mapped, &cons).expect("schedulable");
@@ -117,49 +136,48 @@ fn co_simulate(netlist: &Netlist, k: TechMapOptions, mode: LutMode, clusters: us
     for &(x, y) in inputs {
         let vals = [Value::Word(x), Value::Word(y)];
         let a = folded.run_cycle(&vals).expect("folded execution succeeds");
-        let b = reference.run_cycle(&vals).expect("reference evaluation succeeds");
+        let b = reference
+            .run_cycle(&vals)
+            .expect("reference evaluation succeeds");
         assert_eq!(a, b, "folded and reference outputs diverged");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn folded_execution_matches_reference_lut4(
-        ops in prop::collection::vec(op_strategy(6), 1..12),
-        with_reg in any::<bool>(),
-        clusters in 1usize..4,
-        inputs in prop::collection::vec((0u32..65536, 0u32..65536), 1..4),
-    ) {
+#[test]
+fn folded_execution_matches_reference_lut4() {
+    cases(48, 0x000F_01D4, |rng| {
+        let ops = random_ops(rng, 6, 1, 12);
+        let with_reg = rng.bool();
+        let clusters = 1 + rng.index(3);
+        let inputs = random_inputs(rng, 1, 4);
         let n = build(&ops, with_reg);
         co_simulate(&n, TechMapOptions::lut4(), LutMode::Lut4, clusters, &inputs);
-    }
+    });
+}
 
-    #[test]
-    fn folded_execution_matches_reference_lut5(
-        ops in prop::collection::vec(op_strategy(6), 1..10),
-        inputs in prop::collection::vec((0u32..65536, 0u32..65536), 1..3),
-    ) {
+#[test]
+fn folded_execution_matches_reference_lut5() {
+    cases(48, 0x000F_01D5, |rng| {
+        let ops = random_ops(rng, 6, 1, 10);
+        let inputs = random_inputs(rng, 1, 3);
         let n = build(&ops, true);
         co_simulate(&n, TechMapOptions::lut5(), LutMode::Lut5, 2, &inputs);
-    }
+    });
+}
 
-    #[test]
-    fn tech_mapping_preserves_semantics(
-        ops in prop::collection::vec(op_strategy(6), 1..12),
-        inputs in prop::collection::vec((0u32..65536, 0u32..65536), 1..4),
-    ) {
+#[test]
+fn tech_mapping_preserves_semantics() {
+    cases(48, 0x7EC4, |rng| {
+        let ops = random_ops(rng, 6, 1, 12);
+        let inputs = random_inputs(rng, 1, 4);
         let n = build(&ops, true);
         let mapped = tech_map(&n, TechMapOptions::lut4()).expect("mappable");
         let vectors: Vec<Vec<Value>> = inputs
             .iter()
             .map(|&(x, y)| vec![Value::Word(x), Value::Word(y)])
             .collect();
-        prop_assert!(
-            freac::netlist::eval::equivalent_on(&n, &mapped, &vectors, 2).expect("evaluable")
-        );
-    }
+        assert!(freac::netlist::eval::equivalent_on(&n, &mapped, &vectors, 2).expect("evaluable"));
+    });
 }
 
 #[test]

@@ -54,8 +54,7 @@ fn hls_kernel_folded_execution_matches_loop_semantics() {
     let trip = 12u32;
     let k = library::saxpy(trip, 9);
     let circuit = k.compile().expect("compiles");
-    let accel =
-        Accelerator::map(&circuit, &AcceleratorTile::new(2).expect("tile")).expect("maps");
+    let accel = Accelerator::map(&circuit, &AcceleratorTile::new(2).expect("tile")).expect("maps");
     let mut gen = DataGen::with_seed(99);
     let xs = gen.words(trip as usize, 1 << 20);
     let ys = gen.words(trip as usize, 1 << 20);
@@ -66,18 +65,14 @@ fn hls_kernel_folded_execution_matches_loop_semantics() {
             .run_cycle(&[Value::Word(xs[i]), Value::Word(ys[i])])
             .expect("runs");
     }
-    assert_eq!(
-        out[0],
-        Value::Word(k.reference(&[("x", &xs), ("y", &ys)]))
-    );
+    assert_eq!(out[0], Value::Word(k.reference(&[("x", &xs), ("y", &ys)])));
 }
 
 #[test]
 fn hls_kernels_validate_the_detailed_simulator() {
     let k = library::dot(32);
     let circuit = k.compile().expect("compiles");
-    let accel =
-        Accelerator::map(&circuit, &AcceleratorTile::new(1).expect("tile")).expect("maps");
+    let accel = Accelerator::map(&circuit, &AcceleratorTile::new(1).expect("tile")).expect("maps");
     let spec = spec_for(&k, 10_000);
     let p = SlicePartition::end_to_end();
     let detailed = simulate_slice_pass(&accel, &spec, &p).expect("simulates");
@@ -100,11 +95,8 @@ fn mixed_hls_and_benchmark_session() {
         dirty_fraction: 0.25,
     };
     let tile = AcceleratorTile::new(1).expect("tile");
-    let custom = Accelerator::map(
-        &library::l2_norm_sq(16).compile().expect("compiles"),
-        &tile,
-    )
-    .expect("maps");
+    let custom = Accelerator::map(&library::l2_norm_sq(16).compile().expect("compiles"), &tile)
+        .expect("maps");
     let bench = Accelerator::map(
         &freac::kernels::kernel(freac::kernels::KernelId::Vadd).circuit(),
         &tile,

@@ -20,12 +20,17 @@ fn offload_flow_reaches_done_and_accumulates_time() {
 
     let mut ctrl = CcCtrl::new(1.0);
     let p = SlicePartition::end_to_end();
-    ctrl.store(regs::SELECT, encode_ways(&p), &dram).expect("select");
+    ctrl.store(regs::SELECT, encode_ways(&p), &dram)
+        .expect("select");
     assert_eq!(ctrl.state(), CtrlState::Selected);
     ctrl.store(regs::FLUSH, 1, &dram).expect("flush");
     ctrl.store(regs::LOCK, 1, &dram).expect("lock");
-    ctrl.store(regs::CONFIG_DATA, accel.bitstream().total_bytes() as u64, &dram)
-        .expect("configure");
+    ctrl.store(
+        regs::CONFIG_DATA,
+        accel.bitstream().total_bytes() as u64,
+        &dram,
+    )
+    .expect("configure");
     ctrl.store(regs::SPAD_FILL, 64 * 1024, &dram).expect("fill");
     ctrl.store(regs::OFFSET, 0x1000, &dram).expect("offset");
     ctrl.store(regs::RUN, 1, &dram).expect("run");
@@ -50,7 +55,8 @@ fn protocol_rejects_out_of_order_operations() {
     ));
     // Lock before flush.
     let p = SlicePartition::balanced();
-    ctrl.store(regs::SELECT, encode_ways(&p), &dram).expect("select");
+    ctrl.store(regs::SELECT, encode_ways(&p), &dram)
+        .expect("select");
     assert!(matches!(
         ctrl.store(regs::LOCK, 1, &dram),
         Err(CoreError::ProtocolViolation { .. })
@@ -77,8 +83,8 @@ fn run_kernel_setup_matches_manual_protocol_costs() {
     let k = kernel(id);
     let w = k.workload(BATCH);
     let spec = spec_of(id, &w);
-    let accel = Accelerator::map(&k.circuit(), &AcceleratorTile::new(1).expect("tile"))
-        .expect("stn2 maps");
+    let accel =
+        Accelerator::map(&k.circuit(), &AcceleratorTile::new(1).expect("tile")).expect("stn2 maps");
     let cfg = ExecConfig {
         partition: SlicePartition::end_to_end(),
         slices: 8,
@@ -88,11 +94,16 @@ fn run_kernel_setup_matches_manual_protocol_costs() {
 
     let dram = DramModel::ddr4_2400_x4();
     let mut ctrl = CcCtrl::new(0.25);
-    ctrl.store(regs::SELECT, encode_ways(&cfg.partition), &dram).expect("select");
+    ctrl.store(regs::SELECT, encode_ways(&cfg.partition), &dram)
+        .expect("select");
     ctrl.store(regs::FLUSH, 1, &dram).expect("flush");
     ctrl.store(regs::LOCK, 1, &dram).expect("lock");
-    ctrl.store(regs::CONFIG_DATA, accel.bitstream().total_bytes() as u64, &dram)
-        .expect("config");
+    ctrl.store(
+        regs::CONFIG_DATA,
+        accel.bitstream().total_bytes() as u64,
+        &dram,
+    )
+    .expect("config");
     let per_slice = spec
         .input_bytes
         .div_ceil(8)
@@ -107,7 +118,8 @@ fn dirtier_caches_flush_longer() {
         let dram = DramModel::ddr4_2400_x4();
         let mut ctrl = CcCtrl::new(dirty);
         let p = SlicePartition::max_compute();
-        ctrl.store(regs::SELECT, encode_ways(&p), &dram).expect("select");
+        ctrl.store(regs::SELECT, encode_ways(&p), &dram)
+            .expect("select");
         ctrl.store(regs::FLUSH, 1, &dram).expect("flush");
         ctrl.timing().flush_ps
     };

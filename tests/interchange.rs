@@ -47,8 +47,8 @@ fn every_kernel_bitstream_round_trips() {
             let sched = schedule_fold(&mapped, &cons).unwrap_or_else(|e| panic!("{id}: {e}"));
             let bs = Bitstream::pack(&mapped, &sched, clusters, LutMode::Lut4);
             let bytes = bs.to_bytes();
-            let back = Bitstream::from_bytes(&bytes)
-                .unwrap_or_else(|e| panic!("{id} x{clusters}: {e}"));
+            let back =
+                Bitstream::from_bytes(&bytes).unwrap_or_else(|e| panic!("{id} x{clusters}: {e}"));
             assert_eq!(back, bs, "{id} x{clusters}");
             // Wire format is reasonably compact: within 2x of the raw
             // configuration payload plus headers.

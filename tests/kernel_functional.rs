@@ -6,13 +6,15 @@ use freac::core::{Accelerator, AcceleratorTile};
 use freac::fold::FoldedExecutor;
 use freac::kernels::{aes, conv, dot, fc, gemm, kmp, nw, srt, stn2, stn3, vadd};
 use freac::netlist::{Netlist, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use freac_rand::Rng64;
 
 /// Maps a circuit onto a 1-MCC tile and returns a folded executor factory.
 fn folded(circuit: &Netlist) -> (Accelerator, ()) {
     let tile = AcceleratorTile::new(1).expect("tile 1 is valid");
-    (Accelerator::map(circuit, &tile).expect("kernel circuits map"), ())
+    (
+        Accelerator::map(circuit, &tile).expect("kernel circuits map"),
+        (),
+    )
 }
 
 fn run_stream(accel: &Accelerator, stream: &[Vec<Value>]) -> Vec<Vec<Value>> {
@@ -26,10 +28,10 @@ fn run_stream(accel: &Accelerator, stream: &[Vec<Value>]) -> Vec<Vec<Value>> {
 #[test]
 fn aes_blocks_match_reference() {
     let (accel, ()) = folded(&aes::build_circuit());
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng64::new(7);
     for _ in 0..3 {
         let mut pt = [0u8; 16];
-        rng.fill(&mut pt);
+        rng.fill_bytes(&mut pt);
         let inputs: Vec<Value> = (0..4)
             .map(|c| {
                 Value::Word(u32::from_le_bytes([
@@ -45,8 +47,7 @@ fn aes_blocks_match_reference() {
         let last = outs.last().expect("eleven cycles ran");
         let mut ct = [0u8; 16];
         for c in 0..4 {
-            ct[c * 4..c * 4 + 4]
-                .copy_from_slice(&last[c].as_word().expect("word").to_le_bytes());
+            ct[c * 4..c * 4 + 4].copy_from_slice(&last[c].as_word().expect("word").to_le_bytes());
         }
         assert_eq!(ct, aes::encrypt_block(&pt, &aes::KEY));
     }
@@ -90,9 +91,9 @@ fn dot_accumulates_like_reference() {
 fn gemm_pe_computes_inner_products() {
     // Stream one 64-deep column pair through the PE.
     let (accel, ()) = folded(&gemm::build_circuit());
-    let mut rng = StdRng::seed_from_u64(11);
-    let a: Vec<u32> = (0..64).map(|_| rng.gen_range(0..1000)).collect();
-    let b: Vec<u32> = (0..64).map(|_| rng.gen_range(0..1000)).collect();
+    let mut rng = Rng64::new(11);
+    let a: Vec<u32> = (0..64).map(|_| rng.range_u32(0, 1000)).collect();
+    let b: Vec<u32> = (0..64).map(|_| rng.range_u32(0, 1000)).collect();
     let stream: Vec<Vec<Value>> = a
         .iter()
         .zip(&b)
@@ -111,9 +112,9 @@ fn gemm_pe_computes_inner_products() {
 #[test]
 fn fc_neuron_with_relu() {
     let (accel, ()) = folded(&fc::build_circuit());
-    let mut rng = StdRng::seed_from_u64(13);
-    let w: Vec<u32> = (0..fc::IN).map(|_| rng.gen_range(0..512)).collect();
-    let x: Vec<u32> = (0..fc::IN).map(|_| rng.gen_range(0..512)).collect();
+    let mut rng = Rng64::new(13);
+    let w: Vec<u32> = (0..fc::IN).map(|_| rng.range_u32(0, 512)).collect();
+    let x: Vec<u32> = (0..fc::IN).map(|_| rng.range_u32(0, 512)).collect();
     let stream: Vec<Vec<Value>> = w
         .iter()
         .zip(&x)
@@ -202,10 +203,7 @@ fn kmp_counts_matches_on_folded_hardware() {
 #[test]
 fn srt_compare_exchange_on_folded_hardware() {
     let (accel, ()) = folded(&srt::build_circuit());
-    let outs = run_stream(
-        &accel,
-        &[vec![Value::Word(42), Value::Word(17)]],
-    );
+    let outs = run_stream(&accel, &[vec![Value::Word(42), Value::Word(17)]]);
     let (mn, mx) = srt::compare_exchange(42, 17);
     assert_eq!(outs[0][0].as_word(), Some(mn));
     assert_eq!(outs[0][1].as_word(), Some(mx));
@@ -216,9 +214,9 @@ fn full_gemm_against_matrix_reference() {
     // Drive the PE through an entire (small) matrix multiply and compare
     // against the dense software reference.
     let n = 4usize;
-    let mut rng = StdRng::seed_from_u64(17);
-    let a: Vec<u32> = (0..n * n).map(|_| rng.gen_range(0..100)).collect();
-    let b: Vec<u32> = (0..n * n).map(|_| rng.gen_range(0..100)).collect();
+    let mut rng = Rng64::new(17);
+    let a: Vec<u32> = (0..n * n).map(|_| rng.range_u32(0, 100)).collect();
+    let b: Vec<u32> = (0..n * n).map(|_| rng.range_u32(0, 100)).collect();
     let expect = gemm::reference(&a, &b, n);
 
     // A PE with K = n.
@@ -253,10 +251,7 @@ fn full_gemm_against_matrix_reference() {
             let mut out = Vec::new();
             for k in 0..n {
                 out = ex
-                    .run_cycle(&[
-                        Value::Word(a[i * n + k]),
-                        Value::Word(b[k * n + j]),
-                    ])
+                    .run_cycle(&[Value::Word(a[i * n + k]), Value::Word(b[k * n + j])])
                     .expect("pe runs");
             }
             assert_eq!(out[1], Value::Bit(true));
