@@ -1,129 +1,235 @@
-//! Property tests for the cache substrate, driven by deterministic seeded
-//! case loops (`freac_rand::cases`).
+//! Property tests for the cache substrate, promoted onto the
+//! `freac-proptest` harness: geometries and access traces are random (not
+//! fixed examples), failing cases shrink to minimal traces, and every
+//! failure report carries a replay seed. `FREAC_PROPTEST_CASES` /
+//! `FREAC_PROPTEST_SEED` scale and steer the whole file.
 
 use freac_cache::{AccessOutcome, HierarchyConfig, LlcGeometry, MemoryHierarchy, SetAssocCache};
-use freac_rand::{cases, Rng64};
+use freac_proptest::oracles::cache::{self, CacheCase};
+use freac_proptest::{check, shrink};
+use freac_rand::Rng64;
 
-fn addr_stream(rng: &mut Rng64) -> Vec<(u64, bool)> {
+/// Shrinkable random trace against the paper-edge fixed configuration.
+fn trace_of(rng: &mut Rng64, span: u64) -> Vec<(u64, bool)> {
     let len = 1 + rng.index(299);
-    (0..len).map(|_| (rng.below(1 << 22), rng.bool())).collect()
+    (0..len).map(|_| (rng.below(span), rng.bool())).collect()
+}
+
+fn shrink_trace(trace: &[(u64, bool)]) -> Vec<Vec<(u64, bool)>> {
+    let mut cands = shrink::subsequences(trace);
+    cands.extend(shrink::elementwise(trace, |&(a, w)| {
+        shrink::halvings_u64(a)
+            .into_iter()
+            .map(|a| (a, w))
+            .collect()
+    }));
+    cands
+}
+
+#[test]
+fn real_cache_matches_flat_reference() {
+    // The full differential oracle: per-access outcomes, counters, dirty
+    // population, residency, and flush behavior against the naive flat
+    // model, over random geometries.
+    check(
+        "cache/differential-local",
+        cache::generate,
+        cache::shrink,
+        cache::check,
+    );
 }
 
 #[test]
 fn accessed_lines_are_always_resident_afterwards() {
-    cases(64, 0xCAC1, |rng| {
-        let stream = addr_stream(rng);
-        let mut c = SetAssocCache::new(16, 4, 64);
-        for &(addr, write) in &stream {
-            c.access(addr, write);
-            assert!(c.probe(addr), "line just accessed must be resident");
-        }
-    });
+    check(
+        "cache/resident-after-access",
+        cache::generate,
+        cache::shrink,
+        |case: &CacheCase| {
+            let mut c = SetAssocCache::new(case.sets, case.ways, case.line_bytes);
+            for (i, &(addr, write)) in case.trace.iter().enumerate() {
+                c.access(addr, write);
+                if !c.probe(addr) {
+                    return Err(format!("access {i}: line {addr:#x} not resident"));
+                }
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]
-fn hit_plus_miss_equals_accesses() {
-    cases(64, 0xCAC2, |rng| {
-        let stream = addr_stream(rng);
-        let mut c = SetAssocCache::new(32, 2, 64);
-        for &(addr, write) in &stream {
-            c.access(addr, write);
-        }
-        let s = c.stats();
-        assert_eq!(s.hits + s.misses, stream.len() as u64);
-        assert!(s.writebacks <= s.misses);
-    });
+fn counters_partition_the_trace() {
+    check(
+        "cache/counters-partition",
+        cache::generate,
+        cache::shrink,
+        |case: &CacheCase| {
+            let mut c = SetAssocCache::new(case.sets, case.ways, case.line_bytes);
+            for &(addr, write) in &case.trace {
+                c.access(addr, write);
+            }
+            let s = c.stats();
+            if s.hits + s.misses != case.trace.len() as u64 {
+                return Err(format!(
+                    "hits {} + misses {} != {} accesses",
+                    s.hits,
+                    s.misses,
+                    case.trace.len()
+                ));
+            }
+            if s.writebacks > s.misses {
+                return Err(format!(
+                    "writebacks {} exceed misses {}",
+                    s.writebacks, s.misses
+                ));
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]
 fn dirty_lines_only_from_writes() {
-    cases(64, 0xCAC3, |rng| {
-        let stream = addr_stream(rng);
-        let mut c = SetAssocCache::new(16, 4, 64);
-        let writes = stream.iter().filter(|&&(_, w)| w).count() as u64;
-        for &(addr, write) in &stream {
-            c.access(addr, write);
-        }
-        // There can never be more dirty lines than distinct written lines.
-        assert!(c.dirty_lines() <= writes);
-        if writes == 0 {
-            assert_eq!(c.dirty_lines(), 0);
-            assert_eq!(c.flush_all(), 0);
-        }
-    });
+    check(
+        "cache/dirty-from-writes",
+        cache::generate,
+        cache::shrink,
+        |case: &CacheCase| {
+            let mut c = SetAssocCache::new(case.sets, case.ways, case.line_bytes);
+            let writes = case.trace.iter().filter(|&&(_, w)| w).count() as u64;
+            for &(addr, write) in &case.trace {
+                c.access(addr, write);
+            }
+            if c.dirty_lines() > writes {
+                return Err(format!(
+                    "{} dirty lines from {writes} writes",
+                    c.dirty_lines()
+                ));
+            }
+            if writes == 0 && (c.dirty_lines() != 0 || c.flush_all() != 0) {
+                return Err("dirty state without any write".into());
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]
 fn eviction_reports_are_consistent() {
-    cases(64, 0xCAC4, |rng| {
-        let stream = addr_stream(rng);
-        let mut c = SetAssocCache::new(4, 2, 64);
-        for &(addr, write) in &stream {
-            if let AccessOutcome::Miss { writeback, evicted } = c.access(addr, write) {
-                // A writeback implies an eviction of the same line.
-                if let Some(wb) = writeback {
-                    assert_eq!(evicted, Some(wb));
-                }
-                // The evicted line is gone.
-                if let Some(e) = evicted {
-                    assert!(!c.probe(e));
+    check(
+        "cache/eviction-consistency",
+        cache::generate,
+        cache::shrink,
+        |case: &CacheCase| {
+            let mut c = SetAssocCache::new(case.sets, case.ways, case.line_bytes);
+            for (i, &(addr, write)) in case.trace.iter().enumerate() {
+                if let AccessOutcome::Miss { writeback, evicted } = c.access(addr, write) {
+                    if let Some(wb) = writeback {
+                        if evicted != Some(wb) {
+                            return Err(format!(
+                                "access {i}: writeback {wb:#x} without matching eviction"
+                            ));
+                        }
+                    }
+                    if let Some(e) = evicted {
+                        if c.probe(e) {
+                            return Err(format!("access {i}: evicted line {e:#x} still resident"));
+                        }
+                    }
                 }
             }
-        }
-    });
-}
-
-#[test]
-fn hierarchy_levels_are_exhaustive() {
-    cases(64, 0xCAC5, |rng| {
-        let stream = addr_stream(rng);
-        let mut h = MemoryHierarchy::new(HierarchyConfig::paper_edge());
-        for &(addr, write) in &stream {
-            h.access(0, addr, write);
-        }
-        let s = h.stats();
-        assert_eq!(
-            s.l1_hits + s.l2_hits + s.l3_hits + s.dram_accesses,
-            stream.len() as u64
-        );
-        // Latency is at least the L1 latency per access.
-        assert!(s.total_latency >= 2 * stream.len() as u64);
-    });
-}
-
-#[test]
-fn slice_mapping_round_trips() {
-    cases(64, 0xCAC6, |rng| {
-        let g = LlcGeometry::paper_edge();
-        let len = 1 + rng.index(199);
-        for _ in 0..len {
-            let addr = rng.below(1 << 30);
-            let slice = g.slice_of(addr);
-            assert!(slice < g.slices);
-            let local = g.slice_local_addr(addr);
-            assert_eq!(g.global_addr(slice, local), addr);
-        }
-    });
+            Ok(())
+        },
+    );
 }
 
 #[test]
 fn repeating_a_stream_never_lowers_hits() {
-    cases(64, 0xCAC7, |rng| {
-        // Replaying the identical stream a second time cannot produce fewer
-        // hits than the first (warm caches are at least as good as cold).
-        let stream = addr_stream(rng);
-        let run = |passes: usize| {
-            let mut c = SetAssocCache::new(64, 4, 64);
-            let mut last_pass_hits = 0;
-            for _ in 0..passes {
-                let before = c.stats().hits;
-                for &(addr, write) in &stream {
-                    c.access(addr, write);
+    // Warm caches are at least as good as cold: the second pass over an
+    // identical stream cannot hit less than the first pass did.
+    check(
+        "cache/warm-at-least-cold",
+        cache::generate,
+        cache::shrink,
+        |case: &CacheCase| {
+            let run = |passes: usize| {
+                let mut c = SetAssocCache::new(case.sets, case.ways, case.line_bytes);
+                let mut last_pass_hits = 0;
+                for _ in 0..passes {
+                    let before = c.stats().hits;
+                    for &(addr, write) in &case.trace {
+                        c.access(addr, write);
+                    }
+                    last_pass_hits = c.stats().hits - before;
                 }
-                last_pass_hits = c.stats().hits - before;
+                last_pass_hits
+            };
+            let (cold, warm) = (run(1), run(2));
+            if warm < cold {
+                return Err(format!("warm pass hit {warm} < cold pass {cold}"));
             }
-            last_pass_hits
-        };
-        assert!(run(2) >= run(1));
-    });
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn hierarchy_levels_are_exhaustive() {
+    check(
+        "cache/hierarchy-exhaustive",
+        |rng| trace_of(rng, 1 << 22),
+        |trace| shrink_trace(trace),
+        |trace: &Vec<(u64, bool)>| {
+            let mut h = MemoryHierarchy::new(HierarchyConfig::paper_edge());
+            for &(addr, write) in trace {
+                h.access(0, addr, write);
+            }
+            let s = h.stats();
+            if s.l1_hits + s.l2_hits + s.l3_hits + s.dram_accesses != trace.len() as u64 {
+                return Err(format!(
+                    "levels {}+{}+{}+{} do not partition {} accesses",
+                    s.l1_hits,
+                    s.l2_hits,
+                    s.l3_hits,
+                    s.dram_accesses,
+                    trace.len()
+                ));
+            }
+            if s.total_latency < 2 * trace.len() as u64 {
+                return Err("latency below the L1 floor".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn slice_mapping_round_trips() {
+    check(
+        "cache/slice-roundtrip",
+        |rng| {
+            let len = 1 + rng.index(199);
+            (0..len).map(|_| rng.below(1 << 30)).collect::<Vec<u64>>()
+        },
+        |addrs| {
+            let mut cands = shrink::subsequences(addrs);
+            cands.extend(shrink::elementwise(addrs, |&a| shrink::halvings_u64(a)));
+            cands
+        },
+        |addrs: &Vec<u64>| {
+            let g = LlcGeometry::paper_edge();
+            for &addr in addrs {
+                let slice = g.slice_of(addr);
+                if slice >= g.slices {
+                    return Err(format!("addr {addr:#x} mapped to slice {slice}"));
+                }
+                let local = g.slice_local_addr(addr);
+                if g.global_addr(slice, local) != addr {
+                    return Err(format!("addr {addr:#x} does not round-trip"));
+                }
+            }
+            Ok(())
+        },
+    );
 }

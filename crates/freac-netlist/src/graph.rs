@@ -250,6 +250,46 @@ impl Netlist {
             .ok_or(NetlistError::UnknownNode(id))
     }
 
+    /// Swaps the truth table of LUT `id` for `table`, keeping its fan-in.
+    ///
+    /// This is the only sanctioned way to rewrite a finished netlist:
+    /// ECO-style mask edits and deliberate fault injection (differential
+    /// test harnesses corrupt one LUT mask to prove they can detect and
+    /// shrink a real divergence) both go through it, so structural
+    /// invariants stay checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNode`] for an out-of-range id,
+    /// [`NetlistError::TypeMismatch`] if the node is not a LUT, and
+    /// [`NetlistError::ArityMismatch`] if `table` expects a different
+    /// number of inputs than the node has wired.
+    pub fn replace_lut_table(
+        &mut self,
+        id: NodeId,
+        table: crate::truth::TruthTable,
+    ) -> Result<(), NetlistError> {
+        let node = self
+            .nodes
+            .get_mut(id.index())
+            .ok_or(NetlistError::UnknownNode(id))?;
+        let NodeKind::Lut(_) = node.kind else {
+            return Err(NetlistError::TypeMismatch {
+                node: id,
+                expected: "a LUT node",
+            });
+        };
+        if table.inputs() != node.inputs.len() {
+            return Err(NetlistError::ArityMismatch {
+                node: id,
+                expected: node.inputs.len(),
+                found: table.inputs(),
+            });
+        }
+        node.kind = NodeKind::Lut(table);
+        Ok(())
+    }
+
     /// Primary inputs in declaration order.
     pub fn primary_inputs(&self) -> &[NodeId] {
         &self.primary_inputs

@@ -1,0 +1,140 @@
+//! The regression seed corpus: one line per previously-found failure.
+//!
+//! Every shrunk failing case the harness reports is also describable by the
+//! *seed of the case that produced it* — the shrinker is deterministic, so
+//! replaying the seed re-finds and re-shrinks the same counterexample. The
+//! corpus therefore stores only `<property-name> <seed>` lines; the suite
+//! replays all entries matching a property before running fresh random
+//! cases, which turns every past failure into a permanent regression test
+//! without checking in generated data.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One corpus line: a property name and the case seed to replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// The property the seed belongs to (the name passed to
+    /// [`Runner::check`](crate::Runner::check)).
+    pub property: String,
+    /// The full `Rng64` seed of the failing case.
+    pub seed: u64,
+}
+
+/// The workspace corpus file, fixed at compile time so tests find it from
+/// any working directory.
+pub fn default_path() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/regressions/corpus.txt"
+    ))
+}
+
+/// Formats one corpus line for `property` and `seed` (no newline).
+pub fn format_entry(property: &str, seed: u64) -> String {
+    format!("{property} 0x{seed:016x}")
+}
+
+/// Parses corpus text: blank lines and `#` comments are skipped; anything
+/// unparseable is ignored rather than failing the suite (a corrupt corpus
+/// must never mask real test results).
+pub fn parse(text: &str) -> Vec<CorpusEntry> {
+    text.lines()
+        .filter_map(|line| {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                return None;
+            }
+            let mut parts = line.split_whitespace();
+            let property = parts.next()?.to_string();
+            let seed = crate::config::parse_seed(parts.next()?);
+            Some(CorpusEntry { property, seed })
+        })
+        .collect()
+}
+
+/// Loads the corpus at `path`; a missing file is an empty corpus.
+pub fn load(path: &Path) -> Vec<CorpusEntry> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse(&text),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Appends one entry (creating the file and its directory if needed). The
+/// line is written with a single syscall so concurrently-failing test
+/// binaries cannot interleave partial lines.
+///
+/// # Errors
+///
+/// Propagates I/O errors; callers on the failure path log and continue, so
+/// an unwritable corpus never hides the underlying test failure.
+pub fn append(path: &Path, property: &str, seed: u64) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(format!("{}\n", format_entry(property, seed)).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_skips_comments_and_junk() {
+        let text = "\
+# pinned failures
+fold/threeway 0x00000000000000ff  # trailing comment
+
+cache/differential 123
+not-enough-fields
+";
+        let entries = parse(text);
+        assert_eq!(
+            entries,
+            vec![
+                CorpusEntry {
+                    property: "fold/threeway".into(),
+                    seed: 255
+                },
+                CorpusEntry {
+                    property: "cache/differential".into(),
+                    seed: 123
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn format_then_parse_round_trips() {
+        let line = format_entry("bitstream/roundtrip", 0xABCD_EF01_2345_6789);
+        let entries = parse(&line);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].property, "bitstream/roundtrip");
+        assert_eq!(entries[0].seed, 0xABCD_EF01_2345_6789);
+    }
+
+    #[test]
+    fn load_missing_file_is_empty() {
+        assert!(load(Path::new("/nonexistent/corpus.txt")).is_empty());
+    }
+
+    #[test]
+    fn append_creates_and_extends() {
+        let path = std::env::temp_dir().join(format!(
+            "freac-proptest-corpus-append-{}.txt",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        append(&path, "a/b", 7).unwrap();
+        append(&path, "c/d", 8).unwrap();
+        let entries = load(&path);
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!((entries[0].seed, entries[1].seed), (7, 8));
+    }
+}

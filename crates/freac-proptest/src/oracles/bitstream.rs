@@ -1,0 +1,222 @@
+//! Bitstream serialization oracle: packed accelerator configurations must
+//! survive wire-format round trips in both directions, and the parser must
+//! reject (never crash on) mutated input.
+
+use freac_core::bitstream::Bitstream;
+use freac_core::subarray::ROWS;
+use freac_fold::{schedule_fold, FoldConstraints, LutMode};
+use freac_netlist::techmap::{tech_map, TechMapOptions};
+use freac_rand::Rng64;
+
+use crate::circuit::CircuitSpec;
+use crate::shrink;
+
+/// One bitstream-oracle case: a circuit packed for a tile, plus a raw
+/// mutation site used by the robustness property.
+#[derive(Debug, Clone)]
+pub struct BitstreamCase {
+    /// The circuit whose mapped netlist is packed.
+    pub circuit: CircuitSpec,
+    /// Micro compute clusters on the tile (1..=4).
+    pub clusters: usize,
+    /// `true` for 5-LUT packing.
+    pub lut5: bool,
+    /// Byte offset (modulo the encoded length) the mutation property
+    /// corrupts.
+    pub mutate_at: usize,
+    /// XOR mask applied at `mutate_at` (never zero).
+    pub mutate_mask: u8,
+}
+
+/// Draws a random [`BitstreamCase`].
+pub fn generate(rng: &mut Rng64) -> BitstreamCase {
+    BitstreamCase {
+        circuit: CircuitSpec::random(rng, 8),
+        clusters: 1 + rng.index(4),
+        lut5: rng.bool(),
+        mutate_at: rng.index(1 << 16),
+        mutate_mask: rng.range_u32(1, 256) as u8,
+    }
+}
+
+/// Shrink candidates: smaller circuits, fewer clusters, 4-LUT packing.
+pub fn shrink(case: &BitstreamCase) -> Vec<BitstreamCase> {
+    let mut out: Vec<BitstreamCase> = case
+        .circuit
+        .shrink()
+        .into_iter()
+        .map(|circuit| BitstreamCase {
+            circuit,
+            ..case.clone()
+        })
+        .collect();
+    for clusters in shrink::halvings_usize(case.clusters) {
+        if clusters >= 1 {
+            out.push(BitstreamCase {
+                clusters,
+                ..case.clone()
+            });
+        }
+    }
+    if case.lut5 {
+        out.push(BitstreamCase {
+            lut5: false,
+            ..case.clone()
+        });
+    }
+    for mutate_at in shrink::halvings_usize(case.mutate_at) {
+        out.push(BitstreamCase {
+            mutate_at,
+            ..case.clone()
+        });
+    }
+    out
+}
+
+fn pack(case: &BitstreamCase) -> Result<Bitstream, String> {
+    let (opts, mode) = if case.lut5 {
+        (TechMapOptions::lut5(), LutMode::Lut5)
+    } else {
+        (TechMapOptions::lut4(), LutMode::Lut4)
+    };
+    let mapped = tech_map(&case.circuit.build(), opts).map_err(|e| format!("tech_map: {e}"))?;
+    let cons = FoldConstraints::for_tile(case.clusters, mode);
+    let schedule = schedule_fold(&mapped, &cons).map_err(|e| format!("schedule_fold: {e}"))?;
+    Ok(Bitstream::pack(&mapped, &schedule, case.clusters, mode))
+}
+
+/// `decode(encode(x)) == x` over packed configurations, and the re-encoded
+/// bytes are identical (the wire format is canonical).
+///
+/// # Errors
+///
+/// Returns a description of the first round-trip mismatch.
+pub fn check_roundtrip(case: &BitstreamCase) -> Result<(), String> {
+    let bs = pack(case)?;
+    let bytes = bs.to_bytes();
+    let back = Bitstream::from_bytes(&bytes).map_err(|e| format!("decode(encode(x)): {e}"))?;
+    if back != bs {
+        return Err("decode(encode(x)) != x".into());
+    }
+    let again = back.to_bytes();
+    if again != bytes {
+        return Err(format!(
+            "re-encoding diverged: {} vs {} bytes",
+            again.len(),
+            bytes.len()
+        ));
+    }
+    Ok(())
+}
+
+/// `encode(decode(x)) == x` over random raw wire images that never passed
+/// through [`Bitstream::pack`] — the parser accepts exactly the canonical
+/// encoding, so re-serialization must reproduce the input byte for byte.
+///
+/// # Errors
+///
+/// Returns a description of the first identity violation.
+pub fn check_decode_encode_identity(image: &[u8]) -> Result<(), String> {
+    let decoded = match Bitstream::from_bytes(image) {
+        Ok(d) => d,
+        Err(e) => return Err(format!("synthesized image rejected: {e}")),
+    };
+    let encoded = decoded.to_bytes();
+    if encoded != *image {
+        return Err(format!(
+            "encode(decode(x)) != x: {} vs {} bytes",
+            encoded.len(),
+            image.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Flipping bits anywhere in a valid encoding must never crash the parser,
+/// and anything it still accepts must round-trip canonically.
+///
+/// # Errors
+///
+/// Returns a description of a non-canonical accept (panics surface through
+/// the harness's catch-unwind guard).
+pub fn check_mutation_robustness(case: &BitstreamCase) -> Result<(), String> {
+    let bs = pack(case)?;
+    let mut bytes = bs.to_bytes();
+    let at = case.mutate_at % bytes.len();
+    bytes[at] ^= case.mutate_mask;
+    match Bitstream::from_bytes(&bytes) {
+        Err(_) => Ok(()), // rejection is the common, correct outcome
+        Ok(parsed) => {
+            let re = parsed.to_bytes();
+            if re == bytes {
+                Ok(())
+            } else {
+                Err(format!(
+                    "parser accepted mutated input (offset {at}, mask {:#04x}) \
+                     but re-encoding differs: {} vs {} bytes",
+                    case.mutate_mask,
+                    re.len(),
+                    bytes.len()
+                ))
+            }
+        }
+    }
+}
+
+/// A syntactically valid random wire image, built by hand against the
+/// format spec (magic, version, LUT mode, cluster count, step count, then
+/// per-sub-array row runs) rather than through `Bitstream` itself — it
+/// reaches configurations (including all-zero rows and empty sub-arrays)
+/// that packing a circuit never produces.
+pub fn generate_wire_image(rng: &mut Rng64) -> Vec<u8> {
+    let clusters = 1 + rng.index(4);
+    let steps = rng.index(64) as u32;
+    let mut out = Vec::new();
+    out.extend_from_slice(b"FRCB");
+    out.push(1);
+    out.push(*rng.pick(&[4u8, 5]));
+    out.extend_from_slice(&(clusters as u16).to_le_bytes());
+    out.extend_from_slice(&steps.to_le_bytes());
+    for _ in 0..clusters {
+        for _ in 0..4 {
+            let used = rng.index(ROWS.min(64) + 1);
+            out.extend_from_slice(&(used as u32).to_le_bytes());
+            for _ in 0..used {
+                out.extend_from_slice(&rng.next_u32().to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_configs_round_trip() {
+        let mut rng = Rng64::new(8);
+        for _ in 0..8 {
+            let case = generate(&mut rng);
+            check_roundtrip(&case).expect("round trip");
+        }
+    }
+
+    #[test]
+    fn synthesized_images_decode_then_encode_identically() {
+        let mut rng = Rng64::new(9);
+        for _ in 0..16 {
+            let image = generate_wire_image(&mut rng);
+            check_decode_encode_identity(&image).expect("identity");
+        }
+    }
+
+    #[test]
+    fn mutations_are_rejected_or_canonical() {
+        let mut rng = Rng64::new(10);
+        for _ in 0..16 {
+            let case = generate(&mut rng);
+            check_mutation_robustness(&case).expect("robust parse");
+        }
+    }
+}

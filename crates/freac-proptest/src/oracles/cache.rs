@@ -1,0 +1,288 @@
+//! Cache differential oracle: the set-associative `freac-cache` simulator
+//! against a naive flat reference model.
+//!
+//! The reference shares no code or data layout with the real model — it
+//! keeps every resident line in one unsorted list and recomputes set
+//! membership, LRU victims, and dirtiness by linear scan — so agreement on
+//! the full per-access outcome sequence (hit/miss, writeback address,
+//! eviction address) is strong evidence both are right.
+
+use freac_cache::{AccessOutcome, SetAssocCache};
+use freac_rand::Rng64;
+
+use crate::shrink;
+
+/// One cache-oracle case: a geometry and an access trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheCase {
+    /// Number of sets (power of two not required by either model).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: usize,
+    /// `(address, is_write)` accesses.
+    pub trace: Vec<(u64, bool)>,
+}
+
+/// Draws a random [`CacheCase`]. Addresses span ~8x the cache capacity so
+/// traces exercise conflict and capacity evictions, not just cold misses.
+pub fn generate(rng: &mut Rng64) -> CacheCase {
+    let sets = *rng.pick(&[1usize, 2, 3, 4, 8, 16, 32]);
+    let ways = *rng.pick(&[1usize, 2, 4, 8]);
+    let line_bytes = *rng.pick(&[32usize, 64, 128]);
+    let span = (sets * ways * line_bytes) as u64 * 8;
+    let len = 1 + rng.index(300);
+    let trace = (0..len).map(|_| (rng.below(span), rng.bool())).collect();
+    CacheCase {
+        sets,
+        ways,
+        line_bytes,
+        trace,
+    }
+}
+
+/// Shrink candidates: shorter traces first, then smaller addresses, then a
+/// smaller geometry.
+pub fn shrink(case: &CacheCase) -> Vec<CacheCase> {
+    let mut out: Vec<CacheCase> = shrink::subsequences(&case.trace)
+        .into_iter()
+        .map(|trace| CacheCase {
+            trace,
+            ..case.clone()
+        })
+        .collect();
+    out.extend(
+        shrink::elementwise(&case.trace, |&(addr, write)| {
+            let mut alts: Vec<(u64, bool)> = shrink::halvings_u64(addr)
+                .into_iter()
+                .map(|a| (a, write))
+                .collect();
+            if write {
+                alts.push((addr, false));
+            }
+            alts
+        })
+        .into_iter()
+        .map(|trace| CacheCase {
+            trace,
+            ..case.clone()
+        }),
+    );
+    for (sets, ways) in [(1, case.ways), (case.sets, 1)] {
+        if sets < case.sets || ways < case.ways {
+            out.push(CacheCase {
+                sets,
+                ways,
+                ..case.clone()
+            });
+        }
+    }
+    out
+}
+
+/// Runs the differential check: per-access outcomes, final counters, dirty
+/// population, residency of every touched line, and flush behavior must
+/// all agree.
+///
+/// # Errors
+///
+/// Returns a description of the first disagreement.
+pub fn check(case: &CacheCase) -> Result<(), String> {
+    let mut real = SetAssocCache::new(case.sets, case.ways, case.line_bytes);
+    let mut reference = FlatRefCache::new(case.sets, case.ways, case.line_bytes);
+    for (i, &(addr, write)) in case.trace.iter().enumerate() {
+        let a = real.access(addr, write);
+        let b = reference.access(addr, write);
+        if a != b {
+            return Err(format!(
+                "access {i} (addr {addr:#x}, write {write}): real {a:?} != reference {b:?}"
+            ));
+        }
+    }
+    let s = real.stats();
+    if (s.hits, s.misses, s.writebacks) != (reference.hits, reference.misses, reference.writebacks)
+    {
+        return Err(format!(
+            "counters diverged: real hits/misses/writebacks {}/{}/{} != reference {}/{}/{}",
+            s.hits, s.misses, s.writebacks, reference.hits, reference.misses, reference.writebacks
+        ));
+    }
+    if real.dirty_lines() != reference.dirty_lines() {
+        return Err(format!(
+            "dirty population diverged: real {} != reference {}",
+            real.dirty_lines(),
+            reference.dirty_lines()
+        ));
+    }
+    for &(addr, _) in &case.trace {
+        if real.probe(addr) != reference.contains(addr) {
+            return Err(format!(
+                "residency diverged for addr {addr:#x}: real {} != reference {}",
+                real.probe(addr),
+                reference.contains(addr)
+            ));
+        }
+    }
+    let flushed = real.flush_all();
+    if flushed != reference.dirty_lines() {
+        return Err(format!(
+            "flush_all dropped {flushed} dirty lines, reference holds {}",
+            reference.dirty_lines()
+        ));
+    }
+    Ok(())
+}
+
+/// The naive reference: every resident line in one flat list.
+#[derive(Debug, Clone)]
+pub struct FlatRefCache {
+    sets: u64,
+    ways: usize,
+    line_bytes: u64,
+    /// `(line_address, dirty, last_use_tick)` for every resident line.
+    lines: Vec<(u64, bool, u64)>,
+    tick: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty evictions.
+    pub writebacks: u64,
+}
+
+impl FlatRefCache {
+    /// An empty reference cache with the given geometry.
+    pub fn new(sets: usize, ways: usize, line_bytes: usize) -> Self {
+        FlatRefCache {
+            sets: sets as u64,
+            ways,
+            line_bytes: line_bytes as u64,
+            lines: Vec::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// Accesses `addr`, mirroring [`SetAssocCache::access`]'s contract.
+    pub fn access(&mut self, addr: u64, write: bool) -> AccessOutcome {
+        self.tick += 1;
+        let line = addr / self.line_bytes;
+        if let Some(entry) = self.lines.iter_mut().find(|(l, _, _)| *l == line) {
+            entry.1 |= write;
+            entry.2 = self.tick;
+            self.hits += 1;
+            return AccessOutcome::Hit;
+        }
+        self.misses += 1;
+        let set = line % self.sets;
+        let residents: Vec<usize> = self
+            .lines
+            .iter()
+            .enumerate()
+            .filter(|(_, (l, _, _))| *l % self.sets == set)
+            .map(|(i, _)| i)
+            .collect();
+        let (writeback, evicted) = if residents.len() >= self.ways {
+            let victim = residents
+                .into_iter()
+                .min_by_key(|&i| self.lines[i].2)
+                .expect("a full set has residents");
+            let (vline, vdirty, _) = self.lines.swap_remove(victim);
+            let vaddr = vline * self.line_bytes;
+            if vdirty {
+                self.writebacks += 1;
+                (Some(vaddr), Some(vaddr))
+            } else {
+                (None, Some(vaddr))
+            }
+        } else {
+            (None, None)
+        };
+        self.lines.push((line, write, self.tick));
+        AccessOutcome::Miss { writeback, evicted }
+    }
+
+    /// Whether `addr`'s line is resident.
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = addr / self.line_bytes;
+        self.lines.iter().any(|(l, _, _)| *l == line)
+    }
+
+    /// Number of dirty resident lines.
+    pub fn dirty_lines(&self) -> u64 {
+        self.lines.iter().filter(|(_, d, _)| *d).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matches_textbook_lru() {
+        // 1 set x 2 ways: A, B, touch A, insert C => B evicted.
+        let mut r = FlatRefCache::new(1, 2, 64);
+        r.access(0x000, false);
+        r.access(0x040, true);
+        r.access(0x000, false);
+        match r.access(0x080, false) {
+            AccessOutcome::Miss {
+                writeback: Some(wb),
+                evicted: Some(e),
+            } => {
+                assert_eq!(wb, 0x040);
+                assert_eq!(e, 0x040);
+            }
+            other => panic!("expected dirty eviction of B, got {other:?}"),
+        }
+        assert!(r.contains(0x000) && r.contains(0x080) && !r.contains(0x040));
+        assert_eq!((r.hits, r.misses, r.writebacks), (1, 3, 1));
+    }
+
+    #[test]
+    fn reference_never_exceeds_capacity() {
+        let mut rng = Rng64::new(5);
+        let mut r = FlatRefCache::new(4, 2, 64);
+        for _ in 0..500 {
+            r.access(rng.below(1 << 16), rng.bool());
+        }
+        assert!(r.lines.len() <= 8, "{} lines resident", r.lines.len());
+    }
+
+    #[test]
+    fn oracle_accepts_the_real_cache() {
+        let mut rng = Rng64::new(6);
+        for _ in 0..16 {
+            let case = generate(&mut rng);
+            check(&case).expect("real and reference caches agree");
+        }
+    }
+
+    #[test]
+    fn oracle_rejects_a_biased_reference() {
+        // Differential power check: a deliberately mis-sized real cache
+        // (one way fewer) must be caught quickly.
+        let mut rng = Rng64::new(7);
+        let mut caught = false;
+        for _ in 0..32 {
+            let case = generate(&mut rng);
+            if case.ways < 2 {
+                continue;
+            }
+            let mut real = SetAssocCache::new(case.sets, case.ways - 1, case.line_bytes);
+            let mut reference = FlatRefCache::new(case.sets, case.ways, case.line_bytes);
+            if case
+                .trace
+                .iter()
+                .any(|&(a, w)| real.access(a, w) != reference.access(a, w))
+            {
+                caught = true;
+                break;
+            }
+        }
+        assert!(caught, "a one-way deficit must be observable");
+    }
+}

@@ -1,0 +1,116 @@
+//! Reusable shrinking combinators.
+//!
+//! A shrinker maps a failing input to a list of strictly "smaller"
+//! candidates, ordered most-aggressive first. The runner greedily takes the
+//! first candidate that still fails and repeats until no candidate fails,
+//! so candidate lists should front-load big reductions (drop half the
+//! vector) and end with fine-grained ones (drop one element); this reaches
+//! a local minimum in O(log n) rounds on typical inputs.
+
+/// Candidates for a sequence: drop contiguous chunks of halving sizes,
+/// starting with the whole sequence and ending with single elements. Every
+/// candidate is strictly shorter than the input.
+pub fn subsequences<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    let n = items.len();
+    let mut out = Vec::new();
+    if n == 0 {
+        return out;
+    }
+    let mut chunk = n;
+    loop {
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let mut cand = Vec::with_capacity(n - (end - start));
+            cand.extend_from_slice(&items[..start]);
+            cand.extend_from_slice(&items[end..]);
+            out.push(cand);
+            start += chunk;
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    out
+}
+
+/// Candidates for a scalar: zero, the halved value, and the predecessor
+/// (deduplicated, largest reduction first). Empty for zero.
+pub fn halvings_u64(x: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    for cand in [0, x / 2, x - x.min(1)] {
+        if cand < x && !out.contains(&cand) {
+            out.push(cand);
+        }
+    }
+    out
+}
+
+/// [`halvings_u64`] for `usize`.
+pub fn halvings_usize(x: usize) -> Vec<usize> {
+    halvings_u64(x as u64)
+        .into_iter()
+        .map(|v| v as usize)
+        .collect()
+}
+
+/// Candidates that shrink one element in place: for each position, each
+/// alternative `f` offers for that element (sequence length is preserved).
+pub fn elementwise<T: Clone>(items: &[T], f: impl Fn(&T) -> Vec<T>) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        for alt in f(item) {
+            let mut cand = items.to_vec();
+            cand[i] = alt;
+            out.push(cand);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsequences_start_with_empty_and_cover_singles() {
+        let cands = subsequences(&[1, 2, 3, 4]);
+        assert_eq!(cands[0], Vec::<i32>::new(), "whole-drop first");
+        for cand in &cands {
+            assert!(cand.len() < 4, "every candidate strictly shorter");
+        }
+        // Single-element drops all present.
+        for missing in 0..4 {
+            let want: Vec<i32> = (1..=4).filter(|&v| v != missing + 1).collect();
+            assert!(cands.contains(&want), "missing drop of index {missing}");
+        }
+    }
+
+    #[test]
+    fn subsequences_of_empty_is_empty() {
+        assert!(subsequences::<u8>(&[]).is_empty());
+    }
+
+    #[test]
+    fn halvings_strictly_decrease() {
+        assert!(halvings_u64(0).is_empty());
+        assert_eq!(halvings_u64(1), vec![0]);
+        let c = halvings_u64(100);
+        assert_eq!(c, vec![0, 50, 99]);
+        assert_eq!(halvings_usize(2), vec![0, 1]);
+    }
+
+    #[test]
+    fn elementwise_preserves_length_and_varies_one_slot() {
+        let cands = elementwise(&[10u64, 20], |&x| halvings_u64(x));
+        assert!(cands.iter().all(|c| c.len() == 2));
+        assert!(cands.contains(&vec![0, 20]));
+        assert!(cands.contains(&vec![10, 10]));
+        // Exactly one slot differs in each candidate.
+        for c in &cands {
+            let diffs = c.iter().zip([10u64, 20]).filter(|(a, b)| **a != *b).count();
+            assert_eq!(diffs, 1);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! The standing cross-layer differential suite.
+//!
+//! Each test binds one oracle to the shared runner: corpus replay first,
+//! then `FREAC_PROPTEST_CASES` random cases (default 256) from
+//! `FREAC_PROPTEST_SEED`. A failure panics with a shrunk counterexample
+//! and the one-line corpus entry that replays it.
+
+use freac_proptest::oracles::{bitstream, cache, fold};
+use freac_proptest::{check, Runner};
+
+#[test]
+fn fold_threeway_differential() {
+    check("fold/threeway", fold::generate, fold::shrink, fold::check);
+}
+
+#[test]
+fn cache_differential() {
+    check(
+        "cache/differential",
+        cache::generate,
+        cache::shrink,
+        cache::check,
+    );
+}
+
+#[test]
+fn bitstream_roundtrip_differential() {
+    check(
+        "bitstream/roundtrip",
+        bitstream::generate,
+        bitstream::shrink,
+        bitstream::check_roundtrip,
+    );
+}
+
+#[test]
+fn bitstream_decode_encode_identity() {
+    check(
+        "bitstream/decode-encode",
+        bitstream::generate_wire_image,
+        |_| Vec::new(),
+        |image: &Vec<u8>| bitstream::check_decode_encode_identity(image),
+    );
+}
+
+#[test]
+fn bitstream_mutation_robustness() {
+    check(
+        "bitstream/mutation",
+        bitstream::generate,
+        bitstream::shrink,
+        bitstream::check_mutation_robustness,
+    );
+}
+
+#[test]
+fn kernel_circuits_fold_equivalently_on_random_tiles() {
+    // Every benchmark kernel, random tile sizes and stimuli: mapped+folded
+    // execution must track the direct evaluator. Kernels are much larger
+    // than grammar circuits, so this property runs a quarter of the
+    // configured case count.
+    use freac_fold::{schedule_fold, FoldConstraints, FoldedExecutor, LutMode};
+    use freac_netlist::eval::Evaluator;
+    use freac_netlist::techmap::{tech_map, TechMapOptions};
+    use freac_netlist::Value;
+
+    let mut runner = Runner::from_env();
+    let mut config = runner.config().clone();
+    config.cases = (config.cases / 4).max(1);
+    runner = Runner::new(config);
+
+    let ids = freac_kernels::all_kernels();
+    runner.check(
+        "fold/kernels",
+        |rng| {
+            let id = *rng.pick(&ids);
+            let clusters = 1 + rng.index(4);
+            let cycles = 1 + rng.index(3);
+            let seeds: Vec<u32> = (0..8).map(|_| rng.next_u32() % 1024).collect();
+            (id, clusters, cycles, seeds)
+        },
+        |case| {
+            let mut out = Vec::new();
+            if case.1 > 1 {
+                out.push((case.0, 1, case.2, case.3.clone()));
+            }
+            if case.2 > 1 {
+                out.push((case.0, case.1, 1, case.3.clone()));
+            }
+            out
+        },
+        |&(id, clusters, cycles, ref seeds)| {
+            let circuit = freac_kernels::kernel(id).circuit();
+            let mapped = tech_map(&circuit, TechMapOptions::lut4())
+                .map_err(|e| format!("{id}: tech_map refused: {e}"))?;
+            let cons = FoldConstraints::for_tile(clusters, LutMode::Lut4);
+            let schedule = schedule_fold(&mapped, &cons)
+                .map_err(|e| format!("{id}: schedule_fold refused: {e}"))?;
+            let mut folded = FoldedExecutor::new(&mapped, &schedule);
+            let mut direct = Evaluator::new(&circuit);
+            let inputs: Vec<Value> = circuit
+                .primary_inputs()
+                .iter()
+                .enumerate()
+                .map(|(i, _)| Value::Word(seeds[i % seeds.len()]))
+                .collect();
+            for cycle in 0..cycles {
+                let a = folded
+                    .run_cycle(&inputs)
+                    .map_err(|e| format!("{id}: folded cycle {cycle} failed: {e}"))?;
+                let b = direct
+                    .run_cycle(&inputs)
+                    .map_err(|e| format!("{id}: direct cycle {cycle} failed: {e}"))?;
+                if a != b {
+                    return Err(format!(
+                        "{id} x{clusters} diverged at cycle {cycle}: folded {a:?} != direct {b:?}"
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}

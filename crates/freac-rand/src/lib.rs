@@ -38,42 +38,59 @@ impl Rng64 {
         (self.next_u64() >> 32) as u32
     }
 
-    /// A uniform value in `[0, bound)` via the multiply-shift reduction
-    /// (bias below 2^-32 for any bound that fits in 32 bits).
+    /// A uniform value in `[0, bound)` — `bound` itself is never returned —
+    /// via the multiply-shift reduction (bias below 2^-32 for any bound that
+    /// fits in 32 bits).
     ///
     /// # Panics
     ///
-    /// Panics if `bound` is zero.
+    /// Panics if `bound` is zero (the range `[0, 0)` holds no values).
     pub fn below(&mut self, bound: u64) -> u64 {
-        assert!(bound > 0, "bound must be positive");
+        assert!(
+            bound > 0,
+            "Rng64::below: bound must be non-zero (the range [0, 0) is empty)"
+        );
         ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
     }
 
-    /// A uniform `usize` in `[0, bound)`.
+    /// A uniform `usize` in `[0, bound)` — `bound` itself is never returned.
     ///
     /// # Panics
     ///
-    /// Panics if `bound` is zero.
+    /// Panics if `bound` is zero (the range `[0, 0)` holds no values).
     pub fn index(&mut self, bound: usize) -> usize {
+        assert!(
+            bound > 0,
+            "Rng64::index: bound must be non-zero (the range [0, 0) is empty)"
+        );
         self.below(bound as u64) as usize
     }
 
-    /// A uniform value in `[lo, hi)`.
+    /// A uniform value in `[lo, hi)`: `lo` is inclusive, `hi` is exclusive,
+    /// so `range_u64(a, a + 1)` always returns `a` and `hi` itself is never
+    /// returned.
     ///
     /// # Panics
     ///
-    /// Panics if the range is empty.
+    /// Panics if `lo >= hi` (the half-open range is empty).
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
-        assert!(lo < hi, "empty range {lo}..{hi}");
+        assert!(
+            lo < hi,
+            "Rng64::range_u64: empty range {lo}..{hi} (lo inclusive, hi exclusive)"
+        );
         lo + self.below(hi - lo)
     }
 
-    /// A uniform `u32` in `[lo, hi)`.
+    /// A uniform `u32` in `[lo, hi)`: `lo` inclusive, `hi` exclusive.
     ///
     /// # Panics
     ///
-    /// Panics if the range is empty.
+    /// Panics if `lo >= hi` (the half-open range is empty).
     pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(
+            lo < hi,
+            "Rng64::range_u32: empty range {lo}..{hi} (lo inclusive, hi exclusive)"
+        );
         self.range_u64(u64::from(lo), u64::from(hi)) as u32
     }
 
@@ -104,10 +121,56 @@ impl Rng64 {
     ///
     /// # Panics
     ///
-    /// Panics if `choices` is empty.
+    /// Panics if `choices` is empty (use [`Self::choose`] for a
+    /// non-panicking variant).
     pub fn pick<'a, T>(&mut self, choices: &'a [T]) -> &'a T {
-        assert!(!choices.is_empty(), "choices must be non-empty");
+        assert!(
+            !choices.is_empty(),
+            "Rng64::pick: cannot pick from an empty slice"
+        );
         &choices[self.index(choices.len())]
+    }
+
+    /// One element of `choices`, uniformly, or `None` when the slice is
+    /// empty.
+    pub fn choose<'a, T>(&mut self, choices: &'a [T]) -> Option<&'a T> {
+        if choices.is_empty() {
+            None
+        } else {
+            Some(&choices[self.index(choices.len())])
+        }
+    }
+
+    /// Shuffles `items` in place (Fisher–Yates); every permutation is
+    /// equally likely and the result is a function of the seed alone.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// An index into `weights` with probability proportional to its weight.
+    /// Zero-weight entries are never picked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or all weights are zero (no pickable
+    /// entry).
+    pub fn weighted(&mut self, weights: &[u64]) -> usize {
+        let total: u64 = weights.iter().sum();
+        assert!(
+            total > 0,
+            "Rng64::weighted: weights must be non-empty with a non-zero sum"
+        );
+        let mut x = self.below(total);
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        unreachable!("below(total) is always less than the summed weights")
     }
 }
 
@@ -199,5 +262,100 @@ mod tests {
         let mut count = 0;
         cases(32, 5, |_| count += 1);
         assert_eq!(count, 32);
+    }
+
+    #[test]
+    fn below_is_exclusive_of_the_bound() {
+        // A singleton bound pins the exclusivity: [0, 1) only holds 0.
+        let mut r = Rng64::new(13);
+        for _ in 0..1000 {
+            assert_eq!(r.below(1), 0);
+        }
+    }
+
+    #[test]
+    fn range_is_lo_inclusive_hi_exclusive() {
+        let mut r = Rng64::new(17);
+        // Singleton range: hi is exclusive, so [7, 8) only holds 7.
+        for _ in 0..1000 {
+            assert_eq!(r.range_u64(7, 8), 7);
+            assert_eq!(r.range_u32(7, 8), 7);
+        }
+        // Both endpoints of the closed interval [5, 8] are reachable and 9
+        // (== hi) never appears.
+        let mut saw_lo = false;
+        let mut saw_hi_minus_one = false;
+        for _ in 0..4000 {
+            let v = r.range_u32(5, 9);
+            assert!((5..9).contains(&v), "{v} outside [5, 9)");
+            saw_lo |= v == 5;
+            saw_hi_minus_one |= v == 8;
+        }
+        assert!(saw_lo && saw_hi_minus_one, "both end values reachable");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be non-zero")]
+    fn below_zero_bound_panics_with_clear_message() {
+        Rng64::new(0).below(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be non-zero")]
+    fn index_zero_bound_panics_with_clear_message() {
+        Rng64::new(0).index(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range 5..5")]
+    fn empty_range_panics_with_clear_message() {
+        Rng64::new(0).range_u64(5, 5);
+    }
+
+    #[test]
+    fn choose_handles_empty_and_matches_pick_semantics() {
+        let mut r = Rng64::new(21);
+        let empty: [u8; 0] = [];
+        assert_eq!(r.choose(&empty), None);
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(r.choose(&items).unwrap()));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_deterministic_permutation() {
+        let mut a: Vec<u32> = (0..32).collect();
+        let mut b: Vec<u32> = (0..32).collect();
+        Rng64::new(99).shuffle(&mut a);
+        Rng64::new(99).shuffle(&mut b);
+        assert_eq!(a, b, "same seed, same permutation");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>(), "no element lost");
+        assert_ne!(
+            a,
+            (0..32).collect::<Vec<_>>(),
+            "32 elements virtually never fixed"
+        );
+    }
+
+    #[test]
+    fn weighted_never_picks_zero_weights_and_tracks_proportions() {
+        let mut r = Rng64::new(33);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[r.weighted(&[0, 1, 0, 3])] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[2], 0);
+        assert!(counts[3] > counts[1], "weight 3 beats weight 1");
+        assert!(counts[1] > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero sum")]
+    fn weighted_all_zero_panics_with_clear_message() {
+        Rng64::new(0).weighted(&[0, 0]);
     }
 }

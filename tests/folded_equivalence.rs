@@ -2,207 +2,102 @@
 //! circuit through technology mapping + logic folding on a micro compute
 //! cluster is bit-identical to evaluating the original netlist.
 //!
-//! Random circuits are generated from a small op grammar (arithmetic,
-//! logic, comparisons, MAC, a feedback register), mapped to 4- and 5-LUTs,
-//! folded onto tiles of several sizes, and co-simulated against the
-//! reference evaluator over multiple cycles.
+//! These properties run on the `freac-proptest` harness: random circuits
+//! come from the shared grammar (`freac_proptest::circuit`), failing cases
+//! are greedily shrunk to minimal counterexamples, and every failure
+//! report carries a seed that replays it (see `tests/regressions/`).
+//! The suite-wide case count and seed come from `FREAC_PROPTEST_CASES`
+//! and `FREAC_PROPTEST_SEED`.
 
-use freac::fold::{schedule_fold, FoldConstraints, FoldedExecutor, LutMode};
-use freac::netlist::builder::{CircuitBuilder, Word};
-use freac::netlist::eval::Evaluator;
 use freac::netlist::techmap::{tech_map, TechMapOptions};
-use freac::netlist::{Netlist, Value};
-use freac_rand::{cases, Rng64};
-
-/// One step of the random circuit grammar.
-#[derive(Debug, Clone)]
-enum Op {
-    Add(usize, usize),
-    Sub(usize, usize),
-    Xor(usize, usize),
-    And(usize, usize),
-    Or(usize, usize),
-    MuxBySign(usize, usize, usize),
-    RotL(usize, u8),
-    Min(usize, usize),
-    Mac(usize, usize, usize),
-}
-
-fn random_op(rng: &mut Rng64, pool: usize) -> Op {
-    let a = rng.index(pool);
-    let b = rng.index(pool);
-    match rng.index(9) {
-        0 => Op::Add(a, b),
-        1 => Op::Sub(a, b),
-        2 => Op::Xor(a, b),
-        3 => Op::And(a, b),
-        4 => Op::Or(a, b),
-        5 => Op::MuxBySign(a, b, rng.index(pool)),
-        6 => Op::RotL(a, rng.index(8) as u8),
-        7 => Op::Min(a, b),
-        _ => Op::Mac(a, b, rng.index(pool)),
-    }
-}
-
-fn random_ops(rng: &mut Rng64, pool: usize, lo: usize, hi: usize) -> Vec<Op> {
-    let len = lo + rng.index(hi - lo);
-    (0..len).map(|_| random_op(rng, pool)).collect()
-}
-
-fn random_inputs(rng: &mut Rng64, lo: usize, hi: usize) -> Vec<(u32, u32)> {
-    let len = lo + rng.index(hi - lo);
-    (0..len)
-        .map(|_| (rng.range_u32(0, 65536), rng.range_u32(0, 65536)))
-        .collect()
-}
-
-/// Builds the circuit and, in lockstep, a software model of it.
-fn build(ops: &[Op], with_reg: bool) -> Netlist {
-    let mut b = CircuitBuilder::new("random");
-    let mut words: Vec<Word> = vec![b.word_input("x", 16), b.word_input("y", 16)];
-    let reg = if with_reg {
-        let (q, h) = b.word_reg(0, 16);
-        words.push(q.clone());
-        Some((q, h))
-    } else {
-        None
-    };
-    for op in ops {
-        let pick = |i: &usize| words[i % words.len()].clone();
-        let w = match op {
-            Op::Add(a, c) => {
-                let (x, y) = (pick(a), pick(c));
-                b.add(&x, &y)
-            }
-            Op::Sub(a, c) => {
-                let (x, y) = (pick(a), pick(c));
-                b.sub(&x, &y)
-            }
-            Op::Xor(a, c) => {
-                let (x, y) = (pick(a), pick(c));
-                b.xor_words(&x, &y)
-            }
-            Op::And(a, c) => {
-                let (x, y) = (pick(a), pick(c));
-                b.and_words(&x, &y)
-            }
-            Op::Or(a, c) => {
-                let (x, y) = (pick(a), pick(c));
-                b.or_words(&x, &y)
-            }
-            Op::MuxBySign(s, a, c) => {
-                let sel = pick(s).bit(15);
-                let (x, y) = (pick(a), pick(c));
-                b.mux_word(sel, &x, &y)
-            }
-            Op::RotL(a, k) => {
-                let x = pick(a);
-                b.rotl_const(&x, *k as usize)
-            }
-            Op::Min(a, c) => {
-                let (x, y) = (pick(a), pick(c));
-                b.min_max_unsigned(&x, &y).0
-            }
-            Op::Mac(a, c, d) => {
-                let (x, y, z) = (pick(a), pick(c), pick(d));
-                let m = b.mac(&x, &y, &z);
-                m.slice(0, 16)
-            }
-        };
-        words.push(w);
-    }
-    let last = words.last().expect("at least the inputs exist").clone();
-    if let Some((_, h)) = reg {
-        b.connect_word_reg(h, &last);
-    }
-    b.word_output("out", &last);
-    let prev = words[words.len().saturating_sub(2)].clone();
-    b.word_output("prev", &prev);
-    b.finish().expect("generated circuit is structurally valid")
-}
-
-fn co_simulate(
-    netlist: &Netlist,
-    k: TechMapOptions,
-    mode: LutMode,
-    clusters: usize,
-    inputs: &[(u32, u32)],
-) {
-    let mapped = tech_map(netlist, k).expect("mappable");
-    let cons = FoldConstraints::for_tile(clusters, mode);
-    let schedule = schedule_fold(&mapped, &cons).expect("schedulable");
-    let mut folded = FoldedExecutor::new(&mapped, &schedule);
-    let mut reference = Evaluator::new(netlist);
-    for &(x, y) in inputs {
-        let vals = [Value::Word(x), Value::Word(y)];
-        let a = folded.run_cycle(&vals).expect("folded execution succeeds");
-        let b = reference
-            .run_cycle(&vals)
-            .expect("reference evaluation succeeds");
-        assert_eq!(a, b, "folded and reference outputs diverged");
-    }
-}
+use freac::netlist::Value;
+use freac_proptest::check;
+use freac_proptest::circuit::CircuitSpec;
+use freac_proptest::oracles::fold::{self, FoldCase};
 
 #[test]
 fn folded_execution_matches_reference_lut4() {
-    cases(48, 0x000F_01D4, |rng| {
-        let ops = random_ops(rng, 6, 1, 12);
-        let with_reg = rng.bool();
-        let clusters = 1 + rng.index(3);
-        let inputs = random_inputs(rng, 1, 4);
-        let n = build(&ops, with_reg);
-        co_simulate(&n, TechMapOptions::lut4(), LutMode::Lut4, clusters, &inputs);
-    });
+    // The three-way oracle with the LUT flavor pinned to 4-LUTs: direct
+    // evaluation, the mapped netlist, and the folded schedule must agree.
+    check(
+        "fold/lut4",
+        |rng| FoldCase {
+            lut5: false,
+            ..fold::generate(rng)
+        },
+        |case| fold::shrink(case).into_iter().filter(|c| !c.lut5).collect(),
+        fold::check,
+    );
 }
 
 #[test]
 fn folded_execution_matches_reference_lut5() {
-    cases(48, 0x000F_01D5, |rng| {
-        let ops = random_ops(rng, 6, 1, 10);
-        let inputs = random_inputs(rng, 1, 3);
-        let n = build(&ops, true);
-        co_simulate(&n, TechMapOptions::lut5(), LutMode::Lut5, 2, &inputs);
-    });
+    check(
+        "fold/lut5",
+        |rng| FoldCase {
+            lut5: true,
+            ..fold::generate(rng)
+        },
+        |case| {
+            // Keep candidates in the 5-LUT flavor this property pins.
+            fold::shrink(case).into_iter().filter(|c| c.lut5).collect()
+        },
+        fold::check,
+    );
 }
 
 #[test]
 fn tech_mapping_preserves_semantics() {
-    cases(48, 0x7EC4, |rng| {
-        let ops = random_ops(rng, 6, 1, 12);
-        let inputs = random_inputs(rng, 1, 4);
-        let n = build(&ops, true);
-        let mapped = tech_map(&n, TechMapOptions::lut4()).expect("mappable");
-        let vectors: Vec<Vec<Value>> = inputs
-            .iter()
-            .map(|&(x, y)| vec![Value::Word(x), Value::Word(y)])
-            .collect();
-        assert!(freac::netlist::eval::equivalent_on(&n, &mapped, &vectors, 2).expect("evaluable"));
-    });
+    // Mapping alone (no folding): the K-LUT netlist is equivalent to the
+    // original on random multi-cycle stimuli.
+    check(
+        "fold/techmap-equivalence",
+        fold::generate,
+        fold::shrink,
+        |case: &FoldCase| {
+            let netlist = case.circuit.build();
+            let opts = if case.lut5 {
+                TechMapOptions::lut5()
+            } else {
+                TechMapOptions::lut4()
+            };
+            let mapped = tech_map(&netlist, opts).map_err(|e| format!("tech_map refused: {e}"))?;
+            let vectors: Vec<Vec<Value>> = case
+                .stimulus
+                .iter()
+                .map(|&(x, y)| vec![Value::Word(x), Value::Word(y)])
+                .collect();
+            let same = freac::netlist::eval::equivalent_on(&netlist, &mapped, &vectors, 2)
+                .map_err(|e| format!("evaluation failed: {e}"))?;
+            if same {
+                Ok(())
+            } else {
+                Err("mapped netlist diverged from the original".into())
+            }
+        },
+    );
 }
 
 #[test]
-fn kernel_circuits_fold_equivalently() {
-    // Every benchmark circuit, mapped and folded on a 2-cluster tile, must
-    // track the reference evaluator over several cycles of a fixed stimulus.
-    for id in freac::kernels::all_kernels() {
-        let k = freac::kernels::kernel(id);
-        let circuit = k.circuit();
-        let mapped = tech_map(&circuit, TechMapOptions::lut4()).expect("mappable");
-        let cons = FoldConstraints::for_tile(2, LutMode::Lut4);
-        let schedule = schedule_fold(&mapped, &cons).expect("schedulable");
-        let mut folded = FoldedExecutor::new(&mapped, &schedule);
-        let mut reference = Evaluator::new(&circuit);
-        // Deterministic stimulus matching each circuit's input signature.
-        let inputs: Vec<Value> = circuit
-            .primary_inputs()
-            .iter()
-            .enumerate()
-            .map(|(i, _)| Value::Word((i as u32 + 3).wrapping_mul(2654435761) % 1024))
-            .collect();
-        for cycle in 0..6 {
-            let a = folded.run_cycle(&inputs).expect("folded");
-            let b = reference.run_cycle(&inputs).expect("reference");
-            assert_eq!(a, b, "{id} diverged at cycle {cycle}");
-        }
-    }
+fn shrunk_circuits_stay_well_formed() {
+    // Meta-property keeping the shrinker honest: every candidate the
+    // grammar offers must itself build, map, and fold cleanly, otherwise
+    // shrinking a real failure would derail into generator bugs.
+    check(
+        "fold/shrink-closure",
+        |rng| CircuitSpec::random(rng, 10),
+        |_| Vec::new(),
+        |spec: &CircuitSpec| {
+            for cand in spec.shrink() {
+                let case = FoldCase {
+                    circuit: cand,
+                    lut5: false,
+                    clusters: 1,
+                    stimulus: vec![(1, 2)],
+                };
+                fold::check(&case).map_err(|e| format!("shrink candidate broke: {e}"))?;
+            }
+            Ok(())
+        },
+    );
 }
