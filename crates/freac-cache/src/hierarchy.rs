@@ -7,6 +7,8 @@
 //! average memory access time, and the interference study (Fig. 15) shrinks
 //! the effective L3 to model ways locked for compute.
 
+use freac_probe::CounterRegistry;
+
 use crate::geometry::LlcGeometry;
 use crate::set_cache::{AccessOutcome, SetAssocCache};
 
@@ -126,6 +128,10 @@ pub struct HierarchyStats {
     pub dram_writebacks: u64,
     /// Inclusion-driven back-invalidations issued to private caches.
     pub back_invalidations: u64,
+    /// Ring hops traversed reaching L3 slices (counted only when the
+    /// NUCA ring is modeled; the flat-latency configuration folds the
+    /// mean traversal into `l3_latency` without tracking distance).
+    pub ring_hops: u64,
     /// Total accesses.
     pub total: u64,
     /// Accumulated latency of all accesses, in core cycles.
@@ -144,7 +150,32 @@ impl HierarchyStats {
 
     /// Bytes moved to/from DRAM assuming `line_bytes` lines.
     pub fn dram_bytes(&self, line_bytes: usize) -> u64 {
-        (self.dram_accesses + self.dram_writebacks) * line_bytes as u64
+        (self.dram_accesses.saturating_add(self.dram_writebacks)).saturating_mul(line_bytes as u64)
+    }
+
+    /// Exports the counters under `prefix`. Alongside the raw per-level
+    /// splits, emits `<prefix>.hits` (any cache level) and
+    /// `<prefix>.misses` (DRAM) so the probe's `hits + misses ==
+    /// accesses` invariant cross-checks the level accounting.
+    pub fn export_into(&self, reg: &mut CounterRegistry, prefix: &str) {
+        reg.add(&format!("{prefix}.accesses"), self.total);
+        let cache_hits = self
+            .l1_hits
+            .saturating_add(self.l2_hits)
+            .saturating_add(self.l3_hits);
+        reg.add(&format!("{prefix}.hits"), cache_hits);
+        reg.add(&format!("{prefix}.misses"), self.dram_accesses);
+        reg.add(&format!("{prefix}.l1_hits"), self.l1_hits);
+        reg.add(&format!("{prefix}.l2_hits"), self.l2_hits);
+        reg.add(&format!("{prefix}.l3_hits"), self.l3_hits);
+        reg.add(&format!("{prefix}.dram_accesses"), self.dram_accesses);
+        reg.add(&format!("{prefix}.dram_writebacks"), self.dram_writebacks);
+        reg.add(
+            &format!("{prefix}.back_invalidations"),
+            self.back_invalidations,
+        );
+        reg.add(&format!("{prefix}.ring_hops"), self.ring_hops);
+        reg.add(&format!("{prefix}.latency_cycles"), self.total_latency);
     }
 }
 
@@ -207,13 +238,13 @@ impl MemoryHierarchy {
     pub fn access(&mut self, core: usize, addr: u64, write: bool) -> (AccessLevel, u64) {
         assert!(core < self.config.cores, "core {core} out of range");
         let c = &self.config;
-        self.stats.total += 1;
+        self.stats.total = self.stats.total.saturating_add(1);
 
         let (level, latency) = if self.l1[core].access(addr, write).is_hit() {
-            self.stats.l1_hits += 1;
+            self.stats.l1_hits = self.stats.l1_hits.saturating_add(1);
             (AccessLevel::L1, c.l1_latency)
         } else if self.l2[core].access(addr, write).is_hit() {
-            self.stats.l2_hits += 1;
+            self.stats.l2_hits = self.stats.l2_hits.saturating_add(1);
             (AccessLevel::L2, c.l2_latency)
         } else {
             let slice = c.llc.slice_of(addr);
@@ -223,20 +254,21 @@ impl MemoryHierarchy {
             // way, minus the 4-cycle mean already baked into `l3_latency`.
             let l3_latency = if c.nuca_ring {
                 let ring = freac_sim::RingInterconnect::paper_edge();
-                let extra = 2 * ring.hops(core % ring.stops(), slice) as u64;
-                (c.l3_latency + extra).saturating_sub(4)
+                let hops = ring.hops(core % ring.stops(), slice) as u64;
+                self.stats.ring_hops = self.stats.ring_hops.saturating_add(hops);
+                (c.l3_latency + 2 * hops).saturating_sub(4)
             } else {
                 c.l3_latency
             };
             match self.l3[slice].access(local, write) {
                 AccessOutcome::Hit => {
-                    self.stats.l3_hits += 1;
+                    self.stats.l3_hits = self.stats.l3_hits.saturating_add(1);
                     (AccessLevel::L3, l3_latency)
                 }
                 AccessOutcome::Miss { writeback, evicted } => {
-                    self.stats.dram_accesses += 1;
+                    self.stats.dram_accesses = self.stats.dram_accesses.saturating_add(1);
                     if writeback.is_some() {
-                        self.stats.dram_writebacks += 1;
+                        self.stats.dram_writebacks = self.stats.dram_writebacks.saturating_add(1);
                     }
                     if c.inclusive {
                         if let Some(local_victim) = evicted {
@@ -246,17 +278,19 @@ impl MemoryHierarchy {
                             let global = c.llc.global_addr(slice, local_victim);
                             for pc in self.l1.iter_mut().chain(&mut self.l2) {
                                 if pc.invalidate(global) == Some(true) {
-                                    self.stats.dram_writebacks += 1;
+                                    self.stats.dram_writebacks =
+                                        self.stats.dram_writebacks.saturating_add(1);
                                 }
                             }
-                            self.stats.back_invalidations += 1;
+                            self.stats.back_invalidations =
+                                self.stats.back_invalidations.saturating_add(1);
                         }
                     }
                     (AccessLevel::Dram, c.dram_latency)
                 }
             }
         };
-        self.stats.total_latency += latency;
+        self.stats.total_latency = self.stats.total_latency.saturating_add(latency);
         (level, latency)
     }
 
@@ -273,6 +307,33 @@ impl MemoryHierarchy {
     /// Accumulated counters.
     pub fn stats(&self) -> HierarchyStats {
         self.stats
+    }
+
+    /// Exports the hierarchy counters under `prefix`, plus aggregated
+    /// per-level cache counters under `<prefix>.l1`, `<prefix>.l2`, and
+    /// `<prefix>.llc` (all private caches of a level sum into one
+    /// prefix; LLC slices likewise). Also sets the
+    /// `<prefix>.llc.cache_ways` / `.total_ways` way-partition gauges.
+    pub fn export_into(&self, reg: &mut CounterRegistry, prefix: &str) {
+        self.stats.export_into(reg, prefix);
+        for c in &self.l1 {
+            c.stats().export_into(reg, &format!("{prefix}.l1"));
+        }
+        for c in &self.l2 {
+            c.stats().export_into(reg, &format!("{prefix}.l2"));
+        }
+        for (i, c) in self.l3.iter().enumerate() {
+            c.stats().export_into(reg, &format!("{prefix}.llc"));
+            reg.gauge_max(&format!("{prefix}.llc.slice{i}.occupancy"), c.occupancy());
+        }
+        reg.gauge_max(
+            &format!("{prefix}.llc.cache_ways"),
+            self.config.l3_effective_ways as f64,
+        );
+        reg.gauge_max(
+            &format!("{prefix}.llc.total_ways"),
+            self.config.llc.ways as f64,
+        );
     }
 
     /// Clears counters, keeping cache contents (for post-warm-up
@@ -422,6 +483,28 @@ mod tests {
         let (level, _) = h.access(0, 0, false);
         assert_eq!(level, AccessLevel::L1, "mostly-inclusive keeps the L1 copy");
         assert_eq!(h.stats().back_invalidations, 0);
+    }
+
+    #[test]
+    fn export_satisfies_probe_invariants() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::paper_edge().with_nuca_ring());
+        for core in 0..2 {
+            for i in 0..512u64 {
+                h.access(core, i * 64, i % 7 == 0);
+            }
+        }
+        let mut reg = freac_probe::CounterRegistry::new();
+        h.export_into(&mut reg, "cache.hier");
+        // Level split must cover every access.
+        assert_eq!(
+            reg.counter("cache.hier.hits") + reg.counter("cache.hier.misses"),
+            reg.counter("cache.hier.accesses"),
+        );
+        // Aggregated L1 counters cover both cores' caches.
+        assert_eq!(reg.counter("cache.hier.l1.accesses"), 1024);
+        assert!(reg.counter("cache.hier.ring_hops") > 0);
+        assert_eq!(reg.gauge("cache.hier.llc.cache_ways"), Some(20.0));
+        freac_probe::assert_ok(&reg);
     }
 
     #[test]

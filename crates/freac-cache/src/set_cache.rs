@@ -1,5 +1,7 @@
 //! A set-associative cache with true-LRU replacement and dirty tracking.
 
+use freac_probe::CounterRegistry;
+
 /// Result of a cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessOutcome {
@@ -31,13 +33,20 @@ struct Line {
     lru: u64,
 }
 
-/// Per-cache hit/miss counters.
+/// Per-cache hit/miss counters. Accumulation saturates rather than
+/// wrapping, preserving the probe invariants (`hits + misses ==
+/// accesses`, `writebacks <= evictions <= misses`) even at the limits.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
+    /// Total accesses (`hits + misses`, kept explicit so the probe
+    /// invariant can cross-check the split).
+    pub accesses: u64,
     /// Accesses that hit.
     pub hits: u64,
     /// Accesses that missed.
     pub misses: u64,
+    /// Valid victims displaced by fills (clean or dirty).
+    pub evictions: u64,
     /// Dirty evictions.
     pub writebacks: u64,
 }
@@ -45,11 +54,38 @@ pub struct CacheStats {
 impl CacheStats {
     /// Hit rate in the unit interval (1.0 when there were no accesses).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
+        if self.accesses == 0 {
             1.0
         } else {
-            self.hits as f64 / total as f64
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Exports the counters under `prefix` (`<prefix>.accesses`,
+    /// `.hits`, `.misses`, `.evictions`, `.writebacks`). Adding, not
+    /// setting — exporting several caches under one prefix aggregates
+    /// them.
+    pub fn export_into(&self, reg: &mut CounterRegistry, prefix: &str) {
+        reg.add(&format!("{prefix}.accesses"), self.accesses);
+        reg.add(&format!("{prefix}.hits"), self.hits);
+        reg.add(&format!("{prefix}.misses"), self.misses);
+        reg.add(&format!("{prefix}.evictions"), self.evictions);
+        reg.add(&format!("{prefix}.writebacks"), self.writebacks);
+    }
+
+    fn record_hit(&mut self) {
+        self.accesses = self.accesses.saturating_add(1);
+        self.hits = self.hits.saturating_add(1);
+    }
+
+    fn record_miss(&mut self, evicted: bool, writeback: bool) {
+        self.accesses = self.accesses.saturating_add(1);
+        self.misses = self.misses.saturating_add(1);
+        if evicted {
+            self.evictions = self.evictions.saturating_add(1);
+        }
+        if writeback {
+            self.writebacks = self.writebacks.saturating_add(1);
         }
     }
 }
@@ -67,6 +103,7 @@ pub struct SetAssocCache {
     lines: Vec<Line>,
     epoch: u64,
     stats: CacheStats,
+    per_set: Vec<CacheStats>,
 }
 
 impl SetAssocCache {
@@ -89,6 +126,7 @@ impl SetAssocCache {
             lines: vec![Line::default(); sets * ways],
             epoch: 0,
             stats: CacheStats::default(),
+            per_set: vec![CacheStats::default(); sets],
         }
     }
 
@@ -136,11 +174,11 @@ impl SetAssocCache {
             if l.valid && l.tag == tag {
                 l.lru = self.epoch;
                 l.dirty |= write;
-                self.stats.hits += 1;
+                self.stats.record_hit();
+                self.per_set[set].record_hit();
                 return AccessOutcome::Hit;
             }
         }
-        self.stats.misses += 1;
 
         // Victim: invalid first, else LRU.
         let victim = (base..base + self.ways)
@@ -161,12 +199,10 @@ impl SetAssocCache {
         } else {
             None
         };
-        let writeback = if v.valid && v.dirty {
-            self.stats.writebacks += 1;
-            evicted
-        } else {
-            None
-        };
+        let writeback = if v.valid && v.dirty { evicted } else { None };
+        self.stats
+            .record_miss(evicted.is_some(), writeback.is_some());
+        self.per_set[set].record_miss(evicted.is_some(), writeback.is_some());
         *v = Line {
             tag,
             valid: true,
@@ -222,14 +258,48 @@ impl SetAssocCache {
         self.lines.iter().filter(|l| l.valid && l.dirty).count() as u64
     }
 
+    /// Number of currently valid lines.
+    pub fn valid_lines(&self) -> u64 {
+        self.lines.iter().filter(|l| l.valid).count() as u64
+    }
+
+    /// Fraction of lines currently valid, in the unit interval.
+    pub fn occupancy(&self) -> f64 {
+        self.valid_lines() as f64 / self.lines.len() as f64
+    }
+
     /// Hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
 
+    /// Counters of one set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn set_stats(&self, set: usize) -> CacheStats {
+        self.per_set[set]
+    }
+
+    /// Exports the aggregate counters under `prefix`, per-set hit/miss/
+    /// eviction distributions as `<prefix>.set_*` histograms (one
+    /// observation per set), and the `<prefix>.occupancy` gauge.
+    pub fn export_into(&self, reg: &mut CounterRegistry, prefix: &str) {
+        self.stats.export_into(reg, prefix);
+        for s in &self.per_set {
+            reg.observe(&format!("{prefix}.set_accesses"), s.accesses);
+            reg.observe(&format!("{prefix}.set_hits"), s.hits);
+            reg.observe(&format!("{prefix}.set_misses"), s.misses);
+            reg.observe(&format!("{prefix}.set_evictions"), s.evictions);
+        }
+        reg.gauge_max(&format!("{prefix}.occupancy"), self.occupancy());
+    }
+
     /// Clears counters (contents are kept — useful for warm-up phases).
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
+        self.per_set.fill(CacheStats::default());
     }
 }
 
@@ -339,6 +409,50 @@ mod tests {
             }
         }
         assert_eq!(c.stats().hits, 0);
+    }
+
+    #[test]
+    fn access_split_and_evictions_are_conserved() {
+        let mut c = SetAssocCache::new(1, 2, 64);
+        c.access(0x000, true); // miss, no victim
+        c.access(0x040, false); // miss, no victim
+        c.access(0x000, false); // hit
+        c.access(0x080, false); // miss, evicts dirty 0x040? (LRU is 0x040)
+        let s = c.stats();
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.hits + s.misses, s.accesses);
+        assert_eq!(s.evictions, 1);
+        assert!(s.writebacks <= s.evictions);
+        let mut reg = freac_probe::CounterRegistry::new();
+        c.export_into(&mut reg, "cache.llc");
+        assert_eq!(reg.counter("cache.llc.accesses"), 4);
+        freac_probe::assert_ok(&reg);
+    }
+
+    #[test]
+    fn per_set_stats_sum_to_aggregate() {
+        let mut c = SetAssocCache::new(4, 2, 64);
+        for i in 0..32u64 {
+            c.access(i * 64, false);
+        }
+        for i in 0..4u64 {
+            c.access(i * 64 * 7, false);
+        }
+        let total: u64 = (0..c.sets()).map(|s| c.set_stats(s).accesses).sum();
+        assert_eq!(total, c.stats().accesses);
+        let hits: u64 = (0..c.sets()).map(|s| c.set_stats(s).hits).sum();
+        assert_eq!(hits, c.stats().hits);
+    }
+
+    #[test]
+    fn occupancy_tracks_valid_lines() {
+        let mut c = SetAssocCache::new(4, 2, 64);
+        assert_eq!(c.occupancy(), 0.0);
+        c.access(0, false);
+        assert_eq!(c.valid_lines(), 1);
+        assert_eq!(c.occupancy(), 0.125);
+        c.flush_all();
+        assert_eq!(c.occupancy(), 0.0);
     }
 
     #[test]

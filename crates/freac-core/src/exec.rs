@@ -14,7 +14,8 @@
 
 use freac_power::energy::EnergyCounter;
 use freac_power::sram::slice_leakage_w;
-use freac_sim::{DramModel, Time};
+use freac_probe::{CounterRegistry, EventKind, ProbeEvent};
+use freac_sim::{ClockDomain, DramModel, Time};
 
 use crate::accel::Accelerator;
 use crate::ccctrl::{encode_ways, regs, CcCtrl, SetupTiming};
@@ -98,6 +99,11 @@ pub struct KernelRun {
     pub energy: EnergyCounter,
     /// Average power over the kernel run, watts.
     pub power_w: f64,
+    /// Per-run observability counters (`core.*`, `core.fold.*`,
+    /// `core.spad.*`, `core.setup.*`) — deterministic for a given
+    /// (accelerator, spec, config), checked against the probe invariants
+    /// in debug builds, and mergeable across runs.
+    pub probes: CounterRegistry,
 }
 
 impl KernelRun {
@@ -177,6 +183,9 @@ pub fn run_kernel(
     // --- Setup via the host-interface protocol. ---
     let dram = DramModel::ddr4_2400_x4();
     let mut ctrl = CcCtrl::new(cfg.dirty_fraction);
+    // SELECT, FLUSH, LOCK, CONFIG_DATA, RUN — plus SPAD_FILL when the
+    // partition has scratchpad ways and there is input to stage.
+    let mut protocol_stores: u64 = 5;
     ctrl.store(regs::SELECT, encode_ways(&cfg.partition), &dram)?;
     ctrl.store(regs::FLUSH, 1, &dram)?;
     ctrl.store(regs::LOCK, 1, &dram)?;
@@ -193,6 +202,7 @@ pub fn run_kernel(
             .div_ceil(cfg.slices as u64)
             .min(cfg.partition.scratchpad_bytes());
         ctrl.store(regs::SPAD_FILL, per_slice, &dram)?;
+        protocol_stores += 1;
     }
     ctrl.store(regs::RUN, 1, &dram)?;
     ctrl.complete_run()?;
@@ -232,6 +242,88 @@ pub fn run_kernel(
     };
     let power_w = energy.average_power_w(kernel_time_ps.max(1), leakage, active_links);
 
+    // --- Per-run observability counters. ---
+    let mut probes = CounterRegistry::new();
+    probes.add("core.runs", 1);
+    probes.add("core.items", spec.items);
+    probes.add("core.items_per_tile", items_per_tile);
+    probes.add("core.round_cycles", round_cycles);
+    probes.add("core.kernel_cycles", kernel_cycles);
+    probes.add("core.tiles_per_slice", tiles_per_slice as u64);
+    probes.add("core.total_tiles", total_tiles as u64);
+    probes.add("core.slices", cfg.slices as u64);
+    probes.add("core.streamed_bytes", streamed);
+    if mem_cycles_per_item > compute_cycles_per_item {
+        probes.add("core.memory_bound_runs", 1);
+    }
+    // Crossing the cache/tile clock boundary costs one resync each way;
+    // small tiles share the 4 GHz cache clock and never cross.
+    if clock != ClockDomain::cache_4ghz() {
+        probes.add("core.clock_crossings", 2);
+    }
+    // Fold-step conservation: the analytic model charges every original
+    // cycle of every item one full schedule pass, and the probe invariant
+    // `expected_steps == passes * schedule length` must hold by
+    // construction here.
+    probes.add("core.fold.passes", total_passes);
+    probes.add(
+        "core.fold.expected_steps",
+        total_passes.saturating_mul(steps),
+    );
+    probes.add(
+        "core.fold.steps_executed",
+        total_passes.saturating_mul(steps),
+    );
+    probes.add(
+        "core.fold.config_row_reads",
+        total_passes.saturating_mul(cluster_reads_per_pass),
+    );
+    probes.add(
+        "core.spad.words_read",
+        spec.items.saturating_mul(spec.read_words_per_item),
+    );
+    probes.add(
+        "core.spad.words_written",
+        spec.items.saturating_mul(spec.write_words_per_item),
+    );
+    probes.add("core.setup.protocol_stores", protocol_stores);
+    probes.add("core.setup.config_bytes", ctrl.config_bytes());
+    probes.add("core.setup.fill_bytes", ctrl.fill_bytes());
+    probes.set_gauge(
+        "core.partition.compute_ways",
+        cfg.partition.compute_ways() as f64,
+    );
+    probes.set_gauge(
+        "core.partition.scratchpad_ways",
+        cfg.partition.scratchpad_ways() as f64,
+    );
+    probes.set_gauge(
+        "core.partition.cache_ways",
+        cfg.partition.cache_ways() as f64,
+    );
+    freac_probe::debug_check(&probes);
+
+    // Feed the process-wide probe: merged counters, plus simulated-time
+    // phase spans on the kernel's own track when tracing.
+    freac_probe::global::merge(&probes);
+    if freac_probe::global::tracing() {
+        let track = format!("core.{}", spec.name);
+        let mut t = 0;
+        for (phase, dur) in [
+            ("setup", setup.total_ps()),
+            ("kernel", kernel_time_ps),
+            ("drain", drain_ps),
+        ] {
+            let mut b = ProbeEvent::instant(t, &track, phase);
+            b.kind = EventKind::Begin;
+            freac_probe::global::emit(b);
+            t = t.saturating_add(dur);
+            let mut e = ProbeEvent::instant(t, &track, phase);
+            e.kind = EventKind::End;
+            freac_probe::global::emit(e);
+        }
+    }
+
     Ok(KernelRun {
         tiles_per_slice,
         total_tiles,
@@ -245,6 +337,7 @@ pub fn run_kernel(
         drain_ps,
         energy,
         power_w,
+        probes,
     })
 }
 
@@ -392,6 +485,59 @@ mod tests {
         assert!(r.setup.flush_ps > 0);
         assert!(r.setup.config_ps > 0);
         assert!(r.setup.fill_ps > 0);
+    }
+
+    #[test]
+    fn run_registry_satisfies_invariants_and_conservation() {
+        let accel = mac_accel(1);
+        let s = spec(10_000);
+        let r = run_kernel(&accel, &s, &cfg()).unwrap();
+        freac_probe::assert_ok(&r.probes);
+        // Per-run product law holds by construction.
+        assert_eq!(r.probes.counter("core.runs"), 1);
+        assert_eq!(
+            r.probes.counter("core.kernel_cycles"),
+            r.probes.counter("core.items_per_tile") * r.probes.counter("core.round_cycles")
+        );
+        // Fold-step conservation against the schedule.
+        let steps = accel.fold_cycles() as u64;
+        let passes = s.items * s.cycles_per_item;
+        assert_eq!(r.probes.counter("core.fold.passes"), passes);
+        assert_eq!(r.probes.counter("core.fold.steps_executed"), passes * steps);
+        assert_eq!(
+            r.probes.counter("core.fold.expected_steps"),
+            r.probes.counter("core.fold.steps_executed")
+        );
+        // Scratchpad word traffic mirrors the spec.
+        assert_eq!(
+            r.probes.counter("core.spad.words_read"),
+            s.items * s.read_words_per_item
+        );
+        // SELECT/FLUSH/LOCK/CONFIG_DATA/SPAD_FILL/RUN.
+        assert_eq!(r.probes.counter("core.setup.protocol_stores"), 6);
+        assert!(r.probes.counter("core.setup.config_bytes") > 0);
+        // Partition gauges reflect the config.
+        assert_eq!(
+            r.probes.gauge("core.partition.compute_ways"),
+            Some(cfg().partition.compute_ways() as f64)
+        );
+    }
+
+    #[test]
+    fn merged_run_registries_stay_healthy() {
+        // Merging two runs keeps every sum-based law intact and disables
+        // the per-run product law (core.runs == 2).
+        let accel = mac_accel(1);
+        let a = run_kernel(&accel, &spec(1_000), &cfg()).unwrap();
+        let b = run_kernel(&accel, &spec(2_000), &cfg()).unwrap();
+        let mut merged = a.probes.clone();
+        merged.merge(&b.probes);
+        assert_eq!(merged.counter("core.runs"), 2);
+        assert_eq!(
+            merged.counter("core.items"),
+            a.probes.counter("core.items") + b.probes.counter("core.items")
+        );
+        freac_probe::assert_ok(&merged);
     }
 
     #[test]

@@ -58,8 +58,22 @@ where
 {
     let n = items.len();
     let workers = workers.clamp(1, n.max(1));
+    // Pool accounting for the probe: submitted/completed are deterministic
+    // counters (every job runs exactly once, whatever the worker count);
+    // the per-worker claim distribution is scheduling-dependent, so it goes
+    // into a histogram, never the counter baseline.
+    let probe = freac_probe::global::global();
+    if let Some(p) = probe {
+        p.add("experiments.pool.jobs_submitted", n as u64);
+        p.gauge_max("experiments.pool.workers", workers as f64);
+    }
     if workers <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
+        let out: Vec<O> = items.into_iter().map(f).collect();
+        if let Some(p) = probe {
+            p.add("experiments.pool.jobs_completed", out.len() as u64);
+            p.observe("experiments.pool.jobs_per_worker", out.len() as u64);
+        }
+        return out;
     }
 
     // Jobs are claimed by a shared atomic cursor; each slot is taken by
@@ -74,18 +88,26 @@ where
             let slots = &slots;
             let cursor = &cursor;
             let f = &f;
-            s.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            s.spawn(move || {
+                let mut claimed: u64 = 0;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("each job is claimed once");
+                    claimed += 1;
+                    if tx.send((i, f(item))).is_err() {
+                        break;
+                    }
                 }
-                let item = slots[i]
-                    .lock()
-                    .expect("job slot poisoned")
-                    .take()
-                    .expect("each job is claimed once");
-                if tx.send((i, f(item))).is_err() {
-                    break;
+                if let Some(p) = probe {
+                    p.add("experiments.pool.jobs_completed", claimed);
+                    p.observe("experiments.pool.jobs_per_worker", claimed);
                 }
             });
         }

@@ -1,6 +1,7 @@
 //! Shared plumbing for the experiment runners.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use freac_core::exec::{run_kernel, ExecConfig, KernelRun, KernelSpec};
@@ -41,6 +42,40 @@ fn mapping_cache() -> &'static Mutex<HashMap<MapKey, MapResult>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// Mapping-cache lookup outcomes. Hit/miss splits depend on which racing
+/// worker synthesizes a cell first, so these feed probe *gauges* (and this
+/// accessor), never the deterministic counter baseline.
+static MAPPING_HITS: AtomicU64 = AtomicU64::new(0);
+static MAPPING_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// `(hits, misses)` of the process-wide mapping cache so far.
+pub fn mapping_cache_stats() -> (u64, u64) {
+    (
+        MAPPING_HITS.load(Ordering::Relaxed),
+        MAPPING_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Publishes harness-level observability into the global probe (if
+/// active): mapping-cache hit/miss/entry gauges and the worker count.
+/// Call once, after the figures have run, before `freac_probe::global::finish`.
+pub fn export_probe_stats() {
+    let Some(p) = freac_probe::global::global() else {
+        return;
+    };
+    let (hits, misses) = mapping_cache_stats();
+    p.gauge_max("experiments.mapping_cache.hits", hits as f64);
+    p.gauge_max("experiments.mapping_cache.misses", misses as f64);
+    p.gauge_max(
+        "experiments.mapping_cache.entries",
+        mapping_cache_len() as f64,
+    );
+    p.gauge_max(
+        "experiments.pool.configured_workers",
+        crate::parallel::worker_count() as f64,
+    );
+}
+
 /// Maps a kernel's circuit onto a tile (4-LUT mode), memoized process-wide.
 ///
 /// # Errors
@@ -67,8 +102,10 @@ pub fn map_kernel_with_mode(
         .expect("mapping cache poisoned")
         .get(&key)
     {
+        MAPPING_HITS.fetch_add(1, Ordering::Relaxed);
         return hit.clone();
     }
+    MAPPING_MISSES.fetch_add(1, Ordering::Relaxed);
     // Synthesize outside the lock so independent cells map concurrently; a
     // racing duplicate insert is benign (both runs are deterministic and
     // produce identical accelerators — last write wins).

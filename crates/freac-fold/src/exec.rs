@@ -12,6 +12,7 @@
 //! this module's tests and by property tests in the workspace test-suite.
 
 use freac_netlist::{Netlist, NetlistError, NodeId, NodeKind, Value};
+use freac_probe::CounterRegistry;
 
 use crate::error::FoldError;
 use crate::schedule::FoldSchedule;
@@ -28,6 +29,18 @@ pub struct FoldedExecutor<'a> {
     state: Vec<Value>,
     /// Total fold steps executed across all cycles.
     steps_executed: u64,
+    /// Fold steps each started pass was scheduled to run (Σ schedule
+    /// length per pass); diverges from `steps_executed` only when a pass
+    /// aborts mid-schedule.
+    expected_steps: u64,
+    /// LUT evaluations issued.
+    lut_evals: u64,
+    /// MAC operations issued.
+    mac_issues: u64,
+    /// Operand-bus reads issued.
+    bus_reads: u64,
+    /// Result-bus writes issued.
+    bus_writes: u64,
     cycles: u64,
 }
 
@@ -48,6 +61,11 @@ impl<'a> FoldedExecutor<'a> {
             values: vec![None; netlist.len()],
             state,
             steps_executed: 0,
+            expected_steps: 0,
+            lut_evals: 0,
+            mac_issues: 0,
+            bus_reads: 0,
+            bus_writes: 0,
             cycles: 0,
         }
     }
@@ -60,6 +78,30 @@ impl<'a> FoldedExecutor<'a> {
     /// Total fold steps executed (cache clock cycles of pure compute).
     pub fn steps_executed(&self) -> u64 {
         self.steps_executed
+    }
+
+    /// Configuration-row reads issued: the MCC streams one config row
+    /// from its data arrays per fold step (Sec. IV), so this tracks
+    /// executed steps.
+    pub fn config_row_reads(&self) -> u64 {
+        self.steps_executed
+    }
+
+    /// Exports execution counters under `prefix`: `.passes`,
+    /// `.steps_executed`, `.expected_steps`, `.lut_evals`,
+    /// `.mac_issues`, `.bus_reads`, `.bus_writes`, `.config_row_reads`.
+    pub fn export_into(&self, reg: &mut CounterRegistry, prefix: &str) {
+        reg.add(&format!("{prefix}.passes"), self.cycles);
+        reg.add(&format!("{prefix}.steps_executed"), self.steps_executed);
+        reg.add(&format!("{prefix}.expected_steps"), self.expected_steps);
+        reg.add(&format!("{prefix}.lut_evals"), self.lut_evals);
+        reg.add(&format!("{prefix}.mac_issues"), self.mac_issues);
+        reg.add(&format!("{prefix}.bus_reads"), self.bus_reads);
+        reg.add(&format!("{prefix}.bus_writes"), self.bus_writes);
+        reg.add(
+            &format!("{prefix}.config_row_reads"),
+            self.config_row_reads(),
+        );
     }
 
     /// Runs one original clock cycle (a full pass over the schedule) and
@@ -107,6 +149,9 @@ impl<'a> FoldedExecutor<'a> {
             }
         }
 
+        self.expected_steps = self
+            .expected_steps
+            .saturating_add(self.schedule.len() as u64);
         for step in self.schedule.steps() {
             for &id in &step.bus_reads {
                 let pos = pis
@@ -128,7 +173,11 @@ impl<'a> FoldedExecutor<'a> {
                 let v = self.resolve(node.inputs[0], id)?;
                 self.values[id.index()] = Some(v);
             }
-            self.steps_executed += 1;
+            self.bus_reads = self.bus_reads.saturating_add(step.bus_reads.len() as u64);
+            self.lut_evals = self.lut_evals.saturating_add(step.luts.len() as u64);
+            self.mac_issues = self.mac_issues.saturating_add(step.macs.len() as u64);
+            self.bus_writes = self.bus_writes.saturating_add(step.bus_writes.len() as u64);
+            self.steps_executed = self.steps_executed.saturating_add(1);
         }
 
         // Latch sequential elements at the end of the pass.
@@ -341,6 +390,26 @@ mod tests {
         fx.run_cycle(&[Value::Word(3), Value::Word(4)]).unwrap();
         assert_eq!(fx.steps_executed(), 2 * schedule.len() as u64);
         assert_eq!(fx.cycles(), 2);
+        let mut reg = CounterRegistry::new();
+        fx.export_into(&mut reg, "fold");
+        assert_eq!(reg.counter("fold.passes"), 2);
+        assert_eq!(
+            reg.counter("fold.steps_executed"),
+            reg.counter("fold.expected_steps")
+        );
+        // Every LUT and MAC in the netlist evaluates once per pass.
+        let luts = n
+            .nodes()
+            .iter()
+            .filter(|nd| matches!(nd.kind, NodeKind::Lut(_)))
+            .count() as u64;
+        assert_eq!(reg.counter("fold.lut_evals"), 2 * luts);
+        assert_eq!(reg.counter("fold.config_row_reads"), fx.steps_executed());
+        assert!(
+            reg.counter("fold.bus_reads") >= 2 * 2,
+            "two inputs per pass"
+        );
+        freac_probe::assert_ok(&reg);
     }
 
     #[test]

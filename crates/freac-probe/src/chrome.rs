@@ -1,0 +1,212 @@
+//! Chrome-trace JSON exporter.
+//!
+//! Produces the `chrome://tracing` / Perfetto "JSON Array Format" with a
+//! wrapping object: `{"traceEvents": [...]}`. Each distinct event
+//! component becomes one thread track (a `tid` plus a `thread_name`
+//! metadata record), assigned in order of first appearance so output is
+//! deterministic for a given event sequence.
+//!
+//! Guarantees enforced here, and relied on by the golden test:
+//!
+//! * timestamps are non-decreasing within every track (violations are
+//!   clamped up to the track's high-water mark, never reordered, so
+//!   span nesting survives);
+//! * every `B` has a matching `E` on its track: stray `E`s are dropped,
+//!   spans still open at export time are closed at the track's final
+//!   timestamp.
+
+use crate::events::{EventKind, ProbeEvent};
+use crate::json::Json;
+
+/// Converts ticks (ps or ns, see [`crate::events`]) to the exporter's
+/// microsecond field with sub-tick precision preserved.
+fn ticks_to_us(t: u64) -> Json {
+    if t.is_multiple_of(1000) {
+        Json::UInt(t / 1000)
+    } else {
+        Json::Num(t as f64 / 1000.0)
+    }
+}
+
+/// Renders events into a Chrome-trace JSON string.
+pub fn to_chrome_trace<'a>(events: impl IntoIterator<Item = &'a ProbeEvent>) -> String {
+    let mut tracks: Vec<String> = Vec::new(); // index = tid
+    let mut high_water: Vec<u64> = Vec::new(); // per-tid clamp
+    let mut open_spans: Vec<Vec<String>> = Vec::new(); // per-tid B-stack
+    let mut out: Vec<Json> = Vec::new();
+
+    for e in events {
+        let tid = match tracks.iter().position(|t| *t == e.component) {
+            Some(i) => i,
+            None => {
+                tracks.push(e.component.clone());
+                high_water.push(0);
+                open_spans.push(Vec::new());
+                out.push(thread_name_record(tracks.len() - 1, &e.component));
+                tracks.len() - 1
+            }
+        };
+        let t = e.t_cycle.max(high_water[tid]);
+        high_water[tid] = t;
+        let ph = match e.kind {
+            EventKind::Begin => {
+                open_spans[tid].push(e.name.clone());
+                "B"
+            }
+            EventKind::End => {
+                if open_spans[tid].pop().is_none() {
+                    continue; // stray End: nothing to balance, drop it
+                }
+                "E"
+            }
+            EventKind::Instant => "i",
+        };
+        out.push(event_record(ph, &e.name, tid, t, &e.payload));
+    }
+
+    // Close spans still open at export time at the track's last timestamp.
+    for (tid, stack) in open_spans.iter_mut().enumerate() {
+        while let Some(name) = stack.pop() {
+            out.push(event_record("E", &name, tid, high_water[tid], &[]));
+        }
+    }
+
+    Json::Obj(vec![
+        ("traceEvents".to_owned(), Json::Arr(out)),
+        ("displayTimeUnit".to_owned(), Json::Str("ms".to_owned())),
+    ])
+    .write()
+}
+
+fn thread_name_record(tid: usize, name: &str) -> Json {
+    Json::Obj(vec![
+        ("ph".to_owned(), Json::Str("M".to_owned())),
+        ("name".to_owned(), Json::Str("thread_name".to_owned())),
+        ("pid".to_owned(), Json::UInt(1)),
+        ("tid".to_owned(), Json::UInt(tid as u64)),
+        (
+            "args".to_owned(),
+            Json::Obj(vec![("name".to_owned(), Json::Str(name.to_owned()))]),
+        ),
+    ])
+}
+
+fn event_record(ph: &str, name: &str, tid: usize, t: u64, payload: &[(String, String)]) -> Json {
+    let mut members = vec![
+        ("ph".to_owned(), Json::Str(ph.to_owned())),
+        ("name".to_owned(), Json::Str(name.to_owned())),
+        ("cat".to_owned(), Json::Str("freac".to_owned())),
+        ("pid".to_owned(), Json::UInt(1)),
+        ("tid".to_owned(), Json::UInt(tid as u64)),
+        ("ts".to_owned(), ticks_to_us(t)),
+    ];
+    if ph == "i" {
+        members.push(("s".to_owned(), Json::Str("t".to_owned())));
+    }
+    if !payload.is_empty() {
+        members.push((
+            "args".to_owned(),
+            Json::Obj(
+                payload
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            ),
+        ));
+    }
+    Json::Obj(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventRing;
+
+    fn span(t0: u64, t1: u64, component: &str, name: &str) -> [ProbeEvent; 2] {
+        let mut b = ProbeEvent::instant(t0, component, name);
+        b.kind = EventKind::Begin;
+        let mut e = ProbeEvent::instant(t1, component, name);
+        e.kind = EventKind::End;
+        [b, e]
+    }
+
+    #[test]
+    fn exports_valid_json_with_named_tracks() {
+        let mut ring = EventRing::new(16);
+        for ev in span(1000, 5000, "harness", "fig08") {
+            ring.push(ev);
+        }
+        ring.push(ProbeEvent::instant(250, "sim.dram", "read_line").with("bytes", 64));
+        let text = to_chrome_trace(ring.iter());
+        let v = Json::parse(&text).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // 2 metadata + B + E + i
+        assert_eq!(events.len(), 5);
+        let names: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(names, vec!["harness", "sim.dram"]);
+    }
+
+    #[test]
+    fn clamps_non_monotonic_timestamps_per_track() {
+        let events = [
+            ProbeEvent::instant(500, "c", "a"),
+            ProbeEvent::instant(100, "c", "b"), // goes back in time
+            ProbeEvent::instant(50, "other", "c"), // separate track: fine
+        ];
+        let text = to_chrome_trace(events.iter());
+        let v = Json::parse(&text).unwrap();
+        let ts: Vec<f64> = v
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("tid").unwrap().as_u64() == Some(0))
+            .filter_map(|e| e.get("ts").and_then(Json::as_f64))
+            .collect();
+        assert_eq!(ts, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn balances_spans() {
+        let mut events: Vec<ProbeEvent> = Vec::new();
+        // Unclosed Begin...
+        let mut b = ProbeEvent::instant(10, "c", "open");
+        b.kind = EventKind::Begin;
+        events.push(b);
+        // ...and a stray End on another track.
+        let mut e = ProbeEvent::instant(10, "d", "stray");
+        e.kind = EventKind::End;
+        events.push(e);
+        let text = to_chrome_trace(events.iter());
+        let v = Json::parse(&text).unwrap();
+        let (mut begins, mut ends) = (0, 0);
+        for ev in v.get("traceEvents").unwrap().as_arr().unwrap() {
+            match ev.get("ph").unwrap().as_str().unwrap() {
+                "B" => begins += 1,
+                "E" => ends += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(begins, 1);
+        assert_eq!(ends, 1, "open span closed, stray end dropped");
+    }
+
+    #[test]
+    fn sub_microsecond_ticks_keep_precision() {
+        let events = [ProbeEvent::instant(250, "c", "quarter")];
+        let text = to_chrome_trace(events.iter());
+        assert!(text.contains("0.25"), "{text}");
+    }
+}

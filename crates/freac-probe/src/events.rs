@@ -1,0 +1,150 @@
+//! The bounded, cycle-stamped event ring.
+//!
+//! Components push [`ProbeEvent`]s while tracing is enabled; the ring
+//! keeps the most recent `capacity` events and counts what it dropped,
+//! so a runaway trace degrades gracefully instead of exhausting memory.
+//!
+//! Timestamps are plain ticks (`t_cycle`). By convention, simulator
+//! components stamp in **simulated picoseconds** and harness components
+//! stamp in **wall-clock nanoseconds**; each component gets its own
+//! track in the exported trace, so the two time bases never share an
+//! axis. The Chrome exporter divides ticks by 1000 into its microsecond
+//! field.
+
+use std::collections::VecDeque;
+
+/// What an event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Start of a span (paired with a later [`EventKind::End`] on the
+    /// same component track).
+    Begin,
+    /// End of the most recent unclosed span on the track.
+    End,
+    /// A point event.
+    Instant,
+}
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeEvent {
+    /// Timestamp in ticks (see module docs for the per-track time base).
+    pub t_cycle: u64,
+    /// Track name, e.g. `"sim.dram"` or `"harness"`. Events on one track
+    /// must be pushed in non-decreasing `t_cycle` order for a clean
+    /// trace; the exporter clamps violations rather than reordering.
+    pub component: String,
+    /// Span begin/end or instant.
+    pub kind: EventKind,
+    /// Event label, e.g. `"read_line"` or `"fig08"`.
+    pub name: String,
+    /// Free-form key/value payload, exported as Chrome `args`.
+    pub payload: Vec<(String, String)>,
+}
+
+impl ProbeEvent {
+    /// An instant event with no payload.
+    pub fn instant(t_cycle: u64, component: &str, name: &str) -> Self {
+        ProbeEvent {
+            t_cycle,
+            component: component.to_owned(),
+            kind: EventKind::Instant,
+            name: name.to_owned(),
+            payload: Vec::new(),
+        }
+    }
+
+    /// Attaches one payload entry (builder style).
+    pub fn with(mut self, key: &str, value: impl ToString) -> Self {
+        self.payload.push((key.to_owned(), value.to_string()));
+        self
+    }
+}
+
+/// A drop-oldest bounded ring of events.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: VecDeque<ProbeEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "event ring capacity must be positive");
+        EventRing {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, event: ProbeEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    /// Events in arrival order (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = &ProbeEvent> {
+        self.buf.iter()
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut r = EventRing::new(3);
+        for t in 0..5 {
+            r.push(ProbeEvent::instant(t, "c", "e"));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let ts: Vec<_> = r.iter().map(|e| e.t_cycle).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn payload_builder() {
+        let e = ProbeEvent::instant(7, "sim.dram", "read_line").with("bytes", 64);
+        assert_eq!(e.payload, vec![("bytes".to_owned(), "64".to_owned())]);
+        assert_eq!(e.kind, EventKind::Instant);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = EventRing::new(0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Conservation-law cross-checks over a [`CounterRegistry`].
+//!
+//! Every check keys off the counter-naming scheme (DESIGN.md §8) and
+//! fires only when the counters involved are present, so the same
+//! [`check`] runs against a single `run_kernel` registry, a merged
+//! harness registry, or a component export. All laws are preserved by
+//! [`CounterRegistry::merge`] (both sides are sums, or the relation is
+//! `<=`), except the explicitly per-run products, which are guarded by
+//! `core.runs == 1`.
+//!
+//! The laws:
+//!
+//! * `<p>.hits + <p>.misses == <p>.accesses` for every prefix with an
+//!   `.accesses` counter;
+//! * `<p>.evictions <= <p>.misses` and `<p>.writebacks <= <p>.evictions`
+//!   (a victim is only produced by a miss; only a valid victim can be
+//!   dirty);
+//! * `<p>.bytes_read == <p>.lines_read * <p>.line_bytes` (gauge), and
+//!   the same for writes — DRAM traffic is whole cache lines;
+//! * `<p>.row_activations == <p>.lines_read + <p>.lines_written`;
+//! * `<p>.busy_ps <= <p>.span_ps` — a resource cannot be busy longer
+//!   than the span it was observed over (the "grants within capacity"
+//!   law for time-reservation resources);
+//! * `<p>.stalls <= <p>.requests`;
+//! * `fold.steps_executed == fold.expected_steps` — executed fold steps
+//!   match Σ(schedule length × passes);
+//! * `experiments.pool.jobs_completed == experiments.pool.jobs_submitted`;
+//! * per-run only: `core.kernel_cycles == core.items_per_tile *
+//!   core.round_cycles`.
+
+use std::fmt;
+
+use crate::registry::CounterRegistry;
+
+/// One failed invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which law failed, e.g. `"cache.llc: hits + misses == accesses"`.
+    pub law: String,
+    /// The observed values.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} — {}", self.law, self.detail)
+    }
+}
+
+/// Prefixes of counters ending in `suffix` (e.g. `.accesses`), sorted.
+fn prefixes_with<'a>(reg: &'a CounterRegistry, suffix: &'a str) -> Vec<&'a str> {
+    reg.counters()
+        .filter_map(|(k, _)| k.strip_suffix(suffix))
+        .collect()
+}
+
+/// Runs every applicable invariant; returns all violations (empty =
+/// healthy).
+pub fn check(reg: &CounterRegistry) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let violate = |out: &mut Vec<Violation>, law: String, detail: String| {
+        out.push(Violation { law, detail });
+    };
+
+    // hits + misses == accesses, evictions <= misses, writebacks <= evictions.
+    for p in prefixes_with(reg, ".accesses") {
+        let hits = reg.counter(&format!("{p}.hits"));
+        let misses = reg.counter(&format!("{p}.misses"));
+        let accesses = reg.counter(&format!("{p}.accesses"));
+        if hits + misses != accesses {
+            violate(
+                &mut out,
+                format!("{p}: hits + misses == accesses"),
+                format!("{hits} + {misses} != {accesses}"),
+            );
+        }
+        let evictions = reg.counter(&format!("{p}.evictions"));
+        if reg.has_counter(&format!("{p}.evictions")) && evictions > misses {
+            violate(
+                &mut out,
+                format!("{p}: evictions <= misses"),
+                format!("{evictions} > {misses}"),
+            );
+        }
+        let writebacks = reg.counter(&format!("{p}.writebacks"));
+        if reg.has_counter(&format!("{p}.evictions")) && writebacks > evictions {
+            violate(
+                &mut out,
+                format!("{p}: writebacks <= evictions"),
+                format!("{writebacks} > {evictions}"),
+            );
+        }
+    }
+
+    // DRAM byte conservation: bytes == lines * line_bytes.
+    for p in prefixes_with(reg, ".lines_read") {
+        let Some(line_bytes) = reg.gauge(&format!("{p}.line_bytes")) else {
+            continue;
+        };
+        let line_bytes = line_bytes as u64;
+        for dir in ["read", "written"] {
+            let lines = reg.counter(&format!("{p}.lines_{dir}"));
+            let bytes = reg.counter(&format!("{p}.bytes_{dir}"));
+            if lines.saturating_mul(line_bytes) != bytes {
+                violate(
+                    &mut out,
+                    format!("{p}: bytes_{dir} == lines_{dir} * line_bytes"),
+                    format!("{bytes} != {lines} * {line_bytes}"),
+                );
+            }
+        }
+        let activations = reg.counter(&format!("{p}.row_activations"));
+        let lines =
+            reg.counter(&format!("{p}.lines_read")) + reg.counter(&format!("{p}.lines_written"));
+        if reg.has_counter(&format!("{p}.row_activations")) && activations != lines {
+            violate(
+                &mut out,
+                format!("{p}: row_activations == lines_read + lines_written"),
+                format!("{activations} != {lines}"),
+            );
+        }
+    }
+
+    // Resources: busy within observed span, stalls within requests.
+    for p in prefixes_with(reg, ".busy_ps") {
+        let busy = reg.counter(&format!("{p}.busy_ps"));
+        let span = reg.counter(&format!("{p}.span_ps"));
+        if reg.has_counter(&format!("{p}.span_ps")) && busy > span {
+            violate(
+                &mut out,
+                format!("{p}: busy_ps <= span_ps"),
+                format!("{busy} > {span}"),
+            );
+        }
+    }
+    for p in prefixes_with(reg, ".stalls") {
+        let stalls = reg.counter(&format!("{p}.stalls"));
+        let requests = reg.counter(&format!("{p}.requests"));
+        if stalls > requests {
+            violate(
+                &mut out,
+                format!("{p}: stalls <= requests"),
+                format!("{stalls} > {requests}"),
+            );
+        }
+    }
+
+    // Fold-step conservation.
+    for p in prefixes_with(reg, ".expected_steps") {
+        let expected = reg.counter(&format!("{p}.expected_steps"));
+        let executed = reg.counter(&format!("{p}.steps_executed"));
+        if expected != executed {
+            violate(
+                &mut out,
+                format!("{p}: steps_executed == Σ schedule length × passes"),
+                format!("{executed} != {expected}"),
+            );
+        }
+    }
+
+    // Worker pool conservation.
+    for p in prefixes_with(reg, ".jobs_submitted") {
+        let submitted = reg.counter(&format!("{p}.jobs_submitted"));
+        let completed = reg.counter(&format!("{p}.jobs_completed"));
+        if submitted != completed {
+            violate(
+                &mut out,
+                format!("{p}: jobs_completed == jobs_submitted"),
+                format!("{completed} != {submitted}"),
+            );
+        }
+    }
+
+    // Per-run products (meaningless once registries merge: sums of
+    // products are not products of sums).
+    if reg.counter("core.runs") == 1 {
+        let cycles = reg.counter("core.kernel_cycles");
+        let items = reg.counter("core.items_per_tile");
+        let round = reg.counter("core.round_cycles");
+        if reg.has_counter("core.kernel_cycles") && items.saturating_mul(round) != cycles {
+            violate(
+                &mut out,
+                "core: kernel_cycles == items_per_tile * round_cycles".to_owned(),
+                format!("{cycles} != {items} * {round}"),
+            );
+        }
+    }
+
+    out
+}
+
+/// Panics with a formatted list when any invariant fails. Call after
+/// every instrumented run in tests.
+///
+/// # Panics
+///
+/// Panics if [`check`] reports violations.
+pub fn assert_ok(reg: &CounterRegistry) {
+    let violations = check(reg);
+    assert!(
+        violations.is_empty(),
+        "probe invariants violated:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// [`assert_ok`] in debug builds, free in release — the hook components
+/// call after assembling a per-run registry.
+pub fn debug_check(reg: &CounterRegistry) {
+    if cfg!(debug_assertions) {
+        assert_ok(reg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy() -> CounterRegistry {
+        let mut r = CounterRegistry::new();
+        r.add("cache.llc.accesses", 10);
+        r.add("cache.llc.hits", 7);
+        r.add("cache.llc.misses", 3);
+        r.add("cache.llc.evictions", 2);
+        r.add("cache.llc.writebacks", 1);
+        r.add("sim.dram.lines_read", 4);
+        r.add("sim.dram.lines_written", 1);
+        r.add("sim.dram.bytes_read", 256);
+        r.add("sim.dram.bytes_written", 64);
+        r.add("sim.dram.row_activations", 5);
+        r.set_gauge("sim.dram.line_bytes", 64.0);
+        r.add("sim.dram.ch.busy_ps", 100);
+        r.add("sim.dram.ch.span_ps", 150);
+        r.add("sim.dram.ch.requests", 5);
+        r.add("sim.dram.ch.stalls", 2);
+        r.add("fold.expected_steps", 12);
+        r.add("fold.steps_executed", 12);
+        r.add("experiments.pool.jobs_submitted", 9);
+        r.add("experiments.pool.jobs_completed", 9);
+        r
+    }
+
+    #[test]
+    fn healthy_registry_passes() {
+        assert_ok(&healthy());
+    }
+
+    #[test]
+    fn empty_registry_passes() {
+        assert_ok(&CounterRegistry::new());
+    }
+
+    type Corruption = Box<dyn Fn(&mut CounterRegistry)>;
+
+    #[test]
+    fn each_law_fires() {
+        let cases: Vec<(&str, Corruption)> = vec![
+            ("hits + misses", Box::new(|r| r.add("cache.llc.hits", 1))),
+            (
+                "evictions <= misses",
+                Box::new(|r| r.add("cache.llc.evictions", 5)),
+            ),
+            (
+                "writebacks <= evictions",
+                Box::new(|r| r.add("cache.llc.writebacks", 5)),
+            ),
+            (
+                "bytes_read == lines_read",
+                Box::new(|r| r.add("sim.dram.bytes_read", 1)),
+            ),
+            (
+                "row_activations",
+                Box::new(|r| r.add("sim.dram.row_activations", 1)),
+            ),
+            (
+                "busy_ps <= span_ps",
+                Box::new(|r| r.add("sim.dram.ch.busy_ps", 100)),
+            ),
+            (
+                "stalls <= requests",
+                Box::new(|r| r.add("sim.dram.ch.stalls", 10)),
+            ),
+            (
+                "steps_executed",
+                Box::new(|r| r.add("fold.steps_executed", 1)),
+            ),
+            (
+                "jobs_completed",
+                Box::new(|r| r.add("experiments.pool.jobs_submitted", 1)),
+            ),
+        ];
+        for (law_fragment, corrupt) in cases {
+            let mut r = healthy();
+            corrupt(&mut r);
+            let violations = check(&r);
+            assert!(
+                violations.iter().any(|v| v.law.contains(law_fragment)),
+                "expected a '{law_fragment}' violation, got {violations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_run_product_only_checked_for_single_runs() {
+        let mut r = CounterRegistry::new();
+        r.add("core.runs", 1);
+        r.add("core.kernel_cycles", 100);
+        r.add("core.items_per_tile", 9);
+        r.add("core.round_cycles", 10);
+        assert_eq!(check(&r).len(), 1);
+        // Two merged runs: the product law is skipped.
+        r.add("core.runs", 1);
+        assert_ok(&r);
+    }
+
+    #[test]
+    fn merged_registries_stay_healthy() {
+        let mut a = healthy();
+        a.merge(&healthy());
+        assert_ok(&a);
+    }
+}

@@ -1,0 +1,203 @@
+//! Flat per-run `metrics.json` exporter and importer.
+//!
+//! Layout (sections and keys sorted, so text diffs are stable):
+//!
+//! ```json
+//! {
+//!   "counters":   { "sim.dram.reads": 4, ... },
+//!   "gauges":     { "sim.dram.line_bytes": 64.0, ... },
+//!   "histograms": { "fold.pass_steps": {"count":2,"sum":10,"min":5,"max":5,
+//!                                        "buckets":{"3":2}}, ... }
+//! }
+//! ```
+//!
+//! Counters are deterministic by contract (see [`crate::registry`]), so
+//! CI diffs the `counters` section against a committed baseline to catch
+//! silent behavioral drift; gauges and histograms may carry wall-clock
+//! values and are excluded from that diff.
+
+use crate::json::Json;
+use crate::registry::{CounterRegistry, Histogram};
+
+/// Serializes a registry to the `metrics.json` text.
+pub fn to_metrics_json(reg: &CounterRegistry) -> String {
+    Json::Obj(vec![
+        ("counters".to_owned(), counters_json(reg)),
+        (
+            "gauges".to_owned(),
+            Json::Obj(
+                reg.gauges()
+                    .map(|(k, v)| (k.to_owned(), Json::Num(v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms".to_owned(),
+            Json::Obj(
+                reg.histograms()
+                    .map(|(k, h)| (k.to_owned(), histogram_json(h)))
+                    .collect(),
+            ),
+        ),
+    ])
+    .write()
+}
+
+/// Serializes only the deterministic `counters` section (one sorted
+/// `"name": value` pair per line) — the file CI diffs against the
+/// committed baseline.
+pub fn to_counters_json(reg: &CounterRegistry) -> String {
+    let mut out = String::from("{\n");
+    let body: Vec<String> = reg
+        .counters()
+        .map(|(k, v)| format!("  {}: {v}", Json::Str(k.to_owned()).write()))
+        .collect();
+    out.push_str(&body.join(",\n"));
+    out.push_str("\n}\n");
+    out
+}
+
+fn counters_json(reg: &CounterRegistry) -> Json {
+    Json::Obj(
+        reg.counters()
+            .map(|(k, v)| (k.to_owned(), Json::UInt(v)))
+            .collect(),
+    )
+}
+
+fn histogram_json(h: &Histogram) -> Json {
+    let mut members = vec![
+        ("count".to_owned(), Json::UInt(h.count())),
+        ("sum".to_owned(), Json::UInt(h.sum())),
+    ];
+    if let (Some(min), Some(max)) = (h.min(), h.max()) {
+        members.push(("min".to_owned(), Json::UInt(min)));
+        members.push(("max".to_owned(), Json::UInt(max)));
+    }
+    members.push((
+        "buckets".to_owned(),
+        Json::Obj(
+            h.nonzero_buckets()
+                .into_iter()
+                .map(|(i, c)| (i.to_string(), Json::UInt(c)))
+                .collect(),
+        ),
+    ));
+    Json::Obj(members)
+}
+
+/// Parses `metrics.json` text back into a registry.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed section or value.
+pub fn from_metrics_json(text: &str) -> Result<CounterRegistry, String> {
+    let v = Json::parse(text)?;
+    let mut reg = CounterRegistry::new();
+    if let Some(counters) = v.get("counters") {
+        for (k, val) in counters.as_obj().ok_or("counters must be an object")? {
+            let n = val
+                .as_u64()
+                .ok_or_else(|| format!("counter '{k}' is not a u64"))?;
+            reg.set_counter(k, n);
+        }
+    }
+    if let Some(gauges) = v.get("gauges") {
+        for (k, val) in gauges.as_obj().ok_or("gauges must be an object")? {
+            let n = val
+                .as_f64()
+                .ok_or_else(|| format!("gauge '{k}' is not a number"))?;
+            reg.set_gauge(k, n);
+        }
+    }
+    if let Some(hists) = v.get("histograms") {
+        for (k, val) in hists.as_obj().ok_or("histograms must be an object")? {
+            reg.insert_histogram(k, parse_histogram(k, val)?);
+        }
+    }
+    Ok(reg)
+}
+
+fn parse_histogram(name: &str, v: &Json) -> Result<Histogram, String> {
+    let sum = v
+        .get("sum")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("histogram '{name}' missing sum"))?;
+    let min = v.get("min").and_then(Json::as_u64);
+    let max = v.get("max").and_then(Json::as_u64);
+    let mut buckets = Vec::new();
+    for (i, c) in v
+        .get("buckets")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| format!("histogram '{name}' missing buckets"))?
+    {
+        let idx: usize = i
+            .parse()
+            .map_err(|_| format!("histogram '{name}' bucket key '{i}'"))?;
+        let count = c
+            .as_u64()
+            .ok_or_else(|| format!("histogram '{name}' bucket '{i}' count"))?;
+        buckets.push((idx, count));
+    }
+    let h = Histogram::from_parts(&buckets, sum, min, max)?;
+    let declared = v
+        .get("count")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("histogram '{name}' missing count"))?;
+    if h.count() != declared {
+        return Err(format!(
+            "histogram '{name}' count {declared} != bucket total {}",
+            h.count()
+        ));
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_round_trips() {
+        let mut r = CounterRegistry::new();
+        r.add("sim.dram.reads", 42);
+        r.add("big", u64::MAX);
+        r.set_gauge("rate", 0.125);
+        r.observe("lat", 0);
+        r.observe("lat", 7);
+        r.observe("lat", 1 << 40);
+        let text = to_metrics_json(&r);
+        let back = from_metrics_json(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn empty_registry_round_trips() {
+        let r = CounterRegistry::new();
+        assert_eq!(from_metrics_json(&to_metrics_json(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn counters_json_is_sorted_lines() {
+        let mut r = CounterRegistry::new();
+        r.add("z.last", 1);
+        r.add("a.first", 2);
+        let text = to_counters_json(&r);
+        let a = text.find("a.first").unwrap();
+        let z = text.find("z.last").unwrap();
+        assert!(a < z, "{text}");
+        assert!(text.ends_with("}\n"));
+        Json::parse(&text).unwrap();
+    }
+
+    #[test]
+    fn importer_rejects_malformed_sections() {
+        assert!(from_metrics_json("{\"counters\": 3}").is_err());
+        assert!(from_metrics_json("{\"counters\": {\"x\": -1}}").is_err());
+        assert!(from_metrics_json("{\"histograms\": {\"h\": {\"count\": 1}}}").is_err());
+        assert!(from_metrics_json(
+            "{\"histograms\": {\"h\": {\"count\": 2, \"sum\": 1, \"buckets\": {\"1\": 1}}}}"
+        )
+        .is_err());
+    }
+}

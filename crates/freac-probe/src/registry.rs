@@ -1,0 +1,354 @@
+//! The hierarchical counter registry.
+//!
+//! Every metric lives under a dotted name (`sim.dram.reads`,
+//! `cache.llc.hits`, `experiments.pool.jobs_completed`). Three metric
+//! kinds cover the stack:
+//!
+//! * **counters** — monotonic `u64` totals. Deterministic by contract:
+//!   anything whose value can vary run-to-run (wall-clock, scheduling)
+//!   must not be a counter, so the `counters` section of `metrics.json`
+//!   can be diffed against a committed baseline.
+//! * **gauges** — point-in-time `f64` values (configuration constants,
+//!   rates, wall-clock durations). Merged by maximum.
+//! * **histograms** — power-of-two bucketed distributions with exact
+//!   count/sum, for per-set access spreads and pass latencies.
+//!
+//! All maps are `BTreeMap`s so iteration, export, and equality are
+//! deterministic. [`CounterRegistry::merge`] is commutative and
+//! associative for all three kinds, which is what makes counters
+//! identical between 1-worker and N-worker harness runs: the merge order
+//! may differ, the merged totals cannot.
+
+use std::collections::BTreeMap;
+
+/// Number of power-of-two histogram buckets: bucket `i` counts values
+/// whose bit-width is `i`, i.e. bucket 0 holds zeros and bucket 64 holds
+/// values of 2^63 and above.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A power-of-two bucketed histogram with exact count and sum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// `buckets[i]` counts observed values with bit-width `i`.
+    buckets: Box<[u64; HISTOGRAM_BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: Box::new([0; HISTOGRAM_BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index of a value: its bit width (0 for 0).
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observed value (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observed value (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of observed values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty `(bucket_index, count)` pairs in ascending bucket order.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Rebuilds a histogram from exported parts (used by the metrics.json
+    /// importer). `buckets` holds `(index, count)` pairs.
+    pub fn from_parts(
+        buckets: &[(usize, u64)],
+        sum: u64,
+        min: Option<u64>,
+        max: Option<u64>,
+    ) -> Result<Self, String> {
+        let mut h = Histogram::default();
+        for &(i, c) in buckets {
+            if i >= HISTOGRAM_BUCKETS {
+                return Err(format!("histogram bucket {i} out of range"));
+            }
+            h.buckets[i] = c;
+            h.count += c;
+        }
+        h.sum = sum;
+        h.min = min.unwrap_or(u64::MAX);
+        h.max = max.unwrap_or(0);
+        Ok(h)
+    }
+}
+
+/// A named collection of counters, gauges, and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CounterRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl CounterRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        CounterRegistry::default()
+    }
+
+    /// Adds `delta` to counter `name` (saturating; created at 0).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        let c = self.counters.entry_or_insert(name);
+        *c = c.saturating_add(delta);
+    }
+
+    /// Adds one to counter `name`.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Whether counter `name` has been touched.
+    pub fn has_counter(&self, name: &str) -> bool {
+        self.counters.contains_key(name)
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Raises gauge `name` to `value` if larger (the merge rule, usable
+    /// directly for high-water marks).
+    pub fn gauge_max(&mut self, name: &str, value: f64) {
+        let g = self.gauges.entry(name.to_owned()).or_insert(f64::MIN);
+        if value > *g {
+            *g = value;
+        }
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Histogram `name`, if any value was observed.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Counter names sharing a dotted `prefix` (e.g. `"sim.dram"`).
+    pub fn counters_under<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = (&'a str, u64)> {
+        self.counters().filter(move |(k, _)| {
+            k.strip_prefix(prefix)
+                .is_some_and(|rest| rest.starts_with('.'))
+        })
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds `other` into `self`: counters add, gauges take the maximum,
+    /// histograms merge bucket-wise. Commutative and associative, so
+    /// merge order (i.e. worker scheduling) cannot change the result.
+    pub fn merge(&mut self, other: &CounterRegistry) {
+        for (k, &v) in &other.counters {
+            let c = self.counters.entry(k.clone()).or_insert(0);
+            *c = c.saturating_add(v);
+        }
+        for (k, &v) in &other.gauges {
+            let g = self.gauges.entry(k.clone()).or_insert(f64::MIN);
+            if v > *g {
+                *g = v;
+            }
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Inserts a counter at an absolute value (importer use).
+    pub(crate) fn set_counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_owned(), value);
+    }
+
+    /// Inserts a histogram wholesale (importer use).
+    pub(crate) fn insert_histogram(&mut self, name: &str, h: Histogram) {
+        self.histograms.insert(name.to_owned(), h);
+    }
+}
+
+/// `entry(name.to_owned()).or_insert(0)` without allocating on the hot
+/// (existing-key) path.
+trait EntryOrInsert {
+    fn entry_or_insert(&mut self, name: &str) -> &mut u64;
+}
+
+impl EntryOrInsert for BTreeMap<String, u64> {
+    fn entry_or_insert(&mut self, name: &str) -> &mut u64 {
+        if !self.contains_key(name) {
+            self.insert(name.to_owned(), 0);
+        }
+        self.get_mut(name).expect("just inserted")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let mut r = CounterRegistry::new();
+        r.add("a.b", 3);
+        r.inc("a.b");
+        assert_eq!(r.counter("a.b"), 4);
+        assert_eq!(r.counter("missing"), 0);
+        r.add("a.b", u64::MAX);
+        assert_eq!(r.counter("a.b"), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_width() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1006);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 1), (2, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = CounterRegistry::new();
+        a.add("c", 2);
+        a.set_gauge("g", 1.5);
+        a.observe("h", 7);
+        let mut b = CounterRegistry::new();
+        b.add("c", 5);
+        b.add("only_b", 1);
+        b.set_gauge("g", 0.5);
+        b.observe("h", 900);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("c"), 7);
+        assert_eq!(ab.gauge("g"), Some(1.5));
+        assert_eq!(ab.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn counters_under_prefix() {
+        let mut r = CounterRegistry::new();
+        r.add("sim.dram.reads", 1);
+        r.add("sim.dram.writes", 2);
+        r.add("sim.dramx.other", 3);
+        r.add("cache.hits", 4);
+        let names: Vec<_> = r.counters_under("sim.dram").map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["sim.dram.reads", "sim.dram.writes"]);
+    }
+
+    #[test]
+    fn gauge_merge_takes_max() {
+        let mut r = CounterRegistry::new();
+        r.gauge_max("w", 3.0);
+        r.gauge_max("w", 2.0);
+        assert_eq!(r.gauge("w"), Some(3.0));
+    }
+}

@@ -1,0 +1,206 @@
+//! Metrics oracle: random counter/gauge/histogram sequences must survive
+//! the `metrics.json` round trip, and [`CounterRegistry::merge`] must be
+//! commutative and associative.
+//!
+//! These are the two contracts the observability layer's consumers rely
+//! on: the CI baseline diff assumes export/import loses nothing, and the
+//! 1-vs-N-worker counter identity assumes merge order is irrelevant.
+
+use freac_probe::{from_metrics_json, to_metrics_json, CounterRegistry};
+use freac_rand::Rng64;
+
+use crate::shrink;
+
+/// Metric names drawn by the generator. None carries an invariant-law
+/// suffix (`.accesses`, `.expected_steps`, …), so arbitrary values are
+/// always a legal registry.
+const NAMES: [&str; 5] = ["a.x", "a.y", "b.deep.value", "c", "d.wall"];
+
+/// One registry mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricsOp {
+    /// `add(name, delta)` on a counter.
+    Add(usize, u64),
+    /// `gauge_max(name, value)` — the mergeable gauge write. (Plain
+    /// `set_gauge` is last-write-wins and deliberately not order
+    /// independent, so the merge laws only hold for max-gauges.)
+    Gauge(usize, f64),
+    /// `observe(name, value)` into a histogram.
+    Observe(usize, u64),
+}
+
+/// One oracle case: a sequence of mutations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsCase {
+    /// Mutations applied in order.
+    pub ops: Vec<MetricsOp>,
+}
+
+/// Draws a random [`MetricsCase`]. Counter deltas and histogram values are
+/// drawn across the full bit range (shifted `u64`s), so values above
+/// `2^53` — where an `f64`-backed JSON number would silently round —
+/// appear routinely.
+pub fn generate(rng: &mut Rng64) -> MetricsCase {
+    let len = rng.index(40);
+    let ops = (0..len)
+        .map(|_| {
+            let name = rng.index(NAMES.len());
+            match rng.index(3) {
+                0 => MetricsOp::Add(name, rng.next_u64() >> rng.index(64)),
+                1 => {
+                    // Small-mantissa values: exact in f64 and through the
+                    // shortest-representation text round trip.
+                    let v = rng.below(1 << 20) as f64 / 8.0;
+                    MetricsOp::Gauge(name, if rng.bool() { v } else { -v })
+                }
+                _ => MetricsOp::Observe(name, rng.next_u64() >> rng.index(64)),
+            }
+        })
+        .collect();
+    MetricsCase { ops }
+}
+
+/// Shrink candidates: drop ops, then halve their values.
+pub fn shrink(case: &MetricsCase) -> Vec<MetricsCase> {
+    let mut out: Vec<MetricsCase> = shrink::subsequences(&case.ops)
+        .into_iter()
+        .map(|ops| MetricsCase { ops })
+        .collect();
+    out.extend(
+        shrink::elementwise(&case.ops, |op| match *op {
+            MetricsOp::Add(n, v) => shrink::halvings_u64(v)
+                .into_iter()
+                .map(|v| MetricsOp::Add(n, v))
+                .collect(),
+            MetricsOp::Gauge(n, v) => vec![MetricsOp::Gauge(n, v / 2.0), MetricsOp::Gauge(n, 0.0)],
+            MetricsOp::Observe(n, v) => shrink::halvings_u64(v)
+                .into_iter()
+                .map(|v| MetricsOp::Observe(n, v))
+                .collect(),
+        })
+        .into_iter()
+        .map(|ops| MetricsCase { ops }),
+    );
+    out
+}
+
+/// Builds a registry by applying `ops` in order.
+pub fn apply(ops: &[MetricsOp]) -> CounterRegistry {
+    let mut reg = CounterRegistry::new();
+    for op in ops {
+        match *op {
+            MetricsOp::Add(n, v) => reg.add(NAMES[n], v),
+            MetricsOp::Gauge(n, v) => reg.gauge_max(NAMES[n], v),
+            MetricsOp::Observe(n, v) => reg.observe(NAMES[n], v),
+        }
+    }
+    reg
+}
+
+/// The registry must survive `to_metrics_json` → `from_metrics_json`
+/// exactly — counters bit-for-bit (no `f64` rounding above `2^53`),
+/// gauges, and full histogram state.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence.
+pub fn check_roundtrip(case: &MetricsCase) -> Result<(), String> {
+    let reg = apply(&case.ops);
+    let text = to_metrics_json(&reg);
+    let back = from_metrics_json(&text).map_err(|e| format!("re-import failed: {e}"))?;
+    if back != reg {
+        return Err(format!(
+            "round trip diverged.\n  original: {reg:?}\n  reimported: {back:?}\n  json: {text}"
+        ));
+    }
+    // A second export must be byte-identical (stable sort order — the
+    // property the CI baseline diff depends on).
+    let text2 = to_metrics_json(&back);
+    if text2 != text {
+        return Err("re-export is not byte-identical".to_owned());
+    }
+    Ok(())
+}
+
+/// Splitting the op sequence at any point and merging the two partial
+/// registries must equal the sequential registry, in either merge order —
+/// the property that makes 1-worker and N-worker runs produce identical
+/// counters.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence.
+pub fn check_merge_order_independent(case: &MetricsCase) -> Result<(), String> {
+    let whole = apply(&case.ops);
+    let mid = case.ops.len() / 2;
+    let (first, second) = case.ops.split_at(mid);
+    let a = apply(first);
+    let b = apply(second);
+
+    let mut ab = a.clone();
+    ab.merge(&b);
+    if ab != whole {
+        return Err(format!(
+            "merge(first, second) != sequential at split {mid}:\n  merged {ab:?}\n  sequential {whole:?}"
+        ));
+    }
+    let mut ba = b.clone();
+    ba.merge(&a);
+    if ba.counters().collect::<Vec<_>>() != whole.counters().collect::<Vec<_>>() {
+        return Err(format!(
+            "counter merge is not commutative at split {mid}: {ba:?} != {whole:?}"
+        ));
+    }
+    // Associativity over a three-way split.
+    let third = second.len() / 2;
+    let (s1, s2) = second.split_at(third);
+    let (b1, b2) = (apply(s1), apply(s2));
+    let mut left = a.clone();
+    left.merge(&b1);
+    left.merge(&b2);
+    let mut right = b1.clone();
+    right.merge(&b2);
+    let mut right_total = a;
+    right_total.merge(&right);
+    if left != right_total {
+        return Err(format!(
+            "merge is not associative: (a+b1)+b2 {left:?} != a+(b1+b2) {right_total:?}"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_accepts_random_cases() {
+        let mut rng = Rng64::new(11);
+        for _ in 0..32 {
+            let case = generate(&mut rng);
+            check_roundtrip(&case).expect("round trip holds");
+            check_merge_order_independent(&case).expect("merge laws hold");
+        }
+    }
+
+    #[test]
+    fn precision_above_f64_is_preserved() {
+        // 2^53 + 1 is the first u64 an f64 cannot represent.
+        let case = MetricsCase {
+            ops: vec![MetricsOp::Add(0, (1 << 53) + 1)],
+        };
+        check_roundtrip(&case).expect("u64 counters are exact");
+    }
+
+    #[test]
+    fn a_lossy_exporter_would_be_caught() {
+        // Differential power check: round the counter through f64 the way
+        // a naive exporter would, and confirm the comparison fails.
+        let big = (1u64 << 53) + 1;
+        let mut reg = CounterRegistry::new();
+        reg.add("a.x", big);
+        let lossy = big as f64 as u64;
+        assert_ne!(lossy, big, "2^53+1 must not survive f64");
+    }
+}

@@ -11,3 +11,4 @@
 pub mod bitstream;
 pub mod cache;
 pub mod fold;
+pub mod metrics;

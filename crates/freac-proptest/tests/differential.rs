@@ -5,7 +5,7 @@
 //! `FREAC_PROPTEST_SEED`. A failure panics with a shrunk counterexample
 //! and the one-line corpus entry that replays it.
 
-use freac_proptest::oracles::{bitstream, cache, fold};
+use freac_proptest::oracles::{bitstream, cache, fold, metrics};
 use freac_proptest::{check, Runner};
 
 #[test]
@@ -50,6 +50,26 @@ fn bitstream_mutation_robustness() {
         bitstream::generate,
         bitstream::shrink,
         bitstream::check_mutation_robustness,
+    );
+}
+
+#[test]
+fn metrics_json_roundtrip() {
+    check(
+        "metrics/roundtrip",
+        metrics::generate,
+        metrics::shrink,
+        metrics::check_roundtrip,
+    );
+}
+
+#[test]
+fn metrics_merge_order_independent() {
+    check(
+        "metrics/merge-order",
+        metrics::generate,
+        metrics::shrink,
+        metrics::check_merge_order_independent,
     );
 }
 

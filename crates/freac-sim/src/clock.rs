@@ -61,15 +61,45 @@ impl ClockDomain {
         1000.0 / self.period_ps as f64
     }
 
-    /// Duration of `cycles` cycles.
+    /// Duration of `cycles` cycles (saturating at the end of simulated
+    /// time rather than wrapping).
     pub fn cycles_to_time(self, cycles: u64) -> Time {
-        cycles * self.period_ps
+        match cycles.checked_mul(self.period_ps) {
+            Some(t) => t,
+            None => {
+                debug_assert!(
+                    false,
+                    "cycle count overflowed simulated time ({cycles} cycles x {} ps)",
+                    self.period_ps
+                );
+                Time::MAX
+            }
+        }
     }
 
     /// Whole cycles that fit in `time` (rounded up — the usual "how long
     /// until this completes" question).
     pub fn time_to_cycles_ceil(self, time: Time) -> u64 {
         time.div_ceil(self.period_ps)
+    }
+
+    /// Earliest clock edge of this domain at or after `time` — the
+    /// resynchronization point when a signal crosses into this domain
+    /// from another (saturating like [`ClockDomain::cycles_to_time`]).
+    pub fn next_edge(self, time: Time) -> Time {
+        self.cycles_to_time(self.time_to_cycles_ceil(time))
+    }
+
+    /// Latency added by crossing from `self` into `to` at `time`: the
+    /// wait for `to`'s next edge, plus one full `to` cycle for the
+    /// synchronizer. Zero when the domains are identical (no crossing).
+    pub fn crossing_latency_ps(self, to: ClockDomain, time: Time) -> Time {
+        if self == to {
+            return 0;
+        }
+        to.next_edge(time)
+            .saturating_sub(time)
+            .saturating_add(to.period_ps)
     }
 }
 
@@ -110,6 +140,42 @@ mod tests {
         assert_eq!(ClockDomain::from_mhz(1500).period_ps(), 667);
         // Frequencies above 2 THz still clamp to a 1 ps period.
         assert_eq!(ClockDomain::from_mhz(5_000_000).period_ps(), 1);
+    }
+
+    #[test]
+    fn next_edge_aligns_up() {
+        let c = ClockDomain::cache_4ghz();
+        assert_eq!(c.next_edge(0), 0);
+        assert_eq!(c.next_edge(1), 250);
+        assert_eq!(c.next_edge(250), 250);
+        assert_eq!(c.next_edge(251), 500);
+    }
+
+    #[test]
+    fn crossing_latency() {
+        let cache = ClockDomain::cache_4ghz();
+        let tile = ClockDomain::tile_3ghz();
+        // Same domain: no crossing, no cost.
+        assert_eq!(cache.crossing_latency_ps(cache, 12345), 0);
+        // At a tile edge: just the one-cycle synchronizer.
+        assert_eq!(cache.crossing_latency_ps(tile, 333), 333);
+        // Mid-cycle: wait for the edge, then synchronize.
+        assert_eq!(cache.crossing_latency_ps(tile, 334), 332 + 333);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn release_build_saturates_cycle_math() {
+        let c = ClockDomain::cache_4ghz();
+        assert_eq!(c.cycles_to_time(u64::MAX), u64::MAX);
+        assert_eq!(c.next_edge(u64::MAX), u64::MAX);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "overflowed simulated time")]
+    fn debug_build_catches_cycle_overflow() {
+        let _ = ClockDomain::cache_4ghz().cycles_to_time(u64::MAX / 2);
     }
 
     #[test]

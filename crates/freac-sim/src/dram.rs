@@ -1,5 +1,7 @@
 //! Main-memory model: DDR4-2400 across four channels (Table I).
 
+use freac_probe::{CounterRegistry, ProbeEvent};
+
 use crate::resource::BandwidthResource;
 use crate::{Time, PS_PER_NS};
 
@@ -65,14 +67,14 @@ impl DramModel {
 
     /// Issues one cache-line read arriving at `arrival`; returns completion.
     pub fn read_line(&mut self, arrival: Time) -> Time {
-        self.reads += 1;
-        self.access(arrival)
+        self.reads = self.reads.saturating_add(1);
+        self.access(arrival, "read_line")
     }
 
     /// Issues one cache-line write arriving at `arrival`; returns completion.
     pub fn write_line(&mut self, arrival: Time) -> Time {
-        self.writes += 1;
-        self.access(arrival)
+        self.writes = self.writes.saturating_add(1);
+        self.access(arrival, "write_line")
     }
 
     /// Time to stream `bytes` sequentially through all channels starting
@@ -102,10 +104,54 @@ impl DramModel {
         self.writes = 0;
     }
 
-    fn access(&mut self, arrival: Time) -> Time {
+    /// Total bytes read (lines x line size).
+    pub fn bytes_read(&self) -> u64 {
+        self.reads.saturating_mul(self.line_bytes)
+    }
+
+    /// Total bytes written (lines x line size).
+    pub fn bytes_written(&self) -> u64 {
+        self.writes.saturating_mul(self.line_bytes)
+    }
+
+    /// Row-buffer activations. The fixed-latency component models every
+    /// access as a row miss (see [`DRAM_ACCESS_LATENCY_PS`]), so each
+    /// line access activates one row.
+    pub fn row_activations(&self) -> u64 {
+        self.reads.saturating_add(self.writes)
+    }
+
+    /// Exports traffic counters and per-channel occupancy under `prefix`:
+    /// `<prefix>.lines_read`, `.lines_written`, `.bytes_read`,
+    /// `.bytes_written`, `.row_activations`, the `<prefix>.line_bytes`
+    /// gauge, and the aggregated channel statistics under
+    /// `<prefix>.chan`.
+    pub fn export_into(&self, reg: &mut CounterRegistry, prefix: &str) {
+        reg.add(&format!("{prefix}.lines_read"), self.reads);
+        reg.add(&format!("{prefix}.lines_written"), self.writes);
+        reg.add(&format!("{prefix}.bytes_read"), self.bytes_read());
+        reg.add(&format!("{prefix}.bytes_written"), self.bytes_written());
+        reg.add(&format!("{prefix}.row_activations"), self.row_activations());
+        reg.set_gauge(&format!("{prefix}.line_bytes"), self.line_bytes as f64);
+        let chan = format!("{prefix}.chan");
+        for c in &self.channels {
+            c.export_into(reg, &chan);
+        }
+    }
+
+    fn access(&mut self, arrival: Time, op: &str) -> Time {
         let ch = self.next_channel;
         self.next_channel = (self.next_channel + 1) % self.channels.len();
-        self.channels[ch].transfer(arrival, self.line_bytes)
+        let complete = self.channels[ch].transfer(arrival, self.line_bytes);
+        if freac_probe::global::tracing() {
+            freac_probe::global::emit(
+                ProbeEvent::instant(arrival, "sim.dram", op)
+                    .with("channel", ch)
+                    .with("bytes", self.line_bytes)
+                    .with("complete_ps", complete),
+            );
+        }
+        complete
     }
 }
 
@@ -173,7 +219,29 @@ mod tests {
         d.write_line(0);
         assert_eq!(d.reads(), 1);
         assert_eq!(d.writes(), 2);
+        assert_eq!(d.bytes_read(), 64);
+        assert_eq!(d.bytes_written(), 128);
+        assert_eq!(d.row_activations(), 3);
         d.reset();
         assert_eq!(d.reads(), 0);
+        assert_eq!(d.row_activations(), 0);
+    }
+
+    #[test]
+    fn export_satisfies_byte_conservation() {
+        let mut d = DramModel::ddr4_2400_x4();
+        for _ in 0..5 {
+            d.read_line(0);
+        }
+        d.write_line(0);
+        let mut reg = freac_probe::CounterRegistry::new();
+        d.export_into(&mut reg, "sim.dram");
+        assert_eq!(reg.counter("sim.dram.lines_read"), 5);
+        assert_eq!(reg.counter("sim.dram.bytes_read"), 320);
+        assert_eq!(reg.counter("sim.dram.bytes_written"), 64);
+        assert_eq!(reg.counter("sim.dram.row_activations"), 6);
+        assert_eq!(reg.gauge("sim.dram.line_bytes"), Some(64.0));
+        assert_eq!(reg.counter("sim.dram.chan.requests"), 6);
+        freac_probe::assert_ok(&reg);
     }
 }

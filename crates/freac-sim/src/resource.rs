@@ -7,6 +7,8 @@
 //! non-decreasing arrival order per resource, which matches how the
 //! simulators in this workspace iterate time.
 
+use freac_probe::CounterRegistry;
+
 use crate::stats::SimStats;
 use crate::Time;
 
@@ -25,10 +27,20 @@ impl SerialResource {
     }
 
     /// Issues a request arriving at `arrival` needing `service` time.
-    /// Returns the completion time.
+    /// Returns the completion time (saturating at the end of simulated
+    /// time rather than wrapping).
     pub fn request(&mut self, arrival: Time, service: Time) -> Time {
         let start = arrival.max(self.next_free);
-        let complete = start + service;
+        let complete = match start.checked_add(service) {
+            Some(t) => t,
+            None => {
+                debug_assert!(
+                    false,
+                    "service time overflowed simulated time (start {start} + service {service})"
+                );
+                Time::MAX
+            }
+        };
         self.stats.record(arrival, start, complete);
         self.next_free = complete;
         complete
@@ -42,6 +54,11 @@ impl SerialResource {
     /// Accumulated occupancy/wait statistics.
     pub fn stats(&self) -> &SimStats {
         &self.stats
+    }
+
+    /// Exports statistics counters under `prefix`.
+    pub fn export_into(&self, reg: &mut CounterRegistry, prefix: &str) {
+        self.stats.export_into(reg, prefix);
     }
 
     /// Resets the resource to idle at time zero (statistics cleared).
@@ -61,6 +78,7 @@ pub struct BandwidthResource {
     /// latency or link setup).
     latency_ps: u64,
     serial: SerialResource,
+    bytes: u64,
 }
 
 impl BandwidthResource {
@@ -84,6 +102,7 @@ impl BandwidthResource {
             ps_per_byte: ((crate::PS_PER_S + bytes_per_sec / 2) / bytes_per_sec).max(1),
             latency_ps,
             serial: SerialResource::new(),
+            bytes: 0,
         }
     }
 
@@ -101,15 +120,21 @@ impl BandwidthResource {
     }
 
     /// Issues a transfer of `bytes` arriving at `arrival`; returns the
-    /// completion time (queueing + transfer + fixed latency).
+    /// completion time (queueing + transfer + fixed latency, saturating
+    /// at the end of simulated time).
     pub fn transfer(&mut self, arrival: Time, bytes: u64) -> Time {
-        let service = bytes * self.ps_per_byte;
-        self.serial.request(arrival, service) + self.latency_ps
+        let service = bytes.saturating_mul(self.ps_per_byte);
+        self.bytes = self.bytes.saturating_add(bytes);
+        self.serial
+            .request(arrival, service)
+            .saturating_add(self.latency_ps)
     }
 
     /// Time to move `bytes` with no queueing (for closed-form estimates).
     pub fn unloaded_time(&self, bytes: u64) -> Time {
-        bytes * self.ps_per_byte + self.latency_ps
+        bytes
+            .saturating_mul(self.ps_per_byte)
+            .saturating_add(self.latency_ps)
     }
 
     /// Accumulated statistics.
@@ -117,9 +142,22 @@ impl BandwidthResource {
         self.serial.stats()
     }
 
+    /// Total bytes transferred.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Exports statistics counters under `prefix` (the serial-resource
+    /// counters plus `<prefix>.bytes`).
+    pub fn export_into(&self, reg: &mut CounterRegistry, prefix: &str) {
+        self.serial.export_into(reg, prefix);
+        reg.add(&format!("{prefix}.bytes"), self.bytes);
+    }
+
     /// Resets to idle at time zero.
     pub fn reset(&mut self) {
         self.serial.reset();
+        self.bytes = 0;
     }
 }
 
@@ -164,6 +202,39 @@ mod tests {
         r.reset();
         assert_eq!(r.next_free(), 0);
         assert_eq!(r.stats().requests, 0);
+    }
+
+    #[test]
+    fn bandwidth_tracks_bytes() {
+        let mut b = BandwidthResource::new(1_000_000_000, 0);
+        b.transfer(0, 100);
+        b.transfer(0, 28);
+        assert_eq!(b.bytes_transferred(), 128);
+        let mut reg = freac_probe::CounterRegistry::new();
+        b.export_into(&mut reg, "sim.link");
+        assert_eq!(reg.counter("sim.link.bytes"), 128);
+        assert_eq!(reg.counter("sim.link.requests"), 2);
+        freac_probe::assert_ok(&reg);
+        b.reset();
+        assert_eq!(b.bytes_transferred(), 0);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn release_build_saturates_instead_of_wrapping() {
+        let mut r = SerialResource::new();
+        assert_eq!(r.request(u64::MAX - 10, 100), u64::MAX);
+        let mut b = BandwidthResource::new(1_000_000_000, u64::MAX);
+        assert_eq!(b.transfer(0, u64::MAX / 2), u64::MAX);
+        assert_eq!(b.unloaded_time(u64::MAX), u64::MAX);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "overflowed simulated time")]
+    fn debug_build_catches_time_overflow() {
+        let mut r = SerialResource::new();
+        r.request(u64::MAX - 10, 100);
     }
 
     #[test]

@@ -1,12 +1,21 @@
 //! Occupancy and wait accounting for timing resources.
 
+use freac_probe::CounterRegistry;
+
 use crate::Time;
 
 /// Aggregate statistics of a resource.
+///
+/// All accumulation saturates rather than wrapping: a saturated statistic
+/// is visibly pegged at `u64::MAX` instead of silently restarting near
+/// zero, and the probe invariants (`busy_ps <= span_ps`,
+/// `stalls <= requests`) survive saturation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Requests issued.
     pub requests: u64,
+    /// Requests that found the resource busy (had to wait).
+    pub stalls: u64,
     /// Total time the resource spent servicing requests.
     pub busy_time: Time,
     /// Total time requests spent waiting for the resource.
@@ -18,9 +27,18 @@ pub struct SimStats {
 impl SimStats {
     /// Records one serviced request.
     pub fn record(&mut self, arrival: Time, start: Time, complete: Time) {
-        self.requests += 1;
-        self.busy_time += complete - start;
-        self.wait_time += start - arrival;
+        debug_assert!(
+            arrival <= start && start <= complete,
+            "request times out of order: arrival {arrival}, start {start}, complete {complete}"
+        );
+        self.requests = self.requests.saturating_add(1);
+        if start > arrival {
+            self.stalls = self.stalls.saturating_add(1);
+        }
+        self.busy_time = self
+            .busy_time
+            .saturating_add(complete.saturating_sub(start));
+        self.wait_time = self.wait_time.saturating_add(start.saturating_sub(arrival));
         self.last_completion = self.last_completion.max(complete);
     }
 
@@ -36,7 +54,19 @@ impl SimStats {
     /// Panics if `horizon` is zero.
     pub fn utilization_pct(&self, horizon: Time) -> u32 {
         assert!(horizon > 0, "horizon must be positive");
-        (self.busy_time * 100 / horizon).min(100) as u32
+        (u128::from(self.busy_time) * 100 / u128::from(horizon)).min(100) as u32
+    }
+
+    /// Exports the counters under `prefix` (`<prefix>.requests`,
+    /// `.stalls`, `.busy_ps`, `.wait_ps`, `.span_ps`). `span_ps` is the
+    /// last completion time — per resource, busy time can never exceed
+    /// it, which is the probe's capacity invariant.
+    pub fn export_into(&self, reg: &mut CounterRegistry, prefix: &str) {
+        reg.add(&format!("{prefix}.requests"), self.requests);
+        reg.add(&format!("{prefix}.stalls"), self.stalls);
+        reg.add(&format!("{prefix}.busy_ps"), self.busy_time);
+        reg.add(&format!("{prefix}.wait_ps"), self.wait_time);
+        reg.add(&format!("{prefix}.span_ps"), self.last_completion);
     }
 }
 
@@ -50,10 +80,19 @@ mod tests {
         s.record(0, 5, 15);
         s.record(10, 15, 18);
         assert_eq!(s.requests, 2);
+        assert_eq!(s.stalls, 2);
         assert_eq!(s.busy_time, 13);
         assert_eq!(s.wait_time, 10);
         assert_eq!(s.last_completion, 18);
         assert_eq!(s.mean_wait(), 5);
+    }
+
+    #[test]
+    fn immediate_service_is_not_a_stall() {
+        let mut s = SimStats::default();
+        s.record(7, 7, 9);
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.stalls, 0);
     }
 
     #[test]
@@ -65,8 +104,48 @@ mod tests {
     }
 
     #[test]
+    fn utilization_saturates_instead_of_overflowing() {
+        // busy * 100 overflows u64; the widened math keeps the true ratio.
+        let mut s = SimStats {
+            busy_time: u64::MAX / 2,
+            ..SimStats::default()
+        };
+        assert_eq!(s.utilization_pct(u64::MAX), 49);
+        s.busy_time = u64::MAX;
+        assert_eq!(s.utilization_pct(u64::MAX), 100);
+    }
+
+    #[test]
+    fn accumulation_saturates_at_u64_max() {
+        let mut s = SimStats {
+            busy_time: u64::MAX - 1,
+            ..SimStats::default()
+        };
+        s.record(0, 0, 10);
+        assert_eq!(s.busy_time, u64::MAX);
+        s.requests = u64::MAX;
+        s.record(20, 20, 30);
+        assert_eq!(s.requests, u64::MAX);
+    }
+
+    #[test]
     fn empty_stats() {
         let s = SimStats::default();
         assert_eq!(s.mean_wait(), 0);
+        assert_eq!(s.stalls, 0);
+    }
+
+    #[test]
+    fn export_emits_probe_counters() {
+        let mut s = SimStats::default();
+        s.record(0, 5, 15);
+        let mut reg = CounterRegistry::new();
+        s.export_into(&mut reg, "sim.bus");
+        assert_eq!(reg.counter("sim.bus.requests"), 1);
+        assert_eq!(reg.counter("sim.bus.stalls"), 1);
+        assert_eq!(reg.counter("sim.bus.busy_ps"), 10);
+        assert_eq!(reg.counter("sim.bus.wait_ps"), 5);
+        assert_eq!(reg.counter("sim.bus.span_ps"), 15);
+        freac_probe::assert_ok(&reg);
     }
 }

@@ -9,8 +9,27 @@
 //! forces a serial run) and each circuit is synthesized once thanks to
 //! the process-wide mapping cache. Output on stdout is byte-identical
 //! for any worker count.
+//!
+//! With `FREAC_TRACE=1` (and/or `FREAC_METRICS=1`) the run also writes
+//! `freac-trace.json` (Chrome trace: one track per figure plus the
+//! simulated-time kernel tracks), `freac-metrics.json`, and the
+//! deterministic `freac-counters.json` baseline sidecar.
 
 use freac::experiments as exp;
+use freac::probe;
+
+/// Runs `f` under a wall-clock probe span named `harness.<name>` — a
+/// Begin/End pair in the trace plus a `wall_us` histogram entry. Free
+/// when the probe is disabled.
+fn timed<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    match probe::global::global() {
+        Some(p) => {
+            let _span = p.span("harness", name);
+            f()
+        }
+        None => f(),
+    }
+}
 
 fn main() {
     // Stderr, so the figure output on stdout stays byte-identical across
@@ -18,13 +37,13 @@ fn main() {
     eprintln!("paper_figures: {} worker(s)", exp::parallel::worker_count());
     println!("{}", exp::tables::table1());
     println!("{}", exp::tables::table2());
-    println!("{}", exp::area::area_report());
-    println!("{}", exp::fig08::run().table());
-    println!("{}", exp::fig09::run().table());
-    println!("{}", exp::fig10::run().table());
-    println!("{}", exp::fig11::run().table());
+    println!("{}", timed("area", exp::area::area_report));
+    println!("{}", timed("fig08", || exp::fig08::run().table()));
+    println!("{}", timed("fig09", || exp::fig09::run().table()));
+    println!("{}", timed("fig10", || exp::fig10::run().table()));
+    println!("{}", timed("fig11", || exp::fig11::run().table()));
 
-    let f12 = exp::fig12::run();
+    let f12 = timed("fig12", exp::fig12::run);
     println!("{}", f12.speedup_table());
     println!("{}", f12.power_table());
     println!("{}", f12.perf_per_watt_table());
@@ -34,12 +53,28 @@ fn main() {
     );
     println!("                  (paper: 8.2x, 3x, 6.1x)\n");
 
-    println!("{}", exp::fig13::run().table());
+    println!("{}", timed("fig13", || exp::fig13::run().table()));
 
-    let f14 = exp::fig14::run();
+    let f14 = timed("fig14", exp::fig14::run);
     println!("{}", f14.table());
     let (vs_ec8, vs_ec16) = f14.geomean_advantage();
     println!("Fig. 14 geomeans: FReaC is {vs_ec8:.2}x vs 8 ECs, {vs_ec16:.2}x vs 16 ECs (paper: ~4x, ~2x)\n");
 
-    println!("{}", exp::fig15::run().table());
+    println!("{}", timed("fig15", || exp::fig15::run().table()));
+
+    // Flush observability output (no-op unless FREAC_TRACE/FREAC_METRICS).
+    exp::runner::export_probe_stats();
+    if probe::global::enabled() {
+        let snapshot = probe::global::global().expect("probe enabled").snapshot();
+        probe::assert_ok(&snapshot);
+        match probe::global::finish() {
+            Ok(Some(paths)) => {
+                for p in paths {
+                    eprintln!("paper_figures: wrote {}", p.display());
+                }
+            }
+            Ok(None) => {}
+            Err(e) => eprintln!("paper_figures: failed to write probe output: {e}"),
+        }
+    }
 }

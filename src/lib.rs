@@ -14,6 +14,7 @@
 //! * [`kernels`] — MachSuite-style benchmark kernels
 //! * [`baselines`] — CPU / FPGA / embedded-core comparison models
 //! * [`experiments`] — per-figure/table evaluation harness
+//! * [`probe`] — observability: counters, tracing, invariant checks
 
 pub use freac_baselines as baselines;
 pub use freac_cache as cache;
@@ -24,4 +25,5 @@ pub use freac_hls as hls;
 pub use freac_kernels as kernels;
 pub use freac_netlist as netlist;
 pub use freac_power as power;
+pub use freac_probe as probe;
 pub use freac_sim as sim;

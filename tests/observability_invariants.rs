@@ -1,0 +1,160 @@
+//! Standing observability invariants: every paper kernel's run registry
+//! satisfies the probe conservation laws, counters are identical for any
+//! worker count, and the Chrome-trace exporter produces a well-formed
+//! trace from a realistic event stream.
+
+use freac::core::SlicePartition;
+use freac::experiments::parallel::map_with;
+use freac::experiments::runner::{best_freac_run, freac_run_at};
+use freac::kernels::all_kernels;
+use freac::probe::global::{Probe, ProbeConfig};
+use freac::probe::{assert_ok, CounterRegistry, EventKind, Json, ProbeEvent};
+use freac::sim::DramModel;
+
+#[test]
+fn every_paper_kernel_satisfies_probe_invariants() {
+    for id in all_kernels() {
+        let b = best_freac_run(id, SlicePartition::end_to_end(), 8)
+            .unwrap_or_else(|e| panic!("{id} fails to run: {e}"));
+        let p = &b.run.probes;
+        assert_ok(p);
+        // Per-run registries carry exactly one run and its conservation
+        // relationships.
+        assert_eq!(p.counter("core.runs"), 1, "{id}");
+        assert_eq!(
+            p.counter("core.kernel_cycles"),
+            p.counter("core.items_per_tile") * p.counter("core.round_cycles"),
+            "{id}: kernel cycles must be items x round"
+        );
+        assert_eq!(
+            p.counter("core.fold.steps_executed"),
+            p.counter("core.fold.expected_steps"),
+            "{id}: fold-step conservation"
+        );
+        assert!(
+            p.counter("core.fold.expected_steps") >= p.counter("core.fold.passes"),
+            "{id}: every pass runs at least one fold step"
+        );
+        assert!(p.counter("core.setup.protocol_stores") >= 5, "{id}");
+        assert!(p.counter("core.setup.config_bytes") > 0, "{id}");
+    }
+}
+
+#[test]
+fn counters_identical_for_any_worker_count() {
+    // The 1-vs-N contract end to end on real kernels: run every paper
+    // kernel through the worker pool serially and with 4 workers, merge
+    // the per-run registries (in pool return order), and require the
+    // merged counter sections to be identical.
+    let jobs: Vec<_> = all_kernels().to_vec();
+    let run = |workers: usize| -> CounterRegistry {
+        let regs = map_with(workers, jobs.clone(), |id| {
+            freac_run_at(id, 8, SlicePartition::end_to_end(), 4)
+                .unwrap_or_else(|e| panic!("{id} fails at tile 8: {e}"))
+                .probes
+        });
+        let mut merged = CounterRegistry::new();
+        for r in &regs {
+            merged.merge(r);
+        }
+        merged
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        serial.counters().collect::<Vec<_>>(),
+        parallel.counters().collect::<Vec<_>>(),
+        "merged counters must not depend on the worker count"
+    );
+    assert_eq!(serial.counter("core.runs"), jobs.len() as u64);
+    assert_ok(&serial);
+    assert_ok(&parallel);
+}
+
+#[test]
+fn dram_export_conserves_bytes() {
+    let mut dram = DramModel::ddr4_2400_x4();
+    let mut t = 0;
+    for i in 0..200u64 {
+        t = dram.read_line(t).max(t);
+        if i % 3 == 0 {
+            t = dram.write_line(t).max(t);
+        }
+    }
+    let mut reg = CounterRegistry::new();
+    dram.export_into(&mut reg, "sim.dram");
+    assert_ok(&reg);
+    let line = reg
+        .gauge("sim.dram.line_bytes")
+        .expect("line size exported") as u64;
+    assert_eq!(
+        reg.counter("sim.dram.bytes_read"),
+        reg.counter("sim.dram.lines_read") * line
+    );
+    assert_eq!(
+        reg.counter("sim.dram.row_activations"),
+        reg.counter("sim.dram.lines_read") + reg.counter("sim.dram.lines_written")
+    );
+}
+
+/// Golden-shape test for the Chrome-trace exporter: a realistic stream —
+/// nested wall-clock harness spans plus simulated-time kernel tracks,
+/// deliberately interleaved — must render to JSON that parses, keeps
+/// every track's timestamps monotonic, and balances B/E pairs.
+#[test]
+fn chrome_trace_is_well_formed() {
+    let dir = std::env::temp_dir().join(format!("freac-obs-trace-{}", std::process::id()));
+    let p = Probe::new(ProbeConfig {
+        trace_path: Some(dir.join("trace.json")),
+        metrics_path: dir.join("metrics.json"),
+        ring_capacity: 1024,
+    });
+    {
+        let _fig = p.span("harness", "fig12");
+        for (t, kind, name) in [
+            (0u64, EventKind::Begin, "setup"),
+            (400, EventKind::End, "setup"),
+            (400, EventKind::Begin, "kernel"),
+            (9_000, EventKind::End, "kernel"),
+        ] {
+            let mut e = ProbeEvent::instant(t, "core.aes", name);
+            e.kind = kind;
+            p.emit(e);
+        }
+        p.emit(ProbeEvent::instant(64, "sim.dram", "read").with("bytes", 64));
+    }
+    let text = p.chrome_trace();
+    let v = Json::parse(&text).expect("trace is valid JSON");
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut last_ts: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+    let mut depth: std::collections::HashMap<u64, i64> = std::collections::HashMap::new();
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).expect("ph");
+        if ph == "M" {
+            continue;
+        }
+        let tid = e.get("tid").and_then(Json::as_u64).expect("tid");
+        let ts = e.get("ts").and_then(Json::as_f64).expect("ts");
+        let prev = last_ts.entry(tid).or_insert(f64::NEG_INFINITY);
+        assert!(ts >= *prev, "track {tid} went backwards: {ts} < {prev}");
+        *prev = ts;
+        match ph {
+            "B" => *depth.entry(tid).or_insert(0) += 1,
+            "E" => {
+                let d = depth.entry(tid).or_insert(0);
+                *d -= 1;
+                assert!(*d >= 0, "track {tid} closed more spans than it opened");
+            }
+            "i" => {}
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    for (tid, d) in depth {
+        assert_eq!(d, 0, "track {tid} left {d} span(s) open");
+    }
+}
