@@ -1,0 +1,186 @@
+//! Interpreted-vs-compiled execution microbenchmarks.
+//!
+//! For the AES S-box pipeline and the GEMM tile kernel this target times
+//! four hot loops and records the two headline ratios the compiled-plan
+//! work is accountable to:
+//!
+//! * folded single-cycle: step-interpreting `FoldedExecutor` vs the
+//!   pre-lowered `FoldPlanExecutor` micro-op stream;
+//! * per-vector netlist throughput: the reference `Evaluator` one vector
+//!   at a time vs the 64-wide bit-sliced `run_batch_cycle`.
+//!
+//! Each arm is checked for output equality before any timing, so a
+//! divergence fails the bench instead of producing a fast wrong number.
+//! Results land as `BENCH_*.json` (see the `bench` crate docs); a final
+//! `BENCH_exec_speedups.json` records the derived ratios.
+
+use bench::BenchResult;
+use freac_fold::{compile_fold, schedule_fold, FoldConstraints, FoldedExecutor, LutMode};
+use freac_kernels::KernelId;
+use freac_netlist::eval::Evaluator;
+use freac_netlist::techmap::{tech_map, TechMapOptions};
+use freac_netlist::{compile, Netlist, NodeKind, Value, BATCH_LANES};
+
+/// One deterministic input vector per primary input, respecting kinds.
+fn inputs_for(netlist: &Netlist, seed: u32) -> Vec<Value> {
+    netlist
+        .primary_inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| match netlist.nodes()[id.index()].kind {
+            NodeKind::BitInput { .. } => Value::Bit((seed >> (i % 32)) & 1 == 1),
+            _ => Value::Word(
+                seed.wrapping_mul(0x9e37_79b9)
+                    .wrapping_add(i as u32 * 0x85eb),
+            ),
+        })
+        .collect()
+}
+
+struct KernelSpeedups {
+    label: &'static str,
+    fold: f64,
+    batch: f64,
+}
+
+fn bench_kernel(id: KernelId, label: &'static str) -> KernelSpeedups {
+    let circuit = freac_kernels::kernel(id).circuit();
+    let mapped = tech_map(&circuit, TechMapOptions::lut4()).expect("kernel maps to 4-LUTs");
+    let cons = FoldConstraints::for_tile(2, LutMode::Lut4);
+    let schedule = schedule_fold(&mapped, &cons).expect("kernel schedules");
+    let fold_plan = compile_fold(&mapped, &schedule).expect("kernel fold-compiles");
+    let inputs = inputs_for(&mapped, 0xc0ff_ee01);
+
+    // Correctness gate: compiled fold must match the step interpreter
+    // before we time anything.
+    {
+        let mut interp = FoldedExecutor::new(&mapped, &schedule);
+        let mut compiled = fold_plan.executor();
+        let mut out = Vec::new();
+        for cycle in 0..3 {
+            let expect = interp.run_cycle(&inputs).expect("interpreted cycle");
+            compiled
+                .run_cycle_into(&inputs, &mut out)
+                .expect("compiled cycle");
+            assert_eq!(
+                out, expect,
+                "{label}: compiled fold diverged at cycle {cycle}"
+            );
+        }
+    }
+
+    let mut interp = FoldedExecutor::new(&mapped, &schedule);
+    let interp_fold = bench::bench_function(&format!("fold/{label}/interpreted"), 200, || {
+        interp.run_cycle(&inputs).expect("interpreted fold cycle")
+    });
+    let mut compiled = fold_plan.executor();
+    let mut compiled_out = Vec::new();
+    let compiled_fold = bench::bench_function(&format!("fold/{label}/compiled"), 200, || {
+        compiled
+            .run_cycle_into(&inputs, &mut compiled_out)
+            .expect("compiled fold cycle");
+        compiled_out.len()
+    });
+
+    // Batch arm runs on the mapped netlist's plan: 64 distinct lanes,
+    // each an independent simulation. Reference evaluators check lane
+    // outputs before timing starts.
+    let plan = compile(&mapped).expect("kernel netlist compiles");
+    let lanes: Vec<Vec<Value>> = (0..BATCH_LANES as u32)
+        .map(|l| inputs_for(&mapped, 0xc0ff_ee01 ^ (l * 0x0101_0101)))
+        .collect();
+    {
+        let mut state = plan.new_batch_state();
+        let mut out = Vec::new();
+        let mut refs: Vec<Evaluator> = lanes.iter().map(|_| Evaluator::new(&mapped)).collect();
+        for pass in 0..2 {
+            plan.run_batch_cycle(&mut state, &lanes, &mut out)
+                .expect("batch cycle");
+            for (l, reference) in refs.iter_mut().enumerate() {
+                let expect = reference.run_cycle(&lanes[l]).expect("reference cycle");
+                assert_eq!(
+                    out[l], expect,
+                    "{label}: batch lane {l} diverged at pass {pass}"
+                );
+            }
+        }
+    }
+
+    let mut reference = Evaluator::new(&mapped);
+    let mut single_out = Vec::new();
+    let evaluator = bench::bench_function(
+        &format!("netlist/{label}/evaluator 64 vectors"),
+        100,
+        || {
+            for lane in &lanes {
+                reference
+                    .run_cycle_into(lane, &mut single_out)
+                    .expect("evaluator cycle");
+            }
+            single_out.len()
+        },
+    );
+    let mut batch_state = plan.new_batch_state();
+    let mut batch_out = Vec::new();
+    let batch = bench::bench_function(&format!("netlist/{label}/batch 64 vectors"), 100, || {
+        plan.run_batch_cycle(&mut batch_state, &lanes, &mut batch_out)
+            .expect("batch cycle");
+        batch_out.len()
+    });
+
+    let speedups = KernelSpeedups {
+        label,
+        fold: compiled_fold.speedup_over(&interp_fold),
+        batch: batch.speedup_over(&evaluator),
+    };
+    report(
+        label,
+        &interp_fold,
+        &compiled_fold,
+        &evaluator,
+        &batch,
+        &speedups,
+    );
+    speedups
+}
+
+fn report(
+    label: &str,
+    interp_fold: &BenchResult,
+    compiled_fold: &BenchResult,
+    evaluator: &BenchResult,
+    batch: &BenchResult,
+    s: &KernelSpeedups,
+) {
+    println!(
+        "{label}: compiled fold {:.1} ns vs interpreted {:.1} ns -> {:.2}x; \
+         batch {:.1} ns/vector vs evaluator {:.1} ns/vector -> {:.2}x per vector",
+        compiled_fold.mean_ns,
+        interp_fold.mean_ns,
+        s.fold,
+        batch.mean_ns / BATCH_LANES as f64,
+        evaluator.mean_ns / BATCH_LANES as f64,
+        s.batch
+    );
+}
+
+fn main() {
+    let results = [
+        bench_kernel(KernelId::Aes, "aes"),
+        bench_kernel(KernelId::Gemm, "gemm"),
+    ];
+    let mut body = String::from("{\n");
+    body.push_str(&format!("  \"git_rev\": \"{}\",\n", bench::git_rev()));
+    body.push_str(&format!("  \"smoke\": {},\n", bench::smoke_mode()));
+    for (i, r) in results.iter().enumerate() {
+        body.push_str(&format!(
+            "  \"{}\": {{ \"fold_compiled_vs_interpreted\": {:.2}, \"batch_per_vector_vs_evaluator\": {:.2} }}{}\n",
+            r.label,
+            r.fold,
+            r.batch,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("}\n");
+    bench::write_bench_json("exec_speedups", &body);
+}

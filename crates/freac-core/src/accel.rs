@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use freac_fold::{schedule_fold, FoldSchedule, FoldedExecutor};
+use freac_fold::{compile_fold, schedule_fold, FoldPlan, FoldSchedule};
 use freac_netlist::techmap::{tech_map, TechMapOptions};
 use freac_netlist::{Netlist, NetlistStats, Value};
 
@@ -11,19 +11,28 @@ use crate::error::CoreError;
 use crate::tile::AcceleratorTile;
 
 /// A circuit technology-mapped and fold-scheduled for a specific tile,
-/// together with its packed configuration bitstream.
+/// together with its packed configuration bitstream and the compiled
+/// execution plan for its schedule.
+///
+/// The plan is compiled once, at [`Accelerator::map`] time, and shared by
+/// every [`Accelerator::execute`] call (and, through the experiment
+/// runner's mapping cache, by every run of the same kernel/tile pair);
+/// per-call state lives in throwaway executors, never in the accelerator.
 #[derive(Debug, Clone)]
 pub struct Accelerator {
     name: String,
     netlist: Netlist,
     schedule: FoldSchedule,
+    plan: FoldPlan,
     bitstream: Bitstream,
     tile: AcceleratorTile,
 }
 
 impl Accelerator {
     /// Maps `circuit` onto `tile`: technology-maps to the tile's LUT size,
-    /// folds under the tile's resource envelope, and packs the bitstream.
+    /// folds under the tile's resource envelope, compiles the schedule into
+    /// an execution plan (validating every dependency), and packs the
+    /// bitstream.
     ///
     /// # Errors
     ///
@@ -33,11 +42,13 @@ impl Accelerator {
         let k = tile.lut_mode().k();
         let mapped = tech_map(circuit, TechMapOptions { k })?;
         let schedule = schedule_fold(&mapped, &tile.fold_constraints())?;
+        let plan = compile_fold(&mapped, &schedule)?;
         let bitstream = Bitstream::pack(&mapped, &schedule, tile.mccs(), tile.lut_mode());
         Ok(Accelerator {
             name: circuit.name().to_owned(),
             netlist: mapped,
             schedule,
+            plan,
             bitstream,
             tile: *tile,
         })
@@ -70,6 +81,11 @@ impl Accelerator {
         &self.schedule
     }
 
+    /// The compiled execution plan of the fold schedule.
+    pub fn fold_plan(&self) -> &FoldPlan {
+        &self.plan
+    }
+
     /// The packed configuration bitstream.
     pub fn bitstream(&self) -> &Bitstream {
         &self.bitstream
@@ -97,17 +113,19 @@ impl Accelerator {
         tile_mhz / self.fold_cycles().max(1) as f64
     }
 
-    /// Functionally executes the accelerator for one original cycle via the
-    /// folded executor — the bit-exact model of what the MCCs compute.
+    /// Functionally executes the accelerator for `cycles` original cycles
+    /// via the compiled execution plan — the bit-exact model of what the
+    /// MCCs compute, proven equivalent to the step interpreter by the
+    /// differential test-suite. One output buffer is reused across cycles.
     ///
     /// # Errors
     ///
     /// Propagates executor errors (input shape mismatches).
     pub fn execute(&self, inputs: &[Value], cycles: usize) -> Result<Vec<Value>, CoreError> {
-        let mut ex = FoldedExecutor::new(&self.netlist, &self.schedule);
+        let mut ex = self.plan.executor();
         let mut last = Vec::new();
         for _ in 0..cycles {
-            last = ex.run_cycle(inputs)?;
+            ex.run_cycle_into(inputs, &mut last)?;
         }
         Ok(last)
     }
@@ -192,6 +210,24 @@ mod tests {
         });
         for out in outs {
             assert_eq!(out, vec![Value::Word(50)]);
+        }
+    }
+
+    #[test]
+    fn compiled_execute_matches_interpreter() {
+        use freac_fold::FoldedExecutor;
+        let circuit = mac_circuit();
+        let tile = AcceleratorTile::new(1).unwrap();
+        let acc = Accelerator::map(&circuit, &tile).unwrap();
+        let inputs = [Value::Word(123), Value::Word(456), Value::Word(789)];
+        for cycles in 1..4 {
+            let compiled = acc.execute(&inputs, cycles).unwrap();
+            let mut fx = FoldedExecutor::new(acc.netlist(), acc.schedule());
+            let mut reference = Vec::new();
+            for _ in 0..cycles {
+                reference = fx.run_cycle(&inputs).unwrap();
+            }
+            assert_eq!(compiled, reference, "{cycles} cycles");
         }
     }
 

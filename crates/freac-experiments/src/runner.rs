@@ -36,7 +36,10 @@ type MapResult = Result<Arc<Accelerator>, CoreError>;
 /// The process-wide memoized mapping cache. Shannon decomposition +
 /// tech-mapping + fold scheduling are deterministic in `(kernel, tile,
 /// LUT mode)`, so each circuit is synthesized exactly once per process and
-/// shared (`Arc`) across every figure that sweeps the same cell.
+/// shared (`Arc`) across every figure that sweeps the same cell. The
+/// [`Accelerator`] carries its compiled fold execution plan, so caching
+/// the accelerator also caches the plan: functional execution of a cached
+/// cell never recompiles or re-validates the schedule.
 fn mapping_cache() -> &'static Mutex<HashMap<MapKey, MapResult>> {
     static CACHE: OnceLock<Mutex<HashMap<MapKey, MapResult>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
@@ -233,6 +236,32 @@ mod tests {
                 assert!(best.run.kernel_time_ps <= r.kernel_time_ps);
             }
         }
+    }
+
+    #[test]
+    fn cached_accelerators_share_one_compiled_plan() {
+        // Two lookups of the same cell return the same Arc, so the compiled
+        // fold plan inside is built once; compiled execution through the
+        // cached accelerator matches the step interpreter.
+        let a = map_kernel(KernelId::Dot, 8).unwrap();
+        let b = map_kernel(KernelId::Dot, 8).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        let inputs: Vec<freac_netlist::Value> = a
+            .netlist()
+            .primary_inputs()
+            .iter()
+            .map(|&pi| match a.netlist().nodes()[pi.index()].kind {
+                freac_netlist::NodeKind::BitInput { .. } => freac_netlist::Value::Bit(true),
+                _ => freac_netlist::Value::Word(7),
+            })
+            .collect();
+        let compiled = a.execute(&inputs, 2).unwrap();
+        let mut fx = freac_fold::FoldedExecutor::new(a.netlist(), a.schedule());
+        let mut reference = Vec::new();
+        for _ in 0..2 {
+            reference = fx.run_cycle(&inputs).unwrap();
+        }
+        assert_eq!(compiled, reference);
     }
 
     #[test]

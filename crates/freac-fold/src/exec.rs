@@ -42,6 +42,9 @@ pub struct FoldedExecutor<'a> {
     /// Result-bus writes issued.
     bus_writes: u64,
     cycles: u64,
+    /// Reusable staging buffer for end-of-pass latching, so repeated
+    /// passes allocate nothing.
+    latch_buf: Vec<(usize, Value)>,
 }
 
 impl<'a> FoldedExecutor<'a> {
@@ -67,6 +70,7 @@ impl<'a> FoldedExecutor<'a> {
             bus_reads: 0,
             bus_writes: 0,
             cycles: 0,
+            latch_buf: Vec::new(),
         }
     }
 
@@ -113,18 +117,12 @@ impl<'a> FoldedExecutor<'a> {
     /// the schedule reads values before they are produced.
     pub fn run_cycle(&mut self, inputs: &[Value]) -> Result<Vec<Value>, FoldError> {
         let pis = self.netlist.primary_inputs();
-        let expected_words = pis
-            .iter()
-            .filter(|&&p| {
-                matches!(
-                    self.netlist.nodes()[p.index()].kind,
-                    NodeKind::WordInput { .. } | NodeKind::BitInput { .. }
-                )
-            })
-            .count();
-        if inputs.len() != expected_words {
+        // Every primary input — bit or word — takes one caller-supplied
+        // value per pass; bit inputs are simply pre-latched rather than
+        // bus-read.
+        if inputs.len() != pis.len() {
             return Err(FoldError::Netlist(NetlistError::InputCountMismatch {
-                expected: expected_words,
+                expected: pis.len(),
                 found: inputs.len(),
             }));
         }
@@ -180,17 +178,25 @@ impl<'a> FoldedExecutor<'a> {
             self.steps_executed = self.steps_executed.saturating_add(1);
         }
 
-        // Latch sequential elements at the end of the pass.
-        let mut latched: Vec<(usize, Value)> = Vec::new();
+        // Latch sequential elements at the end of the pass, staging through
+        // the reused buffer (taken to appease the borrow on `resolve`).
+        let mut latched = std::mem::take(&mut self.latch_buf);
+        latched.clear();
         for (i, node) in self.netlist.nodes().iter().enumerate() {
             if node.kind.is_sequential() {
-                let v = self.resolve(node.inputs[0], NodeId(i as u32))?;
-                latched.push((i, v));
+                match self.resolve(node.inputs[0], NodeId(i as u32)) {
+                    Ok(v) => latched.push((i, v)),
+                    Err(e) => {
+                        self.latch_buf = latched;
+                        return Err(e);
+                    }
+                }
             }
         }
-        for (i, v) in latched {
+        for &(i, v) in &latched {
             self.state[i] = v;
         }
+        self.latch_buf = latched;
         self.cycles += 1;
 
         // Collect primary outputs: scheduled word outputs hold their written
@@ -423,6 +429,34 @@ mod tests {
         let mut fx = FoldedExecutor::new(&n, &schedule);
         assert!(fx.run_cycle(&[]).is_err());
         assert!(fx.run_cycle(&[Value::Bit(false)]).is_err());
+    }
+
+    #[test]
+    fn input_count_expects_every_primary_input() {
+        // Bit inputs count toward the expected input total just like word
+        // inputs (they are pre-latched parameters, not bus reads); the
+        // error names the full primary-input count.
+        let mut b = CircuitBuilder::new("mixed");
+        let en = b.bit_input("en");
+        let a = b.word_input("a", 4);
+        let gated = b.and(a.bit(3), en);
+        b.bit_output("msb", gated);
+        let n = tech_map(&b.finish().unwrap(), TechMapOptions::lut4()).unwrap();
+        assert_eq!(n.primary_inputs().len(), 2);
+        let cons = FoldConstraints::for_tile(1, LutMode::Lut4);
+        let schedule = schedule_fold(&n, &cons).unwrap();
+        let mut fx = FoldedExecutor::new(&n, &schedule);
+        // Supplying only the word input must report expected = 2 (bit input
+        // included), found = 1.
+        assert!(matches!(
+            fx.run_cycle(&[Value::Word(5)]),
+            Err(FoldError::Netlist(NetlistError::InputCountMismatch {
+                expected: 2,
+                found: 1
+            }))
+        ));
+        // And the full input set runs.
+        fx.run_cycle(&[Value::Bit(true), Value::Word(5)]).unwrap();
     }
 
     #[test]

@@ -46,11 +46,13 @@
 pub mod constraints;
 pub mod error;
 pub mod exec;
+pub mod plan;
 pub mod schedule;
 pub mod scheduler;
 
 pub use constraints::{FoldConstraints, LutMode};
 pub use error::FoldError;
 pub use exec::FoldedExecutor;
+pub use plan::{compile_fold, FoldPlan, FoldPlanExecutor};
 pub use schedule::{FoldSchedule, FoldStep, ScheduleStats};
 pub use scheduler::{schedule_fold, schedule_fold_with, SchedulePolicy};

@@ -80,6 +80,25 @@ impl<'a> Evaluator<'a> {
     /// Returns an error if the number or types of `inputs` do not match the
     /// netlist's primary inputs.
     pub fn run_cycle(&mut self, inputs: &[Value]) -> Result<Vec<Value>, NetlistError> {
+        let mut out = Vec::with_capacity(self.netlist.primary_outputs().len());
+        self.run_cycle_into(inputs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`Self::run_cycle`] but writes the outputs into `out` (cleared
+    /// first), so a caller driving many cycles reuses one buffer instead of
+    /// allocating per cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number or types of `inputs` do not match the
+    /// netlist's primary inputs; `out` is left cleared in that case.
+    pub fn run_cycle_into(
+        &mut self,
+        inputs: &[Value],
+        out: &mut Vec<Value>,
+    ) -> Result<(), NetlistError> {
+        out.clear();
         let pis = self.netlist.primary_inputs();
         if inputs.len() != pis.len() {
             return Err(NetlistError::InputCountMismatch {
@@ -153,16 +172,18 @@ impl<'a> Evaluator<'a> {
         }
         self.cycles += 1;
 
-        Ok(self
-            .netlist
-            .primary_outputs()
-            .iter()
-            .map(|&o| self.values[o.index()])
-            .collect())
+        out.extend(
+            self.netlist
+                .primary_outputs()
+                .iter()
+                .map(|&o| self.values[o.index()]),
+        );
+        Ok(())
     }
 
     /// Runs `cycles` cycles feeding the same inputs each cycle; returns the
-    /// outputs of the final cycle.
+    /// outputs of the final cycle. One output buffer is reused across all
+    /// cycles.
     ///
     /// # Errors
     ///
@@ -172,9 +193,9 @@ impl<'a> Evaluator<'a> {
         inputs: &[Value],
         cycles: usize,
     ) -> Result<Vec<Value>, NetlistError> {
-        let mut last = Vec::new();
+        let mut last = Vec::with_capacity(self.netlist.primary_outputs().len());
         for _ in 0..cycles {
-            last = self.run_cycle(inputs)?;
+            self.run_cycle_into(inputs, &mut last)?;
         }
         Ok(last)
     }
@@ -194,23 +215,51 @@ impl<'a> Evaluator<'a> {
 /// Convenience check that two netlists compute the same function on a batch
 /// of input vectors (used to verify technology mapping preserves semantics).
 ///
+/// Both netlists are compiled to [execution plans](crate::plan::ExecPlan)
+/// and, when they carry no sequential state, checked 64 input vectors per
+/// bit-sliced batch pass. Sequential netlists fall back to single-vector
+/// compiled execution with state carried across vectors — the original
+/// evaluator semantics.
+///
 /// # Errors
 ///
-/// Propagates evaluation errors from either netlist.
+/// Propagates compilation and evaluation errors from either netlist.
 pub fn equivalent_on(
     a: &Netlist,
     b: &Netlist,
     input_vectors: &[Vec<Value>],
     cycles_per_vector: usize,
 ) -> Result<bool, NetlistError> {
-    let mut ea = Evaluator::new(a);
-    let mut eb = Evaluator::new(b);
-    for v in input_vectors {
-        for _ in 0..cycles_per_vector {
-            let oa = ea.run_cycle(v)?;
-            let ob = eb.run_cycle(v)?;
-            if oa != ob {
-                return Ok(false);
+    let pa = crate::plan::compile(a)?;
+    let pb = crate::plan::compile(b)?;
+    if pa.is_combinational() && pb.is_combinational() {
+        // Stateless circuits: vectors are independent, so pack them 64 to a
+        // batch pass. Repeating a combinational cycle cannot change its
+        // outputs, but run all requested cycles anyway to keep the error
+        // behaviour (and any future sequential drift) identical.
+        let mut sa = pa.new_batch_state();
+        let mut sb = pb.new_batch_state();
+        let (mut oa, mut ob) = (Vec::new(), Vec::new());
+        for chunk in input_vectors.chunks(crate::plan::BATCH_LANES) {
+            for _ in 0..cycles_per_vector {
+                pa.run_batch_cycle(&mut sa, chunk, &mut oa)?;
+                pb.run_batch_cycle(&mut sb, chunk, &mut ob)?;
+                if oa != ob {
+                    return Ok(false);
+                }
+            }
+        }
+    } else {
+        let mut sa = pa.new_state();
+        let mut sb = pb.new_state();
+        let (mut oa, mut ob) = (Vec::new(), Vec::new());
+        for v in input_vectors {
+            for _ in 0..cycles_per_vector {
+                pa.run_cycle_into(&mut sa, v, &mut oa)?;
+                pb.run_cycle_into(&mut sb, v, &mut ob)?;
+                if oa != ob {
+                    return Ok(false);
+                }
             }
         }
     }

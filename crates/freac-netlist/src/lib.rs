@@ -44,6 +44,7 @@ pub mod export;
 pub mod graph;
 pub mod level;
 pub mod opt;
+pub mod plan;
 pub mod stats;
 pub mod techmap;
 pub mod truth;
@@ -51,5 +52,6 @@ pub mod verilog;
 
 pub use error::NetlistError;
 pub use graph::{Netlist, Node, NodeId, NodeKind, SignalType, Value};
+pub use plan::{compile, BatchState, ExecPlan, PlanState, BATCH_LANES};
 pub use stats::NetlistStats;
 pub use truth::TruthTable;

@@ -129,6 +129,13 @@ impl TruthTable {
         1usize << self.inputs
     }
 
+    /// The packed output column: bit `r % 64` of word `r / 64` is the
+    /// function value on row `r`. Execution-plan compilation flattens these
+    /// words into its dense table pool.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Value of the function on `row`.
     ///
     /// # Panics

@@ -1,0 +1,126 @@
+//! Compiled-plan oracle: the flat execution plan produced by
+//! [`freac_netlist::plan::compile`] must be bit-identical to the reference
+//! [`Evaluator`] on random circuits — for single-vector execution with
+//! carried state, and for 64-wide bit-sliced batch execution where every
+//! lane is an independent simulation from power-on.
+//!
+//! Reuses [`FoldCase`](super::fold::FoldCase) generation/shrinking so a
+//! divergence shrinks over the same circuit grammar as the fold oracle.
+
+use freac_netlist::eval::Evaluator;
+use freac_netlist::plan::{compile, BATCH_LANES};
+use freac_netlist::techmap::{tech_map, TechMapOptions};
+use freac_netlist::Value;
+use freac_rand::Rng64;
+
+use super::fold::FoldCase;
+
+/// Draws a random case (same distribution as the fold oracle).
+pub fn generate(rng: &mut Rng64) -> FoldCase {
+    super::fold::generate(rng)
+}
+
+/// Shrinks a case (same candidates as the fold oracle).
+pub fn shrink(case: &FoldCase) -> Vec<FoldCase> {
+    super::fold::shrink(case)
+}
+
+/// Runs the compiled-vs-interpreted differential on both the raw circuit
+/// and its K-LUT mapping, in single-vector and 64-lane batch form.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence (or of a layer refusing
+/// the circuit).
+pub fn check(case: &FoldCase) -> Result<(), String> {
+    let netlist = case.circuit.build();
+    let opts = if case.lut5 {
+        TechMapOptions::lut5()
+    } else {
+        TechMapOptions::lut4()
+    };
+    let mapped = tech_map(&netlist, opts).map_err(|e| format!("tech_map refused: {e}"))?;
+    for (label, n) in [("direct", &netlist), ("mapped", &mapped)] {
+        check_single(label, n, case)?;
+        check_batch(label, n, case)?;
+    }
+    Ok(())
+}
+
+/// Single-vector arm: one plan state, sequential state carried across the
+/// stimulus exactly like the evaluator carries it.
+fn check_single(
+    label: &str,
+    netlist: &freac_netlist::Netlist,
+    case: &FoldCase,
+) -> Result<(), String> {
+    let plan = compile(netlist).map_err(|e| format!("{label}: compile refused: {e}"))?;
+    let mut state = plan.new_state();
+    let mut out = Vec::new();
+    let mut reference = Evaluator::new(netlist);
+    for (cycle, &(x, y)) in case.stimulus.iter().enumerate() {
+        let inputs = [Value::Word(x), Value::Word(y)];
+        plan.run_cycle_into(&mut state, &inputs, &mut out)
+            .map_err(|e| format!("{label}: cycle {cycle}: compiled execution failed: {e}"))?;
+        let expect = reference
+            .run_cycle(&inputs)
+            .map_err(|e| format!("{label}: cycle {cycle}: reference evaluation failed: {e}"))?;
+        if out != expect {
+            return Err(format!(
+                "{label}: cycle {cycle} (x={x}, y={y}): compiled {out:?} != reference {expect:?}"
+            ));
+        }
+    }
+    if state.cycles() != case.stimulus.len() as u64 {
+        return Err(format!(
+            "{label}: plan counted {} cycles, expected {}",
+            state.cycles(),
+            case.stimulus.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Batch arm: lanes derived from the stimulus (expanded to the full 64 by
+/// deterministic mixing, masked to the circuit's input range), each lane
+/// checked against its own fresh reference evaluator across several
+/// passes so per-lane sequential state is exercised too.
+fn check_batch(
+    label: &str,
+    netlist: &freac_netlist::Netlist,
+    case: &FoldCase,
+) -> Result<(), String> {
+    let plan = compile(netlist).map_err(|e| format!("{label}: compile refused: {e}"))?;
+    let mask = case.circuit.input_limit() - 1;
+    let (x0, y0) = case.stimulus[0];
+    let lanes: Vec<Vec<Value>> = (0..BATCH_LANES as u32)
+        .map(|l| {
+            let (x, y) = case
+                .stimulus
+                .get(l as usize)
+                .copied()
+                .unwrap_or((x0.wrapping_mul(l.wrapping_add(3)), y0.wrapping_add(l * 7)));
+            vec![Value::Word(x & mask), Value::Word(y & mask)]
+        })
+        .collect();
+    let mut state = plan.new_batch_state();
+    let mut out = Vec::new();
+    let mut refs: Vec<Evaluator> = lanes.iter().map(|_| Evaluator::new(netlist)).collect();
+    let passes = case.stimulus.len().max(2);
+    for pass in 0..passes {
+        plan.run_batch_cycle(&mut state, &lanes, &mut out)
+            .map_err(|e| format!("{label}: pass {pass}: batch execution failed: {e}"))?;
+        for (l, reference) in refs.iter_mut().enumerate() {
+            let expect = reference
+                .run_cycle(&lanes[l])
+                .map_err(|e| format!("{label}: pass {pass}: lane {l} reference failed: {e}"))?;
+            if out[l] != expect {
+                return Err(format!(
+                    "{label}: pass {pass}, lane {l} ({:?}): batch {:?} != reference {expect:?}",
+                    lanes[l], out[l]
+                ));
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,9 +1,11 @@
-//! Three-way fold oracle: direct netlist evaluation, the Shannon-mapped
-//! K-LUT netlist, and the folded schedule executed cycle by cycle must
-//! agree bit for bit — the paper's central claim that logic folding
-//! time-multiplexes a circuit without changing its function.
+//! Fold oracle: direct netlist evaluation, the Shannon-mapped K-LUT
+//! netlist, the folded schedule executed cycle by cycle, and the compiled
+//! fold execution plan must all agree bit for bit — the paper's central
+//! claim that logic folding time-multiplexes a circuit without changing
+//! its function, extended to the plan compiler. The compiled arm must also
+//! report byte-identical probe counters to the step interpreter.
 
-use freac_fold::{schedule_fold, FoldConstraints, FoldedExecutor, LutMode};
+use freac_fold::{compile_fold, schedule_fold, FoldConstraints, FoldedExecutor, LutMode};
 use freac_netlist::eval::Evaluator;
 use freac_netlist::techmap::{tech_map, TechMapOptions};
 use freac_netlist::{NodeId, NodeKind, Value};
@@ -104,9 +106,14 @@ pub fn check_netlist(case: &FoldCase, netlist: &freac_netlist::Netlist) -> Resul
     let schedule =
         schedule_fold(&mapped, &cons).map_err(|e| format!("schedule_fold refused: {e}"))?;
 
+    let fold_plan =
+        compile_fold(&mapped, &schedule).map_err(|e| format!("compile_fold refused: {e}"))?;
+
     let mut direct = Evaluator::new(netlist);
     let mut lut_level = Evaluator::new(&mapped);
     let mut folded = FoldedExecutor::new(&mapped, &schedule);
+    let mut compiled = fold_plan.executor();
+    let mut compiled_out = Vec::new();
     for (cycle, &(x, y)) in case.stimulus.iter().enumerate() {
         let inputs = [Value::Word(x), Value::Word(y)];
         let a = direct
@@ -118,6 +125,9 @@ pub fn check_netlist(case: &FoldCase, netlist: &freac_netlist::Netlist) -> Resul
         let c = folded
             .run_cycle(&inputs)
             .map_err(|e| format!("cycle {cycle}: folded execution failed: {e}"))?;
+        compiled
+            .run_cycle_into(&inputs, &mut compiled_out)
+            .map_err(|e| format!("cycle {cycle}: compiled fold execution failed: {e}"))?;
         if a != b {
             return Err(format!(
                 "cycle {cycle} (x={x}, y={y}): direct {a:?} != mapped {b:?}"
@@ -128,6 +138,25 @@ pub fn check_netlist(case: &FoldCase, netlist: &freac_netlist::Netlist) -> Resul
                 "cycle {cycle} (x={x}, y={y}): mapped {b:?} != folded {c:?}"
             ));
         }
+        if c != compiled_out {
+            return Err(format!(
+                "cycle {cycle} (x={x}, y={y}): folded {c:?} != compiled {compiled_out:?}"
+            ));
+        }
+    }
+
+    // The compiled executor must account for its work exactly like the
+    // interpreter: identical counter keys, identical values.
+    let mut interp_reg = freac_probe::CounterRegistry::new();
+    let mut plan_reg = freac_probe::CounterRegistry::new();
+    folded.export_into(&mut interp_reg, "fold");
+    compiled.export_into(&mut plan_reg, "fold");
+    let interp: Vec<_> = interp_reg.counters().collect();
+    let plan: Vec<_> = plan_reg.counters().collect();
+    if interp != plan {
+        return Err(format!(
+            "counter divergence: interpreted {interp:?} != compiled {plan:?}"
+        ));
     }
     Ok(())
 }

@@ -10,5 +10,6 @@
 
 pub mod bitstream;
 pub mod cache;
+pub mod compiled;
 pub mod fold;
 pub mod metrics;

@@ -5,12 +5,25 @@
 //! `FREAC_PROPTEST_SEED`. A failure panics with a shrunk counterexample
 //! and the one-line corpus entry that replays it.
 
-use freac_proptest::oracles::{bitstream, cache, fold, metrics};
+use freac_proptest::oracles::{bitstream, cache, compiled, fold, metrics};
 use freac_proptest::{check, Runner};
 
 #[test]
 fn fold_threeway_differential() {
     check("fold/threeway", fold::generate, fold::shrink, fold::check);
+}
+
+#[test]
+fn compiled_plan_differential() {
+    // The flat execution plan — single-vector and 64-wide bit-sliced
+    // batch — must be bit-identical to the reference evaluator on random
+    // circuits, both pre- and post-mapping.
+    check(
+        "compiled/plan",
+        compiled::generate,
+        compiled::shrink,
+        compiled::check,
+    );
 }
 
 #[test]

@@ -45,13 +45,37 @@ fn counters_identical_for_any_worker_count() {
     // The 1-vs-N contract end to end on real kernels: run every paper
     // kernel through the worker pool serially and with 4 workers, merge
     // the per-run registries (in pool return order), and require the
-    // merged counter sections to be identical.
+    // merged counter sections to be identical. Each job also executes its
+    // kernel functionally through the *compiled* fold plan (via the cached
+    // accelerator) and folds those counters in, so the contract covers the
+    // compiled path too.
+    use freac::experiments::runner::map_kernel;
+    use freac::netlist::{NodeKind, Value};
+
     let jobs: Vec<_> = all_kernels().to_vec();
     let run = |workers: usize| -> CounterRegistry {
         let regs = map_with(workers, jobs.clone(), |id| {
-            freac_run_at(id, 8, SlicePartition::end_to_end(), 4)
+            let mut reg = freac_run_at(id, 8, SlicePartition::end_to_end(), 4)
                 .unwrap_or_else(|e| panic!("{id} fails at tile 8: {e}"))
-                .probes
+                .probes;
+            let accel = map_kernel(id, 8).unwrap_or_else(|e| panic!("{id} fails to map: {e}"));
+            let inputs: Vec<Value> = accel
+                .netlist()
+                .primary_inputs()
+                .iter()
+                .map(|&pi| match accel.netlist().nodes()[pi.index()].kind {
+                    NodeKind::BitInput { .. } => Value::Bit(true),
+                    _ => Value::Word(11),
+                })
+                .collect();
+            let mut ex = accel.fold_plan().executor();
+            let mut out = Vec::new();
+            for _ in 0..2 {
+                ex.run_cycle_into(&inputs, &mut out)
+                    .unwrap_or_else(|e| panic!("{id} compiled execution fails: {e}"));
+            }
+            ex.export_into(&mut reg, "compiled.fold");
+            reg
         });
         let mut merged = CounterRegistry::new();
         for r in &regs {
