@@ -1,0 +1,149 @@
+//! Serving-path benchmark: batched coalescing vs single-lane dispatch.
+//!
+//! Replays one pinned four-tenant AES/GEMM open-loop trace through two
+//! servers that differ only in `batching`, then records:
+//!
+//! * `BENCH_serve_throughput.json` — completions, simulated span,
+//!   request throughput, and the batched-over-single-lane speedup;
+//! * `BENCH_serve_p99.json` — per-tenant p50/p95/p99/mean latency under
+//!   the batched configuration.
+//!
+//! Unlike the wall-clock benches, everything here is simulated time, so
+//! both documents are bit-deterministic (no `git_rev`, no host timing) and
+//! CI diffs them against the committed baselines in
+//! `tests/baselines/bench/`. The batched arm must beat the single-lane arm
+//! on the mixed workload — the bench aborts otherwise rather than record a
+//! regression as data.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use freac_core::{Accelerator, AcceleratorTile};
+use freac_kernels::{kernel, KernelId};
+use freac_serve::{open_loop_trace, SchedPolicy, ServeConfig, ServeReport, Server, TenantSpec};
+
+const TRACE_SEED: u64 = 0x5e1e_c7ed_7e57_0001;
+const REQUESTS_PER_TENANT: u64 = 48;
+
+fn specs() -> Vec<TenantSpec> {
+    let mut alpha = TenantSpec::new("alpha", "aes", REQUESTS_PER_TENANT);
+    alpha.weight = 4;
+    alpha.mean_gap_ps = 2_000;
+    let mut beta = TenantSpec::new("beta", "gemm", REQUESTS_PER_TENANT);
+    beta.weight = 2;
+    beta.mean_gap_ps = 3_000;
+    let mut gamma = TenantSpec::new("gamma", "aes", REQUESTS_PER_TENANT);
+    gamma.mix = vec![("aes".to_owned(), 1), ("gemm".to_owned(), 1)];
+    gamma.mean_gap_ps = 2_500;
+    let mut delta = TenantSpec::new("delta", "gemm", REQUESTS_PER_TENANT);
+    delta.mix = vec![("aes".to_owned(), 2), ("gemm".to_owned(), 1)];
+    delta.mean_gap_ps = 4_000;
+    vec![alpha, beta, gamma, delta]
+}
+
+fn run_arm(
+    batching: bool,
+    accels: &[(KernelId, Arc<Accelerator>)],
+    specs: &[TenantSpec],
+) -> ServeReport {
+    let mut server = Server::new(ServeConfig {
+        batching,
+        policy: SchedPolicy::WeightedFair,
+        ..ServeConfig::default()
+    })
+    .expect("config is valid");
+    for (id, accel) in accels {
+        let w = kernel(*id).workload(1);
+        server
+            .register_accelerator(
+                &id.name().to_lowercase(),
+                Arc::clone(accel),
+                freac_serve::RequestProfile {
+                    cycles_per_item: w.cycles_per_item,
+                    read_words: w.read_words_per_item,
+                    write_words: w.write_words_per_item,
+                },
+            )
+            .expect("kernel registers");
+    }
+    for s in specs {
+        server.add_tenant(&s.name, s.weight).expect("unique tenant");
+    }
+    for req in open_loop_trace(specs, TRACE_SEED, 1) {
+        server.submit(req).expect("trace request");
+    }
+    server.run_to_completion().expect("serving drains")
+}
+
+fn main() {
+    // One shared mapping per kernel — both arms serve identical logic.
+    let tile = AcceleratorTile::new(1).expect("unit tile");
+    let accels: Vec<(KernelId, Arc<Accelerator>)> = [KernelId::Aes, KernelId::Gemm]
+        .into_iter()
+        .map(|id| {
+            let circuit = kernel(id).circuit();
+            (
+                id,
+                Accelerator::map_shared(&circuit, &tile).expect("kernel maps"),
+            )
+        })
+        .collect();
+    let specs = specs();
+
+    let batched = run_arm(true, &accels, &specs);
+    let single = run_arm(false, &accels, &specs);
+
+    assert_eq!(
+        batched.completions.len(),
+        single.completions.len(),
+        "both arms must complete the same request set"
+    );
+    assert!(
+        batched.span_ps < single.span_ps,
+        "batched span {} must beat single-lane span {}",
+        batched.span_ps,
+        single.span_ps
+    );
+
+    let speedup = single.span_ps as f64 / batched.span_ps as f64;
+    let mut throughput = String::from("{\n");
+    for (label, r) in [("batched", &batched), ("single_lane", &single)] {
+        let _ = writeln!(
+            throughput,
+            "  \"{label}\": {{ \"completed\": {}, \"shed\": {}, \"dispatches\": {}, \"span_ps\": {}, \"throughput_rps\": {:.1} }},",
+            r.completions.len(),
+            r.sheds.len(),
+            r.dispatches.len(),
+            r.span_ps,
+            r.throughput_rps()
+        );
+    }
+    let _ = writeln!(throughput, "  \"batched_over_single_lane\": {speedup:.2}");
+    throughput.push('}');
+    bench::write_bench_json("serve_throughput", &throughput);
+    println!("serve throughput: batched {speedup:.2}x over single-lane");
+
+    let mut p99 = String::from("{\n");
+    let last = batched.tenants.len() - 1;
+    for (i, t) in batched.tenants.iter().enumerate() {
+        let _ = writeln!(
+            p99,
+            "  \"{}\": {{ \"completed\": {}, \"p50_ps\": {:.0}, \"p95_ps\": {:.0}, \"p99_ps\": {:.0}, \"mean_ps\": {:.0} }}{}",
+            t.name,
+            t.completed,
+            t.p50_ps,
+            t.p95_ps,
+            t.p99_ps,
+            t.mean_ps,
+            if i == last { "" } else { "," }
+        );
+    }
+    p99.push('}');
+    bench::write_bench_json("serve_p99", &p99);
+    for t in &batched.tenants {
+        println!(
+            "serve p99 {}: {:.0} ps over {} completions",
+            t.name, t.p99_ps, t.completed
+        );
+    }
+}

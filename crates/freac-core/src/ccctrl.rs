@@ -119,6 +119,93 @@ impl SetupTiming {
     }
 }
 
+/// Simulated cost of installing an accelerator on a slice and of handing
+/// its ways back to the cache afterwards, in picoseconds.
+///
+/// [`SetupTiming`] is the CC Ctrl's internal accounting of one protocol
+/// walk; this is the *public* quotation a scheduler asks for before
+/// touching a slice, so reconfiguration can be charged to the tenant that
+/// requested it rather than hidden inside trace spans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReconfigCost {
+    /// Flushing dirty lines out of the ways being claimed (SELECT +
+    /// FLUSH), bounded by DRAM write bandwidth.
+    pub flush_ps: Time,
+    /// Streaming the accelerator's configuration bitstream into the
+    /// compute sub-arrays and tag-array crossbar store (CONFIG_DATA).
+    pub config_ps: Time,
+    /// Returning the ways to cache service afterwards: scratchpad
+    /// contents are dirty by definition, so reclaim writes them back at
+    /// the same DRAM-bound rate a flush would.
+    pub reclaim_ps: Time,
+}
+
+impl ReconfigCost {
+    /// Cost of switching a slice that already holds the partition's ways
+    /// from one resident accelerator to another: configuration streaming
+    /// only, no flush or reclaim.
+    pub fn swap_ps(&self) -> Time {
+        self.config_ps
+    }
+
+    /// Full setup cost paid the first time the ways are claimed.
+    pub fn setup_ps(&self) -> Time {
+        self.flush_ps + self.config_ps
+    }
+
+    /// Everything: claim, configure, and eventually hand the ways back.
+    pub fn total_ps(&self) -> Time {
+        self.flush_ps + self.config_ps + self.reclaim_ps
+    }
+}
+
+/// Quotes the simulated reconfiguration cost of installing `accel` on one
+/// slice split by `partition`, assuming `dirty_fraction` of the flushed
+/// lines are dirty.
+///
+/// The quote is produced by driving a throwaway [`CcCtrl`] through the
+/// SELECT → FLUSH → LOCK → CONFIG_DATA protocol with the accelerator's
+/// actual bitstream size, so it is pinned to the same state machine the
+/// execution path pays; `reclaim_ps` reuses the flush model over the
+/// scratchpad ways with a worst-case (all-dirty) fraction.
+///
+/// # Errors
+///
+/// Propagates protocol/partition errors from the controller (none occur
+/// for a partition already validated by [`SlicePartition::new`]).
+///
+/// # Panics
+///
+/// Panics if `dirty_fraction` is outside `[0, 1]` (as [`CcCtrl::new`]).
+pub fn reconfig_cost(
+    accel: &crate::accel::Accelerator,
+    partition: &SlicePartition,
+    dirty_fraction: f64,
+) -> Result<ReconfigCost, CoreError> {
+    let dram = DramModel::ddr4_2400_x4();
+    let mut ctrl = CcCtrl::new(dirty_fraction);
+    ctrl.store(regs::SELECT, encode_ways(partition), &dram)?;
+    ctrl.store(regs::FLUSH, 1, &dram)?;
+    ctrl.store(regs::LOCK, 1, &dram)?;
+    ctrl.store(
+        regs::CONFIG_DATA,
+        accel.bitstream().total_bytes() as u64,
+        &dram,
+    )?;
+    let t = ctrl.timing();
+    let reclaim_ps = flush_ways_time(
+        &LlcGeometry::paper_edge(),
+        partition.scratchpad_ways(),
+        1.0,
+        &dram,
+    );
+    Ok(ReconfigCost {
+        flush_ps: t.flush_ps,
+        config_ps: t.config_ps,
+        reclaim_ps,
+    })
+}
+
 /// The per-slice compute cluster controller.
 #[derive(Debug, Clone)]
 pub struct CcCtrl {
@@ -380,6 +467,64 @@ mod tests {
         c.store(regs::SPAD_FILL, 2048, &d).unwrap();
         c.store(regs::RUN, 1, &d).unwrap();
         assert_eq!(c.state(), CtrlState::Running);
+    }
+
+    #[test]
+    fn reconfig_cost_is_pinned_to_the_protocol_timing() {
+        use crate::accel::Accelerator;
+        use crate::tile::AcceleratorTile;
+        use freac_netlist::builder::CircuitBuilder;
+
+        let mut b = CircuitBuilder::new("dot");
+        let a = b.word_input("a", 32);
+        let x = b.word_input("x", 32);
+        let (acc, h) = b.word_reg(0, 32);
+        let m = b.mac(&a, &x, &acc);
+        b.connect_word_reg(h, &m);
+        b.word_output("acc", &acc);
+        let circuit = b.finish().unwrap();
+        let accel = Accelerator::map(&circuit, &AcceleratorTile::new(1).unwrap()).unwrap();
+
+        let p = SlicePartition::end_to_end();
+        let cost = reconfig_cost(&accel, &p, 0.5).unwrap();
+
+        // The quote must equal what a hand-driven protocol walk with the
+        // same bitstream accumulates in SetupTiming.
+        let d = dram();
+        let mut c = CcCtrl::new(0.5);
+        c.store(regs::SELECT, encode_ways(&p), &d).unwrap();
+        c.store(regs::FLUSH, 1, &d).unwrap();
+        c.store(regs::LOCK, 1, &d).unwrap();
+        c.store(
+            regs::CONFIG_DATA,
+            accel.bitstream().total_bytes() as u64,
+            &d,
+        )
+        .unwrap();
+        let t = c.timing();
+        assert_eq!(cost.flush_ps, t.flush_ps);
+        assert_eq!(cost.config_ps, t.config_ps);
+        assert!(cost.flush_ps > 0);
+        assert!(cost.config_ps > 0);
+
+        // Reclaim is an all-dirty flush of the scratchpad ways.
+        assert_eq!(
+            cost.reclaim_ps,
+            flush_ways_time(&LlcGeometry::paper_edge(), p.scratchpad_ways(), 1.0, &d)
+        );
+        assert!(cost.reclaim_ps > 0);
+        assert_eq!(cost.swap_ps(), cost.config_ps);
+        assert_eq!(cost.setup_ps(), cost.flush_ps + cost.config_ps);
+        assert_eq!(
+            cost.total_ps(),
+            cost.flush_ps + cost.config_ps + cost.reclaim_ps
+        );
+
+        // Clean ways flush for free; the bitstream still has to stream.
+        let clean = reconfig_cost(&accel, &p, 0.0).unwrap();
+        assert_eq!(clean.flush_ps, 0);
+        assert_eq!(clean.config_ps, cost.config_ps);
+        assert_eq!(clean.reclaim_ps, cost.reclaim_ps);
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //! * `fold.steps_executed == fold.expected_steps` — executed fold steps
 //!   match Σ(schedule length × passes);
 //! * `experiments.pool.jobs_completed == experiments.pool.jobs_submitted`;
+//! * `<p>.completed + <p>.shed == <p>.submitted` for every prefix with a
+//!   `.submitted` counter — a drained serving run loses no request;
 //! * per-run only: `core.kernel_cycles == core.items_per_tile *
 //!   core.round_cycles`.
 
@@ -171,6 +173,21 @@ pub fn check(reg: &CounterRegistry) -> Vec<Violation> {
         }
     }
 
+    // Request conservation: every submitted request ends exactly once,
+    // as a completion or a shed (the serving layer's drain guarantee).
+    for p in prefixes_with(reg, ".submitted") {
+        let submitted = reg.counter(&format!("{p}.submitted"));
+        let completed = reg.counter(&format!("{p}.completed"));
+        let shed = reg.counter(&format!("{p}.shed"));
+        if completed.saturating_add(shed) != submitted {
+            violate(
+                &mut out,
+                format!("{p}: completed + shed == submitted"),
+                format!("{completed} + {shed} != {submitted}"),
+            );
+        }
+    }
+
     // Per-run products (meaningless once registries merge: sums of
     // products are not products of sums).
     if reg.counter("core.runs") == 1 {
@@ -241,6 +258,9 @@ mod tests {
         r.add("fold.steps_executed", 12);
         r.add("experiments.pool.jobs_submitted", 9);
         r.add("experiments.pool.jobs_completed", 9);
+        r.add("serve.requests.submitted", 6);
+        r.add("serve.requests.completed", 4);
+        r.add("serve.requests.shed", 2);
         r
     }
 
@@ -291,6 +311,10 @@ mod tests {
             (
                 "jobs_completed",
                 Box::new(|r| r.add("experiments.pool.jobs_submitted", 1)),
+            ),
+            (
+                "completed + shed == submitted",
+                Box::new(|r| r.add("serve.requests.shed", 1)),
             ),
         ];
         for (law_fragment, corrupt) in cases {

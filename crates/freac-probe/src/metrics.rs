@@ -7,9 +7,14 @@
 //!   "counters":   { "sim.dram.reads": 4, ... },
 //!   "gauges":     { "sim.dram.line_bytes": 64.0, ... },
 //!   "histograms": { "fold.pass_steps": {"count":2,"sum":10,"min":5,"max":5,
+//!                                        "p50":5.0,"p95":5.0,"p99":5.0,
 //!                                        "buckets":{"3":2}}, ... }
 //! }
 //! ```
+//!
+//! Histogram `p50`/`p95`/`p99` are interpolated quantile estimates
+//! ([`Histogram::quantile`]) derived from the buckets at export time; the
+//! importer ignores them, so exports still round-trip byte-for-byte.
 //!
 //! Counters are deterministic by contract (see [`crate::registry`]), so
 //! CI diffs the `counters` section against a committed baseline to catch
@@ -73,6 +78,13 @@ fn histogram_json(h: &Histogram) -> Json {
     if let (Some(min), Some(max)) = (h.min(), h.max()) {
         members.push(("min".to_owned(), Json::UInt(min)));
         members.push(("max".to_owned(), Json::UInt(max)));
+        // Derived interpolated quantiles: recomputed from the buckets on
+        // export, so they are ignored by the importer yet survive the
+        // round trip byte-for-byte.
+        for (key, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+            let v = h.quantile(q).expect("non-empty histogram has quantiles");
+            members.push((key.to_owned(), Json::Num(v)));
+        }
     }
     members.push((
         "buckets".to_owned(),
@@ -169,6 +181,23 @@ mod tests {
         let text = to_metrics_json(&r);
         let back = from_metrics_json(&text).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn exported_quantiles_are_derived_and_round_trip_stable() {
+        let mut r = CounterRegistry::new();
+        for v in [1u64, 2, 3, 900, 900, 900, 4000] {
+            r.observe("serve.latency_ps", v);
+        }
+        let text = to_metrics_json(&r);
+        assert!(text.contains("\"p50\""), "{text}");
+        assert!(text.contains("\"p95\""), "{text}");
+        assert!(text.contains("\"p99\""), "{text}");
+        // The importer drops the derived keys; re-export regenerates them
+        // identically because they are a pure function of buckets/min/max.
+        let back = from_metrics_json(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(to_metrics_json(&back), text);
     }
 
     #[test]

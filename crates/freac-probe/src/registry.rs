@@ -93,6 +93,81 @@ impl Histogram {
         }
     }
 
+    /// Value bounds `[lo, hi]` of bucket `i` (bucket 0 holds only zeros).
+    fn bucket_bounds(i: usize) -> (f64, f64) {
+        if i == 0 {
+            (0.0, 0.0)
+        } else {
+            let lo = 2f64.powi(i as i32 - 1);
+            (lo, lo.mul_add(2.0, -1.0))
+        }
+    }
+
+    /// Value at integer rank `r` (0-based over the sorted observations),
+    /// assuming `first`/`last` are the outermost non-empty buckets:
+    /// observations inside one bucket are spread linearly across its value
+    /// range, with the edge buckets clipped to the exact observed min/max.
+    fn value_at_rank(&self, r: u64, first: usize, last: usize) -> f64 {
+        let mut below = 0u64;
+        for i in first..=last {
+            let c = self.buckets[i];
+            if c == 0 {
+                continue;
+            }
+            if r < below + c {
+                let (mut lo, mut hi) = Self::bucket_bounds(i);
+                if i == first {
+                    lo = lo.max(self.min as f64);
+                }
+                if i == last {
+                    hi = hi.min(self.max as f64);
+                }
+                let hi = hi.max(lo);
+                let frac = if c == 1 {
+                    0.0
+                } else {
+                    (r - below) as f64 / (c - 1) as f64
+                };
+                return lo + frac * (hi - lo);
+            }
+            below += c;
+        }
+        self.max as f64
+    }
+
+    /// Estimated `q`-quantile of the observed values (`q` in `[0, 1]`;
+    /// `None` when empty or `q` is out of range).
+    ///
+    /// The estimate interpolates linearly between the order statistics at
+    /// `floor(q * (count - 1))` and `ceil(q * (count - 1))`, where an order
+    /// statistic's value is reconstructed from the power-of-two buckets by
+    /// spreading each bucket's observations evenly across its value range
+    /// (clipped to the exact min/max at the edges). The result is exact
+    /// when all observations share one bucket and never leaves
+    /// `[min, max]`; quantiles are monotone in `q` and, because merging
+    /// just adds bucket counts, the estimate for a merged histogram is
+    /// independent of merge order.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let first = self.buckets.iter().position(|&c| c > 0).expect("count > 0");
+        let last = self
+            .buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .expect("count > 0");
+        let rank = q * (self.count - 1) as f64;
+        let r0 = rank.floor() as u64;
+        let r1 = rank.ceil() as u64;
+        let v0 = self.value_at_rank(r0, first, last);
+        if r1 == r0 {
+            return Some(v0);
+        }
+        let v1 = self.value_at_rank(r1, first, last);
+        Some(v0 + (rank - r0 as f64) * (v1 - v0))
+    }
+
     /// Non-empty `(bucket_index, count)` pairs in ascending bucket order.
     pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
         self.buckets
@@ -309,6 +384,82 @@ mod tests {
         assert_eq!(h.min(), Some(0));
         assert_eq!(h.max(), Some(1000));
         assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 1), (2, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn quantiles_of_a_constant_are_exact() {
+        let mut h = Histogram::default();
+        for _ in 0..100 {
+            h.observe(7);
+        }
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(7.0), "q={q}");
+        }
+        assert_eq!(Histogram::default().quantile(0.5), None);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.1), None);
+        assert_eq!(h.quantile(f64::NAN), None);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded_by_min_max() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 3, 9, 40, 41, 1000, 65_000, 1 << 40] {
+            h.observe(v);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = h.quantile(q).unwrap();
+            assert!(v >= prev, "quantiles must be monotone in q at q={q}");
+            assert!((0.0..=(1u64 << 40) as f64).contains(&v));
+            prev = v;
+        }
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.quantile(1.0), Some((1u64 << 40) as f64));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        // 1..=100 uniform: the p50 target rank 49.5 lands in bucket 6
+        // (values 32..=63, 32 observations, 31 smaller values before it),
+        // so the interpolated estimate must sit inside that bucket and
+        // within a bucket-width of the true median 50.5.
+        let mut h = Histogram::default();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((32.0..=63.0).contains(&p50), "p50={p50}");
+        assert!((p50 - 50.5).abs() <= 32.0);
+        // The extreme quantiles clip to the exact observations.
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((64.0..=100.0).contains(&p99), "p99={p99}");
+    }
+
+    #[test]
+    fn quantiles_survive_merge_commutativity() {
+        // Quantiles are a pure function of the merged buckets/min/max, so
+        // a+b and b+a must agree bit-for-bit at every probed q.
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for i in 0..200u64 {
+            a.observe(i * i % 977);
+            b.observe((i * 31) % (1 << 20));
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            assert_eq!(ab.quantile(q), ba.quantile(q), "q={q}");
+        }
+        // And merging cannot move a quantile outside the union's range.
+        assert_eq!(ab.quantile(0.0), Some(0.0));
+        assert_eq!(ab.quantile(1.0).unwrap(), ab.max().unwrap() as f64);
     }
 
     #[test]

@@ -13,3 +13,4 @@ pub mod cache;
 pub mod compiled;
 pub mod fold;
 pub mod metrics;
+pub mod serve;

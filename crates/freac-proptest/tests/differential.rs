@@ -5,7 +5,7 @@
 //! `FREAC_PROPTEST_SEED`. A failure panics with a shrunk counterexample
 //! and the one-line corpus entry that replays it.
 
-use freac_proptest::oracles::{bitstream, cache, compiled, fold, metrics};
+use freac_proptest::oracles::{bitstream, cache, compiled, fold, metrics, serve};
 use freac_proptest::{check, Runner};
 
 #[test]
@@ -83,6 +83,36 @@ fn metrics_merge_order_independent() {
         metrics::generate,
         metrics::shrink,
         metrics::check_merge_order_independent,
+    );
+}
+
+#[test]
+fn serve_schedule_is_enumeration_order_independent() {
+    // Serving runs a full event loop per case (and three permuted reruns),
+    // so this property uses a quarter of the configured case count.
+    let mut runner = Runner::from_env();
+    let mut config = runner.config().clone();
+    config.cases = (config.cases / 4).max(1);
+    runner = Runner::new(config);
+    runner.check(
+        "serve/order-independence",
+        serve::generate,
+        serve::shrink,
+        serve::check_order_independence,
+    );
+}
+
+#[test]
+fn serve_conserves_requests_without_starvation() {
+    let mut runner = Runner::from_env();
+    let mut config = runner.config().clone();
+    config.cases = (config.cases / 4).max(1);
+    runner = Runner::new(config);
+    runner.check(
+        "serve/conservation",
+        serve::generate,
+        serve::shrink,
+        serve::check_conservation,
     );
 }
 

@@ -1,0 +1,114 @@
+//! The batch coalescer: packing compatible queued requests into lanes.
+
+use crate::queue::AdmissionQueue;
+use crate::request::Request;
+
+/// Removes the scheduler-chosen `anchor` request from `queue` plus up to
+/// `cap - 1` compatible companions, oldest-first, preserving the order of
+/// everything left behind.
+///
+/// Compatibility is per-request, not per-kernel: the queue already holds a
+/// single kernel, but an `exclusive` request streams into the
+/// accelerator's live register state and therefore rides alone on the
+/// single-lane folded path. So:
+///
+/// * an exclusive anchor returns a batch of exactly one;
+/// * a batchable anchor coalesces with other batchable requests (exclusive
+///   companions are skipped over, keeping their queue position).
+///
+/// The returned order — anchor first, then companions oldest-first — is
+/// the lane order of the dispatch, which makes lane assignment a pure
+/// function of queue state.
+///
+/// # Panics
+///
+/// Panics if `anchor` is out of range or `cap` is zero.
+pub fn take_batch(queue: &mut AdmissionQueue, anchor: usize, cap: usize) -> Vec<Request> {
+    assert!(cap >= 1, "batch capacity must be at least 1");
+    let anchor_req = queue.remove_at(anchor);
+    let mut batch = vec![anchor_req];
+    if batch[0].exclusive {
+        return batch;
+    }
+    let mut idx = 0;
+    while batch.len() < cap && idx < queue.len() {
+        if queue.get(idx).expect("index in range").exclusive {
+            idx += 1;
+        } else {
+            batch.push(queue.remove_at(idx));
+        }
+    }
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::ShedPolicy;
+
+    fn queue_with(reqs: Vec<Request>) -> AdmissionQueue {
+        let mut q = AdmissionQueue::new(64);
+        for r in reqs {
+            q.admit(r, ShedPolicy::RejectNew);
+        }
+        q
+    }
+
+    fn req(seq: u64, exclusive: bool) -> Request {
+        let mut r = Request::new("t", seq, "k", seq, 0);
+        r.exclusive = exclusive;
+        r
+    }
+
+    #[test]
+    fn coalesces_up_to_capacity_in_queue_order() {
+        let mut q = queue_with((0..6).map(|s| req(s, false)).collect());
+        let batch = take_batch(&mut q, 0, 4);
+        let seqs: Vec<u64> = batch.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.get(0).unwrap().seq, 4);
+    }
+
+    #[test]
+    fn mid_queue_anchor_leads_the_batch() {
+        let mut q = queue_with((0..4).map(|s| req(s, false)).collect());
+        let batch = take_batch(&mut q, 2, 3);
+        let seqs: Vec<u64> = batch.iter().map(|r| r.seq).collect();
+        // Anchor 2 first, then the remaining oldest-first.
+        assert_eq!(seqs, vec![2, 0, 1]);
+        assert_eq!(q.get(0).unwrap().seq, 3);
+    }
+
+    #[test]
+    fn exclusive_anchor_rides_alone() {
+        let mut q = queue_with(vec![req(0, true), req(1, false)]);
+        let batch = take_batch(&mut q, 0, 64);
+        assert_eq!(batch.len(), 1);
+        assert!(batch[0].exclusive);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn exclusive_companions_are_skipped_in_place() {
+        let mut q = queue_with(vec![
+            req(0, false),
+            req(1, true),
+            req(2, false),
+            req(3, true),
+        ]);
+        let batch = take_batch(&mut q, 0, 64);
+        let seqs: Vec<u64> = batch.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 2]);
+        let left: Vec<u64> = q.iter().map(|r| r.seq).collect();
+        assert_eq!(left, vec![1, 3]);
+    }
+
+    #[test]
+    fn capacity_one_is_single_lane() {
+        let mut q = queue_with((0..3).map(|s| req(s, false)).collect());
+        let batch = take_batch(&mut q, 0, 1);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Closed-loop load generator over the serving stack.
+//!
+//! Drives a fixed four-tenant AES/GEMM scenario open-loop through the
+//! server, verifies a sample of completions against the reference
+//! evaluator, and prints the per-tenant latency table plus the serving
+//! counters. All output is simulated-time only and bit-identical for any
+//! `FREAC_WORKERS` value — CI diffs the 1-vs-4-worker runs.
+//!
+//! Environment:
+//! * `FREAC_SERVE_REQUESTS` — per-tenant request count (default 64).
+//! * `FREAC_WORKERS` — worker threads for trace generation and sampled
+//!   verification (never affects output).
+
+use freac_experiments::parallel::{map_with, worker_count};
+use freac_kernels::KernelId;
+use freac_serve::inputs::reference_hash;
+use freac_serve::{open_loop_trace, tenant_table, ServeConfig, Server, TenantSpec};
+
+/// Every Nth completion gets re-executed on the reference evaluator.
+const VERIFY_STRIDE: usize = 7;
+
+/// Fixed trace seed — the scenario is a pinned workload, not a sweep.
+const TRACE_SEED: u64 = 0x10ad_6e4e_5e4e_0001;
+
+fn specs(requests: u64) -> Vec<TenantSpec> {
+    let mut alpha = TenantSpec::new("alpha", "aes", requests);
+    alpha.weight = 4;
+    alpha.mean_gap_ps = 2_000;
+    let mut beta = TenantSpec::new("beta", "gemm", requests);
+    beta.weight = 2;
+    beta.mean_gap_ps = 3_000;
+    let mut gamma = TenantSpec::new("gamma", "aes", requests);
+    gamma.mix = vec![("aes".to_owned(), 1), ("gemm".to_owned(), 1)];
+    gamma.mean_gap_ps = 2_500;
+    gamma.deadline_ps = Some(20_000_000);
+    let mut delta = TenantSpec::new("delta", "gemm", requests);
+    delta.mix = vec![("aes".to_owned(), 2), ("gemm".to_owned(), 1)];
+    delta.mean_gap_ps = 4_000;
+    delta.exclusive_permille = 125;
+    vec![alpha, beta, gamma, delta]
+}
+
+fn main() {
+    let requests: u64 = std::env::var("FREAC_SERVE_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let workers = worker_count();
+    let specs = specs(requests);
+
+    let mut server = Server::new(ServeConfig::default()).expect("default config is valid");
+    server
+        .register_paper_kernel(KernelId::Aes)
+        .expect("map aes");
+    server
+        .register_paper_kernel(KernelId::Gemm)
+        .expect("map gemm");
+    for s in &specs {
+        server.add_tenant(&s.name, s.weight).expect("unique tenant");
+    }
+
+    let trace = open_loop_trace(&specs, TRACE_SEED, workers);
+    let submitted = trace.len();
+    for req in trace {
+        server.submit(req).expect("trace requests are valid");
+    }
+    let report = server.run_to_completion().expect("serving drains");
+
+    // Sampled verification: replay every Nth completion's (kernel, seed)
+    // through the reference evaluator and compare output hashes.
+    let sample: Vec<(String, u64, u64)> = report
+        .completions
+        .iter()
+        .step_by(VERIFY_STRIDE)
+        .map(|c| (c.kernel.clone(), c.seed, c.output_hash))
+        .collect();
+    let sampled = sample.len();
+    let nets: std::collections::BTreeMap<String, freac_netlist::Netlist> = ["aes", "gemm"]
+        .iter()
+        .map(|k| {
+            (
+                (*k).to_owned(),
+                server.kernel_netlist(k).expect("registered").clone(),
+            )
+        })
+        .collect();
+    let cycles: std::collections::BTreeMap<String, u64> = ["aes", "gemm"]
+        .iter()
+        .map(|k| {
+            (
+                (*k).to_owned(),
+                server.kernel_func_cycles(k).expect("registered"),
+            )
+        })
+        .collect();
+    let mismatches: usize = map_with(workers, sample, move |(kernel, seed, got)| {
+        let golden = reference_hash(&nets[&kernel], seed, cycles[&kernel])
+            .expect("reference execution succeeds");
+        usize::from(golden != got)
+    })
+    .into_iter()
+    .sum();
+
+    println!("serve_loadgen: {submitted} requests, 4 tenants, aes+gemm");
+    print!("{}", tenant_table(&report));
+    println!(
+        "verified {sampled}/{} sampled completions, {mismatches} mismatches",
+        report.completions.len()
+    );
+    assert_eq!(mismatches, 0, "served outputs diverged from the reference");
+    println!("{}", freac_probe::to_counters_json(&report.probes));
+}

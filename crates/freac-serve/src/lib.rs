@@ -1,0 +1,59 @@
+//! `freac-serve` — multi-tenant request serving on FReaC compute slices.
+//!
+//! The crates below this one answer "how fast does one offloaded kernel
+//! run"; this crate answers "what happens when several tenants contend for
+//! the LLC's compute slices". It is a deterministic, simulated-time
+//! serving stack:
+//!
+//! | module | role |
+//! |--------|------|
+//! | [`request`] | requests, completions, sheds — the event vocabulary |
+//! | [`queue`]   | per-kernel bounded admission queues with shed policies |
+//! | [`batch`]   | the coalescer packing compatible requests into lanes |
+//! | [`sched`]   | FIFO / weighted-fair / deadline-aware anchor selection |
+//! | [`server`]  | the event loop: admission → dispatch → completion |
+//! | [`inputs`]  | seed-derived input synthesis and output hashing |
+//! | [`loadgen`] | synthetic tenants: open-loop traces, closed-loop driver |
+//! | [`report`]  | fixed-width per-tenant latency tables |
+//!
+//! Batched dispatches ride the 64-lane bit-sliced plan from
+//! `freac_netlist::plan`; `exclusive` requests fall back to the
+//! single-lane folded executor. Reconfiguration and way-reclaim costs come
+//! from [`freac_core::reconfig_cost`]; latency is
+//! `queue wait + reconfiguration + fold execution` on the tile clock.
+//! Everything — schedule, completion order, counters — is a pure function
+//! of the submitted request set and the configuration, independent of
+//! tenant enumeration order, submission order, and worker count.
+//!
+//! ```
+//! use freac_serve::{Request, ServeConfig, Server};
+//!
+//! let mut server = Server::new(ServeConfig::default()).unwrap();
+//! server.register_paper_kernel(freac_kernels::KernelId::Aes).unwrap();
+//! server.add_tenant("alice", 1).unwrap();
+//! server.submit(Request::new("alice", 0, "aes", 0, 42)).unwrap();
+//! let report = server.run_to_completion().unwrap();
+//! assert_eq!(report.completions.len(), 1);
+//! ```
+
+pub mod batch;
+pub mod inputs;
+pub mod loadgen;
+pub mod queue;
+pub mod report;
+pub mod request;
+pub mod sched;
+pub mod server;
+
+mod error;
+
+pub use error::ServeError;
+pub use loadgen::{open_loop_trace, ClosedLoop, TenantSpec};
+pub use queue::{AdmissionQueue, ShedPolicy};
+pub use report::tenant_table;
+pub use request::{Completion, Outcome, Request, Shed, ShedReason};
+pub use sched::SchedPolicy;
+pub use server::{
+    DispatchRecord, RequestProfile, ServeConfig, ServeReport, Server, TenantSummary,
+    FUNC_CYCLES_CAP,
+};

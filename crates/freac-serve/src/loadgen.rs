@@ -1,0 +1,252 @@
+//! Synthetic tenant load generation: open-loop traces and a closed-loop
+//! driver.
+//!
+//! Both are deterministic per `(specs, seed)`: each tenant draws from its
+//! own [`Rng64`] stream keyed by `seed ^ seed_from_name(name)`, so trace
+//! content is independent of tenant order, worker count, and how many
+//! other tenants exist. [`open_loop_trace`] fans tenants out across the
+//! `freac-experiments` worker pool and canonically sorts the merged trace,
+//! which is what makes the load generator's 1-vs-N-worker runs
+//! bit-identical.
+
+use freac_experiments::parallel::map_with;
+use freac_rand::{seed_from_name, Rng64};
+use freac_sim::Time;
+
+use crate::request::{Outcome, Request};
+
+/// One synthetic tenant's traffic description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Tenant name (unique).
+    pub name: String,
+    /// Fair-share weight handed to [`crate::Server::add_tenant`].
+    pub weight: u64,
+    /// Kernel mix as `(kernel, weight)` pairs.
+    pub mix: Vec<(String, u64)>,
+    /// Total requests the tenant issues.
+    pub requests: u64,
+    /// Closed-loop: requests in flight at once.
+    pub concurrency: usize,
+    /// Closed-loop: think time between a completion and the next issue.
+    pub think_ps: Time,
+    /// Open-loop: mean inter-arrival gap (gaps are uniform in
+    /// `1..=2*mean`, so the mean holds exactly in expectation).
+    pub mean_gap_ps: Time,
+    /// Relative deadline stamped on every request, if any.
+    pub deadline_ps: Option<Time>,
+    /// Per-mille of requests marked `exclusive` (single-lane).
+    pub exclusive_permille: u32,
+    /// Closed-loop: how often a shed request is retried before giving up.
+    pub max_retries: u32,
+    /// Closed-loop: backoff before a retry re-arrives.
+    pub retry_backoff_ps: Time,
+}
+
+impl TenantSpec {
+    /// A minimal spec: `requests` requests of `kernel` at weight 1,
+    /// concurrency 4, no deadlines, no exclusives, one retry.
+    pub fn new(name: &str, kernel: &str, requests: u64) -> Self {
+        TenantSpec {
+            name: name.to_owned(),
+            weight: 1,
+            mix: vec![(kernel.to_owned(), 1)],
+            requests,
+            concurrency: 4,
+            think_ps: 1_000,
+            mean_gap_ps: 10_000,
+            deadline_ps: None,
+            exclusive_permille: 0,
+            max_retries: 1,
+            retry_backoff_ps: 5_000,
+        }
+    }
+
+    /// The tenant's private random stream for `run_seed`.
+    fn rng(&self, run_seed: u64) -> Rng64 {
+        Rng64::new(run_seed ^ seed_from_name(&self.name))
+    }
+
+    /// The `n`-th request this tenant issues, arriving at `arrival_ps`.
+    fn make_request(&self, rng: &mut Rng64, n: u64, arrival_ps: Time) -> Request {
+        let weights: Vec<u64> = self.mix.iter().map(|&(_, w)| w).collect();
+        let kernel = &self.mix[rng.weighted(&weights)].0;
+        let mut req = Request::new(&self.name, n, kernel, arrival_ps, rng.next_u64());
+        req.deadline_ps = self.deadline_ps.map(|d| arrival_ps.saturating_add(d));
+        req.exclusive = u64::from(rng.next_u32() % 1000) < u64::from(self.exclusive_permille);
+        req
+    }
+}
+
+/// Generates every tenant's full arrival trace up front (open loop:
+/// arrivals don't react to completions), merged and canonically sorted.
+///
+/// `workers` only changes how generation is parallelized, never the trace:
+/// each tenant is one job in the order-deterministic pool and draws from
+/// its own keyed stream.
+pub fn open_loop_trace(specs: &[TenantSpec], run_seed: u64, workers: usize) -> Vec<Request> {
+    let per_tenant = map_with(workers.max(1), specs.to_vec(), move |spec| {
+        let mut rng = spec.rng(run_seed);
+        let mut at: Time = 0;
+        let mut reqs = Vec::with_capacity(spec.requests as usize);
+        for n in 0..spec.requests {
+            at = at.saturating_add(1 + rng.below(2 * spec.mean_gap_ps.max(1)));
+            reqs.push(spec.make_request(&mut rng, n, at));
+        }
+        reqs
+    });
+    let mut trace: Vec<Request> = per_tenant.into_iter().flatten().collect();
+    trace.sort_by(|a, b| a.order_key().cmp(&b.order_key()));
+    trace
+}
+
+/// Per-tenant closed-loop issuing state.
+struct TenantLoop {
+    spec: TenantSpec,
+    rng: Rng64,
+    issued: u64,
+}
+
+/// A closed-loop driver: each tenant keeps `concurrency` requests in
+/// flight, issuing the next one `think_ps` after a completion and retrying
+/// sheds up to `max_retries` times with backoff.
+///
+/// Wire it into the serving loop as
+/// `server.run(|outcome| driver.on_outcome(outcome))` after submitting
+/// [`ClosedLoop::initial`].
+pub struct ClosedLoop {
+    tenants: Vec<TenantLoop>,
+}
+
+impl ClosedLoop {
+    /// A driver over `specs`, with all random streams keyed by `run_seed`.
+    pub fn new(specs: &[TenantSpec], run_seed: u64) -> Self {
+        ClosedLoop {
+            tenants: specs
+                .iter()
+                .map(|spec| TenantLoop {
+                    rng: spec.rng(run_seed),
+                    spec: spec.clone(),
+                    issued: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// The initial window: each tenant's first `concurrency` requests,
+    /// all arriving at time zero.
+    pub fn initial(&mut self) -> Vec<Request> {
+        let mut out = Vec::new();
+        for t in &mut self.tenants {
+            let window = (t.spec.concurrency as u64).min(t.spec.requests);
+            for _ in 0..window {
+                let n = t.issued;
+                t.issued += 1;
+                out.push(t.spec.make_request(&mut t.rng, n, 0));
+            }
+        }
+        out
+    }
+
+    /// Reacts to one terminal outcome: a completion frees a slot (next
+    /// request after think time), a shed retries or — past the retry
+    /// budget — gives the slot to a fresh request.
+    pub fn on_outcome(&mut self, outcome: &Outcome) -> Vec<Request> {
+        let (tenant, at) = match outcome {
+            Outcome::Completed(c) => (&c.tenant, c.done_ps),
+            Outcome::Shed(s) => (&s.request.tenant, s.at_ps),
+        };
+        let Some(t) = self.tenants.iter_mut().find(|t| &t.spec.name == tenant) else {
+            return Vec::new();
+        };
+        if let Outcome::Shed(s) = outcome {
+            if s.request.retries < t.spec.max_retries {
+                let mut retry = s.request.clone();
+                retry.retries += 1;
+                retry.arrival_ps = at.saturating_add(t.spec.retry_backoff_ps);
+                return vec![retry];
+            }
+        }
+        if t.issued < t.spec.requests {
+            let n = t.issued;
+            t.issued += 1;
+            let arrival = at.saturating_add(t.spec.think_ps);
+            return vec![t.spec.make_request(&mut t.rng, n, arrival)];
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> Vec<TenantSpec> {
+        vec![
+            TenantSpec::new("alpha", "aes", 20),
+            TenantSpec::new("beta", "gemm", 15),
+        ]
+    }
+
+    #[test]
+    fn open_loop_trace_is_worker_count_independent() {
+        let one = open_loop_trace(&specs(), 42, 1);
+        let four = open_loop_trace(&specs(), 42, 4);
+        assert_eq!(one, four);
+        assert_eq!(one.len(), 35);
+    }
+
+    #[test]
+    fn open_loop_trace_is_tenant_order_independent() {
+        let fwd = open_loop_trace(&specs(), 42, 1);
+        let mut rev = specs();
+        rev.reverse();
+        assert_eq!(fwd, open_loop_trace(&rev, 42, 1));
+    }
+
+    #[test]
+    fn traces_differ_across_seeds() {
+        assert_ne!(
+            open_loop_trace(&specs(), 1, 1),
+            open_loop_trace(&specs(), 2, 1)
+        );
+    }
+
+    #[test]
+    fn closed_loop_initial_respects_concurrency() {
+        let mut driver = ClosedLoop::new(&specs(), 7);
+        let first = driver.initial();
+        // 4 + 4 slots, all at time zero, seqs 0..4 per tenant.
+        assert_eq!(first.len(), 8);
+        assert!(first.iter().all(|r| r.arrival_ps == 0));
+    }
+
+    #[test]
+    fn closed_loop_retries_then_replaces() {
+        let mut s = specs();
+        s[0].max_retries = 1;
+        let mut driver = ClosedLoop::new(&s, 7);
+        let first = driver.initial();
+        let shed = Outcome::Shed(crate::request::Shed {
+            request: first[0].clone(),
+            at_ps: 100,
+            reason: crate::request::ShedReason::QueueFull,
+        });
+        let retry = driver.on_outcome(&shed);
+        assert_eq!(retry.len(), 1);
+        assert_eq!(retry[0].retries, 1);
+        assert_eq!(retry[0].seq, first[0].seq);
+        assert!(retry[0].arrival_ps > 100);
+        // The retry itself shedding exhausts the budget: a fresh request
+        // takes the slot instead.
+        let shed_again = Outcome::Shed(crate::request::Shed {
+            request: retry[0].clone(),
+            at_ps: 200,
+            reason: crate::request::ShedReason::QueueFull,
+        });
+        let fresh = driver.on_outcome(&shed_again);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].retries, 0);
+        assert!(fresh[0].seq > first[0].seq);
+    }
+}

@@ -1,0 +1,80 @@
+//! Human-readable rendering of a [`ServeReport`].
+
+use crate::server::ServeReport;
+
+/// Renders `ps` as a fixed-precision microsecond figure. Deterministic:
+/// plain integer/remainder math, no float formatting.
+fn us(ps: u64) -> String {
+    format!("{}.{:03}", ps / 1_000_000, (ps % 1_000_000) / 1_000)
+}
+
+/// Rounds an interpolated picosecond quantile to an integer for display.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn qps(v: f64) -> u64 {
+    if v.is_finite() && v > 0.0 {
+        (v + 0.5) as u64
+    } else {
+        0
+    }
+}
+
+/// A fixed-width per-tenant latency table: submitted/completed/shed counts
+/// and p50/p95/p99/mean latency in microseconds. Byte-stable for a given
+/// report, so CI can diff it across worker counts.
+pub fn tenant_table(report: &ServeReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>6} {:>9} {:>9} {:>5} {:>12} {:>12} {:>12} {:>12}\n",
+        "tenant",
+        "weight",
+        "submitted",
+        "completed",
+        "shed",
+        "p50_us",
+        "p95_us",
+        "p99_us",
+        "mean_us"
+    ));
+    for t in &report.tenants {
+        out.push_str(&format!(
+            "{:<10} {:>6} {:>9} {:>9} {:>5} {:>12} {:>12} {:>12} {:>12}\n",
+            t.name,
+            t.weight,
+            t.submitted,
+            t.completed,
+            t.shed,
+            us(qps(t.p50_ps)),
+            us(qps(t.p95_ps)),
+            us(qps(t.p99_ps)),
+            us(qps(t.mean_ps)),
+        ));
+    }
+    out.push_str(&format!(
+        "total: {} completed, {} shed, {} dispatches over {} us ({:.1} req/s simulated)\n",
+        report.completions.len(),
+        report.sheds.len(),
+        report.dispatches.len(),
+        us(report.span_ps),
+        report.throughput_rps(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn us_renders_millisecond_precision() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(1_234_567), "1.234");
+        assert_eq!(us(999_999), "0.999");
+    }
+
+    #[test]
+    fn qps_clamps_non_finite_and_negative() {
+        assert_eq!(qps(f64::NAN), 0);
+        assert_eq!(qps(-1.0), 0);
+        assert_eq!(qps(1.6), 2);
+    }
+}

@@ -1,0 +1,199 @@
+//! The slice scheduler: which queued request anchors the next dispatch.
+//!
+//! The scheduler sees every queued request across the per-kernel admission
+//! queues and picks one *anchor*; the batch coalescer then packs
+//! compatible companions around it. All scans iterate `BTreeMap`s and
+//! break ties by [`Request::order_key`], so the pick is a pure function of
+//! queue and tenant state — independent of tenant enumeration or
+//! submission order.
+
+use std::collections::BTreeMap;
+
+use freac_sim::Time;
+
+use crate::queue::AdmissionQueue;
+use crate::request::Request;
+
+/// Scheduling policy for anchor selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Globally oldest request first.
+    Fifo,
+    /// Weighted fair share: serve the tenant with the least virtual
+    /// service accrued (service charged as `ps / weight`), oldest of that
+    /// tenant's requests first. Kernel-swap reconfiguration is charged to
+    /// the tenant whose anchor forced the swap; cold-start setup is not
+    /// charged to anyone.
+    WeightedFair,
+    /// Earliest absolute deadline first; requests without deadlines rank
+    /// after all deadlined ones, oldest first.
+    DeadlineAware,
+}
+
+/// Virtual-work fixed-point scale: one picosecond of service at weight 1
+/// accrues this many virtual-work units, so integer division by large
+/// weights keeps sub-unit resolution.
+pub(crate) const VWORK_SCALE: u128 = 1 << 20;
+
+/// Per-tenant scheduling state.
+#[derive(Debug, Clone)]
+pub(crate) struct TenantState {
+    /// Fair-share weight (>= 1); higher weight means more service.
+    pub weight: u64,
+    /// Virtual service accrued: `Σ charged_ps * VWORK_SCALE / weight`.
+    pub vwork: u128,
+}
+
+impl TenantState {
+    /// Charges `amount_ps` of service against the tenant's weight.
+    pub fn charge(&mut self, amount_ps: Time) {
+        self.vwork += u128::from(amount_ps) * VWORK_SCALE / u128::from(self.weight);
+    }
+}
+
+/// Picks the anchor `(kernel, queue index)` for the next dispatch, or
+/// `None` when nothing is queued.
+pub(crate) fn pick(
+    policy: SchedPolicy,
+    queues: &BTreeMap<String, AdmissionQueue>,
+    tenants: &BTreeMap<String, TenantState>,
+) -> Option<(String, usize)> {
+    let all = || {
+        queues
+            .iter()
+            .flat_map(|(k, q)| q.iter().enumerate().map(move |(i, r)| (k, i, r)))
+    };
+    match policy {
+        SchedPolicy::Fifo => all()
+            .min_by_key(|(_, _, r)| key_of(r))
+            .map(|(k, i, _)| (k.clone(), i)),
+        SchedPolicy::DeadlineAware => all()
+            .min_by_key(|(_, _, r)| (r.deadline_ps.unwrap_or(Time::MAX), key_of(r)))
+            .map(|(k, i, _)| (k.clone(), i)),
+        SchedPolicy::WeightedFair => {
+            // Oldest queued request of each tenant with anything pending.
+            let mut best: BTreeMap<&str, (&String, usize, OrderKey)> = BTreeMap::new();
+            for (k, i, r) in all() {
+                let key = key_of(r);
+                match best.get(r.tenant.as_str()) {
+                    Some((_, _, existing)) if *existing <= key => {}
+                    _ => {
+                        best.insert(r.tenant.as_str(), (k, i, key));
+                    }
+                }
+            }
+            // Least virtual service wins; ties break by tenant name, which
+            // is deterministic because tenant names are unique.
+            best.into_iter()
+                .min_by_key(|(name, _)| {
+                    let vwork = tenants.get(*name).map_or(u128::MAX, |t| t.vwork);
+                    (vwork, name.to_owned())
+                })
+                .map(|(_, (k, i, _))| (k.clone(), i))
+        }
+    }
+}
+
+/// Owned ordering key (the borrow-free form of [`Request::order_key`]).
+type OrderKey = (Time, String, u64, u32);
+
+fn key_of(r: &Request) -> OrderKey {
+    (r.arrival_ps, r.tenant.clone(), r.seq, r.retries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::ShedPolicy;
+
+    fn setup(reqs: Vec<Request>) -> BTreeMap<String, AdmissionQueue> {
+        let mut queues: BTreeMap<String, AdmissionQueue> = BTreeMap::new();
+        for r in reqs {
+            queues
+                .entry(r.kernel.clone())
+                .or_insert_with(|| AdmissionQueue::new(64))
+                .admit(r, ShedPolicy::RejectNew);
+        }
+        queues
+    }
+
+    fn tenants(weights: &[(&str, u64)]) -> BTreeMap<String, TenantState> {
+        weights
+            .iter()
+            .map(|&(n, w)| {
+                (
+                    n.to_owned(),
+                    TenantState {
+                        weight: w,
+                        vwork: 0,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn req(tenant: &str, seq: u64, kernel: &str, arrival: Time) -> Request {
+        Request::new(tenant, seq, kernel, arrival, 0)
+    }
+
+    #[test]
+    fn fifo_takes_the_globally_oldest() {
+        let queues = setup(vec![
+            req("b", 0, "k2", 20),
+            req("a", 0, "k1", 10),
+            req("a", 1, "k1", 30),
+        ]);
+        let t = tenants(&[("a", 1), ("b", 1)]);
+        assert_eq!(pick(SchedPolicy::Fifo, &queues, &t), Some(("k1".into(), 0)));
+    }
+
+    #[test]
+    fn deadline_aware_prefers_the_tightest_deadline() {
+        let mut late = req("a", 0, "k1", 0);
+        late.deadline_ps = Some(5_000);
+        let mut tight = req("b", 0, "k2", 10);
+        tight.deadline_ps = Some(1_000);
+        let none = req("c", 0, "k1", 1);
+        let queues = setup(vec![late, tight, none]);
+        let t = tenants(&[("a", 1), ("b", 1), ("c", 1)]);
+        // k2 holds the tight deadline even though k1 has older arrivals.
+        assert_eq!(
+            pick(SchedPolicy::DeadlineAware, &queues, &t),
+            Some(("k2".into(), 0))
+        );
+    }
+
+    #[test]
+    fn weighted_fair_serves_the_least_served_tenant() {
+        let queues = setup(vec![req("a", 0, "k1", 0), req("b", 0, "k2", 1)]);
+        let mut t = tenants(&[("a", 1), ("b", 1)]);
+        t.get_mut("a").unwrap().charge(1_000);
+        // Tenant b has accrued nothing, so its request anchors next.
+        assert_eq!(
+            pick(SchedPolicy::WeightedFair, &queues, &t),
+            Some(("k2".into(), 0))
+        );
+    }
+
+    #[test]
+    fn charge_scales_inversely_with_weight() {
+        let mut heavy = TenantState {
+            weight: 8,
+            vwork: 0,
+        };
+        let mut light = TenantState {
+            weight: 1,
+            vwork: 0,
+        };
+        heavy.charge(1_000);
+        light.charge(1_000);
+        assert_eq!(heavy.vwork * 8, light.vwork);
+    }
+
+    #[test]
+    fn empty_queues_yield_no_pick() {
+        let queues: BTreeMap<String, AdmissionQueue> = BTreeMap::new();
+        let t = tenants(&[("a", 1)]);
+        assert_eq!(pick(SchedPolicy::Fifo, &queues, &t), None);
+    }
+}

@@ -1,0 +1,1180 @@
+//! The serving engine: a deterministic simulated-time event loop over
+//! admission queues, the batch coalescer, and the slice scheduler.
+//!
+//! # Timeline semantics
+//!
+//! The engine advances a single simulated clock. Arrivals at or before the
+//! moment a slice frees are admitted (and may shed, per policy) *before*
+//! the dispatch decision at that moment; dispatches go to the
+//! earliest-free slice, lowest index first. Every data structure iterates
+//! in a canonical order (`BTreeMap`s, a min-heap keyed by
+//! [`Request::order_key`]), so the schedule, completion order, and
+//! counters are a pure function of the submitted request set — never of
+//! tenant enumeration or submission order.
+//!
+//! # Latency model
+//!
+//! `latency = queue wait + reconfiguration + fold execution`. A dispatch
+//! of `k` lanes executes in
+//! `max(cycles_per_item × fold_steps, scratchpad_service(k × words), 1)`
+//! tile-clock cycles: lanes run in parallel across a slice's tiles, so
+//! compute time is independent of `k` while operand service scales with
+//! it — the roofline of `freac_core::exec` at batch granularity.
+//! Reconfiguration (quoted by [`freac_core::reconfig_cost`]) is paid when
+//! a dispatch's kernel is not resident on the slice: a full flush+config
+//! on first claim, config streaming only on a swap; way reclaim is paid
+//! once at drain and reported as teardown.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::sync::Arc;
+
+use freac_core::scratchpad::ScratchpadModel;
+use freac_core::{reconfig_cost, Accelerator, AcceleratorTile, ReconfigCost, SlicePartition};
+use freac_kernels::{kernel, Kernel, KernelId};
+use freac_netlist::{compile, ExecPlan, Netlist, BATCH_LANES};
+use freac_probe::CounterRegistry;
+use freac_sim::{ClockDomain, Time};
+
+use crate::batch::take_batch;
+use crate::error::ServeError;
+use crate::inputs::{hash_outputs, synth_inputs};
+use crate::queue::{AdmissionQueue, AdmitResult, ShedPolicy};
+use crate::request::{Completion, Outcome, Request, Shed, ShedReason};
+use crate::sched::{pick, SchedPolicy, TenantState};
+
+/// Functional-execution depth: output hashes are computed over this many
+/// original circuit cycles at most. Simulated timing always charges the
+/// full `cycles_per_item`; capping only the host-side functional run keeps
+/// long kernels affordable while every consumer (engine, verifier, oracle)
+/// hashes the same depth.
+pub const FUNC_CYCLES_CAP: u64 = 4;
+
+/// Per-request cost profile of a registered kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestProfile {
+    /// Original circuit cycles one invocation runs.
+    pub cycles_per_item: u64,
+    /// Operand words read from the scratchpad per invocation.
+    pub read_words: u64,
+    /// Result words written per invocation.
+    pub write_words: u64,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Way split of every compute slice.
+    pub partition: SlicePartition,
+    /// Compute slices the scheduler may claim (1..=8).
+    pub slices: usize,
+    /// Dirty fraction assumed when flushing claimed ways.
+    pub dirty_fraction: f64,
+    /// MCCs per accelerator tile (one tile executes one lane).
+    pub tile_mccs: usize,
+    /// Per-kernel admission-queue bound.
+    pub queue_depth: usize,
+    /// What to do when a queue is full.
+    pub shed: ShedPolicy,
+    /// Anchor-selection policy.
+    pub policy: SchedPolicy,
+    /// Whether the batch coalescer runs (off = single-lane everything,
+    /// the baseline the `serve` bench compares against).
+    pub batching: bool,
+    /// Upper bound on lanes per dispatch (further capped by
+    /// [`BATCH_LANES`] and by how many tiles the partition hosts).
+    pub max_lanes: usize,
+}
+
+impl Default for ServeConfig {
+    /// Four end-to-end slices, weighted-fair scheduling, batching on.
+    fn default() -> Self {
+        ServeConfig {
+            partition: SlicePartition::end_to_end(),
+            slices: 4,
+            dirty_fraction: 0.5,
+            tile_mccs: 1,
+            queue_depth: 64,
+            shed: ShedPolicy::RejectNew,
+            policy: SchedPolicy::WeightedFair,
+            batching: true,
+            max_lanes: BATCH_LANES,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), ServeError> {
+        if !(1..=8).contains(&self.slices) {
+            return Err(ServeError::BadConfig(format!(
+                "slices must be 1..=8, got {}",
+                self.slices
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.dirty_fraction) {
+            return Err(ServeError::BadConfig(format!(
+                "dirty_fraction must be in [0, 1], got {}",
+                self.dirty_fraction
+            )));
+        }
+        if self.queue_depth == 0 {
+            return Err(ServeError::BadConfig("queue_depth must be >= 1".into()));
+        }
+        if self.max_lanes == 0 {
+            return Err(ServeError::BadConfig("max_lanes must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// A registered kernel with everything a dispatch needs precomputed.
+struct ServedKernel {
+    accel: Arc<Accelerator>,
+    /// Compiled batch plan over the mapped netlist (the 64-lane path).
+    plan: ExecPlan,
+    profile: RequestProfile,
+    /// Functional depth actually executed for hashing.
+    func_cycles: u64,
+    /// `cycles_per_item × fold steps` — compute cycles per lane.
+    compute_cycles: u64,
+    /// Reconfiguration quote for this accelerator on the configured
+    /// partition.
+    cost: ReconfigCost,
+    /// Lane capacity per dispatch.
+    lanes_cap: usize,
+}
+
+/// One compute slice's scheduling state.
+struct SliceState {
+    resident: Option<String>,
+    free_at: Time,
+    busy_ps: Time,
+    reconfigs: u64,
+    /// High-water marks already exported to counters (so repeated `run`
+    /// calls add deltas, keeping counter merges additive).
+    reported_busy_ps: Time,
+    reported_span_ps: Time,
+}
+
+/// Heap entry ordered by the canonical request key.
+#[derive(PartialEq, Eq)]
+struct Pending(Request);
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.order_key().cmp(&other.0.order_key())
+    }
+}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One dispatch in the schedule log — the object the determinism oracle
+/// compares across tenant enumeration orders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchRecord {
+    /// Monotonic dispatch id.
+    pub batch_id: u64,
+    /// Dispatch time (start of reconfiguration, if any).
+    pub at_ps: Time,
+    /// Executing slice.
+    pub slice: usize,
+    /// Kernel that ran.
+    pub kernel: String,
+    /// Lanes occupied.
+    pub lanes: usize,
+    /// Whether the slice had to reconfigure.
+    pub reconfigured: bool,
+    /// `(tenant, seq, retries)` of every rider, lane order.
+    pub requests: Vec<(String, u64, u32)>,
+}
+
+/// Per-tenant outcome summary with interpolated latency quantiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSummary {
+    /// Tenant name.
+    pub name: String,
+    /// Fair-share weight.
+    pub weight: u64,
+    /// Requests submitted (including retries).
+    pub submitted: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed.
+    pub shed: u64,
+    /// Median completion latency, ps.
+    pub p50_ps: f64,
+    /// 95th-percentile latency, ps.
+    pub p95_ps: f64,
+    /// 99th-percentile latency, ps.
+    pub p99_ps: f64,
+    /// Mean latency, ps.
+    pub mean_ps: f64,
+}
+
+/// The result of draining the server.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// All completions, ordered by `(done_ps, tenant, seq)`.
+    pub completions: Vec<Completion>,
+    /// All sheds, in shed order.
+    pub sheds: Vec<Shed>,
+    /// The full schedule, in dispatch order.
+    pub dispatches: Vec<DispatchRecord>,
+    /// Last completion time (0 when nothing completed).
+    pub span_ps: Time,
+    /// Way-reclaim time paid at drain for still-resident accelerators.
+    pub teardown_ps: Time,
+    /// All serving counters/gauges/histograms (`serve.*`).
+    pub probes: CounterRegistry,
+    /// Per-tenant summaries, name order.
+    pub tenants: Vec<TenantSummary>,
+}
+
+impl ServeReport {
+    /// Sustained completion throughput in requests per simulated second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.span_ps == 0 {
+            0.0
+        } else {
+            self.completions.len() as f64 * 1e12 / self.span_ps as f64
+        }
+    }
+
+    /// Summary of one tenant.
+    pub fn tenant(&self, name: &str) -> Option<&TenantSummary> {
+        self.tenants.iter().find(|t| t.name == name)
+    }
+}
+
+/// The multi-tenant request server.
+pub struct Server {
+    cfg: ServeConfig,
+    clock: ClockDomain,
+    spad: ScratchpadModel,
+    kernels: BTreeMap<String, ServedKernel>,
+    tenants: BTreeMap<String, TenantState>,
+    queues: BTreeMap<String, AdmissionQueue>,
+    pending: BinaryHeap<Reverse<Pending>>,
+    submitted_ids: BTreeSet<(String, u64, u32)>,
+    slices: Vec<SliceState>,
+    probes: CounterRegistry,
+    queued: usize,
+    now: Time,
+    batch_seq: u64,
+    completions: Vec<Completion>,
+    sheds: Vec<Shed>,
+    dispatches: Vec<DispatchRecord>,
+}
+
+impl Server {
+    /// A server with no tenants or kernels yet.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid configurations (slice count, queue depth, lane cap,
+    /// dirty fraction) and tile sizes the partition cannot host.
+    pub fn new(cfg: ServeConfig) -> Result<Self, ServeError> {
+        cfg.validate()?;
+        let tile = AcceleratorTile::new(cfg.tile_mccs)?;
+        if cfg.partition.mccs() < tile.mccs() {
+            return Err(ServeError::BadConfig(format!(
+                "partition provides {} MCCs but one tile needs {}",
+                cfg.partition.mccs(),
+                tile.mccs()
+            )));
+        }
+        let clock = tile.clock();
+        let service_ways = cfg
+            .partition
+            .scratchpad_ways()
+            .max(cfg.partition.cache_ways().max(1));
+        let slices = (0..cfg.slices)
+            .map(|_| SliceState {
+                resident: None,
+                free_at: 0,
+                busy_ps: 0,
+                reconfigs: 0,
+                reported_busy_ps: 0,
+                reported_span_ps: 0,
+            })
+            .collect();
+        Ok(Server {
+            cfg,
+            clock,
+            spad: ScratchpadModel::new(service_ways, clock),
+            kernels: BTreeMap::new(),
+            tenants: BTreeMap::new(),
+            queues: BTreeMap::new(),
+            pending: BinaryHeap::new(),
+            submitted_ids: BTreeSet::new(),
+            slices,
+            probes: CounterRegistry::new(),
+            queued: 0,
+            now: 0,
+            batch_seq: 0,
+            completions: Vec::new(),
+            sheds: Vec::new(),
+            dispatches: Vec::new(),
+        })
+    }
+
+    /// The configuration this server runs under.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Registers `circuit` under `name`: maps it onto the configured tile
+    /// and precomputes the batch plan and reconfiguration quote.
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate names and propagates mapping failures.
+    pub fn register_kernel(
+        &mut self,
+        name: &str,
+        circuit: &Netlist,
+        profile: RequestProfile,
+    ) -> Result<(), ServeError> {
+        let tile = AcceleratorTile::new(self.cfg.tile_mccs)?;
+        let accel = Accelerator::map_shared(circuit, &tile)?;
+        self.register_accelerator(name, accel, profile)
+    }
+
+    /// Registers an already-mapped accelerator (sharing one mapping across
+    /// servers, e.g. the batching-on/off comparison in the bench).
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate names, tile mismatches, and plan-compile
+    /// failures.
+    pub fn register_accelerator(
+        &mut self,
+        name: &str,
+        accel: Arc<Accelerator>,
+        profile: RequestProfile,
+    ) -> Result<(), ServeError> {
+        if self.kernels.contains_key(name) {
+            return Err(ServeError::DuplicateKernel(name.to_owned()));
+        }
+        if accel.tile().mccs() != self.cfg.tile_mccs {
+            return Err(ServeError::BadConfig(format!(
+                "accelerator '{name}' was mapped for {} MCCs, server tiles have {}",
+                accel.tile().mccs(),
+                self.cfg.tile_mccs
+            )));
+        }
+        let plan = compile(accel.netlist())?;
+        let steps = accel.fold_cycles() as u64;
+        let cost = reconfig_cost(&accel, &self.cfg.partition, self.cfg.dirty_fraction)?;
+        let tiles = (self.cfg.partition.mccs() / self.cfg.tile_mccs).max(1);
+        let lanes_cap = self.cfg.max_lanes.min(BATCH_LANES).min(tiles);
+        let cycles = profile.cycles_per_item.max(1);
+        self.kernels.insert(
+            name.to_owned(),
+            ServedKernel {
+                plan,
+                profile,
+                func_cycles: cycles.min(FUNC_CYCLES_CAP),
+                compute_cycles: cycles.saturating_mul(steps),
+                cost,
+                lanes_cap,
+                accel,
+            },
+        );
+        self.queues
+            .insert(name.to_owned(), AdmissionQueue::new(self.cfg.queue_depth));
+        Ok(())
+    }
+
+    /// Registers one of the paper's benchmark kernels under its lowercase
+    /// figure name (`"aes"`, `"gemm"`, …), deriving the request profile
+    /// from the kernel's unit workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping failures.
+    pub fn register_paper_kernel(&mut self, id: KernelId) -> Result<(), ServeError> {
+        let k: Box<dyn Kernel> = kernel(id);
+        let w = k.workload(1);
+        self.register_kernel(
+            &id.name().to_lowercase(),
+            &k.circuit(),
+            RequestProfile {
+                cycles_per_item: w.cycles_per_item,
+                read_words: w.read_words_per_item,
+                write_words: w.write_words_per_item,
+            },
+        )
+    }
+
+    /// Adds a tenant with a fair-share `weight` (>= 1).
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate names and zero weights.
+    pub fn add_tenant(&mut self, name: &str, weight: u64) -> Result<(), ServeError> {
+        if weight == 0 {
+            return Err(ServeError::BadConfig(format!(
+                "tenant '{name}' weight must be >= 1"
+            )));
+        }
+        if self.tenants.contains_key(name) {
+            return Err(ServeError::DuplicateTenant(name.to_owned()));
+        }
+        self.tenants
+            .insert(name.to_owned(), TenantState { weight, vwork: 0 });
+        Ok(())
+    }
+
+    /// The mapped netlist of a registered kernel (verification replays
+    /// reference execution against it).
+    pub fn kernel_netlist(&self, name: &str) -> Option<&Netlist> {
+        self.kernels.get(name).map(|k| k.accel.netlist())
+    }
+
+    /// Functional hashing depth of a registered kernel.
+    pub fn kernel_func_cycles(&self, name: &str) -> Option<u64> {
+        self.kernels.get(name).map(|k| k.func_cycles)
+    }
+
+    /// Submits a request for the next [`Server::run`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown tenants/kernels and duplicate
+    /// `(tenant, seq, retries)` identities.
+    pub fn submit(&mut self, req: Request) -> Result<(), ServeError> {
+        if !self.tenants.contains_key(&req.tenant) {
+            return Err(ServeError::UnknownTenant(req.tenant));
+        }
+        if !self.kernels.contains_key(&req.kernel) {
+            return Err(ServeError::UnknownKernel(req.kernel));
+        }
+        let id = (req.tenant.clone(), req.seq, req.retries);
+        if !self.submitted_ids.insert(id) {
+            return Err(ServeError::DuplicateRequest {
+                tenant: req.tenant,
+                seq: req.seq,
+                retries: req.retries,
+            });
+        }
+        self.probes.inc("serve.requests.submitted");
+        self.probes
+            .inc(&format!("serve.tenant.{}.submitted", req.tenant));
+        if req.retries > 0 {
+            self.probes.inc("serve.requests.retried");
+        }
+        self.pending.push(Reverse(Pending(req)));
+        Ok(())
+    }
+
+    /// Drains everything submitted, with no closed-loop reaction.
+    ///
+    /// # Errors
+    ///
+    /// See [`Server::run`].
+    pub fn run_to_completion(&mut self) -> Result<ServeReport, ServeError> {
+        self.run(|_| Vec::new())
+    }
+
+    /// Runs the serving loop until queues and pending arrivals drain.
+    ///
+    /// `hook` observes every terminal [`Outcome`] in deterministic order
+    /// and may return follow-up requests — the closed-loop driver's next
+    /// invocation after a completion, or a retry after a shed. Follow-up
+    /// arrivals are clamped to the outcome's time (strictly after it for
+    /// sheds, so a full queue cannot live-lock the clock); a hook that
+    /// eventually stops issuing keeps the loop finite.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid follow-up submissions and functional-execution
+    /// failures.
+    pub fn run<F>(&mut self, mut hook: F) -> Result<ServeReport, ServeError>
+    where
+        F: FnMut(&Outcome) -> Vec<Request>,
+    {
+        loop {
+            if self.queued == 0 {
+                let Some(Reverse(next)) = self.pending.peek() else {
+                    break;
+                };
+                let t = next.0.arrival_ps;
+                self.admit_until(t, &mut hook)?;
+                self.now = self.now.max(t);
+                continue;
+            }
+            let (si, free_at) = self
+                .slices
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, s)| (s.free_at, *i))
+                .map(|(i, s)| (i, s.free_at))
+                .expect("at least one slice");
+            let t = self.now.max(free_at);
+            // Arrivals at or before the dispatch instant were already
+            // there when the slice freed; they join (and may shed) first.
+            self.admit_until(t, &mut hook)?;
+            self.now = t;
+            if self.queued > 0 {
+                self.dispatch(si, t, &mut hook)?;
+            }
+        }
+        Ok(self.finish_report())
+    }
+
+    /// Admits every pending arrival at or before `t`, applying the shed
+    /// policy and feeding shed outcomes to the hook.
+    fn admit_until<F>(&mut self, t: Time, hook: &mut F) -> Result<(), ServeError>
+    where
+        F: FnMut(&Outcome) -> Vec<Request>,
+    {
+        while let Some(Reverse(p)) = self.pending.peek() {
+            if p.0.arrival_ps > t {
+                break;
+            }
+            let Reverse(Pending(req)) = self.pending.pop().expect("peeked");
+            let at = req.arrival_ps;
+            let queue = self
+                .queues
+                .get_mut(&req.kernel)
+                .expect("kernel validated at submit");
+            let result = queue.admit(req, self.cfg.shed);
+            let depth = queue.len();
+            match result {
+                AdmitResult::Admitted => {
+                    self.queued += 1;
+                    self.note_admission(depth);
+                }
+                AdmitResult::Displaced(victim) => {
+                    self.note_admission(depth);
+                    self.shed(victim, at, ShedReason::Displaced, hook)?;
+                }
+                AdmitResult::Rejected(bounced) => {
+                    self.shed(bounced, at, ShedReason::QueueFull, hook)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn note_admission(&mut self, depth: usize) {
+        self.probes.inc("serve.requests.admitted");
+        self.probes.gauge_max("serve.queue.depth_hw", depth as f64);
+    }
+
+    fn shed<F>(
+        &mut self,
+        request: Request,
+        at_ps: Time,
+        reason: ShedReason,
+        hook: &mut F,
+    ) -> Result<(), ServeError>
+    where
+        F: FnMut(&Outcome) -> Vec<Request>,
+    {
+        self.probes.inc("serve.requests.shed");
+        self.probes
+            .inc(&format!("serve.tenant.{}.shed", request.tenant));
+        let outcome = Outcome::Shed(Shed {
+            request,
+            at_ps,
+            reason,
+        });
+        // Retries must land strictly after the shed instant, otherwise a
+        // persistently full queue could loop at one timestamp forever.
+        self.react(outcome, at_ps.saturating_add(1), hook)
+    }
+
+    /// Records `outcome`, shows it to the hook, and submits any follow-up
+    /// requests with arrivals clamped to `min_arrival`.
+    fn react<F>(
+        &mut self,
+        outcome: Outcome,
+        min_arrival: Time,
+        hook: &mut F,
+    ) -> Result<(), ServeError>
+    where
+        F: FnMut(&Outcome) -> Vec<Request>,
+    {
+        let followups = hook(&outcome);
+        match outcome {
+            Outcome::Completed(c) => self.completions.push(c),
+            Outcome::Shed(s) => self.sheds.push(s),
+        }
+        for mut f in followups {
+            f.arrival_ps = f.arrival_ps.max(min_arrival);
+            self.submit(f)?;
+        }
+        Ok(())
+    }
+
+    /// Dispatches one batch on slice `si` at time `t`.
+    fn dispatch<F>(&mut self, si: usize, t: Time, hook: &mut F) -> Result<(), ServeError>
+    where
+        F: FnMut(&Outcome) -> Vec<Request>,
+    {
+        let (kernel_name, anchor) =
+            pick(self.cfg.policy, &self.queues, &self.tenants).expect("queued > 0");
+        let cap = if self.cfg.batching {
+            self.kernels[&kernel_name].lanes_cap
+        } else {
+            1
+        };
+        let queue = self.queues.get_mut(&kernel_name).expect("kernel queue");
+        let batch = take_batch(queue, anchor, cap);
+        self.queued -= batch.len();
+        let k = batch.len();
+
+        let ctx = &self.kernels[&kernel_name];
+        let resident = self.slices[si].resident.as_deref() == Some(kernel_name.as_str());
+        let reconfig_ps = if resident {
+            0
+        } else if self.slices[si].resident.is_none() {
+            ctx.cost.setup_ps()
+        } else {
+            ctx.cost.swap_ps()
+        };
+        let words = (ctx.profile.read_words + ctx.profile.write_words).saturating_mul(k as u64);
+        let round_cycles = ctx
+            .compute_cycles
+            .max(self.spad.service_cycles(words))
+            .max(1);
+        let exec_ps = self.clock.cycles_to_time(round_cycles);
+        let start = t.saturating_add(reconfig_ps);
+        let done = start.saturating_add(exec_ps);
+
+        // Functional execution: exclusive requests stream through the
+        // single-lane folded path (they own the accelerator's register
+        // state); everything else rides the bit-sliced batch plan, whose
+        // per-lane latch state makes fresh-start invocations independent.
+        let lanes: Vec<Vec<freac_netlist::Value>> = batch
+            .iter()
+            .map(|r| synth_inputs(ctx.accel.netlist(), r.seed))
+            .collect();
+        let single_lane = batch[0].exclusive || !self.cfg.batching;
+        let hashes: Vec<u64> = if single_lane {
+            let mut ex = ctx.accel.fold_plan().executor();
+            let mut out = Vec::new();
+            for _ in 0..ctx.func_cycles {
+                ex.run_cycle_into(&lanes[0], &mut out)?;
+            }
+            vec![hash_outputs(&out)]
+        } else {
+            let mut state = ctx.plan.new_batch_state();
+            let mut out = Vec::new();
+            for _ in 0..ctx.func_cycles {
+                ctx.plan.run_batch_cycle(&mut state, &lanes, &mut out)?;
+            }
+            out.iter().map(|o| hash_outputs(o)).collect()
+        };
+
+        // Accounting: execution is split evenly across the riders. A
+        // kernel *swap* is charged to the anchor's tenant — churning the
+        // resident kernel is that tenant's doing — but first-claim setup
+        // is cold-start infrastructure cost and charged to nobody (a
+        // one-time setup charged to one tenant would starve them for the
+        // whole transient).
+        let anchor_tenant = batch[0].tenant.clone();
+        if self.slices[si].resident.is_some() && !resident {
+            if let Some(ts) = self.tenants.get_mut(&anchor_tenant) {
+                ts.charge(reconfig_ps);
+            }
+        }
+        let share = exec_ps / k as u64;
+        for r in &batch {
+            if let Some(ts) = self.tenants.get_mut(&r.tenant) {
+                ts.charge(share);
+            }
+        }
+
+        let batch_id = self.batch_seq;
+        self.batch_seq += 1;
+        let slice = &mut self.slices[si];
+        slice.resident = Some(kernel_name.clone());
+        slice.free_at = done;
+        slice.busy_ps += reconfig_ps + exec_ps;
+        if !resident {
+            slice.reconfigs += 1;
+        }
+
+        self.probes.inc("serve.batches.dispatched");
+        self.probes.inc(if single_lane {
+            "serve.batches.single_lane"
+        } else {
+            "serve.batches.coalesced"
+        });
+        self.probes.observe("serve.batch.occupancy", k as u64);
+        if !resident {
+            self.probes.inc("serve.reconfigs");
+            self.probes.add("serve.reconfig.total_ps", reconfig_ps);
+            self.probes.add(
+                &format!("serve.tenant.{anchor_tenant}.reconfig_ps"),
+                reconfig_ps,
+            );
+        }
+
+        self.dispatches.push(DispatchRecord {
+            batch_id,
+            at_ps: t,
+            slice: si,
+            kernel: kernel_name.clone(),
+            lanes: k,
+            reconfigured: !resident,
+            requests: batch
+                .iter()
+                .map(|r| (r.tenant.clone(), r.seq, r.retries))
+                .collect(),
+        });
+
+        for (lane, req) in batch.into_iter().enumerate() {
+            let completion = Completion {
+                arrival_ps: req.arrival_ps,
+                start_ps: t,
+                done_ps: done,
+                reconfig_ps,
+                exec_ps,
+                batch_id,
+                lanes: k,
+                slice: si,
+                output_hash: hashes[if single_lane { 0 } else { lane }],
+                seed: req.seed,
+                deadline_met: req.deadline_ps.map(|d| done <= d),
+                tenant: req.tenant,
+                seq: req.seq,
+                kernel: req.kernel,
+            };
+            self.probes.inc("serve.requests.completed");
+            self.probes
+                .inc(&format!("serve.tenant.{}.completed", completion.tenant));
+            self.probes
+                .observe("serve.queue.wait_ps", completion.queue_wait_ps());
+            self.probes
+                .observe("serve.latency_ps", completion.latency_ps());
+            self.probes.observe(
+                &format!("serve.tenant.{}.latency_ps", completion.tenant),
+                completion.latency_ps(),
+            );
+            match completion.deadline_met {
+                Some(true) => self.probes.inc("serve.deadlines.met"),
+                Some(false) => self.probes.inc("serve.deadlines.missed"),
+                None => {}
+            }
+            self.react(Outcome::Completed(completion), done, hook)?;
+        }
+        Ok(())
+    }
+
+    /// Exports end-of-drain counters and assembles the report.
+    fn finish_report(&mut self) -> ServeReport {
+        let span_ps = self
+            .completions
+            .iter()
+            .map(|c| c.done_ps)
+            .max()
+            .unwrap_or(0);
+        let mut teardown_ps = 0;
+        for (i, s) in self.slices.iter_mut().enumerate() {
+            // Slice counters are exported as deltas against the last
+            // report, so repeated runs stay additive and the
+            // busy <= span probe law holds for every export: a slice's
+            // new busy intervals all lie within its own free_at advance.
+            let busy_delta = s.busy_ps - s.reported_busy_ps;
+            let span_delta = s.free_at - s.reported_span_ps;
+            self.probes
+                .add(&format!("serve.slice.{i}.busy_ps"), busy_delta);
+            self.probes
+                .add(&format!("serve.slice.{i}.span_ps"), span_delta);
+            s.reported_busy_ps = s.busy_ps;
+            s.reported_span_ps = s.free_at;
+            if s.free_at > 0 {
+                self.probes.gauge_max(
+                    &format!("serve.slice.{i}.utilization"),
+                    s.busy_ps as f64 / s.free_at as f64,
+                );
+            }
+            self.probes
+                .add(&format!("serve.slice.{i}.reconfigs"), s.reconfigs);
+            s.reconfigs = 0;
+            if let Some(name) = &s.resident {
+                teardown_ps += self.kernels[name].cost.reclaim_ps;
+            }
+        }
+        self.probes.add("serve.teardown.reclaim_ps", teardown_ps);
+        // Way-utilization gauges: the partition the scheduler hands out.
+        self.probes.set_gauge(
+            "serve.ways.compute",
+            self.cfg.partition.compute_ways() as f64,
+        );
+        self.probes.set_gauge(
+            "serve.ways.scratchpad",
+            self.cfg.partition.scratchpad_ways() as f64,
+        );
+        self.probes
+            .set_gauge("serve.ways.cache", self.cfg.partition.cache_ways() as f64);
+        self.probes
+            .set_gauge("serve.slices", self.cfg.slices as f64);
+
+        let mut completions = self.completions.clone();
+        completions
+            .sort_by(|a, b| (a.done_ps, &a.tenant, a.seq).cmp(&(b.done_ps, &b.tenant, b.seq)));
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|(name, ts)| {
+                let hist = self
+                    .probes
+                    .histogram(&format!("serve.tenant.{name}.latency_ps"));
+                let q = |p: f64| hist.and_then(|h| h.quantile(p)).unwrap_or(0.0);
+                TenantSummary {
+                    name: name.clone(),
+                    weight: ts.weight,
+                    submitted: self
+                        .probes
+                        .counter(&format!("serve.tenant.{name}.submitted")),
+                    completed: self
+                        .probes
+                        .counter(&format!("serve.tenant.{name}.completed")),
+                    shed: self.probes.counter(&format!("serve.tenant.{name}.shed")),
+                    p50_ps: q(0.5),
+                    p95_ps: q(0.95),
+                    p99_ps: q(0.99),
+                    mean_ps: hist.map_or(0.0, freac_probe::Histogram::mean),
+                }
+            })
+            .collect();
+
+        freac_probe::debug_check(&self.probes);
+        freac_probe::global::merge(&self.probes);
+
+        ServeReport {
+            completions,
+            sheds: self.sheds.clone(),
+            dispatches: self.dispatches.clone(),
+            span_ps,
+            teardown_ps,
+            probes: self.probes.clone(),
+            tenants,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::reference_hash;
+    use freac_netlist::builder::CircuitBuilder;
+
+    fn tiny_circuit(name: &str) -> Netlist {
+        let mut b = CircuitBuilder::new(name);
+        let a = b.word_input("a", 8);
+        let x = b.word_input("x", 8);
+        let s = b.add(&a, &x);
+        b.word_output("s", &s);
+        b.finish().unwrap()
+    }
+
+    fn profile() -> RequestProfile {
+        RequestProfile {
+            cycles_per_item: 2,
+            read_words: 4,
+            write_words: 2,
+        }
+    }
+
+    fn server_with(cfg: ServeConfig) -> Server {
+        let mut s = Server::new(cfg).unwrap();
+        s.register_kernel("k", &tiny_circuit("k"), profile())
+            .unwrap();
+        s.add_tenant("a", 1).unwrap();
+        s.add_tenant("b", 1).unwrap();
+        s
+    }
+
+    #[test]
+    fn single_request_pays_setup_plus_exec() {
+        let mut s = server_with(ServeConfig::default());
+        s.submit(Request::new("a", 0, "k", 0, 1)).unwrap();
+        let r = s.run_to_completion().unwrap();
+        assert_eq!(r.completions.len(), 1);
+        let c = &r.completions[0];
+        assert!(c.reconfig_ps > 0, "first claim reconfigures");
+        assert!(c.exec_ps > 0);
+        assert_eq!(
+            c.latency_ps(),
+            c.queue_wait_ps() + c.reconfig_ps + c.exec_ps
+        );
+        assert_eq!(r.span_ps, c.done_ps);
+        assert!(r.teardown_ps > 0, "resident kernel pays way reclaim");
+    }
+
+    #[test]
+    fn batching_coalesces_simultaneous_requests() {
+        let mut s = server_with(ServeConfig {
+            slices: 1,
+            ..ServeConfig::default()
+        });
+        for i in 0..8 {
+            s.submit(Request::new("a", i, "k", 0, i)).unwrap();
+        }
+        let r = s.run_to_completion().unwrap();
+        assert_eq!(r.completions.len(), 8);
+        assert_eq!(r.dispatches.len(), 1, "one coalesced batch");
+        assert_eq!(r.dispatches[0].lanes, 8);
+        assert_eq!(r.probes.counter("serve.batches.coalesced"), 1);
+    }
+
+    #[test]
+    fn batching_off_serves_single_lane_and_is_slower() {
+        let mut batched = server_with(ServeConfig {
+            slices: 1,
+            ..ServeConfig::default()
+        });
+        let mut single = server_with(ServeConfig {
+            slices: 1,
+            batching: false,
+            ..ServeConfig::default()
+        });
+        for i in 0..8 {
+            batched.submit(Request::new("a", i, "k", 0, i)).unwrap();
+            single.submit(Request::new("a", i, "k", 0, i)).unwrap();
+        }
+        let rb = batched.run_to_completion().unwrap();
+        let rs = single.run_to_completion().unwrap();
+        assert_eq!(rs.dispatches.len(), 8);
+        assert!(rs.dispatches.iter().all(|d| d.lanes == 1));
+        assert!(
+            rb.span_ps < rs.span_ps,
+            "batched {} !< single-lane {}",
+            rb.span_ps,
+            rs.span_ps
+        );
+        // Same functional results either way.
+        let hb: Vec<u64> = rb.completions.iter().map(|c| c.output_hash).collect();
+        let hs: Vec<u64> = rs.completions.iter().map(|c| c.output_hash).collect();
+        assert_eq!(hb, hs);
+    }
+
+    #[test]
+    fn output_hashes_match_the_reference_evaluator() {
+        let mut s = server_with(ServeConfig::default());
+        let mut ex = Request::new("b", 0, "k", 0, 99);
+        ex.exclusive = true;
+        s.submit(Request::new("a", 0, "k", 0, 7)).unwrap();
+        s.submit(ex).unwrap();
+        let r = s.run_to_completion().unwrap();
+        let net = s.kernel_netlist("k").unwrap();
+        let cycles = s.kernel_func_cycles("k").unwrap();
+        for c in &r.completions {
+            assert_eq!(
+                c.output_hash,
+                reference_hash(net, c.seed, cycles).unwrap(),
+                "completion ({}, {}) diverged",
+                c.tenant,
+                c.seq
+            );
+        }
+    }
+
+    #[test]
+    fn exclusive_requests_ride_alone() {
+        let mut s = server_with(ServeConfig {
+            slices: 1,
+            ..ServeConfig::default()
+        });
+        let mut ex = Request::new("a", 0, "k", 0, 1);
+        ex.exclusive = true;
+        s.submit(ex).unwrap();
+        s.submit(Request::new("a", 1, "k", 0, 2)).unwrap();
+        s.submit(Request::new("a", 2, "k", 0, 3)).unwrap();
+        let r = s.run_to_completion().unwrap();
+        assert_eq!(r.dispatches.len(), 2);
+        assert_eq!(r.probes.counter("serve.batches.single_lane"), 1);
+        assert_eq!(r.probes.counter("serve.batches.coalesced"), 1);
+    }
+
+    #[test]
+    fn full_queue_sheds_per_policy() {
+        let mut reject = server_with(ServeConfig {
+            queue_depth: 2,
+            slices: 1,
+            ..ServeConfig::default()
+        });
+        for i in 0..4 {
+            reject.submit(Request::new("a", i, "k", 0, i)).unwrap();
+        }
+        let r = reject.run_to_completion().unwrap();
+        assert_eq!(r.sheds.len(), 2);
+        assert!(r.sheds.iter().all(|s| s.reason == ShedReason::QueueFull));
+        // Newest arrivals bounced; the two oldest completed.
+        let done: Vec<u64> = r.completions.iter().map(|c| c.seq).collect();
+        assert_eq!(done, vec![0, 1]);
+
+        let mut drop_oldest = server_with(ServeConfig {
+            queue_depth: 2,
+            slices: 1,
+            shed: ShedPolicy::DropOldest,
+            ..ServeConfig::default()
+        });
+        for i in 0..4 {
+            drop_oldest.submit(Request::new("a", i, "k", 0, i)).unwrap();
+        }
+        let r = drop_oldest.run_to_completion().unwrap();
+        assert_eq!(r.sheds.len(), 2);
+        assert!(r.sheds.iter().all(|s| s.reason == ShedReason::Displaced));
+        let done: Vec<u64> = r.completions.iter().map(|c| c.seq).collect();
+        assert_eq!(done, vec![2, 3]);
+        assert_eq!(r.probes.counter("serve.requests.shed"), 2);
+        assert_eq!(r.probes.counter("serve.requests.completed"), 2);
+        assert_eq!(r.probes.counter("serve.requests.submitted"), 4);
+    }
+
+    #[test]
+    fn resident_kernel_skips_reconfiguration() {
+        let mut s = server_with(ServeConfig {
+            slices: 1,
+            max_lanes: 1,
+            ..ServeConfig::default()
+        });
+        s.submit(Request::new("a", 0, "k", 0, 1)).unwrap();
+        s.submit(Request::new("a", 1, "k", 0, 2)).unwrap();
+        let r = s.run_to_completion().unwrap();
+        assert_eq!(r.dispatches.len(), 2);
+        assert!(r.dispatches[0].reconfigured);
+        assert!(!r.dispatches[1].reconfigured);
+        assert_eq!(r.completions[1].reconfig_ps, 0);
+        assert_eq!(r.probes.counter("serve.reconfigs"), 1);
+    }
+
+    #[test]
+    fn schedule_is_independent_of_submission_order() {
+        let reqs: Vec<Request> = (0..12)
+            .map(|i| Request::new(if i % 2 == 0 { "a" } else { "b" }, i / 2, "k", 1_000 * i, i))
+            .collect();
+        let run = |order: Vec<Request>| {
+            let mut s = server_with(ServeConfig::default());
+            for r in order {
+                s.submit(r).unwrap();
+            }
+            s.run_to_completion().unwrap()
+        };
+        let fwd = run(reqs.clone());
+        let mut rev = reqs;
+        rev.reverse();
+        let bwd = run(rev);
+        assert_eq!(fwd.dispatches, bwd.dispatches);
+        assert_eq!(fwd.completions, bwd.completions);
+        assert_eq!(
+            freac_probe::to_counters_json(&fwd.probes),
+            freac_probe::to_counters_json(&bwd.probes)
+        );
+    }
+
+    #[test]
+    fn closed_loop_hook_keeps_the_pipeline_fed() {
+        let mut s = server_with(ServeConfig {
+            slices: 1,
+            max_lanes: 1,
+            ..ServeConfig::default()
+        });
+        s.submit(Request::new("a", 0, "k", 0, 0)).unwrap();
+        let mut issued = 1u64;
+        let r = s
+            .run(|o| {
+                if let Outcome::Completed(c) = o {
+                    if issued < 5 {
+                        let req = Request::new("a", issued, "k", c.done_ps + 100, issued);
+                        issued += 1;
+                        return vec![req];
+                    }
+                }
+                Vec::new()
+            })
+            .unwrap();
+        assert_eq!(r.completions.len(), 5);
+        // Each follow-up arrives after its predecessor completes.
+        for w in r.completions.windows(2) {
+            assert!(w[1].arrival_ps > w[0].done_ps);
+        }
+    }
+
+    #[test]
+    fn weighted_fair_respects_weights_under_contention() {
+        let mut s = Server::new(ServeConfig {
+            slices: 1,
+            max_lanes: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        s.register_kernel("k", &tiny_circuit("k"), profile())
+            .unwrap();
+        s.add_tenant("heavy", 4).unwrap();
+        s.add_tenant("light", 1).unwrap();
+        for i in 0..10 {
+            s.submit(Request::new("heavy", i, "k", 0, i)).unwrap();
+            s.submit(Request::new("light", i, "k", 0, i + 100)).unwrap();
+        }
+        let r = s.run_to_completion().unwrap();
+        // In the first half of the schedule the heavy tenant gets more
+        // service than the light one.
+        let first_half = &r.completions[..10];
+        let heavy = first_half.iter().filter(|c| c.tenant == "heavy").count();
+        let light = first_half.iter().filter(|c| c.tenant == "light").count();
+        assert!(heavy > light, "heavy {heavy} !> light {light}");
+        // But nobody starves.
+        assert!(light >= 1);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_submissions_are_rejected() {
+        let mut s = server_with(ServeConfig::default());
+        s.submit(Request::new("a", 0, "k", 0, 1)).unwrap();
+        assert!(matches!(
+            s.submit(Request::new("a", 0, "k", 5, 2)),
+            Err(ServeError::DuplicateRequest { .. })
+        ));
+        assert!(matches!(
+            s.submit(Request::new("nobody", 0, "k", 0, 1)),
+            Err(ServeError::UnknownTenant(_))
+        ));
+        assert!(matches!(
+            s.submit(Request::new("a", 1, "mystery", 0, 1)),
+            Err(ServeError::UnknownKernel(_))
+        ));
+    }
+
+    #[test]
+    fn repeated_runs_keep_counter_laws() {
+        let mut s = server_with(ServeConfig::default());
+        s.submit(Request::new("a", 0, "k", 0, 1)).unwrap();
+        let r1 = s.run_to_completion().unwrap();
+        freac_probe::assert_ok(&r1.probes);
+        s.submit(Request::new("a", 1, "k", r1.span_ps + 1, 2))
+            .unwrap();
+        let r2 = s.run_to_completion().unwrap();
+        // Slice busy/span deltas stay additive, so laws hold after both runs.
+        freac_probe::assert_ok(&r2.probes);
+        assert_eq!(r2.completions.len(), 2);
+    }
+
+    #[test]
+    fn deadline_outcomes_are_reported() {
+        let mut s = server_with(ServeConfig {
+            policy: SchedPolicy::DeadlineAware,
+            ..ServeConfig::default()
+        });
+        let mut tight = Request::new("a", 0, "k", 0, 1);
+        tight.deadline_ps = Some(1);
+        let mut loose = Request::new("b", 0, "k", 0, 2);
+        loose.deadline_ps = Some(Time::MAX);
+        s.submit(tight).unwrap();
+        s.submit(loose).unwrap();
+        let r = s.run_to_completion().unwrap();
+        assert_eq!(r.probes.counter("serve.deadlines.missed"), 1);
+        assert_eq!(r.probes.counter("serve.deadlines.met"), 1);
+    }
+}

@@ -15,6 +15,7 @@
 //! * [`baselines`] — CPU / FPGA / embedded-core comparison models
 //! * [`experiments`] — per-figure/table evaluation harness
 //! * [`probe`] — observability: counters, tracing, invariant checks
+//! * [`serve`] — multi-tenant request serving: admission, batching, slice scheduling
 
 pub use freac_baselines as baselines;
 pub use freac_cache as cache;
@@ -26,4 +27,5 @@ pub use freac_kernels as kernels;
 pub use freac_netlist as netlist;
 pub use freac_power as power;
 pub use freac_probe as probe;
+pub use freac_serve as serve;
 pub use freac_sim as sim;

@@ -1,0 +1,156 @@
+//! Integration properties of the serving subsystem (ISSUE acceptance
+//! gates): batching beats single-lane on the four-tenant mixed workload,
+//! the load generator is worker-count independent, and merged counters are
+//! identical across parallelism.
+
+use freac::kernels::KernelId;
+use freac::serve::{
+    open_loop_trace, Request, SchedPolicy, ServeConfig, ServeReport, Server, TenantSpec,
+};
+
+const SEED: u64 = 0x7e57_05e1;
+
+fn mixed_specs() -> Vec<TenantSpec> {
+    let mut alpha = TenantSpec::new("alpha", "aes", 32);
+    alpha.weight = 4;
+    alpha.mean_gap_ps = 2_000;
+    let mut beta = TenantSpec::new("beta", "gemm", 32);
+    beta.weight = 2;
+    beta.mean_gap_ps = 3_000;
+    let mut gamma = TenantSpec::new("gamma", "aes", 32);
+    gamma.mix = vec![("aes".to_owned(), 1), ("gemm".to_owned(), 1)];
+    gamma.mean_gap_ps = 2_500;
+    let mut delta = TenantSpec::new("delta", "gemm", 32);
+    delta.mix = vec![("aes".to_owned(), 2), ("gemm".to_owned(), 1)];
+    delta.mean_gap_ps = 4_000;
+    vec![alpha, beta, gamma, delta]
+}
+
+fn serve_mixed(batching: bool, workers: usize) -> ServeReport {
+    let mut server = Server::new(ServeConfig {
+        batching,
+        policy: SchedPolicy::WeightedFair,
+        ..ServeConfig::default()
+    })
+    .expect("config is valid");
+    server
+        .register_paper_kernel(KernelId::Aes)
+        .expect("aes maps");
+    server
+        .register_paper_kernel(KernelId::Gemm)
+        .expect("gemm maps");
+    let specs = mixed_specs();
+    for s in &specs {
+        server.add_tenant(&s.name, s.weight).expect("unique tenant");
+    }
+    for req in open_loop_trace(&specs, SEED, workers) {
+        server.submit(req).expect("trace request is valid");
+    }
+    server.run_to_completion().expect("serving drains")
+}
+
+#[test]
+fn batching_beats_single_lane_on_the_mixed_workload() {
+    let batched = serve_mixed(true, 1);
+    let single = serve_mixed(false, 1);
+    assert_eq!(
+        batched.completions.len(),
+        single.completions.len(),
+        "both modes must complete the same requests"
+    );
+    assert!(
+        batched.span_ps < single.span_ps,
+        "batched span {} must be strictly smaller than single-lane {}",
+        batched.span_ps,
+        single.span_ps
+    );
+    assert!(
+        batched.throughput_rps() > single.throughput_rps(),
+        "batched throughput must be strictly higher"
+    );
+    // Same functional results in both modes, in the same canonical order.
+    let hb: Vec<(String, u64, u64)> = batched
+        .completions
+        .iter()
+        .map(|c| (c.tenant.clone(), c.seq, c.output_hash))
+        .collect();
+    let mut hs: Vec<(String, u64, u64)> = single
+        .completions
+        .iter()
+        .map(|c| (c.tenant.clone(), c.seq, c.output_hash))
+        .collect();
+    let mut hb_sorted = hb.clone();
+    hb_sorted.sort();
+    hs.sort();
+    assert_eq!(hb_sorted, hs, "output hashes diverged between modes");
+}
+
+#[test]
+fn load_generation_is_worker_count_independent() {
+    let specs = mixed_specs();
+    let one = open_loop_trace(&specs, SEED, 1);
+    let many = open_loop_trace(&specs, SEED, 4);
+    assert_eq!(one, many, "trace depends on worker count");
+}
+
+#[test]
+fn merged_counters_are_identical_across_worker_counts() {
+    let r1 = serve_mixed(true, 1);
+    let r4 = serve_mixed(true, 4);
+    assert_eq!(
+        freac::probe::to_counters_json(&r1.probes),
+        freac::probe::to_counters_json(&r4.probes),
+        "serving counters depend on trace-generation parallelism"
+    );
+    assert_eq!(r1.completions, r4.completions);
+    assert_eq!(r1.dispatches, r4.dispatches);
+}
+
+#[test]
+fn tenant_quantiles_are_ordered() {
+    let r = serve_mixed(true, 1);
+    for t in &r.tenants {
+        assert!(t.completed > 0, "tenant {} completed nothing", t.name);
+        assert!(
+            t.p50_ps <= t.p95_ps && t.p95_ps <= t.p99_ps,
+            "tenant {} quantiles out of order: p50 {} p95 {} p99 {}",
+            t.name,
+            t.p50_ps,
+            t.p95_ps,
+            t.p99_ps
+        );
+    }
+}
+
+#[test]
+fn exclusive_requests_are_never_coalesced() {
+    let mut server = Server::new(ServeConfig::default()).expect("config");
+    server
+        .register_paper_kernel(KernelId::Aes)
+        .expect("aes maps");
+    server.add_tenant("t", 1).expect("tenant");
+    for i in 0..12 {
+        let mut r = Request::new("t", i, "aes", 0, i);
+        r.exclusive = i % 3 == 0;
+        server.submit(r).expect("submit");
+    }
+    let report = server.run_to_completion().expect("drains");
+    for d in &report.dispatches {
+        let any_exclusive = report
+            .completions
+            .iter()
+            .any(|c| c.batch_id == d.batch_id && c.lanes == 1);
+        if d.lanes > 1 {
+            assert!(
+                !any_exclusive,
+                "exclusive request coalesced into batch {}",
+                d.batch_id
+            );
+        }
+    }
+    // 4 exclusive requests → at least 4 single-lane dispatches.
+    assert!(
+        report.probes.counter("serve.batches.single_lane") >= 4,
+        "exclusive requests must ride alone"
+    );
+}
