@@ -7,7 +7,8 @@
 //! * folded single-cycle: step-interpreting `FoldedExecutor` vs the
 //!   pre-lowered `FoldPlanExecutor` micro-op stream;
 //! * per-vector netlist throughput: the reference `Evaluator` one vector
-//!   at a time vs the 64-wide bit-sliced `run_batch_cycle`.
+//!   at a time vs the bit-sliced `run_batch_cycle` at every sweep width
+//!   (64, 256, and 512 lanes — the `w4`/`w8` multi-word arms).
 //!
 //! Each arm is checked for output equality before any timing, so a
 //! divergence fails the bench instead of producing a fast wrong number.
@@ -19,7 +20,7 @@ use freac_fold::{compile_fold, schedule_fold, FoldConstraints, FoldedExecutor, L
 use freac_kernels::KernelId;
 use freac_netlist::eval::Evaluator;
 use freac_netlist::techmap::{tech_map, TechMapOptions};
-use freac_netlist::{compile, Netlist, NodeKind, Value, BATCH_LANES};
+use freac_netlist::{compile, Netlist, NodeKind, Value, BATCH_LANES, MAX_BATCH_LANES};
 
 /// One deterministic input vector per primary input, respecting kinds.
 fn inputs_for(netlist: &Netlist, seed: u32) -> Vec<Value> {
@@ -41,6 +42,10 @@ struct KernelSpeedups {
     label: &'static str,
     fold: f64,
     batch: f64,
+    /// Per-vector speedup of the 256-lane (4-word) sweep over the evaluator.
+    batch_w4: f64,
+    /// Per-vector speedup of the 512-lane (8-word) sweep over the evaluator.
+    batch_w8: f64,
 }
 
 fn bench_kernel(id: KernelId, label: &'static str) -> KernelSpeedups {
@@ -128,10 +133,60 @@ fn bench_kernel(id: KernelId, label: &'static str) -> KernelSpeedups {
         batch_out.len()
     });
 
+    // Multi-word arms: the same workload at 256 and 512 lanes. Each arm
+    // is gated on reference equality of every lane before timing, and
+    // must beat the 64-lane sweep per vector (the whole point of the
+    // wider state planes) outside smoke mode.
+    let wide = |words: usize| -> BenchResult {
+        let width = words * BATCH_LANES;
+        let wide_lanes: Vec<Vec<Value>> = (0..width as u32)
+            .map(|l| inputs_for(&mapped, 0xc0ff_ee01 ^ l.wrapping_mul(0x0101_0101)))
+            .collect();
+        {
+            let mut state = plan.new_batch_state_for(width);
+            let mut out = Vec::new();
+            let mut refs: Vec<Evaluator> =
+                wide_lanes.iter().map(|_| Evaluator::new(&mapped)).collect();
+            plan.run_batch_cycle_any(&mut state, &wide_lanes, &mut out)
+                .expect("wide batch cycle");
+            for (l, reference) in refs.iter_mut().enumerate() {
+                let expect = reference
+                    .run_cycle(&wide_lanes[l])
+                    .expect("reference cycle");
+                assert_eq!(out[l], expect, "{label}: w{words} lane {l} diverged");
+            }
+        }
+        let mut state = plan.new_batch_state_for(width);
+        let mut out = Vec::new();
+        bench::bench_function(&format!("netlist/{label}/batch w{words}"), 100, || {
+            plan.run_batch_cycle_any(&mut state, &wide_lanes, &mut out)
+                .expect("wide batch cycle");
+            out.len()
+        })
+    };
+    let batch_w4 = wide(4);
+    let batch_w8 = wide(MAX_BATCH_LANES / BATCH_LANES);
+    if !bench::smoke_mode() {
+        for (r, width) in [(&batch_w4, 4 * BATCH_LANES), (&batch_w8, MAX_BATCH_LANES)] {
+            let per_vec = r.mean_ns / width as f64;
+            let narrow_per_vec = batch.mean_ns / BATCH_LANES as f64;
+            assert!(
+                per_vec < narrow_per_vec,
+                "{label}: {width} lanes ran {per_vec:.1} ns/vector, \
+                 not faster than the 64-lane sweep's {narrow_per_vec:.1}"
+            );
+        }
+    }
+
+    let per_vec_speedup = |wide: &BenchResult, width: usize| {
+        (evaluator.mean_ns / BATCH_LANES as f64) / (wide.mean_ns / width as f64)
+    };
     let speedups = KernelSpeedups {
         label,
         fold: compiled_fold.speedup_over(&interp_fold),
         batch: batch.speedup_over(&evaluator),
+        batch_w4: per_vec_speedup(&batch_w4, 4 * BATCH_LANES),
+        batch_w8: per_vec_speedup(&batch_w8, MAX_BATCH_LANES),
     };
     report(
         label,
@@ -154,13 +209,16 @@ fn report(
 ) {
     println!(
         "{label}: compiled fold {:.1} ns vs interpreted {:.1} ns -> {:.2}x; \
-         batch {:.1} ns/vector vs evaluator {:.1} ns/vector -> {:.2}x per vector",
+         batch {:.1} ns/vector vs evaluator {:.1} ns/vector -> {:.2}x per vector \
+         (w4 {:.2}x, w8 {:.2}x)",
         compiled_fold.mean_ns,
         interp_fold.mean_ns,
         s.fold,
         batch.mean_ns / BATCH_LANES as f64,
         evaluator.mean_ns / BATCH_LANES as f64,
-        s.batch
+        s.batch,
+        s.batch_w4,
+        s.batch_w8
     );
 }
 
@@ -174,10 +232,12 @@ fn main() {
     body.push_str(&format!("  \"smoke\": {},\n", bench::smoke_mode()));
     for (i, r) in results.iter().enumerate() {
         body.push_str(&format!(
-            "  \"{}\": {{ \"fold_compiled_vs_interpreted\": {:.2}, \"batch_per_vector_vs_evaluator\": {:.2} }}{}\n",
+            "  \"{}\": {{ \"fold_compiled_vs_interpreted\": {:.2}, \"batch_per_vector_vs_evaluator\": {:.2}, \"batch_w4_per_vector_vs_evaluator\": {:.2}, \"batch_w8_per_vector_vs_evaluator\": {:.2} }}{}\n",
             r.label,
             r.fold,
             r.batch,
+            r.batch_w4,
+            r.batch_w8,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }

@@ -1,10 +1,12 @@
 //! Serving-path benchmark: batched coalescing vs single-lane dispatch.
 //!
-//! Replays one pinned four-tenant AES/GEMM open-loop trace through two
-//! servers that differ only in `batching`, then records:
+//! Replays one pinned four-tenant AES/GEMM open-loop trace through three
+//! servers that differ only in coalescing (single-lane, 64-lane batched,
+//! and 256-lane wide-batched), then records:
 //!
 //! * `BENCH_serve_throughput.json` — completions, simulated span,
-//!   request throughput, and the batched-over-single-lane speedup;
+//!   request throughput, and the batched/wide-batched speedups over
+//!   single-lane dispatch;
 //! * `BENCH_serve_p99.json` — per-tenant p50/p95/p99/mean latency under
 //!   the batched configuration.
 //!
@@ -43,11 +45,20 @@ fn specs() -> Vec<TenantSpec> {
 
 fn run_arm(
     batching: bool,
+    max_lanes: usize,
     accels: &[(KernelId, Arc<Accelerator>)],
     specs: &[TenantSpec],
 ) -> ServeReport {
     let mut server = Server::new(ServeConfig {
         batching,
+        max_lanes,
+        // One slice, deep queues: the pinned trace backs up instead of
+        // shedding, and the two kernels contend for one fabric, so every
+        // extra dispatch is an extra reconfiguration swap. That isolates
+        // what lane width buys (amortized reconfig + scheduling) from
+        // slice-level parallelism, which a wider batch cannot add.
+        slices: 1,
+        queue_depth: 512,
         policy: SchedPolicy::WeightedFair,
         ..ServeConfig::default()
     })
@@ -90,8 +101,9 @@ fn main() {
         .collect();
     let specs = specs();
 
-    let batched = run_arm(true, &accels, &specs);
-    let single = run_arm(false, &accels, &specs);
+    let batched = run_arm(true, 64, &accels, &specs);
+    let wide = run_arm(true, 256, &accels, &specs);
+    let single = run_arm(false, 64, &accels, &specs);
 
     assert_eq!(
         batched.completions.len(),
@@ -104,10 +116,24 @@ fn main() {
         batched.span_ps,
         single.span_ps
     );
+    // The 4-word coalescer must never schedule worse than one-word
+    // batching: a wider dispatch amortizes at least as much
+    // reconfiguration per request.
+    assert!(
+        wide.span_ps <= batched.span_ps,
+        "wide-batched span {} must not lose to 64-lane span {}",
+        wide.span_ps,
+        batched.span_ps
+    );
 
     let speedup = single.span_ps as f64 / batched.span_ps as f64;
+    let wide_speedup = single.span_ps as f64 / wide.span_ps as f64;
     let mut throughput = String::from("{\n");
-    for (label, r) in [("batched", &batched), ("single_lane", &single)] {
+    for (label, r) in [
+        ("batched", &batched),
+        ("batched_w4", &wide),
+        ("single_lane", &single),
+    ] {
         let _ = writeln!(
             throughput,
             "  \"{label}\": {{ \"completed\": {}, \"shed\": {}, \"dispatches\": {}, \"span_ps\": {}, \"throughput_rps\": {:.1} }},",
@@ -118,10 +144,16 @@ fn main() {
             r.throughput_rps()
         );
     }
-    let _ = writeln!(throughput, "  \"batched_over_single_lane\": {speedup:.2}");
+    let _ = writeln!(throughput, "  \"batched_over_single_lane\": {speedup:.2},");
+    let _ = writeln!(
+        throughput,
+        "  \"batched_w4_over_single_lane\": {wide_speedup:.2}"
+    );
     throughput.push('}');
     bench::write_bench_json("serve_throughput", &throughput);
-    println!("serve throughput: batched {speedup:.2}x over single-lane");
+    println!(
+        "serve throughput: batched {speedup:.2}x, wide-batched {wide_speedup:.2}x over single-lane"
+    );
 
     let mut p99 = String::from("{\n");
     let last = batched.tenants.len() - 1;

@@ -216,10 +216,11 @@ impl<'a> Evaluator<'a> {
 /// of input vectors (used to verify technology mapping preserves semantics).
 ///
 /// Both netlists are compiled to [execution plans](crate::plan::ExecPlan)
-/// and, when they carry no sequential state, checked 64 input vectors per
-/// bit-sliced batch pass. Sequential netlists fall back to single-vector
-/// compiled execution with state carried across vectors — the original
-/// evaluator semantics.
+/// and, when they carry no sequential state, checked up to
+/// [`MAX_BATCH_LANES`](crate::plan::MAX_BATCH_LANES) input vectors per
+/// bit-sliced batch pass (512 with the 8-word sweep). Sequential netlists
+/// fall back to single-vector compiled execution with state carried across
+/// vectors — the original evaluator semantics.
 ///
 /// # Errors
 ///
@@ -233,17 +234,18 @@ pub fn equivalent_on(
     let pa = crate::plan::compile(a)?;
     let pb = crate::plan::compile(b)?;
     if pa.is_combinational() && pb.is_combinational() {
-        // Stateless circuits: vectors are independent, so pack them 64 to a
-        // batch pass. Repeating a combinational cycle cannot change its
-        // outputs, but run all requested cycles anyway to keep the error
-        // behaviour (and any future sequential drift) identical.
-        let mut sa = pa.new_batch_state();
-        let mut sb = pb.new_batch_state();
+        // Stateless circuits: vectors are independent, so pack them into
+        // the widest bit-sliced batch pass. Repeating a combinational
+        // cycle cannot change its outputs, but run all requested cycles
+        // anyway to keep the error behaviour (and any future sequential
+        // drift) identical.
+        let mut sa = pa.new_batch_state_for(crate::plan::MAX_BATCH_LANES);
+        let mut sb = pb.new_batch_state_for(crate::plan::MAX_BATCH_LANES);
         let (mut oa, mut ob) = (Vec::new(), Vec::new());
-        for chunk in input_vectors.chunks(crate::plan::BATCH_LANES) {
+        for chunk in input_vectors.chunks(crate::plan::MAX_BATCH_LANES) {
             for _ in 0..cycles_per_vector {
-                pa.run_batch_cycle(&mut sa, chunk, &mut oa)?;
-                pb.run_batch_cycle(&mut sb, chunk, &mut ob)?;
+                pa.run_batch_cycle_any(&mut sa, chunk, &mut oa)?;
+                pb.run_batch_cycle_any(&mut sb, chunk, &mut ob)?;
                 if oa != ob {
                     return Ok(false);
                 }

@@ -52,6 +52,9 @@ pub mod verilog;
 
 pub use error::NetlistError;
 pub use graph::{Netlist, Node, NodeId, NodeKind, SignalType, Value};
-pub use plan::{compile, BatchState, ExecPlan, PlanState, BATCH_LANES};
+pub use plan::{
+    compile, AnyBatchState, BatchState, ExecPlan, PlanState, BATCH_LANES, BATCH_WIDTHS,
+    MAX_BATCH_LANES, MAX_BATCH_WORDS,
+};
 pub use stats::NetlistStats;
 pub use truth::TruthTable;

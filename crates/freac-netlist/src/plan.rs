@@ -17,12 +17,17 @@
 //!   a branch-light loop executes with zero per-cycle allocation
 //!   ([`ExecPlan::run_cycle_into`]).
 //!
-//! On top of the packed bit plane the plan also evaluates 64 independent
-//! input vectors per pass ([`ExecPlan::run_batch_cycle`]): bit-typed logic
-//! runs *bit-sliced* — lane `l` of every bit slot's `u64` belongs to input
-//! vector `l`, so one AND/OR pass over a LUT's minterms evaluates all 64
-//! lanes at once — while word-typed ops iterate the lanes of a widened
-//! word plane.
+//! On top of the packed bit plane the plan also evaluates batches of
+//! independent input vectors per pass: bit-typed logic runs *bit-sliced* —
+//! lane `l` of every bit slot belongs to input vector `l`, so one AND/OR
+//! pass over a LUT's minterms evaluates a whole chunk of lanes at once —
+//! while word-typed ops iterate the lanes of a widened word plane. The
+//! chunk is a `[u64; N]` array ([`BatchState`] is generic over `N`), so
+//! the same plan sweeps 64 lanes per word (`N = 1`,
+//! [`ExecPlan::run_batch_cycle`]), or 256/512 lanes (`N = 4` / `N = 8`,
+//! [`ExecPlan::run_wide_batch_cycle`]) with straight-line inner loops the
+//! autovectorizer turns into SIMD. Callers that only learn the batch size
+//! at runtime dispatch through [`AnyBatchState`].
 //!
 //! Plan compilation is shared with `freac-fold`: [`PlanBuilder`] exposes
 //! the slot assignment and op emission primitives, and the folding crate
@@ -30,12 +35,26 @@
 //! time) while [`compile`] drives them in topological order to reproduce
 //! the reference evaluator.
 
+use std::collections::HashMap;
+
 use crate::error::NetlistError;
 use crate::graph::{Netlist, NodeId, NodeKind, SignalType, Value};
 use crate::level::level_graph;
 
-/// Number of independent input vectors one batch pass evaluates.
+/// Number of independent input vectors one single-word (`N = 1`) batch
+/// pass evaluates: the lane count of one `u64` bit-slice.
 pub const BATCH_LANES: usize = 64;
+
+/// Widest supported batch chunk, in `u64` words per bit slot.
+pub const MAX_BATCH_WORDS: usize = 8;
+
+/// Widest supported batch, in lanes (512 = 8 × 64).
+pub const MAX_BATCH_LANES: usize = MAX_BATCH_WORDS * BATCH_LANES;
+
+/// The supported batch widths, in lanes, narrowest first. Each is a
+/// monomorphized `[u64; N]` sweep (`N` ∈ {1, 4, 8}); [`AnyBatchState`]
+/// picks the narrowest width that fits a runtime lane count.
+pub const BATCH_WIDTHS: [usize; 3] = [BATCH_LANES, 4 * BATCH_LANES, MAX_BATCH_LANES];
 
 /// Where a node's runtime value lives: a dense index into the packed bit
 /// plane or into the word plane.
@@ -193,24 +212,96 @@ impl PlanState {
     }
 }
 
-/// Mutable 64-lane batch state: lane `l` of every slot belongs to input
-/// vector `l`, each lane an independent simulation from power-on state.
+/// Mutable `N * 64`-lane batch state: lane `l` of every slot belongs to
+/// input vector `l`, each lane an independent simulation from power-on
+/// state. `N` is the bit-slice width in `u64` words — `N = 1` (the
+/// default) is the classic 64-lane state, `N = 4` / `N = 8` widen one
+/// sweep to 256 / 512 lanes.
 #[derive(Debug, Clone)]
-pub struct BatchState {
-    /// One `u64` per bit slot; bit `l` is lane `l`.
-    bits: Vec<u64>,
-    /// Lane-major word plane: word slot `s` occupies `s * 64 .. s * 64 + 64`.
+pub struct BatchState<const N: usize = 1> {
+    /// One `[u64; N]` chunk per bit slot; bit `l % 64` of word `l / 64`
+    /// is lane `l`.
+    bits: Vec<[u64; N]>,
+    /// Lane-major word plane: word slot `s` occupies
+    /// `s * N * 64 .. (s + 1) * N * 64`.
     words: Vec<u32>,
-    bit_stage: Vec<u64>,
+    bit_stage: Vec<[u64; N]>,
     word_stage: Vec<u32>,
     cycles: u64,
 }
 
-impl BatchState {
+impl<const N: usize> BatchState<N> {
     /// Original clock cycles executed so far (per lane; lanes advance in
     /// lock-step).
     pub fn cycles(&self) -> u64 {
         self.cycles
+    }
+
+    /// Lanes one pass over this state evaluates (`N * 64`).
+    pub const fn lane_capacity() -> usize {
+        N * BATCH_LANES
+    }
+}
+
+/// Runtime-width batch state: wraps one of the supported monomorphized
+/// widths ([`BATCH_WIDTHS`]) so callers that only learn the batch size at
+/// runtime — the serve coalescer, [`equivalent_on`](crate::eval::equivalent_on)
+/// — still execute the straight-line `[u64; N]` loops. Build with
+/// [`ExecPlan::new_batch_state_for`], run with
+/// [`ExecPlan::run_batch_cycle_any`].
+#[derive(Debug, Clone)]
+pub enum AnyBatchState {
+    /// 64 lanes (one `u64` per bit slot).
+    W1(BatchState<1>),
+    /// 256 lanes.
+    W4(BatchState<4>),
+    /// 512 lanes.
+    W8(BatchState<8>),
+}
+
+impl AnyBatchState {
+    /// Lanes one pass over this state evaluates.
+    pub fn lane_capacity(&self) -> usize {
+        match self {
+            AnyBatchState::W1(_) => BATCH_LANES,
+            AnyBatchState::W4(_) => 4 * BATCH_LANES,
+            AnyBatchState::W8(_) => MAX_BATCH_LANES,
+        }
+    }
+
+    /// Original clock cycles executed so far.
+    pub fn cycles(&self) -> u64 {
+        match self {
+            AnyBatchState::W1(s) => s.cycles(),
+            AnyBatchState::W4(s) => s.cycles(),
+            AnyBatchState::W8(s) => s.cycles(),
+        }
+    }
+}
+
+/// Bit count at which the batch `Pack`/`Unpack` paths switch from
+/// per-lane assembly to a full 64×64 block transpose: the transpose costs
+/// a fixed ~`64 · log2(64)` word ops per block, the per-lane form
+/// `64 · bits`, so the crossover sits near 6–8 bits.
+const TRANSPOSE_MIN_BITS: usize = 8;
+
+/// In-place 64×64 bit-matrix transpose over the packed lane convention
+/// (bit `j` of `m[i]` is element `(i, j)`): afterwards bit `j` of `m[i]`
+/// holds what bit `i` of `m[j]` held. Recursive block swap (the
+/// Hacker's-Delight butterfly, flipped for LSB-first columns).
+fn transpose64(m: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut mask = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = ((m[k] >> j) ^ m[k + j]) & mask;
+            m[k] ^= t << j;
+            m[k + j] ^= t;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        mask ^= mask << j;
     }
 }
 
@@ -247,22 +338,41 @@ impl ExecPlan {
 
     /// Fresh 64-lane batch state, every lane at power-on values.
     pub fn new_batch_state(&self) -> BatchState {
-        let mut bits = vec![0u64; self.bit_slots as usize];
-        for (s, word) in bits.iter_mut().enumerate() {
+        self.new_wide_batch_state::<1>()
+    }
+
+    /// Fresh `N * 64`-lane batch state, every lane at power-on values.
+    pub fn new_wide_batch_state<const N: usize>(&self) -> BatchState<N> {
+        let lanes = N * BATCH_LANES;
+        let mut bits = vec![[0u64; N]; self.bit_slots as usize];
+        for (s, chunk) in bits.iter_mut().enumerate() {
             if get_bit(&self.bit_init, s as u32) {
-                *word = u64::MAX;
+                *chunk = [u64::MAX; N];
             }
         }
-        let mut words = vec![0u32; self.word_slots as usize * BATCH_LANES];
+        let mut words = vec![0u32; self.word_slots as usize * lanes];
         for (s, &init) in self.word_init.iter().enumerate() {
-            words[s * BATCH_LANES..(s + 1) * BATCH_LANES].fill(init);
+            words[s * lanes..(s + 1) * lanes].fill(init);
         }
         BatchState {
             bits,
             words,
-            bit_stage: vec![0; self.bit_latches.len().max(1)],
-            word_stage: vec![0; self.word_latches.len() * BATCH_LANES + 1],
+            bit_stage: vec![[0u64; N]; self.bit_latches.len().max(1)],
+            word_stage: vec![0; self.word_latches.len() * lanes + 1],
             cycles: 0,
+        }
+    }
+
+    /// Fresh batch state at the narrowest supported width
+    /// ([`BATCH_WIDTHS`]) that fits `max_lanes` lanes (clamped to
+    /// [`MAX_BATCH_LANES`]).
+    pub fn new_batch_state_for(&self, max_lanes: usize) -> AnyBatchState {
+        if max_lanes <= BATCH_LANES {
+            AnyBatchState::W1(self.new_wide_batch_state())
+        } else if max_lanes <= 4 * BATCH_LANES {
+            AnyBatchState::W4(self.new_wide_batch_state())
+        } else {
+            AnyBatchState::W8(self.new_wide_batch_state())
         }
     }
 
@@ -363,14 +473,8 @@ impl ExecPlan {
     }
 
     /// Runs one original clock cycle for up to [`BATCH_LANES`] independent
-    /// input vectors at once. Lane `l` consumes `lanes[l]` and its outputs
-    /// land in `out[l]` (declaration order); `out` is resized and its
-    /// inner vectors reused, so steady-state batch evaluation allocates
-    /// nothing.
-    ///
-    /// Bit-typed logic evaluates bit-sliced (one minterm sweep serves all
-    /// lanes); word-typed ops iterate the lanes. Every lane carries its own
-    /// sequential state inside `state`.
+    /// input vectors at once (the `N = 1` width of
+    /// [`ExecPlan::run_wide_batch_cycle`]).
     ///
     /// # Errors
     ///
@@ -383,9 +487,55 @@ impl ExecPlan {
         lanes: &[Vec<Value>],
         out: &mut Vec<Vec<Value>>,
     ) -> Result<(), NetlistError> {
-        if lanes.is_empty() || lanes.len() > BATCH_LANES {
+        self.run_wide_batch_cycle::<1>(state, lanes, out)
+    }
+
+    /// Runs one original clock cycle at whichever width `state` carries:
+    /// the runtime-dispatch face of [`ExecPlan::run_wide_batch_cycle`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`ExecPlan::run_wide_batch_cycle`]'s, at `state`'s width.
+    pub fn run_batch_cycle_any(
+        &self,
+        state: &mut AnyBatchState,
+        lanes: &[Vec<Value>],
+        out: &mut Vec<Vec<Value>>,
+    ) -> Result<(), NetlistError> {
+        match state {
+            AnyBatchState::W1(s) => self.run_wide_batch_cycle(s, lanes, out),
+            AnyBatchState::W4(s) => self.run_wide_batch_cycle(s, lanes, out),
+            AnyBatchState::W8(s) => self.run_wide_batch_cycle(s, lanes, out),
+        }
+    }
+
+    /// Runs one original clock cycle for up to `N * 64` independent input
+    /// vectors at once. Lane `l` consumes `lanes[l]` and its outputs land
+    /// in `out[l]` (declaration order); `out` is resized and its inner
+    /// vectors reused, so steady-state batch evaluation allocates nothing.
+    ///
+    /// Bit-typed logic evaluates bit-sliced (one minterm sweep over
+    /// `[u64; N]` chunks serves all lanes); word-typed ops iterate the
+    /// lanes. Every lane carries its own sequential state inside `state`.
+    /// Tail lanes (indices at or past `lanes.len()`) keep sweeping
+    /// power-on state but are never read back out: outputs, like inputs,
+    /// cover exactly the supplied lanes.
+    ///
+    /// # Errors
+    ///
+    /// Returns input-shape errors for the first offending lane, plus
+    /// [`NetlistError::InputCountMismatch`] if more than `N * 64` lanes
+    /// are supplied.
+    pub fn run_wide_batch_cycle<const N: usize>(
+        &self,
+        state: &mut BatchState<N>,
+        lanes: &[Vec<Value>],
+        out: &mut Vec<Vec<Value>>,
+    ) -> Result<(), NetlistError> {
+        let width = N * BATCH_LANES;
+        if lanes.is_empty() || lanes.len() > width {
             return Err(NetlistError::InputCountMismatch {
-                expected: BATCH_LANES,
+                expected: width,
                 found: lanes.len(),
             });
         }
@@ -400,17 +550,17 @@ impl ExecPlan {
         for (i, &slot) in self.inputs.iter().enumerate() {
             match slot {
                 Slot::Bit(s) => {
-                    let mut w = 0u64;
+                    let mut w = [0u64; N];
                     for (l, lane) in lanes.iter().enumerate() {
                         let b = lane[i]
                             .as_bit()
                             .ok_or(NetlistError::InputTypeMismatch { index: i })?;
-                        w |= (b as u64) << l;
+                        w[l >> 6] |= (b as u64) << (l & 63);
                     }
                     state.bits[s as usize] = w;
                 }
                 Slot::Word(s) => {
-                    let base = s as usize * BATCH_LANES;
+                    let base = s as usize * width;
                     for (l, lane) in lanes.iter().enumerate() {
                         state.words[base + l] = lane[i]
                             .as_word()
@@ -426,17 +576,17 @@ impl ExecPlan {
             state.bit_stage[i] = state.bits[src as usize];
         }
         for (i, &(src, _)) in self.word_latches.iter().enumerate() {
-            let base = src as usize * BATCH_LANES;
-            state.word_stage[i * BATCH_LANES..(i + 1) * BATCH_LANES]
-                .copy_from_slice(&state.words[base..base + BATCH_LANES]);
+            let base = src as usize * width;
+            state.word_stage[i * width..(i + 1) * width]
+                .copy_from_slice(&state.words[base..base + width]);
         }
         for (i, &(_, dst)) in self.bit_latches.iter().enumerate() {
             state.bits[dst as usize] = state.bit_stage[i];
         }
         for (i, &(_, dst)) in self.word_latches.iter().enumerate() {
-            let base = dst as usize * BATCH_LANES;
-            state.words[base..base + BATCH_LANES]
-                .copy_from_slice(&state.word_stage[i * BATCH_LANES..(i + 1) * BATCH_LANES]);
+            let base = dst as usize * width;
+            state.words[base..base + width]
+                .copy_from_slice(&state.word_stage[i * width..(i + 1) * width]);
         }
 
         self.exec_batch(&self.post_ops, &mut state.bits, &mut state.words);
@@ -447,8 +597,10 @@ impl ExecPlan {
             lane_out.clear();
             for &slot in &self.outputs {
                 lane_out.push(match slot {
-                    Slot::Bit(s) => Value::Bit((state.bits[s as usize] >> l) & 1 == 1),
-                    Slot::Word(s) => Value::Word(state.words[s as usize * BATCH_LANES + l]),
+                    Slot::Bit(s) => {
+                        Value::Bit((state.bits[s as usize][l >> 6] >> (l & 63)) & 1 == 1)
+                    }
+                    Slot::Word(s) => Value::Word(state.words[s as usize * width + l]),
                 });
             }
         }
@@ -495,85 +647,269 @@ impl ExecPlan {
         }
     }
 
-    /// The 64-lane batch inner loop: bit-sliced for bit logic, lane loops
-    /// for word arithmetic.
-    fn exec_batch(&self, stream: &OpStream, bits: &mut [u64], words: &mut [u32]) {
-        for (code, dst, a, b, c) in stream.iter() {
-            let dst = dst as usize;
-            match code {
+    /// The `N * 64`-lane batch inner loop: bit-sliced for bit logic, lane
+    /// loops for word arithmetic. All chunk loops run over `[u64; N]`
+    /// arrays with no cross-iteration dependency, so the autovectorizer
+    /// widens them to whatever SIMD the target offers.
+    ///
+    /// Consecutive `Lut` ops sharing one truth table (common after
+    /// tech-mapping: adder/xor columns all compile to the same LUT
+    /// function, and [`compile`] groups them) execute as a *fused run*:
+    /// the table is decoded once — parity tables (XOR/XNOR chains,
+    /// everywhere in adders and AES) collapse to a chain of chunk XORs,
+    /// anything else to a minterm list over whichever of the true/false
+    /// row sets is smaller (complementing the result when the false set
+    /// won) — then every op in the run sweeps the decoded form with its
+    /// operand chunks hoisted into stack locals, so the row loop never
+    /// re-reads the bit plane.
+    ///
+    /// Consecutive word ops (`Mac`/`CopyWord` — region-blocked scheduling
+    /// groups them) execute lane-block-wise: each 64-lane column of the
+    /// run completes before the next starts, keeping a dependent chain's
+    /// working set at 64 lanes regardless of `N` instead of streaming
+    /// `N * 64`-lane planes through cache once per op.
+    fn exec_batch<const N: usize>(
+        &self,
+        stream: &OpStream,
+        bits: &mut [[u64; N]],
+        words: &mut [u32],
+    ) {
+        let width = N * BATCH_LANES;
+        let len = stream.len();
+        let mut i = 0usize;
+        while i < len {
+            let dst = stream.dst[i] as usize;
+            match stream.codes[i] {
                 OpCode::Lut => {
-                    let off = a as usize;
-                    let n = c as usize;
-                    let ins = &self.operands[off..off + n];
-                    let t = b as usize;
-                    let mut acc = 0u64;
+                    let n = stream.c[i] as usize;
+                    let t = stream.b[i] as usize;
                     if n <= 6 {
-                        // Bit-sliced minterm sweep: one AND chain per true
-                        // table row serves all 64 lanes.
-                        for row in 0..(1usize << n) {
-                            if (self.tables[t] >> row) & 1 == 0 {
-                                continue;
-                            }
-                            let mut term = u64::MAX;
-                            for (k, &slot) in ins.iter().enumerate() {
-                                let v = bits[slot as usize];
-                                term &= if (row >> k) & 1 == 1 { v } else { !v };
-                            }
-                            acc |= term;
+                        let table = self.tables[t];
+                        let nrows_total = 1usize << n;
+                        let row_mask = if n == 6 {
+                            u64::MAX
+                        } else {
+                            (1u64 << nrows_total) - 1
+                        };
+                        // Fused run: every following op with the same
+                        // table and arity reuses the decoded form.
+                        let mut end = i + 1;
+                        while end < len
+                            && stream.codes[end] == OpCode::Lut
+                            && stream.b[end] as usize == t
+                            && stream.c[end] as usize == n
+                        {
+                            end += 1;
                         }
-                    } else {
-                        // Wide pre-mapping LUTs: the 2^n sweep loses to a
-                        // per-lane table lookup, so index lanes directly.
-                        for l in 0..BATCH_LANES {
-                            let mut row = 0usize;
-                            for (k, &slot) in ins.iter().enumerate() {
-                                row |= (((bits[slot as usize] >> l) & 1) as usize) << k;
-                            }
-                            acc |= ((self.tables[t + (row >> 6)] >> (row & 63)) & 1) << l;
+                        // Parity fast path: T[row] == parity(row) ^ c for
+                        // all rows ⇔ the op is an XOR/XNOR chain.
+                        let mut parity_mask = 0u64;
+                        for row in 0..nrows_total {
+                            parity_mask |= (((row as u64).count_ones() & 1) as u64) << row;
                         }
+                        if table & row_mask == parity_mask & row_mask
+                            || table & row_mask == !parity_mask & row_mask
+                        {
+                            let flip = if table & 1 == 1 { u64::MAX } else { 0 };
+                            for op in i..end {
+                                let off = stream.a[op] as usize;
+                                let ins = &self.operands[off..off + n];
+                                let mut acc = [flip; N];
+                                for &slot in ins {
+                                    let v = &bits[slot as usize];
+                                    for x in 0..N {
+                                        acc[x] ^= v[x];
+                                    }
+                                }
+                                bits[stream.dst[op] as usize] = acc;
+                            }
+                            i = end;
+                            continue;
+                        }
+                        // Decode whichever of the true/false row sets is
+                        // smaller; sweeping the false set computes the
+                        // complement, undone by `flip` at the end.
+                        let trues = (table & row_mask).count_ones() as usize;
+                        let decode_false = trues * 2 > nrows_total;
+                        let (want, flip) = if decode_false {
+                            (0u64, u64::MAX)
+                        } else {
+                            (1u64, 0u64)
+                        };
+                        let mut rows = [0u8; 64];
+                        let mut nrows = 0usize;
+                        for row in 0..nrows_total {
+                            if (table >> row) & 1 == want {
+                                rows[nrows] = row as u8;
+                                nrows += 1;
+                            }
+                        }
+                        for op in i..end {
+                            let off = stream.a[op] as usize;
+                            let ins = &self.operands[off..off + n];
+                            // Hoist the operand chunks: the row sweep then
+                            // runs entirely out of stack slots/registers.
+                            let mut v = [[0u64; N]; 6];
+                            for (k, &slot) in ins.iter().enumerate() {
+                                v[k] = bits[slot as usize];
+                            }
+                            let mut acc = [0u64; N];
+                            for &row in &rows[..nrows] {
+                                let mut term = [u64::MAX; N];
+                                for (k, vk) in v[..n].iter().enumerate() {
+                                    // Branch-free polarity: all-ones XOR
+                                    // complements the operand chunk.
+                                    let inv = (((row >> k) & 1) as u64).wrapping_sub(1);
+                                    for x in 0..N {
+                                        term[x] &= vk[x] ^ inv;
+                                    }
+                                }
+                                for x in 0..N {
+                                    acc[x] |= term[x];
+                                }
+                            }
+                            for a in &mut acc {
+                                *a ^= flip;
+                            }
+                            bits[stream.dst[op] as usize] = acc;
+                        }
+                        i = end;
+                        continue;
+                    }
+                    // Wide pre-mapping LUTs: the 2^n sweep loses to a
+                    // per-lane table lookup, so index lanes directly.
+                    let off = stream.a[i] as usize;
+                    let ins = &self.operands[off..off + n];
+                    let mut acc = [0u64; N];
+                    for l in 0..width {
+                        let (w, sh) = (l >> 6, l & 63);
+                        let mut row = 0usize;
+                        for (k, &slot) in ins.iter().enumerate() {
+                            row |= (((bits[slot as usize][w] >> sh) & 1) as usize) << k;
+                        }
+                        acc[w] |= ((self.tables[t + (row >> 6)] >> (row & 63)) & 1) << sh;
                     }
                     bits[dst] = acc;
                 }
-                OpCode::Mac => {
-                    let (ab, bb, cb) = (
-                        a as usize * BATCH_LANES,
-                        b as usize * BATCH_LANES,
-                        c as usize * BATCH_LANES,
-                    );
-                    let db = dst * BATCH_LANES;
-                    for l in 0..BATCH_LANES {
-                        words[db + l] = words[ab + l]
-                            .wrapping_mul(words[bb + l])
-                            .wrapping_add(words[cb + l]);
+                OpCode::Mac | OpCode::CopyWord => {
+                    // Word run: lane-block the whole stretch so dependent
+                    // chains stay L1-resident at every width.
+                    let mut end = i + 1;
+                    while end < len && matches!(stream.codes[end], OpCode::Mac | OpCode::CopyWord) {
+                        end += 1;
                     }
+                    for base in (0..width).step_by(BATCH_LANES) {
+                        for op in i..end {
+                            let db = stream.dst[op] as usize * width + base;
+                            match stream.codes[op] {
+                                OpCode::Mac => {
+                                    let ab = stream.a[op] as usize * width + base;
+                                    let bb = stream.b[op] as usize * width + base;
+                                    let cb = stream.c[op] as usize * width + base;
+                                    for j in 0..BATCH_LANES {
+                                        words[db + j] = words[ab + j]
+                                            .wrapping_mul(words[bb + j])
+                                            .wrapping_add(words[cb + j]);
+                                    }
+                                }
+                                OpCode::CopyWord => {
+                                    let sb = stream.a[op] as usize * width + base;
+                                    words.copy_within(sb..sb + BATCH_LANES, db);
+                                }
+                                _ => unreachable!("word run only holds Mac/CopyWord"),
+                            }
+                        }
+                    }
+                    i = end;
+                    continue;
                 }
                 OpCode::Pack => {
-                    let off = a as usize;
-                    let db = dst * BATCH_LANES;
-                    words[db..db + BATCH_LANES].fill(0);
-                    for (k, &slot) in self.operands[off..off + c as usize].iter().enumerate() {
-                        let bv = bits[slot as usize];
-                        for l in 0..BATCH_LANES {
-                            words[db + l] |= (((bv >> l) & 1) as u32) << k;
+                    // One pass per 64-lane chunk: hoist each operand's
+                    // chunk word once, then either transpose the 64×64
+                    // bit block (wide packs — one O(64·log 64) shuffle
+                    // instead of `64 · operand count` bit extracts) or
+                    // assemble each lane's value in a register (narrow
+                    // packs, where the transpose doesn't pay for itself).
+                    // Either way each destination lane is stored exactly
+                    // once — no `operand count + 1` read-modify-write
+                    // sweeps over the destination row.
+                    let off = stream.a[i] as usize;
+                    let n = stream.c[i] as usize;
+                    let ins = &self.operands[off..off + n];
+                    let db = dst * width;
+                    // `w` also offsets the lane-major word plane, so the
+                    // index form beats iterating `bits` here.
+                    #[allow(clippy::needless_range_loop)]
+                    for w in 0..N {
+                        let mut ms = [0u64; 64];
+                        for (k, &slot) in ins.iter().enumerate() {
+                            ms[k] = bits[slot as usize][w];
+                        }
+                        let base = db + w * BATCH_LANES;
+                        let out = &mut words[base..base + BATCH_LANES];
+                        if n >= TRANSPOSE_MIN_BITS {
+                            transpose64(&mut ms);
+                            for (o, &m) in out.iter_mut().zip(&ms) {
+                                *o = m as u32;
+                            }
+                        } else {
+                            for (j, o) in out.iter_mut().enumerate() {
+                                let mut packed = 0u32;
+                                for (k, m) in ms[..n].iter().enumerate() {
+                                    packed |= (((m >> j) & 1) as u32) << k;
+                                }
+                                *o = packed;
+                            }
                         }
                     }
                 }
                 OpCode::Unpack => {
-                    let sb = a as usize * BATCH_LANES;
-                    let mut acc = 0u64;
-                    for l in 0..BATCH_LANES {
-                        acc |= (((words[sb + l] >> b) & 1) as u64) << l;
+                    // Fused run: tech-mapped word logic unpacks *every*
+                    // bit of a word in sequence, so consecutive Unpacks
+                    // of one source slot transpose each 64-lane block
+                    // once and hand every op in the run its row — the
+                    // naive form re-reads all lanes once per bit.
+                    let src = stream.a[i] as usize;
+                    let mut end = i + 1;
+                    while end < len
+                        && stream.codes[end] == OpCode::Unpack
+                        && stream.a[end] as usize == src
+                    {
+                        end += 1;
                     }
-                    bits[dst] = acc;
+                    let sb = src * width;
+                    #[allow(clippy::needless_range_loop)]
+                    for w in 0..N {
+                        let base = sb + w * BATCH_LANES;
+                        let lanes = &words[base..base + BATCH_LANES];
+                        if end - i >= TRANSPOSE_MIN_BITS {
+                            let mut m = [0u64; 64];
+                            for (j, &word) in lanes.iter().enumerate() {
+                                m[j] = word as u64;
+                            }
+                            transpose64(&mut m);
+                            for op in i..end {
+                                bits[stream.dst[op] as usize][w] = m[stream.b[op] as usize];
+                            }
+                        } else {
+                            for op in i..end {
+                                let bit = stream.b[op];
+                                let mut m = 0u64;
+                                for (j, &word) in lanes.iter().enumerate() {
+                                    m |= (((word >> bit) & 1) as u64) << j;
+                                }
+                                bits[stream.dst[op] as usize][w] = m;
+                            }
+                        }
+                    }
+                    i = end;
+                    continue;
                 }
                 OpCode::CopyBit => {
-                    bits[dst] = bits[a as usize];
-                }
-                OpCode::CopyWord => {
-                    let sb = a as usize * BATCH_LANES;
-                    words.copy_within(sb..sb + BATCH_LANES, dst * BATCH_LANES);
+                    bits[dst] = bits[stream.a[i] as usize];
                 }
             }
+            i += 1;
         }
     }
 }
@@ -591,6 +927,10 @@ pub struct PlanBuilder<'a> {
     slots: Vec<Slot>,
     /// Table-pool offset per node (`u32::MAX` until first emission).
     table_off: Vec<u32>,
+    /// Table-pool offset by *content*: distinct nodes computing the same
+    /// LUT function share one pool run, which both shrinks the pool and
+    /// lets the batch engine fuse their minterm sweeps.
+    table_index: HashMap<Vec<u64>, u32>,
     main: OpStream,
     post: OpStream,
     operands: Vec<u32>,
@@ -642,6 +982,7 @@ impl<'a> PlanBuilder<'a> {
             netlist,
             slots,
             table_off: vec![u32::MAX; netlist.len()],
+            table_index: HashMap::new(),
             main: OpStream::default(),
             post: OpStream::default(),
             operands: Vec::new(),
@@ -684,8 +1025,15 @@ impl<'a> PlanBuilder<'a> {
                 let toff = if self.table_off[id.index()] != u32::MAX {
                     self.table_off[id.index()]
                 } else {
-                    let off = self.tables.len() as u32;
-                    self.tables.extend_from_slice(table.words());
+                    let off = match self.table_index.get(table.words()) {
+                        Some(&off) => off,
+                        None => {
+                            let off = self.tables.len() as u32;
+                            self.tables.extend_from_slice(table.words());
+                            self.table_index.insert(table.words().to_vec(), off);
+                            off
+                        }
+                    };
                     self.table_off[id.index()] = off;
                     off
                 };
@@ -780,6 +1128,14 @@ impl<'a> PlanBuilder<'a> {
 /// emits just those. (Builder conveniences such as `word_reg`/`mac` create
 /// per-bit unpack views that circuits often never read.)
 ///
+/// Within each ASAP level — whose nodes are independent by construction,
+/// so any emission order preserves the evaluator's semantics — micro-ops
+/// are blocked by state-plane region: LUTs first (grouped by truth-table
+/// content so the batch engine's fused sweep covers whole runs, then by
+/// destination slot so bit-plane writes stream), then the remaining
+/// bit-plane ops, then word-plane ops. Plans driven in *schedule order*
+/// by `freac-fold` are never reordered.
+///
 /// # Errors
 ///
 /// Returns validation failures and
@@ -807,8 +1163,36 @@ pub fn compile(netlist: &Netlist) -> Result<ExecPlan, NetlistError> {
             }
         }
     }
-    for &id in leveled.order() {
-        if live[id.index()] {
+    // Intern truth-table contents so the sort key groups same-function
+    // LUTs (interning order is node-id order: deterministic).
+    let mut table_rank = vec![0u32; netlist.len()];
+    let mut intern: HashMap<&[u64], u32> = HashMap::new();
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        if !live[i] {
+            continue;
+        }
+        if let NodeKind::Lut(table) = &node.kind {
+            let next = intern.len() as u32;
+            table_rank[i] = *intern.entry(table.words()).or_insert(next);
+        }
+    }
+    let raw_slot: Vec<u32> = (0..netlist.len())
+        .map(|i| match b.slot(NodeId(i as u32)) {
+            Slot::Bit(s) | Slot::Word(s) => s,
+        })
+        .collect();
+    let region_key = |id: &NodeId| {
+        let i = id.index();
+        match &netlist.nodes()[i].kind {
+            NodeKind::Lut(_) => (0u8, table_rank[i], raw_slot[i]),
+            kind if kind.output_type() == SignalType::Bit => (1, 0, raw_slot[i]),
+            _ => (2, 0, raw_slot[i]),
+        }
+    };
+    for level in leveled.by_level() {
+        let mut block: Vec<NodeId> = level.into_iter().filter(|id| live[id.index()]).collect();
+        block.sort_by_key(region_key);
+        for id in block {
             b.emit(id, Segment::Main);
         }
     }
@@ -992,6 +1376,169 @@ mod tests {
             let mut ev = Evaluator::new(&n);
             assert_eq!(out[l], ev.run_cycle(lane).unwrap(), "lane {l}");
         }
+    }
+
+    #[test]
+    fn wide_batch_matches_per_lane_reference_at_every_width() {
+        // Sequential datapath at widths 256 and 512: every lane is an
+        // independent simulation, and the wide sweeps must agree with the
+        // per-lane reference (and therefore with the 64-lane path).
+        let mut b = CircuitBuilder::new("acc");
+        let x = b.word_input("x", 16);
+        let (acc, h) = b.word_reg(3, 16);
+        let sum = b.add(&acc, &x);
+        b.connect_word_reg(h, &sum);
+        b.word_output("acc", &acc);
+        let n = tech_map(&b.finish().unwrap(), TechMapOptions::lut4()).unwrap();
+        let plan = compile(&n).unwrap();
+
+        fn check<const N: usize>(plan: &ExecPlan, n: &Netlist) {
+            let width = N * BATCH_LANES;
+            let lanes: Vec<Vec<Value>> = (0..width as u32)
+                .map(|l| vec![Value::Word(l.wrapping_mul(131).wrapping_add(7) & 0xFFFF)])
+                .collect();
+            let mut state = plan.new_wide_batch_state::<N>();
+            let mut out = Vec::new();
+            let mut refs: Vec<Evaluator> = (0..width).map(|_| Evaluator::new(n)).collect();
+            for cycle in 0..3 {
+                plan.run_wide_batch_cycle(&mut state, &lanes, &mut out)
+                    .unwrap();
+                assert_eq!(out.len(), width);
+                for (l, reference) in refs.iter_mut().enumerate() {
+                    let expect = reference.run_cycle(&lanes[l]).unwrap();
+                    assert_eq!(out[l], expect, "width {width} lane {l} cycle {cycle}");
+                }
+            }
+            assert_eq!(state.cycles(), 3);
+        }
+        check::<4>(&plan, &n);
+        check::<8>(&plan, &n);
+    }
+
+    #[test]
+    fn any_batch_state_picks_narrowest_fitting_width() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.word_input("a", 8);
+        b.word_output("o", &a);
+        let plan = compile(&b.finish().unwrap()).unwrap();
+        assert_eq!(plan.new_batch_state_for(1).lane_capacity(), 64);
+        assert_eq!(plan.new_batch_state_for(64).lane_capacity(), 64);
+        assert_eq!(plan.new_batch_state_for(65).lane_capacity(), 256);
+        assert_eq!(plan.new_batch_state_for(256).lane_capacity(), 256);
+        assert_eq!(plan.new_batch_state_for(257).lane_capacity(), 512);
+        assert_eq!(plan.new_batch_state_for(100_000).lane_capacity(), 512);
+
+        // Runtime dispatch runs the width the state carries and rejects
+        // overflowing batches.
+        let lanes: Vec<Vec<Value>> = (0..100u32).map(|l| vec![Value::Word(l)]).collect();
+        let mut state = plan.new_batch_state_for(lanes.len());
+        let mut out = Vec::new();
+        plan.run_batch_cycle_any(&mut state, &lanes, &mut out)
+            .unwrap();
+        assert_eq!(state.cycles(), 1);
+        assert_eq!(out.len(), 100);
+        for (l, o) in out.iter().enumerate() {
+            assert_eq!(o[0], Value::Word(l as u32));
+        }
+        let mut narrow = plan.new_batch_state_for(64);
+        assert!(matches!(
+            plan.run_batch_cycle_any(&mut narrow, &lanes, &mut out),
+            Err(NetlistError::InputCountMismatch {
+                expected: 64,
+                found: 100
+            })
+        ));
+    }
+
+    #[test]
+    fn tail_lanes_never_leak_into_outputs() {
+        // Partial batches on a stateful circuit: tail lanes keep sweeping
+        // power-on state, but outputs must cover exactly the supplied
+        // lanes and match a full-width run lane for lane.
+        let mut b = CircuitBuilder::new("acc");
+        let x = b.word_input("x", 16);
+        let (acc, h) = b.word_reg(41, 16);
+        let sum = b.add(&acc, &x);
+        b.connect_word_reg(h, &sum);
+        b.word_output("acc", &acc);
+        let n = tech_map(&b.finish().unwrap(), TechMapOptions::lut4()).unwrap();
+        let plan = compile(&n).unwrap();
+
+        fn check<const N: usize>(plan: &ExecPlan, active: usize) {
+            let width = N * BATCH_LANES;
+            assert!(active < width);
+            let lanes: Vec<Vec<Value>> = (0..active as u32)
+                .map(|l| vec![Value::Word(l.wrapping_mul(37) & 0xFFFF)])
+                .collect();
+            let mut partial = plan.new_wide_batch_state::<N>();
+            let mut full = plan.new_wide_batch_state::<N>();
+            let mut pout = Vec::new();
+            let mut fout = Vec::new();
+            let full_lanes: Vec<Vec<Value>> = (0..width)
+                .map(|l| {
+                    if l < active {
+                        lanes[l].clone()
+                    } else {
+                        vec![Value::Word(0xDEAD)]
+                    }
+                })
+                .collect();
+            for _ in 0..3 {
+                plan.run_wide_batch_cycle(&mut partial, &lanes, &mut pout)
+                    .unwrap();
+                plan.run_wide_batch_cycle(&mut full, &full_lanes, &mut fout)
+                    .unwrap();
+                assert_eq!(pout.len(), active, "outputs must cover exactly the batch");
+                assert_eq!(pout[..], fout[..active], "active lanes diverged");
+            }
+        }
+        check::<1>(&plan, 5);
+        check::<4>(&plan, 65);
+        check::<8>(&plan, 300);
+    }
+
+    #[test]
+    fn same_function_luts_share_one_table_run() {
+        // A ripple-carry adder tech-maps every column to the same pair of
+        // LUT functions: the content-deduped pool must stay tiny.
+        let mut b = CircuitBuilder::new("add");
+        let a = b.word_input("a", 16);
+        let c = b.word_input("b", 16);
+        let s = b.add(&a, &c);
+        b.word_output("s", &s);
+        let n = tech_map(&b.finish().unwrap(), TechMapOptions::lut4()).unwrap();
+        let plan = compile(&n).unwrap();
+        let distinct: std::collections::HashSet<u64> = plan.tables.iter().copied().collect();
+        assert_eq!(
+            plan.tables.len(),
+            distinct.len(),
+            "table pool must hold each function once"
+        );
+        assert!(
+            plan.tables.len() <= 8,
+            "16-bit adder needs only a handful of LUT functions, got {}",
+            plan.tables.len()
+        );
+    }
+
+    #[test]
+    fn transpose64_is_a_transpose() {
+        let mut m = [0u64; 64];
+        for (i, row) in m.iter_mut().enumerate() {
+            *row = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(i as u32);
+        }
+        let orig = m;
+        transpose64(&mut m);
+        for (i, &row) in m.iter().enumerate() {
+            for (j, &orow) in orig.iter().enumerate() {
+                assert_eq!((row >> j) & 1, (orow >> i) & 1, "element ({i}, {j})");
+            }
+        }
+        // An involution: transposing twice restores the matrix.
+        transpose64(&mut m);
+        assert_eq!(m, orig);
     }
 
     #[test]

@@ -27,6 +27,10 @@
 //! * `experiments.pool.jobs_completed == experiments.pool.jobs_submitted`;
 //! * `<p>.completed + <p>.shed == <p>.submitted` for every prefix with a
 //!   `.submitted` counter — a drained serving run loses no request;
+//! * `<p>.occupied <= <p>.capacity` for every prefix with an `.occupied`
+//!   counter — a batch never carries more lanes than the dispatch
+//!   offered (both sides are sums over dispatches, so merges preserve
+//!   the law);
 //! * per-run only: `core.kernel_cycles == core.items_per_tile *
 //!   core.round_cycles`.
 
@@ -188,6 +192,19 @@ pub fn check(reg: &CounterRegistry) -> Vec<Violation> {
         }
     }
 
+    // Lane conservation: occupied lanes within offered capacity.
+    for p in prefixes_with(reg, ".occupied") {
+        let occupied = reg.counter(&format!("{p}.occupied"));
+        let capacity = reg.counter(&format!("{p}.capacity"));
+        if reg.has_counter(&format!("{p}.capacity")) && occupied > capacity {
+            violate(
+                &mut out,
+                format!("{p}: occupied <= capacity"),
+                format!("{occupied} > {capacity}"),
+            );
+        }
+    }
+
     // Per-run products (meaningless once registries merge: sums of
     // products are not products of sums).
     if reg.counter("core.runs") == 1 {
@@ -261,6 +278,8 @@ mod tests {
         r.add("serve.requests.submitted", 6);
         r.add("serve.requests.completed", 4);
         r.add("serve.requests.shed", 2);
+        r.add("serve.lanes.occupied", 48);
+        r.add("serve.lanes.capacity", 128);
         r
     }
 
@@ -315,6 +334,10 @@ mod tests {
             (
                 "completed + shed == submitted",
                 Box::new(|r| r.add("serve.requests.shed", 1)),
+            ),
+            (
+                "occupied <= capacity",
+                Box::new(|r| r.add("serve.lanes.occupied", 1_000)),
             ),
         ];
         for (law_fragment, corrupt) in cases {

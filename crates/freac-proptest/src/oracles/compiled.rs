@@ -1,14 +1,16 @@
 //! Compiled-plan oracle: the flat execution plan produced by
 //! [`freac_netlist::plan::compile`] must be bit-identical to the reference
 //! [`Evaluator`] on random circuits — for single-vector execution with
-//! carried state, and for 64-wide bit-sliced batch execution where every
-//! lane is an independent simulation from power-on.
+//! carried state, and for bit-sliced batch execution at every sweep width
+//! (64, 256, and 512 lanes) where every lane is an independent simulation
+//! from power-on and the wider sweeps reproduce the 64-lane outputs
+//! lane-for-lane.
 //!
 //! Reuses [`FoldCase`](super::fold::FoldCase) generation/shrinking so a
 //! divergence shrinks over the same circuit grammar as the fold oracle.
 
 use freac_netlist::eval::Evaluator;
-use freac_netlist::plan::{compile, BATCH_LANES};
+use freac_netlist::plan::{compile, BATCH_LANES, BATCH_WIDTHS};
 use freac_netlist::techmap::{tech_map, TechMapOptions};
 use freac_netlist::Value;
 use freac_rand::Rng64;
@@ -81,10 +83,19 @@ fn check_single(
     Ok(())
 }
 
-/// Batch arm: lanes derived from the stimulus (expanded to the full 64 by
+/// Batch arm: 64 lanes derived from the stimulus (expanded by
 /// deterministic mixing, masked to the circuit's input range), each lane
 /// checked against its own fresh reference evaluator across several
-/// passes so per-lane sequential state is exercised too.
+/// passes so per-lane sequential state is exercised too — then the same
+/// workload re-run at every wider sweep width (256 and 512 lanes).
+///
+/// Wide lanes permute the 64 reference-checked lane inputs with a
+/// chunk-varying stride, so every wide lane's expected output is a
+/// narrow-run output that was itself checked against the reference
+/// (wide ≡ 64-lane ≡ reference, without 512 interpreted evaluators per
+/// case), while each 64-lane word of the wide state still packs a
+/// distinct bit pattern — a sweep reading the wrong word cannot hide.
+/// Every width must also count the same number of cycles.
 fn check_batch(
     label: &str,
     netlist: &freac_netlist::Netlist,
@@ -93,7 +104,7 @@ fn check_batch(
     let plan = compile(netlist).map_err(|e| format!("{label}: compile refused: {e}"))?;
     let mask = case.circuit.input_limit() - 1;
     let (x0, y0) = case.stimulus[0];
-    let lanes: Vec<Vec<Value>> = (0..BATCH_LANES as u32)
+    let narrow: Vec<Vec<Value>> = (0..BATCH_LANES as u32)
         .map(|l| {
             let (x, y) = case
                 .stimulus
@@ -103,23 +114,59 @@ fn check_batch(
             vec![Value::Word(x & mask), Value::Word(y & mask)]
         })
         .collect();
-    let mut state = plan.new_batch_state();
-    let mut out = Vec::new();
-    let mut refs: Vec<Evaluator> = lanes.iter().map(|_| Evaluator::new(netlist)).collect();
+    // A constant-input lane's reference trajectory depends only on its
+    // input vector, so lanes sharing an input share expected outputs on
+    // every pass. 37 is odd (a unit mod 64) and 13·chunk shifts each
+    // 64-lane word differently.
+    let source_of = |l: usize| (37 * (l % BATCH_LANES) + 13 * (l / BATCH_LANES)) % BATCH_LANES;
     let passes = case.stimulus.len().max(2);
-    for pass in 0..passes {
-        plan.run_batch_cycle(&mut state, &lanes, &mut out)
-            .map_err(|e| format!("{label}: pass {pass}: batch execution failed: {e}"))?;
-        for (l, reference) in refs.iter_mut().enumerate() {
-            let expect = reference
-                .run_cycle(&lanes[l])
-                .map_err(|e| format!("{label}: pass {pass}: lane {l} reference failed: {e}"))?;
-            if out[l] != expect {
-                return Err(format!(
-                    "{label}: pass {pass}, lane {l} ({:?}): batch {:?} != reference {expect:?}",
-                    lanes[l], out[l]
-                ));
+    let mut narrow_by_pass: Vec<Vec<Vec<Value>>> = Vec::new();
+    for &width in &BATCH_WIDTHS {
+        let lanes: Vec<Vec<Value>> = if width == BATCH_LANES {
+            narrow.clone()
+        } else {
+            (0..width).map(|l| narrow[source_of(l)].clone()).collect()
+        };
+        let mut state = plan.new_batch_state_for(width);
+        let mut out = Vec::new();
+        let mut refs: Vec<Evaluator> = if width == BATCH_LANES {
+            narrow.iter().map(|_| Evaluator::new(netlist)).collect()
+        } else {
+            Vec::new()
+        };
+        for pass in 0..passes {
+            plan.run_batch_cycle_any(&mut state, &lanes, &mut out)
+                .map_err(|e| format!("{label}: w{width} pass {pass}: batch failed: {e}"))?;
+            if width == BATCH_LANES {
+                for (l, reference) in refs.iter_mut().enumerate() {
+                    let expect = reference.run_cycle(&lanes[l]).map_err(|e| {
+                        format!("{label}: pass {pass}: lane {l} reference failed: {e}")
+                    })?;
+                    if out[l] != expect {
+                        return Err(format!(
+                            "{label}: pass {pass}, lane {l} ({:?}): batch {:?} != reference {expect:?}",
+                            lanes[l], out[l]
+                        ));
+                    }
+                }
+                narrow_by_pass.push(out.clone());
+            } else {
+                for l in 0..width {
+                    let expect = &narrow_by_pass[pass][source_of(l)];
+                    if &out[l] != expect {
+                        return Err(format!(
+                            "{label}: w{width} pass {pass}, lane {l}: wide {:?} != 64-lane {expect:?}",
+                            out[l]
+                        ));
+                    }
+                }
             }
+        }
+        if state.cycles() != passes as u64 {
+            return Err(format!(
+                "{label}: w{width}: counted {} cycles, expected {passes}",
+                state.cycles()
+            ));
         }
     }
     Ok(())

@@ -18,6 +18,7 @@ use std::sync::{Arc, OnceLock};
 
 use freac_core::{Accelerator, AcceleratorTile};
 use freac_netlist::builder::CircuitBuilder;
+use freac_netlist::{BATCH_LANES, BATCH_WIDTHS};
 use freac_probe::to_counters_json;
 use freac_rand::Rng64;
 use freac_serve::queue::ShedPolicy;
@@ -63,6 +64,9 @@ pub struct ServeCase {
     pub slices: usize,
     /// Admission-queue depth.
     pub queue_depth: usize,
+    /// Lanes-per-dispatch cap (64/256/512 — one per bit-sliced sweep
+    /// width, so the oracle exercises every execution path).
+    pub max_lanes: usize,
 }
 
 /// Draws a random [`ServeCase`].
@@ -92,6 +96,7 @@ pub fn generate(rng: &mut Rng64) -> ServeCase {
         batching: rng.bool(),
         slices: 1 + rng.index(3),
         queue_depth: 1 + rng.index(8),
+        max_lanes: *rng.pick(&BATCH_WIDTHS),
     }
 }
 
@@ -127,6 +132,12 @@ pub fn shrink(case: &ServeCase) -> Vec<ServeCase> {
     if !case.batching {
         out.push(ServeCase {
             batching: true,
+            ..case.clone()
+        });
+    }
+    if case.max_lanes != BATCH_LANES {
+        out.push(ServeCase {
+            max_lanes: BATCH_LANES,
             ..case.clone()
         });
     }
@@ -211,6 +222,7 @@ fn run_case(case: &ServeCase, reverse: bool, rotate: usize) -> Result<ServeRepor
         batching: case.batching,
         slices: case.slices,
         queue_depth: case.queue_depth,
+        max_lanes: case.max_lanes,
         ..ServeConfig::default()
     })
     .map_err(|e| format!("server config rejected: {e}"))?;
@@ -348,6 +360,7 @@ mod tests {
             batching: true,
             slices: 1,
             queue_depth: 1,
+            max_lanes: BATCH_LANES,
         };
         check_order_independence(&case).expect("empty trace holds");
         check_conservation(&case).expect("empty trace conserves");

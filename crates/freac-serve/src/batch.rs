@@ -20,6 +20,12 @@ use crate::request::Request;
 /// the lane order of the dispatch, which makes lane assignment a pure
 /// function of queue state.
 ///
+/// Companions drain in a single stable pass
+/// ([`AdmissionQueue::drain_batchable_into`]): the whole take is
+/// O(queue length), not O(queue × cap) — it used to call
+/// [`AdmissionQueue::remove_at`] once per companion, which went quadratic
+/// exactly when queues were deep and lanes wide.
+///
 /// # Panics
 ///
 /// Panics if `anchor` is out of range or `cap` is zero.
@@ -30,14 +36,7 @@ pub fn take_batch(queue: &mut AdmissionQueue, anchor: usize, cap: usize) -> Vec<
     if batch[0].exclusive {
         return batch;
     }
-    let mut idx = 0;
-    while batch.len() < cap && idx < queue.len() {
-        if queue.get(idx).expect("index in range").exclusive {
-            idx += 1;
-        } else {
-            batch.push(queue.remove_at(idx));
-        }
-    }
+    queue.drain_batchable_into(cap - 1, &mut batch);
     batch
 }
 
@@ -102,6 +101,69 @@ mod tests {
         assert_eq!(seqs, vec![0, 2]);
         let left: Vec<u64> = q.iter().map(|r| r.seq).collect();
         assert_eq!(left, vec![1, 3]);
+    }
+
+    /// The pre-drain semantics, spelled out naively: anchor first, then
+    /// batchable companions oldest-first, leftovers in original order.
+    fn naive_take(mut items: Vec<Request>, anchor: usize, cap: usize) -> (Vec<u64>, Vec<u64>) {
+        let anchor_req = items.remove(anchor);
+        let exclusive = anchor_req.exclusive;
+        let mut batch = vec![anchor_req.seq];
+        let mut left = Vec::new();
+        for r in items {
+            if !exclusive && batch.len() < cap && !r.exclusive {
+                batch.push(r.seq);
+            } else {
+                left.push(r.seq);
+            }
+        }
+        (batch, left)
+    }
+
+    #[test]
+    fn deep_queue_drain_preserves_batch_and_leftover_order() {
+        // A deep queue (well past any dispatch cap) with interleaved
+        // exclusives, anchors at several depths: the single-pass drain
+        // must reproduce the naive per-element semantics exactly.
+        let depth = 3_000u64;
+        let make = |anchor_excl: bool| -> Vec<Request> {
+            (0..depth)
+                .map(|s| req(s, s % 7 == 3 || (s == 100 && anchor_excl)))
+                .collect()
+        };
+        for &(anchor, cap) in &[(0usize, 512usize), (100, 512), (2_500, 64), (0, 1)] {
+            let items = make(false);
+            let mut q = AdmissionQueue::new(depth as usize);
+            for r in items.clone() {
+                q.admit(r, ShedPolicy::RejectNew);
+            }
+            let batch: Vec<u64> = take_batch(&mut q, anchor, cap)
+                .iter()
+                .map(|r| r.seq)
+                .collect();
+            let left: Vec<u64> = q.iter().map(|r| r.seq).collect();
+            let (nb, nl) = naive_take(items, anchor, cap);
+            assert_eq!(
+                batch, nb,
+                "batch order diverged (anchor {anchor}, cap {cap})"
+            );
+            assert_eq!(
+                left, nl,
+                "leftover order diverged (anchor {anchor}, cap {cap})"
+            );
+        }
+        // Exclusive anchor deep in a deep queue still rides alone.
+        let items = make(true);
+        let mut q = AdmissionQueue::new(depth as usize);
+        for r in items.clone() {
+            q.admit(r, ShedPolicy::RejectNew);
+        }
+        let batch = take_batch(&mut q, 100, 512);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(q.len(), depth as usize - 1);
+        let (nb, nl) = naive_take(items, 100, 512);
+        assert_eq!(batch[0].seq, nb[0]);
+        assert_eq!(q.iter().map(|r| r.seq).collect::<Vec<_>>(), nl);
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub struct TenantSpec {
     pub exclusive_permille: u32,
     /// Closed-loop: how often a shed request is retried before giving up.
     pub max_retries: u32,
-    /// Closed-loop: backoff before a retry re-arrives.
+    /// Closed-loop: base backoff before a retry re-arrives. Doubles per
+    /// retry already spent (`backoff << retries`, saturating), so
+    /// persistent overload pushes retries exponentially further out.
     pub retry_backoff_ps: Time,
 }
 
@@ -162,8 +164,18 @@ impl ClosedLoop {
         if let Outcome::Shed(s) = outcome {
             if s.request.retries < t.spec.max_retries {
                 let mut retry = s.request.clone();
+                // Exponential backoff: the n-th retry waits base << n,
+                // saturating (checked_shl alone would drop carried-out
+                // bits silently).
+                let backoff = if s.request.retries >= Time::BITS {
+                    Time::MAX
+                } else {
+                    t.spec
+                        .retry_backoff_ps
+                        .saturating_mul(1 << s.request.retries)
+                };
                 retry.retries += 1;
-                retry.arrival_ps = at.saturating_add(t.spec.retry_backoff_ps);
+                retry.arrival_ps = at.saturating_add(backoff);
                 return vec![retry];
             }
         }
@@ -219,6 +231,59 @@ mod tests {
         // 4 + 4 slots, all at time zero, seqs 0..4 per tenant.
         assert_eq!(first.len(), 8);
         assert!(first.iter().all(|r| r.arrival_ps == 0));
+    }
+
+    #[test]
+    fn retry_backoff_grows_exponentially() {
+        // Each successive shed of the same request must re-arrive
+        // strictly later *apart*: the gap doubles per retry.
+        let mut s = specs();
+        s[0].max_retries = 4;
+        s[0].retry_backoff_ps = 5_000;
+        let mut driver = ClosedLoop::new(&s, 7);
+        let first = driver.initial();
+        let mut current = first[0].clone();
+        let mut at = 100;
+        let mut gaps = Vec::new();
+        for _ in 0..4 {
+            let shed = Outcome::Shed(crate::request::Shed {
+                request: current.clone(),
+                at_ps: at,
+                reason: crate::request::ShedReason::QueueFull,
+            });
+            let retry = driver.on_outcome(&shed);
+            assert_eq!(retry.len(), 1);
+            gaps.push(retry[0].arrival_ps - at);
+            at = retry[0].arrival_ps;
+            current = retry[0].clone();
+        }
+        assert_eq!(gaps, vec![5_000, 10_000, 20_000, 40_000]);
+        for w in gaps.windows(2) {
+            assert!(w[1] > w[0], "retry gaps must strictly grow: {gaps:?}");
+        }
+    }
+
+    #[test]
+    fn retry_backoff_saturates_instead_of_overflowing() {
+        let mut s = specs();
+        s[0].max_retries = 2;
+        s[0].retry_backoff_ps = Time::MAX / 2;
+        let mut driver = ClosedLoop::new(&s, 7);
+        let first = driver.initial();
+        let shed = Outcome::Shed(crate::request::Shed {
+            request: first[0].clone(),
+            at_ps: 100,
+            reason: crate::request::ShedReason::QueueFull,
+        });
+        let retry = driver.on_outcome(&shed);
+        let shed_again = Outcome::Shed(crate::request::Shed {
+            request: retry[0].clone(),
+            at_ps: retry[0].arrival_ps,
+            reason: crate::request::ShedReason::QueueFull,
+        });
+        let retry2 = driver.on_outcome(&shed_again);
+        assert_eq!(retry2.len(), 1);
+        assert_eq!(retry2[0].arrival_ps, Time::MAX, "backoff must saturate");
     }
 
     #[test]

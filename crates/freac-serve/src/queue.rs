@@ -102,6 +102,28 @@ impl AdmissionQueue {
     pub fn remove_at(&mut self, idx: usize) -> Request {
         self.items.remove(idx).expect("index in range")
     }
+
+    /// Removes up to `cap` non-exclusive requests oldest-first in one
+    /// stable pass, appending them to `batch`; every request left behind
+    /// (exclusives, and the overflow past `cap`) keeps its relative
+    /// order. O(queue length), independent of `cap` — the coalescer calls
+    /// this once per dispatch instead of one `remove_at` per companion.
+    pub fn drain_batchable_into(&mut self, cap: usize, batch: &mut Vec<Request>) {
+        if cap == 0 || self.items.is_empty() {
+            return;
+        }
+        let mut kept = VecDeque::with_capacity(self.items.len());
+        let mut taken = 0usize;
+        for r in self.items.drain(..) {
+            if taken < cap && !r.exclusive {
+                batch.push(r);
+                taken += 1;
+            } else {
+                kept.push_back(r);
+            }
+        }
+        self.items = kept;
+    }
 }
 
 #[cfg(test)]

@@ -16,10 +16,14 @@
 //!
 //! `latency = queue wait + reconfiguration + fold execution`. A dispatch
 //! of `k` lanes executes in
-//! `max(cycles_per_item × fold_steps, scratchpad_service(k × words), 1)`
-//! tile-clock cycles: lanes run in parallel across a slice's tiles, so
-//! compute time is independent of `k` while operand service scales with
-//! it — the roofline of `freac_core::exec` at batch granularity.
+//! `max(cycles_per_item × fold_steps × ceil(k / tiles),
+//! scratchpad_service(k × words), 1)` tile-clock cycles: lanes run in
+//! parallel across a slice's tiles in *waves* — a batch wider than the
+//! partition's tile count queues extra waves of compute — while operand
+//! service scales with total lanes; the roofline of `freac_core::exec`
+//! at batch granularity. Batches may therefore be wider than the tile
+//! count (up to [`MAX_BATCH_LANES`]): a wave of extra compute still
+//! amortizes one reconfiguration and one scheduling decision.
 //! Reconfiguration (quoted by [`freac_core::reconfig_cost`]) is paid when
 //! a dispatch's kernel is not resident on the slice: a full flush+config
 //! on first claim, config streaming only on a swap; way reclaim is paid
@@ -32,7 +36,7 @@ use std::sync::Arc;
 use freac_core::scratchpad::ScratchpadModel;
 use freac_core::{reconfig_cost, Accelerator, AcceleratorTile, ReconfigCost, SlicePartition};
 use freac_kernels::{kernel, Kernel, KernelId};
-use freac_netlist::{compile, ExecPlan, Netlist, BATCH_LANES};
+use freac_netlist::{compile, ExecPlan, Netlist, BATCH_LANES, MAX_BATCH_LANES};
 use freac_probe::CounterRegistry;
 use freac_sim::{ClockDomain, Time};
 
@@ -82,7 +86,9 @@ pub struct ServeConfig {
     /// the baseline the `serve` bench compares against).
     pub batching: bool,
     /// Upper bound on lanes per dispatch (further capped by
-    /// [`BATCH_LANES`] and by how many tiles the partition hosts).
+    /// [`MAX_BATCH_LANES`], the widest bit-sliced sweep). Batches wider
+    /// than the partition's tile count execute in compute waves rather
+    /// than being truncated.
     pub max_lanes: usize,
 }
 
@@ -130,18 +136,21 @@ impl ServeConfig {
 /// A registered kernel with everything a dispatch needs precomputed.
 struct ServedKernel {
     accel: Arc<Accelerator>,
-    /// Compiled batch plan over the mapped netlist (the 64-lane path).
+    /// Compiled batch plan over the mapped netlist (bit-sliced, executed
+    /// at whatever width the dispatch needs via [`ExecPlan::run_batch_cycle_any`]).
     plan: ExecPlan,
     profile: RequestProfile,
     /// Functional depth actually executed for hashing.
     func_cycles: u64,
-    /// `cycles_per_item × fold steps` — compute cycles per lane.
+    /// `cycles_per_item × fold steps` — compute cycles per wave.
     compute_cycles: u64,
     /// Reconfiguration quote for this accelerator on the configured
     /// partition.
     cost: ReconfigCost,
     /// Lane capacity per dispatch.
     lanes_cap: usize,
+    /// Tiles the partition hosts: one wave runs this many lanes at once.
+    tiles: usize,
 }
 
 /// One compute slice's scheduling state.
@@ -371,7 +380,11 @@ impl Server {
         let steps = accel.fold_cycles() as u64;
         let cost = reconfig_cost(&accel, &self.cfg.partition, self.cfg.dirty_fraction)?;
         let tiles = (self.cfg.partition.mccs() / self.cfg.tile_mccs).max(1);
-        let lanes_cap = self.cfg.max_lanes.min(BATCH_LANES).min(tiles);
+        // The bit-sliced engine bounds lanes, not the tile count: a batch
+        // wider than the tiles runs extra compute waves instead of being
+        // truncated (the old `.min(tiles)` clamp capped every partition
+        // at ≤32 lanes and made `max_lanes` above that unreachable).
+        let lanes_cap = self.cfg.max_lanes.min(MAX_BATCH_LANES);
         let cycles = profile.cycles_per_item.max(1);
         self.kernels.insert(
             name.to_owned(),
@@ -382,6 +395,7 @@ impl Server {
                 compute_cycles: cycles.saturating_mul(steps),
                 cost,
                 lanes_cap,
+                tiles,
                 accel,
             },
         );
@@ -640,8 +654,12 @@ impl Server {
             ctx.cost.swap_ps()
         };
         let words = (ctx.profile.read_words + ctx.profile.write_words).saturating_mul(k as u64);
+        // Compute runs in waves of `tiles` lanes; operand service scales
+        // with total lanes. The round is the roofline max of the two.
+        let waves = (k as u64).div_ceil(ctx.tiles as u64).max(1);
         let round_cycles = ctx
             .compute_cycles
+            .saturating_mul(waves)
             .max(self.spad.service_cycles(words))
             .max(1);
         let exec_ps = self.clock.cycles_to_time(round_cycles);
@@ -665,10 +683,13 @@ impl Server {
             }
             vec![hash_outputs(&out)]
         } else {
-            let mut state = ctx.plan.new_batch_state();
+            // Width picked per dispatch: the narrowest bit-sliced sweep
+            // that fits the batch, so 65..=256 riders run one 4-word pass
+            // instead of several 64-lane rounds.
+            let mut state = ctx.plan.new_batch_state_for(k);
             let mut out = Vec::new();
             for _ in 0..ctx.func_cycles {
-                ctx.plan.run_batch_cycle(&mut state, &lanes, &mut out)?;
+                ctx.plan.run_batch_cycle_any(&mut state, &lanes, &mut out)?;
             }
             out.iter().map(|o| hash_outputs(o)).collect()
         };
@@ -709,6 +730,13 @@ impl Server {
             "serve.batches.coalesced"
         });
         self.probes.observe("serve.batch.occupancy", k as u64);
+        // Lane occupancy: occupied ≤ offered capacity per dispatch (a
+        // registered probe law), plus the widest batch seen and the
+        // compute waves it queued.
+        self.probes.add("serve.lanes.occupied", k as u64);
+        self.probes.add("serve.lanes.capacity", cap as u64);
+        self.probes.gauge_max("serve.lanes.widest", k as f64);
+        self.probes.add("serve.batch.waves", waves);
         if !resident {
             self.probes.inc("serve.reconfigs");
             self.probes.add("serve.reconfig.total_ps", reconfig_ps);
@@ -926,6 +954,61 @@ mod tests {
         assert_eq!(r.dispatches.len(), 1, "one coalesced batch");
         assert_eq!(r.dispatches[0].lanes, 8);
         assert_eq!(r.probes.counter("serve.batches.coalesced"), 1);
+    }
+
+    #[test]
+    fn wide_batches_coalesce_past_sixty_four_lanes_in_waves() {
+        // 100 simultaneous requests with max_lanes raised past one word:
+        // one dispatch, one 4-word bit-sliced pass, ceil(100 / tiles)
+        // compute waves — not two 64-lane rounds.
+        let mut s = server_with(ServeConfig {
+            slices: 1,
+            queue_depth: 512,
+            max_lanes: 256,
+            ..ServeConfig::default()
+        });
+        for i in 0..100 {
+            s.submit(Request::new("a", i, "k", 0, i)).unwrap();
+        }
+        let r = s.run_to_completion().unwrap();
+        assert_eq!(r.completions.len(), 100);
+        assert_eq!(r.dispatches.len(), 1, "one wide coalesced batch");
+        assert_eq!(r.dispatches[0].lanes, 100);
+        assert_eq!(r.probes.counter("serve.lanes.occupied"), 100);
+        assert_eq!(r.probes.counter("serve.lanes.capacity"), 256);
+        assert_eq!(r.probes.gauge("serve.lanes.widest"), Some(100.0));
+        let tiles =
+            (ServeConfig::default().partition.mccs() / ServeConfig::default().tile_mccs).max(1);
+        assert_eq!(
+            r.probes.counter("serve.batch.waves"),
+            (100u64).div_ceil(tiles as u64)
+        );
+        // Same functional results as the reference evaluator, tail lanes
+        // and all.
+        let net = s.kernel_netlist("k").unwrap();
+        let cycles = s.kernel_func_cycles("k").unwrap();
+        for c in &r.completions {
+            assert_eq!(c.output_hash, reference_hash(net, c.seed, cycles).unwrap());
+        }
+    }
+
+    #[test]
+    fn max_lanes_clamps_to_the_widest_sweep() {
+        let mut s = server_with(ServeConfig {
+            slices: 1,
+            queue_depth: 1024,
+            max_lanes: usize::MAX,
+            ..ServeConfig::default()
+        });
+        for i in 0..600 {
+            s.submit(Request::new("a", i, "k", 0, i)).unwrap();
+        }
+        let r = s.run_to_completion().unwrap();
+        assert_eq!(r.completions.len(), 600);
+        // MAX_BATCH_LANES = 512: a 600-deep queue takes two dispatches.
+        assert_eq!(r.dispatches.len(), 2);
+        assert_eq!(r.dispatches[0].lanes, MAX_BATCH_LANES);
+        assert_eq!(r.dispatches[1].lanes, 600 - MAX_BATCH_LANES);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use freac::fold::{compile_fold, schedule_fold, FoldConstraints, FoldedExecutor, 
 use freac::kernels::all_kernels;
 use freac::netlist::eval::Evaluator;
 use freac::netlist::techmap::{tech_map, TechMapOptions};
-use freac::netlist::{compile, Netlist, NodeKind, Value, BATCH_LANES};
+use freac::netlist::{compile, Netlist, NodeKind, Value, BATCH_LANES, BATCH_WIDTHS};
 use freac::probe::CounterRegistry;
 
 /// One deterministic input vector per primary input, respecting kinds.
@@ -93,6 +93,61 @@ fn batch_evaluation_matches_reference_on_every_kernel() {
                     "{id}: batch lane {l} diverged at pass {pass}"
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn wide_batch_matches_narrow_and_reference_on_every_kernel() {
+    // The multi-word sweeps (256 and 512 lanes) must be indistinguishable
+    // from both the 64-lane sweep (lane-for-lane on the shared prefix)
+    // and one reference Evaluator per lane — on every kernel, with the
+    // same cycle count at every width.
+    for id in all_kernels() {
+        let mapped = mapped_kernel(id);
+        let plan = compile(&mapped).unwrap_or_else(|e| panic!("{id}: compile: {e}"));
+        let lane_at = |l: u32| -> Vec<Value> {
+            inputs_for(&mapped, 0xbeef_0000 ^ l.wrapping_mul(0x0101_0101))
+        };
+        let passes = 3;
+        let mut narrow_by_pass: Vec<Vec<Vec<Value>>> = Vec::new();
+        for &width in &BATCH_WIDTHS {
+            let lanes: Vec<Vec<Value>> = (0..width as u32).map(lane_at).collect();
+            let mut state = plan.new_batch_state_for(width);
+            assert!(
+                state.lane_capacity() >= width,
+                "{id}: w{width} state holds only {} lanes",
+                state.lane_capacity()
+            );
+            let mut out = Vec::new();
+            let mut refs: Vec<Evaluator> = lanes.iter().map(|_| Evaluator::new(&mapped)).collect();
+            for pass in 0..passes {
+                plan.run_batch_cycle_any(&mut state, &lanes, &mut out)
+                    .unwrap_or_else(|e| panic!("{id}: w{width} pass {pass}: {e}"));
+                for (l, reference) in refs.iter_mut().enumerate() {
+                    let expect = reference
+                        .run_cycle(&lanes[l])
+                        .unwrap_or_else(|e| panic!("{id}: w{width} lane {l} reference: {e}"));
+                    assert_eq!(
+                        out[l], expect,
+                        "{id}: w{width} lane {l} diverged from reference at pass {pass}"
+                    );
+                }
+                if width == BATCH_LANES {
+                    narrow_by_pass.push(out.clone());
+                } else {
+                    assert_eq!(
+                        &out[..BATCH_LANES],
+                        &narrow_by_pass[pass][..],
+                        "{id}: w{width} pass {pass} diverged from the 64-lane sweep"
+                    );
+                }
+            }
+            assert_eq!(
+                state.cycles(),
+                passes as u64,
+                "{id}: w{width} miscounted cycles"
+            );
         }
     }
 }

@@ -122,6 +122,95 @@ fn tenant_quantiles_are_ordered() {
     }
 }
 
+/// The mixed workload with exclusives sprinkled in, served at a given
+/// lane cap, with tenants/kernels optionally registered (and the trace
+/// submitted) in reverse — the enumeration-order probe.
+fn serve_mixed_at_width(max_lanes: usize, reverse: bool) -> ServeReport {
+    let mut server = Server::new(ServeConfig {
+        policy: SchedPolicy::WeightedFair,
+        queue_depth: 512,
+        max_lanes,
+        ..ServeConfig::default()
+    })
+    .expect("config is valid");
+    let mut kernels = vec![KernelId::Aes, KernelId::Gemm];
+    let mut specs = mixed_specs();
+    for s in &mut specs {
+        s.exclusive_permille = 125; // ~1 in 8 rides the single-lane path
+    }
+    if reverse {
+        kernels.reverse();
+        specs.reverse();
+    }
+    for k in kernels {
+        server.register_paper_kernel(k).expect("kernel maps");
+    }
+    for s in &specs {
+        server.add_tenant(&s.name, s.weight).expect("unique tenant");
+    }
+    let mut trace = open_loop_trace(&specs, SEED, 1);
+    if reverse {
+        trace.reverse();
+    }
+    for req in trace {
+        server.submit(req).expect("trace request is valid");
+    }
+    server.run_to_completion().expect("serving drains")
+}
+
+#[test]
+fn every_batch_width_conserves_and_is_enumeration_order_independent() {
+    // At every bit-sliced sweep width (64, 256, 512 lanes), on a mixed
+    // exclusive/batchable trace: no request is lost, counters obey the
+    // registered laws, the schedule is a pure function of the request
+    // set, and the functional results are identical across widths.
+    let mut hashes_by_width: Vec<Vec<(String, u64, u64)>> = Vec::new();
+    for &width in &[64usize, 256, 512] {
+        let fwd = serve_mixed_at_width(width, false);
+        let rev = serve_mixed_at_width(width, true);
+        assert_eq!(
+            fwd.dispatches, rev.dispatches,
+            "w{width}: schedule depends on enumeration order"
+        );
+        assert_eq!(
+            fwd.completions, rev.completions,
+            "w{width}: completions depend on enumeration order"
+        );
+        assert_eq!(
+            freac::probe::to_counters_json(&fwd.probes),
+            freac::probe::to_counters_json(&rev.probes),
+            "w{width}: counters depend on enumeration order"
+        );
+        let submitted = fwd.probes.counter("serve.requests.submitted");
+        assert_eq!(submitted, 128, "w{width}: full trace submitted");
+        assert_eq!(
+            fwd.completions.len() as u64 + fwd.sheds.len() as u64,
+            submitted,
+            "w{width}: conservation violated"
+        );
+        let violations = freac::probe::check(&fwd.probes);
+        assert!(violations.is_empty(), "w{width}: {violations:?}");
+        assert!(
+            fwd.probes.counter("serve.lanes.occupied")
+                <= fwd.probes.counter("serve.lanes.capacity"),
+            "w{width}: batches exceeded offered lanes"
+        );
+        let mut hashes: Vec<(String, u64, u64)> = fwd
+            .completions
+            .iter()
+            .map(|c| (c.tenant.clone(), c.seq, c.output_hash))
+            .collect();
+        hashes.sort();
+        hashes_by_width.push(hashes);
+    }
+    for pair in hashes_by_width.windows(2) {
+        assert_eq!(
+            pair[0], pair[1],
+            "output hashes diverged between sweep widths"
+        );
+    }
+}
+
 #[test]
 fn exclusive_requests_are_never_coalesced() {
     let mut server = Server::new(ServeConfig::default()).expect("config");
