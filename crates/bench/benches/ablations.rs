@@ -1,11 +1,12 @@
-//! Ablations of the design choices (LUT mode, large-tile clock, LUT
-//! packing, fold-scheduling policy, LLC inclusion).
+//! Ablations of the design choices (LUT mode, large-tile clock, netlist
+//! optimization, LUT packing, fold-scheduling policy, LLC inclusion).
 
 use freac_experiments::ablations;
 
 fn main() {
     println!("{}", ablations::lut_mode().table());
     println!("{}", ablations::clock_penalty().table());
+    println!("{}", ablations::netlist_opt().table());
     println!("{}", ablations::packing().table());
     println!("{}", ablations::scheduler_policy().table());
     println!("{}", ablations::inclusion().table());

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use freac_fold::{compile_fold, schedule_fold, FoldPlan, FoldSchedule};
 use freac_netlist::techmap::{tech_map, TechMapOptions};
-use freac_netlist::{Netlist, NetlistStats, Value};
+use freac_netlist::{optimize, Netlist, NetlistStats, OptLevel, OptOptions, OptReport, Value};
 
 use crate::bitstream::Bitstream;
 use crate::error::CoreError;
@@ -26,21 +26,40 @@ pub struct Accelerator {
     plan: FoldPlan,
     bitstream: Bitstream,
     tile: AcceleratorTile,
+    opt_level: OptLevel,
+    opt_report: OptReport,
 }
 
 impl Accelerator {
-    /// Maps `circuit` onto `tile`: technology-maps to the tile's LUT size,
-    /// folds under the tile's resource envelope, compiles the schedule into
-    /// an execution plan (validating every dependency), and packs the
-    /// bitstream.
+    /// Maps `circuit` onto `tile`: optimizes the netlist at the level given
+    /// by `FREAC_OPT_LEVEL` (default: full), technology-maps to the tile's
+    /// LUT size, folds under the tile's resource envelope, compiles the
+    /// schedule into an execution plan (validating every dependency), and
+    /// packs the bitstream.
     ///
     /// # Errors
     ///
     /// Propagates mapping and folding failures (for example a circuit whose
     /// schedule exceeds the 2048 configuration rows).
     pub fn map(circuit: &Netlist, tile: &AcceleratorTile) -> Result<Self, CoreError> {
+        Self::map_with_level(circuit, tile, OptLevel::from_env())
+    }
+
+    /// [`Accelerator::map`] at an explicit optimization level, ignoring the
+    /// environment — ablation experiments and opt-on/off differential tests
+    /// use this to hold everything but the level fixed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping and folding failures.
+    pub fn map_with_level(
+        circuit: &Netlist,
+        tile: &AcceleratorTile,
+        level: OptLevel,
+    ) -> Result<Self, CoreError> {
         let k = tile.lut_mode().k();
-        let mapped = tech_map(circuit, TechMapOptions { k })?;
+        let (optimized, opt_report) = optimize(circuit, OptOptions::at(level).with_lut_k(k))?;
+        let mapped = tech_map(&optimized, TechMapOptions { k })?;
         let schedule = schedule_fold(&mapped, &tile.fold_constraints())?;
         let plan = compile_fold(&mapped, &schedule)?;
         let bitstream = Bitstream::pack(&mapped, &schedule, tile.mccs(), tile.lut_mode());
@@ -51,6 +70,8 @@ impl Accelerator {
             plan,
             bitstream,
             tile: *tile,
+            opt_level: level,
+            opt_report,
         })
     }
 
@@ -64,6 +85,30 @@ impl Accelerator {
     /// Propagates mapping and folding failures.
     pub fn map_shared(circuit: &Netlist, tile: &AcceleratorTile) -> Result<Arc<Self>, CoreError> {
         Self::map(circuit, tile).map(Arc::new)
+    }
+
+    /// [`Accelerator::map_with_level`] behind an [`Arc`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping and folding failures.
+    pub fn map_shared_with_level(
+        circuit: &Netlist,
+        tile: &AcceleratorTile,
+        level: OptLevel,
+    ) -> Result<Arc<Self>, CoreError> {
+        Self::map_with_level(circuit, tile, level).map(Arc::new)
+    }
+
+    /// The optimization level the circuit was mapped at.
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt_level
+    }
+
+    /// The optimization pipeline's per-pass delta report (empty passes at
+    /// [`OptLevel::Off`]).
+    pub fn opt_report(&self) -> &OptReport {
+        &self.opt_report
     }
 
     /// The circuit's name.
@@ -228,6 +273,39 @@ mod tests {
                 reference = fx.run_cycle(&inputs).unwrap();
             }
             assert_eq!(compiled, reference, "{cycles} cycles");
+        }
+    }
+
+    #[test]
+    fn opt_levels_agree_and_full_is_no_bigger() {
+        // A circuit with redundancy the pipeline can find: duplicated xor
+        // cones feeding a reduction. Off and Full must compute identical
+        // outputs; Full must not map to more LUTs than Off.
+        let mut b = CircuitBuilder::new("redundant");
+        let a = b.word_input("a", 8);
+        let x1 = b.xor(a.bit(0), a.bit(1));
+        let x2 = b.xor(a.bit(0), a.bit(1));
+        let bits: Vec<_> = (2..8).map(|i| a.bit(i)).collect();
+        let mut all = vec![x1, x2];
+        all.extend(bits);
+        let r = b.reduce_xor(&all);
+        b.bit_output("r", r);
+        let circuit = b.finish().unwrap();
+        let tile = AcceleratorTile::new(2).unwrap();
+        let off = Accelerator::map_with_level(&circuit, &tile, OptLevel::Off).unwrap();
+        let full = Accelerator::map_with_level(&circuit, &tile, OptLevel::Full).unwrap();
+        assert_eq!(off.opt_level(), OptLevel::Off);
+        assert_eq!(full.opt_level(), OptLevel::Full);
+        assert_eq!(off.opt_report().total_rewrites(), 0);
+        assert!(full.opt_report().total_rewrites() > 0);
+        assert!(full.stats().luts <= off.stats().luts);
+        for i in 0..64u32 {
+            let inputs = [Value::Word(i * 89 % 256)];
+            assert_eq!(
+                off.execute(&inputs, 1).unwrap(),
+                full.execute(&inputs, 1).unwrap(),
+                "input {i}"
+            );
         }
     }
 

@@ -65,6 +65,7 @@ fn run_one(name: &str) -> bool {
         "ablations" => {
             println!("{}", exp::ablations::lut_mode().table());
             println!("{}", exp::ablations::clock_penalty().table());
+            println!("{}", exp::ablations::netlist_opt().table());
             println!("{}", exp::ablations::packing().table());
             println!("{}", exp::ablations::scheduler_policy().table());
             println!("{}", exp::ablations::inclusion().table());

@@ -12,11 +12,12 @@ use freac_baselines::fpga::FpgaModel;
 use freac_cache::LlcGeometry;
 use freac_core::SlicePartition;
 use freac_kernels::{kernel, KernelId, BATCH};
+use freac_netlist::OptLevel;
 use freac_power::cpu::host_cpu_power_w;
 
 use crate::parallel;
 use crate::render::{fmt_ratio, fmt_w, TextTable};
-use crate::runner::best_freac_run;
+use crate::runner::best_freac_run_at_level;
 
 /// A (speedup, power-in-watts) pair relative to the single-thread baseline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,7 +60,7 @@ pub struct Fig12 {
     pub rows: Vec<Fig12Row>,
 }
 
-fn end_to_end_row(id: KernelId) -> Fig12Row {
+fn end_to_end_row(id: KernelId, level: OptLevel) -> Fig12Row {
     let cpu = CpuModel::default();
     let k = kernel(id);
     let w = k.workload(BATCH);
@@ -90,7 +91,7 @@ fn end_to_end_row(id: KernelId) -> Fig12Row {
 
     let freac = (1..=8usize)
         .map(|slices| {
-            best_freac_run(id, SlicePartition::end_to_end(), slices)
+            best_freac_run_at_level(id, SlicePartition::end_to_end(), slices, level)
                 .ok()
                 .map(|b| {
                     // Cores generate the working set directly into the
@@ -122,10 +123,19 @@ fn end_to_end_row(id: KernelId) -> Fig12Row {
     }
 }
 
-/// Runs the experiment (kernels evaluated on the shared worker pool).
+/// Runs the experiment (kernels evaluated on the shared worker pool) at
+/// the `FREAC_OPT_LEVEL` netlist-optimization level (default: full).
 pub fn run() -> Fig12 {
+    run_at_level(OptLevel::from_env())
+}
+
+/// [`run`] at an explicit netlist-optimization level. [`OptLevel::Off`]
+/// reproduces the seed calibration — kernel circuits sized against the
+/// paper's VTR netlists with no netlist-level optimization — while the
+/// default level shows the end-to-end effect of the pass pipeline.
+pub fn run_at_level(level: OptLevel) -> Fig12 {
     Fig12 {
-        rows: parallel::map_kernels(end_to_end_row),
+        rows: parallel::map_kernels(|id| end_to_end_row(id, level)),
     }
 }
 
@@ -236,19 +246,51 @@ mod tests {
     fn logic_heavy_kernels_lose_to_multithreaded_cpu() {
         // Paper Sec. V-C: "Logic-heavy apps like AES and sorting (SRT)
         // suffer a higher penalty due to folding ... the multi-threaded
-        // implementation outpaces them."
-        let fig = run();
+        // implementation outpaces them." The claim is about the paper's
+        // VTR netlists, which carry no netlist-level optimization — so it
+        // is asserted against the raw circuits the seed was calibrated on.
+        let fig = run_at_level(OptLevel::Off);
         for id in [KernelId::Aes, KernelId::Srt] {
             let r = fig.rows.iter().find(|r| r.kernel == id).unwrap();
             let f8 = r.freac[7].unwrap();
             assert!(
                 f8.speedup < r.cpu8.speedup * 1.1,
-                "{id}: FReaC {} should not clearly beat CPU8 {}",
+                "{id}: raw FReaC {} should not clearly beat CPU8 {}",
                 f8.speedup,
                 r.cpu8.speedup
             );
             assert!(f8.speedup > 1.0, "{id} still beats one thread");
         }
+    }
+
+    #[test]
+    fn optimizer_narrows_the_folding_penalty() {
+        // With the pass pipeline on (the default), the logic-heavy kernels
+        // shed redundant LUTs and the folding penalty shrinks: SRT's
+        // compare-exchange network loses over half its LUTs and now clears
+        // the 8-thread host, while AES — the largest circuit, still
+        // hundreds of folds deep after optimization — stays pinned near it.
+        let raw = run_at_level(OptLevel::Off);
+        let opt = run_at_level(OptLevel::Full);
+        for id in [KernelId::Aes, KernelId::Srt] {
+            let r0 = raw.rows.iter().find(|r| r.kernel == id).unwrap();
+            let r1 = opt.rows.iter().find(|r| r.kernel == id).unwrap();
+            let (f0, f1) = (r0.freac[7].unwrap(), r1.freac[7].unwrap());
+            assert!(
+                f1.speedup >= f0.speedup,
+                "{id}: optimization must not slow the end-to-end run ({} -> {})",
+                f0.speedup,
+                f1.speedup
+            );
+        }
+        let aes = opt.rows.iter().find(|r| r.kernel == KernelId::Aes).unwrap();
+        let f8 = aes.freac[7].unwrap();
+        assert!(
+            f8.speedup < aes.cpu8.speedup * 1.25,
+            "AES stays folding-bound even optimized ({} vs CPU8 {})",
+            f8.speedup,
+            aes.cpu8.speedup
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@ use freac_core::exec::{run_kernel, ExecConfig, KernelRun, KernelSpec};
 use freac_core::{Accelerator, AcceleratorTile, CoreError, SlicePartition};
 use freac_fold::LutMode;
 use freac_kernels::{kernel, KernelId, Workload, BATCH};
+use freac_netlist::OptLevel;
 
 /// Tile sizes swept by the design-space figures.
 pub const TILE_SIZES: [usize; 6] = [1, 2, 4, 8, 16, 32];
@@ -29,8 +30,11 @@ pub fn spec_of(id: KernelId, w: &Workload) -> KernelSpec {
     }
 }
 
-/// Key of the process-wide mapping cache: which circuit, on which tile.
-type MapKey = (KernelId, usize, LutMode);
+/// Key of the process-wide mapping cache: which circuit, on which tile, at
+/// which netlist-optimization level — opt-on and opt-off accelerators for
+/// the same cell coexist, so an ablation sweeping `FREAC_OPT_LEVEL` levels
+/// never gets a stale cell back.
+type MapKey = (KernelId, usize, LutMode, OptLevel);
 type MapResult = Result<Arc<Accelerator>, CoreError>;
 
 /// The process-wide memoized mapping cache. Shannon decomposition +
@@ -99,7 +103,22 @@ pub fn map_kernel_with_mode(
     tile_mccs: usize,
     mode: LutMode,
 ) -> Result<Arc<Accelerator>, CoreError> {
-    let key = (id, tile_mccs, mode);
+    map_kernel_at_level(id, tile_mccs, mode, OptLevel::from_env())
+}
+
+/// [`map_kernel_with_mode`] at an explicit netlist-optimization level
+/// (ignoring `FREAC_OPT_LEVEL`), memoized under the same cache.
+///
+/// # Errors
+///
+/// Propagates mapping/folding failures.
+pub fn map_kernel_at_level(
+    id: KernelId,
+    tile_mccs: usize,
+    mode: LutMode,
+    level: OptLevel,
+) -> Result<Arc<Accelerator>, CoreError> {
+    let key = (id, tile_mccs, mode, level);
     if let Some(hit) = mapping_cache()
         .lock()
         .expect("mapping cache poisoned")
@@ -113,7 +132,19 @@ pub fn map_kernel_with_mode(
     // racing duplicate insert is benign (both runs are deterministic and
     // produce identical accelerators — last write wins).
     let res = AcceleratorTile::with_mode(tile_mccs, mode)
-        .and_then(|tile| Accelerator::map_shared(&kernel(id).circuit(), &tile));
+        .and_then(|tile| Accelerator::map_shared_with_level(&kernel(id).circuit(), &tile, level));
+    if let (Ok(accel), Some(p)) = (&res, freac_probe::global::global()) {
+        // Optimization deltas are deterministic per cell, so publish them
+        // as idempotent gauges: racing cache misses for the same cell write
+        // the same values, keeping 1-vs-N-worker counter files identical
+        // (a counter would double-count on a duplicate synthesis).
+        let r = accel.opt_report();
+        let prefix = format!("experiments.opt.{}.t{}", id.name(), tile_mccs);
+        p.gauge_max(&format!("{prefix}.luts_before"), r.before.luts as f64);
+        p.gauge_max(&format!("{prefix}.luts_after"), r.after.luts as f64);
+        p.gauge_max(&format!("{prefix}.depth_before"), f64::from(r.before.depth));
+        p.gauge_max(&format!("{prefix}.depth_after"), f64::from(r.after.depth));
+    }
     mapping_cache()
         .lock()
         .expect("mapping cache poisoned")
@@ -150,6 +181,22 @@ pub fn best_freac_run(
     partition: SlicePartition,
     slices: usize,
 ) -> Result<BestRun, CoreError> {
+    best_freac_run_at_level(id, partition, slices, OptLevel::from_env())
+}
+
+/// [`best_freac_run`] at an explicit netlist-optimization level, for
+/// ablations that compare raw-vs-optimized end-to-end performance without
+/// touching `FREAC_OPT_LEVEL`.
+///
+/// # Errors
+///
+/// Returns the last error if no tile size is feasible.
+pub fn best_freac_run_at_level(
+    id: KernelId,
+    partition: SlicePartition,
+    slices: usize,
+    level: OptLevel,
+) -> Result<BestRun, CoreError> {
     let k = kernel(id);
     let w = k.workload(BATCH);
     let spec = spec_of(id, &w);
@@ -164,7 +211,7 @@ pub fn best_freac_run(
         if t > partition.mccs() {
             continue;
         }
-        let accel = match map_kernel(id, t) {
+        let accel = match map_kernel_at_level(id, t, LutMode::Lut4, level) {
             Ok(a) => a,
             Err(e) => {
                 last_err = Some(e);

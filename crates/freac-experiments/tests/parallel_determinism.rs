@@ -9,13 +9,14 @@ use freac_experiments as exp;
 fn render_figures() -> String {
     let f12 = exp::fig12::run();
     format!(
-        "{}\n{}\n{}\n{}\n{}\n{}\n{}",
+        "{}\n{}\n{}\n{}\n{}\n{}\n{}\n{}",
         exp::fig08::run().table(),
         exp::fig09::run().table(),
         exp::fig11::run().table(),
         f12.speedup_table(),
         f12.power_table(),
         exp::ablations::lut_mode().table(),
+        exp::ablations::netlist_opt().table(),
         exp::energy_breakdown::run().table(),
     )
 }

@@ -6,6 +6,8 @@
 //! produce bit-identical results; that equivalence is the central functional
 //! correctness property of the reproduction and is property-tested.
 
+use std::fmt;
+
 use crate::error::NetlistError;
 use crate::graph::{Netlist, NodeKind, Value};
 use crate::level::{level_graph, LeveledGraph};
@@ -212,25 +214,57 @@ impl<'a> Evaluator<'a> {
     }
 }
 
-/// Convenience check that two netlists compute the same function on a batch
-/// of input vectors (used to verify technology mapping preserves semantics).
+/// The first divergence [`first_mismatch`] found between two netlists:
+/// which input vector disagreed, on which cycle, under which primary-input
+/// assignment, and what each side produced.
+///
+/// The [`fmt::Display`] form is the debugging payload the differential
+/// oracles print when an optimization pass breaks equivalence — an opaque
+/// `false` from [`equivalent_on`] names none of this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivalenceMismatch {
+    /// Index of the diverging vector in the caller's `input_vectors`.
+    pub vector: usize,
+    /// 0-based cycle within that vector's replay.
+    pub cycle: usize,
+    /// The primary-input assignment of the diverging vector.
+    pub inputs: Vec<Value>,
+    /// Outputs of the first (`a`) netlist, declaration order.
+    pub left: Vec<Value>,
+    /// Outputs of the second (`b`) netlist, declaration order.
+    pub right: Vec<Value>,
+}
+
+impl fmt::Display for EquivalenceMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "netlists diverge on vector #{} (cycle {}): inputs {:?} -> left {:?}, right {:?}",
+            self.vector, self.cycle, self.inputs, self.left, self.right
+        )
+    }
+}
+
+/// Finds the first input vector on which two netlists disagree, if any.
 ///
 /// Both netlists are compiled to [execution plans](crate::plan::ExecPlan)
 /// and, when they carry no sequential state, checked up to
 /// [`MAX_BATCH_LANES`](crate::plan::MAX_BATCH_LANES) input vectors per
 /// bit-sliced batch pass (512 with the 8-word sweep). Sequential netlists
 /// fall back to single-vector compiled execution with state carried across
-/// vectors — the original evaluator semantics.
+/// vectors — the original evaluator semantics. The reported vector index
+/// is always the smallest diverging index within the first diverging
+/// batch pass.
 ///
 /// # Errors
 ///
 /// Propagates compilation and evaluation errors from either netlist.
-pub fn equivalent_on(
+pub fn first_mismatch(
     a: &Netlist,
     b: &Netlist,
     input_vectors: &[Vec<Value>],
     cycles_per_vector: usize,
-) -> Result<bool, NetlistError> {
+) -> Result<Option<EquivalenceMismatch>, NetlistError> {
     let pa = crate::plan::compile(a)?;
     let pb = crate::plan::compile(b)?;
     if pa.is_combinational() && pb.is_combinational() {
@@ -242,12 +276,27 @@ pub fn equivalent_on(
         let mut sa = pa.new_batch_state_for(crate::plan::MAX_BATCH_LANES);
         let mut sb = pb.new_batch_state_for(crate::plan::MAX_BATCH_LANES);
         let (mut oa, mut ob) = (Vec::new(), Vec::new());
-        for chunk in input_vectors.chunks(crate::plan::MAX_BATCH_LANES) {
-            for _ in 0..cycles_per_vector {
+        for (chunk_idx, chunk) in input_vectors
+            .chunks(crate::plan::MAX_BATCH_LANES)
+            .enumerate()
+        {
+            for cycle in 0..cycles_per_vector {
                 pa.run_batch_cycle_any(&mut sa, chunk, &mut oa)?;
                 pb.run_batch_cycle_any(&mut sb, chunk, &mut ob)?;
                 if oa != ob {
-                    return Ok(false);
+                    let lane = oa
+                        .iter()
+                        .zip(&ob)
+                        .position(|(x, y)| x != y)
+                        .expect("unequal batches have a diverging lane");
+                    let vector = chunk_idx * crate::plan::MAX_BATCH_LANES + lane;
+                    return Ok(Some(EquivalenceMismatch {
+                        vector,
+                        cycle,
+                        inputs: chunk[lane].clone(),
+                        left: oa[lane].clone(),
+                        right: ob[lane].clone(),
+                    }));
                 }
             }
         }
@@ -255,17 +304,66 @@ pub fn equivalent_on(
         let mut sa = pa.new_state();
         let mut sb = pb.new_state();
         let (mut oa, mut ob) = (Vec::new(), Vec::new());
-        for v in input_vectors {
-            for _ in 0..cycles_per_vector {
+        for (vector, v) in input_vectors.iter().enumerate() {
+            for cycle in 0..cycles_per_vector {
                 pa.run_cycle_into(&mut sa, v, &mut oa)?;
                 pb.run_cycle_into(&mut sb, v, &mut ob)?;
                 if oa != ob {
-                    return Ok(false);
+                    return Ok(Some(EquivalenceMismatch {
+                        vector,
+                        cycle,
+                        inputs: v.clone(),
+                        left: oa.clone(),
+                        right: ob.clone(),
+                    }));
                 }
             }
         }
     }
-    Ok(true)
+    Ok(None)
+}
+
+/// Convenience check that two netlists compute the same function on a batch
+/// of input vectors (used to verify technology mapping preserves semantics).
+///
+/// Thin wrapper over [`first_mismatch`]; use that (or
+/// [`assert_equivalent_on`]) when a failure needs to say *which* vector
+/// diverged.
+///
+/// # Errors
+///
+/// Propagates compilation and evaluation errors from either netlist.
+pub fn equivalent_on(
+    a: &Netlist,
+    b: &Netlist,
+    input_vectors: &[Vec<Value>],
+    cycles_per_vector: usize,
+) -> Result<bool, NetlistError> {
+    Ok(first_mismatch(a, b, input_vectors, cycles_per_vector)?.is_none())
+}
+
+/// Asserts two netlists agree on every vector, panicking with the first
+/// diverging vector index, PI assignment, and both output rows.
+///
+/// # Panics
+///
+/// Panics on the first divergence, or on a compilation/evaluation error
+/// from either netlist.
+pub fn assert_equivalent_on(
+    a: &Netlist,
+    b: &Netlist,
+    input_vectors: &[Vec<Value>],
+    cycles_per_vector: usize,
+) {
+    match first_mismatch(a, b, input_vectors, cycles_per_vector) {
+        Ok(None) => {}
+        Ok(Some(m)) => panic!("{} vs {}: {m}", a.name(), b.name()),
+        Err(e) => panic!(
+            "equivalence check of {} vs {} failed to run: {e}",
+            a.name(),
+            b.name()
+        ),
+    }
 }
 
 #[cfg(test)]

@@ -75,7 +75,7 @@ impl Value {
 }
 
 /// The operation a node performs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum NodeKind {
     /// Primary bit input with index `index` into the netlist input list.
     ///

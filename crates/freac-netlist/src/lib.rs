@@ -51,7 +51,12 @@ pub mod truth;
 pub mod verilog;
 
 pub use error::NetlistError;
+pub use eval::{assert_equivalent_on, equivalent_on, first_mismatch, EquivalenceMismatch};
 pub use graph::{Netlist, Node, NodeId, NodeKind, SignalType, Value};
+pub use opt::{
+    optimize, pack_luts, OptLevel, OptMetrics, OptOptions, OptReport, PackReport, PassDelta,
+    PassKind, PassManager, WorkGraph,
+};
 pub use plan::{
     compile, AnyBatchState, BatchState, ExecPlan, PlanState, BATCH_LANES, BATCH_WIDTHS,
     MAX_BATCH_LANES, MAX_BATCH_WORDS,

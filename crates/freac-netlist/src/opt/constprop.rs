@@ -1,0 +1,304 @@
+//! Constant propagation through LUT truth tables and word operators.
+//!
+//! Known-constant operands are folded into the consuming operation:
+//!
+//! - a `ConstBit` feeding a LUT is cofactored out of the truth table
+//!   (Shannon restriction), shrinking the table by one input per constant;
+//! - a LUT whose (restricted) table is constant, or the identity of its one
+//!   remaining input, disappears entirely;
+//! - `Pack` of all-constant bits becomes a `ConstWord`; `Pack` of the full
+//!   32-bit unpack of one word node becomes that word node;
+//! - `Unpack` of a `ConstWord` becomes a `ConstBit`, and `Unpack` of a
+//!   `Pack` forwards straight to the packed bit (or constant false past the
+//!   packed width, matching zero extension);
+//! - a `Mac` with a zero multiplicand forwards to its accumulator, and an
+//!   all-constant `Mac` becomes a `ConstWord`.
+//!
+//! Sequential nodes are left alone: a flip-flop with a constant D input
+//! still differs from that constant on the first cycle unless the init
+//! value happens to match, and the pipeline does not reason about init
+//! states.
+//!
+//! Materialized constants are deduplicated through a find-or-create cache
+//! seeded from the live graph, so repeated runs converge instead of
+//! minting fresh constant nodes forever.
+
+use std::collections::HashMap;
+
+use crate::error::NetlistError;
+use crate::graph::{NodeId, NodeKind};
+use crate::truth::TruthTable;
+
+use super::work::WorkGraph;
+
+/// Find-or-create cache for constant nodes.
+struct Consts {
+    bits: [Option<NodeId>; 2],
+    words: HashMap<u32, NodeId>,
+}
+
+impl Consts {
+    fn scan(g: &WorkGraph) -> Consts {
+        let mut c = Consts {
+            bits: [None; 2],
+            words: HashMap::new(),
+        };
+        for i in 0..g.len() {
+            let id = NodeId(i as u32);
+            if !g.is_live(id) {
+                continue;
+            }
+            match *g.kind(id) {
+                NodeKind::ConstBit(b) => {
+                    c.bits[b as usize].get_or_insert(id);
+                }
+                NodeKind::ConstWord(w) => {
+                    c.words.entry(w).or_insert(id);
+                }
+                _ => {}
+            }
+        }
+        c
+    }
+
+    fn bit(&mut self, g: &mut WorkGraph, v: bool) -> NodeId {
+        *self.bits[v as usize].get_or_insert_with(|| g.add_node(NodeKind::ConstBit(v), Vec::new()))
+    }
+
+    fn word(&mut self, g: &mut WorkGraph, v: u32) -> NodeId {
+        *self
+            .words
+            .entry(v)
+            .or_insert_with(|| g.add_node(NodeKind::ConstWord(v), Vec::new()))
+    }
+}
+
+/// One application of constant propagation. Returns the number of nodes
+/// folded, forwarded, or shrunk.
+pub(super) fn run(g: &mut WorkGraph) -> Result<usize, NetlistError> {
+    g.canonicalize();
+    let mut consts = Consts::scan(g);
+    let mut rewrites = 0usize;
+    // Snapshot the length: nodes appended below are constants with nothing
+    // to fold.
+    let n = g.len();
+    for i in 0..n {
+        let id = NodeId(i as u32);
+        if !g.is_live(id) {
+            continue;
+        }
+        // Visit in id order with on-the-fly resolution so a constant
+        // discovered at node `i` feeds the folding of every consumer with a
+        // larger id within the same sweep.
+        let ins: Vec<NodeId> = g.inputs(id).iter().map(|&x| g.resolve(x)).collect();
+        match g.kind(id).clone() {
+            NodeKind::Lut(mut table) => {
+                let mut ins = ins;
+                let mut pos = 0usize;
+                let mut changed = false;
+                while pos < ins.len() {
+                    if let NodeKind::ConstBit(b) = *g.kind(ins[pos]) {
+                        let (lo, hi) = table.cofactors(pos);
+                        table = if b { hi } else { lo };
+                        ins.remove(pos);
+                        changed = true;
+                    } else {
+                        pos += 1;
+                    }
+                }
+                if let Some(c) = table.is_constant() {
+                    let cn = consts.bit(g, c);
+                    g.replace(id, cn);
+                    rewrites += 1;
+                } else if table.inputs() == 1 && table == TruthTable::identity() {
+                    let src = ins[0];
+                    g.replace(id, src);
+                    rewrites += 1;
+                } else if changed {
+                    g.set_node(id, NodeKind::Lut(table), ins);
+                    rewrites += 1;
+                }
+            }
+            NodeKind::Pack => {
+                let all_bits: Option<u32> =
+                    ins.iter()
+                        .enumerate()
+                        .try_fold(0u32, |acc, (b, &inp)| match *g.kind(inp) {
+                            NodeKind::ConstBit(true) => Some(acc | (1 << b)),
+                            NodeKind::ConstBit(false) => Some(acc),
+                            _ => None,
+                        });
+                if let Some(w) = all_bits {
+                    let cn = consts.word(g, w);
+                    g.replace(id, cn);
+                    rewrites += 1;
+                } else if ins.len() == 32 {
+                    // Pack of the untouched 32-bit unpack of one word node
+                    // is that word node (zero extension is vacuous at full
+                    // width).
+                    let repack_of = match *g.kind(ins[0]) {
+                        NodeKind::Unpack { bit: 0 } => Some(g.resolve(g.inputs(ins[0])[0])),
+                        _ => None,
+                    };
+                    if let Some(w) = repack_of {
+                        let identity = ins.iter().enumerate().all(|(b, &inp)| {
+                            matches!(*g.kind(inp), NodeKind::Unpack { bit } if bit as usize == b)
+                                && g.resolve(g.inputs(inp)[0]) == w
+                        });
+                        if identity {
+                            g.replace(id, w);
+                            rewrites += 1;
+                        }
+                    }
+                }
+            }
+            NodeKind::Unpack { bit } => match g.kind(ins[0]).clone() {
+                NodeKind::ConstWord(w) => {
+                    let cn = consts.bit(g, (w >> bit) & 1 == 1);
+                    g.replace(id, cn);
+                    rewrites += 1;
+                }
+                NodeKind::Pack => {
+                    let pins = g.inputs(ins[0]).to_vec();
+                    let src = if (bit as usize) < pins.len() {
+                        g.resolve(pins[bit as usize])
+                    } else {
+                        consts.bit(g, false)
+                    };
+                    g.replace(id, src);
+                    rewrites += 1;
+                }
+                _ => {}
+            },
+            NodeKind::Mac => {
+                let word_of = |g: &WorkGraph, x: NodeId| match *g.kind(x) {
+                    NodeKind::ConstWord(w) => Some(w),
+                    _ => None,
+                };
+                let (a, b, acc) = (ins[0], ins[1], ins[2]);
+                let (ca, cb, cacc) = (word_of(g, a), word_of(g, b), word_of(g, acc));
+                if let (Some(a), Some(b), Some(acc)) = (ca, cb, cacc) {
+                    let cn = consts.word(g, a.wrapping_mul(b).wrapping_add(acc));
+                    g.replace(id, cn);
+                    rewrites += 1;
+                } else if ca == Some(0) || cb == Some(0) {
+                    g.replace(id, acc);
+                    rewrites += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(rewrites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::graph::Netlist;
+
+    fn run_pipe(n: &Netlist) -> (WorkGraph, usize) {
+        let mut g = WorkGraph::from_netlist(n);
+        let rw = run(&mut g).unwrap();
+        (g, rw)
+    }
+
+    #[test]
+    fn const_input_cofactors_the_table() {
+        let mut b = CircuitBuilder::new("c");
+        let a = b.bit_input("a");
+        let t = b.const_bit(true);
+        let y = b.and(a, t); // a & 1 == a
+        b.bit_output("y", y);
+        let n = b.finish().unwrap();
+        let (g, rw) = run_pipe(&n);
+        assert!(rw >= 1);
+        // Output must now read the input directly.
+        let po = n.primary_outputs()[0];
+        assert_eq!(g.resolve(g.inputs(po)[0]), n.primary_inputs()[0]);
+    }
+
+    #[test]
+    fn all_const_lut_becomes_const_bit() {
+        let mut b = CircuitBuilder::new("c");
+        let t = b.const_bit(true);
+        let f = b.const_bit(false);
+        let y = b.and(t, f);
+        b.bit_output("y", y);
+        let n = b.finish().unwrap();
+        let (g, _) = run_pipe(&n);
+        let po = n.primary_outputs()[0];
+        assert!(matches!(
+            *g.kind(g.resolve(g.inputs(po)[0])),
+            NodeKind::ConstBit(false)
+        ));
+    }
+
+    #[test]
+    fn const_word_operand_folds_through_adder() {
+        let mut b = CircuitBuilder::new("c");
+        let w = b.const_word(0b1010, 4);
+        let a = b.word_input("a", 4);
+        let s = b.add(&a, &w);
+        b.word_output("s", &s);
+        let n = b.finish().unwrap();
+        // The adder consumes const bits directly; fold them through.
+        let (_, rw) = run_pipe(&n);
+        assert!(rw > 0, "carry chain of constant 0b1010 must fold");
+    }
+
+    #[test]
+    fn mac_with_zero_multiplicand_forwards_accumulator() {
+        let mut b = CircuitBuilder::new("m");
+        let a = b.word_input("a", 32);
+        let zero = b.const_word(0, 32);
+        let acc = b.word_input("acc", 32);
+        let m = b.mac(&a, &zero, &acc);
+        b.word_output("m", &m);
+        let n = b.finish().unwrap();
+        let mut g = WorkGraph::from_netlist(&n);
+        // const_word(0, 32) packs 32 const-false bits: first sweep folds the
+        // Pack to ConstWord, second folds the Mac away.
+        let mut total = 0;
+        for _ in 0..3 {
+            total += run(&mut g).unwrap();
+        }
+        assert!(total >= 2);
+        let r = g.rebuild().unwrap();
+        assert!(!r.nodes().iter().any(|nd| matches!(nd.kind, NodeKind::Mac)));
+        crate::eval::assert_equivalent_on(
+            &n,
+            &r,
+            &[vec![crate::Value::Word(7), crate::Value::Word(99)]],
+            1,
+        );
+    }
+
+    #[test]
+    fn repacked_word_identity_collapses() {
+        // Pack(Unpack(w, 0..32)) == w.
+        let mut b = CircuitBuilder::new("p");
+        let a = b.word_input("a", 32);
+        let doubled = b.mac(&a, &a, &a); // forces a Pack-free origin word
+        let sliced = doubled.slice(0, 32);
+        let back = b.mac(&sliced, &sliced, &sliced);
+        b.word_output("o", &back);
+        let n = b.finish().unwrap();
+        let packs_before = n
+            .nodes()
+            .iter()
+            .filter(|nd| matches!(nd.kind, NodeKind::Pack))
+            .count();
+        let mut g = WorkGraph::from_netlist(&n);
+        run(&mut g).unwrap();
+        let r = g.rebuild().unwrap();
+        let packs_after = r
+            .nodes()
+            .iter()
+            .filter(|nd| matches!(nd.kind, NodeKind::Pack))
+            .count();
+        assert!(packs_after < packs_before, "slice round-trip pack folds");
+        crate::eval::assert_equivalent_on(&n, &r, &[vec![crate::Value::Word(3)]], 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Structural hashing / common-subexpression elimination.
+//!
+//! Two combinational nodes with the same operation and the same (resolved)
+//! operand list compute the same value on every cycle, so all but the
+//! first are forwarded to it. Builder DSL lowering produces many such
+//! twins (ripple-carry stages re-deriving `a ^ b`, comparators sharing
+//! equality cones, ROM columns sharing address decoders); each one merged
+//! here is a LUT the Shannon mapper never sees and a fold step the
+//! schedule never pays.
+//!
+//! Sequential nodes are *not* hashed: two registers with identical D cones
+//! are semantically mergeable, but their keys would be recursive through
+//! the feedback path — the payoff is not worth a cyclic hash. Interface
+//! nodes are pinned by definition.
+
+use std::collections::HashMap;
+
+use crate::error::NetlistError;
+use crate::graph::{NodeId, NodeKind};
+
+use super::work::WorkGraph;
+
+/// Whether a node kind is safe and worthwhile to hash structurally.
+fn eligible(kind: &NodeKind) -> bool {
+    matches!(
+        kind,
+        NodeKind::Lut(_)
+            | NodeKind::Mac
+            | NodeKind::Pack
+            | NodeKind::Unpack { .. }
+            | NodeKind::ConstBit(_)
+            | NodeKind::ConstWord(_)
+    )
+}
+
+/// One application of structural hashing over the live graph. Returns the
+/// number of nodes forwarded to an earlier structural twin.
+pub(super) fn run(g: &mut WorkGraph) -> Result<usize, NetlistError> {
+    g.canonicalize();
+    let mut seen: HashMap<(NodeKind, Vec<NodeId>), NodeId> = HashMap::new();
+    let mut rewrites = 0usize;
+    for i in 0..g.len() {
+        let id = NodeId(i as u32);
+        if !g.is_live(id) || !eligible(g.kind(id)) {
+            continue;
+        }
+        // Resolve again: an operand may have been forwarded by an earlier
+        // merge in this very sweep, and the key must be canonical for the
+        // chain `(a^b), (a^b), ((a^b)&c), ((a^b)&c)` to collapse in one
+        // pass.
+        let key_inputs: Vec<NodeId> = g.inputs(id).iter().map(|&x| g.resolve(x)).collect();
+        let key = (g.kind(id).clone(), key_inputs);
+        match seen.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                g.replace(id, *e.get());
+                rewrites += 1;
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(id);
+            }
+        }
+    }
+    Ok(rewrites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    #[test]
+    fn duplicate_luts_merge_to_one() {
+        let mut b = CircuitBuilder::new("dup");
+        let a = b.bit_input("a");
+        let c = b.bit_input("b");
+        let x = b.xor(a, c);
+        let y = b.xor(a, c);
+        let z = b.xor(a, c);
+        let o1 = b.and(x, y);
+        b.bit_output("o1", o1);
+        b.bit_output("o2", z);
+        let n = b.finish().unwrap();
+        let mut g = WorkGraph::from_netlist(&n);
+        let rewrites = run(&mut g).unwrap();
+        assert_eq!(rewrites, 2, "two of three XOR twins forwarded");
+        let m = g.metrics();
+        // and(x, x) survives as a LUT (const-prop/prune handle it later).
+        assert_eq!(m.luts, 2);
+    }
+
+    #[test]
+    fn chains_of_twins_collapse_in_one_sweep() {
+        let mut b = CircuitBuilder::new("chain");
+        let a = b.bit_input("a");
+        let c = b.bit_input("b");
+        let x1 = b.xor(a, c);
+        let x2 = b.xor(a, c);
+        let y1 = b.not(x1);
+        let y2 = b.not(x2);
+        b.bit_output("y1", y1);
+        b.bit_output("y2", y2);
+        let n = b.finish().unwrap();
+        let mut g = WorkGraph::from_netlist(&n);
+        assert_eq!(run(&mut g).unwrap(), 2, "both levels merge in one pass");
+    }
+
+    #[test]
+    fn different_tables_on_same_inputs_do_not_merge() {
+        let mut b = CircuitBuilder::new("diff");
+        let a = b.bit_input("a");
+        let c = b.bit_input("b");
+        let x = b.xor(a, c);
+        let y = b.and(a, c);
+        b.bit_output("x", x);
+        b.bit_output("y", y);
+        let n = b.finish().unwrap();
+        let mut g = WorkGraph::from_netlist(&n);
+        assert_eq!(run(&mut g).unwrap(), 0);
+    }
+
+    #[test]
+    fn sequential_nodes_are_not_hashed() {
+        let mut b = CircuitBuilder::new("seq");
+        let (q1, h1) = b.ff(false);
+        let (q2, h2) = b.ff(false);
+        let n1 = b.not(q1);
+        let n2 = b.not(q2);
+        b.connect_ff(h1, n1);
+        b.connect_ff(h2, n2);
+        b.bit_output("q1", q1);
+        b.bit_output("q2", q2);
+        let n = b.finish().unwrap();
+        let mut g = WorkGraph::from_netlist(&n);
+        // The two NOTs read different FFs, so nothing merges — and the FFs
+        // themselves must never be considered.
+        assert_eq!(run(&mut g).unwrap(), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Dead-logic sweep over the netlist IR.
+//!
+//! Marks everything reachable from the primary outputs by walking resolved
+//! operand edges — through sequential feedback, so a register cone that
+//! only feeds itself and an output stays live — and tombstones the rest.
+//! This is stronger than the plan-level DCE in `freac_netlist::plan`
+//! because it runs *before* technology mapping: a dangling cone swept here
+//! never gets Shannon-decomposed, scheduled, or configured at all.
+//!
+//! Interface nodes are pinned: primary inputs stay even when nothing reads
+//! them (the accelerator ABI fixes the input list), and primary outputs are
+//! roots by definition.
+
+use crate::error::NetlistError;
+use crate::graph::NodeId;
+
+use super::work::WorkGraph;
+
+/// One application of the sweep. Returns the number of nodes tombstoned.
+pub(super) fn run(g: &mut WorkGraph) -> Result<usize, NetlistError> {
+    g.canonicalize();
+    let n = g.len();
+    let mut marked = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        let id = NodeId(i as u32);
+        if g.is_live(id) && g.is_interface(id) {
+            marked[i] = true;
+            stack.push(i);
+        }
+    }
+    while let Some(i) = stack.pop() {
+        for &inp in g.inputs(NodeId(i as u32)) {
+            let r = g.resolve(inp).index();
+            if !marked[r] {
+                marked[r] = true;
+                stack.push(r);
+            }
+        }
+    }
+    let mut swept = 0usize;
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        let id = NodeId(i as u32);
+        if g.is_live(id) && !marked[i] && !g.is_interface(id) {
+            g.kill(id);
+            swept += 1;
+        }
+    }
+    Ok(swept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    #[test]
+    fn dangling_cone_is_swept() {
+        let mut b = CircuitBuilder::new("d");
+        let a = b.bit_input("a");
+        let c = b.bit_input("b");
+        let keep = b.xor(a, c);
+        let dead1 = b.and(a, c);
+        let _dead2 = b.not(dead1); // cone of two dead LUTs
+        b.bit_output("y", keep);
+        let n = b.finish().unwrap();
+        let mut g = WorkGraph::from_netlist(&n);
+        assert_eq!(run(&mut g).unwrap(), 2);
+        let r = g.rebuild().unwrap();
+        assert_eq!(r.len(), n.len() - 2);
+        crate::eval::assert_equivalent_on(
+            &n,
+            &r,
+            &[
+                vec![crate::Value::Bit(false), crate::Value::Bit(true)],
+                vec![crate::Value::Bit(true), crate::Value::Bit(true)],
+            ],
+            1,
+        );
+    }
+
+    #[test]
+    fn feedback_registers_stay_live() {
+        let mut b = CircuitBuilder::new("ctr");
+        let (q, h) = b.word_reg(0, 4);
+        let nx = b.inc(&q);
+        b.connect_word_reg(h, &nx);
+        b.word_output("q", &q);
+        let n = b.finish().unwrap();
+        let mut g = WorkGraph::from_netlist(&n);
+        // Only the adder's final carry-out cone is dead; the feedback
+        // register and its whole D cone must stay.
+        run(&mut g).unwrap();
+        let r = g.rebuild().unwrap();
+        assert!(
+            r.nodes()
+                .iter()
+                .any(|nd| matches!(nd.kind, crate::graph::NodeKind::WordReg { .. })),
+            "feedback register survives"
+        );
+        crate::eval::assert_equivalent_on(&n, &r, &[vec![]], 10);
+    }
+
+    #[test]
+    fn unread_inputs_are_pinned() {
+        let mut b = CircuitBuilder::new("p");
+        let _unused = b.bit_input("unused");
+        let a = b.bit_input("a");
+        let y = b.not(a);
+        b.bit_output("y", y);
+        let n = b.finish().unwrap();
+        let mut g = WorkGraph::from_netlist(&n);
+        run(&mut g).unwrap();
+        let r = g.rebuild().unwrap();
+        assert_eq!(r.primary_inputs().len(), 2, "ABI keeps the unused pin");
+    }
+}

@@ -1,0 +1,621 @@
+//! Pre-mapping netlist optimization.
+//!
+//! An ABC-style pass pipeline over the [`WorkGraph`] IR, run in front of
+//! Shannon technology mapping: every LUT removed here is a fold step the
+//! schedule never executes, so reductions compound through the compiled
+//! plans and the serving path.
+//!
+//! The passes (see each submodule for the legality argument):
+//!
+//! | pass                    | what it removes                              |
+//! |-------------------------|----------------------------------------------|
+//! | [`PassKind::Cse`]       | structurally identical combinational nodes   |
+//! | [`PassKind::ConstProp`] | logic with known-constant operands           |
+//! | [`PassKind::InputPrune`]| duplicate and don't-care LUT inputs          |
+//! | [`PassKind::Repack`]    | single-fanout LUTs that fit their consumer   |
+//! | [`PassKind::Dce`]       | cones unreachable from any primary output    |
+//!
+//! [`PassManager::run`] applies its pass list to a bounded fixpoint,
+//! recording per-application LUT/level/edge deltas in an [`OptReport`]
+//! that exports `netlist.opt.*` counters through `freac-probe`. Every pass
+//! is differentially gated in the test suite: the optimized netlist must
+//! be equivalent to the reference on all kernels, pre- and post-mapping,
+//! single-lane and all batch widths.
+
+mod constprop;
+mod cse;
+mod dce;
+mod prune;
+mod repack;
+pub mod work;
+
+use std::collections::HashMap;
+
+use crate::error::NetlistError;
+use crate::graph::{Netlist, NodeKind};
+
+pub use work::{OptMetrics, WorkGraph};
+
+/// How aggressively [`optimize`] rewrites a netlist before mapping.
+///
+/// Parsed from `FREAC_OPT_LEVEL` by [`OptLevel::from_env`]; the default is
+/// [`OptLevel::Full`] — the paper's VTR-produced netlists are already
+/// optimized, so the reproduction's builder-produced circuits should be
+/// too.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OptLevel {
+    /// No optimization: map the circuit exactly as built.
+    Off,
+    /// Structural hashing, constant propagation, and the dead-logic sweep.
+    Basic,
+    /// Everything in [`OptLevel::Basic`] plus input pruning and LUT
+    /// repacking.
+    #[default]
+    Full,
+}
+
+impl OptLevel {
+    /// Parses a level string: `0`/`off`/`none`, `1`/`basic`, `2`/`full`.
+    pub fn parse(s: &str) -> Option<OptLevel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "0" | "off" | "none" => Some(OptLevel::Off),
+            "1" | "basic" => Some(OptLevel::Basic),
+            "2" | "full" => Some(OptLevel::Full),
+            _ => None,
+        }
+    }
+
+    /// Reads `FREAC_OPT_LEVEL`; unset or unparsable values mean the
+    /// default ([`OptLevel::Full`]).
+    pub fn from_env() -> OptLevel {
+        std::env::var("FREAC_OPT_LEVEL")
+            .ok()
+            .and_then(|s| OptLevel::parse(&s))
+            .unwrap_or_default()
+    }
+
+    /// Stable lowercase name (used in cache keys and counter names).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OptLevel::Off => "off",
+            OptLevel::Basic => "basic",
+            OptLevel::Full => "full",
+        }
+    }
+
+    /// The pass list this level runs.
+    pub fn passes(self) -> &'static [PassKind] {
+        match self {
+            OptLevel::Off => &[],
+            OptLevel::Basic => &[PassKind::Cse, PassKind::ConstProp, PassKind::Dce],
+            OptLevel::Full => &[
+                PassKind::Cse,
+                PassKind::ConstProp,
+                PassKind::InputPrune,
+                PassKind::Repack,
+                PassKind::Dce,
+            ],
+        }
+    }
+}
+
+/// One rewriting pass over the [`WorkGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PassKind {
+    /// Structural hashing / common-subexpression elimination.
+    Cse,
+    /// Constant propagation through truth tables and word operators.
+    ConstProp,
+    /// LUT input deduplication and don't-care pruning.
+    InputPrune,
+    /// Single-fanout LUT merging under the physical LUT width.
+    Repack,
+    /// Dead-logic sweep from the primary outputs.
+    Dce,
+}
+
+impl PassKind {
+    /// Stable lowercase name (used in counter names).
+    pub fn name(self) -> &'static str {
+        match self {
+            PassKind::Cse => "cse",
+            PassKind::ConstProp => "constprop",
+            PassKind::InputPrune => "input_prune",
+            PassKind::Repack => "repack",
+            PassKind::Dce => "dce",
+        }
+    }
+
+    /// Applies the pass once. Returns the number of rewrites performed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates structural errors from table rebuilding; a well-formed
+    /// graph never produces one.
+    pub fn apply(self, g: &mut WorkGraph, lut_k: usize) -> Result<usize, NetlistError> {
+        match self {
+            PassKind::Cse => cse::run(g),
+            PassKind::ConstProp => constprop::run(g),
+            PassKind::InputPrune => prune::run(g),
+            PassKind::Repack => repack::run(g, lut_k),
+            PassKind::Dce => dce::run(g),
+        }
+    }
+}
+
+/// Options for [`optimize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OptOptions {
+    /// Pipeline aggressiveness.
+    pub level: OptLevel,
+    /// Physical LUT width the repacking pass merges under — use the tile's
+    /// LUT mode (4 or 5) so merges never re-widen past what mapping
+    /// produces.
+    pub lut_k: usize,
+}
+
+impl Default for OptOptions {
+    fn default() -> Self {
+        OptOptions {
+            level: OptLevel::default(),
+            lut_k: 4,
+        }
+    }
+}
+
+impl OptOptions {
+    /// Options at an explicit level with the default LUT width.
+    pub fn at(level: OptLevel) -> Self {
+        OptOptions {
+            level,
+            ..OptOptions::default()
+        }
+    }
+
+    /// Sets the repacking LUT width.
+    #[must_use]
+    pub fn with_lut_k(mut self, k: usize) -> Self {
+        self.lut_k = k;
+        self
+    }
+}
+
+/// Metrics around one application of one pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassDelta {
+    /// Which pass ran.
+    pub pass: PassKind,
+    /// 1-based fixpoint iteration the application belonged to.
+    pub iteration: usize,
+    /// Rewrites the application performed (0 = no-op).
+    pub rewrites: usize,
+    /// Live-graph metrics entering the pass.
+    pub before: OptMetrics,
+    /// Live-graph metrics leaving the pass.
+    pub after: OptMetrics,
+}
+
+/// Summary of a pipeline run, with per-pass attribution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OptReport {
+    /// The level that ran.
+    pub level: OptLevel,
+    /// Fixpoint iterations executed (0 when the level is
+    /// [`OptLevel::Off`]).
+    pub iterations: usize,
+    /// Metrics of the input netlist.
+    pub before: OptMetrics,
+    /// Metrics of the optimized netlist.
+    pub after: OptMetrics,
+    /// Every pass application, in execution order.
+    pub passes: Vec<PassDelta>,
+}
+
+impl OptReport {
+    /// Total rewrites across all pass applications.
+    pub fn total_rewrites(&self) -> usize {
+        self.passes.iter().map(|d| d.rewrites).sum()
+    }
+
+    /// Total rewrites attributed to one pass kind.
+    pub fn rewrites_for(&self, pass: PassKind) -> usize {
+        self.passes
+            .iter()
+            .filter(|d| d.pass == pass)
+            .map(|d| d.rewrites)
+            .sum()
+    }
+
+    /// Fraction of LUTs eliminated (0 when there were none).
+    pub fn lut_reduction(&self) -> f64 {
+        if self.before.luts == 0 {
+            0.0
+        } else {
+            1.0 - self.after.luts as f64 / self.before.luts as f64
+        }
+    }
+
+    /// Exports `netlist.opt.*` counters into a registry: before/after
+    /// LUT/node/edge/depth totals, iteration count, and per-pass rewrite
+    /// and LUTs-removed attributions.
+    pub fn export_into(&self, reg: &mut freac_probe::CounterRegistry) {
+        reg.add("netlist.opt.luts_before", self.before.luts as u64);
+        reg.add("netlist.opt.luts_after", self.after.luts as u64);
+        reg.add("netlist.opt.nodes_before", self.before.nodes as u64);
+        reg.add("netlist.opt.nodes_after", self.after.nodes as u64);
+        reg.add("netlist.opt.edges_before", self.before.edges as u64);
+        reg.add("netlist.opt.edges_after", self.after.edges as u64);
+        reg.add("netlist.opt.depth_before", u64::from(self.before.depth));
+        reg.add("netlist.opt.depth_after", u64::from(self.after.depth));
+        reg.add("netlist.opt.iterations", self.iterations as u64);
+        let mut by_pass: HashMap<PassKind, (u64, u64)> = HashMap::new();
+        for d in &self.passes {
+            let e = by_pass.entry(d.pass).or_default();
+            e.0 += d.rewrites as u64;
+            e.1 += d.before.luts.saturating_sub(d.after.luts) as u64;
+        }
+        for (pass, (rewrites, luts_removed)) in by_pass {
+            reg.add(&format!("netlist.opt.rewrites.{}", pass.name()), rewrites);
+            reg.add(
+                &format!("netlist.opt.luts_removed.{}", pass.name()),
+                luts_removed,
+            );
+        }
+    }
+}
+
+/// Bound on fixpoint iterations: each productive iteration strictly shrinks
+/// the live edge count or node count, so real circuits converge in 2–4
+/// rounds; the cap only guards against a buggy pass oscillating.
+pub const DEFAULT_MAX_ITERATIONS: usize = 8;
+
+/// Orchestrates a pass list to a bounded fixpoint over one netlist.
+#[derive(Debug, Clone)]
+pub struct PassManager {
+    passes: Vec<PassKind>,
+    lut_k: usize,
+    max_iterations: usize,
+}
+
+impl PassManager {
+    /// A manager running exactly `passes`, in order, each iteration.
+    pub fn new(passes: impl Into<Vec<PassKind>>, lut_k: usize) -> Self {
+        PassManager {
+            passes: passes.into(),
+            lut_k,
+            max_iterations: DEFAULT_MAX_ITERATIONS,
+        }
+    }
+
+    /// The standard pass list for `level` (empty for [`OptLevel::Off`]).
+    pub fn for_level(level: OptLevel, lut_k: usize) -> Self {
+        PassManager::new(level.passes(), lut_k)
+    }
+
+    /// Overrides the fixpoint iteration cap.
+    #[must_use]
+    pub fn with_max_iterations(mut self, cap: usize) -> Self {
+        self.max_iterations = cap.max(1);
+        self
+    }
+
+    /// The pass list, in execution order.
+    pub fn passes(&self) -> &[PassKind] {
+        &self.passes
+    }
+
+    /// Runs the pipeline and rebuilds the optimized netlist.
+    ///
+    /// Iterates the pass list until a full round performs zero rewrites or
+    /// the iteration cap is reached. When nothing rewrote at all, the
+    /// original netlist is returned unchanged (same node ids), so an
+    /// already-optimal circuit round-trips exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns structural errors from a malformed input netlist, or a pass
+    /// bug surfaced by [`WorkGraph::rebuild`].
+    pub fn run(&self, netlist: &Netlist) -> Result<(Netlist, OptReport), NetlistError> {
+        netlist.validate()?;
+        let mut g = WorkGraph::from_netlist(netlist);
+        let before = g.metrics();
+        let mut report = OptReport {
+            level: OptLevel::Off,
+            iterations: 0,
+            before,
+            after: before,
+            passes: Vec::new(),
+        };
+        if self.passes.is_empty() {
+            return Ok((netlist.clone(), report));
+        }
+        loop {
+            report.iterations += 1;
+            let mut round = 0usize;
+            for &pass in &self.passes {
+                let b = g.metrics();
+                let rewrites = pass.apply(&mut g, self.lut_k)?;
+                let a = g.metrics();
+                report.passes.push(PassDelta {
+                    pass,
+                    iteration: report.iterations,
+                    rewrites,
+                    before: b,
+                    after: a,
+                });
+                round += rewrites;
+            }
+            if round == 0 || report.iterations >= self.max_iterations {
+                break;
+            }
+        }
+        report.after = g.metrics();
+        let out = if report.total_rewrites() == 0 {
+            netlist.clone()
+        } else {
+            g.rebuild()?
+        };
+        Ok((out, report))
+    }
+}
+
+/// Optimizes a netlist at the given level.
+///
+/// The report's `level` field records the level that ran, including
+/// [`OptLevel::Off`] (which returns the input unchanged).
+///
+/// # Errors
+///
+/// Propagates structural errors from the pipeline; a
+/// builder-validated netlist never produces one.
+pub fn optimize(
+    netlist: &Netlist,
+    options: OptOptions,
+) -> Result<(Netlist, OptReport), NetlistError> {
+    let (out, mut report) = PassManager::for_level(options.level, options.lut_k).run(netlist)?;
+    report.level = options.level;
+    Ok((out, report))
+}
+
+/// Result summary of a [`pack_luts`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PackReport {
+    /// LUT nodes before packing.
+    pub luts_before: usize,
+    /// LUT nodes after packing.
+    pub luts_after: usize,
+    /// Merges performed.
+    pub merges: usize,
+}
+
+impl PackReport {
+    /// Fraction of LUTs eliminated (0 when there were none).
+    pub fn reduction(&self) -> f64 {
+        if self.luts_before == 0 {
+            0.0
+        } else {
+            1.0 - self.luts_after as f64 / self.luts_before as f64
+        }
+    }
+}
+
+/// Packs single-fanout LUTs into their consumers when the merged support
+/// fits `k` inputs. Returns the optimized netlist and a report.
+///
+/// This is the standalone form of [`PassKind::Repack`], kept for ablation
+/// experiments that isolate packing from the rest of the pipeline.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::BadLutSize`] for `k` outside `2..=6`, or
+/// structural errors from a malformed input.
+pub fn pack_luts(netlist: &Netlist, k: usize) -> Result<(Netlist, PackReport), NetlistError> {
+    if !(2..=6).contains(&k) {
+        return Err(NetlistError::BadLutSize(k));
+    }
+    netlist.validate()?;
+    let luts_before = netlist
+        .nodes()
+        .iter()
+        .filter(|n| matches!(n.kind, NodeKind::Lut(_)))
+        .count();
+    let mut g = WorkGraph::from_netlist(netlist);
+    let merges = PassKind::Repack.apply(&mut g, k)?;
+    let out = g.rebuild()?;
+    Ok((
+        out,
+        PackReport {
+            luts_before,
+            luts_after: luts_before - merges,
+            merges,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::eval::{assert_equivalent_on, equivalent_on};
+    use crate::graph::Value;
+    use crate::techmap::{tech_map, TechMapOptions};
+
+    fn adder(width: usize) -> Netlist {
+        let mut b = CircuitBuilder::new("add");
+        let a = b.word_input("a", width);
+        let c = b.word_input("b", width);
+        let s = b.add(&a, &c);
+        b.word_output("s", &s);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn opt_level_parses() {
+        assert_eq!(OptLevel::parse("0"), Some(OptLevel::Off));
+        assert_eq!(OptLevel::parse("off"), Some(OptLevel::Off));
+        assert_eq!(OptLevel::parse("1"), Some(OptLevel::Basic));
+        assert_eq!(OptLevel::parse("Basic"), Some(OptLevel::Basic));
+        assert_eq!(OptLevel::parse("2"), Some(OptLevel::Full));
+        assert_eq!(OptLevel::parse("full"), Some(OptLevel::Full));
+        assert_eq!(OptLevel::parse("bogus"), None);
+        assert_eq!(OptLevel::default(), OptLevel::Full);
+    }
+
+    #[test]
+    fn off_level_is_identity() {
+        let n = adder(8);
+        let (out, report) = optimize(&n, OptOptions::at(OptLevel::Off)).unwrap();
+        assert_eq!(out.len(), n.len());
+        assert_eq!(report.total_rewrites(), 0);
+        assert_eq!(report.iterations, 0);
+        assert_eq!(report.before, report.after);
+    }
+
+    #[test]
+    fn full_pipeline_shrinks_an_adder_and_preserves_it() {
+        let n = adder(8);
+        let (out, report) = optimize(&n, OptOptions::default()).unwrap();
+        assert!(
+            report.after.luts < report.before.luts,
+            "adder must shrink: {report:?}"
+        );
+        assert!(report.lut_reduction() > 0.0);
+        let vectors: Vec<Vec<Value>> = (0..128u32)
+            .map(|i| vec![Value::Word(i * 37 % 256), Value::Word(i * 101 % 256)])
+            .collect();
+        assert_equivalent_on(&n, &out, &vectors, 1);
+    }
+
+    #[test]
+    fn report_attributes_passes() {
+        let mut b = CircuitBuilder::new("mix");
+        let a = b.bit_input("a");
+        let c = b.bit_input("b");
+        let x1 = b.xor(a, c); // twin for CSE
+        let x2 = b.xor(a, c);
+        let t = b.const_bit(true);
+        let k = b.and(x1, t); // const input for ConstProp
+        let dead = b.or(a, c); // dead cone for DCE
+        let _dead2 = b.not(dead);
+        let y = b.and(k, x2);
+        b.bit_output("y", y);
+        let n = b.finish().unwrap();
+        let (out, report) = optimize(&n, OptOptions::default()).unwrap();
+        assert!(report.rewrites_for(PassKind::Cse) >= 1);
+        assert!(report.rewrites_for(PassKind::ConstProp) >= 1);
+        assert!(report.rewrites_for(PassKind::Dce) >= 2);
+        let vectors: Vec<Vec<Value>> = (0..4)
+            .map(|i| vec![Value::Bit(i & 1 == 1), Value::Bit(i & 2 == 2)])
+            .collect();
+        assert_equivalent_on(&n, &out, &vectors, 1);
+    }
+
+    #[test]
+    fn pipeline_is_idempotent() {
+        for n in [
+            adder(8),
+            tech_map(&adder(6), TechMapOptions::lut4()).unwrap(),
+        ] {
+            let (once, r1) = optimize(&n, OptOptions::default()).unwrap();
+            let (twice, r2) = optimize(&once, OptOptions::default()).unwrap();
+            assert_eq!(
+                r2.total_rewrites(),
+                0,
+                "second run must find nothing: {r2:?}"
+            );
+            assert_eq!(r1.after, r2.after);
+            assert_eq!(once.len(), twice.len());
+        }
+    }
+
+    #[test]
+    fn pipeline_terminates_within_the_cap() {
+        let n = tech_map(&adder(16), TechMapOptions::lut4()).unwrap();
+        let (_, report) = optimize(&n, OptOptions::default()).unwrap();
+        assert!(report.iterations < DEFAULT_MAX_ITERATIONS, "{report:?}");
+        // The last full round must have been a zero-rewrite round.
+        let last_round: usize = report
+            .passes
+            .iter()
+            .filter(|d| d.iteration == report.iterations)
+            .map(|d| d.rewrites)
+            .sum();
+        assert_eq!(last_round, 0);
+    }
+
+    #[test]
+    fn report_exports_counters() {
+        // An xor-reduction tree so the repack pass has single-fanout cones
+        // to merge (ripple-carry adders do not repack).
+        let mut b = CircuitBuilder::new("xorred");
+        let a = b.word_input("a", 16);
+        let bits: Vec<_> = (0..16).map(|i| a.bit(i)).collect();
+        let r = b.reduce_xor(&bits);
+        b.bit_output("r", r);
+        let n = b.finish().unwrap();
+        let (_, report) = optimize(&n, OptOptions::default()).unwrap();
+        let mut reg = freac_probe::CounterRegistry::new();
+        report.export_into(&mut reg);
+        assert_eq!(
+            reg.counter("netlist.opt.luts_before"),
+            report.before.luts as u64
+        );
+        assert_eq!(
+            reg.counter("netlist.opt.luts_after"),
+            report.after.luts as u64
+        );
+        assert!(reg.counter("netlist.opt.iterations") >= 1);
+        assert!(reg.counter("netlist.opt.rewrites.repack") > 0);
+    }
+
+    // --- pack_luts compatibility surface ---
+
+    #[test]
+    fn bad_k_rejected() {
+        let n = adder(4);
+        assert!(matches!(pack_luts(&n, 1), Err(NetlistError::BadLutSize(1))));
+    }
+
+    #[test]
+    fn packing_preserves_function_exhaustively() {
+        let n = tech_map(&adder(6), TechMapOptions::lut4()).unwrap();
+        let (packed, report) = pack_luts(&n, 4).unwrap();
+        assert_eq!(report.luts_after + report.merges, report.luts_before);
+        let vectors: Vec<Vec<Value>> = (0..64u32)
+            .flat_map(|a| (0..4u32).map(move |b| vec![Value::Word(a), Value::Word(b * 17 % 64)]))
+            .collect();
+        assert!(equivalent_on(&n, &packed, &vectors, 1).unwrap());
+    }
+
+    #[test]
+    fn packing_reduces_xor_reduction_trees() {
+        let mut b = CircuitBuilder::new("xorred");
+        let a = b.word_input("a", 16);
+        let bits: Vec<_> = (0..16).map(|i| a.bit(i)).collect();
+        let r = b.reduce_xor(&bits);
+        b.bit_output("r", r);
+        let n = b.finish().unwrap();
+        let (packed, report) = pack_luts(&n, 4).unwrap();
+        assert!(report.merges > 0, "xor tree must pack");
+        assert!(report.reduction() > 0.3, "got {}", report.reduction());
+        let vecs: Vec<Vec<Value>> = (0..200u32)
+            .map(|i| vec![Value::Word(i * 327 % 65536)])
+            .collect();
+        assert!(equivalent_on(&n, &packed, &vecs, 1).unwrap());
+    }
+
+    #[test]
+    fn packed_netlists_still_tech_map_and_fold() {
+        let mapped = tech_map(&adder(16), TechMapOptions::lut4()).unwrap();
+        let (packed, _) = pack_luts(&mapped, 4).unwrap();
+        packed.validate().unwrap();
+        crate::level::level_graph(&packed).unwrap();
+    }
+
+    #[test]
+    fn optimized_netlists_still_tech_map() {
+        let (out, _) = optimize(&adder(12), OptOptions::default()).unwrap();
+        let mapped = tech_map(&out, TechMapOptions::lut4()).unwrap();
+        mapped.validate().unwrap();
+    }
+}

@@ -1,0 +1,172 @@
+//! LUT input deduplication and don't-care pruning.
+//!
+//! Two cleanups on every live LUT, both driven by the truth table itself:
+//!
+//! 1. **Deduplication** — when two operand positions resolve to the same
+//!    driver (common after CSE forwards a twin), the table is re-expressed
+//!    over the distinct drivers only. Rows where the duplicated positions
+//!    disagree are unreachable, so the remap never loses information.
+//! 2. **Don't-care pruning** — [`TruthTable::support_reduce`] drops inputs
+//!    the function provably ignores (ROM columns and Shannon-decomposed
+//!    cones routinely carry vestigial pins), shrinking the fan-in the
+//!    mapper and fold scheduler must route.
+//!
+//! A table that collapses to a constant or to the identity of one input is
+//! folded away entirely, like in constant propagation.
+
+use crate::error::NetlistError;
+use crate::graph::{NodeId, NodeKind};
+use crate::truth::TruthTable;
+
+use super::work::WorkGraph;
+
+/// One application of dedup + don't-care pruning. Returns the number of
+/// LUTs rewritten, forwarded, or folded to constants.
+pub(super) fn run(g: &mut WorkGraph) -> Result<usize, NetlistError> {
+    g.canonicalize();
+    let mut rewrites = 0usize;
+    let mut const_cache: [Option<NodeId>; 2] = [None; 2];
+    let n = g.len();
+    for i in 0..n {
+        let id = NodeId(i as u32);
+        if !g.is_live(id) {
+            continue;
+        }
+        let NodeKind::Lut(table) = g.kind(id).clone() else {
+            continue;
+        };
+        let ins: Vec<NodeId> = g.inputs(id).iter().map(|&x| g.resolve(x)).collect();
+        let mut changed = false;
+
+        // 1. Deduplicate repeated drivers.
+        let mut uniq: Vec<NodeId> = Vec::with_capacity(ins.len());
+        let mut pos_map: Vec<usize> = Vec::with_capacity(ins.len());
+        for &x in &ins {
+            match uniq.iter().position(|&u| u == x) {
+                Some(j) => pos_map.push(j),
+                None => {
+                    pos_map.push(uniq.len());
+                    uniq.push(x);
+                }
+            }
+        }
+        let (mut table, mut ins) = if uniq.len() < ins.len() {
+            changed = true;
+            let remapped = TruthTable::from_fn(uniq.len(), |row| {
+                let mut orig = 0usize;
+                for (pos, &j) in pos_map.iter().enumerate() {
+                    if (row >> j) & 1 == 1 {
+                        orig |= 1 << pos;
+                    }
+                }
+                table.get(orig)
+            })?;
+            (remapped, uniq)
+        } else {
+            (table, ins)
+        };
+
+        // 2. Drop inputs the table provably ignores.
+        let (reduced, keep) = table.support_reduce();
+        if reduced.inputs() < table.inputs() {
+            changed = true;
+            ins = keep.iter().map(|&j| ins[j]).collect();
+            table = reduced;
+        }
+
+        if let Some(c) = table.is_constant() {
+            let cn = *const_cache[c as usize].get_or_insert_with(|| {
+                (0..g.len())
+                    .map(|j| NodeId(j as u32))
+                    .find(|&j| g.is_live(j) && *g.kind(j) == NodeKind::ConstBit(c))
+                    .unwrap_or_else(|| g.add_node(NodeKind::ConstBit(c), Vec::new()))
+            });
+            g.replace(id, cn);
+            rewrites += 1;
+        } else if table.inputs() == 1 && table == TruthTable::identity() {
+            let src = ins[0];
+            g.replace(id, src);
+            rewrites += 1;
+        } else if changed {
+            g.set_node(id, NodeKind::Lut(table), ins);
+            rewrites += 1;
+        }
+    }
+    Ok(rewrites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    #[test]
+    fn duplicate_drivers_dedupe() {
+        // and(x, x) == x: dedup makes it a 1-input identity, which forwards.
+        let mut b = CircuitBuilder::new("d");
+        let a = b.bit_input("a");
+        let y = b.and(a, a);
+        b.bit_output("y", y);
+        let n = b.finish().unwrap();
+        let mut g = WorkGraph::from_netlist(&n);
+        assert_eq!(run(&mut g).unwrap(), 1);
+        let po = n.primary_outputs()[0];
+        assert_eq!(g.resolve(g.inputs(po)[0]), a.node());
+    }
+
+    #[test]
+    fn xor_of_same_driver_is_constant_false() {
+        let mut b = CircuitBuilder::new("x");
+        let a = b.bit_input("a");
+        let y = b.xor(a, a);
+        b.bit_output("y", y);
+        let n = b.finish().unwrap();
+        let mut g = WorkGraph::from_netlist(&n);
+        assert_eq!(run(&mut g).unwrap(), 1);
+        let po = n.primary_outputs()[0];
+        assert!(matches!(
+            *g.kind(g.resolve(g.inputs(po)[0])),
+            NodeKind::ConstBit(false)
+        ));
+        let r = g.rebuild().unwrap();
+        crate::eval::assert_equivalent_on(
+            &n,
+            &r,
+            &[
+                vec![crate::Value::Bit(false)],
+                vec![crate::Value::Bit(true)],
+            ],
+            1,
+        );
+    }
+
+    #[test]
+    fn dont_care_inputs_drop() {
+        // A 3-input table that only reads input 2.
+        let mut b = CircuitBuilder::new("dc");
+        let a = b.bit_input("a");
+        let c = b.bit_input("b");
+        let d = b.bit_input("c");
+        let t = TruthTable::from_fn(3, |r| (r >> 2) & 1 == 1).unwrap();
+        let y = b.lut(t, &[a, c, d]);
+        let z = b.not(y);
+        b.bit_output("z", z);
+        let n = b.finish().unwrap();
+        let mut g = WorkGraph::from_netlist(&n);
+        assert_eq!(run(&mut g).unwrap(), 1, "identity-of-d forwards");
+        let m = g.metrics();
+        assert_eq!(m.luts, 1, "only the NOT remains");
+    }
+
+    #[test]
+    fn live_inputs_survive() {
+        let mut b = CircuitBuilder::new("l");
+        let a = b.bit_input("a");
+        let c = b.bit_input("b");
+        let y = b.xor(a, c);
+        b.bit_output("y", y);
+        let n = b.finish().unwrap();
+        let mut g = WorkGraph::from_netlist(&n);
+        assert_eq!(run(&mut g).unwrap(), 0);
+    }
+}

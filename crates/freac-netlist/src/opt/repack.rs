@@ -1,0 +1,193 @@
+//! LUT repacking: single-fanout producer/consumer merging.
+//!
+//! Shannon decomposition and gate-level construction leave many small LUTs
+//! whose only consumer is another LUT. When the merged function's support
+//! (consumer inputs minus the producer, plus the producer's inputs, shared
+//! pins counted once) still fits `k` inputs, collapsing producer into
+//! consumer removes a node *and* a fold step's worth of work — the same
+//! restructuring LUTstructions applies to fit logic into tiny LUT budgets.
+//!
+//! Merging is applied to fixpoint per consumer, so chains (ripple-carry
+//! sum/carry cones, xor-reduction trees) collapse bottom-up in one run.
+//! Multi-fanout producers are never absorbed: duplicating logic would trade
+//! LUT count for... more LUT count.
+
+use std::collections::HashMap;
+
+use crate::error::NetlistError;
+use crate::graph::{NodeId, NodeKind};
+use crate::truth::TruthTable;
+
+use super::work::WorkGraph;
+
+/// One application of repacking with LUT width `k`. Returns the number of
+/// producer LUTs absorbed into their consumers.
+pub(super) fn run(g: &mut WorkGraph, k: usize) -> Result<usize, NetlistError> {
+    g.canonicalize();
+    let mut fanout = g.fanout_counts();
+    let mut merges = 0usize;
+    let n = g.len();
+    // Consumers in id order: combinational producers have smaller ids than
+    // their consumers (builder invariant, preserved by rebuild), so each
+    // merge sees producers that are already packed themselves.
+    for c_idx in 0..n {
+        let c = NodeId(c_idx as u32);
+        loop {
+            if !g.is_live(c) {
+                break;
+            }
+            let NodeKind::Lut(c_table) = g.kind(c).clone() else {
+                break;
+            };
+            let c_inputs: Vec<NodeId> = g.inputs(c).to_vec();
+            // Find a mergeable operand: a single-fanout LUT whose merged
+            // support fits k.
+            let candidate = c_inputs.iter().enumerate().find_map(|(pos, &p)| {
+                if !g.is_live(p) || fanout[p.index()] != 1 {
+                    return None;
+                }
+                let NodeKind::Lut(p_table) = g.kind(p) else {
+                    return None;
+                };
+                let mut support: Vec<NodeId> =
+                    c_inputs.iter().copied().filter(|&x| x != p).collect();
+                for &pin in g.inputs(p) {
+                    if !support.contains(&pin) {
+                        support.push(pin);
+                    }
+                }
+                if support.len() <= k && support.len() <= crate::truth::MAX_TABLE_INPUTS {
+                    Some((pos, p, p_table.clone(), support))
+                } else {
+                    None
+                }
+            });
+            let Some((pos, p, p_table, support)) = candidate else {
+                break;
+            };
+
+            // Build the merged table over `support`.
+            let p_inputs: Vec<NodeId> = g.inputs(p).to_vec();
+            let position_of: HashMap<NodeId, usize> =
+                support.iter().enumerate().map(|(i, &x)| (x, i)).collect();
+            let merged = TruthTable::from_fn(support.len(), |row| {
+                let bit_of = |x: NodeId| (row >> position_of[&x]) & 1 == 1;
+                let mut p_row = 0usize;
+                for (i, &pin) in p_inputs.iter().enumerate() {
+                    if bit_of(pin) {
+                        p_row |= 1 << i;
+                    }
+                }
+                let p_val = p_table.eval(p_row);
+                let mut c_row = 0usize;
+                for (i, &cin) in c_inputs.iter().enumerate() {
+                    let v = if i == pos { p_val } else { bit_of(cin) };
+                    if v {
+                        c_row |= 1 << i;
+                    }
+                }
+                c_table.eval(c_row)
+            })?;
+
+            g.set_node(c, NodeKind::Lut(merged), support);
+            // c was p's only reader and no longer is: p is dead.
+            g.kill(p);
+            merges += 1;
+            // Fanout bookkeeping: p's edges to its inputs are gone; c now
+            // reads each of them once. A pin p shared with c nets one fewer
+            // reader, a pin new to c nets zero change.
+            for &pin in &p_inputs {
+                fanout[pin.index()] -= 1;
+                if !c_inputs.contains(&pin) {
+                    fanout[pin.index()] += 1;
+                }
+            }
+        }
+    }
+    Ok(merges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::eval::assert_equivalent_on;
+    use crate::graph::{Netlist, Value};
+
+    fn adder(width: usize) -> Netlist {
+        let mut b = CircuitBuilder::new("add");
+        let a = b.word_input("a", width);
+        let c = b.word_input("b", width);
+        let s = b.add(&a, &c);
+        b.word_output("s", &s);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn xor_tree_chains_pack() {
+        // A 2-input xor tree is all single-fanout producer/consumer pairs:
+        // pairs of xor2 gates merge into xor3/xor4 LUTs at k=4. (Ripple
+        // adders do NOT repack: each carry fans out to the next sum and
+        // carry, and multi-fanout producers are never absorbed.)
+        let mut b = CircuitBuilder::new("xorred");
+        let a = b.word_input("a", 16);
+        let bits: Vec<_> = (0..16).map(|i| a.bit(i)).collect();
+        let r = b.reduce_xor(&bits);
+        b.bit_output("r", r);
+        let n = b.finish().unwrap();
+        let mut g = WorkGraph::from_netlist(&n);
+        let before = g.metrics().luts;
+        let merges = run(&mut g, 4).unwrap();
+        assert!(merges > 0, "xor tree must merge at k=4");
+        assert_eq!(g.metrics().luts, before - merges);
+        let r = g.rebuild().unwrap();
+        let vectors: Vec<Vec<Value>> = (0..200u32)
+            .map(|i| vec![Value::Word(i * 327 % 65536)])
+            .collect();
+        assert_equivalent_on(&n, &r, &vectors, 1);
+    }
+
+    #[test]
+    fn adders_do_not_repack_but_survive() {
+        let n = adder(8);
+        let mut g = WorkGraph::from_netlist(&n);
+        assert_eq!(run(&mut g, 4).unwrap(), 0, "carries fan out twice");
+        let r = g.rebuild().unwrap();
+        let vectors: Vec<Vec<Value>> = (0..64u32)
+            .map(|i| vec![Value::Word(i * 37 % 256), Value::Word(i * 101 % 256)])
+            .collect();
+        assert_equivalent_on(&n, &r, &vectors, 1);
+    }
+
+    #[test]
+    fn multi_fanout_producers_survive() {
+        let mut b = CircuitBuilder::new("shared");
+        let a = b.word_input("a", 2);
+        let x = b.xor(a.bit(0), a.bit(1));
+        let y = b.not(x);
+        let z = b.and(x, a.bit(0));
+        b.bit_output("y", y);
+        b.bit_output("z", z);
+        let n = b.finish().unwrap();
+        let mut g = WorkGraph::from_netlist(&n);
+        run(&mut g, 4).unwrap();
+        let r = g.rebuild().unwrap();
+        let vecs: Vec<Vec<Value>> = (0..4u32).map(|i| vec![Value::Word(i)]).collect();
+        assert_equivalent_on(&n, &r, &vecs, 1);
+    }
+
+    #[test]
+    fn sequential_circuits_pack_safely() {
+        let mut b = CircuitBuilder::new("ctr");
+        let (q, h) = b.word_reg(0, 8);
+        let one = b.const_word(1, 8);
+        let next = b.add(&q, &one);
+        b.connect_word_reg(h, &next);
+        b.word_output("q", &q);
+        let n = b.finish().unwrap();
+        let mut g = WorkGraph::from_netlist(&n);
+        run(&mut g, 4).unwrap();
+        let r = g.rebuild().unwrap();
+        assert_equivalent_on(&n, &r, &[vec![]], 10);
+    }
+}

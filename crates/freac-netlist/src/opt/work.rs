@@ -1,0 +1,540 @@
+//! The mutable working graph the optimization passes rewrite.
+//!
+//! [`Netlist`] is deliberately append-only: experiment code treats node ids
+//! as stable forever, so passes cannot splice it in place. [`WorkGraph`] is
+//! the analysis-friendly counterpart: nodes keep their (stable) original
+//! ids for the whole pipeline run, rewrites go through *forwarding* —
+//! `replace(old, new)` records that every use of `old` now means `new` —
+//! and tombstoning (`kill`), and the final [`WorkGraph::rebuild`] compacts
+//! the survivors back into a fresh, validated [`Netlist`] whose primary
+//! inputs and outputs keep their declaration order, names, and `index`
+//! fields bit for bit.
+//!
+//! Use-def queries the passes need (`fanout_counts`, `resolve`,
+//! `canonicalize`) are recomputed on demand from the live node set; none of
+//! them survive a rewrite, which keeps every pass honest about re-deriving
+//! analyses after it mutates the graph.
+
+use std::collections::VecDeque;
+
+use crate::error::NetlistError;
+use crate::graph::{Netlist, NodeId, NodeKind};
+
+/// Cheap structural metrics of the live subgraph, measured before and
+/// after every pass application so the [`OptReport`](super::OptReport) can
+/// attribute LUT/level/edge deltas pass by pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptMetrics {
+    /// Live LUT nodes.
+    pub luts: usize,
+    /// Live nodes of any kind.
+    pub nodes: usize,
+    /// Live edges (sum of live nodes' resolved input arities).
+    pub edges: usize,
+    /// Combinational depth in levels, matching
+    /// [`LeveledGraph::depth`](crate::level::LeveledGraph::depth).
+    pub depth: u32,
+}
+
+/// A mutable rewrite graph over a [`Netlist`], with stable node ids,
+/// forwarding-based replacement, and tombstones.
+#[derive(Debug, Clone)]
+pub struct WorkGraph {
+    name: String,
+    kinds: Vec<NodeKind>,
+    inputs: Vec<Vec<NodeId>>,
+    live: Vec<bool>,
+    /// Forwarding pointers: `fwd[i] == i` for canonical nodes; a replaced
+    /// node points (possibly transitively) at its replacement.
+    fwd: Vec<u32>,
+    /// Ids of primary input/output nodes, in declaration order.
+    pis: Vec<NodeId>,
+    pos: Vec<NodeId>,
+    input_names: Vec<String>,
+    output_names: Vec<String>,
+}
+
+impl WorkGraph {
+    /// Imports a netlist. Node `i` of the netlist becomes node `i` of the
+    /// graph and keeps that id until [`WorkGraph::rebuild`].
+    pub fn from_netlist(netlist: &Netlist) -> Self {
+        let n = netlist.len();
+        WorkGraph {
+            name: netlist.name().to_owned(),
+            kinds: netlist.nodes().iter().map(|nd| nd.kind.clone()).collect(),
+            inputs: netlist.nodes().iter().map(|nd| nd.inputs.clone()).collect(),
+            live: vec![true; n],
+            fwd: (0..n as u32).collect(),
+            pis: netlist.primary_inputs().to_vec(),
+            pos: netlist.primary_outputs().to_vec(),
+            input_names: (0..netlist.primary_inputs().len())
+                .map(|i| {
+                    netlist
+                        .input_name(i)
+                        .unwrap_or("anonymous input")
+                        .to_owned()
+                })
+                .collect(),
+            output_names: (0..netlist.primary_outputs().len())
+                .map(|i| {
+                    netlist
+                        .output_name(i)
+                        .unwrap_or("anonymous output")
+                        .to_owned()
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of node slots (live and dead).
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the graph has no node slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Whether `id` is still a canonical, un-killed node.
+    pub fn is_live(&self, id: NodeId) -> bool {
+        self.live[id.index()]
+    }
+
+    /// The node's operation.
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.kinds[id.index()]
+    }
+
+    /// The node's operands (not necessarily resolved — run
+    /// [`WorkGraph::canonicalize`] first for resolved views).
+    pub fn inputs(&self, id: NodeId) -> &[NodeId] {
+        &self.inputs[id.index()]
+    }
+
+    /// Whether the node is part of the primary interface (inputs *and*
+    /// outputs are pinned: passes may rewrite what a primary output reads,
+    /// never the node itself).
+    pub fn is_interface(&self, id: NodeId) -> bool {
+        matches!(
+            self.kinds[id.index()],
+            NodeKind::BitInput { .. }
+                | NodeKind::WordInput { .. }
+                | NodeKind::BitOutput { .. }
+                | NodeKind::WordOutput { .. }
+        )
+    }
+
+    /// Follows forwarding pointers to the canonical node for `id`.
+    pub fn resolve(&self, id: NodeId) -> NodeId {
+        let mut cur = id.index();
+        while self.fwd[cur] as usize != cur {
+            cur = self.fwd[cur] as usize;
+        }
+        NodeId(cur as u32)
+    }
+
+    /// Rewrites every live node's operand list through [`Self::resolve`]
+    /// and compresses forwarding chains. Passes call this first so their
+    /// structural view is canonical.
+    pub fn canonicalize(&mut self) {
+        for i in 0..self.fwd.len() {
+            let root = self.resolve(NodeId(i as u32));
+            self.fwd[i] = root.0;
+        }
+        for i in 0..self.inputs.len() {
+            if !self.live[i] {
+                continue;
+            }
+            for pos in 0..self.inputs[i].len() {
+                let src = self.inputs[i][pos];
+                self.inputs[i][pos] = NodeId(self.fwd[src.index()]);
+            }
+        }
+    }
+
+    /// Declares that every use of `old` now means `new`, and tombstones
+    /// `old`. Both must be live; `old` must not be an interface node.
+    pub fn replace(&mut self, old: NodeId, new: NodeId) {
+        let new = self.resolve(new);
+        debug_assert!(self.live[old.index()], "replacing a dead node");
+        debug_assert!(self.live[new.index()], "forwarding to a dead node");
+        debug_assert!(old != new, "self-replacement");
+        debug_assert!(!self.is_interface(old), "replacing an interface node");
+        self.fwd[old.index()] = new.0;
+        self.live[old.index()] = false;
+    }
+
+    /// Tombstones `id` without a replacement (dead-logic sweep; callers
+    /// must know nothing live still reads it).
+    pub fn kill(&mut self, id: NodeId) {
+        debug_assert!(!self.is_interface(id), "killing an interface node");
+        self.live[id.index()] = false;
+    }
+
+    /// Appends a fresh node (e.g. a constant materialized by folding) and
+    /// returns its id. The node must not be a primary input/output kind.
+    pub fn add_node(&mut self, kind: NodeKind, inputs: Vec<NodeId>) -> NodeId {
+        debug_assert!(!matches!(
+            kind,
+            NodeKind::BitInput { .. }
+                | NodeKind::WordInput { .. }
+                | NodeKind::BitOutput { .. }
+                | NodeKind::WordOutput { .. }
+        ));
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(kind);
+        self.inputs.push(inputs);
+        self.live.push(true);
+        self.fwd.push(id.0);
+        id
+    }
+
+    /// Rewrites a node in place (new operation and operand list).
+    pub fn set_node(&mut self, id: NodeId, kind: NodeKind, inputs: Vec<NodeId>) {
+        debug_assert!(self.live[id.index()], "rewriting a dead node");
+        self.kinds[id.index()] = kind;
+        self.inputs[id.index()] = inputs;
+    }
+
+    /// Use counts over the live graph: how many live operand slots read
+    /// each canonical node (primary outputs and sequential D inputs
+    /// included). Dead and forwarded nodes count zero.
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut fanout = vec![0u32; self.len()];
+        for i in 0..self.len() {
+            if !self.live[i] {
+                continue;
+            }
+            for &inp in &self.inputs[i] {
+                fanout[self.resolve(inp).index()] += 1;
+            }
+        }
+        fanout
+    }
+
+    /// Iterates the live users of `id`: every live node with at least one
+    /// operand resolving to `id`, in id order.
+    pub fn users(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let target = self.resolve(id);
+        (0..self.len()).filter_map(move |i| {
+            if !self.live[i] {
+                return None;
+            }
+            self.inputs[i]
+                .iter()
+                .any(|&inp| self.resolve(inp) == target)
+                .then_some(NodeId(i as u32))
+        })
+    }
+
+    /// Structural metrics of the live subgraph. Depth matches
+    /// [`level_graph`](crate::level::level_graph): sequential nodes act as
+    /// sources, output nodes occupy a level of their own.
+    pub fn metrics(&self) -> OptMetrics {
+        let mut m = OptMetrics::default();
+        let n = self.len();
+        let mut indeg = vec![0u32; n];
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            if !self.live[i] {
+                continue;
+            }
+            m.nodes += 1;
+            if matches!(self.kinds[i], NodeKind::Lut(_)) {
+                m.luts += 1;
+            }
+            m.edges += self.inputs[i].len();
+            if self.kinds[i].is_sequential() {
+                continue;
+            }
+            for &inp in &self.inputs[i] {
+                let src = self.resolve(inp).index();
+                if self.kinds[src].is_sequential() {
+                    continue;
+                }
+                indeg[i] += 1;
+                succs[src].push(i as u32);
+            }
+        }
+        let mut level = vec![0u32; n];
+        let mut ready: VecDeque<usize> =
+            (0..n).filter(|&i| self.live[i] && indeg[i] == 0).collect();
+        let mut depth = 0u32;
+        while let Some(i) = ready.pop_front() {
+            depth = depth.max(level[i] + 1);
+            for &s in &succs[i] {
+                let s = s as usize;
+                level[s] = level[s].max(level[i] + 1);
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    ready.push_back(s);
+                }
+            }
+        }
+        m.depth = if m.nodes == 0 { 0 } else { depth };
+        m
+    }
+
+    /// Compacts the live subgraph back into a [`Netlist`].
+    ///
+    /// Emission order: primary inputs in declaration order, then
+    /// sequential nodes (D inputs patched last, so feedback is legal),
+    /// then the remaining combinational nodes in a deterministic
+    /// smallest-id-first topological order, then primary outputs in
+    /// declaration order — so the rebuilt interface is identical to the
+    /// imported one even when passes appended nodes out of dependency
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if a pass introduced a
+    /// combinational cycle (a pass bug — rebuilding refuses to hide it),
+    /// or [`NetlistError::UnknownNode`] if a live node reads a tombstone.
+    pub fn rebuild(&self) -> Result<Netlist, NetlistError> {
+        let n = self.len();
+        let mut out = Netlist::new(self.name.clone());
+        let mut map: Vec<Option<NodeId>> = vec![None; n];
+        let mut seq_patches: Vec<(NodeId, NodeId)> = Vec::new();
+
+        // Live operand, resolved, or an UnknownNode error naming the
+        // tombstone a pass left dangling.
+        let resolved_live = |id: NodeId| -> Result<NodeId, NetlistError> {
+            let r = self.resolve(id);
+            if self.live[r.index()] {
+                Ok(r)
+            } else {
+                Err(NetlistError::UnknownNode(r))
+            }
+        };
+
+        // 1. Primary inputs, declaration order.
+        for (pos, &pi) in self.pis.iter().enumerate() {
+            let id = out.push(
+                self.kinds[pi.index()].clone(),
+                Vec::new(),
+                Some(&self.input_names[pos]),
+            );
+            map[pi.index()] = Some(id);
+        }
+
+        // 2. Sequential nodes (sources within a cycle) with self-loop
+        //    placeholders; their D inputs are patched in step 5.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            if !self.live[i] || !self.kinds[i].is_sequential() {
+                continue;
+            }
+            let placeholder = NodeId(out.len() as u32);
+            let id = out.push(self.kinds[i].clone(), vec![placeholder], None);
+            seq_patches.push((id, resolved_live(self.inputs[i][0])?));
+            map[i] = Some(id);
+        }
+
+        // 3. Combinational interior in smallest-id-first topological order.
+        let mut indeg = vec![0u32; n];
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let interior_flag: Vec<bool> = (0..n)
+            .map(|i| {
+                self.live[i]
+                    && !self.kinds[i].is_sequential()
+                    && !matches!(
+                        self.kinds[i],
+                        NodeKind::BitInput { .. }
+                            | NodeKind::WordInput { .. }
+                            | NodeKind::BitOutput { .. }
+                            | NodeKind::WordOutput { .. }
+                    )
+            })
+            .collect();
+        let interior = |i: usize| interior_flag[i];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            if !interior(i) {
+                continue;
+            }
+            for &inp in &self.inputs[i] {
+                let src = resolved_live(inp)?.index();
+                if interior(src) {
+                    indeg[i] += 1;
+                    succs[src].push(i as u32);
+                }
+            }
+        }
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+            .filter(|&i| interior(i) && indeg[i] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        let mut emitted = 0usize;
+        let interior_total = (0..n).filter(|&i| interior(i)).count();
+        while let Some(std::cmp::Reverse(i)) = heap.pop() {
+            let ins: Result<Vec<NodeId>, NetlistError> = self.inputs[i]
+                .iter()
+                .map(|&inp| {
+                    let src = resolved_live(inp)?;
+                    map[src.index()].ok_or(NetlistError::UnknownNode(src))
+                })
+                .collect();
+            map[i] = Some(out.push(self.kinds[i].clone(), ins?, None));
+            emitted += 1;
+            for &s in &succs[i] {
+                let s = s as usize;
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    heap.push(std::cmp::Reverse(s));
+                }
+            }
+        }
+        if emitted != interior_total {
+            let blocked = (0..n)
+                .find(|&i| interior_flag[i] && map[i].is_none())
+                .map(|i| NodeId(i as u32))
+                .expect("some interior node must be blocked");
+            return Err(NetlistError::CombinationalCycle(blocked));
+        }
+
+        // 4. Primary outputs, declaration order.
+        for (pos, &po) in self.pos.iter().enumerate() {
+            let src = resolved_live(self.inputs[po.index()][0])?;
+            let mapped = map[src.index()].ok_or(NetlistError::UnknownNode(src))?;
+            let id = out.push(
+                self.kinds[po.index()].clone(),
+                vec![mapped],
+                Some(&self.output_names[pos]),
+            );
+            map[po.index()] = Some(id);
+        }
+
+        // 5. Patch sequential feedback.
+        for (node, old_src) in seq_patches {
+            let src = map[old_src.index()].ok_or(NetlistError::UnknownNode(old_src))?;
+            out.set_input(node, 0, src)?;
+        }
+        out.validate()?;
+        debug_assert_eq!(out.primary_inputs().len(), self.pis.len());
+        debug_assert_eq!(out.primary_outputs().len(), self.pos.len());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::truth::TruthTable;
+
+    fn sample() -> Netlist {
+        let mut b = CircuitBuilder::new("s");
+        let a = b.word_input("a", 4);
+        let c = b.word_input("b", 4);
+        let s = b.add(&a, &c);
+        b.word_output("s", &s);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn import_rebuild_round_trips() {
+        let n = sample();
+        let g = WorkGraph::from_netlist(&n);
+        let r = g.rebuild().unwrap();
+        assert_eq!(r.len(), n.len());
+        assert_eq!(r.primary_inputs().len(), n.primary_inputs().len());
+        assert_eq!(r.primary_outputs().len(), n.primary_outputs().len());
+        assert_eq!(r.input_name(0), n.input_name(0));
+        assert_eq!(r.output_name(0), n.output_name(0));
+        crate::eval::assert_equivalent_on(
+            &n,
+            &r,
+            &[vec![crate::Value::Word(3), crate::Value::Word(9)]],
+            1,
+        );
+    }
+
+    #[test]
+    fn replace_forwards_uses_and_rebuild_drops_the_dead_node() {
+        let mut b = CircuitBuilder::new("r");
+        let a = b.bit_input("a");
+        let x = b.not(a);
+        let y = b.not(a);
+        b.bit_output("x", x);
+        b.bit_output("y", y);
+        let n = b.finish().unwrap();
+        let mut g = WorkGraph::from_netlist(&n);
+        g.replace(y.node(), x.node());
+        g.canonicalize();
+        let r = g.rebuild().unwrap();
+        assert_eq!(r.len(), n.len() - 1, "duplicate NOT dropped");
+    }
+
+    #[test]
+    fn appended_nodes_rebuild_despite_reverse_id_order() {
+        // A consumer with a *smaller* id than its (appended) producer must
+        // still rebuild: topological emission, not id order.
+        let mut b = CircuitBuilder::new("o");
+        let a = b.bit_input("a");
+        let x = b.not(a);
+        b.bit_output("x", x);
+        let n = b.finish().unwrap();
+        let mut g = WorkGraph::from_netlist(&n);
+        let late = g.add_node(NodeKind::Lut(TruthTable::not1()), vec![a.node()]);
+        g.replace(x.node(), late);
+        let r = g.rebuild().unwrap();
+        r.validate().unwrap();
+        assert_eq!(r.len(), n.len());
+    }
+
+    #[test]
+    fn sequential_feedback_survives_rebuild() {
+        let mut b = CircuitBuilder::new("ctr");
+        let (q, h) = b.word_reg(5, 4);
+        let nx = b.inc(&q);
+        b.connect_word_reg(h, &nx);
+        b.word_output("q", &q);
+        let n = b.finish().unwrap();
+        let g = WorkGraph::from_netlist(&n);
+        let r = g.rebuild().unwrap();
+        crate::eval::assert_equivalent_on(&n, &r, &[vec![]], 5);
+    }
+
+    #[test]
+    fn rebuild_reports_dangling_tombstones() {
+        let mut b = CircuitBuilder::new("d");
+        let a = b.bit_input("a");
+        let x = b.not(a);
+        b.bit_output("x", x);
+        let n = b.finish().unwrap();
+        let mut g = WorkGraph::from_netlist(&n);
+        g.kill(x.node()); // output still reads it
+        assert!(matches!(g.rebuild(), Err(NetlistError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn metrics_match_leveled_depth() {
+        let n = sample();
+        let g = WorkGraph::from_netlist(&n);
+        let m = g.metrics();
+        let lg = crate::level::level_graph(&n).unwrap();
+        assert_eq!(m.depth, lg.depth());
+        assert_eq!(m.nodes, n.len());
+        assert_eq!(
+            m.edges,
+            n.nodes().iter().map(|nd| nd.inputs.len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn fanout_counts_every_live_use() {
+        let mut b = CircuitBuilder::new("f");
+        let a = b.bit_input("a");
+        let x = b.not(a);
+        let y = b.and(x, a);
+        b.bit_output("y", y);
+        let n = b.finish().unwrap();
+        let g = WorkGraph::from_netlist(&n);
+        let fan = g.fanout_counts();
+        assert_eq!(fan[a.node().index()], 2, "a feeds NOT and AND");
+        assert_eq!(fan[x.node().index()], 1);
+        assert_eq!(g.users(a.node()).count(), 2);
+    }
+}

@@ -1,0 +1,230 @@
+//! Pass-unit integration suite: hand-built netlists with *known* redundancy
+//! run through the public optimization API, asserting exact LUT deltas,
+//! per-pass attribution, idempotence, and fixpoint termination — the
+//! black-box counterpart to the white-box unit tests inside each pass.
+
+use freac_netlist::builder::CircuitBuilder;
+use freac_netlist::opt::DEFAULT_MAX_ITERATIONS;
+use freac_netlist::{
+    assert_equivalent_on, optimize, NetlistStats, OptLevel, OptOptions, PassKind, PassManager,
+    Value,
+};
+
+fn full() -> OptOptions {
+    OptOptions::at(OptLevel::Full)
+}
+
+#[test]
+fn cse_removes_exactly_the_duplicate_cone() {
+    // Two bit-identical xor cones feeding two outputs: exactly one LUT is
+    // redundant, and CSE (not any other pass) must claim the rewrite.
+    let mut b = CircuitBuilder::new("twins");
+    let a = b.word_input("a", 2);
+    let x = b.xor(a.bit(0), a.bit(1));
+    let y = b.xor(a.bit(0), a.bit(1));
+    b.bit_output("x", x);
+    b.bit_output("y", y);
+    let n = b.finish().unwrap();
+
+    let (opt, report) = optimize(&n, full()).unwrap();
+    assert_eq!(report.before.luts, 2);
+    assert_eq!(report.after.luts, 1);
+    assert_eq!(report.rewrites_for(PassKind::Cse), 1);
+    assert_eq!(NetlistStats::of(&opt).luts, 1);
+    let vectors: Vec<Vec<Value>> = (0..4u32).map(|i| vec![Value::Word(i)]).collect();
+    assert_equivalent_on(&n, &opt, &vectors, 1);
+}
+
+#[test]
+fn constprop_folds_a_constant_cone_to_nothing() {
+    // or(and(x, false), xor(y, false)) is just y: constant propagation
+    // collapses every LUT and the output becomes a plain rewire.
+    let mut b = CircuitBuilder::new("constcone");
+    let x = b.bit_input("x");
+    let y = b.bit_input("y");
+    let f = b.const_bit(false);
+    let dead = b.and(x, f);
+    let id = b.xor(y, f);
+    let out = b.or(dead, id);
+    b.bit_output("out", out);
+    let n = b.finish().unwrap();
+
+    let (opt, report) = optimize(&n, full()).unwrap();
+    assert_eq!(report.after.luts, 0, "the whole cone folds away");
+    assert!(report.rewrites_for(PassKind::ConstProp) >= 2);
+    let vectors: Vec<Vec<Value>> = (0..4u32)
+        .map(|i| vec![Value::Bit(i & 1 == 1), Value::Bit(i & 2 == 2)])
+        .collect();
+    assert_equivalent_on(&n, &opt, &vectors, 1);
+}
+
+#[test]
+fn input_prune_collapses_a_self_xor() {
+    // xor(a, a) is constant false; only InputPrune sees it (the two pins
+    // are the same driver, not a constant).
+    let mut b = CircuitBuilder::new("selfxor");
+    let a = b.bit_input("a");
+    let z = b.xor(a, a);
+    b.bit_output("z", z);
+    let n = b.finish().unwrap();
+
+    let (opt, report) = optimize(&n, full()).unwrap();
+    assert_eq!(report.after.luts, 0);
+    assert!(report.rewrites_for(PassKind::InputPrune) >= 1);
+    assert_equivalent_on(
+        &n,
+        &opt,
+        &[vec![Value::Bit(false)], vec![Value::Bit(true)]],
+        1,
+    );
+}
+
+#[test]
+fn repack_packs_a_reduction_tree_to_one_lut() {
+    // reduce_xor over 4 bits builds 3 xor2 LUTs; at k=4 the whole tree is
+    // one 4-input function. Exact delta: 3 -> 1.
+    let mut b = CircuitBuilder::new("xor4");
+    let a = b.word_input("a", 4);
+    let bits: Vec<_> = (0..4).map(|i| a.bit(i)).collect();
+    let r = b.reduce_xor(&bits);
+    b.bit_output("r", r);
+    let n = b.finish().unwrap();
+
+    let (opt, report) = optimize(&n, full()).unwrap();
+    assert_eq!(report.before.luts, 3);
+    assert_eq!(report.after.luts, 1);
+    assert_eq!(report.rewrites_for(PassKind::Repack), 2);
+    let vectors: Vec<Vec<Value>> = (0..16u32).map(|i| vec![Value::Word(i)]).collect();
+    assert_equivalent_on(&n, &opt, &vectors, 1);
+}
+
+#[test]
+fn dce_sweeps_exactly_the_dangling_cone() {
+    // A two-LUT cone nothing reads: DCE removes exactly those two nodes
+    // and leaves the live path untouched.
+    let mut b = CircuitBuilder::new("dangling");
+    let a = b.word_input("a", 2);
+    let live = b.and(a.bit(0), a.bit(1));
+    let d1 = b.or(a.bit(0), a.bit(1));
+    let _d2 = b.not(d1);
+    b.bit_output("live", live);
+    let n = b.finish().unwrap();
+
+    let (_, report) = PassManager::new([PassKind::Dce], 4).run(&n).unwrap();
+    assert_eq!(report.before.luts - report.after.luts, 2);
+    assert_eq!(report.rewrites_for(PassKind::Dce), 2);
+}
+
+#[test]
+fn single_pass_managers_preserve_function() {
+    // Each pass alone, applied to one circuit containing every kind of
+    // redundancy at once, must keep the function intact.
+    let build = || {
+        let mut b = CircuitBuilder::new("mixed");
+        let a = b.word_input("a", 8);
+        let f = b.const_bit(false);
+        let t1 = b.xor(a.bit(0), a.bit(1));
+        let t2 = b.xor(a.bit(0), a.bit(1)); // CSE fodder
+        let c = b.or(t1, f); // ConstProp fodder
+        let s = b.xor(a.bit(2), a.bit(2)); // InputPrune fodder
+        let bits: Vec<_> = (3..8).map(|i| a.bit(i)).collect();
+        let tree = b.reduce_xor(&bits); // Repack fodder
+        let _dead = b.and(t2, tree); // DCE fodder (unread)
+        let m1 = b.or(c, s);
+        let out = b.xor(m1, tree);
+        b.bit_output("out", out);
+        b.finish().unwrap()
+    };
+    let n = build();
+    let vectors: Vec<Vec<Value>> = (0..256u32).map(|i| vec![Value::Word(i)]).collect();
+    for pass in [
+        PassKind::Cse,
+        PassKind::ConstProp,
+        PassKind::InputPrune,
+        PassKind::Repack,
+        PassKind::Dce,
+    ] {
+        let (opt, report) = PassManager::new([pass], 4).run(&n).unwrap();
+        assert!(
+            report.after.luts <= report.before.luts,
+            "{pass:?} grew the netlist"
+        );
+        assert_equivalent_on(&n, &opt, &vectors, 1);
+    }
+    // And the whole pipeline shrinks it strictly.
+    let (opt, report) = optimize(&n, full()).unwrap();
+    assert!(report.after.luts < report.before.luts);
+    assert_equivalent_on(&n, &opt, &vectors, 1);
+}
+
+#[test]
+fn pipeline_is_idempotent_on_mixed_redundancy() {
+    let mut b = CircuitBuilder::new("idem");
+    let a = b.word_input("a", 8);
+    let x = b.xor(a.bit(0), a.bit(1));
+    let y = b.xor(a.bit(0), a.bit(1));
+    let bits: Vec<_> = (2..8).map(|i| a.bit(i)).collect();
+    let tree = b.reduce_xor(&bits);
+    let m = b.or(x, y);
+    let out = b.and(m, tree);
+    b.bit_output("out", out);
+    let n = b.finish().unwrap();
+
+    let (once, r1) = optimize(&n, full()).unwrap();
+    assert!(r1.total_rewrites() > 0);
+    let (twice, r2) = optimize(&once, full()).unwrap();
+    assert_eq!(r2.total_rewrites(), 0, "second run must be a no-op");
+    assert_eq!(NetlistStats::of(&once).luts, NetlistStats::of(&twice).luts);
+    let vectors: Vec<Vec<Value>> = (0..256u32).map(|i| vec![Value::Word(i)]).collect();
+    assert_equivalent_on(&n, &twice, &vectors, 1);
+}
+
+#[test]
+fn pipeline_reaches_fixpoint_within_the_cap_on_deep_circuits() {
+    // A wide sequential accumulator circuit with layered redundancy: the
+    // pipeline must converge (a final zero-rewrite round) well inside the
+    // iteration cap, not just stop at it.
+    let mut b = CircuitBuilder::new("deep");
+    let a = b.word_input("a", 16);
+    let (q, h) = b.word_reg(0, 16);
+    let s1 = b.add(&q, &a);
+    let s2 = b.add(&q, &a); // duplicate adder
+    let pick = b.xor(a.bit(0), a.bit(0)); // constant-false select
+    let next = b.mux_word(pick, &s1, &s2);
+    b.connect_word_reg(h, &next);
+    b.word_output("q", &q);
+    let n = b.finish().unwrap();
+
+    let (opt, report) = optimize(&n, full()).unwrap();
+    assert!(
+        report.iterations <= DEFAULT_MAX_ITERATIONS,
+        "ran {} rounds",
+        report.iterations
+    );
+    let last_round: usize = report
+        .passes
+        .iter()
+        .filter(|d| d.iteration == report.iterations)
+        .map(|d| d.rewrites)
+        .sum();
+    assert_eq!(last_round, 0, "must end on a zero-rewrite round");
+    // The duplicate adder and the constant mux must both be gone: only one
+    // adder's worth of LUTs can survive.
+    assert!(report.after.luts * 2 <= report.before.luts);
+    let vectors: Vec<Vec<Value>> = (0..32u32).map(|i| vec![Value::Word(i * 4099)]).collect();
+    assert_equivalent_on(&n, &opt, &vectors, 4);
+}
+
+#[test]
+fn off_level_is_the_identity() {
+    let mut b = CircuitBuilder::new("noop");
+    let a = b.word_input("a", 4);
+    let x = b.xor(a.bit(0), a.bit(1));
+    let y = b.xor(a.bit(0), a.bit(1));
+    let o = b.or(x, y);
+    b.bit_output("o", o);
+    let n = b.finish().unwrap();
+    let (opt, report) = optimize(&n, OptOptions::at(OptLevel::Off)).unwrap();
+    assert_eq!(report.total_rewrites(), 0);
+    assert_eq!(opt.len(), n.len(), "Off must not touch the netlist");
+}

@@ -13,4 +13,5 @@ pub mod cache;
 pub mod compiled;
 pub mod fold;
 pub mod metrics;
+pub mod optimize;
 pub mod serve;

@@ -5,7 +5,7 @@
 //! `FREAC_PROPTEST_SEED`. A failure panics with a shrunk counterexample
 //! and the one-line corpus entry that replays it.
 
-use freac_proptest::oracles::{bitstream, cache, compiled, fold, metrics, serve};
+use freac_proptest::oracles::{bitstream, cache, compiled, fold, metrics, optimize, serve};
 use freac_proptest::{check, Runner};
 
 #[test]
@@ -23,6 +23,19 @@ fn compiled_plan_differential() {
         compiled::generate,
         compiled::shrink,
         compiled::check,
+    );
+}
+
+#[test]
+fn optimize_preserves_function() {
+    // Every pass alone and both pipeline levels: optimized ≡ raw on random
+    // circuits — pre-mapping, post-mapping, compiled, and 64-lane batch —
+    // with monotone LUT counts and idempotent converged runs.
+    check(
+        "optimize/differential",
+        optimize::generate,
+        optimize::shrink,
+        optimize::check,
     );
 }
 

@@ -62,6 +62,11 @@ fn main() {
 
     println!("{}", timed("fig15", || exp::fig15::run().table()));
 
+    println!(
+        "{}",
+        timed("opt_ablation", || exp::ablations::netlist_opt().table())
+    );
+
     // Flush observability output (no-op unless FREAC_TRACE/FREAC_METRICS).
     exp::runner::export_probe_stats();
     if probe::global::enabled() {

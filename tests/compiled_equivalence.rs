@@ -5,11 +5,12 @@
 //! per lane. CI runs this test as the compiled-vs-interpreted divergence
 //! gate for the example programs.
 
+use freac::core::{Accelerator, AcceleratorTile};
 use freac::fold::{compile_fold, schedule_fold, FoldConstraints, FoldedExecutor, LutMode};
 use freac::kernels::all_kernels;
 use freac::netlist::eval::Evaluator;
 use freac::netlist::techmap::{tech_map, TechMapOptions};
-use freac::netlist::{compile, Netlist, NodeKind, Value, BATCH_LANES, BATCH_WIDTHS};
+use freac::netlist::{compile, Netlist, NodeKind, OptLevel, Value, BATCH_LANES, BATCH_WIDTHS};
 use freac::probe::CounterRegistry;
 
 /// One deterministic input vector per primary input, respecting kinds.
@@ -67,6 +68,111 @@ fn compiled_fold_matches_interpreter_on_every_kernel() {
             rb.counters().collect::<Vec<_>>(),
             "{id}: compiled counters diverged from the interpreter"
         );
+    }
+}
+
+#[test]
+fn optimized_mapping_agrees_with_raw_on_every_kernel() {
+    // The netlist-optimization pipeline (on by default) must be invisible
+    // functionally and strictly helpful operationally: on every kernel the
+    // opt-on and opt-off accelerators produce identical outputs across
+    // cycles, the optimized fold is no longer than the raw one, and every
+    // fold counter of the optimized run is bounded by the raw run's.
+    let tile = AcceleratorTile::new(2).expect("tile 2 is valid");
+    for id in all_kernels() {
+        let circuit = freac::kernels::kernel(id).circuit();
+        let raw = Accelerator::map_with_level(&circuit, &tile, OptLevel::Off)
+            .unwrap_or_else(|e| panic!("{id}: raw mapping failed: {e}"));
+        let opt = Accelerator::map_with_level(&circuit, &tile, OptLevel::Full)
+            .unwrap_or_else(|e| panic!("{id}: optimized mapping failed: {e}"));
+        assert!(
+            opt.fold_cycles() <= raw.fold_cycles(),
+            "{id}: optimization lengthened the fold ({} -> {})",
+            raw.fold_cycles(),
+            opt.fold_cycles()
+        );
+        assert!(
+            opt.stats().luts <= raw.stats().luts,
+            "{id}: optimization added LUTs ({} -> {})",
+            raw.stats().luts,
+            opt.stats().luts
+        );
+        let mut raw_ex = raw.fold_plan().executor();
+        let mut opt_ex = opt.fold_plan().executor();
+        let (mut raw_out, mut opt_out) = (Vec::new(), Vec::new());
+        for cycle in 0..4u32 {
+            // Both accelerators expose the original circuit interface, so
+            // one stimulus drives both.
+            let inputs = inputs_for(&circuit, 0x0b7_0000 | cycle);
+            raw_ex
+                .run_cycle_into(&inputs, &mut raw_out)
+                .unwrap_or_else(|e| panic!("{id}: raw cycle {cycle}: {e}"));
+            opt_ex
+                .run_cycle_into(&inputs, &mut opt_out)
+                .unwrap_or_else(|e| panic!("{id}: optimized cycle {cycle}: {e}"));
+            assert_eq!(
+                raw_out, opt_out,
+                "{id}: optimized execution diverged at cycle {cycle}"
+            );
+        }
+        // Counter dominance: the optimized executor does the same kind of
+        // work (identical counter keys) and never more of it.
+        let mut ra = CounterRegistry::new();
+        let mut ro = CounterRegistry::new();
+        raw_ex.export_into(&mut ra, "fold");
+        opt_ex.export_into(&mut ro, "fold");
+        let raw_counts: Vec<(String, u64)> =
+            ra.counters().map(|(k, v)| (k.to_owned(), v)).collect();
+        let opt_counts: Vec<(String, u64)> =
+            ro.counters().map(|(k, v)| (k.to_owned(), v)).collect();
+        assert_eq!(
+            raw_counts.iter().map(|(k, _)| k).collect::<Vec<_>>(),
+            opt_counts.iter().map(|(k, _)| k).collect::<Vec<_>>(),
+            "{id}: counter key sets diverged"
+        );
+        for ((key, rv), (_, ov)) in raw_counts.iter().zip(&opt_counts) {
+            assert!(
+                ov <= rv,
+                "{id}: optimized run did more work on {key}: {ov} > {rv}"
+            );
+        }
+    }
+}
+
+#[test]
+fn optimized_batch_matches_raw_at_every_width_on_every_kernel() {
+    // Bit-sliced batch execution over the optimized mapping must track the
+    // raw mapping lane for lane at every sweep width.
+    let tile = AcceleratorTile::new(2).expect("tile 2 is valid");
+    for id in all_kernels() {
+        let circuit = freac::kernels::kernel(id).circuit();
+        let raw = Accelerator::map_with_level(&circuit, &tile, OptLevel::Off)
+            .unwrap_or_else(|e| panic!("{id}: raw mapping failed: {e}"));
+        let opt = Accelerator::map_with_level(&circuit, &tile, OptLevel::Full)
+            .unwrap_or_else(|e| panic!("{id}: optimized mapping failed: {e}"));
+        let raw_plan = compile(raw.netlist()).unwrap_or_else(|e| panic!("{id}: raw compile: {e}"));
+        let opt_plan =
+            compile(opt.netlist()).unwrap_or_else(|e| panic!("{id}: optimized compile: {e}"));
+        for &width in &BATCH_WIDTHS {
+            let lanes: Vec<Vec<Value>> = (0..width as u32)
+                .map(|l| inputs_for(&circuit, 0x0b7_b000 ^ l.wrapping_mul(0x0101_0101)))
+                .collect();
+            let mut raw_state = raw_plan.new_batch_state_for(width);
+            let mut opt_state = opt_plan.new_batch_state_for(width);
+            let (mut raw_out, mut opt_out) = (Vec::new(), Vec::new());
+            for pass in 0..2 {
+                raw_plan
+                    .run_batch_cycle_any(&mut raw_state, &lanes, &mut raw_out)
+                    .unwrap_or_else(|e| panic!("{id}: w{width} raw pass {pass}: {e}"));
+                opt_plan
+                    .run_batch_cycle_any(&mut opt_state, &lanes, &mut opt_out)
+                    .unwrap_or_else(|e| panic!("{id}: w{width} optimized pass {pass}: {e}"));
+                assert_eq!(
+                    raw_out, opt_out,
+                    "{id}: w{width} optimized batch diverged at pass {pass}"
+                );
+            }
+        }
     }
 }
 

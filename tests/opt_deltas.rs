@@ -1,0 +1,69 @@
+//! Regression gate for the netlist-optimization pipeline: the per-kernel
+//! LUT/depth/fold deltas must match the committed baseline byte for byte,
+//! and the deltas themselves must clear the acceptance floor. Regenerate
+//! the baseline after an intentional pipeline change with
+//!
+//! ```text
+//! FREAC_UPDATE_OPT_BASELINE=1 cargo test --release --test opt_deltas
+//! ```
+
+use freac::experiments::ablations;
+
+const BASELINE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/baselines/opt_deltas.json"
+);
+
+#[test]
+fn opt_deltas_match_the_committed_baseline() {
+    let fresh = ablations::netlist_opt().to_json();
+    if std::env::var("FREAC_UPDATE_OPT_BASELINE").as_deref() == Ok("1") {
+        std::fs::write(BASELINE, &fresh).expect("baseline is writable");
+        eprintln!("rewrote {BASELINE}");
+        return;
+    }
+    let committed = std::fs::read_to_string(BASELINE).unwrap_or_else(|e| {
+        panic!(
+            "missing committed baseline {BASELINE} ({e}); \
+             regenerate with FREAC_UPDATE_OPT_BASELINE=1"
+        )
+    });
+    assert_eq!(
+        committed, fresh,
+        "optimization deltas drifted from tests/baselines/opt_deltas.json; \
+         if the change is intentional, regenerate with FREAC_UPDATE_OPT_BASELINE=1"
+    );
+}
+
+#[test]
+fn opt_deltas_clear_the_acceptance_floor() {
+    // The ISSUE acceptance bar, enforced at the workspace root so it rides
+    // in the default `cargo test` sweep: optimization never regresses any
+    // kernel, and wins >=10% of the LUTs on at least 6 of the 11.
+    let a = ablations::netlist_opt();
+    assert_eq!(a.rows.len(), 11, "one row per benchmark kernel");
+    let mut big_wins = Vec::new();
+    for r in &a.rows {
+        let id = r.kernel;
+        assert!(
+            r.luts_opt <= r.luts_raw,
+            "{id}: optimization added LUTs ({} -> {})",
+            r.luts_raw,
+            r.luts_opt
+        );
+        assert!(
+            r.folds_opt <= r.folds_raw,
+            "{id}: optimization added fold steps ({} -> {})",
+            r.folds_raw,
+            r.folds_opt
+        );
+        if r.luts_raw.saturating_sub(r.luts_opt) * 10 >= r.luts_raw {
+            big_wins.push(id);
+        }
+    }
+    assert!(
+        big_wins.len() >= 6,
+        "expected >=10% LUT reduction on >=6 kernels, got {} ({big_wins:?})",
+        big_wins.len()
+    );
+}

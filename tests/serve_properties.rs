@@ -3,9 +3,12 @@
 //! the load generator is worker-count independent, and merged counters are
 //! identical across parallelism.
 
+use freac::core::{Accelerator, AcceleratorTile};
 use freac::kernels::KernelId;
+use freac::netlist::OptLevel;
 use freac::serve::{
-    open_loop_trace, Request, SchedPolicy, ServeConfig, ServeReport, Server, TenantSpec,
+    open_loop_trace, Request, RequestProfile, SchedPolicy, ServeConfig, ServeReport, Server,
+    TenantSpec,
 };
 
 const SEED: u64 = 0x7e57_05e1;
@@ -209,6 +212,70 @@ fn every_batch_width_conserves_and_is_enumeration_order_independent() {
             "output hashes diverged between sweep widths"
         );
     }
+}
+
+/// [`serve_mixed`] with each kernel pre-mapped at an explicit optimization
+/// level and registered through [`Server::register_accelerator`] — no
+/// environment mutation, so opt-on and opt-off servers coexist in-process.
+fn serve_mixed_at_level(level: OptLevel) -> ServeReport {
+    let cfg = ServeConfig {
+        policy: SchedPolicy::WeightedFair,
+        ..ServeConfig::default()
+    };
+    let tile = AcceleratorTile::new(cfg.tile_mccs).expect("tile is valid");
+    let mut server = Server::new(cfg).expect("config is valid");
+    for id in [KernelId::Aes, KernelId::Gemm] {
+        let k = freac::kernels::kernel(id);
+        let w = k.workload(1);
+        let accel =
+            Accelerator::map_shared_with_level(&k.circuit(), &tile, level).expect("kernel maps");
+        server
+            .register_accelerator(
+                &id.name().to_lowercase(),
+                accel,
+                RequestProfile {
+                    cycles_per_item: w.cycles_per_item,
+                    read_words: w.read_words_per_item,
+                    write_words: w.write_words_per_item,
+                },
+            )
+            .expect("unique kernel");
+    }
+    let specs = mixed_specs();
+    for s in &specs {
+        server.add_tenant(&s.name, s.weight).expect("unique tenant");
+    }
+    for req in open_loop_trace(&specs, SEED, 1) {
+        server.submit(req).expect("trace request is valid");
+    }
+    server.run_to_completion().expect("serving drains")
+}
+
+#[test]
+fn serving_is_functionally_invariant_under_optimization() {
+    // Opt-on and opt-off servers over the same trace: every request
+    // completes with the same output hash, nothing extra is shed, and the
+    // optimized server is never slower end to end (fewer fold steps per
+    // invocation can only shorten the schedule).
+    let raw = serve_mixed_at_level(OptLevel::Off);
+    let opt = serve_mixed_at_level(OptLevel::Full);
+    let key = |r: &ServeReport| {
+        let mut h: Vec<(String, u64, u64)> = r
+            .completions
+            .iter()
+            .map(|c| (c.tenant.clone(), c.seq, c.output_hash))
+            .collect();
+        h.sort();
+        h
+    };
+    assert_eq!(key(&raw), key(&opt), "optimization changed served results");
+    assert_eq!(raw.sheds.len(), opt.sheds.len(), "shedding diverged");
+    assert!(
+        opt.span_ps <= raw.span_ps,
+        "optimized serving was slower: {} > {}",
+        opt.span_ps,
+        raw.span_ps
+    );
 }
 
 #[test]
