@@ -8,7 +8,11 @@
 //!   request throughput, and the batched/wide-batched speedups over
 //!   single-lane dispatch;
 //! * `BENCH_serve_p99.json` — per-tenant p50/p95/p99/mean latency under
-//!   the batched configuration.
+//!   the batched configuration;
+//! * `BENCH_cluster_throughput.json` — the same trace through a 1-shard
+//!   cluster baseline and a 4-shard cluster with kernel-affinity routing,
+//!   work stealing, and elastic autoscaling enabled, plus the speedup;
+//! * `BENCH_cluster_p99.json` — merged cluster-wide p50/p95/p99 per arm.
 //!
 //! Unlike the wall-clock benches, everything here is simulated time, so
 //! both documents are bit-deterministic (no `git_rev`, no host timing) and
@@ -22,7 +26,10 @@ use std::sync::Arc;
 
 use freac_core::{Accelerator, AcceleratorTile};
 use freac_kernels::{kernel, KernelId};
-use freac_serve::{open_loop_trace, SchedPolicy, ServeConfig, ServeReport, Server, TenantSpec};
+use freac_serve::{
+    open_loop_trace, AutoscaleConfig, Cluster, ClusterConfig, ClusterReport, RoutePolicy,
+    SchedPolicy, ServeConfig, ServeReport, Server, StealConfig, TenantSpec,
+};
 
 const TRACE_SEED: u64 = 0x5e1e_c7ed_7e57_0001;
 const REQUESTS_PER_TENANT: u64 = 48;
@@ -86,24 +93,116 @@ fn run_arm(
     server.run_to_completion().expect("serving drains")
 }
 
+/// The cluster workload: four kernels with traffic skewed toward AES
+/// (deep home-shard queues reward stealing), one-in-eight exclusive
+/// requests (single-lane dispatches batching cannot collapse), and a
+/// cache-heavy starting partition (elastic headroom for autoscaling).
+fn cluster_specs() -> Vec<TenantSpec> {
+    let mut alpha = TenantSpec::new("alpha", "aes", 2 * REQUESTS_PER_TENANT * 2);
+    alpha.weight = 4;
+    alpha.mean_gap_ps = 1_000;
+    let mut beta = TenantSpec::new("beta", "gemm", REQUESTS_PER_TENANT * 2);
+    beta.weight = 2;
+    beta.mean_gap_ps = 3_000;
+    let mut gamma = TenantSpec::new("gamma", "aes", REQUESTS_PER_TENANT * 2);
+    gamma.mix = vec![("aes".to_owned(), 2), ("kmp".to_owned(), 1)];
+    gamma.mean_gap_ps = 2_000;
+    let mut delta = TenantSpec::new("delta", "dot", REQUESTS_PER_TENANT * 2);
+    delta.mix = vec![("dot".to_owned(), 2), ("gemm".to_owned(), 1)];
+    delta.mean_gap_ps = 3_000;
+    let mut out = vec![alpha, beta, gamma, delta];
+    for s in &mut out {
+        s.exclusive_permille = 125;
+    }
+    out
+}
+
+/// The skewed workload through a cluster: 1 shard is the baseline,
+/// 4 shards run the full feature set (affinity routing, work stealing,
+/// elastic way autoscaling).
+fn run_cluster_arm(
+    shards: usize,
+    accels: &[(KernelId, Arc<Accelerator>)],
+    specs: &[TenantSpec],
+) -> ClusterReport {
+    let mut cluster = Cluster::new(ClusterConfig {
+        shards,
+        route: RoutePolicy::KernelAffinity { spill_depth: 64 },
+        steal: (shards > 1).then(StealConfig::default),
+        // Sustained-backlog thresholds: stolen work arrives in transient
+        // spikes that must not trigger way conversions on every thief.
+        autoscale: (shards > 1).then(|| AutoscaleConfig {
+            high_backlog: 96,
+            up_epochs: 8,
+            down_epochs: 64,
+            ..AutoscaleConfig::default()
+        }),
+        epoch_ps: 10_000,
+        shard: ServeConfig {
+            partition: freac_core::SlicePartition::new(4, 10, 6).expect("valid split"),
+            slices: 1,
+            queue_depth: 1024,
+            policy: SchedPolicy::WeightedFair,
+            ..ServeConfig::default()
+        },
+        ..ClusterConfig::default()
+    })
+    .expect("config is valid");
+    for (id, accel) in accels {
+        let w = kernel(*id).workload(1);
+        cluster
+            .register_accelerator(
+                &id.name().to_lowercase(),
+                Arc::clone(accel),
+                freac_serve::RequestProfile {
+                    cycles_per_item: w.cycles_per_item,
+                    read_words: w.read_words_per_item,
+                    write_words: w.write_words_per_item,
+                },
+            )
+            .expect("kernel registers");
+    }
+    for s in specs {
+        cluster
+            .add_tenant(&s.name, s.weight)
+            .expect("unique tenant");
+    }
+    for req in open_loop_trace(specs, TRACE_SEED, 1) {
+        cluster.submit(req).expect("trace request");
+    }
+    cluster.run_to_completion().expect("cluster drains")
+}
+
+/// Merged cluster-wide latency quantile, ps.
+fn cluster_quantile(r: &ClusterReport, q: f64) -> f64 {
+    r.probes
+        .histogram("serve.latency_ps")
+        .expect("latencies recorded")
+        .quantile(q)
+        .expect("non-empty histogram")
+}
+
 fn main() {
     // One shared mapping per kernel — both arms serve identical logic.
     let tile = AcceleratorTile::new(1).expect("unit tile");
-    let accels: Vec<(KernelId, Arc<Accelerator>)> = [KernelId::Aes, KernelId::Gemm]
-        .into_iter()
-        .map(|id| {
-            let circuit = kernel(id).circuit();
-            (
-                id,
-                Accelerator::map_shared(&circuit, &tile).expect("kernel maps"),
-            )
-        })
-        .collect();
+    let accels: Vec<(KernelId, Arc<Accelerator>)> =
+        [KernelId::Aes, KernelId::Gemm, KernelId::Kmp, KernelId::Dot]
+            .into_iter()
+            .map(|id| {
+                let circuit = kernel(id).circuit();
+                (
+                    id,
+                    Accelerator::map_shared(&circuit, &tile).expect("kernel maps"),
+                )
+            })
+            .collect();
     let specs = specs();
 
-    let batched = run_arm(true, 64, &accels, &specs);
-    let wide = run_arm(true, 256, &accels, &specs);
-    let single = run_arm(false, 64, &accels, &specs);
+    // The single-server arms keep their original two-kernel registration
+    // so the committed serve baselines stay byte-stable.
+    let batched = run_arm(true, 64, &accels[..2], &specs);
+    let wide = run_arm(true, 256, &accels[..2], &specs);
+    let single = run_arm(false, 64, &accels[..2], &specs);
 
     assert_eq!(
         batched.completions.len(),
@@ -178,4 +277,70 @@ fn main() {
             t.name, t.p99_ps, t.completed
         );
     }
+
+    // Cluster arm: 1-shard baseline vs 4 shards with affinity routing,
+    // stealing, and autoscaling. The scaled-out cluster must win on both
+    // throughput and tail latency or the bench aborts.
+    let cspecs = cluster_specs();
+    let shard1 = run_cluster_arm(1, &accels, &cspecs);
+    let shard4 = run_cluster_arm(4, &accels, &cspecs);
+    assert_eq!(
+        shard1.completions.len(),
+        shard4.completions.len(),
+        "both cluster arms must complete the same request set"
+    );
+    assert!(
+        shard4.throughput_rps() > shard1.throughput_rps(),
+        "4-shard throughput {:.1} must beat 1-shard {:.1}",
+        shard4.throughput_rps(),
+        shard1.throughput_rps()
+    );
+    let (p99_1, p99_4) = (
+        cluster_quantile(&shard1, 0.99),
+        cluster_quantile(&shard4, 0.99),
+    );
+    assert!(
+        p99_4 < p99_1,
+        "4-shard p99 {p99_4:.0} ps must beat 1-shard {p99_1:.0} ps"
+    );
+
+    let cluster_speedup = shard1.span_ps as f64 / shard4.span_ps as f64;
+    let mut cth = String::from("{\n");
+    for (label, r) in [("shard1", &shard1), ("shard4", &shard4)] {
+        let _ = writeln!(
+            cth,
+            "  \"{label}\": {{ \"completed\": {}, \"shed\": {}, \"steals\": {}, \"span_ps\": {}, \"throughput_rps\": {:.1} }},",
+            r.completions.len(),
+            r.sheds.len(),
+            r.steals,
+            r.span_ps,
+            r.throughput_rps()
+        );
+    }
+    let _ = writeln!(cth, "  \"shard4_over_shard1\": {cluster_speedup:.2}");
+    cth.push('}');
+    bench::write_bench_json("cluster_throughput", &cth);
+    println!(
+        "cluster throughput: 4-shard {cluster_speedup:.2}x over 1-shard ({:.1} vs {:.1} req/s)",
+        shard4.throughput_rps(),
+        shard1.throughput_rps()
+    );
+
+    let mut cp99 = String::from("{\n");
+    for (i, (label, r)) in [("shard1", &shard1), ("shard4", &shard4)]
+        .iter()
+        .enumerate()
+    {
+        let _ = writeln!(
+            cp99,
+            "  \"{label}\": {{ \"p50_ps\": {:.0}, \"p95_ps\": {:.0}, \"p99_ps\": {:.0} }}{}",
+            cluster_quantile(r, 0.5),
+            cluster_quantile(r, 0.95),
+            cluster_quantile(r, 0.99),
+            if i == 1 { "" } else { "," }
+        );
+    }
+    cp99.push('}');
+    bench::write_bench_json("cluster_p99", &cp99);
+    println!("cluster p99: 1-shard {p99_1:.0} ps, 4-shard {p99_4:.0} ps");
 }

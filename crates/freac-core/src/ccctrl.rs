@@ -206,6 +206,43 @@ pub fn reconfig_cost(
     })
 }
 
+/// Simulated cost, in picoseconds, of re-splitting a slice's ways from
+/// one partition to another — the elastic way-autoscaling step that
+/// converts ways between cache service and LUT fabric/scratchpad.
+///
+/// Two flush charges model the conversion:
+///
+/// * ways *claimed* from cache service (growth of `compute + scratchpad`)
+///   must be flushed of `dirty_fraction` dirty lines before they can be
+///   locked, at the same DRAM-bound rate the SELECT → FLUSH protocol
+///   walk pays;
+/// * scratchpad ways *returned* to cache service carry all-dirty contents
+///   by definition, so handing them back costs a worst-case flush (the
+///   same model as [`ReconfigCost::reclaim_ps`]).
+///
+/// Shrinking pure compute ways back to cache is free: LUT configuration
+/// is not architectural state, so the ways only need unlocking. The
+/// bitstream re-streaming for whatever accelerator lands on the new
+/// partition is charged separately through [`reconfig_cost`].
+///
+/// # Panics
+///
+/// Panics if `dirty_fraction` is outside `[0, 1]`.
+pub fn way_conversion_cost(
+    from: &SlicePartition,
+    to: &SlicePartition,
+    dirty_fraction: f64,
+) -> Time {
+    assert!((0.0..=1.0).contains(&dirty_fraction));
+    let dram = DramModel::ddr4_2400_x4();
+    let geometry = LlcGeometry::paper_edge();
+    let claimed = (to.compute_ways() + to.scratchpad_ways())
+        .saturating_sub(from.compute_ways() + from.scratchpad_ways());
+    let spad_returned = from.scratchpad_ways().saturating_sub(to.scratchpad_ways());
+    flush_ways_time(&geometry, claimed, dirty_fraction, &dram)
+        + flush_ways_time(&geometry, spad_returned, 1.0, &dram)
+}
+
 /// The per-slice compute cluster controller.
 #[derive(Debug, Clone)]
 pub struct CcCtrl {
@@ -525,6 +562,48 @@ mod tests {
         assert_eq!(clean.flush_ps, 0);
         assert_eq!(clean.config_ps, cost.config_ps);
         assert_eq!(clean.reclaim_ps, cost.reclaim_ps);
+    }
+
+    #[test]
+    fn way_conversion_cost_is_pinned_to_the_flush_model() {
+        let d = dram();
+        let geometry = LlcGeometry::paper_edge();
+        let balanced = SlicePartition::balanced(); // (8, 12, 0)
+        let maxed = SlicePartition::max_compute(); // (16, 4, 0)
+        let e2e = SlicePartition::end_to_end(); // (8, 10, 2)
+
+        // Identity conversion moves nothing.
+        assert_eq!(way_conversion_cost(&balanced, &balanced, 0.5), 0);
+
+        // Growing compute from cache: flush exactly the claimed ways at
+        // the requested dirty fraction. (8,10,2) → (10,10,0) claims 2.
+        let grown = SlicePartition::new(10, 10, 0).unwrap();
+        assert_eq!(
+            way_conversion_cost(&e2e, &grown, 0.5),
+            flush_ways_time(&geometry, 2, 0.5, &d)
+        );
+        assert!(way_conversion_cost(&e2e, &grown, 0.5) > 0);
+        // Clean claimed ways convert for free.
+        assert_eq!(way_conversion_cost(&e2e, &grown, 0.0), 0);
+
+        // Shrinking compute back to cache is free (LUT state needs no
+        // writeback), but returning scratchpad ways pays an all-dirty
+        // flush regardless of the claimed-way dirty fraction.
+        assert_eq!(way_conversion_cost(&grown, &e2e, 0.0), 0);
+        let spad_heavy = SlicePartition::new(4, 12, 4).unwrap();
+        let spad_light = SlicePartition::new(4, 4, 12).unwrap();
+        assert_eq!(
+            way_conversion_cost(&spad_heavy, &spad_light, 0.0),
+            flush_ways_time(&geometry, 8, 1.0, &d)
+        );
+        assert!(way_conversion_cost(&spad_heavy, &spad_light, 0.0) > 0);
+
+        // Balanced → max-compute claims 0 extra ways (8+12 == 16+4) but
+        // returns 8 scratchpad ways, all dirty.
+        assert_eq!(
+            way_conversion_cost(&balanced, &maxed, 1.0),
+            flush_ways_time(&geometry, 8, 1.0, &d)
+        );
     }
 
     #[test]

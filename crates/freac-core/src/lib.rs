@@ -62,7 +62,7 @@ pub mod subarray;
 pub mod tile;
 
 pub use accel::Accelerator;
-pub use ccctrl::{reconfig_cost, ReconfigCost};
+pub use ccctrl::{reconfig_cost, way_conversion_cost, ReconfigCost};
 pub use error::CoreError;
 pub use exec::{run_kernel, KernelRun, KernelSpec};
 pub use partition::SlicePartition;

@@ -25,8 +25,11 @@
 //! * `fold.steps_executed == fold.expected_steps` — executed fold steps
 //!   match Σ(schedule length × passes);
 //! * `experiments.pool.jobs_completed == experiments.pool.jobs_submitted`;
-//! * `<p>.completed + <p>.shed == <p>.submitted` for every prefix with a
-//!   `.submitted` counter — a drained serving run loses no request;
+//! * `<p>.completed + <p>.shed + <p>.stolen == <p>.submitted` for every
+//!   prefix with a `.submitted` counter — a drained serving run loses no
+//!   request: each one completes, is shed, or was stolen away to another
+//!   shard (where it counts as submitted again, so the law also holds on
+//!   cluster-merged registries);
 //! * `<p>.occupied <= <p>.capacity` for every prefix with an `.occupied`
 //!   counter — a batch never carries more lanes than the dispatch
 //!   offered (both sides are sums over dispatches, so merges preserve
@@ -177,17 +180,20 @@ pub fn check(reg: &CounterRegistry) -> Vec<Violation> {
         }
     }
 
-    // Request conservation: every submitted request ends exactly once,
-    // as a completion or a shed (the serving layer's drain guarantee).
+    // Request conservation: every submitted request ends exactly once —
+    // as a completion, a shed, or a steal to another shard (the serving
+    // layer's drain guarantee). A stolen request is re-submitted on the
+    // thief, so the law holds per shard and on cluster-merged registries.
     for p in prefixes_with(reg, ".submitted") {
         let submitted = reg.counter(&format!("{p}.submitted"));
         let completed = reg.counter(&format!("{p}.completed"));
         let shed = reg.counter(&format!("{p}.shed"));
-        if completed.saturating_add(shed) != submitted {
+        let stolen = reg.counter(&format!("{p}.stolen"));
+        if completed.saturating_add(shed).saturating_add(stolen) != submitted {
             violate(
                 &mut out,
-                format!("{p}: completed + shed == submitted"),
-                format!("{completed} + {shed} != {submitted}"),
+                format!("{p}: completed + shed + stolen == submitted"),
+                format!("{completed} + {shed} + {stolen} != {submitted}"),
             );
         }
     }
@@ -332,8 +338,12 @@ mod tests {
                 Box::new(|r| r.add("experiments.pool.jobs_submitted", 1)),
             ),
             (
-                "completed + shed == submitted",
+                "completed + shed + stolen == submitted",
                 Box::new(|r| r.add("serve.requests.shed", 1)),
+            ),
+            (
+                "completed + shed + stolen == submitted",
+                Box::new(|r| r.add("serve.requests.stolen", 3)),
             ),
             (
                 "occupied <= capacity",
@@ -362,6 +372,31 @@ mod tests {
         // Two merged runs: the product law is skipped.
         r.add("core.runs", 1);
         assert_ok(&r);
+    }
+
+    #[test]
+    fn stolen_requests_balance_the_conservation_law() {
+        // Victim shard: 2 of its 8 submissions were stolen away; thief
+        // shard: the 2 stolen arrivals count as fresh submissions. Both
+        // pass alone, and so does their merge (10 = 6 + 2 + 2).
+        let mut victim = CounterRegistry::new();
+        victim.add("serve.requests.submitted", 8);
+        victim.add("serve.requests.completed", 5);
+        victim.add("serve.requests.shed", 1);
+        victim.add("serve.requests.stolen", 2);
+        assert_ok(&victim);
+        let mut thief = CounterRegistry::new();
+        thief.add("serve.requests.submitted", 2);
+        thief.add("serve.requests.completed", 1);
+        thief.add("serve.requests.shed", 1);
+        assert_ok(&thief);
+        let mut merged = victim.clone();
+        merged.merge(&thief);
+        assert_ok(&merged);
+        // And namespaced per-shard copies stay checkable alongside it.
+        merged.merge_namespaced("cluster.shard.0.", &victim);
+        merged.merge_namespaced("cluster.shard.1.", &thief);
+        assert_ok(&merged);
     }
 
     #[test]

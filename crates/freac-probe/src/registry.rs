@@ -326,6 +326,36 @@ impl CounterRegistry {
         }
     }
 
+    /// Folds `other` into `self` with every metric name prefixed by
+    /// `prefix` (e.g. `"cluster.shard.0."`): counters add, gauges take the
+    /// maximum, histograms merge bucket-wise — the same rules as
+    /// [`CounterRegistry::merge`], shifted into a namespace. Because the
+    /// invariant checker keys off name *suffixes*, namespacing a shard's
+    /// registry this way keeps its conservation laws checkable inside the
+    /// combined registry, alongside the un-prefixed cluster rollup.
+    pub fn merge_namespaced(&mut self, prefix: &str, other: &CounterRegistry) {
+        for (k, &v) in &other.counters {
+            let name = format!("{prefix}{k}");
+            let c = self.counters.entry_or_insert(&name);
+            *c = c.saturating_add(v);
+        }
+        for (k, &v) in &other.gauges {
+            let g = self
+                .gauges
+                .entry(format!("{prefix}{k}"))
+                .or_insert(f64::MIN);
+            if v > *g {
+                *g = v;
+            }
+        }
+        for (k, h) in &other.histograms {
+            self.histograms
+                .entry(format!("{prefix}{k}"))
+                .or_default()
+                .merge(h);
+        }
+    }
+
     /// Inserts a counter at an absolute value (importer use).
     pub(crate) fn set_counter(&mut self, name: &str, value: u64) {
         self.counters.insert(name.to_owned(), value);
@@ -460,6 +490,165 @@ mod tests {
         // And merging cannot move a quantile outside the union's range.
         assert_eq!(ab.quantile(0.0), Some(0.0));
         assert_eq!(ab.quantile(1.0).unwrap(), ab.max().unwrap() as f64);
+    }
+
+    /// Relative tolerance for the bracket property: within-bucket linear
+    /// interpolation computes the same real number along different float
+    /// paths on the two sides, so equality at the bracket edge can be off
+    /// by a few ulps.
+    fn bracket_eps(lo: f64, hi: f64) -> f64 {
+        1e-9 * (1.0 + lo.abs().max(hi.abs()))
+    }
+
+    /// Asserts `merge(a, b)`'s quantile lies between the per-source
+    /// quantiles at every probed `q` — the cross-shard merge contract.
+    fn assert_quantiles_bracket(a: &Histogram, b: &Histogram) {
+        let mut m = a.clone();
+        m.merge(b);
+        for i in 0..=100 {
+            let q = f64::from(i) / 100.0;
+            let qa = a.quantile(q).unwrap();
+            let qb = b.quantile(q).unwrap();
+            let qm = m.quantile(q).unwrap();
+            let (lo, hi) = (qa.min(qb), qa.max(qb));
+            let eps = bracket_eps(lo, hi);
+            assert!(
+                qm >= lo - eps && qm <= hi + eps,
+                "merged q{q} = {qm} outside per-source bracket [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_quantiles_bracket_per_source_quantiles() {
+        // Disjoint buckets: one source entirely below the other.
+        let mut low = Histogram::default();
+        let mut high = Histogram::default();
+        for i in 0..50u64 {
+            low.observe(i % 16);
+            high.observe(1_000 + i * 37);
+        }
+        assert_quantiles_bracket(&low, &high);
+
+        // Same bucket, different values (the spread estimator's worst
+        // case: per-source min/max clips differ from the merged clip).
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for _ in 0..100 {
+            a.observe(64);
+            b.observe(127);
+        }
+        a.observe(32); // widen a's clip to the bucket floor
+        assert_quantiles_bracket(&a, &b);
+
+        // Lopsided counts: one observation vs. a heavy distribution.
+        let mut single = Histogram::default();
+        single.observe(50);
+        let mut heavy = Histogram::default();
+        for i in 0..1_000u64 {
+            heavy.observe((i * i) % 4_096);
+        }
+        assert_quantiles_bracket(&single, &heavy);
+        assert_quantiles_bracket(&heavy, &single);
+
+        // Edge buckets: zeros on one side, near-saturated on the other.
+        let mut zeros = Histogram::default();
+        let mut huge = Histogram::default();
+        for _ in 0..10 {
+            zeros.observe(0);
+            huge.observe(u64::MAX - 7);
+        }
+        assert_quantiles_bracket(&zeros, &huge);
+    }
+
+    /// The bucket-resolution bracket: within-bucket smearing can push a
+    /// merged quantile outside the strict per-source bracket, but the
+    /// rank→bucket mapping is exact, so the estimate can never stray more
+    /// than one power-of-two bucket (a factor of 2) beyond it.
+    fn assert_quantiles_bracket_within_bucket_resolution(a: &Histogram, b: &Histogram) {
+        let mut m = a.clone();
+        m.merge(b);
+        for i in 0..=100 {
+            let q = f64::from(i) / 100.0;
+            let qa = a.quantile(q).unwrap();
+            let qb = b.quantile(q).unwrap();
+            let qm = m.quantile(q).unwrap();
+            let (lo, hi) = (qa.min(qb), qa.max(qb));
+            let eps = bracket_eps(lo, hi);
+            assert!(
+                qm >= lo / 2.0 - 1.0 - eps && qm <= hi * 2.0 + 1.0 + eps,
+                "merged q{q} = {qm} more than a bucket outside per-source bracket [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_quantiles_bracket_on_adversarial_spreads() {
+        // A bucket-boundary comb against a mid-bucket spike: every comb
+        // value is a power of two (the loneliest point of its bucket),
+        // merged with 500 observations at the top of one shared bucket.
+        // The merged histogram smears those 501 same-bucket entries across
+        // the bucket's whole value range, so the strict bracket can fail —
+        // but only within the shared bucket, never beyond it.
+        let mut comb = Histogram::default();
+        for i in 0..20u32 {
+            comb.observe(1u64 << i);
+        }
+        let mut spike = Histogram::default();
+        for _ in 0..500 {
+            spike.observe((1u64 << 10) - 1);
+        }
+        assert_quantiles_bracket_within_bucket_resolution(&comb, &spike);
+
+        // Identical shapes shifted by one bucket.
+        let mut even = Histogram::default();
+        let mut odd = Histogram::default();
+        for i in 0..64u64 {
+            even.observe(1 << (2 * (i % 8)));
+            odd.observe(2 << (2 * (i % 8)));
+        }
+        assert_quantiles_bracket_within_bucket_resolution(&even, &odd);
+    }
+
+    #[test]
+    fn merge_namespaced_prefixes_every_metric() {
+        let mut shard = CounterRegistry::new();
+        shard.add("serve.requests.submitted", 5);
+        shard.set_gauge("serve.ways.compute", 8.0);
+        shard.observe("serve.latency_ps", 300);
+
+        let mut cluster = CounterRegistry::new();
+        cluster.add("cluster.steals", 1);
+        cluster.merge_namespaced("cluster.shard.0.", &shard);
+        cluster.merge_namespaced("cluster.shard.0.", &shard);
+
+        assert_eq!(
+            cluster.counter("cluster.shard.0.serve.requests.submitted"),
+            10
+        );
+        assert_eq!(cluster.counter("serve.requests.submitted"), 0);
+        assert_eq!(
+            cluster.gauge("cluster.shard.0.serve.ways.compute"),
+            Some(8.0)
+        );
+        assert_eq!(
+            cluster
+                .histogram("cluster.shard.0.serve.latency_ps")
+                .unwrap()
+                .count(),
+            2
+        );
+        // The un-namespaced rollup is untouched.
+        assert_eq!(cluster.counter("cluster.steals"), 1);
+
+        // Namespaced-merge then plain-merge equals plain-merge of the
+        // namespaced copy: the prefix is pure renaming.
+        let mut direct = CounterRegistry::new();
+        direct.add("cluster.shard.0.serve.requests.submitted", 10);
+        assert_eq!(
+            cluster.counter("cluster.shard.0.serve.requests.submitted"),
+            direct.counter("cluster.shard.0.serve.requests.submitted")
+        );
     }
 
     #[test]

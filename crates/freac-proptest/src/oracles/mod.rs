@@ -10,6 +10,7 @@
 
 pub mod bitstream;
 pub mod cache;
+pub mod cluster;
 pub mod compiled;
 pub mod fold;
 pub mod metrics;

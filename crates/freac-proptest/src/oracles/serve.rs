@@ -27,7 +27,8 @@ use freac_serve::{Request, RequestProfile, SchedPolicy, ServeConfig, ServeReport
 use crate::shrink;
 
 /// Tenant-name pool (names drive tie-breaks, so cover both orders).
-const TENANTS: [&str; 4] = ["ada", "bob", "cyd", "dee"];
+/// Shared with the cluster oracle.
+pub(crate) const TENANTS: [&str; 4] = ["ada", "bob", "cyd", "dee"];
 
 /// One request in a case, in pool-index form.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -147,7 +148,7 @@ pub fn shrink(case: &ServeCase) -> Vec<ServeCase> {
 /// The shared kernel pool: two tiny circuits mapped once per process
 /// (mapping is the expensive step, and the oracle only needs schedule
 /// diversity, not logic diversity).
-fn kernel_pool() -> &'static [(String, Arc<Accelerator>, RequestProfile)] {
+pub(crate) fn kernel_pool() -> &'static [(String, Arc<Accelerator>, RequestProfile)] {
     static POOL: OnceLock<Vec<(String, Arc<Accelerator>, RequestProfile)>> = OnceLock::new();
     POOL.get_or_init(|| {
         let tile = AcceleratorTile::new(1).expect("unit tile");
@@ -191,7 +192,7 @@ fn kernel_pool() -> &'static [(String, Arc<Accelerator>, RequestProfile)] {
 }
 
 /// Materializes the case's request list with per-tenant sequence numbers.
-fn requests_of(case: &ServeCase) -> Vec<Request> {
+pub(crate) fn requests_of(case: &ServeCase) -> Vec<Request> {
     let mut next_seq = vec![0u64; case.tenants.len()];
     case.requests
         .iter()
@@ -215,7 +216,11 @@ fn requests_of(case: &ServeCase) -> Vec<Request> {
 
 /// Runs the case with tenants/kernels registered in `reverse`d order (or
 /// not) and the request trace permuted by `rotate`.
-fn run_case(case: &ServeCase, reverse: bool, rotate: usize) -> Result<ServeReport, String> {
+pub(crate) fn run_case(
+    case: &ServeCase,
+    reverse: bool,
+    rotate: usize,
+) -> Result<ServeReport, String> {
     let mut server = Server::new(ServeConfig {
         policy: case.policy,
         shed: case.shed,

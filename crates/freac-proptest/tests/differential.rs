@@ -5,7 +5,9 @@
 //! `FREAC_PROPTEST_SEED`. A failure panics with a shrunk counterexample
 //! and the one-line corpus entry that replays it.
 
-use freac_proptest::oracles::{bitstream, cache, compiled, fold, metrics, optimize, serve};
+use freac_proptest::oracles::{
+    bitstream, cache, cluster, compiled, fold, metrics, optimize, serve,
+};
 use freac_proptest::{check, Runner};
 
 #[test]
@@ -126,6 +128,39 @@ fn serve_conserves_requests_without_starvation() {
         serve::generate,
         serve::shrink,
         serve::check_conservation,
+    );
+}
+
+#[test]
+fn cluster_conserves_requests_across_shards() {
+    // Cluster-wide and per-shard `completed + shed + stolen == submitted`,
+    // exactly-once termination, and balanced steal accounting, at the full
+    // configured case count — this is the gate for the cluster layer.
+    check(
+        "cluster/conservation",
+        cluster::generate,
+        cluster::shrink,
+        cluster::check_conservation,
+    );
+}
+
+#[test]
+fn cluster_view_is_enumeration_order_independent() {
+    check(
+        "cluster/order-independence",
+        cluster::generate,
+        cluster::shrink,
+        cluster::check_order_independence,
+    );
+}
+
+#[test]
+fn single_shard_cluster_is_the_plain_server() {
+    check(
+        "cluster/single-shard",
+        cluster::generate,
+        cluster::shrink,
+        cluster::check_single_shard_equivalence,
     );
 }
 

@@ -1,20 +1,32 @@
-//! Closed-loop load generator over the serving stack.
+//! Closed-loop load generator over the cluster serving stack.
 //!
-//! Drives a fixed four-tenant AES/GEMM scenario open-loop through the
-//! server, verifies a sample of completions against the reference
-//! evaluator, and prints the per-tenant latency table plus the serving
-//! counters. All output is simulated-time only and bit-identical for any
-//! `FREAC_WORKERS` value — CI diffs the 1-vs-4-worker runs.
+//! Drives a fixed four-tenant AES/GEMM scenario open-loop through a
+//! cluster of serving shards, verifies a sample of completions against the
+//! reference evaluator, and prints the per-tenant latency table plus the
+//! serving counters. All output is simulated-time only and bit-identical
+//! for any `FREAC_WORKERS` value — CI diffs the 1-vs-4-worker runs at each
+//! shard count.
+//!
+//! Arguments:
+//! * `--shards N` — shard count (default 1; `FREAC_SERVE_SHARDS` env
+//!   fallback). Multi-shard runs use kernel-affinity routing with work
+//!   stealing.
+//! * `--spike` — compress arrival gaps into a burst and enable elastic way
+//!   autoscaling, the load shape the autoscaler exists for.
 //!
 //! Environment:
 //! * `FREAC_SERVE_REQUESTS` — per-tenant request count (default 64).
+//! * `FREAC_SERVE_SHARDS` — shard count when `--shards` is absent.
 //! * `FREAC_WORKERS` — worker threads for trace generation and sampled
 //!   verification (never affects output).
 
 use freac_experiments::parallel::{map_with, worker_count};
 use freac_kernels::KernelId;
 use freac_serve::inputs::reference_hash;
-use freac_serve::{open_loop_trace, tenant_table, ServeConfig, Server, TenantSpec};
+use freac_serve::{
+    cluster_tenant_table, open_loop_trace, AutoscaleConfig, Cluster, ClusterConfig, RoutePolicy,
+    ServeConfig, StealConfig, TenantSpec,
+};
 
 /// Every Nth completion gets re-executed on the reference evaluator.
 const VERIFY_STRIDE: usize = 7;
@@ -22,49 +34,83 @@ const VERIFY_STRIDE: usize = 7;
 /// Fixed trace seed — the scenario is a pinned workload, not a sweep.
 const TRACE_SEED: u64 = 0x10ad_6e4e_5e4e_0001;
 
-fn specs(requests: u64) -> Vec<TenantSpec> {
+fn specs(requests: u64, spike: bool) -> Vec<TenantSpec> {
+    // A spike compresses the arrival gaps 20x: the same request set lands
+    // as a burst, the sustained-backlog shape autoscaling converts ways for.
+    let gap = |ps: u64| if spike { (ps / 20).max(1) } else { ps };
     let mut alpha = TenantSpec::new("alpha", "aes", requests);
     alpha.weight = 4;
-    alpha.mean_gap_ps = 2_000;
+    alpha.mean_gap_ps = gap(2_000);
     let mut beta = TenantSpec::new("beta", "gemm", requests);
     beta.weight = 2;
-    beta.mean_gap_ps = 3_000;
+    beta.mean_gap_ps = gap(3_000);
     let mut gamma = TenantSpec::new("gamma", "aes", requests);
     gamma.mix = vec![("aes".to_owned(), 1), ("gemm".to_owned(), 1)];
-    gamma.mean_gap_ps = 2_500;
+    gamma.mean_gap_ps = gap(2_500);
     gamma.deadline_ps = Some(20_000_000);
     let mut delta = TenantSpec::new("delta", "gemm", requests);
     delta.mix = vec![("aes".to_owned(), 2), ("gemm".to_owned(), 1)];
-    delta.mean_gap_ps = 4_000;
+    delta.mean_gap_ps = gap(4_000);
     delta.exclusive_permille = 125;
     vec![alpha, beta, gamma, delta]
 }
 
+fn cluster_config(shards: usize, spike: bool) -> ClusterConfig {
+    ClusterConfig {
+        shards,
+        route: RoutePolicy::KernelAffinity { spill_depth: 64 },
+        steal: (shards > 1).then(StealConfig::default),
+        autoscale: spike.then(AutoscaleConfig::default),
+        shard: ServeConfig::default(),
+        ..ClusterConfig::default()
+    }
+}
+
 fn main() {
+    let mut shards: usize = std::env::var("FREAC_SERVE_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let mut spike = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shards" => {
+                shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--shards takes a count");
+            }
+            "--spike" => spike = true,
+            other => panic!("unknown argument '{other}' (expected --shards N or --spike)"),
+        }
+    }
     let requests: u64 = std::env::var("FREAC_SERVE_REQUESTS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(64);
     let workers = worker_count();
-    let specs = specs(requests);
+    let specs = specs(requests, spike);
 
-    let mut server = Server::new(ServeConfig::default()).expect("default config is valid");
-    server
+    let mut cluster = Cluster::new(cluster_config(shards, spike)).expect("config is valid");
+    cluster
         .register_paper_kernel(KernelId::Aes)
         .expect("map aes");
-    server
+    cluster
         .register_paper_kernel(KernelId::Gemm)
         .expect("map gemm");
     for s in &specs {
-        server.add_tenant(&s.name, s.weight).expect("unique tenant");
+        cluster
+            .add_tenant(&s.name, s.weight)
+            .expect("unique tenant");
     }
 
     let trace = open_loop_trace(&specs, TRACE_SEED, workers);
     let submitted = trace.len();
     for req in trace {
-        server.submit(req).expect("trace requests are valid");
+        cluster.submit(req).expect("trace requests are valid");
     }
-    let report = server.run_to_completion().expect("serving drains");
+    let report = cluster.run_to_completion().expect("serving drains");
 
     // Sampled verification: replay every Nth completion's (kernel, seed)
     // through the reference evaluator and compare output hashes.
@@ -80,7 +126,7 @@ fn main() {
         .map(|k| {
             (
                 (*k).to_owned(),
-                server.kernel_netlist(k).expect("registered").clone(),
+                cluster.kernel_netlist(k).expect("registered").clone(),
             )
         })
         .collect();
@@ -89,7 +135,7 @@ fn main() {
         .map(|k| {
             (
                 (*k).to_owned(),
-                server.kernel_func_cycles(k).expect("registered"),
+                cluster.kernel_func_cycles(k).expect("registered"),
             )
         })
         .collect();
@@ -101,8 +147,11 @@ fn main() {
     .into_iter()
     .sum();
 
-    println!("serve_loadgen: {submitted} requests, 4 tenants, aes+gemm");
-    print!("{}", tenant_table(&report));
+    println!(
+        "serve_loadgen: {submitted} requests, 4 tenants, aes+gemm, {shards} shard(s){}",
+        if spike { ", spike" } else { "" }
+    );
+    print!("{}", cluster_tenant_table(&report));
     println!(
         "verified {sampled}/{} sampled completions, {mismatches} mismatches",
         report.completions.len()

@@ -1,0 +1,157 @@
+//! Kernel-affinity request routing across shards.
+//!
+//! The mapping/plan cache is the placement signal: a shard that served a
+//! kernel recently still holds its bitstream, so routing the kernel's
+//! traffic back there skips `reconfig_cost`. The router realizes this with
+//! rendezvous hashing — each kernel gets a stable shard ranking derived
+//! only from `(kernel name, shard index)`, so placement is independent of
+//! registration order, request order, and shard enumeration order.
+
+use std::collections::BTreeMap;
+
+use freac_rand::{seed_from_name, Rng64};
+
+/// How the cluster picks a home shard for each request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Requests cycle through shards regardless of kernel — the placement
+    /// baseline affinity routing is gated against.
+    RoundRobin,
+    /// Rendezvous-hashed kernel affinity: a request goes to the first
+    /// shard in its kernel's ranking whose backlog is below `spill_depth`,
+    /// falling back to the least-backlogged ranked shard when all are
+    /// saturated. One kernel's traffic concentrates where its bitstream is
+    /// already resident, so only spill traffic pays reconfiguration.
+    KernelAffinity {
+        /// Backlog at which a kernel's traffic starts spilling to the
+        /// next shard in its ranking.
+        spill_depth: usize,
+    },
+}
+
+/// The routing state machine. Deterministic: rankings are a pure function
+/// of kernel names and the shard count, and the round-robin cursor advances
+/// once per routed request.
+pub(crate) struct Router {
+    policy: RoutePolicy,
+    shards: usize,
+    rr_cursor: usize,
+    rankings: BTreeMap<String, Vec<usize>>,
+}
+
+impl Router {
+    pub(crate) fn new(policy: RoutePolicy, shards: usize) -> Self {
+        assert!(shards >= 1, "a cluster routes to at least one shard");
+        Router {
+            policy,
+            shards,
+            rr_cursor: 0,
+            rankings: BTreeMap::new(),
+        }
+    }
+
+    /// The kernel's rendezvous ranking: shard indices sorted by descending
+    /// per-`(kernel, shard)` hash score (ascending index on score ties),
+    /// memoized per kernel.
+    fn ranking(&mut self, kernel: &str) -> &[usize] {
+        let shards = self.shards;
+        self.rankings.entry(kernel.to_owned()).or_insert_with(|| {
+            let seed = seed_from_name(kernel);
+            let mut scored: Vec<(u64, usize)> = (0..shards)
+                .map(|i| {
+                    let lane = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    (Rng64::new(seed ^ lane).next_u64(), i)
+                })
+                .collect();
+            scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            scored.into_iter().map(|(_, i)| i).collect()
+        })
+    }
+
+    /// The shard the next request for `kernel` should land on, given each
+    /// shard's current backlog.
+    pub(crate) fn route(&mut self, kernel: &str, backlogs: &[usize]) -> usize {
+        debug_assert_eq!(backlogs.len(), self.shards);
+        match self.policy {
+            RoutePolicy::RoundRobin => {
+                let s = self.rr_cursor;
+                self.rr_cursor = (self.rr_cursor + 1) % self.shards;
+                s
+            }
+            RoutePolicy::KernelAffinity { spill_depth } => {
+                let ranking = self.ranking(kernel);
+                for &s in ranking {
+                    if backlogs[s] < spill_depth {
+                        return s;
+                    }
+                }
+                // Everything saturated: least-backlogged shard, ranking
+                // order breaking ties.
+                let mut best = ranking[0];
+                for &s in &ranking[1..] {
+                    if backlogs[s] < backlogs[best] {
+                        best = s;
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_all_shards() {
+        let mut r = Router::new(RoutePolicy::RoundRobin, 3);
+        let picks: Vec<usize> = (0..7).map(|_| r.route("any", &[0, 0, 0])).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn affinity_is_stable_and_kernel_dependent() {
+        let mut r = Router::new(RoutePolicy::KernelAffinity { spill_depth: 8 }, 4);
+        let home_aes = r.route("aes", &[0, 0, 0, 0]);
+        // Same kernel keeps routing home while under the spill depth.
+        for _ in 0..10 {
+            assert_eq!(r.route("aes", &[2, 2, 2, 2]), home_aes);
+        }
+        // Distinct kernels spread: across the paper's kernel names at
+        // least two distinct home shards appear.
+        let homes: std::collections::BTreeSet<usize> =
+            ["aes", "gemm", "fft", "kmp", "nw", "sort", "conv"]
+                .iter()
+                .map(|k| r.route(k, &[0, 0, 0, 0]))
+                .collect();
+        assert!(
+            homes.len() >= 2,
+            "all kernels hashed to one shard: {homes:?}"
+        );
+    }
+
+    #[test]
+    fn affinity_spills_down_the_ranking_when_home_is_deep() {
+        let mut r = Router::new(RoutePolicy::KernelAffinity { spill_depth: 4 }, 3);
+        let home = r.route("gemm", &[0, 0, 0]);
+        let mut backlogs = vec![0usize; 3];
+        backlogs[home] = 4; // at the spill depth: no longer eligible
+        let spill = r.route("gemm", &backlogs);
+        assert_ne!(spill, home, "saturated home must spill");
+        // Fully saturated: the least-backlogged shard wins.
+        let mut all_deep = vec![9usize; 3];
+        all_deep[spill] = 7;
+        assert_eq!(r.route("gemm", &all_deep), spill);
+    }
+
+    #[test]
+    fn single_shard_always_routes_to_zero() {
+        let mut rr = Router::new(RoutePolicy::RoundRobin, 1);
+        let mut aff = Router::new(RoutePolicy::KernelAffinity { spill_depth: 1 }, 1);
+        for k in ["aes", "gemm"] {
+            assert_eq!(rr.route(k, &[100]), 0);
+            assert_eq!(aff.route(k, &[100]), 0);
+        }
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`inputs`]  | seed-derived input synthesis and output hashing |
 //! | [`loadgen`] | synthetic tenants: open-loop traces, closed-loop driver |
 //! | [`report`]  | fixed-width per-tenant latency tables |
+//! | [`cluster`] | N shards under one clock: affinity routing, stealing, autoscaling |
 //!
 //! Batched dispatches ride the 64-lane bit-sliced plan from
 //! `freac_netlist::plan`; `exclusive` requests fall back to the
@@ -37,6 +38,7 @@
 //! ```
 
 pub mod batch;
+pub mod cluster;
 pub mod inputs;
 pub mod loadgen;
 pub mod queue;
@@ -47,10 +49,13 @@ pub mod server;
 
 mod error;
 
+pub use cluster::{
+    AutoscaleConfig, Cluster, ClusterConfig, ClusterReport, RoutePolicy, StealConfig,
+};
 pub use error::ServeError;
 pub use loadgen::{open_loop_trace, ClosedLoop, TenantSpec};
 pub use queue::{AdmissionQueue, ShedPolicy};
-pub use report::tenant_table;
+pub use report::{cluster_tenant_table, tenant_table};
 pub use request::{Completion, Outcome, Request, Shed, ShedReason};
 pub use sched::SchedPolicy;
 pub use server::{

@@ -103,6 +103,12 @@ impl AdmissionQueue {
         self.items.remove(idx).expect("index in range")
     }
 
+    /// Removes and returns the newest queued request — the work-stealing
+    /// victim, chosen to disturb the head-of-line service order least.
+    pub fn pop_newest(&mut self) -> Option<Request> {
+        self.items.pop_back()
+    }
+
     /// Removes up to `cap` non-exclusive requests oldest-first in one
     /// stable pass, appending them to `batch`; every request left behind
     /// (exclusives, and the overflow past `cap`) keeps its relative
@@ -177,6 +183,20 @@ mod tests {
         assert_eq!(taken.seq, 1);
         let rest: Vec<u64> = q.iter().map(|r| r.seq).collect();
         assert_eq!(rest, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn pop_newest_takes_the_back() {
+        let mut q = AdmissionQueue::new(8);
+        for s in 0..3 {
+            q.admit(req(s, s), ShedPolicy::RejectNew);
+        }
+        assert_eq!(q.pop_newest().unwrap().seq, 2);
+        assert_eq!(q.pop_newest().unwrap().seq, 1);
+        let rest: Vec<u64> = q.iter().map(|r| r.seq).collect();
+        assert_eq!(rest, vec![0]);
+        q.pop_newest();
+        assert!(q.pop_newest().is_none());
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! Human-readable rendering of a [`ServeReport`].
+//! Human-readable rendering of a [`ServeReport`] or [`ClusterReport`].
 
-use crate::server::ServeReport;
+use crate::cluster::ClusterReport;
+use crate::server::{ServeReport, TenantSummary};
 
 /// Renders `ps` as a fixed-precision microsecond figure. Deterministic:
 /// plain integer/remainder math, no float formatting.
@@ -22,6 +23,38 @@ fn qps(v: f64) -> u64 {
 /// and p50/p95/p99/mean latency in microseconds. Byte-stable for a given
 /// report, so CI can diff it across worker counts.
 pub fn tenant_table(report: &ServeReport) -> String {
+    let mut out = tenant_rows(&report.tenants);
+    out.push_str(&format!(
+        "total: {} completed, {} shed, {} dispatches over {} us ({:.1} req/s simulated)\n",
+        report.completions.len(),
+        report.sheds.len(),
+        report.dispatches.len(),
+        us(report.span_ps),
+        report.throughput_rps(),
+    ));
+    out
+}
+
+/// The cluster-wide per-tenant table: the same fixed-width rows over the
+/// merged summaries, with a totals line carrying shard count and steals.
+/// Byte-stable for a given report, so CI can diff it across worker counts.
+pub fn cluster_tenant_table(report: &ClusterReport) -> String {
+    let mut out = tenant_rows(&report.tenants);
+    let dispatches: usize = report.shards.iter().map(|s| s.dispatches.len()).sum();
+    out.push_str(&format!(
+        "total: {} completed, {} shed, {} dispatches, {} steals on {} shards over {} us ({:.1} req/s simulated)\n",
+        report.completions.len(),
+        report.sheds.len(),
+        dispatches,
+        report.steals,
+        report.shards.len(),
+        us(report.span_ps),
+        report.throughput_rps(),
+    ));
+    out
+}
+
+fn tenant_rows(tenants: &[TenantSummary]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<10} {:>6} {:>9} {:>9} {:>5} {:>12} {:>12} {:>12} {:>12}\n",
@@ -35,7 +68,7 @@ pub fn tenant_table(report: &ServeReport) -> String {
         "p99_us",
         "mean_us"
     ));
-    for t in &report.tenants {
+    for t in tenants {
         out.push_str(&format!(
             "{:<10} {:>6} {:>9} {:>9} {:>5} {:>12} {:>12} {:>12} {:>12}\n",
             t.name,
@@ -49,14 +82,6 @@ pub fn tenant_table(report: &ServeReport) -> String {
             us(qps(t.mean_ps)),
         ));
     }
-    out.push_str(&format!(
-        "total: {} completed, {} shed, {} dispatches over {} us ({:.1} req/s simulated)\n",
-        report.completions.len(),
-        report.sheds.len(),
-        report.dispatches.len(),
-        us(report.span_ps),
-        report.throughput_rps(),
-    ));
     out
 }
 

@@ -111,6 +111,9 @@ pub enum ShedReason {
     /// It was the oldest queued request when a newer one arrived under
     /// [`crate::queue::ShedPolicy::DropOldest`].
     Displaced,
+    /// The cluster's global admission budget was exhausted, so the router
+    /// refused it before any shard queue saw it.
+    ClusterBudget,
 }
 
 /// A request the server refused (backpressure). The closed-loop driver may

@@ -165,9 +165,10 @@ struct SliceState {
     reported_span_ps: Time,
 }
 
-/// Heap entry ordered by the canonical request key.
+/// Heap entry ordered by the canonical request key (shared with the
+/// cluster layer's routing heap).
 #[derive(PartialEq, Eq)]
-struct Pending(Request);
+pub(crate) struct Pending(pub(crate) Request);
 
 impl Ord for Pending {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
@@ -512,13 +513,36 @@ impl Server {
     where
         F: FnMut(&Outcome) -> Vec<Request>,
     {
+        self.run_until(Time::MAX, &mut hook)?;
+        Ok(self.report())
+    }
+
+    /// Runs the serving loop, but only through events at or before
+    /// `until`: the next admission or dispatch instant past the bound
+    /// leaves the server parked with its clock unadvanced, so a cluster
+    /// can pump shards in lock-stepped epochs. Driving the loop to
+    /// successively larger bounds replays exactly the event sequence one
+    /// unbounded [`Server::run`] would produce (the schedule is a pure
+    /// function of the request set, and the bound only decides how much
+    /// prefix executes per call).
+    ///
+    /// # Errors
+    ///
+    /// See [`Server::run`].
+    pub fn run_until<F>(&mut self, until: Time, hook: &mut F) -> Result<(), ServeError>
+    where
+        F: FnMut(&Outcome) -> Vec<Request>,
+    {
         loop {
             if self.queued == 0 {
                 let Some(Reverse(next)) = self.pending.peek() else {
                     break;
                 };
                 let t = next.0.arrival_ps;
-                self.admit_until(t, &mut hook)?;
+                if t > until {
+                    break;
+                }
+                self.admit_until(t, hook)?;
                 self.now = self.now.max(t);
                 continue;
             }
@@ -530,15 +554,150 @@ impl Server {
                 .map(|(i, s)| (i, s.free_at))
                 .expect("at least one slice");
             let t = self.now.max(free_at);
+            if t > until {
+                break;
+            }
             // Arrivals at or before the dispatch instant were already
             // there when the slice freed; they join (and may shed) first.
-            self.admit_until(t, &mut hook)?;
+            self.admit_until(t, hook)?;
             self.now = t;
             if self.queued > 0 {
-                self.dispatch(si, t, &mut hook)?;
+                self.dispatch(si, t, hook)?;
             }
         }
-        Ok(self.finish_report())
+        Ok(())
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Requests sitting in admission queues right now.
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    /// Queued plus not-yet-admitted requests — the router's load signal.
+    pub fn backlog(&self) -> usize {
+        self.queued + self.pending.len()
+    }
+
+    /// Simulated time of the next admission or dispatch this server would
+    /// process, or `None` when fully drained. A cluster uses this to skip
+    /// idle epochs without perturbing the event order.
+    pub fn next_event_ps(&self) -> Option<Time> {
+        let arrival = self.pending.peek().map(|Reverse(p)| p.0.arrival_ps);
+        if self.queued == 0 {
+            return arrival;
+        }
+        let free_at = self
+            .slices
+            .iter()
+            .map(|s| s.free_at)
+            .min()
+            .expect("at least one slice");
+        let dispatch = self.now.max(free_at);
+        Some(arrival.map_or(dispatch, |a| a.min(dispatch)))
+    }
+
+    /// Removes up to `max` requests from the back of the deepest admission
+    /// queue — the work-stealing victim's half of a steal. The newest
+    /// arrivals go first so head-of-line service order is disturbed least;
+    /// ties between equally deep queues resolve to the lexicographically
+    /// smallest kernel name. Stolen requests stop counting against this
+    /// server (`completed + shed + stolen == submitted` stays balanced)
+    /// and their identities are released for resubmission on the thief.
+    pub fn steal_newest(&mut self, max: usize) -> Vec<Request> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            let mut victim: Option<(String, usize)> = None;
+            for (name, q) in &self.queues {
+                if q.len() > victim.as_ref().map_or(0, |(_, l)| *l) {
+                    victim = Some((name.clone(), q.len()));
+                }
+            }
+            let Some((name, _)) = victim else {
+                break;
+            };
+            let req = self
+                .queues
+                .get_mut(&name)
+                .expect("victim queue exists")
+                .pop_newest()
+                .expect("victim queue is non-empty");
+            self.queued -= 1;
+            self.submitted_ids
+                .remove(&(req.tenant.clone(), req.seq, req.retries));
+            self.probes.inc("serve.requests.stolen");
+            self.probes
+                .inc(&format!("serve.tenant.{}.stolen", req.tenant));
+            out.push(req);
+        }
+        out
+    }
+
+    /// Submits a request stolen from another shard: a normal submission
+    /// (it counts as submitted here, balancing the victim's `stolen`)
+    /// plus `stolen_in` counters so cross-shard migration stays visible.
+    ///
+    /// # Errors
+    ///
+    /// See [`Server::submit`].
+    pub fn submit_stolen(&mut self, req: Request) -> Result<(), ServeError> {
+        let tenant = req.tenant.clone();
+        self.submit(req)?;
+        self.probes.inc("serve.requests.stolen_in");
+        self.probes.inc(&format!("serve.tenant.{tenant}.stolen_in"));
+        Ok(())
+    }
+
+    /// Re-splits every slice's ways to `partition` at simulated time `at`
+    /// — the elastic autoscaling step. The conversion is charged through
+    /// [`freac_core::way_conversion_cost`]: each slice becomes free no
+    /// earlier than `max(free_at, at) + conversion`, residents are evicted
+    /// (the LUT fabric was rebuilt), every kernel's reconfiguration quote,
+    /// wave width, and the scratchpad service model are requoted against
+    /// the new split. Returns the per-slice conversion time.
+    ///
+    /// # Errors
+    ///
+    /// Rejects partitions too small for the configured tile.
+    pub fn rescale(&mut self, partition: SlicePartition, at: Time) -> Result<Time, ServeError> {
+        let tile = AcceleratorTile::new(self.cfg.tile_mccs)?;
+        if partition.mccs() < tile.mccs() {
+            return Err(ServeError::BadConfig(format!(
+                "partition provides {} MCCs but one tile needs {}",
+                partition.mccs(),
+                tile.mccs()
+            )));
+        }
+        let conversion_ps = freac_core::way_conversion_cost(
+            &self.cfg.partition,
+            &partition,
+            self.cfg.dirty_fraction,
+        );
+        let tiles = (partition.mccs() / self.cfg.tile_mccs).max(1);
+        for k in self.kernels.values_mut() {
+            k.cost = reconfig_cost(&k.accel, &partition, self.cfg.dirty_fraction)?;
+            k.tiles = tiles;
+        }
+        let service_ways = partition
+            .scratchpad_ways()
+            .max(partition.cache_ways().max(1));
+        self.spad = ScratchpadModel::new(service_ways, self.clock);
+        self.cfg.partition = partition;
+        for s in &mut self.slices {
+            // The conversion occupies the slice but is not service time,
+            // so `free_at` advances while `busy_ps` does not — the
+            // busy <= span probe law survives every rescale.
+            s.resident = None;
+            s.free_at = s.free_at.max(at).saturating_add(conversion_ps);
+        }
+        self.probes.inc("serve.rescales");
+        self.probes
+            .add("serve.rescale.conversion_ps", conversion_ps);
+        Ok(conversion_ps)
     }
 
     /// Admits every pending arrival at or before `t`, applying the shed
@@ -797,8 +956,11 @@ impl Server {
         Ok(())
     }
 
-    /// Exports end-of-drain counters and assembles the report.
-    fn finish_report(&mut self) -> ServeReport {
+    /// Exports end-of-drain counters and assembles the report. Public so
+    /// a cluster that drives shards via [`Server::run_until`] can collect
+    /// per-shard reports after the last epoch; [`Server::run`] calls it
+    /// automatically.
+    pub fn report(&mut self) -> ServeReport {
         let span_ps = self
             .completions
             .iter()

@@ -310,3 +310,118 @@ fn exclusive_requests_are_never_coalesced() {
         "exclusive requests must ride alone"
     );
 }
+
+#[test]
+fn stolen_then_shed_requests_terminate_exactly_once() {
+    // The steal/shed interaction hazard: a request stolen from a victim
+    // shard and then shed by the thief must appear in exactly one shed
+    // list — never in two, and never in any completion list. The victim
+    // accounts it as `stolen`, the thief as `submitted` then `shed`, and
+    // the merged ledger still balances.
+    let mut victim = Server::new(ServeConfig {
+        slices: 1,
+        batching: false,
+        ..ServeConfig::default()
+    })
+    .expect("victim config");
+    victim
+        .register_paper_kernel(KernelId::Aes)
+        .expect("aes maps");
+    victim.add_tenant("t", 1).expect("tenant");
+    for i in 0..6 {
+        victim
+            .submit(Request::new("t", i, "aes", 0, i))
+            .expect("submit");
+    }
+    // Admit (and start dispatching) the t=0 arrivals, then steal the four
+    // newest queued requests — the cluster's steal_epoch sequence.
+    let mut no_follow_ups = |_: &freac::serve::Outcome| Vec::new();
+    victim
+        .run_until(0, &mut no_follow_ups)
+        .expect("prefix runs");
+    let stolen = victim.steal_newest(4);
+    assert_eq!(stolen.len(), 4, "four queued requests must be stealable");
+
+    // The thief has a single-entry queue: the simultaneous stolen arrivals
+    // overflow it, so some stolen requests are shed on arrival.
+    let mut thief = Server::new(ServeConfig {
+        slices: 1,
+        batching: false,
+        queue_depth: 1,
+        ..ServeConfig::default()
+    })
+    .expect("thief config");
+    thief
+        .register_paper_kernel(KernelId::Aes)
+        .expect("aes maps");
+    thief.add_tenant("t", 1).expect("tenant");
+    for req in stolen {
+        thief.submit_stolen(req).expect("stolen resubmits");
+    }
+    let tr = thief.run_to_completion().expect("thief drains");
+    let vr = victim.run_to_completion().expect("victim drains");
+
+    // Victim ledger: two requests served locally, four migrated out,
+    // nothing shed.
+    assert_eq!(vr.probes.counter("serve.requests.stolen"), 4);
+    assert_eq!(vr.completions.len(), 2);
+    assert!(vr.sheds.is_empty(), "victim must not shed migrated work");
+
+    // Thief ledger: the stolen requests are fresh submissions there, and
+    // the one-deep queue forces at least one shed.
+    assert_eq!(tr.probes.counter("serve.requests.stolen_in"), 4);
+    assert_eq!(tr.probes.counter("serve.requests.submitted"), 4);
+    assert_eq!(tr.completions.len() + tr.sheds.len(), 4);
+    assert!(!tr.sheds.is_empty(), "overflow must shed on the thief");
+
+    // Exactly-once termination across both shards: every identity shows
+    // up in one terminal list, and a stolen-then-shed identity is in the
+    // thief's shed list only.
+    let mut terminal: Vec<(String, u64)> = Vec::new();
+    for c in vr.completions.iter().chain(tr.completions.iter()) {
+        terminal.push((c.tenant.clone(), c.seq));
+    }
+    for s in vr.sheds.iter().chain(tr.sheds.iter()) {
+        terminal.push((s.request.tenant.clone(), s.request.seq));
+    }
+    terminal.sort();
+    let expect: Vec<(String, u64)> = (0..6).map(|i| ("t".to_owned(), i)).collect();
+    assert_eq!(terminal, expect, "a request terminated twice or never");
+    for s in &tr.sheds {
+        let seq = s.request.seq;
+        assert!(
+            !vr.sheds.iter().any(|v| v.request.seq == seq),
+            "seq {seq} shed on both shards"
+        );
+        assert!(
+            !vr.completions.iter().any(|v| v.seq == seq)
+                && !tr.completions.iter().any(|v| v.seq == seq),
+            "seq {seq} both shed and completed"
+        );
+    }
+
+    // Counter laws hold per shard and on the merged ledger, where the
+    // victim's `stolen` balances the thief's fresh `submitted`.
+    for probes in [&vr.probes, &tr.probes] {
+        let violations = freac::probe::check(probes);
+        assert!(
+            violations.is_empty(),
+            "per-shard laws violated: {violations:?}"
+        );
+    }
+    let mut merged = freac::probe::CounterRegistry::new();
+    merged.merge(&vr.probes);
+    merged.merge(&tr.probes);
+    let violations = freac::probe::check(&merged);
+    assert!(
+        violations.is_empty(),
+        "merged laws violated: {violations:?}"
+    );
+    assert_eq!(
+        merged.counter("serve.requests.completed")
+            + merged.counter("serve.requests.shed")
+            + merged.counter("serve.requests.stolen"),
+        merged.counter("serve.requests.submitted"),
+        "merged conservation with migration broke"
+    );
+}
