@@ -138,14 +138,24 @@ fn cluster_config(case: &ClusterCase) -> ClusterConfig {
         }),
         budget: case.budget,
         epoch_ps: case.epoch_ps,
+        workers: 1,
     }
 }
 
 /// Builds and drains the cluster, with tenants/kernels registered in
-/// `reverse`d order (or not) and the trace permuted by `rotate`.
-fn run_cluster(case: &ClusterCase, reverse: bool, rotate: usize) -> Result<ClusterReport, String> {
-    let mut cluster =
-        Cluster::new(cluster_config(case)).map_err(|e| format!("cluster config rejected: {e}"))?;
+/// `reverse`d order (or not), the trace permuted by `rotate`, and shards
+/// pumped by `workers` threads.
+fn run_cluster_with(
+    case: &ClusterCase,
+    reverse: bool,
+    rotate: usize,
+    workers: usize,
+) -> Result<ClusterReport, String> {
+    let mut cluster = Cluster::new(ClusterConfig {
+        workers,
+        ..cluster_config(case)
+    })
+    .map_err(|e| format!("cluster config rejected: {e}"))?;
     let mut kernels: Vec<_> = kernel_pool().iter().collect();
     let mut tenants = case.serve.tenants.clone();
     if reverse {
@@ -171,6 +181,11 @@ fn run_cluster(case: &ClusterCase, reverse: bool, rotate: usize) -> Result<Clust
         cluster.submit(r).map_err(|e| format!("submit: {e}"))?;
     }
     cluster.run_to_completion().map_err(|e| format!("run: {e}"))
+}
+
+/// [`run_cluster_with`] on the calling thread only.
+fn run_cluster(case: &ClusterCase, reverse: bool, rotate: usize) -> Result<ClusterReport, String> {
+    run_cluster_with(case, reverse, rotate, 1)
 }
 
 /// Cluster-wide and per-shard conservation, exactly-once termination, and
@@ -355,6 +370,50 @@ pub fn check_single_shard_equivalence(case: &ClusterCase) -> Result<(), String> 
     Ok(())
 }
 
+/// Parallel shard stepping is byte-identical to sequential: pumping the
+/// epoch loop's shards on 4 worker threads must reproduce the 1-worker
+/// completions, sheds, per-shard schedules, and merged counters exactly.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence.
+pub fn check_parallel_equivalence(case: &ClusterCase) -> Result<(), String> {
+    let sequential = run_cluster_with(case, false, 0, 1)?;
+    let parallel = run_cluster_with(case, false, 0, 4)?;
+    if parallel.completions != sequential.completions {
+        return Err("parallel stepping changes the completion sequence".into());
+    }
+    if parallel.sheds != sequential.sheds {
+        return Err("parallel stepping changes the shed sequence".into());
+    }
+    if parallel.steals != sequential.steals {
+        return Err(format!(
+            "parallel stepping changes steal count: {} vs {}",
+            parallel.steals, sequential.steals
+        ));
+    }
+    for (i, (p, s)) in parallel
+        .shards
+        .iter()
+        .zip(sequential.shards.iter())
+        .enumerate()
+    {
+        if p.dispatches != s.dispatches {
+            return Err(format!("shard {i}: parallel stepping changes the schedule"));
+        }
+    }
+    let (a, b) = (
+        to_counters_json(&parallel.probes),
+        to_counters_json(&sequential.probes),
+    );
+    if a != b {
+        return Err(format!(
+            "parallel stepping changes merged counters:\n{a}\nvs\n{b}"
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,6 +426,7 @@ mod tests {
             check_conservation(&case).expect("conservation holds");
             check_order_independence(&case).expect("order independence holds");
             check_single_shard_equivalence(&case).expect("single-shard equivalence holds");
+            check_parallel_equivalence(&case).expect("parallel equivalence holds");
         }
     }
 
@@ -377,5 +437,6 @@ mod tests {
         case.serve.requests.clear();
         check_conservation(&case).expect("empty trace conserves");
         check_single_shard_equivalence(&case).expect("empty trace is equivalent");
+        check_parallel_equivalence(&case).expect("empty trace is parallel-equivalent");
     }
 }

@@ -1,0 +1,314 @@
+//! Sampled-simulation oracle: the representative-interval sampler must
+//! honor its own declared error bounds against full-fidelity replay.
+//!
+//! Three contracts, checked on random phase-structured traces (alternating
+//! dense/sparse arrival regimes with shifting kernel bias — the behavior
+//! diversity the signature clustering exists to separate) over random
+//! sampling configurations:
+//!
+//! * **Within-bounds extrapolation** — each extrapolated latency quantile
+//!   (p50/p95/p99) covers the full-fidelity value within its reported
+//!   bound, and the extrapolated terminal counts conserve the trace.
+//! * **Determinism** — the same case twice, and at different sampling
+//!   worker counts, yields byte-identical reports and probe exports.
+//! * **Probe conservation** — the `serve.sample.*` namespace passes the
+//!   registry invariant laws (per-cluster request counts sum to the trace
+//!   length; est. completed + shed == trace length).
+
+use std::sync::Arc;
+
+use freac_probe::to_counters_json;
+use freac_rand::Rng64;
+use freac_serve::{
+    ClusterConfig, Request, RoutePolicy, SampleConfig, SampleReport, SampledServer, ServeConfig,
+    StealConfig,
+};
+
+use super::serve::{kernel_pool, TENANTS};
+
+/// One arrival regime: a stretch of requests sharing a gap scale and a
+/// kernel bias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// Requests in this phase.
+    pub len: usize,
+    /// Mean arrival gap, ps.
+    pub gap_ps: u64,
+    /// Index into the kernel pool that two thirds of the phase's requests
+    /// use (the rest alternate).
+    pub bias_kernel: usize,
+}
+
+/// One sampled-simulation oracle case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleCase {
+    /// The phase-structured trace plan.
+    pub phases: Vec<Phase>,
+    /// Tenants in play (1..=4; requests cycle through them).
+    pub tenant_count: usize,
+    /// Sampling window size.
+    pub window: usize,
+    /// k-medoids cluster budget.
+    pub max_clusters: usize,
+    /// Shard count for the replica clusters.
+    pub shards: usize,
+    /// Work stealing enabled.
+    pub steal: bool,
+    /// Per-shard admission-queue depth.
+    pub queue_depth: usize,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+/// Draws a random [`SampleCase`]: 4–8 phases of 48–128 requests each, so
+/// traces land in the few-hundred-request range where full-fidelity replay
+/// is still affordable per case.
+pub fn generate(rng: &mut Rng64) -> SampleCase {
+    let phase_count = 4 + rng.index(5);
+    let phases = (0..phase_count)
+        .map(|_| Phase {
+            len: 48 + rng.index(81),
+            gap_ps: *rng.pick(&[1_000u64, 4_000, 20_000, 100_000]),
+            bias_kernel: rng.index(kernel_pool().len()),
+        })
+        .collect();
+    SampleCase {
+        phases,
+        tenant_count: 1 + rng.index(TENANTS.len()),
+        window: *rng.pick(&[64usize, 128]),
+        max_clusters: 3 + rng.index(2),
+        shards: 1 + rng.index(2),
+        steal: rng.bool(),
+        queue_depth: 64 + rng.index(192),
+        seed: rng.next_u64(),
+    }
+}
+
+/// Shrink candidates: fewer phases, then a simpler cluster.
+pub fn shrink(case: &SampleCase) -> Vec<SampleCase> {
+    let mut out = Vec::new();
+    if case.phases.len() > 1 {
+        out.push(SampleCase {
+            phases: case.phases[..case.phases.len() - 1].to_vec(),
+            ..case.clone()
+        });
+        out.push(SampleCase {
+            phases: case.phases[1..].to_vec(),
+            ..case.clone()
+        });
+    }
+    if case.shards > 1 {
+        out.push(SampleCase {
+            shards: 1,
+            ..case.clone()
+        });
+    }
+    if case.steal {
+        out.push(SampleCase {
+            steal: false,
+            ..case.clone()
+        });
+    }
+    if case.tenant_count > 1 {
+        out.push(SampleCase {
+            tenant_count: 1,
+            ..case.clone()
+        });
+    }
+    out
+}
+
+/// Materializes the case's trace: phases back to back, arrivals advancing
+/// by the phase's gap, requests cycling through tenants with per-tenant
+/// sequence numbers (so `(tenant, seq)` identities are unique, the sampled
+/// runner's open-loop contract).
+pub fn trace_of(case: &SampleCase) -> Vec<Request> {
+    let pool = kernel_pool();
+    let mut next_seq = vec![0u64; case.tenant_count];
+    let mut arrival = 0u64;
+    let mut out = Vec::new();
+    let mut i = 0u64;
+    for phase in &case.phases {
+        for j in 0..phase.len {
+            let tenant = (i as usize) % case.tenant_count;
+            let kernel = if j % 3 == 2 {
+                (phase.bias_kernel + 1) % pool.len()
+            } else {
+                phase.bias_kernel
+            };
+            let seq = next_seq[tenant];
+            next_seq[tenant] += 1;
+            out.push(Request::new(
+                TENANTS[tenant],
+                seq,
+                &pool[kernel].0,
+                arrival,
+                i,
+            ));
+            arrival += phase.gap_ps;
+            i += 1;
+        }
+    }
+    out
+}
+
+fn cluster_config(case: &SampleCase) -> ClusterConfig {
+    ClusterConfig {
+        shards: case.shards,
+        shard: ServeConfig {
+            queue_depth: case.queue_depth,
+            ..ServeConfig::default()
+        },
+        route: RoutePolicy::KernelAffinity { spill_depth: 64 },
+        steal: case.steal.then(StealConfig::default),
+        ..ClusterConfig::default()
+    }
+}
+
+fn run_sampled(case: &SampleCase, workers: usize) -> Result<SampleReport, String> {
+    let mut server = SampledServer::new(
+        cluster_config(case),
+        SampleConfig {
+            window: case.window,
+            max_clusters: case.max_clusters,
+            warmup: case.window / 2,
+            seed: case.seed,
+            workers,
+        },
+    )
+    .map_err(|e| format!("sample config rejected: {e}"))?;
+    for (name, accel, profile) in kernel_pool() {
+        server
+            .register_accelerator(name, Arc::clone(accel), *profile)
+            .map_err(|e| format!("register {name}: {e}"))?;
+    }
+    for (t, name) in TENANTS.iter().enumerate().take(case.tenant_count) {
+        server
+            .add_tenant(name, 1 + t as u64 % 2)
+            .map_err(|e| format!("add tenant: {e}"))?;
+    }
+    server
+        .run(&trace_of(case))
+        .map_err(|e| format!("sampled run: {e}"))
+}
+
+/// Extrapolated quantiles must cover the full-fidelity values within their
+/// own reported bounds, and the extrapolated terminals must conserve the
+/// trace.
+///
+/// # Errors
+///
+/// Returns a description of the first violated contract.
+pub fn check_within_bounds(case: &SampleCase) -> Result<(), String> {
+    let trace = trace_of(case);
+    let sampled = run_sampled(case, 1)?;
+
+    if sampled.est_completed + sampled.est_shed != trace.len() as u64 {
+        return Err(format!(
+            "extrapolated terminals leak: {} + {} != {}",
+            sampled.est_completed,
+            sampled.est_shed,
+            trace.len()
+        ));
+    }
+    let violations = freac_probe::check(&sampled.probes);
+    if !violations.is_empty() {
+        return Err(format!("sample probe laws violated: {violations:?}"));
+    }
+
+    let mut cluster = freac_serve::Cluster::new(cluster_config(case))
+        .map_err(|e| format!("cluster config rejected: {e}"))?;
+    for (name, accel, profile) in kernel_pool() {
+        cluster
+            .register_accelerator(name, Arc::clone(accel), *profile)
+            .map_err(|e| format!("register {name}: {e}"))?;
+    }
+    for (t, name) in TENANTS.iter().enumerate().take(case.tenant_count) {
+        cluster
+            .add_tenant(name, 1 + t as u64 % 2)
+            .map_err(|e| format!("add tenant: {e}"))?;
+    }
+    for r in trace {
+        cluster.submit(r).map_err(|e| format!("submit: {e}"))?;
+    }
+    let full = cluster
+        .run_to_completion()
+        .map_err(|e| format!("full run: {e}"))?;
+    let Some(h) = full.probes.histogram("serve.latency_ps") else {
+        // Nothing completed at full fidelity; the sampled estimate must
+        // agree that (almost) nothing completes.
+        return Ok(());
+    };
+    for (name, est, q) in [
+        ("p50", sampled.p50_ps, 0.5),
+        ("p95", sampled.p95_ps, 0.95),
+        ("p99", sampled.p99_ps, 0.99),
+    ] {
+        let actual = h.quantile(q).expect("non-empty histogram");
+        if !est.covers(actual) {
+            return Err(format!(
+                "{name}: full-fidelity {actual} outside sampled {} +- {} \
+                 ({} windows, {} clusters)",
+                est.value,
+                est.bound,
+                sampled.windows,
+                sampled.clusters.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The same case must produce byte-identical reports on rerun and at any
+/// sampling worker count.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence.
+pub fn check_determinism(case: &SampleCase) -> Result<(), String> {
+    let a = run_sampled(case, 1)?;
+    let b = run_sampled(case, 1)?;
+    let c = run_sampled(case, 3)?;
+    for (label, other) in [("rerun", &b), ("3-worker", &c)] {
+        if other.clusters != a.clusters {
+            return Err(format!("{label}: clustering diverged"));
+        }
+        if (
+            other.p50_ps,
+            other.p95_ps,
+            other.p99_ps,
+            other.est_completed,
+        ) != (a.p50_ps, a.p95_ps, a.p99_ps, a.est_completed)
+        {
+            return Err(format!("{label}: estimates diverged"));
+        }
+        let (x, y) = (to_counters_json(&other.probes), to_counters_json(&a.probes));
+        if x != y {
+            return Err(format!("{label}: probe export diverged:\n{x}\nvs\n{y}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_accepts_random_cases() {
+        let mut rng = Rng64::new(11);
+        for _ in 0..4 {
+            let case = generate(&mut rng);
+            check_within_bounds(&case).expect("bounds hold");
+            check_determinism(&case).expect("determinism holds");
+        }
+    }
+
+    #[test]
+    fn single_phase_trace_is_fine() {
+        let mut rng = Rng64::new(2);
+        let mut case = generate(&mut rng);
+        case.phases.truncate(1);
+        check_within_bounds(&case).expect("bounds hold on one phase");
+    }
+}

@@ -6,7 +6,7 @@
 //! and the one-line corpus entry that replays it.
 
 use freac_proptest::oracles::{
-    bitstream, cache, cluster, compiled, fold, metrics, optimize, serve,
+    bitstream, cache, cluster, compiled, fold, metrics, optimize, sample, serve,
 };
 use freac_proptest::{check, Runner};
 
@@ -161,6 +161,48 @@ fn single_shard_cluster_is_the_plain_server() {
         cluster::generate,
         cluster::shrink,
         cluster::check_single_shard_equivalence,
+    );
+}
+
+#[test]
+fn parallel_shard_stepping_is_byte_identical() {
+    // Pumping the epoch loop's shards on 4 worker threads must reproduce
+    // the sequential completions, sheds, schedules, and counters exactly.
+    check(
+        "cluster/parallel-stepping",
+        cluster::generate,
+        cluster::shrink,
+        cluster::check_parallel_equivalence,
+    );
+}
+
+#[test]
+fn sampled_simulation_stays_within_its_bounds() {
+    // Each sampled case replays the whole trace at full fidelity as the
+    // oracle, so this property runs an eighth of the configured case count.
+    let mut runner = Runner::from_env();
+    let mut config = runner.config().clone();
+    config.cases = (config.cases / 8).max(1);
+    runner = Runner::new(config);
+    runner.check(
+        "sample/within-bounds",
+        sample::generate,
+        sample::shrink,
+        sample::check_within_bounds,
+    );
+}
+
+#[test]
+fn sampled_simulation_is_deterministic() {
+    let mut runner = Runner::from_env();
+    let mut config = runner.config().clone();
+    config.cases = (config.cases / 8).max(1);
+    runner = Runner::new(config);
+    runner.check(
+        "sample/determinism",
+        sample::generate,
+        sample::shrink,
+        sample::check_determinism,
     );
 }
 

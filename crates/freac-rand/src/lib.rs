@@ -172,6 +172,53 @@ impl Rng64 {
         }
         unreachable!("below(total) is always less than the summed weights")
     }
+
+    /// An index into `weights` with probability proportional to its
+    /// (non-negative, finite) float weight — the seeding step of k-medoids++
+    /// draws by squared distance, which is naturally a float. Zero-weight
+    /// entries are never picked; when every weight is zero the pick falls
+    /// back to uniform so callers need no special case for degenerate
+    /// inputs (e.g. all-identical signature windows).
+    ///
+    /// Deterministic: the draw uses 53 uniform bits scaled into `[0, total)`
+    /// and a left-to-right prefix walk, all in plain IEEE arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or any weight is negative or non-finite.
+    pub fn weighted_f64(&mut self, weights: &[f64]) -> usize {
+        assert!(
+            !weights.is_empty(),
+            "Rng64::weighted_f64: weights must be non-empty"
+        );
+        let mut total = 0.0f64;
+        for &w in weights {
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "Rng64::weighted_f64: weights must be finite and non-negative, got {w}"
+            );
+            total += w;
+        }
+        if total <= 0.0 {
+            return self.index(weights.len());
+        }
+        // 53 uniform bits in [0, 1), the full precision of an f64 mantissa.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let mut x = unit * total;
+        let mut last_nonzero = 0;
+        for (i, &w) in weights.iter().enumerate() {
+            if w > 0.0 {
+                if x < w {
+                    return i;
+                }
+                last_nonzero = i;
+            }
+            x -= w;
+        }
+        // Float prefix-sum round-off can leave a sliver past the last
+        // positive weight; land on it rather than a zero-weight entry.
+        last_nonzero
+    }
 }
 
 /// A stable 64-bit seed derived from a string (FNV-1a), for per-name
@@ -357,5 +404,48 @@ mod tests {
     #[should_panic(expected = "non-zero sum")]
     fn weighted_all_zero_panics_with_clear_message() {
         Rng64::new(0).weighted(&[0, 0]);
+    }
+
+    #[test]
+    fn weighted_f64_never_picks_zero_weights_and_tracks_proportions() {
+        let mut r = Rng64::new(77);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[r.weighted_f64(&[0.0, 0.5, 0.0, 1.5])] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[2], 0);
+        assert!(counts[3] > counts[1], "weight 1.5 beats weight 0.5");
+        assert!(counts[1] > 0);
+    }
+
+    #[test]
+    fn weighted_f64_all_zero_falls_back_to_uniform() {
+        let mut r = Rng64::new(5);
+        let mut seen = [false; 3];
+        for _ in 0..256 {
+            seen[r.weighted_f64(&[0.0, 0.0, 0.0])] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn weighted_f64_is_deterministic() {
+        let w = [0.25, 1.0, 2.25, 0.125];
+        let a: Vec<usize> = {
+            let mut r = Rng64::new(9);
+            (0..64).map(|_| r.weighted_f64(&w)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut r = Rng64::new(9);
+            (0..64).map(|_| r.weighted_f64(&w)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn weighted_f64_rejects_negative_weights() {
+        Rng64::new(0).weighted_f64(&[1.0, -0.5]);
     }
 }

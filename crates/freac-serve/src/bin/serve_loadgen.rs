@@ -13,19 +13,26 @@
 //!   stealing.
 //! * `--spike` — compress arrival gaps into a burst and enable elastic way
 //!   autoscaling, the load shape the autoscaler exists for.
+//! * `--sample` — representative-interval sampling: cluster the trace's
+//!   windows by behavior signature and simulate only medoid windows,
+//!   printing extrapolated metrics with error bounds instead of the full
+//!   replay.
+//! * `--sample-window N` — requests per sampling window (default 1024).
+//! * `--workers N` — worker threads (overrides `FREAC_WORKERS`): trace
+//!   generation, verification, parallel shard stepping, and medoid
+//!   simulation fan-out. Never affects output.
 //!
 //! Environment:
 //! * `FREAC_SERVE_REQUESTS` — per-tenant request count (default 64).
 //! * `FREAC_SERVE_SHARDS` — shard count when `--shards` is absent.
-//! * `FREAC_WORKERS` — worker threads for trace generation and sampled
-//!   verification (never affects output).
+//! * `FREAC_WORKERS` — worker threads when `--workers` is absent.
 
 use freac_experiments::parallel::{map_with, worker_count};
 use freac_kernels::KernelId;
 use freac_serve::inputs::reference_hash;
 use freac_serve::{
     cluster_tenant_table, open_loop_trace, AutoscaleConfig, Cluster, ClusterConfig, RoutePolicy,
-    ServeConfig, StealConfig, TenantSpec,
+    SampleConfig, SampledServer, ServeConfig, StealConfig, TenantSpec,
 };
 
 /// Every Nth completion gets re-executed on the reference evaluator.
@@ -55,13 +62,14 @@ fn specs(requests: u64, spike: bool) -> Vec<TenantSpec> {
     vec![alpha, beta, gamma, delta]
 }
 
-fn cluster_config(shards: usize, spike: bool) -> ClusterConfig {
+fn cluster_config(shards: usize, spike: bool, workers: usize) -> ClusterConfig {
     ClusterConfig {
         shards,
         route: RoutePolicy::KernelAffinity { spill_depth: 64 },
         steal: (shards > 1).then(StealConfig::default),
         autoscale: spike.then(AutoscaleConfig::default),
         shard: ServeConfig::default(),
+        workers,
         ..ClusterConfig::default()
     }
 }
@@ -72,6 +80,9 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
     let mut spike = false;
+    let mut sample = false;
+    let mut sample_window: usize = 1024;
+    let mut workers_flag: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -82,17 +93,39 @@ fn main() {
                     .expect("--shards takes a count");
             }
             "--spike" => spike = true,
-            other => panic!("unknown argument '{other}' (expected --shards N or --spike)"),
+            "--sample" => sample = true,
+            "--sample-window" => {
+                sample_window = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--sample-window takes a request count");
+            }
+            "--workers" => {
+                workers_flag = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--workers takes a count"),
+                );
+            }
+            other => panic!(
+                "unknown argument '{other}' (expected --shards N, --spike, --sample, --sample-window N, or --workers N)"
+            ),
         }
     }
     let requests: u64 = std::env::var("FREAC_SERVE_REQUESTS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(64);
-    let workers = worker_count();
+    let workers = workers_flag.unwrap_or_else(worker_count);
     let specs = specs(requests, spike);
 
-    let mut cluster = Cluster::new(cluster_config(shards, spike)).expect("config is valid");
+    if sample {
+        run_sampled(shards, spike, workers, sample_window, &specs);
+        return;
+    }
+
+    let mut cluster =
+        Cluster::new(cluster_config(shards, spike, workers)).expect("config is valid");
     cluster
         .register_paper_kernel(KernelId::Aes)
         .expect("map aes");
@@ -157,5 +190,37 @@ fn main() {
         report.completions.len()
     );
     assert_eq!(mismatches, 0, "served outputs diverged from the reference");
+    println!("{}", freac_probe::to_counters_json(&report.probes));
+}
+
+/// The `--sample` path: same scenario, but only medoid windows are
+/// simulated and the printed metrics are extrapolations with bounds.
+fn run_sampled(shards: usize, spike: bool, workers: usize, window: usize, specs: &[TenantSpec]) {
+    let mut server = SampledServer::new(
+        cluster_config(shards, spike, 1),
+        SampleConfig {
+            window,
+            workers,
+            ..SampleConfig::default()
+        },
+    )
+    .expect("config is valid");
+    server
+        .register_paper_kernel(KernelId::Aes)
+        .expect("map aes");
+    server
+        .register_paper_kernel(KernelId::Gemm)
+        .expect("map gemm");
+    for s in specs {
+        server.add_tenant(&s.name, s.weight).expect("unique tenant");
+    }
+    let trace = open_loop_trace(specs, TRACE_SEED, workers);
+    let submitted = trace.len();
+    let report = server.run(&trace).expect("sampling succeeds");
+    println!(
+        "serve_loadgen: {submitted} requests, 4 tenants, aes+gemm, {shards} shard(s){}, sampled",
+        if spike { ", spike" } else { "" }
+    );
+    print!("{}", report.render());
     println!("{}", freac_probe::to_counters_json(&report.probes));
 }

@@ -22,14 +22,22 @@
 //! [`Server`] produces: routing at inclusive epoch boundaries plus the
 //! prefix-stability of `run_until` deliver every arrival to the shard
 //! before its clock reaches it.
+//!
+//! With [`ClusterConfig::workers`] > 1 the per-epoch shard pumping fans
+//! out over a pool of scoped threads. Shards share no state inside an
+//! epoch, each shard's events are gathered separately and flattened in
+//! shard-index order before the same stable merge sort, and every
+//! cross-shard decision (routing, stealing, autoscaling, the hook) stays
+//! on the calling thread — so parallel stepping is byte-identical to
+//! sequential, which the cluster proptest oracle asserts.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 
 use freac_core::{Accelerator, AcceleratorTile};
 use freac_kernels::{kernel, Kernel, KernelId};
-use freac_netlist::Netlist;
+use freac_netlist::{compile, ExecPlan, Netlist};
 use freac_probe::CounterRegistry;
 use freac_sim::Time;
 
@@ -44,7 +52,9 @@ pub use autoscale::AutoscaleConfig;
 pub use router::RoutePolicy;
 
 use autoscale::{step_partition, AutoscaleState, ScaleDecision};
-use router::Router;
+// Re-exported crate-internally: the sampling signature pass drives the
+// real router over its fluid queue model.
+pub(crate) use router::Router;
 
 /// When and how aggressively shards steal queued work from each other.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +95,12 @@ pub struct ClusterConfig {
     /// Epoch length in simulated picoseconds — the granularity at which
     /// routing, stealing, and autoscaling decisions happen.
     pub epoch_ps: Time,
+    /// OS threads stepping shards inside each epoch (clamped to the shard
+    /// count). Shards only interact at epoch boundaries, so pumping them
+    /// concurrently and merging their terminal events through the same
+    /// stable sort is byte-identical to sequential stepping — `1` (the
+    /// default) keeps everything on the calling thread.
+    pub workers: usize,
 }
 
 impl Default for ClusterConfig {
@@ -99,12 +115,13 @@ impl Default for ClusterConfig {
             autoscale: None,
             budget: usize::MAX,
             epoch_ps: 1_000_000,
+            workers: 1,
         }
     }
 }
 
 impl ClusterConfig {
-    fn validate(&self) -> Result<(), ServeError> {
+    pub(crate) fn validate(&self) -> Result<(), ServeError> {
         if !(1..=16).contains(&self.shards) {
             return Err(ServeError::BadConfig(format!(
                 "cluster shards must be 1..=16, got {}",
@@ -119,6 +136,11 @@ impl ClusterConfig {
                 "budget must be >= 1 (use usize::MAX for unlimited)".into(),
             ));
         }
+        if self.workers == 0 {
+            return Err(ServeError::BadConfig(
+                "workers must be >= 1 (1 steps shards sequentially)".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -128,6 +150,13 @@ struct Shard {
     server: Server,
     scale: AutoscaleState,
 }
+
+/// One shard dispatched to a pool worker for an epoch of pumping.
+type ShardJob = (usize, Shard, Time);
+/// A pumped shard's epoch outcome: the shard back, plus its events.
+type ShardEpoch = (Shard, Result<Vec<Outcome>, ServeError>);
+/// A worker's reply, labelled by shard index for in-order reinstall.
+type ShardDone = (usize, Shard, Result<Vec<Outcome>, ServeError>);
 
 /// The result of draining a cluster.
 #[derive(Debug, Clone)]
@@ -240,7 +269,8 @@ impl Cluster {
     }
 
     /// Registers an already-mapped accelerator on every shard (one mapping
-    /// shared cluster-wide; each shard compiles its own batch plan).
+    /// and one compiled batch plan shared cluster-wide — plan execution is
+    /// `&self`, so shards never recompile).
     ///
     /// # Errors
     ///
@@ -251,9 +281,27 @@ impl Cluster {
         accel: Arc<Accelerator>,
         profile: RequestProfile,
     ) -> Result<(), ServeError> {
+        let plan = Arc::new(compile(accel.netlist())?);
+        self.register_prepared(name, accel, plan, profile)
+    }
+
+    /// Registers an accelerator whose batch plan is already compiled —
+    /// the sampled runner builds many short-lived replica clusters over
+    /// the same kernel set and pays the compile exactly once.
+    ///
+    /// # Errors
+    ///
+    /// See [`Server::register_accelerator`].
+    pub(crate) fn register_prepared(
+        &mut self,
+        name: &str,
+        accel: Arc<Accelerator>,
+        plan: Arc<ExecPlan>,
+        profile: RequestProfile,
+    ) -> Result<(), ServeError> {
         for sh in &mut self.shards {
             sh.server
-                .register_accelerator(name, Arc::clone(&accel), profile)?;
+                .register_prepared(name, Arc::clone(&accel), Arc::clone(&plan), profile)?;
         }
         self.kernels.insert(name.to_owned());
         Ok(())
@@ -355,6 +403,21 @@ impl Cluster {
     where
         F: FnMut(&Outcome) -> Vec<Request>,
     {
+        let workers = self.cfg.workers.min(self.cfg.shards);
+        if workers > 1 {
+            self.run_epochs_parallel(workers, &mut hook)?;
+        } else {
+            self.run_epochs(&mut hook)?;
+        }
+        Ok(self.report())
+    }
+
+    /// The sequential epoch loop: every shard is pumped on the calling
+    /// thread.
+    fn run_epochs<F>(&mut self, hook: &mut F) -> Result<(), ServeError>
+    where
+        F: FnMut(&Outcome) -> Vec<Request>,
+    {
         let epoch = self.cfg.epoch_ps;
         while let Some(next) = self.next_event_ps() {
             if next > self.now {
@@ -364,12 +427,65 @@ impl Cluster {
             }
             let epoch_end = self.now.saturating_add(epoch);
             self.autoscale_epoch()?;
-            self.route_arrivals(epoch_end, &mut hook)?;
+            self.route_arrivals(epoch_end, hook)?;
             self.steal_epoch();
-            self.pump_shards(epoch_end, &mut hook)?;
+            self.pump_shards(epoch_end, hook)?;
             self.now = epoch_end;
         }
-        Ok(self.report())
+        Ok(())
+    }
+
+    /// The same epoch loop with shard pumping fanned out over a pool of
+    /// `workers` scoped threads that live for the whole run (spawning per
+    /// epoch would dwarf the pumping work). Each epoch the shards are sent
+    /// to their fixed workers, pumped concurrently, and barrier-merged:
+    /// every shard's events come back labelled by shard index, are
+    /// flattened in index order — exactly the order the sequential loop
+    /// appends them in — and then pass through the same stable sort, so
+    /// results are byte-identical to sequential stepping. Routing,
+    /// stealing, autoscaling, and the run hook stay on the calling thread.
+    fn run_epochs_parallel<F>(&mut self, workers: usize, hook: &mut F) -> Result<(), ServeError>
+    where
+        F: FnMut(&Outcome) -> Vec<Request>,
+    {
+        std::thread::scope(|scope| {
+            let mut txs: Vec<mpsc::Sender<ShardJob>> = Vec::with_capacity(workers);
+            let (done_tx, done_rx) = mpsc::channel::<ShardDone>();
+            for _ in 0..workers {
+                let (tx, rx) = mpsc::channel::<ShardJob>();
+                txs.push(tx);
+                let done_tx = done_tx.clone();
+                scope.spawn(move || {
+                    while let Ok((i, mut shard, epoch_end)) = rx.recv() {
+                        let mut local: Vec<Outcome> = Vec::new();
+                        let r = shard.server.run_until(epoch_end, &mut |o: &Outcome| {
+                            local.push(o.clone());
+                            Vec::new()
+                        });
+                        if done_tx.send((i, shard, r.map(|()| local))).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(done_tx);
+            let epoch = self.cfg.epoch_ps;
+            while let Some(next) = self.next_event_ps() {
+                if next > self.now {
+                    self.now = self.now.max(next - next % epoch);
+                }
+                let epoch_end = self.now.saturating_add(epoch);
+                self.autoscale_epoch()?;
+                self.route_arrivals(epoch_end, hook)?;
+                self.steal_epoch();
+                self.pump_shards_pooled(&txs, &done_rx, epoch_end, hook)?;
+                self.now = epoch_end;
+            }
+            // Dropping the job senders ends the workers; the scope joins
+            // them on exit.
+            drop(txs);
+            Ok(())
+        })
     }
 
     /// Simulated time of the next arrival or shard event, or `None` when
@@ -407,6 +523,11 @@ impl Cluster {
                 continue;
             };
             let conversion = sh.server.rescale(to, now)?;
+            // The rescaled shard rebuilt its fabric: flush the router's
+            // ranking memo so placement state is recomputed against the new
+            // topology (decisions are unchanged — rankings are pure — but
+            // the cache must not outlive the shard set it was keyed on).
+            self.router.invalidate();
             self.probes.inc(if up {
                 "cluster.autoscale.up"
             } else {
@@ -450,6 +571,11 @@ impl Cluster {
             let si = self.router.route(&req.kernel, &backlogs);
             self.probes.inc(&format!("cluster.route.shard.{si}"));
             self.shards[si].server.submit(req)?;
+        }
+        let (hits, misses) = self.router.take_cache_stats();
+        if hits + misses > 0 {
+            self.probes.add("cluster.route.cache.hits", hits);
+            self.probes.add("cluster.route.cache.misses", misses);
         }
         Ok(())
     }
@@ -501,6 +627,71 @@ impl Cluster {
                 Vec::new()
             })?;
         }
+        self.merge_epoch_events(events, hook)
+    }
+
+    /// One epoch of shard pumping on the worker pool: shards are moved to
+    /// their workers (shard `i` of `n` always goes to worker
+    /// `i * workers / n`, a fixed contiguous chunking), pumped to the
+    /// epoch boundary, and reinstalled in index order with their events.
+    fn pump_shards_pooled<F>(
+        &mut self,
+        txs: &[mpsc::Sender<ShardJob>],
+        done_rx: &mpsc::Receiver<ShardDone>,
+        epoch_end: Time,
+        hook: &mut F,
+    ) -> Result<(), ServeError>
+    where
+        F: FnMut(&Outcome) -> Vec<Request>,
+    {
+        let n = self.shards.len();
+        let workers = txs.len();
+        for (i, sh) in std::mem::take(&mut self.shards).into_iter().enumerate() {
+            txs[i * workers / n]
+                .send((i, sh, epoch_end))
+                .expect("shard worker exited before the epoch loop finished");
+        }
+        let mut slots: Vec<Option<ShardEpoch>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, sh, r) = done_rx
+                .recv()
+                .expect("shard worker exited before the epoch loop finished");
+            slots[i] = Some((sh, r));
+        }
+        // Reinstall every shard before surfacing any error so the cluster
+        // stays intact, and flatten events in shard-index order — the same
+        // pre-sort order the sequential pump produces.
+        let mut events: Vec<Outcome> = Vec::new();
+        let mut first_err = None;
+        for slot in slots {
+            let (sh, r) = slot.expect("every shard reports exactly once per epoch");
+            self.shards.push(sh);
+            match r {
+                Ok(mut local) => events.append(&mut local),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        self.merge_epoch_events(events, hook)
+    }
+
+    /// Stable-sorts one epoch's merged terminal events into the canonical
+    /// order and feeds them to the run hook. Shared by the sequential and
+    /// pooled pumps — identical input order in, identical behavior out.
+    fn merge_epoch_events<F>(
+        &mut self,
+        mut events: Vec<Outcome>,
+        hook: &mut F,
+    ) -> Result<(), ServeError>
+    where
+        F: FnMut(&Outcome) -> Vec<Request>,
+    {
         events.sort_by(|a, b| outcome_key(a).cmp(&outcome_key(b)));
         for o in &events {
             let min_arrival = match o {
@@ -778,6 +969,93 @@ mod tests {
         assert!(
             active > 1,
             "steals should spread work beyond the home shard"
+        );
+    }
+
+    #[test]
+    fn parallel_shard_stepping_is_byte_identical_to_sequential() {
+        let cfg = ClusterConfig {
+            shards: 4,
+            steal: Some(StealConfig {
+                imbalance: 2,
+                max_per_epoch: 8,
+            }),
+            epoch_ps: 50_000,
+            ..ClusterConfig::default()
+        };
+        let run = |workers: usize| {
+            let mut cluster = cluster_with(ClusterConfig { workers, ..cfg });
+            for r in trace(128, 30_000) {
+                cluster.submit(r).unwrap();
+            }
+            cluster.run_to_completion().unwrap()
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(par.completions, seq.completions);
+        assert_eq!(par.sheds, seq.sheds);
+        assert_eq!(par.steals, seq.steals);
+        for (p, s) in par.shards.iter().zip(seq.shards.iter()) {
+            assert_eq!(p.dispatches, s.dispatches);
+        }
+        assert_eq!(
+            freac_probe::to_counters_json(&par.probes),
+            freac_probe::to_counters_json(&seq.probes)
+        );
+    }
+
+    #[test]
+    fn route_cache_hits_dominate_and_rescale_invalidates() {
+        // Affinity routing over a long single-kernel trace: one miss per
+        // kernel, hits for everything else.
+        let mut cluster = cluster_with(ClusterConfig {
+            shards: 2,
+            ..ClusterConfig::default()
+        });
+        for r in trace(64, 200_000) {
+            cluster.submit(r).unwrap();
+        }
+        let rep = cluster.run_to_completion().unwrap();
+        assert_eq!(rep.probes.counter("cluster.route.cache.misses"), 1);
+        assert_eq!(rep.probes.counter("cluster.route.cache.hits"), 63);
+
+        // An autoscale rescale flushes the memo: a burst builds backlog,
+        // the autoscaler converts ways (invalidating the cache), and a
+        // second burst routed afterwards misses again.
+        let mut cluster = cluster_with(ClusterConfig {
+            shards: 1,
+            autoscale: Some(AutoscaleConfig {
+                high_backlog: 8,
+                up_epochs: 1,
+                ..AutoscaleConfig::default()
+            }),
+            shard: ServeConfig {
+                partition: freac_core::SlicePartition::new(4, 10, 6).unwrap(),
+                slices: 1,
+                queue_depth: 512,
+                batching: false,
+                ..ServeConfig::default()
+            },
+            epoch_ps: 10_000,
+            ..ClusterConfig::default()
+        });
+        for r in trace(100, 0) {
+            cluster.submit(r).unwrap();
+        }
+        for i in 0..8u64 {
+            cluster
+                .submit(Request::new("a", 1000 + i, "k", 100_000_000, i))
+                .unwrap();
+        }
+        let rep = cluster.run_to_completion().unwrap();
+        assert!(
+            rep.probes.counter("cluster.autoscale.up") > 0,
+            "the burst must trigger an upscale for this test to be meaningful"
+        );
+        assert!(
+            rep.probes.counter("cluster.route.cache.misses") > 1,
+            "a rescale must invalidate the ranking cache (got {} misses)",
+            rep.probes.counter("cluster.route.cache.misses")
         );
     }
 

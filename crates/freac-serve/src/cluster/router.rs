@@ -36,7 +36,14 @@ pub(crate) struct Router {
     policy: RoutePolicy,
     shards: usize,
     rr_cursor: usize,
+    /// Rendezvous rankings memoized per `(kernel, live shard set)` — the
+    /// live set is implicit (`self.shards` indices), and [`Router::invalidate`]
+    /// flushes the cache whenever a topology event (shard rescale) changes
+    /// what is resident where. Hits take no allocation: the hot path is a
+    /// `BTreeMap` lookup by `&str`, not an owned-key `entry`.
     rankings: BTreeMap<String, Vec<usize>>,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl Router {
@@ -47,6 +54,8 @@ impl Router {
             shards,
             rr_cursor: 0,
             rankings: BTreeMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 
@@ -54,18 +63,43 @@ impl Router {
     /// per-`(kernel, shard)` hash score (ascending index on score ties),
     /// memoized per kernel.
     fn ranking(&mut self, kernel: &str) -> &[usize] {
-        let shards = self.shards;
-        self.rankings.entry(kernel.to_owned()).or_insert_with(|| {
+        if !self.rankings.contains_key(kernel) {
+            self.cache_misses += 1;
             let seed = seed_from_name(kernel);
-            let mut scored: Vec<(u64, usize)> = (0..shards)
+            let mut scored: Vec<(u64, usize)> = (0..self.shards)
                 .map(|i| {
                     let lane = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
                     (Rng64::new(seed ^ lane).next_u64(), i)
                 })
                 .collect();
             scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-            scored.into_iter().map(|(_, i)| i).collect()
-        })
+            self.rankings.insert(
+                kernel.to_owned(),
+                scored.into_iter().map(|(_, i)| i).collect(),
+            );
+        } else {
+            self.cache_hits += 1;
+        }
+        &self.rankings[kernel]
+    }
+
+    /// Flushes the ranking cache. Called on every shard rescale: the
+    /// rescaled shard rebuilds its fabric, so cached placement derived from
+    /// the previous live-shard state must be recomputed. (Rankings are a
+    /// pure function of `(kernel, shard count)`, so routing *decisions* are
+    /// unchanged — the flush keeps the memo honest about topology events
+    /// and is observable through the miss counter.)
+    pub(crate) fn invalidate(&mut self) {
+        self.rankings.clear();
+    }
+
+    /// Drains the `(hits, misses)` ranking-cache tally accumulated since
+    /// the last call, for export as cluster counters.
+    pub(crate) fn take_cache_stats(&mut self) -> (u64, u64) {
+        let stats = (self.cache_hits, self.cache_misses);
+        self.cache_hits = 0;
+        self.cache_misses = 0;
+        stats
     }
 
     /// The shard the next request for `kernel` should land on, given each
@@ -143,6 +177,44 @@ mod tests {
         let mut all_deep = vec![9usize; 3];
         all_deep[spill] = 7;
         assert_eq!(r.route("gemm", &all_deep), spill);
+    }
+
+    #[test]
+    fn ranking_cache_hits_after_first_route_and_misses_after_invalidate() {
+        let mut r = Router::new(RoutePolicy::KernelAffinity { spill_depth: 8 }, 4);
+        let backlogs = [0usize; 4];
+        for _ in 0..5 {
+            r.route("aes", &backlogs);
+            r.route("gemm", &backlogs);
+        }
+        let (hits, misses) = r.take_cache_stats();
+        assert_eq!(misses, 2, "one ranking computed per kernel");
+        assert_eq!(hits, 8, "every later route reuses the memo");
+        // The drain resets the tally.
+        assert_eq!(r.take_cache_stats(), (0, 0));
+        // A topology event flushes the memo: the same kernels miss again,
+        // and recompute to the same placement (rankings are pure).
+        let before: Vec<usize> = ["aes", "gemm"]
+            .iter()
+            .map(|k| r.route(k, &backlogs))
+            .collect();
+        r.invalidate();
+        let after: Vec<usize> = ["aes", "gemm"]
+            .iter()
+            .map(|k| r.route(k, &backlogs))
+            .collect();
+        assert_eq!(before, after, "invalidation must not change placement");
+        let (_, misses) = r.take_cache_stats();
+        assert_eq!(misses, 2, "post-invalidate routes recompute the rankings");
+    }
+
+    #[test]
+    fn round_robin_never_touches_the_ranking_cache() {
+        let mut r = Router::new(RoutePolicy::RoundRobin, 3);
+        for _ in 0..6 {
+            r.route("aes", &[0, 0, 0]);
+        }
+        assert_eq!(r.take_cache_stats(), (0, 0));
     }
 
     #[test]

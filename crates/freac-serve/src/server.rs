@@ -65,6 +65,21 @@ pub struct RequestProfile {
     pub write_words: u64,
 }
 
+/// What a fluid queue approximation of the serving loop needs to know
+/// about one registered kernel (see [`Server::kernel_fluid_estimate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FluidEstimate {
+    /// One compute wave through the slice clock, ps (>= 1).
+    pub service_ps: Time,
+    /// Reconfiguration quote when another kernel is resident, ps.
+    pub swap_ps: Time,
+    /// Reconfiguration quote onto a cold slice, ps.
+    pub setup_ps: Time,
+    /// Lanes one wave carries (>= 1): consecutive same-kernel requests
+    /// amortize `service_ps` across this many of them.
+    pub tiles: usize,
+}
+
 /// Server configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
@@ -137,8 +152,11 @@ impl ServeConfig {
 struct ServedKernel {
     accel: Arc<Accelerator>,
     /// Compiled batch plan over the mapped netlist (bit-sliced, executed
-    /// at whatever width the dispatch needs via [`ExecPlan::run_batch_cycle_any`]).
-    plan: ExecPlan,
+    /// at whatever width the dispatch needs via
+    /// [`ExecPlan::run_batch_cycle_any`]). Shared: plan execution is
+    /// `&self`, so a cluster compiles each kernel once and every shard —
+    /// and every sampled-window replica — runs the same `Arc`.
+    plan: Arc<ExecPlan>,
     profile: RequestProfile,
     /// Functional depth actually executed for hashing.
     func_cycles: u64,
@@ -367,6 +385,26 @@ impl Server {
         accel: Arc<Accelerator>,
         profile: RequestProfile,
     ) -> Result<(), ServeError> {
+        let plan = Arc::new(compile(accel.netlist())?);
+        self.register_prepared(name, accel, plan, profile)
+    }
+
+    /// Registers an accelerator with an already-compiled batch plan. The
+    /// cluster and the sampled runner compile each kernel's plan exactly
+    /// once and share it across every shard (plan execution is `&self`),
+    /// so building a shard — or a per-window replica cluster in sampled
+    /// mode — costs no recompilation.
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate names and tile mismatches.
+    pub(crate) fn register_prepared(
+        &mut self,
+        name: &str,
+        accel: Arc<Accelerator>,
+        plan: Arc<ExecPlan>,
+        profile: RequestProfile,
+    ) -> Result<(), ServeError> {
         if self.kernels.contains_key(name) {
             return Err(ServeError::DuplicateKernel(name.to_owned()));
         }
@@ -377,7 +415,6 @@ impl Server {
                 self.cfg.tile_mccs
             )));
         }
-        let plan = compile(accel.netlist())?;
         let steps = accel.fold_cycles() as u64;
         let cost = reconfig_cost(&accel, &self.cfg.partition, self.cfg.dirty_fraction)?;
         let tiles = (self.cfg.partition.mccs() / self.cfg.tile_mccs).max(1);
@@ -454,6 +491,34 @@ impl Server {
     /// Functional hashing depth of a registered kernel.
     pub fn kernel_func_cycles(&self, name: &str) -> Option<u64> {
         self.kernels.get(name).map(|k| k.func_cycles)
+    }
+
+    /// A single-wave service-time estimate for one invocation of a
+    /// registered kernel (compute cycles through the slice clock, ignoring
+    /// batching and scratchpad pressure). The sampled-simulation signature
+    /// pass uses this as the drain rate of its fluid queue model — only
+    /// relative magnitudes across kernels matter there.
+    pub fn kernel_service_estimate_ps(&self, name: &str) -> Option<Time> {
+        self.kernels
+            .get(name)
+            .map(|k| self.clock.cycles_to_time(k.compute_cycles.max(1)))
+    }
+
+    /// The cost model a fluid queue approximation needs for one kernel:
+    /// per-wave service time, the reconfiguration quotes a batch amortizes,
+    /// and how many lanes one wave carries (1 when batching is off — every
+    /// request then pays a full wave).
+    pub fn kernel_fluid_estimate(&self, name: &str) -> Option<FluidEstimate> {
+        self.kernels.get(name).map(|k| FluidEstimate {
+            service_ps: self.clock.cycles_to_time(k.compute_cycles.max(1)).max(1),
+            swap_ps: k.cost.swap_ps(),
+            setup_ps: k.cost.setup_ps(),
+            tiles: if self.cfg.batching {
+                k.tiles.min(k.lanes_cap).max(1)
+            } else {
+                1
+            },
+        })
     }
 
     /// Submits a request for the next [`Server::run`].

@@ -1,0 +1,286 @@
+//! Sampled-mode matrix: every scheduler × shed-policy combination on
+//! mixed open-loop traces. Each case pins three properties of the
+//! representative-interval sampler ([`freac::serve::sample`]):
+//!
+//! 1. **Accuracy** — the extrapolated p50/p95/p99 land inside their own
+//!    declared error bound *and* within 5% absolute of a full-fidelity
+//!    replay of the same trace;
+//! 2. **Conservation** — extrapolated completions + sheds equal the trace
+//!    length, and the probe laws hold;
+//! 3. **Determinism** — the same seed renders a byte-identical report,
+//!    at one worker and at four.
+//!
+//! Every case uses a distinct trace seed, so the matrix doubles as the
+//! "at least three distinct 100k-request traces" accuracy gate. Traces
+//! open with a gentle ramp window that pays the cold-slice setups
+//! (~7.7 us each for the tiny kernels) before pressure starts: sampling
+//! compresses repeating behavior, and a trace dominated by a one-off
+//! boot transient has none to compress — that regime stays with the
+//! full-fidelity smoke in `cluster_properties.rs`.
+
+use freac::netlist::builder::CircuitBuilder;
+use freac::netlist::Netlist;
+use freac::serve::{
+    open_loop_trace, Cluster, ClusterConfig, Request, RequestProfile, RoutePolicy, SampleConfig,
+    SampledServer, SchedPolicy, ServeConfig, ShedPolicy, StealConfig, TenantSpec,
+};
+
+fn adder() -> Netlist {
+    let mut b = CircuitBuilder::new("add");
+    let a = b.word_input("a", 8);
+    let x = b.word_input("x", 8);
+    let s = b.add(&a, &x);
+    b.word_output("s", &s);
+    b.finish().expect("adder builds")
+}
+
+fn masker() -> Netlist {
+    let mut b = CircuitBuilder::new("mask");
+    let a = b.word_input("a", 8);
+    let x = b.word_input("x", 8);
+    let m = b.and_words(&a, &x);
+    b.word_output("m", &m);
+    b.finish().expect("masker builds")
+}
+
+fn add_profile() -> RequestProfile {
+    RequestProfile {
+        cycles_per_item: 2,
+        read_words: 4,
+        write_words: 1,
+    }
+}
+
+fn mask_profile() -> RequestProfile {
+    RequestProfile {
+        cycles_per_item: 1,
+        read_words: 2,
+        write_words: 1,
+    }
+}
+
+/// Four tenants with distinct weights, kernel mixes, inter-arrival gaps,
+/// deadlines on one, exclusive requests on another.
+fn specs(requests: u64) -> Vec<TenantSpec> {
+    let mut alpha = TenantSpec::new("alpha", "add", requests);
+    alpha.weight = 4;
+    alpha.mean_gap_ps = 1_600;
+    let mut beta = TenantSpec::new("beta", "mask", requests);
+    beta.weight = 2;
+    beta.mean_gap_ps = 2_000;
+    let mut gamma = TenantSpec::new("gamma", "add", requests);
+    gamma.mix = vec![("add".to_owned(), 1), ("mask".to_owned(), 1)];
+    gamma.mean_gap_ps = 2_400;
+    gamma.deadline_ps = Some(20_000_000);
+    let mut delta = TenantSpec::new("delta", "mask", requests);
+    delta.mix = vec![("add".to_owned(), 2), ("mask".to_owned(), 1)];
+    delta.mean_gap_ps = 2_800;
+    delta.exclusive_permille = 125;
+    vec![alpha, beta, gamma, delta]
+}
+
+/// A mixed open-loop trace behind a ramp prefix: 1024 gently spaced
+/// requests absorb the cold-slice configurations, then the jittered
+/// four-tenant trace plays shifted past the ramp.
+fn mixed_trace(seed: u64, per_tenant: u64) -> Vec<Request> {
+    const RAMP: u64 = 1_024;
+    const RAMP_GAP: u64 = 25_000;
+    let names = ["alpha", "beta", "gamma", "delta"];
+    let mut trace: Vec<Request> = (0..RAMP)
+        .map(|i| {
+            let kernel = if i % 3 == 0 { "mask" } else { "add" };
+            // Sequence numbers far above the open-loop range keep
+            // (tenant, seq) identities unique.
+            Request::new(
+                names[(i % 4) as usize],
+                1 << 40 | i,
+                kernel,
+                i * RAMP_GAP,
+                i,
+            )
+        })
+        .collect();
+    let shift = RAMP * RAMP_GAP;
+    for mut r in open_loop_trace(&specs(per_tenant), seed, 4) {
+        r.arrival_ps += shift;
+        if let Some(d) = r.deadline_ps.as_mut() {
+            *d += shift;
+        }
+        trace.push(r);
+    }
+    trace
+}
+
+fn cluster_config(policy: SchedPolicy, shed: ShedPolicy) -> ClusterConfig {
+    ClusterConfig {
+        shards: 4,
+        route: RoutePolicy::KernelAffinity { spill_depth: 64 },
+        steal: Some(StealConfig::default()),
+        shard: ServeConfig {
+            queue_depth: 512,
+            policy,
+            shed,
+            ..ServeConfig::default()
+        },
+        ..ClusterConfig::default()
+    }
+}
+
+fn full_cluster(policy: SchedPolicy, shed: ShedPolicy) -> Cluster {
+    let mut c = Cluster::new(cluster_config(policy, shed)).expect("config is valid");
+    c.register_kernel("add", &adder(), add_profile())
+        .expect("adder maps");
+    c.register_kernel("mask", &masker(), mask_profile())
+        .expect("masker maps");
+    for s in specs(1) {
+        c.add_tenant(&s.name, s.weight).expect("unique tenant");
+    }
+    c
+}
+
+fn sampler(policy: SchedPolicy, shed: ShedPolicy, workers: usize) -> SampledServer {
+    let sample = SampleConfig {
+        window: 1024,
+        max_clusters: 12,
+        warmup: 512,
+        workers,
+        ..SampleConfig::default()
+    };
+    let mut s = SampledServer::new(cluster_config(policy, shed), sample).expect("config is valid");
+    s.register_kernel("add", &adder(), add_profile())
+        .expect("adder maps");
+    s.register_kernel("mask", &masker(), mask_profile())
+        .expect("masker maps");
+    for t in specs(1) {
+        s.add_tenant(&t.name, t.weight).expect("unique tenant");
+    }
+    s
+}
+
+/// Requests per tenant: ~100k-request traces in release, ~8k in debug.
+/// `FREAC_SAMPLE_MATRIX_REQUESTS` (total, split across the four tenants)
+/// overrides either way.
+fn per_tenant() -> u64 {
+    std::env::var("FREAC_SAMPLE_MATRIX_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(
+            if cfg!(debug_assertions) {
+                2_048
+            } else {
+                24_576
+            },
+            |total| total / 4,
+        )
+}
+
+fn case(policy: SchedPolicy, shed: ShedPolicy, seed: u64) {
+    let trace = mixed_trace(seed, per_tenant());
+    let n = trace.len() as u64;
+
+    // Full-fidelity truth.
+    let mut full = full_cluster(policy, shed);
+    for r in trace.iter().cloned() {
+        full.submit(r).expect("trace request is valid");
+    }
+    let full_rep = full.run_to_completion().expect("serving drains");
+    let h = full_rep
+        .probes
+        .histogram("serve.latency_ps")
+        .expect("latencies recorded");
+
+    // Sampled estimate: conservation, probe laws, bound + 5% accuracy.
+    let rep = sampler(policy, shed, 1)
+        .run(&trace)
+        .expect("sampling drains");
+    assert_eq!(rep.trace_requests, n);
+    assert_eq!(
+        rep.est_completed + rep.est_shed,
+        n,
+        "extrapolated terminals must cover the whole trace"
+    );
+    let violations = freac::probe::check(&rep.probes);
+    assert!(violations.is_empty(), "probe laws violated: {violations:?}");
+    for (name, est, actual) in [
+        ("p50", rep.p50_ps, h.quantile(0.5).expect("non-empty")),
+        ("p95", rep.p95_ps, h.quantile(0.95).expect("non-empty")),
+        ("p99", rep.p99_ps, h.quantile(0.99).expect("non-empty")),
+    ] {
+        assert!(
+            est.covers(actual),
+            "{name}: full-fidelity {actual} outside sampled bound {} +- {}",
+            est.value,
+            est.bound
+        );
+        assert!(
+            (actual - est.value).abs() <= 0.05 * actual,
+            "{name}: sampled {} deviates more than 5% from full {actual}",
+            est.value
+        );
+    }
+
+    // Same seed, same bytes — at one worker and at four.
+    let again = sampler(policy, shed, 1)
+        .run(&trace)
+        .expect("sampling drains");
+    assert_eq!(rep.render(), again.render(), "same-seed reruns must match");
+    let wide = sampler(policy, shed, 4)
+        .run(&trace)
+        .expect("sampling drains");
+    assert_eq!(
+        rep.render(),
+        wide.render(),
+        "worker count must not change the report"
+    );
+    assert_eq!(
+        freac::probe::to_counters_json(&rep.probes),
+        freac::probe::to_counters_json(&wide.probes),
+        "worker count must not change the probes"
+    );
+}
+
+#[test]
+fn fifo_reject_new_samples_within_bounds() {
+    case(SchedPolicy::Fifo, ShedPolicy::RejectNew, 0x5a3b_0001);
+}
+
+#[test]
+fn fifo_drop_oldest_samples_within_bounds() {
+    case(SchedPolicy::Fifo, ShedPolicy::DropOldest, 0x5a3b_0002);
+}
+
+#[test]
+fn weighted_fair_reject_new_samples_within_bounds() {
+    case(
+        SchedPolicy::WeightedFair,
+        ShedPolicy::RejectNew,
+        0x5a3b_0003,
+    );
+}
+
+#[test]
+fn weighted_fair_drop_oldest_samples_within_bounds() {
+    case(
+        SchedPolicy::WeightedFair,
+        ShedPolicy::DropOldest,
+        0x5a3b_0004,
+    );
+}
+
+#[test]
+fn deadline_aware_reject_new_samples_within_bounds() {
+    case(
+        SchedPolicy::DeadlineAware,
+        ShedPolicy::RejectNew,
+        0x5a3b_0005,
+    );
+}
+
+#[test]
+fn deadline_aware_drop_oldest_samples_within_bounds() {
+    case(
+        SchedPolicy::DeadlineAware,
+        ShedPolicy::DropOldest,
+        0x5a3b_0006,
+    );
+}
