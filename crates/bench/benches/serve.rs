@@ -24,7 +24,7 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use freac_core::{Accelerator, AcceleratorTile};
+use freac_core::{Accelerator, AcceleratorTile, HandoffMode, SlicePartition};
 use freac_kernels::{kernel, KernelId};
 use freac_serve::{
     open_loop_trace, AutoscaleConfig, Cluster, ClusterConfig, ClusterReport, RoutePolicy,
@@ -91,6 +91,53 @@ fn run_arm(
         server.submit(req).expect("trace request");
     }
     server.run_to_completion().expect("serving drains")
+}
+
+/// The mixed-tenant trace under one way-handoff mode: same single-slice
+/// contended setup as [`run_arm`], plus one way conversion
+/// (end-to-end → max-compute) before the trace lands, so the arm pays
+/// every flavor of handoff stall — conversion, first-claim flush, and
+/// drain-time reclaim. Returns the report and the conversion quote.
+fn run_handoff_arm(
+    handoff: HandoffMode,
+    accels: &[(KernelId, Arc<Accelerator>)],
+    specs: &[TenantSpec],
+) -> (ServeReport, u64) {
+    let mut server = Server::new(ServeConfig {
+        handoff,
+        slices: 1,
+        queue_depth: 512,
+        policy: SchedPolicy::WeightedFair,
+        ..ServeConfig::default()
+    })
+    .expect("config is valid");
+    for (id, accel) in accels {
+        let w = kernel(*id).workload(1);
+        server
+            .register_accelerator(
+                &id.name().to_lowercase(),
+                Arc::clone(accel),
+                freac_serve::RequestProfile {
+                    cycles_per_item: w.cycles_per_item,
+                    read_words: w.read_words_per_item,
+                    write_words: w.write_words_per_item,
+                },
+            )
+            .expect("kernel registers");
+    }
+    for s in specs {
+        server.add_tenant(&s.name, s.weight).expect("unique tenant");
+    }
+    let conversion = server
+        .rescale(SlicePartition::max_compute(), 0)
+        .expect("rescale is valid");
+    for req in open_loop_trace(specs, TRACE_SEED, 1) {
+        server.submit(req).expect("trace request");
+    }
+    (
+        server.run_to_completion().expect("serving drains"),
+        conversion,
+    )
 }
 
 /// The cluster workload: four kernels with traffic skewed toward AES
@@ -277,6 +324,68 @@ fn main() {
             t.name, t.p99_ps, t.completed
         );
     }
+
+    // Coherence arm: the same mixed-tenant trace under both way-handoff
+    // modes. The coherent protocol must shed strictly less flush-stall
+    // time (conversion + reconfiguration + drain reclaim) than the
+    // conservative blind flush, with identical functional results — the
+    // bench aborts rather than record a regression as data.
+    let (flat, flat_conv) = run_handoff_arm(HandoffMode::ConservativeFlush, &accels[..2], &specs);
+    let (coh, coh_conv) = run_handoff_arm(HandoffMode::coherent(), &accels[..2], &specs);
+    assert_eq!(
+        flat.completions.len(),
+        coh.completions.len(),
+        "both handoff arms must complete the same request set"
+    );
+    let hashes = |r: &ServeReport| -> Vec<(String, u64, u64)> {
+        let mut h: Vec<_> = r
+            .completions
+            .iter()
+            .map(|c| (c.tenant.clone(), c.seq, c.output_hash))
+            .collect();
+        h.sort();
+        h
+    };
+    assert_eq!(
+        hashes(&flat),
+        hashes(&coh),
+        "handoff mode must be invisible to functional results"
+    );
+    let stall = |r: &ServeReport, conversion: u64| -> u64 {
+        conversion + r.probes.counter("serve.reconfig.total_ps") + r.teardown_ps
+    };
+    let (flat_stall, coh_stall) = (stall(&flat, flat_conv), stall(&coh, coh_conv));
+    assert!(
+        coh_stall < flat_stall,
+        "coherent flush stall {coh_stall} ps must beat conservative {flat_stall} ps"
+    );
+
+    let saving = 1.0 - coh_stall as f64 / flat_stall as f64;
+    let mut cohj = String::from("{\n");
+    for (label, r, conv, st) in [
+        ("conservative", &flat, flat_conv, flat_stall),
+        ("coherent", &coh, coh_conv, coh_stall),
+    ] {
+        let _ = writeln!(
+            cohj,
+            "  \"{label}\": {{ \"completed\": {}, \"span_ps\": {}, \"conversion_ps\": {conv}, \"reconfig_total_ps\": {}, \"teardown_ps\": {}, \"flush_stall_ps\": {st} }},",
+            r.completions.len(),
+            r.span_ps,
+            r.probes.counter("serve.reconfig.total_ps"),
+            r.teardown_ps,
+        );
+    }
+    let _ = writeln!(
+        cohj,
+        "  \"coherent_traffic\": {{ \"invalidations\": {}, \"writeback_pulls\": {}, \"claims\": {} }},",
+        coh.probes.counter("cache.coh.invalidations"),
+        coh.probes.counter("cache.coh.writeback_pulls"),
+        coh.probes.counter("cache.coh.claims"),
+    );
+    let _ = writeln!(cohj, "  \"coherent_stall_saving\": {saving:.2}");
+    cohj.push('}');
+    bench::write_bench_json("serve_coherence", &cohj);
+    println!("serve coherence: {saving:.2} of flush stall saved ({coh_stall} vs {flat_stall} ps)");
 
     // Cluster arm: 1-shard baseline vs 4 shards with affinity routing,
     // stealing, and autoscaling. The scaled-out cluster must win on both

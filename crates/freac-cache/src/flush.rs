@@ -9,25 +9,29 @@ use freac_sim::{DramModel, Time};
 
 use crate::geometry::LlcGeometry;
 
+/// Clamps a dirty fraction to `[0, 1]`; NaN is treated as fully dirty so a
+/// corrupted fraction can only over-charge, never under-flush.
+pub fn clamp_dirty_fraction(dirty_fraction: f64) -> f64 {
+    if dirty_fraction.is_nan() {
+        1.0
+    } else {
+        dirty_fraction.clamp(0.0, 1.0)
+    }
+}
+
 /// Time to flush `ways` ways of one slice, of which `dirty_fraction` of the
 /// lines are dirty (0.0..=1.0), over `dram`.
 ///
 /// Clean lines are dropped instantly (invalidate only); dirty lines stream
-/// to memory at bulk bandwidth.
-///
-/// # Panics
-///
-/// Panics if `dirty_fraction` is outside `[0, 1]`.
+/// to memory at bulk bandwidth. Out-of-range fractions are clamped into
+/// `[0, 1]` (NaN counts as fully dirty) so release builds stay safe.
 pub fn flush_ways_time(
     geometry: &LlcGeometry,
     ways: usize,
     dirty_fraction: f64,
     dram: &DramModel,
 ) -> Time {
-    assert!(
-        (0.0..=1.0).contains(&dirty_fraction),
-        "dirty fraction must be within [0, 1]"
-    );
+    let dirty_fraction = clamp_dirty_fraction(dirty_fraction);
     let bytes = (geometry.scratchpad_bytes(ways) as f64 * dirty_fraction) as u64;
     if bytes == 0 {
         return 0;
@@ -36,12 +40,10 @@ pub fn flush_ways_time(
 }
 
 /// Worst-case time to flush the *entire* LLC (all slices in parallel, but
-/// all sharing the same memory channels).
+/// all sharing the same memory channels). Fractions clamp like
+/// [`flush_ways_time`].
 pub fn flush_llc_time(geometry: &LlcGeometry, dirty_fraction: f64, dram: &DramModel) -> Time {
-    assert!(
-        (0.0..=1.0).contains(&dirty_fraction),
-        "dirty fraction must be within [0, 1]"
-    );
+    let dirty_fraction = clamp_dirty_fraction(dirty_fraction);
     let bytes = (geometry.total_bytes() as f64 * dirty_fraction) as u64;
     if bytes == 0 {
         return 0;
@@ -82,10 +84,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "dirty fraction")]
-    fn bad_fraction_rejected() {
+    fn out_of_range_fractions_clamp() {
         let g = LlcGeometry::paper_edge();
         let d = DramModel::ddr4_2400_x4();
-        let _ = flush_ways_time(&g, 2, 1.5, &d);
+        // Above 1.0 charges exactly the fully-dirty cost; below 0.0 is free.
+        assert_eq!(
+            flush_ways_time(&g, 2, 1.5, &d),
+            flush_ways_time(&g, 2, 1.0, &d)
+        );
+        assert_eq!(flush_ways_time(&g, 2, -0.25, &d), 0);
+        assert_eq!(flush_llc_time(&g, 2.0, &d), flush_llc_time(&g, 1.0, &d));
+    }
+
+    #[test]
+    fn nan_fraction_charges_fully_dirty() {
+        let g = LlcGeometry::paper_edge();
+        let d = DramModel::ddr4_2400_x4();
+        assert_eq!(
+            flush_ways_time(&g, 4, f64::NAN, &d),
+            flush_ways_time(&g, 4, 1.0, &d)
+        );
     }
 }

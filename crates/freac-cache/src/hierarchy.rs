@@ -8,7 +8,9 @@
 //! the effective L3 to model ways locked for compute.
 
 use freac_probe::CounterRegistry;
+use freac_sim::{DramModel, RingInterconnect};
 
+use crate::coherence::{ClaimCharge, CoherenceStats};
 use crate::geometry::LlcGeometry;
 use crate::set_cache::{AccessOutcome, SetAssocCache};
 
@@ -198,6 +200,7 @@ pub struct MemoryHierarchy {
     l2: Vec<SetAssocCache>,
     l3: Vec<SetAssocCache>,
     stats: HierarchyStats,
+    coh: CoherenceStats,
 }
 
 impl MemoryHierarchy {
@@ -221,6 +224,7 @@ impl MemoryHierarchy {
             l2,
             l3,
             stats: HierarchyStats::default(),
+            coh: CoherenceStats::default(),
         }
     }
 
@@ -304,9 +308,76 @@ impl MemoryHierarchy {
         total
     }
 
+    /// Hands `ways` ways of LLC slice `slice` to compute under the
+    /// invalidation protocol: the slice drains the claimed ways in LRU
+    /// order, and each dropped line is back-invalidated *by address* from
+    /// every private cache — targeted messages for the lines actually
+    /// resident, instead of a blind `flush_ways_time` over the whole
+    /// claim. Dirty copies (slice or inner) are pulled to DRAM.
+    ///
+    /// The returned charge prices the transient through the real models:
+    /// the invalidation burst pipelines on `ring`, the dirty drain streams
+    /// over `dram`, and the two overlap (`stall_ps` is their max).
+    /// Traffic accumulates into [`MemoryHierarchy::coherence_stats`] and
+    /// the `back_invalidations`/`dram_writebacks` hierarchy counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is out of range.
+    pub fn claim_slice_ways(
+        &mut self,
+        slice: usize,
+        ways: usize,
+        dram: &DramModel,
+        ring: &RingInterconnect,
+    ) -> ClaimCharge {
+        assert!(slice < self.l3.len(), "slice {slice} out of range");
+        let line_bytes = self.config.llc.line_bytes as u64;
+        let dropped = self.l3[slice].drain_ways(ways);
+        let mut messages = 0u64;
+        let mut writeback_lines = 0u64;
+        for &(local, dirty) in &dropped {
+            messages += 1;
+            if dirty {
+                writeback_lines += 1;
+            }
+            let global = self.config.llc.global_addr(slice, local);
+            for pc in self.l1.iter_mut().chain(&mut self.l2) {
+                if let Some(inner_dirty) = pc.invalidate(global) {
+                    messages += 1;
+                    if inner_dirty {
+                        writeback_lines += 1;
+                    }
+                }
+            }
+            self.stats.back_invalidations = self.stats.back_invalidations.saturating_add(1);
+        }
+        self.stats.dram_writebacks = self.stats.dram_writebacks.saturating_add(writeback_lines);
+        let inval_ps = ring.pipelined_ps(messages);
+        let writeback_ps = if writeback_lines == 0 {
+            0
+        } else {
+            dram.bulk_transfer_time(writeback_lines * line_bytes)
+        };
+        let charge = ClaimCharge {
+            lines_touched: messages,
+            writeback_lines,
+            inval_ps,
+            writeback_ps,
+            stall_ps: inval_ps.max(writeback_ps),
+        };
+        charge.accumulate_into(&mut self.coh);
+        charge
+    }
+
     /// Accumulated counters.
     pub fn stats(&self) -> HierarchyStats {
         self.stats
+    }
+
+    /// Accumulated way-claim protocol traffic.
+    pub fn coherence_stats(&self) -> CoherenceStats {
+        self.coh
     }
 
     /// Exports the hierarchy counters under `prefix`, plus aggregated
@@ -316,6 +387,7 @@ impl MemoryHierarchy {
     /// `<prefix>.llc.cache_ways` / `.total_ways` way-partition gauges.
     pub fn export_into(&self, reg: &mut CounterRegistry, prefix: &str) {
         self.stats.export_into(reg, prefix);
+        self.coh.export_into(reg, &format!("{prefix}.coh"));
         for c in &self.l1 {
             c.stats().export_into(reg, &format!("{prefix}.l1"));
         }
@@ -340,6 +412,7 @@ impl MemoryHierarchy {
     /// measurement).
     pub fn reset_stats(&mut self) {
         self.stats = HierarchyStats::default();
+        self.coh = CoherenceStats::default();
         for c in self.l1.iter_mut().chain(&mut self.l2).chain(&mut self.l3) {
             c.reset_stats();
         }
@@ -504,6 +577,44 @@ mod tests {
         assert_eq!(reg.counter("cache.hier.l1.accesses"), 1024);
         assert!(reg.counter("cache.hier.ring_hops") > 0);
         assert_eq!(reg.gauge("cache.hier.llc.cache_ways"), Some(20.0));
+        freac_probe::assert_ok(&reg);
+    }
+
+    #[test]
+    fn coherent_claim_sends_targeted_back_invalidations() {
+        use crate::flush::flush_ways_time;
+        let mut cfg = HierarchyConfig::paper_edge();
+        cfg.llc.slices = 1;
+        let mut h = MemoryHierarchy::new(cfg);
+        let dram = DramModel::ddr4_2400_x4();
+        let ring = RingInterconnect::paper_edge();
+        // Touch 64 lines from core 0, some dirty: resident in L1 and L3.
+        for i in 0..64u64 {
+            h.access(0, i * 64, i % 4 == 0);
+        }
+        let charge = h.claim_slice_ways(0, 2, &dram, &ring);
+        // Targeted: far fewer messages than the 2-way capacity would imply.
+        let capacity_lines = (cfg.llc.way_bytes * 2 / cfg.llc.line_bytes) as u64;
+        assert!(charge.lines_touched > 0);
+        assert!(
+            charge.lines_touched < capacity_lines / 4,
+            "claim touched {} of {capacity_lines} lines",
+            charge.lines_touched
+        );
+        // And far cheaper than the blind flush of the same claim.
+        assert!(charge.stall_ps < flush_ways_time(&cfg.llc, 2, 0.5, &dram));
+        // Dirty slice lines were pulled to DRAM.
+        assert!(charge.writeback_lines > 0);
+        assert!(h.coherence_stats().claims == 1);
+        // Claimed L3 lines are gone from the private caches too: the
+        // next access from core 0 misses all the way to DRAM.
+        let before = h.stats().dram_accesses;
+        // LRU drained the oldest lines; line 0 was re-filled first.
+        h.access(0, 0, false);
+        assert_eq!(h.stats().dram_accesses, before + 1);
+        let mut reg = freac_probe::CounterRegistry::new();
+        h.export_into(&mut reg, "cache.hier");
+        assert!(reg.counter("cache.hier.coh.invalidations") > 0);
         freac_probe::assert_ok(&reg);
     }
 

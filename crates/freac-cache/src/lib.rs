@@ -13,14 +13,22 @@
 //!   the interference study;
 //! * [`flush`] — way-flush timing for converting ways to compute mode
 //!   (Sec. III-C: bounded by off-chip bandwidth, hundreds of microseconds
-//!   for a full 10 MB LLC).
+//!   for a full 10 MB LLC);
+//! * [`coherence`] — the invalidation-based alternative to the blind
+//!   flush: targeted back-invalidations and writeback pulls for the lines
+//!   actually resident in a claim, charged through the DRAM/ring timing
+//!   models, plus the MESI litmus machine the property suite drives.
 
+pub mod coherence;
 pub mod flush;
 pub mod geometry;
 pub mod hierarchy;
 pub mod prefetch;
 pub mod set_cache;
 
+pub use coherence::{
+    handoff_charge, ClaimCharge, CoherenceStats, CoherentMemory, HandoffMode, MesiState,
+};
 pub use geometry::LlcGeometry;
 pub use hierarchy::{AccessLevel, HierarchyConfig, HierarchyStats, MemoryHierarchy};
 pub use prefetch::StridePrefetcher;

@@ -49,6 +49,16 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Dirty evictions.
     pub writebacks: u64,
+    /// Lines dropped by targeted [`SetAssocCache::invalidate`] (or a
+    /// way-claim drain) — the back-invalidation traffic of an inclusive
+    /// hierarchy or a coherent way handoff.
+    pub invalidations: u64,
+    /// Valid lines dropped wholesale by [`SetAssocCache::flush_all`].
+    pub flushed_lines: u64,
+    /// Dirty lines among the invalidated/flushed drops — each one is a
+    /// writeback the *caller* owes to memory, so `dirty_drops <=
+    /// invalidations + flushed_lines` always holds.
+    pub dirty_drops: u64,
 }
 
 impl CacheStats {
@@ -62,15 +72,19 @@ impl CacheStats {
     }
 
     /// Exports the counters under `prefix` (`<prefix>.accesses`,
-    /// `.hits`, `.misses`, `.evictions`, `.writebacks`). Adding, not
-    /// setting — exporting several caches under one prefix aggregates
-    /// them.
+    /// `.hits`, `.misses`, `.evictions`, `.writebacks`, plus the
+    /// back-invalidation trio `.invalidations`, `.flushed_lines`,
+    /// `.dirty_drops`). Adding, not setting — exporting several caches
+    /// under one prefix aggregates them.
     pub fn export_into(&self, reg: &mut CounterRegistry, prefix: &str) {
         reg.add(&format!("{prefix}.accesses"), self.accesses);
         reg.add(&format!("{prefix}.hits"), self.hits);
         reg.add(&format!("{prefix}.misses"), self.misses);
         reg.add(&format!("{prefix}.evictions"), self.evictions);
         reg.add(&format!("{prefix}.writebacks"), self.writebacks);
+        reg.add(&format!("{prefix}.invalidations"), self.invalidations);
+        reg.add(&format!("{prefix}.flushed_lines"), self.flushed_lines);
+        reg.add(&format!("{prefix}.dirty_drops"), self.dirty_drops);
     }
 
     fn record_hit(&mut self) {
@@ -86,6 +100,20 @@ impl CacheStats {
         }
         if writeback {
             self.writebacks = self.writebacks.saturating_add(1);
+        }
+    }
+
+    fn record_invalidation(&mut self, dirty: bool) {
+        self.invalidations = self.invalidations.saturating_add(1);
+        if dirty {
+            self.dirty_drops = self.dirty_drops.saturating_add(1);
+        }
+    }
+
+    fn record_flush(&mut self, dirty: bool) {
+        self.flushed_lines = self.flushed_lines.saturating_add(1);
+        if dirty {
+            self.dirty_drops = self.dirty_drops.saturating_add(1);
         }
     }
 }
@@ -214,6 +242,7 @@ impl SetAssocCache {
 
     /// Invalidates `addr` if present; returns `Some(was_dirty)` when a line
     /// was dropped (inclusive hierarchies use this for back-invalidation).
+    /// Drops count into [`CacheStats::invalidations`] / `dirty_drops`.
     pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
         let line_addr = addr / self.line_bytes as u64;
         let set = (line_addr % self.sets as u64) as usize;
@@ -224,6 +253,8 @@ impl SetAssocCache {
             if l.valid && l.tag == tag {
                 let dirty = l.dirty;
                 *l = Line::default();
+                self.stats.record_invalidation(dirty);
+                self.per_set[set].record_invalidation(dirty);
                 return Some(dirty);
             }
         }
@@ -241,16 +272,50 @@ impl SetAssocCache {
     }
 
     /// Invalidates everything, returning the number of dirty lines dropped
-    /// (callers model their writeback traffic).
+    /// (callers model their writeback traffic). Dropped valid lines count
+    /// into [`CacheStats::flushed_lines`] / `dirty_drops`.
     pub fn flush_all(&mut self) -> u64 {
         let mut dirty = 0;
-        for l in &mut self.lines {
-            if l.valid && l.dirty {
-                dirty += 1;
+        for (i, l) in self.lines.iter_mut().enumerate() {
+            if l.valid {
+                let set = i / self.ways;
+                self.stats.record_flush(l.dirty);
+                self.per_set[set].record_flush(l.dirty);
+                if l.dirty {
+                    dirty += 1;
+                }
             }
             *l = Line::default();
         }
         dirty
+    }
+
+    /// Drains up to `ways` lines per set in LRU order — the transient of a
+    /// compute slice claiming `ways` ways under the invalidation protocol.
+    /// Returns the dropped lines as `(address, was_dirty)` pairs so the
+    /// hierarchy can send *targeted* back-invalidations for exactly the
+    /// lines that were resident, instead of flushing the whole claim.
+    /// Drops count into [`CacheStats::invalidations`] / `dirty_drops`.
+    pub fn drain_ways(&mut self, ways: usize) -> Vec<(u64, bool)> {
+        let mut dropped = Vec::new();
+        for set in 0..self.sets {
+            let base = set * self.ways;
+            // Valid lines of this set, least-recently-used first.
+            let mut victims: Vec<usize> = (base..base + self.ways)
+                .filter(|&i| self.lines[i].valid)
+                .collect();
+            victims.sort_by_key(|&i| self.lines[i].lru);
+            for &i in victims.iter().take(ways) {
+                let l = &mut self.lines[i];
+                let line_addr = l.tag * self.sets as u64 + set as u64;
+                let dirty = l.dirty;
+                dropped.push((line_addr * self.line_bytes as u64, dirty));
+                *l = Line::default();
+                self.stats.record_invalidation(dirty);
+                self.per_set[set].record_invalidation(dirty);
+            }
+        }
+        dropped
     }
 
     /// Number of currently dirty lines.
@@ -387,6 +452,49 @@ mod tests {
         assert_eq!(c.invalidate(0x200), Some(false));
         assert_eq!(c.invalidate(0x300), None);
         assert!(!c.probe(0x100));
+    }
+
+    #[test]
+    fn invalidation_and_flush_drops_are_counted() {
+        let mut c = SetAssocCache::new(8, 2, 64);
+        c.access(0x000, true);
+        c.access(0x040, false);
+        c.access(0x080, true);
+        assert_eq!(c.invalidate(0x000), Some(true));
+        assert_eq!(c.invalidate(0x040), Some(false));
+        c.invalidate(0x040); // already gone: no count
+        assert_eq!(c.flush_all(), 1); // 0x080 still dirty
+        let s = c.stats();
+        assert_eq!(s.invalidations, 2);
+        assert_eq!(s.flushed_lines, 1);
+        assert_eq!(s.dirty_drops, 2); // dirty 0x000 invalidated + dirty 0x080 flushed
+        assert!(s.dirty_drops <= s.invalidations + s.flushed_lines);
+        let mut reg = freac_probe::CounterRegistry::new();
+        c.export_into(&mut reg, "cache.llc");
+        assert_eq!(reg.counter("cache.llc.invalidations"), 2);
+        assert_eq!(reg.counter("cache.llc.flushed_lines"), 1);
+        assert_eq!(reg.counter("cache.llc.dirty_drops"), 2);
+        freac_probe::assert_ok(&reg);
+    }
+
+    #[test]
+    fn drain_ways_drops_lru_lines_first_and_reports_them() {
+        // 1 set, 4 ways: A B C D filled in order, A touched last.
+        let mut c = SetAssocCache::new(1, 4, 64);
+        c.access(0x000, true); // A dirty
+        c.access(0x040, false); // B
+        c.access(0x080, true); // C dirty
+        c.access(0x0C0, false); // D
+        c.access(0x000, false); // touch A -> B is LRU
+        let dropped = c.drain_ways(2);
+        assert_eq!(dropped, vec![(0x040, false), (0x080, true)]);
+        assert!(c.probe(0x000) && c.probe(0x0C0));
+        assert!(!c.probe(0x040) && !c.probe(0x080));
+        assert_eq!(c.stats().invalidations, 2);
+        assert_eq!(c.stats().dirty_drops, 1);
+        // Draining more ways than are valid drains what is there.
+        assert_eq!(c.drain_ways(4).len(), 2);
+        assert_eq!(c.valid_lines(), 0);
     }
 
     #[test]

@@ -8,8 +8,11 @@
 //! select ways, flush, lock, write configuration, fill scratchpad, run —
 //! accumulating the setup time of each phase.
 
-use freac_cache::{flush::flush_ways_time, LlcGeometry};
-use freac_sim::{ClockDomain, DramModel, Time};
+use freac_cache::{
+    coherence::{handoff_charge, ClaimCharge, CoherenceStats, HandoffMode},
+    LlcGeometry,
+};
+use freac_sim::{ClockDomain, DramModel, RingInterconnect, Time};
 
 use crate::error::CoreError;
 use crate::partition::SlicePartition;
@@ -182,8 +185,36 @@ pub fn reconfig_cost(
     partition: &SlicePartition,
     dirty_fraction: f64,
 ) -> Result<ReconfigCost, CoreError> {
+    reconfig_cost_with(
+        accel,
+        partition,
+        dirty_fraction,
+        HandoffMode::ConservativeFlush,
+    )
+}
+
+/// [`reconfig_cost`] with an explicit [`HandoffMode`]: the conservative
+/// mode reproduces the blind-flush quote exactly, while the coherent mode
+/// prices the claim as a targeted invalidation burst plus a dirty-line
+/// drain (see [`freac_cache::coherence::handoff_charge`]) — both for the
+/// initial claim and for the scratchpad reclaim.
+///
+/// # Errors
+///
+/// As [`reconfig_cost`].
+///
+/// # Panics
+///
+/// As [`reconfig_cost`].
+pub fn reconfig_cost_with(
+    accel: &crate::accel::Accelerator,
+    partition: &SlicePartition,
+    dirty_fraction: f64,
+    mode: HandoffMode,
+) -> Result<ReconfigCost, CoreError> {
     let dram = DramModel::ddr4_2400_x4();
-    let mut ctrl = CcCtrl::new(dirty_fraction);
+    let ring = RingInterconnect::paper_edge();
+    let mut ctrl = CcCtrl::with_mode(dirty_fraction, mode);
     ctrl.store(regs::SELECT, encode_ways(partition), &dram)?;
     ctrl.store(regs::FLUSH, 1, &dram)?;
     ctrl.store(regs::LOCK, 1, &dram)?;
@@ -193,12 +224,18 @@ pub fn reconfig_cost(
         &dram,
     )?;
     let t = ctrl.timing();
-    let reclaim_ps = flush_ways_time(
+    // Scratchpad contents are all-dirty by definition; under the protocol
+    // the directory still only drains the lines compute actually wrote
+    // (the mode's residency), instead of streaming the whole capacity.
+    let reclaim_ps = handoff_charge(
         &LlcGeometry::paper_edge(),
         partition.scratchpad_ways(),
         1.0,
+        mode,
         &dram,
-    );
+        &ring,
+    )
+    .stall_ps;
     Ok(ReconfigCost {
         flush_ps: t.flush_ps,
         config_ps: t.config_ps,
@@ -234,13 +271,52 @@ pub fn way_conversion_cost(
     dirty_fraction: f64,
 ) -> Time {
     assert!((0.0..=1.0).contains(&dirty_fraction));
+    way_conversion_charge(from, to, dirty_fraction, HandoffMode::ConservativeFlush).stall_ps
+}
+
+/// [`way_conversion_cost`] with an explicit [`HandoffMode`].
+///
+/// # Panics
+///
+/// Panics if `dirty_fraction` is outside `[0, 1]`.
+pub fn way_conversion_cost_with(
+    from: &SlicePartition,
+    to: &SlicePartition,
+    dirty_fraction: f64,
+    mode: HandoffMode,
+) -> Time {
+    assert!((0.0..=1.0).contains(&dirty_fraction));
+    way_conversion_charge(from, to, dirty_fraction, mode).stall_ps
+}
+
+/// The full protocol-traffic quote behind [`way_conversion_cost_with`]:
+/// one charge for the ways claimed from cache service (at
+/// `dirty_fraction`), one for the scratchpad ways returned to it
+/// (all-dirty), summed. Under [`HandoffMode::ConservativeFlush`] the
+/// combined `stall_ps` equals the legacy two-flush model exactly; under
+/// the protocol it is the targeted invalidation + drain cost, and the
+/// line/message counts are what a server exports under `cache.coh.*`.
+pub fn way_conversion_charge(
+    from: &SlicePartition,
+    to: &SlicePartition,
+    dirty_fraction: f64,
+    mode: HandoffMode,
+) -> ClaimCharge {
     let dram = DramModel::ddr4_2400_x4();
+    let ring = RingInterconnect::paper_edge();
     let geometry = LlcGeometry::paper_edge();
     let claimed = (to.compute_ways() + to.scratchpad_ways())
         .saturating_sub(from.compute_ways() + from.scratchpad_ways());
     let spad_returned = from.scratchpad_ways().saturating_sub(to.scratchpad_ways());
-    flush_ways_time(&geometry, claimed, dirty_fraction, &dram)
-        + flush_ways_time(&geometry, spad_returned, 1.0, &dram)
+    let claim = handoff_charge(&geometry, claimed, dirty_fraction, mode, &dram, &ring);
+    let reclaim = handoff_charge(&geometry, spad_returned, 1.0, mode, &dram, &ring);
+    ClaimCharge {
+        lines_touched: claim.lines_touched + reclaim.lines_touched,
+        writeback_lines: claim.writeback_lines + reclaim.writeback_lines,
+        inval_ps: claim.inval_ps + reclaim.inval_ps,
+        writeback_ps: claim.writeback_ps + reclaim.writeback_ps,
+        stall_ps: claim.stall_ps + reclaim.stall_ps,
+    }
 }
 
 /// The per-slice compute cluster controller.
@@ -255,16 +331,33 @@ pub struct CcCtrl {
     timing: SetupTiming,
     /// Fraction of lines assumed dirty when flushing (worst case 1.0).
     dirty_fraction: f64,
+    /// How the FLUSH step hands the selected ways to compute.
+    handoff: HandoffMode,
+    /// Protocol traffic accumulated by coherent FLUSH steps.
+    coh: CoherenceStats,
 }
 
 impl CcCtrl {
     /// A controller for one slice of the paper's LLC, assuming
-    /// `dirty_fraction` of flushed lines are dirty.
+    /// `dirty_fraction` of flushed lines are dirty. Uses the conservative
+    /// whole-claim flush.
     ///
     /// # Panics
     ///
     /// Panics if `dirty_fraction` is outside `[0, 1]`.
     pub fn new(dirty_fraction: f64) -> Self {
+        CcCtrl::with_mode(dirty_fraction, HandoffMode::ConservativeFlush)
+    }
+
+    /// A controller whose FLUSH step charges the given [`HandoffMode`]:
+    /// the conservative mode is byte-identical to [`CcCtrl::new`], the
+    /// coherent mode charges the targeted invalidation protocol instead
+    /// and accumulates its traffic in [`CcCtrl::coherence_stats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dirty_fraction` is outside `[0, 1]`.
+    pub fn with_mode(dirty_fraction: f64, handoff: HandoffMode) -> Self {
         assert!((0.0..=1.0).contains(&dirty_fraction));
         CcCtrl {
             state: CtrlState::Idle,
@@ -275,6 +368,8 @@ impl CcCtrl {
             fill_bytes: 0,
             timing: SetupTiming::default(),
             dirty_fraction,
+            handoff,
+            coh: CoherenceStats::default(),
         }
     }
 
@@ -291,6 +386,12 @@ impl CcCtrl {
     /// Accumulated setup timing.
     pub fn timing(&self) -> SetupTiming {
         self.timing
+    }
+
+    /// Protocol traffic of coherent FLUSH steps (zero under the
+    /// conservative mode — a blind flush sends no per-line messages).
+    pub fn coherence_stats(&self) -> CoherenceStats {
+        self.coh
     }
 
     /// Handles a host store to a controller register.
@@ -314,8 +415,18 @@ impl CcCtrl {
                 self.require(&[CtrlState::Selected], "flush")?;
                 let p = self.partition.expect("selected state implies partition");
                 let ways = p.compute_ways() + p.scratchpad_ways();
-                self.timing.flush_ps +=
-                    flush_ways_time(&self.geometry, ways, self.dirty_fraction, dram);
+                let charge = handoff_charge(
+                    &self.geometry,
+                    ways,
+                    self.dirty_fraction,
+                    self.handoff,
+                    dram,
+                    &RingInterconnect::paper_edge(),
+                );
+                self.timing.flush_ps += charge.stall_ps;
+                if self.handoff.is_coherent() {
+                    charge.accumulate_into(&mut self.coh);
+                }
                 self.state = CtrlState::Flushed;
                 Ok(())
             }
@@ -419,6 +530,7 @@ impl CcCtrl {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use freac_cache::flush::flush_ways_time;
 
     fn dram() -> DramModel {
         DramModel::ddr4_2400_x4()
@@ -603,6 +715,68 @@ mod tests {
         assert_eq!(
             way_conversion_cost(&balanced, &maxed, 1.0),
             flush_ways_time(&geometry, 8, 1.0, &d)
+        );
+    }
+
+    #[test]
+    fn coherent_mode_quotes_cheaper_handoffs_than_the_flush() {
+        use crate::accel::Accelerator;
+        use crate::tile::AcceleratorTile;
+        use freac_netlist::builder::CircuitBuilder;
+
+        let mut b = CircuitBuilder::new("dot");
+        let a = b.word_input("a", 32);
+        let x = b.word_input("x", 32);
+        let (acc, h) = b.word_reg(0, 32);
+        let m = b.mac(&a, &x, &acc);
+        b.connect_word_reg(h, &m);
+        b.word_output("acc", &acc);
+        let circuit = b.finish().unwrap();
+        let accel = Accelerator::map(&circuit, &AcceleratorTile::new(1).unwrap()).unwrap();
+        let p = SlicePartition::end_to_end();
+
+        let flat = reconfig_cost_with(&accel, &p, 0.5, HandoffMode::ConservativeFlush).unwrap();
+        // The mode-aware conservative quote is byte-identical to the
+        // legacy API.
+        assert_eq!(flat, reconfig_cost(&accel, &p, 0.5).unwrap());
+
+        let coh = reconfig_cost_with(&accel, &p, 0.5, HandoffMode::coherent()).unwrap();
+        assert!(coh.flush_ps < flat.flush_ps, "targeted claim beats flush");
+        assert!(coh.reclaim_ps < flat.reclaim_ps, "targeted reclaim too");
+        assert_eq!(coh.config_ps, flat.config_ps, "bitstream cost unchanged");
+
+        // The controller records the protocol traffic it charged.
+        let d = dram();
+        let mut c = CcCtrl::with_mode(0.5, HandoffMode::coherent());
+        c.store(regs::SELECT, encode_ways(&p), &d).unwrap();
+        c.store(regs::FLUSH, 1, &d).unwrap();
+        let stats = c.coherence_stats();
+        assert_eq!(stats.claims, 1);
+        assert!(stats.invalidations > 0);
+        assert!(stats.writeback_pulls <= stats.invalidations);
+        // The conservative controller sends no messages.
+        let mut flatc = CcCtrl::new(0.5);
+        flatc.store(regs::SELECT, encode_ways(&p), &d).unwrap();
+        flatc.store(regs::FLUSH, 1, &d).unwrap();
+        assert_eq!(flatc.coherence_stats(), CoherenceStats::default());
+    }
+
+    #[test]
+    fn coherent_way_conversion_is_cheaper_and_quotes_traffic() {
+        let e2e = SlicePartition::end_to_end(); // (8, 10, 2)
+        let grown = SlicePartition::new(10, 10, 0).unwrap();
+        let flat = way_conversion_cost_with(&e2e, &grown, 0.5, HandoffMode::ConservativeFlush);
+        assert_eq!(flat, way_conversion_cost(&e2e, &grown, 0.5));
+        let coh = way_conversion_cost_with(&e2e, &grown, 0.5, HandoffMode::coherent());
+        assert!(coh < flat, "coherent {coh} must beat flush {flat}");
+        let charge = way_conversion_charge(&e2e, &grown, 0.5, HandoffMode::coherent());
+        assert_eq!(charge.stall_ps, coh);
+        assert!(charge.lines_touched > 0);
+        assert!(charge.writeback_lines <= charge.lines_touched);
+        // Identity conversion is free in both modes.
+        assert_eq!(
+            way_conversion_cost_with(&e2e, &e2e, 0.5, HandoffMode::coherent()),
+            0
         );
     }
 

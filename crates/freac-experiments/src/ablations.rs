@@ -10,6 +10,8 @@ use freac_fold::{schedule_fold_with, LutMode, SchedulePolicy};
 use freac_kernels::{kernel, KernelId};
 use freac_netlist::opt::pack_luts;
 use freac_netlist::techmap::{tech_map, TechMapOptions};
+use freac_probe::CounterRegistry;
+use freac_sim::{DramModel, RingInterconnect};
 
 use freac_netlist::OptLevel;
 
@@ -343,16 +345,17 @@ fn interference_trace() -> Vec<(u64, bool)> {
     let stream_base = 0x800_0000u64;
     let stream_lines = 1_536 * 1024 / 64; // 1.5 MB stream
     let mut trace = Vec::new();
-    // Warm the hot set.
+    // Warm the hot set with writes: the hot lines sit dirty in L1, so a
+    // back-invalidation (or a later way claim) has real writebacks to pull.
     for l in 0..hot_lines {
-        trace.push((hot_base + l * 64, false));
+        trace.push((hot_base + l * 64, true));
     }
     // Interleave one hot touch with every streaming line, two passes.
     for pass in 0..2u64 {
         for l in 0..stream_lines {
             trace.push((stream_base + l * 64, false));
             let hot = (l + pass * 13) % hot_lines;
-            trace.push((hot_base + hot * 64, false));
+            trace.push((hot_base + hot * 64, hot % 2 == 0));
         }
     }
     trace
@@ -380,7 +383,20 @@ pub fn inclusion() -> InclusionAblation {
                     hot_n += 1;
                 }
             }
-            (hot_lat as f64 / hot_n as f64, h.stats().back_invalidations)
+            let backinv = h.stats().back_invalidations;
+            if freac_probe::global::global().is_some() {
+                // After the measured interval, a slice claims one more way
+                // under the invalidation protocol, so the exported counters
+                // carry real coherence traffic (targeted back-invalidations,
+                // dirty writeback pulls) on top of the interference run.
+                let dram = DramModel::ddr4_2400_x4();
+                let ring = RingInterconnect::paper_edge();
+                h.claim_slice_ways(0, 1, &dram, &ring);
+                let mut reg = CounterRegistry::default();
+                h.export_into(&mut reg, "cache.hier");
+                freac_probe::global::merge(&reg);
+            }
+            (hot_lat as f64 / hot_n as f64, backinv)
         };
         let (plain, _) = run(false);
         let (strict, backinv) = run(true);

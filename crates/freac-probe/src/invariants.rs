@@ -15,6 +15,13 @@
 //! * `<p>.evictions <= <p>.misses` and `<p>.writebacks <= <p>.evictions`
 //!   (a victim is only produced by a miss; only a valid victim can be
 //!   dirty);
+//! * `<p>.dirty_drops <= <p>.invalidations + <p>.flushed_lines` for
+//!   every prefix with a `.dirty_drops` counter — a dirty line can only
+//!   be dropped by a targeted invalidation or a whole-cache flush;
+//! * `<p>.writeback_pulls <= <p>.invalidations + <p>.downgrades` for
+//!   every prefix with a `.writeback_pulls` counter — the coherence
+//!   protocol pulls a dirty line only while invalidating or downgrading
+//!   its owner;
 //! * `<p>.bytes_read == <p>.lines_read * <p>.line_bytes` (gauge), and
 //!   the same for writes — DRAM traffic is whole cache lines;
 //! * `<p>.row_activations == <p>.lines_read + <p>.lines_written`;
@@ -104,6 +111,38 @@ pub fn check(reg: &CounterRegistry) -> Vec<Violation> {
                 &mut out,
                 format!("{p}: writebacks <= evictions"),
                 format!("{writebacks} > {evictions}"),
+            );
+        }
+    }
+
+    // Back-invalidation drops: only a targeted invalidation or a flush
+    // can drop a dirty line.
+    for p in prefixes_with(reg, ".dirty_drops") {
+        let dirty = reg.counter(&format!("{p}.dirty_drops"));
+        let drops = reg
+            .counter(&format!("{p}.invalidations"))
+            .saturating_add(reg.counter(&format!("{p}.flushed_lines")));
+        if dirty > drops {
+            violate(
+                &mut out,
+                format!("{p}: dirty_drops <= invalidations + flushed_lines"),
+                format!("{dirty} > {drops}"),
+            );
+        }
+    }
+
+    // Coherence protocol: every writeback pull rides an invalidation or
+    // a downgrade of the dirty owner.
+    for p in prefixes_with(reg, ".writeback_pulls") {
+        let pulls = reg.counter(&format!("{p}.writeback_pulls"));
+        let causes = reg
+            .counter(&format!("{p}.invalidations"))
+            .saturating_add(reg.counter(&format!("{p}.downgrades")));
+        if pulls > causes {
+            violate(
+                &mut out,
+                format!("{p}: writeback_pulls <= invalidations + downgrades"),
+                format!("{pulls} > {causes}"),
             );
         }
     }
@@ -308,6 +347,12 @@ mod tests {
         r.add("cache.llc.misses", 3);
         r.add("cache.llc.evictions", 2);
         r.add("cache.llc.writebacks", 1);
+        r.add("cache.llc.invalidations", 3);
+        r.add("cache.llc.flushed_lines", 2);
+        r.add("cache.llc.dirty_drops", 4);
+        r.add("cache.coh.invalidations", 6);
+        r.add("cache.coh.downgrades", 2);
+        r.add("cache.coh.writeback_pulls", 5);
         r.add("sim.dram.lines_read", 4);
         r.add("sim.dram.lines_written", 1);
         r.add("sim.dram.bytes_read", 256);
@@ -359,6 +404,14 @@ mod tests {
             (
                 "writebacks <= evictions",
                 Box::new(|r| r.add("cache.llc.writebacks", 5)),
+            ),
+            (
+                "dirty_drops <= invalidations + flushed_lines",
+                Box::new(|r| r.add("cache.llc.dirty_drops", 10)),
+            ),
+            (
+                "writeback_pulls <= invalidations + downgrades",
+                Box::new(|r| r.add("cache.coh.writeback_pulls", 10)),
             ),
             (
                 "bytes_read == lines_read",

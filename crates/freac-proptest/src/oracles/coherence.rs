@@ -1,0 +1,336 @@
+//! Coherence differential oracle: the MESI litmus machine against a flat
+//! sequentially-consistent reference.
+//!
+//! The reference is a single `BTreeMap<addr, value>` — no caches, no
+//! states, every write instantly visible. An invalidation protocol that
+//! serializes all writes (this one models atomic bus transactions, the
+//! regime the litmus suite pins) must be indistinguishable from it: every
+//! read returns the reference value, the merged final memory image matches,
+//! and a targeted slice claim leaves memory exactly as the conservative
+//! whole-cache flush would. Generation is biased toward the classic
+//! store-buffering and message-passing shapes so the forbidden outcomes
+//! those litmus tests name are exercised every few cases, not once in a
+//! blue moon.
+
+use std::collections::BTreeMap;
+
+use freac_cache::coherence::CoherentMemory;
+use freac_rand::Rng64;
+
+use crate::shrink;
+
+/// One step of a coherence case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Agent reads an address (checked against the reference).
+    Read {
+        /// Reading agent.
+        agent: usize,
+        /// Line address.
+        addr: u64,
+    },
+    /// Agent writes a value.
+    Write {
+        /// Writing agent.
+        agent: usize,
+        /// Line address.
+        addr: u64,
+        /// Value stored.
+        value: u64,
+    },
+    /// A compute slice claims the first `lines` pool addresses: targeted
+    /// back-invalidations everywhere, dirty data pulled to memory.
+    Claim {
+        /// Pool prefix length claimed.
+        lines: usize,
+    },
+}
+
+/// One coherence-oracle case: an agent count, a small line pool, and an
+/// operation sequence over it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoherenceCase {
+    /// Caching agents (cores), 2..=4.
+    pub agents: usize,
+    /// Line addresses the ops draw from.
+    pub pool: Vec<u64>,
+    /// The operation sequence.
+    pub ops: Vec<Op>,
+}
+
+/// Draws a random [`CoherenceCase`], seeding the classic two-agent litmus
+/// shapes (store buffering, message passing) about half the time before
+/// the random tail.
+pub fn generate(rng: &mut Rng64) -> CoherenceCase {
+    let agents = 2 + rng.index(3);
+    let lines = 2 + rng.index(4);
+    let pool: Vec<u64> = (0..lines).map(|i| (i as u64) * 64).collect();
+    let mut ops = Vec::new();
+    if rng.bool() {
+        // Store buffering: two agents each write their own line then read
+        // the other's. Forbidden outcome: both read 0.
+        let (x, y) = (pool[0], pool[1]);
+        ops.extend([
+            Op::Write {
+                agent: 0,
+                addr: x,
+                value: 1,
+            },
+            Op::Write {
+                agent: 1,
+                addr: y,
+                value: 1,
+            },
+            Op::Read { agent: 0, addr: y },
+            Op::Read { agent: 1, addr: x },
+        ]);
+    }
+    if rng.bool() {
+        // Message passing: payload then flag on agent 0; agent 1 reads the
+        // flag then the payload. Forbidden: flag=1, payload=0.
+        let (data, flag) = (pool[0], pool[1]);
+        ops.extend([
+            Op::Write {
+                agent: 0,
+                addr: data,
+                value: 7,
+            },
+            Op::Write {
+                agent: 0,
+                addr: flag,
+                value: 1,
+            },
+            Op::Read {
+                agent: 1,
+                addr: flag,
+            },
+            Op::Read {
+                agent: 1,
+                addr: data,
+            },
+        ]);
+    }
+    let tail = rng.index(30);
+    for _ in 0..tail {
+        let agent = rng.index(agents);
+        let addr = *rng.pick(&pool);
+        ops.push(match rng.index(4) {
+            0 => Op::Read { agent, addr },
+            3 => Op::Claim {
+                lines: 1 + rng.index(pool.len()),
+            },
+            _ => Op::Write {
+                agent,
+                addr,
+                value: 1 + rng.below(100),
+            },
+        });
+    }
+    CoherenceCase { agents, pool, ops }
+}
+
+/// Shrink candidates: shorter op sequences, then simpler ops (reads for
+/// writes, smaller values), then fewer agents.
+pub fn shrink(case: &CoherenceCase) -> Vec<CoherenceCase> {
+    let mut out: Vec<CoherenceCase> = shrink::subsequences(&case.ops)
+        .into_iter()
+        .map(|ops| CoherenceCase {
+            ops,
+            ..case.clone()
+        })
+        .collect();
+    out.extend(
+        shrink::elementwise(&case.ops, |op| match *op {
+            Op::Write { agent, addr, value } => {
+                let mut alts = vec![Op::Read { agent, addr }];
+                if value > 1 {
+                    alts.push(Op::Write {
+                        agent,
+                        addr,
+                        value: 1,
+                    });
+                }
+                alts
+            }
+            Op::Claim { lines } if lines > 1 => vec![Op::Claim { lines: 1 }],
+            _ => Vec::new(),
+        })
+        .into_iter()
+        .map(|ops| CoherenceCase {
+            ops,
+            ..case.clone()
+        }),
+    );
+    if case.agents > 2 {
+        let fewer = case.agents - 1;
+        out.push(CoherenceCase {
+            agents: fewer,
+            pool: case.pool.clone(),
+            ops: case
+                .ops
+                .iter()
+                .map(|op| match *op {
+                    Op::Read { agent, addr } => Op::Read {
+                        agent: agent % fewer,
+                        addr,
+                    },
+                    Op::Write { agent, addr, value } => Op::Write {
+                        agent: agent % fewer,
+                        addr,
+                        value,
+                    },
+                    claim => claim,
+                })
+                .collect(),
+        });
+    }
+    out
+}
+
+/// Runs the differential check: read values, per-op protocol invariants,
+/// claim semantics, the final memory image, and claim ≡ conservative-flush
+/// equivalence must all hold.
+///
+/// # Errors
+///
+/// Returns a description of the first disagreement.
+pub fn check(case: &CoherenceCase) -> Result<(), String> {
+    let mut coh = CoherentMemory::new(case.agents);
+    let mut flat: BTreeMap<u64, u64> = BTreeMap::new();
+    for (i, op) in case.ops.iter().enumerate() {
+        match *op {
+            Op::Read { agent, addr } => {
+                let got = coh.read(agent % case.agents, addr);
+                let want = flat.get(&addr).copied().unwrap_or(0);
+                if got != want {
+                    return Err(format!(
+                        "op {i}: agent {agent} read {addr:#x} = {got}, reference says {want}"
+                    ));
+                }
+            }
+            Op::Write { agent, addr, value } => {
+                coh.write(agent % case.agents, addr, value);
+                flat.insert(addr, value);
+            }
+            Op::Claim { lines } => {
+                let claimed: Vec<u64> = case.pool.iter().take(lines.max(1)).copied().collect();
+                coh.claim(claimed.iter().copied());
+                for &a in &claimed {
+                    for agent in 0..case.agents {
+                        if coh.state_of(agent, a).is_some() {
+                            return Err(format!("op {i}: claim left agent {agent} holding {a:#x}"));
+                        }
+                    }
+                    let want = flat.get(&a).copied().unwrap_or(0);
+                    if coh.memory_value(a) != want {
+                        return Err(format!(
+                            "op {i}: claim lost data at {a:#x}: memory {} != reference {want}",
+                            coh.memory_value(a)
+                        ));
+                    }
+                }
+            }
+        }
+        coh.check_invariants()
+            .map_err(|e| format!("op {i}: protocol invariant broken: {e}"))?;
+    }
+
+    let image = coh.final_memory();
+    for &a in &case.pool {
+        let got = image.get(&a).copied().unwrap_or(0);
+        let want = flat.get(&a).copied().unwrap_or(0);
+        if got != want {
+            return Err(format!(
+                "final memory diverged at {a:#x}: coherent {got} != reference {want}"
+            ));
+        }
+    }
+
+    // The tentpole equivalence: claiming every line (targeted
+    // invalidations + writeback pulls) must leave the same memory image as
+    // the conservative whole-cache flush.
+    let mut claimed = coh.clone();
+    let mut flushed = coh;
+    claimed.claim(case.pool.iter().copied());
+    flushed.flush_all_conservative();
+    if claimed.final_memory() != flushed.final_memory() {
+        return Err(format!(
+            "claim != conservative flush: {:?} vs {:?}",
+            claimed.final_memory(),
+            flushed.final_memory()
+        ));
+    }
+    let s = claimed.stats();
+    if s.writeback_pulls > s.invalidations.saturating_add(s.downgrades) {
+        return Err(format!(
+            "protocol traffic law broken: {} pulls > {} invalidations + {} downgrades",
+            s.writeback_pulls, s.invalidations, s.downgrades
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_accepts_the_real_protocol() {
+        let mut rng = Rng64::new(11);
+        for _ in 0..32 {
+            let case = generate(&mut rng);
+            check(&case).expect("protocol and flat reference agree");
+        }
+    }
+
+    #[test]
+    fn oracle_rejects_a_protocol_that_skips_invalidation() {
+        // Differential power check: replaying the ops but dropping every
+        // write's invalidation step (simulated by writing to a *private*
+        // per-agent map) must be caught whenever two agents share a line.
+        let mut rng = Rng64::new(12);
+        let mut caught = false;
+        for _ in 0..64 {
+            let case = generate(&mut rng);
+            let mut per_agent: Vec<BTreeMap<u64, u64>> = vec![BTreeMap::new(); case.agents];
+            let mut flat: BTreeMap<u64, u64> = BTreeMap::new();
+            for op in &case.ops {
+                match *op {
+                    Op::Read { agent, addr } => {
+                        let got = per_agent[agent % case.agents]
+                            .get(&addr)
+                            .or_else(|| flat.get(&addr))
+                            .copied()
+                            .unwrap_or(0);
+                        let want = flat.get(&addr).copied().unwrap_or(0);
+                        if got != want {
+                            caught = true;
+                        }
+                        // Fill the local copy, stale as it may be.
+                        per_agent[agent % case.agents].entry(addr).or_insert(got);
+                    }
+                    Op::Write { agent, addr, value } => {
+                        per_agent[agent % case.agents].insert(addr, value);
+                        flat.insert(addr, value);
+                    }
+                    Op::Claim { .. } => {}
+                }
+            }
+            if caught {
+                break;
+            }
+        }
+        assert!(caught, "stale private copies must be observable");
+    }
+
+    #[test]
+    fn shrunk_cases_stay_well_formed() {
+        let mut rng = Rng64::new(13);
+        let case = generate(&mut rng);
+        for smaller in shrink(&case) {
+            assert!(smaller.agents >= 2);
+            assert!(!smaller.pool.is_empty());
+            let _ = check(&smaller);
+        }
+    }
+}

@@ -11,6 +11,7 @@
 pub mod bitstream;
 pub mod cache;
 pub mod cluster;
+pub mod coherence;
 pub mod compiled;
 pub mod fold;
 pub mod metrics;

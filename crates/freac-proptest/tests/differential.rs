@@ -6,7 +6,7 @@
 //! and the one-line corpus entry that replays it.
 
 use freac_proptest::oracles::{
-    bitstream, cache, cluster, compiled, fold, metrics, optimize, sample, serve,
+    bitstream, cache, cluster, coherence, compiled, fold, metrics, optimize, sample, serve,
 };
 use freac_proptest::{check, Runner};
 
@@ -38,6 +38,19 @@ fn optimize_preserves_function() {
         optimize::generate,
         optimize::shrink,
         optimize::check,
+    );
+}
+
+#[test]
+fn coherence_litmus_differential() {
+    // MESI litmus machine vs the flat sequentially-consistent reference:
+    // store-buffering / message-passing shapes, random op tails, per-op
+    // protocol invariants, and claim ≡ conservative-flush memory images.
+    check(
+        "coherence/litmus",
+        coherence::generate,
+        coherence::shrink,
+        coherence::check,
     );
 }
 

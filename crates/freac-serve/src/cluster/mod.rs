@@ -1088,4 +1088,54 @@ mod tests {
         assert!(rep.probes.counter("serve.rescales") > 0);
         assert_eq!(rep.completions.len() + rep.sheds.len(), 128);
     }
+
+    #[test]
+    fn coherent_shards_autoscale_with_cheaper_way_conversions() {
+        let run = |handoff: crate::HandoffMode| {
+            let mut cluster = cluster_with(ClusterConfig {
+                shards: 1,
+                autoscale: Some(AutoscaleConfig {
+                    high_backlog: 8,
+                    up_epochs: 1,
+                    ..AutoscaleConfig::default()
+                }),
+                shard: ServeConfig {
+                    partition: freac_core::SlicePartition::new(4, 10, 6).unwrap(),
+                    slices: 1,
+                    queue_depth: 512,
+                    handoff,
+                    ..ServeConfig::default()
+                },
+                ..ClusterConfig::default()
+            });
+            for r in trace(128, 0) {
+                cluster.submit(r).unwrap();
+            }
+            cluster.run_to_completion().unwrap()
+        };
+        let flat = run(crate::HandoffMode::ConservativeFlush);
+        let coh = run(crate::HandoffMode::coherent());
+        assert!(coh.probes.counter("cluster.autoscale.up") > 0);
+        let flat_ps = flat.probes.counter("cluster.autoscale.conversion_ps");
+        let coh_ps = coh.probes.counter("cluster.autoscale.conversion_ps");
+        assert!(flat_ps > 0 && coh_ps > 0);
+        assert!(
+            coh_ps < flat_ps,
+            "coherent way conversions must beat the blind flush: {coh_ps} vs {flat_ps}"
+        );
+        assert!(coh.probes.counter("cache.coh.claims") > 0);
+        assert_eq!(flat.probes.counter("cache.coh.claims"), 0);
+        // Every request still resolves, and functional results agree.
+        assert_eq!(coh.completions.len() + coh.sheds.len(), 128);
+        let hashes = |r: &ClusterReport| {
+            let mut h: Vec<(String, u64, u64)> = r
+                .completions
+                .iter()
+                .map(|c| (c.tenant.clone(), c.seq, c.output_hash))
+                .collect();
+            h.sort();
+            h
+        };
+        assert_eq!(hashes(&flat), hashes(&coh));
+    }
 }

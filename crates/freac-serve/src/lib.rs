@@ -11,6 +11,7 @@
 //! | [`queue`]   | per-kernel bounded admission queues with shed policies |
 //! | [`batch`]   | the coalescer packing compatible requests into lanes |
 //! | [`sched`]   | FIFO / weighted-fair / deadline-aware anchor selection |
+//! | [`tlb`]     | per-tenant scratchpad segments — cross-tenant accesses fault at admission |
 //! | [`server`]  | the event loop: admission → dispatch → completion |
 //! | [`inputs`]  | seed-derived input synthesis and output hashing |
 //! | [`loadgen`] | synthetic tenants: open-loop traces, closed-loop driver |
@@ -48,6 +49,7 @@ pub mod request;
 pub mod sample;
 pub mod sched;
 pub mod server;
+pub mod tlb;
 
 mod error;
 
@@ -55,6 +57,7 @@ pub use cluster::{
     AutoscaleConfig, Cluster, ClusterConfig, ClusterReport, RoutePolicy, StealConfig,
 };
 pub use error::ServeError;
+pub use freac_core::HandoffMode;
 pub use loadgen::{open_loop_trace, ClosedLoop, TenantSpec};
 pub use queue::{AdmissionQueue, ShedPolicy};
 pub use report::{cluster_tenant_table, tenant_table};
@@ -65,3 +68,4 @@ pub use server::{
     DispatchRecord, FluidEstimate, RequestProfile, ServeConfig, ServeReport, Server, TenantSummary,
     FUNC_CYCLES_CAP,
 };
+pub use tlb::{TenantTlb, TlbSegment};

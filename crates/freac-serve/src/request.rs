@@ -28,6 +28,11 @@ pub struct Request {
     pub seed: u64,
     /// How many times this request has been shed and resubmitted.
     pub retries: u32,
+    /// Global scratchpad address the request intends to touch, if it
+    /// declares one. Checked at admission against the submitting tenant's
+    /// TLB segment; an out-of-segment address faults deterministically and
+    /// sheds with [`ShedReason::TlbFault`].
+    pub spad_addr: Option<u64>,
 }
 
 impl Request {
@@ -42,7 +47,16 @@ impl Request {
             exclusive: false,
             seed,
             retries: 0,
+            spad_addr: None,
         }
+    }
+
+    /// The same request, declaring the global scratchpad address it will
+    /// touch (admission checks it against the tenant's TLB segment).
+    #[must_use]
+    pub fn with_spad_addr(mut self, addr: u64) -> Self {
+        self.spad_addr = Some(addr);
+        self
     }
 
     /// The canonical ordering key: arrival time first, then tenant name,
@@ -114,6 +128,10 @@ pub enum ShedReason {
     /// The cluster's global admission budget was exhausted, so the router
     /// refused it before any shard queue saw it.
     ClusterBudget,
+    /// Its declared scratchpad address fell outside the submitting
+    /// tenant's TLB segment — a cross-tenant access, refused at admission
+    /// before it could read another tenant's operands.
+    TlbFault,
 }
 
 /// A request the server refused (backpressure). The closed-loop driver may

@@ -34,7 +34,10 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::sync::Arc;
 
 use freac_core::scratchpad::ScratchpadModel;
-use freac_core::{reconfig_cost, Accelerator, AcceleratorTile, ReconfigCost, SlicePartition};
+use freac_core::{
+    reconfig_cost_with, way_conversion_charge, Accelerator, AcceleratorTile, CoherenceStats,
+    HandoffMode, ReconfigCost, SlicePartition,
+};
 use freac_kernels::{kernel, Kernel, KernelId};
 use freac_netlist::{compile, ExecPlan, Netlist, BATCH_LANES, MAX_BATCH_LANES};
 use freac_probe::CounterRegistry;
@@ -46,6 +49,7 @@ use crate::inputs::{hash_outputs, synth_inputs};
 use crate::queue::{AdmissionQueue, AdmitResult, ShedPolicy};
 use crate::request::{Completion, Outcome, Request, Shed, ShedReason};
 use crate::sched::{pick, SchedPolicy, TenantState};
+use crate::tlb::{TenantTlb, TlbSegment};
 
 /// Functional-execution depth: output hashes are computed over this many
 /// original circuit cycles at most. Simulated timing always charges the
@@ -105,6 +109,11 @@ pub struct ServeConfig {
     /// than the partition's tile count execute in compute waves rather
     /// than being truncated.
     pub max_lanes: usize,
+    /// How way handoffs are charged: the conservative whole-claim flush,
+    /// or the invalidation-based coherence protocol (targeted
+    /// back-invalidations + writeback pulls, overlapped). Coherent mode
+    /// also exports its protocol traffic under `cache.coh.*`.
+    pub handoff: HandoffMode,
 }
 
 impl Default for ServeConfig {
@@ -120,6 +129,7 @@ impl Default for ServeConfig {
             policy: SchedPolicy::WeightedFair,
             batching: true,
             max_lanes: BATCH_LANES,
+            handoff: HandoffMode::ConservativeFlush,
         }
     }
 }
@@ -143,6 +153,13 @@ impl ServeConfig {
         }
         if self.max_lanes == 0 {
             return Err(ServeError::BadConfig("max_lanes must be >= 1".into()));
+        }
+        if let HandoffMode::Coherent { residency } = self.handoff {
+            if !(0.0..=1.0).contains(&residency) {
+                return Err(ServeError::BadConfig(format!(
+                    "coherent handoff residency must be in [0, 1], got {residency}"
+                )));
+            }
         }
         Ok(())
     }
@@ -283,6 +300,8 @@ pub struct Server {
     cfg: ServeConfig,
     clock: ClockDomain,
     spad: ScratchpadModel,
+    tlb: TenantTlb,
+    coh: CoherenceStats,
     kernels: BTreeMap<String, ServedKernel>,
     tenants: BTreeMap<String, TenantState>,
     queues: BTreeMap<String, AdmissionQueue>,
@@ -334,6 +353,11 @@ impl Server {
             cfg,
             clock,
             spad: ScratchpadModel::new(service_ways, clock),
+            tlb: TenantTlb::new(
+                cfg.partition.scratchpad_bytes(),
+                std::iter::empty::<String>(),
+            ),
+            coh: CoherenceStats::default(),
             kernels: BTreeMap::new(),
             tenants: BTreeMap::new(),
             queues: BTreeMap::new(),
@@ -416,7 +440,12 @@ impl Server {
             )));
         }
         let steps = accel.fold_cycles() as u64;
-        let cost = reconfig_cost(&accel, &self.cfg.partition, self.cfg.dirty_fraction)?;
+        let cost = reconfig_cost_with(
+            &accel,
+            &self.cfg.partition,
+            self.cfg.dirty_fraction,
+            self.cfg.handoff,
+        )?;
         let tiles = (self.cfg.partition.mccs() / self.cfg.tile_mccs).max(1);
         // The bit-sliced engine bounds lanes, not the tile count: a batch
         // wider than the tiles runs extra compute waves instead of being
@@ -479,7 +508,29 @@ impl Server {
         }
         self.tenants
             .insert(name.to_owned(), TenantState { weight, vwork: 0 });
+        self.rebuild_tlb();
         Ok(())
+    }
+
+    /// Rebuilds the per-tenant scratchpad layout: an equal split of the
+    /// current partition's scratchpad bytes over the sorted tenant names.
+    fn rebuild_tlb(&mut self) {
+        self.tlb = TenantTlb::new(
+            self.cfg.partition.scratchpad_bytes(),
+            self.tenants.keys().cloned(),
+        );
+    }
+
+    /// The scratchpad segment a tenant owns under the current partition
+    /// (what its `spad_addr` declarations are checked against).
+    pub fn tenant_segment(&self, name: &str) -> Option<TlbSegment> {
+        self.tlb.segment(name)
+    }
+
+    /// Coherence-protocol traffic charged so far (all zeros under
+    /// [`HandoffMode::ConservativeFlush`]).
+    pub fn coherence_stats(&self) -> CoherenceStats {
+        self.coh
     }
 
     /// The mapped netlist of a registered kernel (verification replays
@@ -719,7 +770,10 @@ impl Server {
 
     /// Re-splits every slice's ways to `partition` at simulated time `at`
     /// — the elastic autoscaling step. The conversion is charged through
-    /// [`freac_core::way_conversion_cost`]: each slice becomes free no
+    /// [`freac_core::way_conversion_charge`] under the configured
+    /// [`HandoffMode`] (blind flush, or targeted invalidations with the
+    /// protocol traffic exported under `cache.coh.*`): each slice becomes
+    /// free no
     /// earlier than `max(free_at, at) + conversion`, residents are evicted
     /// (the LUT fabric was rebuilt), every kernel's reconfiguration quote,
     /// wave width, and the scratchpad service model are requoted against
@@ -737,14 +791,31 @@ impl Server {
                 tile.mccs()
             )));
         }
-        let conversion_ps = freac_core::way_conversion_cost(
+        let charge = way_conversion_charge(
             &self.cfg.partition,
             &partition,
             self.cfg.dirty_fraction,
+            self.cfg.handoff,
         );
+        let conversion_ps = charge.stall_ps;
+        if self.cfg.handoff.is_coherent() {
+            // Coherent handoffs quote real protocol traffic; conservative
+            // ones are a blind flush with nothing to itemize, so the
+            // `cache.coh.*` export stays silent (and committed baselines
+            // stay byte-stable) unless coherence is on.
+            let mut delta = CoherenceStats::default();
+            charge.accumulate_into(&mut delta);
+            self.coh.merge(&delta);
+            delta.export_into(&mut self.probes, "cache.coh");
+        }
         let tiles = (partition.mccs() / self.cfg.tile_mccs).max(1);
         for k in self.kernels.values_mut() {
-            k.cost = reconfig_cost(&k.accel, &partition, self.cfg.dirty_fraction)?;
+            k.cost = reconfig_cost_with(
+                &k.accel,
+                &partition,
+                self.cfg.dirty_fraction,
+                self.cfg.handoff,
+            )?;
             k.tiles = tiles;
         }
         let service_ways = partition
@@ -752,6 +823,7 @@ impl Server {
             .max(partition.cache_ways().max(1));
         self.spad = ScratchpadModel::new(service_ways, self.clock);
         self.cfg.partition = partition;
+        self.rebuild_tlb();
         for s in &mut self.slices {
             // The conversion occupies the slice but is not service time,
             // so `free_at` advances while `busy_ps` does not — the
@@ -777,6 +849,22 @@ impl Server {
             }
             let Reverse(Pending(req)) = self.pending.pop().expect("peeked");
             let at = req.arrival_ps;
+            // The TLB guards the scratchpad before the queue does: a
+            // declared address outside the tenant's segment faults here,
+            // deterministically, and never reaches a slice.
+            if let Some(addr) = req.spad_addr {
+                self.probes.inc("serve.tlb.accesses");
+                if self.tlb.translate(&req.tenant, addr).is_some() {
+                    self.probes.inc("serve.tlb.hits");
+                } else {
+                    self.probes.inc("serve.tlb.misses");
+                    self.probes.inc("serve.tlb.faults");
+                    self.probes
+                        .inc(&format!("serve.tenant.{}.tlb_faults", req.tenant));
+                    self.shed(req, at, ShedReason::TlbFault, hook)?;
+                    continue;
+                }
+            }
             let queue = self
                 .queues
                 .get_mut(&req.kernel)
@@ -1486,5 +1574,105 @@ mod tests {
         let r = s.run_to_completion().unwrap();
         assert_eq!(r.probes.counter("serve.deadlines.missed"), 1);
         assert_eq!(r.probes.counter("serve.deadlines.met"), 1);
+    }
+
+    #[test]
+    fn coherent_handoff_cheapens_rescale_and_quotes_protocol_traffic() {
+        let run = |handoff: HandoffMode| {
+            let mut s = server_with(ServeConfig {
+                handoff,
+                ..ServeConfig::default()
+            });
+            let conversion = s.rescale(SlicePartition::max_compute(), 0).unwrap();
+            s.submit(Request::new("a", 0, "k", 0, 1)).unwrap();
+            (
+                conversion,
+                s.run_to_completion().unwrap(),
+                s.coherence_stats(),
+            )
+        };
+        let (flat_ps, flat, flat_coh) = run(HandoffMode::ConservativeFlush);
+        let (coh_ps, coh, coh_stats) = run(HandoffMode::coherent());
+        assert!(flat_ps > 0 && coh_ps > 0);
+        assert!(
+            coh_ps < flat_ps,
+            "targeted invalidations beat the blind flush: {coh_ps} vs {flat_ps}"
+        );
+        // Conservative mode exports no protocol counters; coherent mode
+        // itemizes the claim.
+        assert_eq!(flat_coh, CoherenceStats::default());
+        assert_eq!(flat.probes.counter("cache.coh.claims"), 0);
+        assert_eq!(coh.probes.counter("cache.coh.claims"), 1);
+        assert!(coh.probes.counter("cache.coh.invalidations") > 0);
+        assert_eq!(
+            coh.probes.counter("cache.coh.stall_ps"),
+            coh_ps,
+            "the rescale quote is exactly the exported protocol stall"
+        );
+        assert_eq!(coh_stats.claims, 1);
+        freac_probe::assert_ok(&coh.probes);
+        // Both modes produce the same functional results.
+        assert_eq!(
+            flat.completions[0].output_hash,
+            coh.completions[0].output_hash
+        );
+    }
+
+    #[test]
+    fn cross_tenant_scratchpad_access_faults_deterministically() {
+        let run = || {
+            let mut s = server_with(ServeConfig::default());
+            let mine = s.tenant_segment("a").unwrap();
+            let theirs = s.tenant_segment("b").unwrap();
+            assert!(mine.len > 0 && theirs.base >= mine.len);
+            // "a" touching its own segment completes; "a" touching "b"'s
+            // segment faults at admission and never reaches a slice.
+            s.submit(Request::new("a", 0, "k", 0, 1).with_spad_addr(mine.base))
+                .unwrap();
+            s.submit(Request::new("a", 1, "k", 0, 2).with_spad_addr(theirs.base))
+                .unwrap();
+            s.run_to_completion().unwrap()
+        };
+        let r1 = run();
+        let r2 = run();
+        assert_eq!(r1.completions.len(), 1);
+        assert_eq!(r1.completions[0].seq, 0);
+        assert_eq!(r1.sheds.len(), 1);
+        assert_eq!(r1.sheds[0].reason, ShedReason::TlbFault);
+        assert_eq!(r1.sheds[0].request.seq, 1);
+        assert_eq!(r1.probes.counter("serve.tlb.accesses"), 2);
+        assert_eq!(r1.probes.counter("serve.tlb.hits"), 1);
+        assert_eq!(r1.probes.counter("serve.tlb.misses"), 1);
+        assert_eq!(r1.probes.counter("serve.tlb.faults"), 1);
+        assert_eq!(r1.probes.counter("serve.tenant.a.tlb_faults"), 1);
+        freac_probe::assert_ok(&r1.probes);
+        // The fault is a pure function of the request set: same sheds,
+        // same completions, run after run.
+        assert_eq!(r1.sheds, r2.sheds);
+        assert_eq!(r1.completions, r2.completions);
+    }
+
+    #[test]
+    fn rescale_rebuilds_tenant_segments() {
+        let mut s = server_with(ServeConfig::default());
+        let before = s.tenant_segment("b").unwrap();
+        // max_compute shrinks the scratchpad from 10 ways to 4, so every
+        // tenant's share shrinks with it.
+        s.rescale(SlicePartition::max_compute(), 0).unwrap();
+        let after = s.tenant_segment("b").unwrap();
+        assert!(after.len < before.len);
+        assert_eq!(
+            after.len,
+            SlicePartition::max_compute().scratchpad_bytes() / 2
+        );
+    }
+
+    #[test]
+    fn bad_coherent_residency_is_rejected() {
+        let cfg = ServeConfig {
+            handoff: HandoffMode::Coherent { residency: 1.5 },
+            ..ServeConfig::default()
+        };
+        assert!(matches!(Server::new(cfg), Err(ServeError::BadConfig(_))));
     }
 }

@@ -1,0 +1,150 @@
+//! Per-tenant scratchpad TLB: the isolation boundary in front of the
+//! locked ways.
+//!
+//! When compute slices claim LLC ways as scratchpad, every tenant's
+//! operands live in the same physical address range. The TLB splits that
+//! range into per-tenant segments and refuses any declared access outside
+//! the submitting tenant's own segment — *before* dispatch, so a
+//! misbehaving tenant can never read another tenant's operand words.
+//!
+//! # Determinism
+//!
+//! Segments are an equal split of the scratchpad capacity over the
+//! *sorted* tenant names. The layout is therefore a pure function of the
+//! tenant set and the partition — independent of registration order, like
+//! every other serving structure. Adding a tenant or rescaling the
+//! partition rebuilds the layout wholesale; there is no incremental
+//! allocation state to diverge.
+
+use std::collections::BTreeMap;
+
+/// One tenant's scratchpad window: global addresses
+/// `[base, base + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbSegment {
+    /// First global scratchpad byte this tenant owns.
+    pub base: u64,
+    /// Segment length in bytes (0 when more tenants than bytes).
+    pub len: u64,
+}
+
+impl TlbSegment {
+    /// Whether `addr` falls inside this segment.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr - self.base < self.len
+    }
+}
+
+/// The per-tenant address-space map over the scratchpad ways.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantTlb {
+    capacity_bytes: u64,
+    segments: BTreeMap<String, TlbSegment>,
+}
+
+impl TenantTlb {
+    /// Builds the layout: `capacity_bytes` split equally (floor) over the
+    /// sorted tenant names, in name order. Remainder bytes past the last
+    /// equal share stay unmapped — no tenant may touch them.
+    pub fn new<I, S>(capacity_bytes: u64, tenants: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut names: Vec<String> = tenants.into_iter().map(Into::into).collect();
+        names.sort();
+        names.dedup();
+        let share = capacity_bytes.checked_div(names.len() as u64).unwrap_or(0);
+        let segments = names
+            .into_iter()
+            .enumerate()
+            .map(|(i, name)| {
+                (
+                    name,
+                    TlbSegment {
+                        base: i as u64 * share,
+                        len: share,
+                    },
+                )
+            })
+            .collect();
+        TenantTlb {
+            capacity_bytes,
+            segments,
+        }
+    }
+
+    /// Total scratchpad bytes the layout covers.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Registered tenants, name order.
+    pub fn tenants(&self) -> impl Iterator<Item = &str> {
+        self.segments.keys().map(String::as_str)
+    }
+
+    /// The segment a tenant owns, if registered.
+    pub fn segment(&self, tenant: &str) -> Option<TlbSegment> {
+        self.segments.get(tenant).copied()
+    }
+
+    /// Translates a global scratchpad address for `tenant`: the
+    /// segment-relative offset on a hit, `None` when the tenant is unknown
+    /// or the address lies outside its segment (a cross-tenant fault).
+    pub fn translate(&self, tenant: &str, addr: u64) -> Option<u64> {
+        let seg = self.segments.get(tenant)?;
+        seg.contains(addr).then(|| addr - seg.base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_independent_of_registration_order() {
+        let a = TenantTlb::new(1024, ["bob", "alice", "carol"]);
+        let b = TenantTlb::new(1024, ["carol", "bob", "alice"]);
+        assert_eq!(a, b);
+        assert_eq!(a.segment("alice"), Some(TlbSegment { base: 0, len: 341 }));
+        assert_eq!(
+            a.segment("bob"),
+            Some(TlbSegment {
+                base: 341,
+                len: 341
+            })
+        );
+        assert_eq!(
+            a.segment("carol"),
+            Some(TlbSegment {
+                base: 682,
+                len: 341
+            })
+        );
+    }
+
+    #[test]
+    fn translation_hits_inside_and_faults_outside_the_segment() {
+        let tlb = TenantTlb::new(1000, ["a", "b"]);
+        assert_eq!(tlb.translate("a", 0), Some(0));
+        assert_eq!(tlb.translate("a", 499), Some(499));
+        assert_eq!(tlb.translate("a", 500), None, "b's first byte");
+        assert_eq!(tlb.translate("b", 500), Some(0));
+        assert_eq!(tlb.translate("b", 999), Some(499));
+        assert_eq!(tlb.translate("b", 499), None, "a's last byte");
+        assert_eq!(tlb.translate("b", 1000), None, "past capacity");
+        assert_eq!(tlb.translate("nobody", 0), None, "unknown tenant");
+    }
+
+    #[test]
+    fn empty_and_degenerate_layouts_refuse_everything() {
+        let none = TenantTlb::new(4096, std::iter::empty::<String>());
+        assert_eq!(none.translate("a", 0), None);
+        // More tenants than bytes: every share is empty, every access
+        // faults — degenerate but still deterministic.
+        let tiny = TenantTlb::new(1, ["a", "b"]);
+        assert_eq!(tiny.segment("a"), Some(TlbSegment { base: 0, len: 0 }));
+        assert_eq!(tiny.translate("a", 0), None);
+    }
+}

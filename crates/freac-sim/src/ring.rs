@@ -71,6 +71,17 @@ impl RingInterconnect {
     pub fn max_latency_ps(&self) -> Time {
         (self.stops / 2) as Time * self.hop_ps
     }
+
+    /// Time to stream `messages` back-to-back protocol messages (e.g. a
+    /// directory's back-invalidation burst) from one stop: the first
+    /// message pays the worst-case traversal to fill the pipeline, then
+    /// one message drains per hop cycle. Zero messages cost nothing.
+    pub fn pipelined_ps(&self, messages: u64) -> Time {
+        if messages == 0 {
+            return 0;
+        }
+        self.max_latency_ps() + (messages - 1) * self.hop_ps
+    }
 }
 
 #[cfg(test)]
@@ -119,5 +130,14 @@ mod tests {
     #[should_panic(expected = "at least one stop")]
     fn zero_stops_rejected() {
         let _ = RingInterconnect::new(0, 1);
+    }
+
+    #[test]
+    fn pipelined_burst_fills_then_streams() {
+        let r = RingInterconnect::paper_edge();
+        assert_eq!(r.pipelined_ps(0), 0);
+        assert_eq!(r.pipelined_ps(1), r.max_latency_ps());
+        // 1024 messages: one worst-case fill plus one hop cycle each.
+        assert_eq!(r.pipelined_ps(1024), 1000 + 1023 * 250);
     }
 }

@@ -67,6 +67,14 @@ fn main() {
         timed("opt_ablation", || exp::ablations::netlist_opt().table())
     );
 
+    // Inclusion-policy ablation; with the probe enabled it also exports
+    // the cache-hierarchy and way-claim coherence counters, so the CI
+    // baseline diff covers back-invalidation and dirty-drop traffic.
+    println!(
+        "{}",
+        timed("inclusion_ablation", || exp::ablations::inclusion().table())
+    );
+
     // Flush observability output (no-op unless FREAC_TRACE/FREAC_METRICS).
     exp::runner::export_probe_stats();
     if probe::global::enabled() {
